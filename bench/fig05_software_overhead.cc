@@ -1,0 +1,112 @@
+// Figure 5 (Observation Ob2): (a) random-write throughput of the six
+// baseline systems as user threads grow 1..8; (b) breakdown of the
+// average write latency of NoveLSM-cache into memtable lock wait, index
+// update, append, and others.
+//
+// Expected shape (paper): every baseline stays low and *degrades* as
+// threads are added (shared-MemTable contention); lock + index dominate
+// the write latency (~46% at 2 threads, ~67% at 8).
+
+#include <cstdio>
+#include <vector>
+
+#include "baselines/novelsm.h"
+#include "baselines/slmdb.h"
+#include "harness.h"
+#include "stores.h"
+
+namespace cachekv {
+namespace bench {
+namespace {
+
+WriteProfiler* ProfilerOf(SystemKind kind, KVStore* store) {
+  switch (kind) {
+    case SystemKind::kNoveLsm:
+    case SystemKind::kNoveLsmNoFlush:
+    case SystemKind::kNoveLsmCache:
+      return static_cast<NoveLsmStore*>(store)->profiler();
+    case SystemKind::kSlmDb:
+    case SystemKind::kSlmDbNoFlush:
+    case SystemKind::kSlmDbCache:
+      return static_cast<SlmDbStore*>(store)->profiler();
+    default:
+      return nullptr;
+  }
+}
+
+int Run() {
+  const uint64_t ops = BenchOps(120'000);
+  const double scale = BenchScale(1.0);
+  const std::vector<int> thread_counts = {1, 2, 4, 8};
+  const std::vector<SystemKind> systems = {
+      SystemKind::kNoveLsm,      SystemKind::kNoveLsmNoFlush,
+      SystemKind::kNoveLsmCache, SystemKind::kSlmDb,
+      SystemKind::kSlmDbNoFlush, SystemKind::kSlmDbCache,
+  };
+
+  printf("Figure 5(a): random-write throughput (Kops/s), 64 B values\n");
+  printf("%-24s", "threads");
+  for (int t : thread_counts) {
+    printf("%10d", t);
+  }
+  printf("\n");
+
+  for (SystemKind kind : systems) {
+    std::string row;
+    for (int threads : thread_counts) {
+      StoreConfig config;
+      config.latency_scale = scale;
+      StoreBundle bundle;
+      Status s = MakeStore(kind, config, &bundle);
+      if (!s.ok()) {
+        fprintf(stderr, "open %s: %s\n", SystemName(kind).c_str(),
+                s.ToString().c_str());
+        return 1;
+      }
+      RunOptions opts;
+      opts.num_threads = threads;
+      opts.total_ops = ops;
+      opts.value_size = 64;
+      WorkloadSpec spec = WorkloadSpec::FillRandom(ops);
+      RunResult result = RunWorkload(bundle.store.get(), spec, opts);
+      char buf[32];
+      snprintf(buf, sizeof(buf), "%9.1f ", result.Kops());
+      row += buf;
+    }
+    PrintRow(SystemName(kind), row);
+  }
+
+  printf("\nFigure 5(b): NoveLSM-cache write-latency breakdown\n");
+  printf("%-10s %12s %12s %12s %12s %14s\n", "threads", "lock", "index",
+         "append", "others", "avg lat (us)");
+  for (int threads : thread_counts) {
+    StoreConfig config;
+    config.latency_scale = scale;
+    StoreBundle bundle;
+    Status s = MakeStore(SystemKind::kNoveLsmCache, config, &bundle);
+    if (!s.ok()) {
+      fprintf(stderr, "open: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    RunOptions opts;
+    opts.num_threads = threads;
+    opts.total_ops = ops;
+    opts.value_size = 64;
+    WorkloadSpec spec = WorkloadSpec::FillRandom(ops);
+    RunWorkload(bundle.store.get(), spec, opts);
+    WriteProfiler* prof =
+        ProfilerOf(SystemKind::kNoveLsmCache, bundle.store.get());
+    printf("%-10d %11.1f%% %11.1f%% %11.1f%% %11.1f%% %14.2f\n", threads,
+           100 * prof->LockFraction(), 100 * prof->IndexFraction(),
+           100 * prof->AppendFraction(), 100 * prof->OtherFraction(),
+           prof->AvgWriteLatencyNs() / 1000.0);
+    fflush(stdout);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace cachekv
+
+int main() { return cachekv::bench::Run(); }

@@ -1,0 +1,75 @@
+// Figure 10 (Exp#1): sequential and random write throughput, single
+// thread, 16 B keys, value sizes 16 B .. 256 B, for CacheKV, its
+// technique breakdown (PCSM, PCSM+LIU), and the four baselines.
+//
+// Expected shape (paper): CacheKV ~5.1x NoveLSM and ~20.2x SLM-DB on
+// average; ~3.4x / ~7.8x over their -cache variants; PCSM < PCSM+LIU <
+// roughly CacheKV (SC costs <= ~8% of write throughput).
+
+#include <cstdio>
+#include <vector>
+
+#include "harness.h"
+#include "stores.h"
+
+namespace cachekv {
+namespace bench {
+namespace {
+
+int Run() {
+  const uint64_t ops = BenchOps(150'000);
+  const double scale = BenchScale(1.0);
+  const std::vector<size_t> value_sizes = {16, 64, 256};
+
+  std::vector<SystemKind> systems = BreakdownSet();
+  for (SystemKind kind : ComparisonSet()) {
+    if (kind != SystemKind::kCacheKV) {
+      systems.push_back(kind);
+    }
+  }
+
+  for (bool sequential : {true, false}) {
+    printf("Figure 10(%s): %s write throughput (Kops/s), 1 thread, "
+           "%llu ops\n",
+           sequential ? "a" : "b", sequential ? "sequential" : "random",
+           static_cast<unsigned long long>(ops));
+    printf("%-24s", "value size (B)");
+    for (size_t vs : value_sizes) {
+      printf("%10zu", vs);
+    }
+    printf("\n");
+    for (SystemKind kind : systems) {
+      std::string row;
+      for (size_t vs : value_sizes) {
+        StoreConfig config;
+        config.latency_scale = scale;
+        StoreBundle bundle;
+        Status s = MakeStore(kind, config, &bundle);
+        if (!s.ok()) {
+          fprintf(stderr, "open %s: %s\n", SystemName(kind).c_str(),
+                  s.ToString().c_str());
+          return 1;
+        }
+        RunOptions opts;
+        opts.num_threads = 1;
+        opts.total_ops = ops;
+        opts.value_size = vs;
+        WorkloadSpec spec = sequential ? WorkloadSpec::FillSeq(ops)
+                                       : WorkloadSpec::FillRandom(ops);
+        RunResult result = RunWorkload(bundle.store.get(), spec, opts);
+        char buf[32];
+        snprintf(buf, sizeof(buf), "%9.1f ", result.Kops());
+        row += buf;
+      }
+      PrintRow(SystemName(kind), row);
+    }
+    printf("\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace cachekv
+
+int main() { return cachekv::bench::Run(); }

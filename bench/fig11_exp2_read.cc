@@ -1,0 +1,83 @@
+// Figure 11 (Exp#2): sequential and random read throughput after a
+// random preload, single thread, value sizes 16 B .. 256 B.
+//
+// Expected shape (paper): CacheKV ~= NoveLSM (within a few percent; the
+// sub-MemTables add read amplification), CacheKV ~2.4x SLM-DB; SC makes
+// CacheKV beat PCSM+LIU on random reads; PCSM+LIU < PCSM (it pays the
+// read-time index sync).
+
+#include <cstdio>
+#include <vector>
+
+#include "harness.h"
+#include "stores.h"
+
+namespace cachekv {
+namespace bench {
+namespace {
+
+int Run() {
+  const uint64_t ops = BenchOps(150'000);
+  const double scale = BenchScale(1.0);
+  const std::vector<size_t> value_sizes = {16, 64, 256};
+
+  std::vector<SystemKind> systems = BreakdownSet();
+  for (SystemKind kind : ComparisonSet()) {
+    if (kind != SystemKind::kCacheKV) {
+      systems.push_back(kind);
+    }
+  }
+
+  for (bool sequential : {true, false}) {
+    printf("Figure 11(%s): %s read throughput (Kops/s), 1 thread, "
+           "%llu ops\n",
+           sequential ? "a" : "b", sequential ? "sequential" : "random",
+           static_cast<unsigned long long>(ops));
+    printf("%-24s", "value size (B)");
+    for (size_t vs : value_sizes) {
+      printf("%10zu", vs);
+    }
+    printf("\n");
+    for (SystemKind kind : systems) {
+      std::string row;
+      for (size_t vs : value_sizes) {
+        StoreConfig config;
+        config.latency_scale = scale;
+        StoreBundle bundle;
+        Status s = MakeStore(kind, config, &bundle);
+        if (!s.ok()) {
+          fprintf(stderr, "open %s: %s\n", SystemName(kind).c_str(),
+                  s.ToString().c_str());
+          return 1;
+        }
+        RunOptions opts;
+        opts.num_threads = 1;
+        opts.total_ops = ops;
+        opts.value_size = vs;
+        // Preload the keyspace so reads have data to find; leave part of
+        // it resident in the memory components (no forced flush), as a
+        // freshly loaded store would.
+        Preload(bundle.store.get(), ops, opts);
+        WorkloadSpec spec = sequential ? WorkloadSpec::ReadSeq(ops)
+                                       : WorkloadSpec::ReadRandom(ops);
+        RunResult result = RunWorkload(bundle.store.get(), spec, opts);
+        if (result.found == 0) {
+          fprintf(stderr, "%s: no keys found!\n",
+                  SystemName(kind).c_str());
+        }
+        char buf[32];
+        snprintf(buf, sizeof(buf), "%9.1f ", result.Kops());
+        row += buf;
+      }
+      PrintRow(SystemName(kind), row);
+    }
+    printf("\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace cachekv
+
+int main() { return cachekv::bench::Run(); }

@@ -1,0 +1,77 @@
+// Figure 12 (Exp#3): multi-threading performance. Random reads and
+// random writes with 4..24 user threads, 16 B keys + 64 B values.
+//
+// Expected shape (paper): CacheKV's write throughput climbs with threads
+// (peaking mid-range, then flattening as background flushing becomes the
+// bottleneck) while the baselines degrade under shared-MemTable
+// contention; on reads CacheKV leads (DRAM indexes), SLM-DB trails.
+
+#include <cstdio>
+#include <vector>
+
+#include "harness.h"
+#include "stores.h"
+
+namespace cachekv {
+namespace bench {
+namespace {
+
+int Run() {
+  const uint64_t ops = BenchOps(150'000);
+  const double scale = BenchScale(1.0);
+  const std::vector<int> thread_counts = {4, 8, 16, 24};
+  const std::vector<SystemKind> systems = ComparisonSet();
+
+  for (bool reads : {true, false}) {
+    printf("Figure 12(%s): random %s throughput (Kops/s), 64 B values, "
+           "%llu ops\n",
+           reads ? "a" : "b", reads ? "read" : "write",
+           static_cast<unsigned long long>(ops));
+    printf("%-24s", "threads");
+    for (int t : thread_counts) {
+      printf("%10d", t);
+    }
+    printf("\n");
+    for (SystemKind kind : systems) {
+      std::string row;
+      for (int threads : thread_counts) {
+        StoreConfig config;
+        config.latency_scale = scale;
+        // Give CacheKV enough background flushers to keep up at high
+        // writer counts, as the paper tunes in Exp#5.
+        config.num_flush_threads = 2;
+        StoreBundle bundle;
+        Status s = MakeStore(kind, config, &bundle);
+        if (!s.ok()) {
+          fprintf(stderr, "open %s: %s\n", SystemName(kind).c_str(),
+                  s.ToString().c_str());
+          return 1;
+        }
+        RunOptions opts;
+        opts.num_threads = threads;
+        opts.total_ops = ops;
+        opts.value_size = 64;
+        if (reads) {
+          RunOptions load = opts;
+          load.num_threads = 4;
+          Preload(bundle.store.get(), ops, load);
+        }
+        WorkloadSpec spec = reads ? WorkloadSpec::ReadRandom(ops)
+                                  : WorkloadSpec::FillRandom(ops);
+        RunResult result = RunWorkload(bundle.store.get(), spec, opts);
+        char buf[32];
+        snprintf(buf, sizeof(buf), "%9.1f ", result.Kops());
+        row += buf;
+      }
+      PrintRow(SystemName(kind), row);
+    }
+    printf("\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace cachekv
+
+int main() { return cachekv::bench::Run(); }

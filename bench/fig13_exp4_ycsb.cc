@@ -1,0 +1,79 @@
+// Figure 13 (Exp#4): YCSB. Workloads Load / A / B / C / D / F with 16 B
+// keys and 64 B values, single user thread (paper: 5M requests).
+//
+// Expected shape (paper): CacheKV's advantage is largest on the
+// write-dominated YCSB-Load, remains positive on A/F, and stays at least
+// competitive on the read-dominated B/C/D.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness.h"
+#include "stores.h"
+
+namespace cachekv {
+namespace bench {
+namespace {
+
+int Run() {
+  const uint64_t ops = BenchOps(100'000);
+  const double scale = BenchScale(1.0);
+  const std::vector<SystemKind> systems = ComparisonSet();
+  struct Wl {
+    const char* name;
+    WorkloadSpec spec;
+    bool needs_preload;
+  };
+  const std::vector<Wl> workloads = {
+      {"Load", WorkloadSpec::YcsbLoad(ops), false},
+      {"A", WorkloadSpec::YcsbA(ops), true},
+      {"B", WorkloadSpec::YcsbB(ops), true},
+      {"C", WorkloadSpec::YcsbC(ops), true},
+      {"D", WorkloadSpec::YcsbD(ops), true},
+      {"F", WorkloadSpec::YcsbF(ops), true},
+  };
+
+  printf("Figure 13: YCSB throughput (Kops/s), 16 B keys + 64 B values, "
+         "%llu requests per workload\n",
+         static_cast<unsigned long long>(ops));
+  printf("%-24s", "workload");
+  for (const Wl& wl : workloads) {
+    printf("%10s", wl.name);
+  }
+  printf("\n");
+
+  for (SystemKind kind : systems) {
+    std::string row;
+    for (const Wl& wl : workloads) {
+      StoreConfig config;
+      config.latency_scale = scale;
+      StoreBundle bundle;
+      Status s = MakeStore(kind, config, &bundle);
+      if (!s.ok()) {
+        fprintf(stderr, "open %s: %s\n", SystemName(kind).c_str(),
+                s.ToString().c_str());
+        return 1;
+      }
+      RunOptions opts;
+      opts.num_threads = 1;
+      opts.total_ops = ops;
+      opts.value_size = 64;
+      if (wl.needs_preload) {
+        Preload(bundle.store.get(), ops, opts);
+      }
+      RunResult result = RunWorkload(bundle.store.get(), wl.spec, opts);
+      char buf[32];
+      snprintf(buf, sizeof(buf), "%9.1f ", result.Kops());
+      row += buf;
+    }
+    PrintRow(SystemName(kind), row);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace cachekv
+
+int main() { return cachekv::bench::Run(); }

@@ -1,0 +1,64 @@
+// Figure 14 (Exp#5): CacheKV random-write throughput as the number of
+// background copy-flush threads grows 1..6, for 2/4/6 user threads.
+//
+// Expected shape (paper): throughput climbs with flush threads then
+// saturates; more user threads raise the saturation point, so the two
+// knobs must be tuned together.
+
+#include <cstdio>
+#include <vector>
+
+#include "harness.h"
+#include "stores.h"
+
+namespace cachekv {
+namespace bench {
+namespace {
+
+int Run() {
+  const uint64_t ops = BenchOps(150'000);
+  const double scale = BenchScale(1.0);
+  const std::vector<int> user_threads = {2, 4, 6};
+  const std::vector<int> flush_threads = {1, 2, 4, 6};
+
+  printf("Figure 14: CacheKV random-write throughput (Kops/s), 64 B "
+         "values, %llu ops\n",
+         static_cast<unsigned long long>(ops));
+  printf("%-24s", "flush threads");
+  for (int f : flush_threads) {
+    printf("%10d", f);
+  }
+  printf("\n");
+
+  for (int users : user_threads) {
+    std::string row;
+    for (int flushers : flush_threads) {
+      StoreConfig config;
+      config.latency_scale = scale;
+      config.num_flush_threads = flushers;
+      StoreBundle bundle;
+      Status s = MakeStore(SystemKind::kCacheKV, config, &bundle);
+      if (!s.ok()) {
+        fprintf(stderr, "open: %s\n", s.ToString().c_str());
+        return 1;
+      }
+      RunOptions opts;
+      opts.num_threads = users;
+      opts.total_ops = ops;
+      opts.value_size = 64;
+      WorkloadSpec spec = WorkloadSpec::FillRandom(ops);
+      RunResult result = RunWorkload(bundle.store.get(), spec, opts);
+      char buf[32];
+      snprintf(buf, sizeof(buf), "%9.1f ", result.Kops());
+      row += buf;
+    }
+    PrintRow(std::to_string(users) + " user threads", row);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace cachekv
+
+int main() { return cachekv::bench::Run(); }

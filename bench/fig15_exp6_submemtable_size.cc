@@ -1,0 +1,77 @@
+// Figure 15 (Exp#6): impact of the sub-MemTable size. Pool fixed at
+// 12 MB; sub-MemTable size swept 0.25 MB .. 2 MB; 12 user threads and 4
+// background flush threads; random reads and random writes.
+//
+// Expected shape (paper): read throughput rises with the sub-MemTable
+// size (fewer sub-skiplists to search); write throughput peaks at an
+// intermediate size (paper: 1 MB) -- small tables bottleneck on flushing,
+// few large tables restrict parallelism.
+
+#include <cstdio>
+#include <vector>
+
+#include "harness.h"
+#include "stores.h"
+
+namespace cachekv {
+namespace bench {
+namespace {
+
+int Run() {
+  // The read-side trend needs the dataset to dwarf every pool size under
+  // test (as the paper's 10 M-op runs do), so this figure runs 3x the
+  // base op count.
+  const uint64_t ops = 3 * BenchOps(150'000);
+  const double scale = BenchScale(1.0);
+  const std::vector<uint64_t> sub_sizes = {256ull << 10, 512ull << 10,
+                                           1ull << 20, 2ull << 20};
+
+  printf("Figure 15: CacheKV vs sub-MemTable size, 12 MB pool, 12 user "
+         "threads + 4 flush threads, %llu ops\n",
+         static_cast<unsigned long long>(ops));
+  printf("%-24s", "sub-memtable (KB)");
+  for (uint64_t size : sub_sizes) {
+    printf("%10llu", static_cast<unsigned long long>(size >> 10));
+  }
+  printf("\n");
+
+  for (bool reads : {true, false}) {
+    std::string row;
+    for (uint64_t size : sub_sizes) {
+      StoreConfig config;
+      config.latency_scale = scale;
+      config.pool_bytes = 12ull << 20;
+      config.sub_memtable_bytes = size;
+      config.num_flush_threads = 4;
+      StoreBundle bundle;
+      Status s = MakeStore(SystemKind::kCacheKV, config, &bundle);
+      if (!s.ok()) {
+        fprintf(stderr, "open: %s\n", s.ToString().c_str());
+        return 1;
+      }
+      RunOptions opts;
+      opts.num_threads = 12;
+      opts.total_ops = ops;
+      opts.value_size = 64;
+      if (reads) {
+        RunOptions load = opts;
+        load.num_threads = 4;
+        Preload(bundle.store.get(), ops, load);
+      }
+      WorkloadSpec spec = reads ? WorkloadSpec::ReadRandom(ops)
+                                : WorkloadSpec::FillRandom(ops);
+      RunResult result = RunWorkload(bundle.store.get(), spec, opts);
+      char buf[32];
+      snprintf(buf, sizeof(buf), "%9.1f ", result.Kops());
+      row += buf;
+    }
+    PrintRow(reads ? "random reads" : "random writes", row);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace cachekv
+
+int main() { return cachekv::bench::Run(); }

@@ -1,0 +1,77 @@
+// Figure 16 (Exp#7): impact of the sub-MemTable pool size. Sub-MemTable
+// size fixed at 1 MB; pool swept 3 MB .. 30 MB; 12 user threads + 4
+// flush threads; random reads and random writes.
+//
+// Expected shape (paper): read throughput declines as the pool grows
+// (more sub-skiplists to search); write throughput rises then becomes
+// marginal past ~6 MB (background flush becomes the bottleneck) -- which
+// is why CacheKV is effective even with little cache space.
+
+#include <cstdio>
+#include <vector>
+
+#include "harness.h"
+#include "stores.h"
+
+namespace cachekv {
+namespace bench {
+namespace {
+
+int Run() {
+  // The read-side trend needs the dataset to dwarf every pool size under
+  // test (as the paper's 10 M-op runs do), so this figure runs 3x the
+  // base op count.
+  const uint64_t ops = 3 * BenchOps(150'000);
+  const double scale = BenchScale(1.0);
+  const std::vector<uint64_t> pool_sizes = {3ull << 20, 6ull << 20,
+                                            12ull << 20, 30ull << 20};
+
+  printf("Figure 16: CacheKV vs pool size, 1 MB sub-MemTables, 12 user "
+         "threads + 4 flush threads, %llu ops\n",
+         static_cast<unsigned long long>(ops));
+  printf("%-24s", "pool (MB)");
+  for (uint64_t size : pool_sizes) {
+    printf("%10llu", static_cast<unsigned long long>(size >> 20));
+  }
+  printf("\n");
+
+  for (bool reads : {true, false}) {
+    std::string row;
+    for (uint64_t pool : pool_sizes) {
+      StoreConfig config;
+      config.latency_scale = scale;
+      config.pool_bytes = pool;
+      config.sub_memtable_bytes = 1ull << 20;
+      config.num_flush_threads = 4;
+      StoreBundle bundle;
+      Status s = MakeStore(SystemKind::kCacheKV, config, &bundle);
+      if (!s.ok()) {
+        fprintf(stderr, "open: %s\n", s.ToString().c_str());
+        return 1;
+      }
+      RunOptions opts;
+      opts.num_threads = 12;
+      opts.total_ops = ops;
+      opts.value_size = 64;
+      if (reads) {
+        RunOptions load = opts;
+        load.num_threads = 4;
+        Preload(bundle.store.get(), ops, load);
+      }
+      WorkloadSpec spec = reads ? WorkloadSpec::ReadRandom(ops)
+                                : WorkloadSpec::FillRandom(ops);
+      RunResult result = RunWorkload(bundle.store.get(), spec, opts);
+      char buf[32];
+      snprintf(buf, sizeof(buf), "%9.1f ", result.Kops());
+      row += buf;
+    }
+    PrintRow(reads ? "random reads" : "random writes", row);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace cachekv
+
+int main() { return cachekv::bench::Run(); }

@@ -1,0 +1,132 @@
+#include "harness.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+namespace cachekv {
+namespace bench {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+RunResult RunWorkload(KVStore* store, const WorkloadSpec& spec,
+                      const RunOptions& opts) {
+  RunResult result;
+  const uint64_t per_thread = opts.total_ops / opts.num_threads;
+  std::vector<std::thread> threads;
+  std::vector<RunResult> partials(opts.num_threads);
+
+  auto start = Clock::now();
+  for (int t = 0; t < opts.num_threads; t++) {
+    threads.emplace_back([&, t] {
+      OpGenerator gen(spec, t, opts.num_threads, opts.seed);
+      RunResult& local = partials[t];
+      std::string value;
+      for (uint64_t i = 0; i < per_thread; i++) {
+        Op op = gen.Next();
+        auto op_start = opts.collect_latency ? Clock::now()
+                                             : Clock::time_point();
+        switch (op.type) {
+          case OpType::kPut: {
+            Status s = store->Put(KeyFor(op.key_index, opts.key_size),
+                                  ValueFor(op.key_index, opts.value_size));
+            if (!s.ok()) local.errors++;
+            break;
+          }
+          case OpType::kGet: {
+            Status s = store->Get(KeyFor(op.key_index, opts.key_size),
+                                  &value);
+            if (s.ok()) {
+              local.found++;
+            } else if (s.IsNotFound()) {
+              local.not_found++;
+            } else {
+              local.errors++;
+            }
+            break;
+          }
+          case OpType::kDelete: {
+            Status s = store->Delete(KeyFor(op.key_index, opts.key_size));
+            if (!s.ok()) local.errors++;
+            break;
+          }
+          case OpType::kReadModifyWrite: {
+            std::string key = KeyFor(op.key_index, opts.key_size);
+            Status s = store->Get(key, &value);
+            if (s.ok()) {
+              local.found++;
+            } else if (s.IsNotFound()) {
+              local.not_found++;
+            }
+            s = store->Put(key, ValueFor(op.key_index, opts.value_size));
+            if (!s.ok()) local.errors++;
+            break;
+          }
+        }
+        if (opts.collect_latency) {
+          local.latency_ns.Add(
+              std::chrono::duration<double, std::nano>(Clock::now() -
+                                                       op_start)
+                  .count());
+        }
+        local.ops++;
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  result.seconds = SecondsSince(start);
+  for (const auto& p : partials) {
+    result.ops += p.ops;
+    result.found += p.found;
+    result.not_found += p.not_found;
+    result.errors += p.errors;
+    result.latency_ns.Merge(p.latency_ns);
+  }
+  return result;
+}
+
+void Preload(KVStore* store, uint64_t n, const RunOptions& opts) {
+  WorkloadSpec fill = WorkloadSpec::FillSeq(n);
+  RunOptions load_opts = opts;
+  load_opts.total_ops = n;
+  load_opts.collect_latency = false;
+  RunWorkload(store, fill, load_opts);
+  store->WaitIdle();
+}
+
+uint64_t BenchOps(uint64_t def) {
+  const char* env = std::getenv("CACHEKV_BENCH_OPS");
+  if (env != nullptr) {
+    uint64_t v = strtoull(env, nullptr, 10);
+    if (v > 0) return v;
+  }
+  return def;
+}
+
+double BenchScale(double def) {
+  const char* env = std::getenv("CACHEKV_BENCH_SCALE");
+  if (env != nullptr) {
+    return strtod(env, nullptr);
+  }
+  return def;
+}
+
+void PrintRow(const std::string& name, const std::string& values) {
+  printf("%-24s %s\n", name.c_str(), values.c_str());
+  fflush(stdout);
+}
+
+}  // namespace bench
+}  // namespace cachekv

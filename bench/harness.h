@@ -1,0 +1,59 @@
+#ifndef CACHEKV_BENCH_HARNESS_H_
+#define CACHEKV_BENCH_HARNESS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "baselines/kvstore.h"
+#include "util/histogram.h"
+#include "workload.h"
+
+namespace cachekv {
+namespace bench {
+
+/// Parameters of one benchmark phase.
+struct RunOptions {
+  int num_threads = 1;
+  uint64_t total_ops = 100'000;
+  size_t key_size = 16;
+  size_t value_size = 64;
+  uint64_t seed = 42;
+  bool collect_latency = false;
+};
+
+/// Result of one benchmark phase.
+struct RunResult {
+  double seconds = 0;
+  uint64_t ops = 0;
+  uint64_t found = 0;      // Gets that returned a value
+  uint64_t not_found = 0;  // Gets that returned NotFound
+  uint64_t errors = 0;
+  Histogram latency_ns;
+
+  double Kops() const { return seconds > 0 ? ops / seconds / 1000.0 : 0; }
+};
+
+/// Runs `opts.total_ops` operations of `spec` against the store, split
+/// across opts.num_threads threads, and returns aggregate throughput.
+RunResult RunWorkload(KVStore* store, const WorkloadSpec& spec,
+                      const RunOptions& opts);
+
+/// Loads keys [0, n) into the store (uniform random order) so that read
+/// phases have data to find.
+void Preload(KVStore* store, uint64_t n, const RunOptions& opts);
+
+/// Reads CACHEKV_BENCH_OPS from the environment, returning `def` if it is
+/// unset. Lets users scale the harnesses up to the paper's 10 M ops.
+uint64_t BenchOps(uint64_t def);
+
+/// Reads CACHEKV_BENCH_SCALE (latency model scale factor) from the
+/// environment, returning `def` if unset.
+double BenchScale(double def);
+
+/// Prints a "name  series..." table row, right-padded for alignment.
+void PrintRow(const std::string& name, const std::string& values);
+
+}  // namespace bench
+}  // namespace cachekv
+
+#endif  // CACHEKV_BENCH_HARNESS_H_

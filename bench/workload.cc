@@ -1,0 +1,180 @@
+#include "workload.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstring>
+
+namespace cachekv {
+namespace bench {
+
+std::string KeyFor(uint64_t i, size_t key_size) {
+  char buf[64];
+  int n = snprintf(buf, sizeof(buf), "%0*llu",
+                   static_cast<int>(key_size > 20 ? 20 : key_size),
+                   static_cast<unsigned long long>(i));
+  std::string key(buf, n);
+  if (key.size() < key_size) {
+    key.append(key_size - key.size(), 'k');
+  } else if (key.size() > key_size) {
+    key.resize(key_size);
+  }
+  return key;
+}
+
+std::string ValueFor(uint64_t i, size_t value_size) {
+  static const char kAlphabet[] =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+  std::string value;
+  value.reserve(value_size);
+  uint64_t state = Mix64(i + 0x1234567);
+  for (size_t j = 0; j < value_size; j++) {
+    state = Mix64(state + j);
+    value.push_back(kAlphabet[state % (sizeof(kAlphabet) - 1)]);
+  }
+  return value;
+}
+
+WorkloadSpec WorkloadSpec::FillSeq(uint64_t n) {
+  WorkloadSpec s;
+  s.dist = KeyDist::kSequential;
+  s.key_space = n;
+  return s;
+}
+
+WorkloadSpec WorkloadSpec::FillRandom(uint64_t n) {
+  WorkloadSpec s;
+  s.dist = KeyDist::kUniform;
+  s.key_space = n;
+  return s;
+}
+
+WorkloadSpec WorkloadSpec::ReadSeq(uint64_t n) {
+  WorkloadSpec s;
+  s.read_fraction = 1.0;
+  s.dist = KeyDist::kSequential;
+  s.key_space = n;
+  return s;
+}
+
+WorkloadSpec WorkloadSpec::ReadRandom(uint64_t n) {
+  WorkloadSpec s;
+  s.read_fraction = 1.0;
+  s.dist = KeyDist::kUniform;
+  s.key_space = n;
+  return s;
+}
+
+WorkloadSpec WorkloadSpec::YcsbLoad(uint64_t n) {
+  WorkloadSpec s;
+  s.read_fraction = 0.0;
+  s.dist = KeyDist::kUniform;
+  s.key_space = n;
+  return s;
+}
+
+WorkloadSpec WorkloadSpec::YcsbA(uint64_t n) {
+  WorkloadSpec s;
+  s.read_fraction = 0.5;
+  s.dist = KeyDist::kZipfian;
+  s.key_space = n;
+  return s;
+}
+
+WorkloadSpec WorkloadSpec::YcsbB(uint64_t n) {
+  WorkloadSpec s;
+  s.read_fraction = 0.95;
+  s.dist = KeyDist::kZipfian;
+  s.key_space = n;
+  return s;
+}
+
+WorkloadSpec WorkloadSpec::YcsbC(uint64_t n) {
+  WorkloadSpec s;
+  s.read_fraction = 1.0;
+  s.dist = KeyDist::kZipfian;
+  s.key_space = n;
+  return s;
+}
+
+WorkloadSpec WorkloadSpec::YcsbD(uint64_t n) {
+  WorkloadSpec s;
+  s.read_fraction = 0.95;
+  s.dist = KeyDist::kLatest;
+  s.key_space = n;
+  s.inserts_extend_keyspace = true;
+  return s;
+}
+
+WorkloadSpec WorkloadSpec::YcsbF(uint64_t n) {
+  WorkloadSpec s;
+  s.read_fraction = 0.5;
+  s.rmw_fraction = 0.5;
+  s.dist = KeyDist::kZipfian;
+  s.key_space = n;
+  return s;
+}
+
+OpGenerator::OpGenerator(const WorkloadSpec& spec, int thread_id,
+                         int num_threads, uint64_t seed)
+    : spec_(spec),
+      thread_id_(thread_id),
+      num_threads_(num_threads),
+      seq_cursor_(static_cast<uint64_t>(thread_id)),
+      insert_cursor_(spec.key_space + static_cast<uint64_t>(thread_id)),
+      rng_(seed + static_cast<uint64_t>(thread_id) * 0x9e3779b9) {
+  if (spec_.dist == KeyDist::kZipfian) {
+    zipf_ = std::make_unique<ScrambledZipfianGenerator>(
+        spec_.key_space, spec_.zipf_theta,
+        seed ^ (0xabcdefULL + thread_id));
+  } else if (spec_.dist == KeyDist::kLatest) {
+    latest_ = std::make_unique<LatestGenerator>(
+        spec_.key_space, spec_.zipf_theta,
+        seed ^ (0xabcdefULL + thread_id));
+  }
+}
+
+uint64_t OpGenerator::NextKeyIndex() {
+  switch (spec_.dist) {
+    case KeyDist::kSequential: {
+      uint64_t i = seq_cursor_ % spec_.key_space;
+      seq_cursor_ += static_cast<uint64_t>(num_threads_);
+      return i;
+    }
+    case KeyDist::kUniform:
+      return rng_.Uniform(spec_.key_space);
+    case KeyDist::kZipfian:
+      return zipf_->Next();
+    case KeyDist::kLatest:
+      return latest_->Next();
+  }
+  return 0;
+}
+
+Op OpGenerator::Next() {
+  double p = rng_.NextDouble();
+  Op op;
+  if (p < spec_.read_fraction) {
+    op.type = OpType::kGet;
+    op.key_index = NextKeyIndex();
+  } else if (p < spec_.read_fraction + spec_.rmw_fraction) {
+    op.type = OpType::kReadModifyWrite;
+    op.key_index = NextKeyIndex();
+  } else {
+    op.type = OpType::kPut;
+    if (spec_.inserts_extend_keyspace) {
+      // YCSB-D style insert: extend the keyspace; each thread owns a
+      // disjoint stripe above the initial keyspace.
+      op.key_index = insert_cursor_;
+      insert_cursor_ += static_cast<uint64_t>(num_threads_);
+      if (latest_ != nullptr) {
+        latest_->UpdateCount(op.key_index + 1);
+      }
+    } else {
+      op.key_index = NextKeyIndex();
+    }
+  }
+  return op;
+}
+
+}  // namespace bench
+}  // namespace cachekv

@@ -1,0 +1,99 @@
+#ifndef CACHEKV_BENCH_WORKLOAD_H_
+#define CACHEKV_BENCH_WORKLOAD_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/random.h"
+#include "util/zipfian.h"
+
+namespace cachekv {
+namespace bench {
+
+/// Formats key index `i` as a fixed-width key of `key_size` bytes
+/// ("user000000001234" style), matching db_bench's 16 B keys.
+std::string KeyFor(uint64_t i, size_t key_size);
+
+/// Deterministic pseudo-random printable value of `value_size` bytes for
+/// key index `i`; the same (i, size) always produces the same value so
+/// reads can be verified.
+std::string ValueFor(uint64_t i, size_t value_size);
+
+/// Operation kinds a workload can emit.
+enum class OpType {
+  kPut,
+  kGet,
+  kDelete,
+  kReadModifyWrite,
+};
+
+struct Op {
+  OpType type;
+  uint64_t key_index;
+};
+
+/// Key-choice distributions.
+enum class KeyDist {
+  kSequential,
+  kUniform,
+  kZipfian,
+  kLatest,
+};
+
+/// The YCSB core workloads used in the paper's Exp#4 plus the db_bench
+/// fill/read patterns used in Exp#1-#3.
+struct WorkloadSpec {
+  /// Fraction of operations that are reads, in [0, 1].
+  double read_fraction = 0.0;
+  /// Fraction of operations that are read-modify-writes.
+  double rmw_fraction = 0.0;
+  /// Non-read, non-rmw operations are writes (inserts or updates).
+  KeyDist dist = KeyDist::kUniform;
+  /// For kZipfian / kLatest.
+  double zipf_theta = 0.99;
+  /// Number of distinct keys in the keyspace.
+  uint64_t key_space = 1'000'000;
+  /// Writes extend the keyspace (YCSB insert) instead of updating.
+  bool inserts_extend_keyspace = false;
+
+  static WorkloadSpec FillSeq(uint64_t n);
+  static WorkloadSpec FillRandom(uint64_t n);
+  static WorkloadSpec ReadSeq(uint64_t n);
+  static WorkloadSpec ReadRandom(uint64_t n);
+  static WorkloadSpec YcsbLoad(uint64_t n);
+  static WorkloadSpec YcsbA(uint64_t n);
+  static WorkloadSpec YcsbB(uint64_t n);
+  static WorkloadSpec YcsbC(uint64_t n);
+  static WorkloadSpec YcsbD(uint64_t n);
+  static WorkloadSpec YcsbF(uint64_t n);
+};
+
+/// Per-thread operation stream for a WorkloadSpec. Each generator is
+/// seeded independently; sequential distributions interleave across
+/// threads (thread t of T gets indices t, t+T, t+2T, ...).
+class OpGenerator {
+ public:
+  OpGenerator(const WorkloadSpec& spec, int thread_id, int num_threads,
+              uint64_t seed);
+
+  /// Returns the next operation in the stream.
+  Op Next();
+
+ private:
+  uint64_t NextKeyIndex();
+
+  WorkloadSpec spec_;
+  int thread_id_;
+  int num_threads_;
+  uint64_t seq_cursor_;
+  uint64_t insert_cursor_;
+  Random rng_;
+  std::unique_ptr<ScrambledZipfianGenerator> zipf_;
+  std::unique_ptr<LatestGenerator> latest_;
+};
+
+}  // namespace bench
+}  // namespace cachekv
+
+#endif  // CACHEKV_BENCH_WORKLOAD_H_

@@ -1,0 +1,91 @@
+// Crash recovery demo (§III-E): write a batch of keys with NO flush
+// instructions anywhere, pull the (simulated) power plug, and recover.
+// Under eADR the sub-MemTables survive inside the CPU caches; the
+// recovery pass rebuilds the DRAM sub-skiplists from them and evacuates
+// their contents to the PMem staging zone.
+//
+//   $ ./build/examples/crash_recovery
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "core/db.h"
+#include "pmem/pmem_env.h"
+
+using namespace cachekv;
+
+int main() {
+  EnvOptions env_opts;
+  env_opts.pmem_capacity = 1ull << 30;
+  env_opts.cat_locked_bytes = 12ull << 20;
+  env_opts.domain = PersistDomain::kEadr;
+  PmemEnv env(env_opts);
+
+  CacheKVOptions options;
+  options.pool_bytes = 12ull << 20;
+
+  constexpr int kKeys = 50000;
+  {
+    std::unique_ptr<DB> db;
+    Status s = DB::Open(&env, options, false, &db);
+    if (!s.ok()) {
+      fprintf(stderr, "open: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    for (int i = 0; i < kKeys; i++) {
+      s = db->Put("account-" + std::to_string(i),
+                  "balance=" + std::to_string(i * 7));
+      if (!s.ok()) {
+        fprintf(stderr, "put: %s\n", s.ToString().c_str());
+        return 1;
+      }
+    }
+    db->Delete("account-13");
+    printf("wrote %d keys (+1 delete); flush instructions issued: %llu\n",
+           kKeys,
+           static_cast<unsigned long long>(
+               env.cache()->stats().clwb_lines.load()));
+    // The DB object goes away WITHOUT WaitIdle: recent writes still live
+    // only in the sub-MemTable pool inside the CPU caches.
+  }
+
+  printf("... simulating power failure ...\n");
+  env.SimulateCrash();
+
+  std::unique_ptr<DB> db;
+  Status s = DB::Open(&env, options, /*recover=*/true, &db);
+  if (!s.ok()) {
+    fprintf(stderr, "recovery failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  printf("recovered store: zone holds %d staged tables, last seq %llu\n",
+         db->zone()->NumTables(),
+         static_cast<unsigned long long>(db->LastSequence()));
+
+  int verified = 0, missing = 0;
+  std::string value;
+  for (int i = 0; i < kKeys; i++) {
+    Status gs = db->Get("account-" + std::to_string(i), &value);
+    if (i == 13) {
+      if (!gs.IsNotFound()) {
+        fprintf(stderr, "deleted key resurrected!\n");
+        return 1;
+      }
+      continue;
+    }
+    if (gs.ok() && value == "balance=" + std::to_string(i * 7)) {
+      verified++;
+    } else {
+      missing++;
+    }
+  }
+  printf("verified %d/%d keys after crash (%d lost)\n", verified,
+         kKeys - 1, missing);
+
+  // The store remains fully usable.
+  db->Put("post-crash", "writes continue");
+  db->Get("post-crash", &value);
+  printf("post-crash write readable: %s\n", value.c_str());
+  return missing == 0 ? 0 : 1;
+}

@@ -1,0 +1,42 @@
+#ifndef CACHEKV_BASELINES_KVSTORE_H_
+#define CACHEKV_BASELINES_KVSTORE_H_
+
+#include <string>
+
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace cachekv {
+
+/// Common interface implemented by every key-value engine in this
+/// repository (CacheKV and the baseline systems), so that the benchmark
+/// harness and the tests can drive them uniformly.
+///
+/// Implementations must support concurrent calls from multiple threads.
+class KVStore {
+ public:
+  virtual ~KVStore() = default;
+
+  /// Inserts or updates the entry for key.
+  virtual Status Put(const Slice& key, const Slice& value) = 0;
+
+  /// Reads the freshest value for key into *value. Returns
+  /// Status::NotFound if the key does not exist or was deleted.
+  virtual Status Get(const Slice& key, std::string* value) = 0;
+
+  /// Removes the entry for key (writes a tombstone). It is not an error
+  /// if the key does not exist.
+  virtual Status Delete(const Slice& key) = 0;
+
+  /// Human-readable engine name used in benchmark output.
+  virtual std::string Name() const = 0;
+
+  /// Blocks until background work that affects durability or visibility
+  /// (index sync, memtable flushes) has quiesced. Benchmarks call this
+  /// before switching phases.
+  virtual Status WaitIdle() { return Status::OK(); }
+};
+
+}  // namespace cachekv
+
+#endif  // CACHEKV_BASELINES_KVSTORE_H_

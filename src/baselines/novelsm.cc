@@ -1,0 +1,249 @@
+#include "baselines/novelsm.h"
+
+#include <cassert>
+
+#include "pmem/meta_layout.h"
+
+namespace cachekv {
+
+std::string VariantSuffix(BaselineVariant variant) {
+  switch (variant) {
+    case BaselineVariant::kRaw:
+      return "";
+    case BaselineVariant::kNoFlush:
+      return "-w/o-flush";
+    case BaselineVariant::kCachePinned:
+      return "-cache";
+  }
+  return "";
+}
+
+namespace {
+
+FlushMode FlushModeFor(BaselineVariant variant) {
+  return variant == BaselineVariant::kRaw ? FlushMode::kFlushEveryWrite
+                                          : FlushMode::kNone;
+}
+
+}  // namespace
+
+NoveLsmStore::NoveLsmStore(PmemEnv* env, const NoveLsmOptions& options)
+    : env_(env),
+      options_(options),
+      engine_(std::make_unique<LsmEngine>(env, options.lsm,
+                                          MetaLayout::ManifestBase(env))) {}
+
+NoveLsmStore::~NoveLsmStore() {
+  {
+    std::unique_lock<std::mutex> lock(flush_mu_);
+    shutting_down_ = true;
+    flush_cv_.notify_all();
+  }
+  if (flush_thread_.joinable()) {
+    flush_thread_.join();
+  }
+}
+
+Status NoveLsmStore::Open(PmemEnv* env, const NoveLsmOptions& options,
+                          std::unique_ptr<NoveLsmStore>* store) {
+  if (options.variant == BaselineVariant::kCachePinned &&
+      env->locked_size() < options.segment_bytes) {
+    return Status::InvalidArgument(
+        "kCachePinned requires a CAT window >= segment_bytes");
+  }
+  std::unique_ptr<NoveLsmStore> s(new NoveLsmStore(env, options));
+  Status st = s->engine_->Open(false);
+  if (!st.ok()) {
+    return st;
+  }
+  for (int i = 0; i < 2; i++) {
+    st = env->allocator()->Allocate(options.pmem_memtable_bytes,
+                                    &s->regions_[i]);
+    if (!st.ok()) {
+      return st;
+    }
+  }
+  if (options.variant == BaselineVariant::kCachePinned) {
+    // Pin the first segment of the active memtable region.
+    env->cache()->SetLockedWindow(s->regions_[0]);
+    s->pinned_segment_ = 0;
+  }
+  s->active_ = std::make_unique<PmemSkipList>(
+      env, s->regions_[0], options.pmem_memtable_bytes,
+      FlushModeFor(options.variant));
+  s->active_->SetProfiler(&s->profiler_);
+  s->flush_thread_ = std::thread(&NoveLsmStore::FlushThread, s.get());
+  *store = std::move(s);
+  return Status::OK();
+}
+
+void NoveLsmStore::MaybeAdvanceSegment() {
+  if (options_.variant != BaselineVariant::kCachePinned) {
+    return;
+  }
+  const uint64_t region = regions_[active_region_];
+  const uint64_t used = active_->BytesUsed();
+  const uint64_t segment = used / options_.segment_bytes;
+  if (segment != pinned_segment_) {
+    // The finished segment leaves the cache with clflush (as in the
+    // paper's NoveLSM-cache description), and the window re-locks onto
+    // the segment now being written.
+    env_->Clflush(region + pinned_segment_ * options_.segment_bytes,
+                  options_.segment_bytes);
+    env_->Sfence();
+    uint64_t new_base = region + segment * options_.segment_bytes;
+    env_->cache()->SetLockedWindow(new_base);
+    pinned_segment_ = segment;
+  }
+}
+
+Status NoveLsmStore::SealActiveLocked(
+    std::unique_lock<std::mutex>* write_lock) {
+  assert(write_lock->owns_lock());
+  (void)write_lock;
+  // Wait for a previous flush to drain.
+  {
+    std::unique_lock<std::mutex> lock(flush_mu_);
+    while (flush_requested_ && !shutting_down_) {
+      flush_done_cv_.wait(lock);
+    }
+    if (!flush_error_.ok()) {
+      return flush_error_;
+    }
+  }
+  {
+    std::unique_lock<std::shared_mutex> swap_lock(swap_mu_);
+    imm_ = std::move(active_);
+    active_region_ = 1 - active_region_;
+    if (options_.variant == BaselineVariant::kCachePinned) {
+      // Flush the tail segment of the sealed memtable and re-lock onto
+      // the new region's first segment.
+      env_->Clflush(regions_[1 - active_region_] +
+                        pinned_segment_ * options_.segment_bytes,
+                    options_.segment_bytes);
+      env_->Sfence();
+      env_->cache()->SetLockedWindow(regions_[active_region_]);
+      pinned_segment_ = 0;
+    }
+    active_ = std::make_unique<PmemSkipList>(
+        env_, regions_[active_region_], options_.pmem_memtable_bytes,
+        FlushModeFor(options_.variant));
+    active_->SetProfiler(&profiler_);
+  }
+  {
+    std::unique_lock<std::mutex> lock(flush_mu_);
+    flush_requested_ = true;
+    flush_cv_.notify_one();
+  }
+  return Status::OK();
+}
+
+void NoveLsmStore::FlushThread() {
+  std::unique_lock<std::mutex> lock(flush_mu_);
+  while (true) {
+    while (!flush_requested_ && !shutting_down_) {
+      flush_cv_.wait(lock);
+    }
+    if (shutting_down_ && !flush_requested_) {
+      return;
+    }
+    lock.unlock();
+    Status s;
+    {
+      // imm_ is stable while flush_requested_ is set.
+      std::unique_ptr<Iterator> iter(imm_->NewIterator());
+      s = engine_->WriteL0Tables(iter.get());
+    }
+    {
+      std::unique_lock<std::shared_mutex> swap_lock(swap_mu_);
+      imm_.reset();
+    }
+    lock.lock();
+    if (!s.ok()) {
+      flush_error_ = s;
+    }
+    flush_requested_ = false;
+    flush_done_cv_.notify_all();
+  }
+}
+
+Status NoveLsmStore::Write(ValueType type, const Slice& key,
+                           const Slice& value) {
+  ScopedNs total_timer(&profiler_.total_ns);
+  profiler_.ops.fetch_add(1, std::memory_order_relaxed);
+
+  std::unique_lock<std::mutex> write_lock(write_mu_, std::defer_lock);
+  {
+    ScopedNs lock_timer(&profiler_.lock_wait_ns);
+    write_lock.lock();
+  }
+
+  const SequenceNumber seq =
+      sequence_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  Status s = active_->Insert(seq, type, key, value);
+  if (s.IsOutOfSpace()) {
+    s = SealActiveLocked(&write_lock);
+    if (s.ok()) {
+      s = active_->Insert(seq, type, key, value);
+    }
+  }
+  if (s.ok()) {
+    MaybeAdvanceSegment();
+  }
+  return s;
+}
+
+Status NoveLsmStore::Put(const Slice& key, const Slice& value) {
+  return Write(kTypeValue, key, value);
+}
+
+Status NoveLsmStore::Delete(const Slice& key) {
+  return Write(kTypeDeletion, key, Slice());
+}
+
+Status NoveLsmStore::Get(const Slice& key, std::string* value) {
+  const SequenceNumber snapshot = kMaxSequenceNumber;
+  {
+    std::shared_lock<std::shared_mutex> swap_lock(swap_mu_);
+    PmemSkipList::GetResult r = active_->Get(key, snapshot, value);
+    if (r == PmemSkipList::GetResult::kFound) {
+      return Status::OK();
+    }
+    if (r == PmemSkipList::GetResult::kDeleted) {
+      return Status::NotFound("deleted");
+    }
+    if (imm_ != nullptr) {
+      r = imm_->Get(key, snapshot, value);
+      if (r == PmemSkipList::GetResult::kFound) {
+        return Status::OK();
+      }
+      if (r == PmemSkipList::GetResult::kDeleted) {
+        return Status::NotFound("deleted");
+      }
+    }
+  }
+  bool deleted = false;
+  return engine_->Get(key, snapshot, value, &deleted);
+}
+
+Status NoveLsmStore::WaitIdle() {
+  {
+    std::unique_lock<std::mutex> write_lock(write_mu_);
+    if (active_->NumEntries() > 0) {
+      Status s = SealActiveLocked(&write_lock);
+      if (!s.ok()) {
+        return s;
+      }
+    }
+    std::unique_lock<std::mutex> lock(flush_mu_);
+    while (flush_requested_ && !shutting_down_) {
+      flush_done_cv_.wait(lock);
+    }
+    if (!flush_error_.ok()) {
+      return flush_error_;
+    }
+  }
+  return engine_->WaitForCompactions();
+}
+
+}  // namespace cachekv

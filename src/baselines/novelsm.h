@@ -1,0 +1,112 @@
+#ifndef CACHEKV_BASELINES_NOVELSM_H_
+#define CACHEKV_BASELINES_NOVELSM_H_
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+
+#include "baselines/kvstore.h"
+#include "baselines/write_profiler.h"
+#include "index/pmem_skiplist.h"
+#include "lsm/lsm_engine.h"
+#include "pmem/pmem_env.h"
+
+namespace cachekv {
+
+/// How a baseline interacts with the persistent CPU caches; these are the
+/// three configurations the paper compares (§II-C and §IV-A).
+enum class BaselineVariant {
+  /// Vanilla: store + clwb + sfence per write (designed for ADR).
+  kRaw,
+  /// "-w/o-flush": flush instructions removed, relying on eADR; dirty
+  /// cachelines leave the cache by LRU eviction (observation Ob1).
+  kNoFlush,
+  /// "-cache": the active memtable segment is pinned in the LLC with
+  /// Intel CAT; a full segment is clflush'ed out and the window moves to
+  /// the next segment (observation Ob2 setup).
+  kCachePinned,
+};
+
+std::string VariantSuffix(BaselineVariant variant);
+
+/// Tuning of the NoveLSM reimplementation.
+struct NoveLsmOptions {
+  BaselineVariant variant = BaselineVariant::kRaw;
+  /// Size of each of the two ping-pong persistent MemTables. The paper
+  /// configures NoveLSM's PMem MemTable at 4 GB; scaled to the simulated
+  /// device size.
+  uint64_t pmem_memtable_bytes = 48ull << 20;
+  /// Segment pinned in the cache in the kCachePinned variant (paper:
+  /// 12 MB). Must be <= the environment's CAT window size.
+  uint64_t segment_bytes = 12ull << 20;
+  LsmOptions lsm;
+};
+
+/// NoveLsmStore reimplements the structure of NoveLSM (Kannan et al.,
+/// ATC'18) on the simulated substrate: a large *mutable persistent
+/// MemTable* (skiplist in PMem, giving in-place durability without a
+/// WAL), a second immutable one being flushed in the background, and a
+/// leveled LSM storage component below. Writes to the shared MemTable are
+/// serialized by a mutex and update the skiplist index synchronously --
+/// the two software bottlenecks the paper measures in Fig. 5.
+class NoveLsmStore : public KVStore {
+ public:
+  static Status Open(PmemEnv* env, const NoveLsmOptions& options,
+                     std::unique_ptr<NoveLsmStore>* store);
+  ~NoveLsmStore() override;
+
+  Status Put(const Slice& key, const Slice& value) override;
+  Status Get(const Slice& key, std::string* value) override;
+  Status Delete(const Slice& key) override;
+  std::string Name() const override {
+    return "NoveLSM" + VariantSuffix(options_.variant);
+  }
+  Status WaitIdle() override;
+
+  WriteProfiler* profiler() { return &profiler_; }
+  LsmEngine* engine() { return engine_.get(); }
+
+ private:
+  NoveLsmStore(PmemEnv* env, const NoveLsmOptions& options);
+
+  Status Write(ValueType type, const Slice& key, const Slice& value);
+  // Seals the active memtable; blocks while the previous immutable one is
+  // still flushing. Caller holds write_mu_.
+  Status SealActiveLocked(std::unique_lock<std::mutex>* write_lock);
+  void FlushThread();
+  void MaybeAdvanceSegment();
+
+  PmemEnv* env_;
+  NoveLsmOptions options_;
+  std::unique_ptr<LsmEngine> engine_;
+  WriteProfiler profiler_;
+
+  // The "memtable lock" of observation Ob2.
+  std::mutex write_mu_;
+  // Protects the active/imm pointers against the swap; readers share it.
+  std::shared_mutex swap_mu_;
+  uint64_t regions_[2] = {0, 0};
+  int active_region_ = 0;
+  std::unique_ptr<PmemSkipList> active_;
+  std::unique_ptr<PmemSkipList> imm_;
+
+  std::atomic<uint64_t> sequence_{0};
+
+  std::mutex flush_mu_;
+  std::condition_variable flush_cv_;
+  std::condition_variable flush_done_cv_;
+  bool flush_requested_ = false;
+  bool shutting_down_ = false;
+  Status flush_error_;
+  std::thread flush_thread_;
+
+  // kCachePinned: index of the segment currently pinned.
+  uint64_t pinned_segment_ = 0;
+};
+
+}  // namespace cachekv
+
+#endif  // CACHEKV_BASELINES_NOVELSM_H_

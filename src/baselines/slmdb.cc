@@ -1,0 +1,472 @@
+#include "baselines/slmdb.h"
+
+#include <cassert>
+
+#include "core/record_format.h"
+
+namespace cachekv {
+
+namespace {
+
+FlushMode FlushModeFor(BaselineVariant variant) {
+  return variant == BaselineVariant::kRaw ? FlushMode::kFlushEveryWrite
+                                          : FlushMode::kNone;
+}
+
+}  // namespace
+
+SlmDbStore::SlmDbStore(PmemEnv* env, const SlmDbOptions& options)
+    : env_(env), options_(options) {}
+
+SlmDbStore::~SlmDbStore() {
+  {
+    std::unique_lock<std::mutex> lock(flush_mu_);
+    shutting_down_ = true;
+    flush_cv_.notify_all();
+  }
+  if (flush_thread_.joinable()) {
+    flush_thread_.join();
+  }
+}
+
+Status SlmDbStore::Open(PmemEnv* env, const SlmDbOptions& options,
+                        std::unique_ptr<SlmDbStore>* store) {
+  if (options.variant == BaselineVariant::kCachePinned &&
+      env->locked_size() < options.segment_bytes) {
+    return Status::InvalidArgument(
+        "kCachePinned requires a CAT window >= segment_bytes");
+  }
+  std::unique_ptr<SlmDbStore> s(new SlmDbStore(env, options));
+  Status st;
+  for (int i = 0; i < 2; i++) {
+    st = env->allocator()->Allocate(options.pmem_memtable_bytes,
+                                    &s->regions_[i]);
+    if (!st.ok()) {
+      return st;
+    }
+  }
+  st = env->allocator()->Allocate(options.bptree_bytes,
+                                  &s->bptree_region_);
+  if (!st.ok()) {
+    return st;
+  }
+  if (options.variant == BaselineVariant::kCachePinned) {
+    env->cache()->SetLockedWindow(s->regions_[0]);
+    s->pinned_segment_ = 0;
+  }
+  s->active_ = std::make_unique<PmemSkipList>(
+      env, s->regions_[0], options.pmem_memtable_bytes,
+      FlushModeFor(options.variant));
+  s->active_->SetProfiler(&s->profiler_);
+  s->index_ = std::make_unique<PmemBPlusTree>(
+      env, s->bptree_region_, options.bptree_bytes,
+      FlushModeFor(options.variant));
+  s->flush_thread_ = std::thread(&SlmDbStore::FlushThread, s.get());
+  *store = std::move(s);
+  return Status::OK();
+}
+
+void SlmDbStore::MaybeAdvanceSegment() {
+  if (options_.variant != BaselineVariant::kCachePinned) {
+    return;
+  }
+  const uint64_t region = regions_[active_region_];
+  const uint64_t segment =
+      active_->BytesUsed() / options_.segment_bytes;
+  if (segment != pinned_segment_) {
+    env_->Clflush(region + pinned_segment_ * options_.segment_bytes,
+                  options_.segment_bytes);
+    env_->Sfence();
+    env_->cache()->SetLockedWindow(region +
+                                   segment * options_.segment_bytes);
+    pinned_segment_ = segment;
+  }
+}
+
+Status SlmDbStore::SealActiveLocked(
+    std::unique_lock<std::mutex>* write_lock) {
+  assert(write_lock->owns_lock());
+  (void)write_lock;
+  {
+    std::unique_lock<std::mutex> lock(flush_mu_);
+    while (flush_requested_ && !shutting_down_) {
+      flush_done_cv_.wait(lock);
+    }
+    if (!flush_error_.ok()) {
+      return flush_error_;
+    }
+  }
+  {
+    std::unique_lock<std::shared_mutex> swap_lock(swap_mu_);
+    imm_ = std::move(active_);
+    active_region_ = 1 - active_region_;
+    if (options_.variant == BaselineVariant::kCachePinned) {
+      env_->Clflush(regions_[1 - active_region_] +
+                        pinned_segment_ * options_.segment_bytes,
+                    options_.segment_bytes);
+      env_->Sfence();
+      env_->cache()->SetLockedWindow(regions_[active_region_]);
+      pinned_segment_ = 0;
+    }
+    active_ = std::make_unique<PmemSkipList>(
+        env_, regions_[active_region_], options_.pmem_memtable_bytes,
+        FlushModeFor(options_.variant));
+    active_->SetProfiler(&profiler_);
+  }
+  {
+    std::unique_lock<std::mutex> lock(flush_mu_);
+    flush_requested_ = true;
+    flush_cv_.notify_one();
+  }
+  return Status::OK();
+}
+
+int SlmDbStore::ChunkIndexOf(uint64_t locator) const {
+  // Caller holds chunks_mu_.
+  for (size_t i = 0; i < chunks_.size(); i++) {
+    if (locator >= chunks_[i].region &&
+        locator < chunks_[i].region + chunks_[i].capacity) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+void SlmDbStore::AccountGarbage(uint64_t locator, uint64_t record_size) {
+  std::lock_guard<std::mutex> lock(chunks_mu_);
+  int idx = ChunkIndexOf(locator);
+  if (idx >= 0) {
+    Chunk& c = chunks_[idx];
+    c.live = (c.live >= record_size) ? c.live - record_size : 0;
+  }
+}
+
+Status SlmDbStore::AppendRecord(SequenceNumber seq, ValueType type,
+                                const Slice& key, const Slice& value,
+                                uint64_t* locator) {
+  std::string buf;
+  const size_t record_size =
+      EncodeRecord(&buf, seq, type, key, value);
+  std::lock_guard<std::mutex> lock(chunks_mu_);
+  if (open_chunk_ < 0 ||
+      chunks_[open_chunk_].used + record_size >
+          chunks_[open_chunk_].capacity) {
+    if (open_chunk_ >= 0) {
+      chunks_[open_chunk_].sealed = true;
+    }
+    Chunk c;
+    c.capacity = options_.chunk_bytes;
+    Status s = env_->allocator()->Allocate(c.capacity, &c.region);
+    if (!s.ok()) {
+      return s;
+    }
+    chunks_.push_back(c);
+    open_chunk_ = static_cast<int>(chunks_.size()) - 1;
+  }
+  Chunk& c = chunks_[open_chunk_];
+  *locator = c.region + c.used;
+  // Single-level data writes stream to PMem with non-temporal stores (as
+  // SSTable writes do), avoiding XPLine write amplification.
+  env_->NtStore(*locator, buf.data(), buf.size());
+  c.used += record_size;
+  c.live += record_size;
+  return Status::OK();
+}
+
+Status SlmDbStore::FlushImm() {
+  std::unique_ptr<Iterator> iter(imm_->NewIterator());
+  std::string last_user_key;
+  bool has_last = false;
+  for (iter->SeekToFirst(); iter->Valid(); iter->Next()) {
+    ParsedInternalKey parsed;
+    if (!ParseInternalKey(iter->key(), &parsed)) {
+      return Status::Corruption("bad key in slm-db memtable");
+    }
+    // Only the freshest version of each user key reaches the single
+    // level (the iterator yields fresher entries first).
+    if (has_last && Slice(last_user_key) == parsed.user_key) {
+      continue;
+    }
+    last_user_key.assign(parsed.user_key.data(), parsed.user_key.size());
+    has_last = true;
+
+    if (parsed.type == kTypeDeletion) {
+      uint64_t old_locator = 0;
+      std::unique_lock<std::shared_mutex> index_lock(index_mu_);
+      Status s = index_->Delete(parsed.user_key, &old_locator);
+      index_lock.unlock();
+      if (s.ok()) {
+        RecordHeader old_header;
+        if (DecodeRecordHeaderAt(env_, old_locator, &old_header)) {
+          AccountGarbage(old_locator, old_header.TotalSize());
+        }
+      } else if (!s.IsNotFound()) {
+        return s;
+      }
+      continue;
+    }
+
+    uint64_t locator = 0;
+    Status s = AppendRecord(parsed.sequence, parsed.type, parsed.user_key,
+                            iter->value(), &locator);
+    if (!s.ok()) {
+      return s;
+    }
+    uint64_t old_locator = 0;
+    bool replaced = false;
+    {
+      std::unique_lock<std::shared_mutex> index_lock(index_mu_);
+      s = index_->Insert(parsed.user_key, locator, &old_locator,
+                         &replaced);
+    }
+    if (!s.ok()) {
+      return s;
+    }
+    if (replaced) {
+      RecordHeader old_header;
+      if (DecodeRecordHeaderAt(env_, old_locator, &old_header)) {
+        AccountGarbage(old_locator, old_header.TotalSize());
+      }
+    }
+  }
+  env_->Sfence();
+  return MaybeGarbageCollect();
+}
+
+Status SlmDbStore::MaybeGarbageCollect() {
+  // Selective compaction: rewrite sealed chunks (lowest live ratio
+  // first) until overall garbage drops below the threshold.
+  for (int pass = 0; pass < 64; pass++) {
+    Status s = CollectOneChunk();
+    if (!s.ok()) {
+      return s.IsNotFound() ? Status::OK() : s;
+    }
+  }
+  return Status::OK();
+}
+
+Status SlmDbStore::CollectOneChunk() {
+  int victim = -1;
+  {
+    std::lock_guard<std::mutex> lock(chunks_mu_);
+    uint64_t used = 0, live = 0;
+    double worst_ratio = 1.0;
+    for (size_t i = 0; i < chunks_.size(); i++) {
+      const Chunk& c = chunks_[i];
+      if (!c.sealed) continue;
+      used += c.used;
+      live += c.live;
+      double ratio = c.used == 0
+                         ? 1.0
+                         : static_cast<double>(c.live) / c.used;
+      if (ratio < worst_ratio) {
+        worst_ratio = ratio;
+        victim = static_cast<int>(i);
+      }
+    }
+    if (used == 0 ||
+        static_cast<double>(used - live) / used <
+            options_.gc_garbage_ratio) {
+      return Status::NotFound("gc not needed");
+    }
+  }
+  if (victim < 0) {
+    return Status::NotFound("no sealed victim");
+  }
+
+  uint64_t region, capacity, used;
+  {
+    std::lock_guard<std::mutex> lock(chunks_mu_);
+    region = chunks_[victim].region;
+    capacity = chunks_[victim].capacity;
+    used = chunks_[victim].used;
+  }
+  // Walk the victim's records; re-append those the index still points
+  // at.
+  uint64_t offset = region;
+  std::string key, value;
+  while (offset < region + used) {
+    RecordHeader header;
+    if (!DecodeRecordHeaderAt(env_, offset, &header)) {
+      break;
+    }
+    LoadRecordKey(env_, offset, header, &key);
+    uint64_t current = 0;
+    bool live_record = false;
+    {
+      std::shared_lock<std::shared_mutex> index_lock(index_mu_);
+      live_record =
+          index_->Get(Slice(key), &current).ok() && current == offset;
+    }
+    if (live_record) {
+      LoadRecordValue(env_, offset, header, &value);
+      uint64_t new_locator = 0;
+      Status s = AppendRecord(header.sequence, header.type, Slice(key),
+                              Slice(value), &new_locator);
+      if (!s.ok()) {
+        return s;
+      }
+      std::unique_lock<std::shared_mutex> index_lock(index_mu_);
+      s = index_->Insert(Slice(key), new_locator);
+      if (!s.ok()) {
+        return s;
+      }
+    }
+    offset += header.TotalSize();
+  }
+  {
+    std::lock_guard<std::mutex> lock(chunks_mu_);
+    chunks_.erase(chunks_.begin() + victim);
+    if (open_chunk_ > victim) {
+      open_chunk_--;
+    } else if (open_chunk_ == victim) {
+      open_chunk_ = -1;
+    }
+  }
+  env_->Sfence();
+  // Exclusive index lock: no reader can be dereferencing a locator into
+  // the victim region while it is returned to the allocator.
+  std::unique_lock<std::shared_mutex> index_lock(index_mu_);
+  return env_->allocator()->Free(region, capacity);
+}
+
+void SlmDbStore::FlushThread() {
+  std::unique_lock<std::mutex> lock(flush_mu_);
+  while (true) {
+    while (!flush_requested_ && !shutting_down_) {
+      flush_cv_.wait(lock);
+    }
+    if (shutting_down_ && !flush_requested_) {
+      return;
+    }
+    lock.unlock();
+    Status s = FlushImm();
+    {
+      std::unique_lock<std::shared_mutex> swap_lock(swap_mu_);
+      imm_.reset();
+    }
+    lock.lock();
+    if (!s.ok()) {
+      flush_error_ = s;
+    }
+    flush_requested_ = false;
+    flush_done_cv_.notify_all();
+  }
+}
+
+Status SlmDbStore::Write(ValueType type, const Slice& key,
+                         const Slice& value) {
+  ScopedNs total_timer(&profiler_.total_ns);
+  profiler_.ops.fetch_add(1, std::memory_order_relaxed);
+
+  std::unique_lock<std::mutex> write_lock(write_mu_, std::defer_lock);
+  {
+    ScopedNs lock_timer(&profiler_.lock_wait_ns);
+    write_lock.lock();
+  }
+  const SequenceNumber seq =
+      sequence_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  Status s = active_->Insert(seq, type, key, value);
+  if (s.IsOutOfSpace()) {
+    s = SealActiveLocked(&write_lock);
+    if (s.ok()) {
+      s = active_->Insert(seq, type, key, value);
+    }
+  }
+  if (s.ok()) {
+    MaybeAdvanceSegment();
+  }
+  return s;
+}
+
+Status SlmDbStore::Put(const Slice& key, const Slice& value) {
+  return Write(kTypeValue, key, value);
+}
+
+Status SlmDbStore::Delete(const Slice& key) {
+  return Write(kTypeDeletion, key, Slice());
+}
+
+Status SlmDbStore::Get(const Slice& key, std::string* value) {
+  const SequenceNumber snapshot = kMaxSequenceNumber;
+  {
+    std::shared_lock<std::shared_mutex> swap_lock(swap_mu_);
+    PmemSkipList::GetResult r = active_->Get(key, snapshot, value);
+    if (r == PmemSkipList::GetResult::kFound) {
+      return Status::OK();
+    }
+    if (r == PmemSkipList::GetResult::kDeleted) {
+      return Status::NotFound("deleted");
+    }
+    if (imm_ != nullptr) {
+      r = imm_->Get(key, snapshot, value);
+      if (r == PmemSkipList::GetResult::kFound) {
+        return Status::OK();
+      }
+      if (r == PmemSkipList::GetResult::kDeleted) {
+        return Status::NotFound("deleted");
+      }
+    }
+  }
+  uint64_t locator = 0;
+  // Hold the index lock (shared) across both the lookup and the record
+  // read so the GC (which frees chunk regions under the exclusive lock)
+  // cannot pull the record out from under us.
+  std::shared_lock<std::shared_mutex> index_lock(index_mu_);
+  Status s = index_->Get(key, &locator);
+  if (!s.ok()) {
+    return s;
+  }
+  // The B+-tree gives the exact record position: one direct PMem read.
+  RecordHeader header;
+  if (!DecodeRecordHeaderAt(env_, locator, &header)) {
+    return Status::Corruption("dangling slm-db locator");
+  }
+  std::string stored_key;
+  LoadRecordKey(env_, locator, header, &stored_key);
+  if (Slice(stored_key) != key) {
+    return Status::Corruption("slm-db locator key mismatch");
+  }
+  LoadRecordValue(env_, locator, header, value);
+  return Status::OK();
+}
+
+Status SlmDbStore::WaitIdle() {
+  std::unique_lock<std::mutex> write_lock(write_mu_);
+  if (active_->NumEntries() > 0) {
+    Status s = SealActiveLocked(&write_lock);
+    if (!s.ok()) {
+      return s;
+    }
+  }
+  std::unique_lock<std::mutex> lock(flush_mu_);
+  while (flush_requested_ && !shutting_down_) {
+    flush_done_cv_.wait(lock);
+  }
+  return flush_error_;
+}
+
+uint64_t SlmDbStore::GarbageBytes() const {
+  std::lock_guard<std::mutex> lock(chunks_mu_);
+  uint64_t garbage = 0;
+  for (const Chunk& c : chunks_) {
+    garbage += c.used - c.live;
+  }
+  return garbage;
+}
+
+uint64_t SlmDbStore::DataBytes() const {
+  std::lock_guard<std::mutex> lock(chunks_mu_);
+  uint64_t used = 0;
+  for (const Chunk& c : chunks_) {
+    used += c.used;
+  }
+  return used;
+}
+
+int SlmDbStore::NumChunks() const {
+  std::lock_guard<std::mutex> lock(chunks_mu_);
+  return static_cast<int>(chunks_.size());
+}
+
+}  // namespace cachekv

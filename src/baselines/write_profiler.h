@@ -1,0 +1,78 @@
+#ifndef CACHEKV_BASELINES_WRITE_PROFILER_H_
+#define CACHEKV_BASELINES_WRITE_PROFILER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace cachekv {
+
+/// Accumulates the write-latency breakdown of Figure 5(b): time spent
+/// waiting on the shared-MemTable lock, updating the index structure,
+/// appending the record, and everything else. Engines add samples on
+/// their write path; the Fig. 5 harness reads the fractions.
+struct WriteProfiler {
+  std::atomic<uint64_t> lock_wait_ns{0};
+  std::atomic<uint64_t> index_update_ns{0};
+  std::atomic<uint64_t> append_ns{0};
+  std::atomic<uint64_t> total_ns{0};
+  std::atomic<uint64_t> ops{0};
+
+  void Reset() {
+    lock_wait_ns.store(0);
+    index_update_ns.store(0);
+    append_ns.store(0);
+    total_ns.store(0);
+    ops.store(0);
+  }
+
+  double LockFraction() const {
+    uint64_t t = total_ns.load();
+    return t == 0 ? 0 : static_cast<double>(lock_wait_ns.load()) / t;
+  }
+  double IndexFraction() const {
+    uint64_t t = total_ns.load();
+    return t == 0 ? 0 : static_cast<double>(index_update_ns.load()) / t;
+  }
+  double AppendFraction() const {
+    uint64_t t = total_ns.load();
+    return t == 0 ? 0 : static_cast<double>(append_ns.load()) / t;
+  }
+  double OtherFraction() const {
+    double f = 1.0 - LockFraction() - IndexFraction() - AppendFraction();
+    return f < 0 ? 0 : f;
+  }
+  double AvgWriteLatencyNs() const {
+    uint64_t n = ops.load();
+    return n == 0 ? 0 : static_cast<double>(total_ns.load()) / n;
+  }
+};
+
+/// Stopwatch helper: accumulates the elapsed nanoseconds into an atomic
+/// on destruction or Stop().
+class ScopedNs {
+ public:
+  explicit ScopedNs(std::atomic<uint64_t>* sink)
+      : sink_(sink), start_(std::chrono::steady_clock::now()) {}
+
+  ~ScopedNs() { Stop(); }
+
+  void Stop() {
+    if (sink_ != nullptr) {
+      auto end = std::chrono::steady_clock::now();
+      sink_->fetch_add(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(end - start_)
+              .count(),
+          std::memory_order_relaxed);
+      sink_ = nullptr;
+    }
+  }
+
+ private:
+  std::atomic<uint64_t>* sink_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace cachekv
+
+#endif  // CACHEKV_BASELINES_WRITE_PROFILER_H_

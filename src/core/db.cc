@@ -1,0 +1,678 @@
+#include "core/db.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "core/record_format.h"
+#include "lsm/merger.h"
+#include "pmem/meta_layout.h"
+
+namespace cachekv {
+
+DB::DB(PmemEnv* env, const CacheKVOptions& options)
+    : env_(env),
+      options_(options),
+      pool_(std::make_unique<SubMemTablePool>(env, options)),
+      zone_(std::make_unique<FlushedZone>(
+          env, MetaLayout::ZoneRegistryBase(env),
+          MetaLayout::kZoneRegistrySlotSize, options.zone_compaction)),
+      engine_(std::make_unique<LsmEngine>(env, options.lsm,
+                                          MetaLayout::ManifestBase(env))) {
+  metadata_.resize(options_.num_cores);
+}
+
+Status DB::Open(PmemEnv* env, const CacheKVOptions& options, bool recover,
+                std::unique_ptr<DB>* db) {
+  if (env->locked_size() != options.pool_bytes) {
+    return Status::InvalidArgument(
+        "env cat_locked_bytes must equal the sub-MemTable pool size");
+  }
+  if (env->options().domain != PersistDomain::kEadr) {
+    return Status::InvalidArgument(
+        "CacheKV requires persistent CPU caches (eADR)");
+  }
+  std::unique_ptr<DB> d(new DB(env, options));
+  Status s = d->engine_->Open(recover);
+  if (!s.ok()) {
+    return s;
+  }
+  if (recover) {
+    // §III-E: recover the staged zone, then evacuate any sub-MemTable
+    // that survived in the persistent caches into the zone, rebuilding
+    // its sub-skiplist from the data first.
+    s = d->zone_->Recover();
+    if (!s.ok()) {
+      return s;
+    }
+    uint64_t max_seq = std::max<uint64_t>(d->engine_->LastSequence(),
+                                          d->zone_->MaxSequence());
+    s = d->pool_->RecoverScan([&](const SubMemTable& table) -> Status {
+      SubMemTable::Header h = table.ReadHeader();
+      auto index =
+          std::make_shared<SubSkiplist>(env, table.data_offset());
+      Status rs = index->SyncTo(h.counter, h.tail);
+      if (!rs.ok()) {
+        return rs;
+      }
+      if (index->max_sequence() > max_seq) {
+        max_seq = index->max_sequence();
+      }
+      // Copy the recovered table into the sub-ImmMemTable area so the
+      // pool slot can be reused.
+      const uint64_t copy_len = SubMemTable::kDataOffset + h.tail;
+      const uint64_t region_size = AlignUp(copy_len, kXPLineSize);
+      uint64_t region = 0;
+      rs = env->allocator()->Allocate(region_size, &region);
+      if (!rs.ok()) {
+        return rs;
+      }
+      char buf[4096];
+      for (uint64_t off = 0; off < copy_len; off += sizeof(buf)) {
+        const size_t chunk = static_cast<size_t>(
+            std::min<uint64_t>(sizeof(buf), copy_len - off));
+        env->Load(table.slot_offset() + off, buf, chunk);
+        env->NtStore(region + off, buf, chunk);
+      }
+      env->Sfence();
+      index->SetDataBase(region + SubMemTable::kDataOffset);
+      FlushedTable ft;
+      ft.region_offset = region;
+      ft.region_size = region_size;
+      ft.data_tail = h.tail;
+      ft.entry_count = h.counter;
+      ft.max_sequence = index->max_sequence();
+      ft.index = std::move(index);
+      return d->zone_->AddTable(std::move(ft));
+    });
+    if (!s.ok()) {
+      return s;
+    }
+    d->zone_->Compact();
+    d->sequence_.store(max_seq, std::memory_order_release);
+    d->flushed_hwm_.store(d->zone_->MaxSequence(),
+                          std::memory_order_release);
+    d->l0_hwm_.store(d->engine_->LastSequence(),
+                     std::memory_order_release);
+  } else {
+    d->pool_->Format();
+  }
+
+  for (int i = 0; i < options.num_flush_threads; i++) {
+    d->flush_threads_.emplace_back(&DB::FlushThread, d.get());
+  }
+  for (int i = 0; i < options.num_index_threads; i++) {
+    d->index_threads_.emplace_back(&DB::IndexThread, d.get());
+  }
+  *db = std::move(d);
+  return Status::OK();
+}
+
+DB::~DB() {
+  shutting_down_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(flush_mu_);
+    flush_cv_.notify_all();
+    flush_done_cv_.notify_all();
+  }
+  {
+    std::lock_guard<std::mutex> lock(index_mu_);
+    index_cv_.notify_all();
+  }
+  for (auto& t : flush_threads_) {
+    if (t.joinable()) t.join();
+  }
+  for (auto& t : index_threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+std::string DB::Name() const {
+  if (!options_.lazy_index_update && !options_.zone_compaction) {
+    return "CacheKV-PCSM";
+  }
+  if (!options_.zone_compaction) {
+    return "CacheKV-PCSM+LIU";
+  }
+  if (!options_.lazy_index_update) {
+    return "CacheKV-PCSM+SC";
+  }
+  return "CacheKV";
+}
+
+int DB::CoreOf() {
+  static std::atomic<int> next_thread_slot{0};
+  thread_local int thread_slot = -1;
+  if (thread_slot < 0) {
+    thread_slot = next_thread_slot.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Map threads onto at most min(num_cores, pool slots) writer slots so
+  // progress is guaranteed even when the pool currently has fewer tables
+  // than cores (the pool capacity is fixed; see §III-A).
+  int slots = std::min(options_.num_cores, pool_->ApproxNumSlots());
+  if (slots < 1) slots = 1;
+  return thread_slot % slots;
+}
+
+Status DB::AcquireFor(int core) {
+  SubMemTable table(env_, 0, SubMemTable::kDataOffset + kCacheLineSize);
+  for (;;) {
+    Status s = pool_->Acquire(&table);
+    if (s.ok()) {
+      break;
+    }
+    if (!s.IsBusy()) {
+      return s;
+    }
+    stats_.acquire_waits.fetch_add(1, std::memory_order_relaxed);
+    // Wait for the copy-based flush to free a table.
+    std::unique_lock<std::mutex> lock(flush_mu_);
+    if (!flush_error_.ok()) {
+      return flush_error_;
+    }
+    if (shutting_down_.load(std::memory_order_acquire)) {
+      return Status::Busy("shutting down");
+    }
+    flush_done_cv_.wait_for(lock, std::chrono::milliseconds(1));
+  }
+  auto active = std::make_shared<ActiveTable>(env_, table);
+  {
+    std::unique_lock<std::shared_mutex> lock(tables_mu_);
+    live_tables_.push_back(active);
+  }
+  metadata_[core] = std::move(active);
+  return Status::OK();
+}
+
+Status DB::SealAndReplace(int core,
+                          std::shared_ptr<ActiveTable> current) {
+  SubMemTable::Header h = current->table.ReadHeader();
+  if (!current->table.Seal()) {
+    return Status::Corruption("seal failed: unexpected table state");
+  }
+  stats_.seals.fetch_add(1, std::memory_order_relaxed);
+  metadata_[core] = nullptr;
+  if (h.counter == 0) {
+    // Nothing to flush: recycle the empty table immediately (it was too
+    // small for the record being appended).
+    {
+      std::unique_lock<std::shared_mutex> lock(tables_mu_);
+      live_tables_.erase(
+          std::remove(live_tables_.begin(), live_tables_.end(), current),
+          live_tables_.end());
+    }
+    pool_->Release(current->table);
+  } else {
+    std::lock_guard<std::mutex> lock(flush_mu_);
+    flush_queue_.push_back(std::move(current));
+    flush_cv_.notify_one();
+  }
+  return AcquireFor(core);
+}
+
+Status DB::WriteToCore(int core, SequenceNumber seq, ValueType type,
+                       const Slice& key, const Slice& value) {
+  // The per-slot mutex stands in for per-core exclusivity: uncontended
+  // when each thread owns a slot, correct when threads share one.
+  for (int attempt = 0; attempt < 16; attempt++) {
+    std::shared_ptr<ActiveTable> t = metadata_[core];
+    if (t == nullptr) {
+      Status s = AcquireFor(core);
+      if (!s.ok()) {
+        return s;
+      }
+      t = metadata_[core];
+    }
+    Status s = t->table.Append(seq, type, key, value);
+    if (s.ok()) {
+      if (!options_.lazy_index_update) {
+        // PCSM mode: diligently update the sub-skiplist on every write.
+        return t->index->SyncWithTable(t->table);
+      }
+      uint64_t pending =
+          t->writes_since_sync.fetch_add(1, std::memory_order_relaxed) +
+          1;
+      if (pending >= options_.sync_write_threshold) {
+        t->writes_since_sync.store(0, std::memory_order_relaxed);
+        ScheduleSync(t);
+      }
+      return s;
+    }
+    if (s.IsOutOfSpace()) {
+      s = SealAndReplace(core, std::move(t));
+      if (!s.ok()) {
+        return s;
+      }
+      continue;  // retry on the fresh table
+    }
+    return s;
+  }
+  return Status::OutOfSpace(
+      "record does not fit any available sub-memtable");
+}
+
+Status DB::Write(ValueType type, const Slice& key, const Slice& value) {
+  if (MaxRecordSize(key.size(), value.size()) >
+      options_.sub_memtable_bytes - SubMemTable::kDataOffset) {
+    return Status::InvalidArgument(
+        "record larger than a full-size sub-memtable");
+  }
+  stats_.puts.fetch_add(1, std::memory_order_relaxed);
+  const int core = CoreOf();
+  const SequenceNumber seq =
+      sequence_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  std::lock_guard<std::mutex> core_lock(core_mu_[core % kMaxCoreLocks]);
+  return WriteToCore(core, seq, type, key, value);
+}
+
+Status DB::Put(const Slice& key, const Slice& value) {
+  return Write(kTypeValue, key, value);
+}
+
+Status DB::MultiPut(const std::vector<BatchOp>& batch) {
+  if (batch.empty()) {
+    return Status::OK();
+  }
+  size_t encoded_bound = 0;
+  for (const BatchOp& op : batch) {
+    encoded_bound += MaxRecordSize(op.key.size(), op.value.size());
+    if (op.key.empty()) {
+      return Status::InvalidArgument("empty key in batch");
+    }
+  }
+  if (encoded_bound >
+      options_.sub_memtable_bytes - SubMemTable::kDataOffset) {
+    return Status::InvalidArgument(
+        "batch larger than a full-size sub-memtable");
+  }
+  stats_.puts.fetch_add(batch.size(), std::memory_order_relaxed);
+  const int core = CoreOf();
+  std::lock_guard<std::mutex> core_lock(core_mu_[core % kMaxCoreLocks]);
+  // Reserve a contiguous sequence block for the transaction.
+  const SequenceNumber first_seq =
+      sequence_.fetch_add(batch.size(), std::memory_order_acq_rel) + 1;
+  std::string records;
+  records.reserve(encoded_bound);
+  SequenceNumber seq = first_seq;
+  for (const BatchOp& op : batch) {
+    EncodeRecord(&records, seq++,
+                 op.is_delete ? kTypeDeletion : kTypeValue,
+                 Slice(op.key), Slice(op.value));
+  }
+
+  for (int attempt = 0; attempt < 16; attempt++) {
+    std::shared_ptr<ActiveTable> t = metadata_[core];
+    if (t == nullptr) {
+      Status s = AcquireFor(core);
+      if (!s.ok()) {
+        return s;
+      }
+      t = metadata_[core];
+    }
+    Status s = t->table.AppendEncoded(
+        Slice(records), static_cast<uint32_t>(batch.size()));
+    if (s.ok()) {
+      if (!options_.lazy_index_update) {
+        return t->index->SyncWithTable(t->table);
+      }
+      uint64_t pending = t->writes_since_sync.fetch_add(
+                             batch.size(), std::memory_order_relaxed) +
+                         batch.size();
+      if (pending >= options_.sync_write_threshold) {
+        t->writes_since_sync.store(0, std::memory_order_relaxed);
+        ScheduleSync(t);
+      }
+      return s;
+    }
+    if (s.IsOutOfSpace()) {
+      s = SealAndReplace(core, std::move(t));
+      if (!s.ok()) {
+        return s;
+      }
+      continue;
+    }
+    return s;
+  }
+  return Status::OutOfSpace(
+      "batch does not fit any available sub-memtable");
+}
+
+Iterator* DB::NewScanIterator() {
+  // The scan pins the memory component for its lifetime: the locks are
+  // owned by the returned iterator.
+  class ScanIterator : public Iterator {
+   public:
+    ScanIterator(DB* db)
+        : tables_lock_(db->tables_mu_), zone_lock_(db->zone_->LockShared()) {
+      std::vector<Iterator*> children;
+      for (const auto& t : db->live_tables_) {
+        // Read trigger: scans need the same strict consistency as Gets.
+        Status s = t->index->SyncWithTable(t->table);
+        if (!s.ok()) {
+          status_ = s;
+        }
+        children.push_back(t->index->NewIterator());
+        pinned_.push_back(t);
+      }
+      zone_tables_ = db->zone_->SnapshotTables();
+      for (const FlushedTable& zt : zone_tables_) {
+        children.push_back(zt.index->NewIterator());
+      }
+      children.push_back(db->engine_->NewIterator());
+      impl_.reset(NewUserKeyIterator(NewDedupingIterator(
+          NewMergingIterator(&db->scan_icmp_, std::move(children)))));
+    }
+
+    bool Valid() const override { return impl_->Valid(); }
+    void SeekToFirst() override { impl_->SeekToFirst(); }
+    void Seek(const Slice& user_key) override { impl_->Seek(user_key); }
+    void Next() override { impl_->Next(); }
+    Slice key() const override { return impl_->key(); }
+    Slice value() const override { return impl_->value(); }
+    Status status() const override {
+      return status_.ok() ? impl_->status() : status_;
+    }
+
+   private:
+    std::shared_lock<std::shared_mutex> tables_lock_;
+    std::shared_lock<std::shared_mutex> zone_lock_;
+    std::vector<std::shared_ptr<ActiveTable>> pinned_;
+    std::vector<FlushedTable> zone_tables_;
+    std::unique_ptr<Iterator> impl_;
+    Status status_;
+  };
+  return new ScanIterator(this);
+}
+
+Status DB::Delete(const Slice& key) {
+  return Write(kTypeDeletion, key, Slice());
+}
+
+Status DB::Get(const Slice& key, std::string* value) {
+  stats_.gets.fetch_add(1, std::memory_order_relaxed);
+
+  bool found = false;
+  SequenceNumber best_seq = 0;
+  ValueType best_type = kTypeValue;
+
+  // 1) Memory component: every live sub-MemTable (read trigger: sync
+  //    the sub-skiplist before searching; §III-B strict consistency).
+  {
+    std::shared_lock<std::shared_mutex> lock(tables_mu_);
+    const SubSkiplist* best_index = nullptr;
+    SubSkiplist::Candidate best_candidate;
+    for (const auto& t : live_tables_) {
+      Status s = t->index->SyncWithTable(t->table);
+      if (!s.ok()) {
+        return s;
+      }
+      stats_.index_syncs.fetch_add(1, std::memory_order_relaxed);
+      SubSkiplist::Candidate c;
+      if (t->index->Get(key, &c) && (!found || c.sequence > best_seq)) {
+        found = true;
+        best_seq = c.sequence;
+        best_type = c.type;
+        best_index = t->index.get();
+        best_candidate = c;
+      }
+    }
+    if (found && best_type == kTypeValue) {
+      Status s = best_index->ReadValue(best_candidate, value);
+      if (!s.ok()) {
+        return s;
+      }
+    }
+  }
+  if (found &&
+      best_seq > flushed_hwm_.load(std::memory_order_acquire)) {
+    // Nothing outside the live tables can be fresher.
+    return best_type == kTypeDeletion ? Status::NotFound("deleted")
+                                      : Status::OK();
+  }
+
+  // 2) Sub-ImmMemTable zone (global skiplist / per-table probes).
+  {
+    auto zone_lock = zone_->LockShared();
+    FlushedZone::LookupResult zr;
+    Status s = zone_->Get(key, &zr);
+    if (!s.ok()) {
+      return s;
+    }
+    if (zr.found && (!found || zr.sequence > best_seq)) {
+      found = true;
+      best_seq = zr.sequence;
+      best_type = zr.type;
+      if (zr.type == kTypeValue) {
+        *value = std::move(zr.value);
+      }
+    }
+  }
+  if (found && best_seq > l0_hwm_.load(std::memory_order_acquire)) {
+    return best_type == kTypeDeletion ? Status::NotFound("deleted")
+                                      : Status::OK();
+  }
+
+  // 3) LSM storage component.
+  std::string lsm_value;
+  bool lsm_deleted = false;
+  SequenceNumber lsm_seq = 0;
+  Status s = engine_->Get(key, kMaxSequenceNumber, &lsm_value,
+                          &lsm_deleted, &lsm_seq);
+  if (s.ok() || (s.IsNotFound() && lsm_deleted)) {
+    if (!found || lsm_seq > best_seq) {
+      found = true;
+      best_seq = lsm_seq;
+      best_type = lsm_deleted ? kTypeDeletion : kTypeValue;
+      if (!lsm_deleted) {
+        *value = std::move(lsm_value);
+      }
+    }
+  } else if (!s.IsNotFound()) {
+    return s;
+  }
+
+  if (!found || best_type == kTypeDeletion) {
+    return Status::NotFound("no visible entry");
+  }
+  return Status::OK();
+}
+
+void DB::ScheduleSync(const std::shared_ptr<ActiveTable>& table) {
+  if (table->sync_scheduled.exchange(true, std::memory_order_acq_rel)) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(index_mu_);
+  sync_queue_.push_back(table);
+  index_cv_.notify_one();
+}
+
+Status DB::CopyFlushOne(std::shared_ptr<ActiveTable> sealed) {
+  // Final synchronization of the sub-skiplist (lazy trigger 3).
+  Status s = sealed->index->SyncWithTable(sealed->table);
+  if (!s.ok()) {
+    return s;
+  }
+  SubMemTable::Header h = sealed->table.ReadHeader();
+  assert(h.state == SubState::kImmutable);
+
+  // Copy-based flush (§III-C): stream the whole sub-ImmMemTable out of
+  // the persistent cache with non-temporal stores ("modified memory
+  // copy"), so the write-back is large, sequential, and immune to the
+  // cacheline eviction policy.
+  const uint64_t copy_len = SubMemTable::kDataOffset + h.tail;
+  const uint64_t region_size = AlignUp(copy_len, kXPLineSize);
+  uint64_t region = 0;
+  s = env_->allocator()->Allocate(region_size, &region);
+  if (!s.ok()) {
+    return s;
+  }
+  char buf[4096];
+  for (uint64_t off = 0; off < copy_len; off += sizeof(buf)) {
+    const size_t chunk = static_cast<size_t>(
+        std::min<uint64_t>(sizeof(buf), copy_len - off));
+    env_->Load(sealed->table.slot_offset() + off, buf, chunk);
+    env_->NtStore(region + off, buf, chunk);
+  }
+  env_->Sfence();
+  stats_.copy_flushes.fetch_add(1, std::memory_order_relaxed);
+
+  // Re-point the index at the copy, publish the table in the zone, then
+  // recycle the pool slot.
+  sealed->index->SetDataBase(region + SubMemTable::kDataOffset);
+  FlushedTable ft;
+  ft.region_offset = region;
+  ft.region_size = region_size;
+  ft.data_tail = h.tail;
+  ft.entry_count = h.counter;
+  ft.max_sequence = sealed->index->max_sequence();
+  ft.index = sealed->index;
+  s = zone_->AddTable(std::move(ft));
+  if (!s.ok()) {
+    return s;
+  }
+  uint64_t seen = flushed_hwm_.load(std::memory_order_relaxed);
+  uint64_t table_max = sealed->index->max_sequence();
+  while (table_max > seen &&
+         !flushed_hwm_.compare_exchange_weak(seen, table_max)) {
+  }
+  {
+    std::unique_lock<std::shared_mutex> lock(tables_mu_);
+    live_tables_.erase(
+        std::remove(live_tables_.begin(), live_tables_.end(), sealed),
+        live_tables_.end());
+  }
+  pool_->Release(sealed->table);
+
+  // Ask the index thread to fold the new table into the global skiplist
+  // and to check the zone-to-L0 threshold.
+  {
+    std::lock_guard<std::mutex> lock(index_mu_);
+    compaction_requested_ = true;
+    index_cv_.notify_one();
+  }
+  return Status::OK();
+}
+
+void DB::FlushThread() {
+  std::unique_lock<std::mutex> lock(flush_mu_);
+  while (true) {
+    while (flush_queue_.empty() &&
+           !shutting_down_.load(std::memory_order_acquire)) {
+      flush_cv_.wait(lock);
+    }
+    if (flush_queue_.empty() &&
+        shutting_down_.load(std::memory_order_acquire)) {
+      return;
+    }
+    auto sealed = std::move(flush_queue_.front());
+    flush_queue_.pop_front();
+    flushes_in_flight_++;
+    lock.unlock();
+    Status s = CopyFlushOne(std::move(sealed));
+    lock.lock();
+    flushes_in_flight_--;
+    if (!s.ok() && flush_error_.ok()) {
+      flush_error_ = s;
+    }
+    flush_done_cv_.notify_all();
+  }
+}
+
+Status DB::FlushZoneToL0() {
+  std::vector<FlushedTable> snapshot = zone_->SnapshotTables();
+  if (snapshot.empty()) {
+    return Status::OK();
+  }
+  uint64_t snapshot_max_seq = 0;
+  for (const FlushedTable& t : snapshot) {
+    snapshot_max_seq = std::max(snapshot_max_seq, t.max_sequence);
+  }
+  std::unique_ptr<Iterator> stream(zone_->NewL0Stream(snapshot));
+  // Publish the high-water mark before the data becomes invisible in the
+  // zone, so readers never skip the LSM for entries that moved there.
+  uint64_t seen = l0_hwm_.load(std::memory_order_relaxed);
+  while (snapshot_max_seq > seen &&
+         !l0_hwm_.compare_exchange_weak(seen, snapshot_max_seq)) {
+  }
+  Status s = engine_->WriteL0Tables(stream.get());
+  if (!s.ok()) {
+    return s;
+  }
+  stream.reset();
+  stats_.zone_flushes.fetch_add(1, std::memory_order_relaxed);
+  return zone_->DropTables(snapshot);
+}
+
+void DB::IndexThread() {
+  std::unique_lock<std::mutex> lock(index_mu_);
+  while (true) {
+    while (sync_queue_.empty() && !compaction_requested_ &&
+           !shutting_down_.load(std::memory_order_acquire)) {
+      index_cv_.wait(lock);
+    }
+    if (sync_queue_.empty() && !compaction_requested_ &&
+        shutting_down_.load(std::memory_order_acquire)) {
+      return;
+    }
+    if (!sync_queue_.empty()) {
+      auto table = std::move(sync_queue_.front());
+      sync_queue_.pop_front();
+      index_work_in_flight_++;
+      lock.unlock();
+      table->sync_scheduled.store(false, std::memory_order_release);
+      // Lazy index update (trigger 2), §III-B: batch-replay the appended
+      // records into the sub-skiplist without blocking writers.
+      Status s = table->index->SyncWithTable(table->table);
+      stats_.index_syncs.fetch_add(1, std::memory_order_relaxed);
+      lock.lock();
+      index_work_in_flight_--;
+      if (!s.ok() && index_error_.ok()) {
+        index_error_ = s;
+      }
+      index_done_cv_.notify_all();
+      continue;
+    }
+    // Zone work: compaction of the sub-skiplists (§III-D) and the flush
+    // to L0 once the staged bytes cross the threshold.
+    compaction_requested_ = false;
+    index_work_in_flight_++;
+    lock.unlock();
+    zone_->Compact();
+    Status s = Status::OK();
+    if (zone_->TotalBytes() >= options_.imm_zone_flush_threshold) {
+      s = FlushZoneToL0();
+    }
+    lock.lock();
+    index_work_in_flight_--;
+    if (!s.ok() && index_error_.ok()) {
+      index_error_ = s;
+    }
+    index_done_cv_.notify_all();
+  }
+}
+
+Status DB::WaitIdle() {
+  {
+    std::unique_lock<std::mutex> lock(flush_mu_);
+    while ((!flush_queue_.empty() || flushes_in_flight_ > 0) &&
+           flush_error_.ok()) {
+      flush_done_cv_.wait(lock);
+    }
+    if (!flush_error_.ok()) {
+      return flush_error_;
+    }
+  }
+  {
+    std::unique_lock<std::mutex> lock(index_mu_);
+    while ((!sync_queue_.empty() || compaction_requested_ ||
+            index_work_in_flight_ > 0) &&
+           index_error_.ok()) {
+      index_done_cv_.wait_for(lock, std::chrono::milliseconds(1));
+    }
+    if (!index_error_.ok()) {
+      return index_error_;
+    }
+  }
+  return engine_->WaitForCompactions();
+}
+
+}  // namespace cachekv

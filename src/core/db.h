@@ -1,0 +1,182 @@
+#ifndef CACHEKV_CORE_DB_H_
+#define CACHEKV_CORE_DB_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "baselines/kvstore.h"
+#include "core/flushed_zone.h"
+#include "core/options.h"
+#include "core/sub_memtable.h"
+#include "core/sub_memtable_pool.h"
+#include "core/sub_skiplist.h"
+#include "lsm/lsm_engine.h"
+#include "pmem/pmem_env.h"
+
+namespace cachekv {
+
+/// Runtime counters exposed for benchmarks and tests.
+struct CacheKVStats {
+  std::atomic<uint64_t> puts{0};
+  std::atomic<uint64_t> gets{0};
+  std::atomic<uint64_t> seals{0};
+  std::atomic<uint64_t> copy_flushes{0};
+  std::atomic<uint64_t> zone_flushes{0};
+  std::atomic<uint64_t> index_syncs{0};
+  std::atomic<uint64_t> acquire_waits{0};
+};
+
+/// DB is the CacheKV store (§III): per-core sub-MemTables pinned in the
+/// persistent CPU caches, lazily synchronized DRAM sub-skiplists,
+/// copy-based flush of sealed sub-ImmMemTables into a PMem staging zone,
+/// periodic sub-skiplist compaction into a global skiplist, and an
+/// LSM-tree storage component underneath.
+///
+/// Requirements on the environment: env->locked_size() must equal
+/// options.pool_bytes (the pool is the CAT pseudo-locked range), and the
+/// platform must be eADR (the design relies on persistent caches for the
+/// crash-consistency of unflushed sub-MemTables).
+class DB : public KVStore {
+ public:
+  /// Opens a fresh store, or recovers a crashed one when `recover` is
+  /// set (§III-E: rebuild sub-skiplists from the persistent
+  /// sub-MemTables, re-adopt the staged zone, recover the LSM manifest).
+  static Status Open(PmemEnv* env, const CacheKVOptions& options,
+                     bool recover, std::unique_ptr<DB>* db);
+
+  ~DB() override;
+
+  Status Put(const Slice& key, const Slice& value) override;
+  Status Get(const Slice& key, std::string* value) override;
+  Status Delete(const Slice& key) override;
+  std::string Name() const override;
+  Status WaitIdle() override;
+
+  /// One operation of a multi-key transaction.
+  struct BatchOp {
+    bool is_delete = false;
+    std::string key;
+    std::string value;
+  };
+
+  /// Multi-key transaction (§III-A discussion): all operations are
+  /// appended contiguously to the calling core's sub-MemTable and
+  /// published by a single 64-bit header CAS, so a crash either persists
+  /// the whole batch or none of it. All records carry one sequence
+  /// number block assigned atomically. Fails with InvalidArgument when
+  /// the batch cannot fit one sub-MemTable.
+  Status MultiPut(const std::vector<BatchOp>& batch);
+
+  /// Forward iterator over the live user keys (freshest versions,
+  /// tombstones elided), merging the sub-MemTables, the staged zone, and
+  /// the LSM tree. The iterator pins the memory component: background
+  /// copy-flushes and zone-to-L0 flushes stall until it is destroyed, so
+  /// keep scans short-lived.
+  Iterator* NewScanIterator();
+
+  const CacheKVStats& stats() const { return stats_; }
+  SubMemTablePool* pool() { return pool_.get(); }
+  FlushedZone* zone() { return zone_.get(); }
+  LsmEngine* engine() { return engine_.get(); }
+  SequenceNumber LastSequence() const {
+    return sequence_.load(std::memory_order_acquire);
+  }
+
+ private:
+  /// An acquired sub-MemTable with its DRAM-side attachments.
+  struct ActiveTable {
+    SubMemTable table;
+    std::shared_ptr<SubSkiplist> index;
+    /// Serializes appends when more threads than writer slots exist;
+    /// uncontended in the per-core regime.
+    std::mutex append_mu;
+    std::atomic<uint64_t> writes_since_sync{0};
+    std::atomic<bool> sync_scheduled{false};
+
+    ActiveTable(PmemEnv* env, const SubMemTable& t)
+        : table(t),
+          index(std::make_shared<SubSkiplist>(env, t.data_offset())) {}
+  };
+
+  DB(PmemEnv* env, const CacheKVOptions& options);
+
+  Status Write(ValueType type, const Slice& key, const Slice& value);
+  Status WriteToCore(int core, SequenceNumber seq, ValueType type,
+                     const Slice& key, const Slice& value);
+  // Seals `current`, hands it to the flushers, and acquires a
+  // replacement for `core` (waiting on the flushers when the pool is
+  // exhausted). Returns the new table via metadata_[core].
+  Status SealAndReplace(int core, std::shared_ptr<ActiveTable> current);
+  Status AcquireFor(int core);
+  int CoreOf();
+
+  // Background machinery.
+  void FlushThread();
+  void IndexThread();
+  Status CopyFlushOne(std::shared_ptr<ActiveTable> sealed);
+  Status FlushZoneToL0();
+  void ScheduleSync(const std::shared_ptr<ActiveTable>& table);
+
+  PmemEnv* env_;
+  CacheKVOptions options_;
+  InternalKeyComparator scan_icmp_;
+  std::unique_ptr<SubMemTablePool> pool_;
+  std::unique_ptr<FlushedZone> zone_;
+  std::unique_ptr<LsmEngine> engine_;
+  CacheKVStats stats_;
+
+  std::atomic<uint64_t> sequence_{0};
+
+  // Per-core assignments (the global metadata structure of Figure 7;
+  // kept in DRAM to avoid PMem write amplification). Each slot is
+  // guarded by its core mutex, which stands in for per-core exclusivity
+  // when more threads than writer slots exist.
+  static constexpr int kMaxCoreLocks = 64;
+  std::mutex core_mu_[kMaxCoreLocks];
+  std::vector<std::shared_ptr<ActiveTable>> metadata_;
+  // All tables currently serving reads from the pool (active + sealed
+  // but not yet copy-flushed). Guarded by tables_mu_; readers hold it
+  // shared across the whole memory-component search so the flusher
+  // cannot recycle a slot under them.
+  mutable std::shared_mutex tables_mu_;
+  std::vector<std::shared_ptr<ActiveTable>> live_tables_;
+
+  // Sequence high-water marks for read pruning: any memory-component
+  // answer fresher than flushed_hwm_ is authoritative without consulting
+  // the zone; anything fresher than l0_hwm_ skips the LSM.
+  std::atomic<uint64_t> flushed_hwm_{0};
+  std::atomic<uint64_t> l0_hwm_{0};
+
+  // Flush queue (sealed tables awaiting the copy-based flush).
+  std::mutex flush_mu_;
+  std::condition_variable flush_cv_;
+  std::condition_variable flush_done_cv_;
+  std::deque<std::shared_ptr<ActiveTable>> flush_queue_;
+  int flushes_in_flight_ = 0;
+  Status flush_error_;
+  std::vector<std::thread> flush_threads_;
+
+  // Index/compaction work queue (lazy index trigger 2 + zone work).
+  std::mutex index_mu_;
+  std::condition_variable index_cv_;
+  std::condition_variable index_done_cv_;
+  std::deque<std::shared_ptr<ActiveTable>> sync_queue_;
+  bool compaction_requested_ = false;
+  int index_work_in_flight_ = 0;
+  Status index_error_;
+  std::vector<std::thread> index_threads_;
+
+  std::atomic<bool> shutting_down_{false};
+};
+
+}  // namespace cachekv
+
+#endif  // CACHEKV_CORE_DB_H_

@@ -1,0 +1,61 @@
+#ifndef CACHEKV_CORE_OPTIONS_H_
+#define CACHEKV_CORE_OPTIONS_H_
+
+#include <cstdint>
+
+#include "lsm/lsm_engine.h"
+
+namespace cachekv {
+
+/// Configuration of a CacheKV store (§III). The defaults follow the
+/// paper's evaluation setup (§IV-A): a 12 MB sub-MemTable pool inside the
+/// LLC, 2 MB sub-MemTables, one background flush thread and one
+/// background index/compaction thread.
+struct CacheKVOptions {
+  /// Capacity of the CAT pseudo-locked sub-MemTable pool. Must match the
+  /// environment's cat_locked_bytes.
+  uint64_t pool_bytes = 12ull << 20;
+
+  /// Initial (maximum) sub-MemTable size class. Elasticity may halve free
+  /// tables down to min_sub_memtable_bytes under write bursts (§III-A).
+  uint64_t sub_memtable_bytes = 2ull << 20;
+  uint64_t min_sub_memtable_bytes = 256ull << 10;
+
+  /// Number of per-core writer slots in the global metadata structure
+  /// (the paper's testbed has 24 physical cores per socket).
+  int num_cores = 24;
+
+  /// Background copy-based-flush threads (§III-C; Exp#5 sweeps this).
+  int num_flush_threads = 1;
+
+  /// Background threads for the lazy index update and the sub-skiplist
+  /// compaction (§III-B, §III-D; the paper uses one).
+  int num_index_threads = 1;
+
+  /// Lazy-index trigger 2: schedule a background sync for a sub-skiplist
+  /// once this many writes accumulated since its last synchronization.
+  uint32_t sync_write_threshold = 256;
+
+  /// Flush the compacted sub-ImmMemTable zone into the LSM-tree's L0
+  /// once its total size reaches this threshold (§III-D).
+  uint64_t imm_zone_flush_threshold = 24ull << 20;
+
+  /// Elasticity: consecutive failed sub-MemTable acquisitions (the
+  /// paper's miss counter) that trigger halving of free tables.
+  uint32_t elasticity_miss_threshold = 8;
+
+  /// Ablation switches for the paper's breakdown (Exp#1/Exp#2):
+  /// lazy_index_update=false gives the PCSM configuration (sub-skiplists
+  /// updated synchronously on every write); zone_compaction=false
+  /// disables SC (reads search every flushed sub-skiplist instead of a
+  /// compacted global skiplist). Both true = full CacheKV.
+  bool lazy_index_update = true;
+  bool zone_compaction = true;
+
+  /// The LSM storage component underneath.
+  LsmOptions lsm;
+};
+
+}  // namespace cachekv
+
+#endif  // CACHEKV_CORE_OPTIONS_H_

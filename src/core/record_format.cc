@@ -1,0 +1,66 @@
+#include "core/record_format.h"
+
+#include "util/coding.h"
+
+namespace cachekv {
+
+size_t EncodeRecord(std::string* buf, SequenceNumber seq, ValueType type,
+                    const Slice& key, const Slice& value) {
+  const size_t start = buf->size();
+  PutVarint32(buf, static_cast<uint32_t>(key.size()));
+  PutVarint32(buf, static_cast<uint32_t>(value.size()));
+  PutFixed64(buf, PackSequenceAndType(seq, type));
+  buf->append(key.data(), key.size());
+  buf->append(value.data(), value.size());
+  return buf->size() - start;
+}
+
+bool DecodeRecordHeaderAt(PmemEnv* env, uint64_t offset,
+                          RecordHeader* header) {
+  // Two varint32 (<= 5 bytes each) + fixed64 tag.
+  char buf[18];
+  const uint64_t avail = env->device()->capacity() - offset;
+  const size_t to_read =
+      static_cast<size_t>(avail < sizeof(buf) ? avail : sizeof(buf));
+  if (to_read < 10) {  // minimum: 1 + 1 + 8
+    return false;
+  }
+  env->Load(offset, buf, to_read);
+  const char* p = buf;
+  const char* limit = buf + to_read;
+  uint32_t key_len, value_len;
+  p = GetVarint32Ptr(p, limit, &key_len);
+  if (p == nullptr) return false;
+  p = GetVarint32Ptr(p, limit, &value_len);
+  if (p == nullptr || static_cast<size_t>(limit - p) < 8) return false;
+  if (key_len == 0 || key_len > (1u << 20) || value_len > (1u << 28)) {
+    return false;  // implausible: zeroed or corrupt region
+  }
+  uint64_t packed = DecodeFixed64(p);
+  p += 8;
+  uint8_t type_byte = packed & 0xff;
+  if (type_byte > kTypeValue) {
+    return false;
+  }
+  header->key_len = key_len;
+  header->value_len = value_len;
+  header->sequence = packed >> 8;
+  header->type = static_cast<ValueType>(type_byte);
+  header->header_size = static_cast<uint32_t>(p - buf);
+  return true;
+}
+
+void LoadRecordKey(PmemEnv* env, uint64_t offset,
+                   const RecordHeader& header, std::string* key) {
+  key->resize(header.key_len);
+  env->Load(offset + header.header_size, key->data(), header.key_len);
+}
+
+void LoadRecordValue(PmemEnv* env, uint64_t offset,
+                     const RecordHeader& header, std::string* value) {
+  value->resize(header.value_len);
+  env->Load(offset + header.header_size + header.key_len, value->data(),
+            header.value_len);
+}
+
+}  // namespace cachekv

@@ -1,0 +1,61 @@
+#ifndef CACHEKV_CORE_RECORD_FORMAT_H_
+#define CACHEKV_CORE_RECORD_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "lsm/dbformat.h"
+#include "pmem/pmem_env.h"
+#include "util/slice.h"
+
+namespace cachekv {
+
+/// Log-structured KV record format shared by CacheKV's sub-MemTables and
+/// the SLM-DB baseline's data chunks:
+///
+///   varint32 key_len
+///   varint32 value_len
+///   fixed64  packed (sequence << 8 | type)
+///   key bytes
+///   value bytes
+///
+/// Records are appended back to back; a record never begins with a zero
+/// key_len (keys are non-empty), so a zeroed region terminates a scan.
+struct RecordHeader {
+  uint32_t key_len = 0;
+  uint32_t value_len = 0;
+  SequenceNumber sequence = 0;
+  ValueType type = kTypeValue;
+  /// Bytes of the encoded header (varints + tag).
+  uint32_t header_size = 0;
+
+  uint64_t TotalSize() const {
+    return static_cast<uint64_t>(header_size) + key_len + value_len;
+  }
+};
+
+/// Appends an encoded record to *buf; returns its encoded length.
+size_t EncodeRecord(std::string* buf, SequenceNumber seq, ValueType type,
+                    const Slice& key, const Slice& value);
+
+/// Upper bound of EncodeRecord's output for the given key/value sizes.
+inline size_t MaxRecordSize(size_t key_len, size_t value_len) {
+  return 5 + 5 + 8 + key_len + value_len;
+}
+
+/// Parses the record header at `offset` (simulated-PMem address).
+/// Returns false if the bytes are not a plausible record header.
+bool DecodeRecordHeaderAt(PmemEnv* env, uint64_t offset,
+                          RecordHeader* header);
+
+/// Loads the key of the record at `offset` whose header is `header`.
+void LoadRecordKey(PmemEnv* env, uint64_t offset,
+                   const RecordHeader& header, std::string* key);
+
+/// Loads the value of the record at `offset` whose header is `header`.
+void LoadRecordValue(PmemEnv* env, uint64_t offset,
+                     const RecordHeader& header, std::string* value);
+
+}  // namespace cachekv
+
+#endif  // CACHEKV_CORE_RECORD_FORMAT_H_

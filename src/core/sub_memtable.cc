@@ -1,0 +1,129 @@
+#include "core/sub_memtable.h"
+
+#include <cassert>
+
+#include "util/coding.h"
+
+namespace cachekv {
+
+uint64_t SubMemTable::Pack(const Header& h) {
+  assert(h.counter < (1ull << kCounterBits));
+  assert(h.tail < (1u << kTailBits));
+  return (h.counter << (kStateBits + kTailBits)) |
+         (static_cast<uint64_t>(h.state) << kTailBits) |
+         static_cast<uint64_t>(h.tail);
+}
+
+SubMemTable::Header SubMemTable::Unpack(uint64_t packed) {
+  Header h;
+  h.tail = static_cast<uint32_t>(packed & ((1ull << kTailBits) - 1));
+  h.state = static_cast<SubState>((packed >> kTailBits) &
+                                  ((1ull << kStateBits) - 1));
+  h.counter = packed >> (kStateBits + kTailBits);
+  return h;
+}
+
+SubMemTable::SubMemTable(PmemEnv* env, uint64_t slot_offset,
+                         uint64_t slot_size)
+    : env_(env), slot_offset_(slot_offset), slot_size_(slot_size) {
+  assert(IsAligned(slot_offset, kCacheLineSize));
+  assert(slot_size > kDataOffset);
+}
+
+void SubMemTable::Format() {
+  Header h;  // zero counter, kFree, zero tail
+  env_->Store64(HeaderAddr(), Pack(h));
+  env_->Store64(HeaderAddr() + 8, data_capacity());
+  env_->Store64(HeaderAddr() + 16, slot_size_);
+}
+
+SubMemTable::Header SubMemTable::ReadHeader() const {
+  return Unpack(env_->Load64(HeaderAddr()));
+}
+
+bool SubMemTable::CasHeader(Header* expected, const Header& desired) {
+  uint64_t expected_packed = Pack(*expected);
+  bool ok = env_->CompareExchange64(HeaderAddr(), &expected_packed,
+                                    Pack(desired));
+  if (!ok) {
+    *expected = Unpack(expected_packed);
+  }
+  return ok;
+}
+
+uint64_t SubMemTable::ReadRemainingSpace() const {
+  return env_->Load64(HeaderAddr() + 8);
+}
+
+uint64_t SubMemTable::ReadSlotSize(PmemEnv* env, uint64_t slot_offset) {
+  return env->Load64(slot_offset + 16);
+}
+
+Status SubMemTable::Append(SequenceNumber seq, ValueType type,
+                           const Slice& key, const Slice& value) {
+  std::string record;
+  EncodeRecord(&record, seq, type, key, value);
+  return AppendEncoded(Slice(record), 1);
+}
+
+Status SubMemTable::AppendEncoded(const Slice& records,
+                                  uint32_t record_count) {
+  Header h = ReadHeader();
+  if (h.state != SubState::kAllocated) {
+    return Status::Busy("sub-memtable not allocated to a core");
+  }
+  if (h.tail + records.size() > data_capacity()) {
+    return Status::OutOfSpace("sub-memtable full");
+  }
+  // Write the record bytes first (they land in the pseudo-locked,
+  // persistent cache region), then publish with one atomic header CAS:
+  // crash-consistent without any flush instruction (§III-A). For a
+  // multi-record batch the single CAS makes the whole batch atomic.
+  env_->Store(data_offset() + h.tail, records.data(), records.size());
+  Header next = h;
+  next.counter = h.counter + record_count;
+  next.tail = h.tail + static_cast<uint32_t>(records.size());
+  if (!CasHeader(&h, next)) {
+    // The only legal concurrent header change is a state transition by
+    // the owner itself; appenders are per-core so this indicates misuse.
+    return Status::Busy("concurrent header update");
+  }
+  env_->Store64(HeaderAddr() + 8, data_capacity() - next.tail);
+  return Status::OK();
+}
+
+bool SubMemTable::TryAcquire() {
+  Header h = ReadHeader();
+  for (;;) {
+    if (h.state != SubState::kFree) {
+      return false;
+    }
+    Header next = h;
+    next.state = SubState::kAllocated;
+    if (CasHeader(&h, next)) {
+      return true;
+    }
+  }
+}
+
+bool SubMemTable::Seal() {
+  Header h = ReadHeader();
+  for (;;) {
+    if (h.state != SubState::kAllocated) {
+      return false;
+    }
+    Header next = h;
+    next.state = SubState::kImmutable;
+    if (CasHeader(&h, next)) {
+      return true;
+    }
+  }
+}
+
+void SubMemTable::Release() {
+  Header h;  // zero counter, kFree, zero tail
+  env_->Store64(HeaderAddr(), Pack(h));
+  env_->Store64(HeaderAddr() + 8, data_capacity());
+}
+
+}  // namespace cachekv

@@ -1,0 +1,116 @@
+#ifndef CACHEKV_CORE_SUB_MEMTABLE_H_
+#define CACHEKV_CORE_SUB_MEMTABLE_H_
+
+#include <cstdint>
+
+#include "core/record_format.h"
+#include "lsm/dbformat.h"
+#include "pmem/pmem_env.h"
+#include "util/port.h"
+#include "util/status.h"
+
+namespace cachekv {
+
+/// Lifecycle states of a sub-MemTable (§III-A).
+enum class SubState : uint8_t {
+  kFree = 0,       // unassigned, ready for a core
+  kAllocated = 1,  // owned by a core, absorbing writes
+  kImmutable = 2,  // sealed, awaiting the copy-based flush
+};
+
+/// SubMemTable is a fixed region inside the CAT pseudo-locked pool whose
+/// persistent layout is (§III-A, Figure 7):
+///
+///   offset 0:  fixed64 packed header
+///                { table_counter:38 | state:2 | tail_pointer:24 }
+///   offset 8:  fixed64 remaining_space
+///   offset 16: fixed64 slot_size (bytes, including this header; lets
+///              crash recovery walk the variable-size pool)
+///   offset 24..63: reserved
+///   offset 64: data region (appended records, record_format.h layout)
+///
+/// The counter/state/tail triple is updated by one 64-bit CAS so a crash
+/// can never observe a record as committed unless all its bytes precede
+/// the header update in the (persistent) cache.
+///
+/// SubMemTable is a stateless handle: all state lives in the simulated
+/// PMem, so any thread (or a recovery pass) can construct a handle over a
+/// slot offset.
+class SubMemTable {
+ public:
+  static constexpr uint64_t kDataOffset = 64;
+  static constexpr uint64_t kCounterBits = 38;
+  static constexpr uint64_t kStateBits = 2;
+  static constexpr uint64_t kTailBits = 24;
+
+  /// Parsed form of the packed header.
+  struct Header {
+    uint64_t counter = 0;
+    SubState state = SubState::kFree;
+    uint32_t tail = 0;  // next append offset, relative to the data region
+  };
+
+  static uint64_t Pack(const Header& h);
+  static Header Unpack(uint64_t packed);
+
+  /// Wraps the slot at [slot_offset, slot_offset + slot_size).
+  SubMemTable(PmemEnv* env, uint64_t slot_offset, uint64_t slot_size);
+
+  // Copyable handle.
+  SubMemTable(const SubMemTable&) = default;
+  SubMemTable& operator=(const SubMemTable&) = default;
+
+  /// Formats the slot: Free state, zero counter/tail, persistent
+  /// slot_size field.
+  void Format();
+
+  /// Reads the current packed header.
+  Header ReadHeader() const;
+
+  /// CAS from `expected` (repacked) to `desired`; on failure *expected
+  /// receives the observed header.
+  bool CasHeader(Header* expected, const Header& desired);
+
+  /// Appends one record; updates the header with a single CAS. Returns
+  /// OutOfSpace when the record does not fit (the owner then seals the
+  /// table), Busy when the table is not in the kAllocated state.
+  Status Append(SequenceNumber seq, ValueType type, const Slice& key,
+                const Slice& value);
+
+  /// Appends `record_count` pre-encoded records (record_format.h layout,
+  /// back to back) and publishes them with ONE header CAS — the atomic
+  /// commit point of a multi-key transaction (§III-A discussion). Same
+  /// failure modes as Append.
+  Status AppendEncoded(const Slice& records, uint32_t record_count);
+
+  /// Transitions kFree -> kAllocated. False if the table was not free.
+  bool TryAcquire();
+
+  /// Transitions kAllocated -> kImmutable. False on state mismatch.
+  bool Seal();
+
+  /// Resets to an empty kFree table (after its contents were flushed).
+  void Release();
+
+  uint64_t slot_offset() const { return slot_offset_; }
+  uint64_t slot_size() const { return slot_size_; }
+  uint64_t data_offset() const { return slot_offset_ + kDataOffset; }
+  uint64_t data_capacity() const { return slot_size_ - kDataOffset; }
+
+  /// Reads the persistent remaining_space field.
+  uint64_t ReadRemainingSpace() const;
+
+  /// Reads the persisted slot size (recovery: walking the pool).
+  static uint64_t ReadSlotSize(PmemEnv* env, uint64_t slot_offset);
+
+ private:
+  uint64_t HeaderAddr() const { return slot_offset_; }
+
+  PmemEnv* env_;
+  uint64_t slot_offset_;
+  uint64_t slot_size_;
+};
+
+}  // namespace cachekv
+
+#endif  // CACHEKV_CORE_SUB_MEMTABLE_H_

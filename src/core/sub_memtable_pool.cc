@@ -1,0 +1,236 @@
+#include "core/sub_memtable_pool.h"
+
+#include <cassert>
+
+namespace cachekv {
+
+SubMemTablePool::SubMemTablePool(PmemEnv* env,
+                                 const CacheKVOptions& options)
+    : env_(env),
+      options_(options),
+      target_slot_bytes_(options.sub_memtable_bytes) {
+  assert(options_.pool_bytes % options_.sub_memtable_bytes == 0);
+  assert(options_.sub_memtable_bytes % options_.min_sub_memtable_bytes ==
+         0);
+}
+
+void SubMemTablePool::Format() {
+  std::lock_guard<std::mutex> lock(mu_);
+  slots_.clear();
+  for (uint64_t off = 0; off < options_.pool_bytes;
+       off += options_.sub_memtable_bytes) {
+    SlotInfo info;
+    info.offset = off;
+    info.size = options_.sub_memtable_bytes;
+    info.free = true;
+    SubMemTable(env_, off, info.size).Format();
+    slots_.push_back(info);
+  }
+  approx_slots_.store(static_cast<int>(slots_.size()),
+                      std::memory_order_relaxed);
+  target_slot_bytes_.store(options_.sub_memtable_bytes,
+                           std::memory_order_relaxed);
+}
+
+Status SubMemTablePool::RecoverScan(
+    const std::function<Status(const SubMemTable&)>& fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  slots_.clear();
+  uint64_t off = 0;
+  while (off < options_.pool_bytes) {
+    uint64_t size = SubMemTable::ReadSlotSize(env_, off);
+    if (size < SubMemTable::kDataOffset + kCacheLineSize ||
+        size > options_.pool_bytes - off ||
+        size % options_.min_sub_memtable_bytes != 0) {
+      return Status::Corruption("unparseable sub-memtable pool layout");
+    }
+    SubMemTable table(env_, off, size);
+    SubMemTable::Header h = table.ReadHeader();
+    if (h.counter > 0 &&
+        (h.state == SubState::kAllocated ||
+         h.state == SubState::kImmutable)) {
+      Status s = fn(table);
+      if (!s.ok()) {
+        return s;
+      }
+    }
+    table.Release();  // back to Free with the same size class
+    SlotInfo info;
+    info.offset = off;
+    info.size = size;
+    info.free = true;
+    slots_.push_back(info);
+    off += size;
+  }
+  approx_slots_.store(static_cast<int>(slots_.size()),
+                      std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void SubMemTablePool::SplitLocked(size_t idx) {
+  SlotInfo& slot = slots_[idx];
+  assert(slot.free);
+  assert(slot.size >= 2 * options_.min_sub_memtable_bytes);
+  const uint64_t half = slot.size / 2;
+  // Persist the second half's header first, then shrink the first, so a
+  // crash mid-split still leaves a walkable pool.
+  SubMemTable(env_, slot.offset + half, half).Format();
+  SubMemTable(env_, slot.offset, half).Format();
+  SlotInfo second;
+  second.offset = slot.offset + half;
+  second.size = half;
+  second.free = true;
+  slot.size = half;
+  slots_.insert(slots_.begin() + idx + 1, second);
+  approx_slots_.store(static_cast<int>(slots_.size()),
+                      std::memory_order_relaxed);
+}
+
+bool SubMemTablePool::TryMergeLocked(size_t idx) {
+  if (idx + 1 >= slots_.size()) {
+    return false;
+  }
+  SlotInfo& a = slots_[idx];
+  SlotInfo& b = slots_[idx + 1];
+  if (!a.free || !b.free || a.size != b.size) {
+    return false;
+  }
+  // Buddy alignment: a merge is only valid when the pair forms an
+  // aligned slot of double size.
+  if (a.offset % (2 * a.size) != 0) {
+    return false;
+  }
+  a.size *= 2;
+  SubMemTable(env_, a.offset, a.size).Format();
+  slots_.erase(slots_.begin() + idx + 1);
+  approx_slots_.store(static_cast<int>(slots_.size()),
+                      std::memory_order_relaxed);
+  return true;
+}
+
+void SubMemTablePool::ApplyElasticityLocked(size_t idx) {
+  const uint64_t target =
+      target_slot_bytes_.load(std::memory_order_relaxed);
+  // Shrink: split the freed slot down to the target class so bursty
+  // writers find more free tables.
+  while (slots_[idx].size > target &&
+         slots_[idx].size >= 2 * options_.min_sub_memtable_bytes) {
+    SplitLocked(idx);
+  }
+  // Grow: merge buddies back while under-target.
+  while (slots_[idx].size < target) {
+    // Try merging with the next neighbour; if the buddy is the previous
+    // slot, retry from there.
+    if (TryMergeLocked(idx)) {
+      continue;
+    }
+    if (idx > 0 && slots_[idx - 1].free &&
+        slots_[idx - 1].size == slots_[idx].size &&
+        slots_[idx - 1].offset % (2 * slots_[idx - 1].size) == 0) {
+      idx = idx - 1;
+      if (TryMergeLocked(idx)) {
+        continue;
+      }
+    }
+    break;
+  }
+}
+
+Status SubMemTablePool::Acquire(SubMemTable* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t target =
+      target_slot_bytes_.load(std::memory_order_relaxed);
+  int best = -1;
+  for (size_t i = 0; i < slots_.size(); i++) {
+    if (!slots_[i].free) {
+      continue;
+    }
+    if (best < 0 || (slots_[best].size != target &&
+                     slots_[i].size == target)) {
+      best = static_cast<int>(i);
+    }
+    if (slots_[best].size == target) {
+      break;
+    }
+  }
+  if (best < 0) {
+    total_misses_.fetch_add(1, std::memory_order_relaxed);
+    acquire_streak_ = 0;
+    uint64_t streak = miss_streak_.fetch_add(1,
+                                             std::memory_order_relaxed) +
+                      1;
+    if (streak >= options_.elasticity_miss_threshold) {
+      // Elastic shrink (§III-A): halve the target so the next released
+      // slots split, increasing the number of free tables. The miss
+      // counter re-initializes after the adjustment.
+      uint64_t cur = target_slot_bytes_.load(std::memory_order_relaxed);
+      if (cur > options_.min_sub_memtable_bytes) {
+        target_slot_bytes_.store(cur / 2, std::memory_order_relaxed);
+      }
+      miss_streak_.store(0, std::memory_order_relaxed);
+    }
+    return Status::Busy("no free sub-memtable");
+  }
+  // If the chosen slot is larger than the target, split it now so the
+  // remainder stays available.
+  while (slots_[best].size > target &&
+         slots_[best].size >= 2 * options_.min_sub_memtable_bytes) {
+    SplitLocked(static_cast<size_t>(best));
+  }
+  SlotInfo& slot = slots_[best];
+  SubMemTable table(env_, slot.offset, slot.size);
+  if (!table.TryAcquire()) {
+    return Status::Corruption("pool directory out of sync with headers");
+  }
+  slot.free = false;
+  miss_streak_.store(0, std::memory_order_relaxed);
+  // Sustained success with spare capacity lets the pool grow the size
+  // class back toward the configured maximum (fewer, larger tables ->
+  // less background flush overhead).
+  if (++acquire_streak_ >= 64) {
+    acquire_streak_ = 0;
+    int free_count = 0;
+    for (const auto& s : slots_) {
+      if (s.free) free_count++;
+    }
+    if (free_count * 4 >= static_cast<int>(slots_.size())) {
+      uint64_t cur = target_slot_bytes_.load(std::memory_order_relaxed);
+      if (cur < options_.sub_memtable_bytes) {
+        target_slot_bytes_.store(cur * 2, std::memory_order_relaxed);
+      }
+    }
+  }
+  *out = table;
+  return Status::OK();
+}
+
+void SubMemTablePool::Release(const SubMemTable& table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SubMemTable handle = table;  // stateless handle; state lives in PMem
+  handle.Release();
+  for (size_t i = 0; i < slots_.size(); i++) {
+    if (slots_[i].offset == table.slot_offset()) {
+      assert(slots_[i].size == table.slot_size());
+      slots_[i].free = true;
+      ApplyElasticityLocked(i);
+      return;
+    }
+  }
+  assert(false && "released table not in pool directory");
+}
+
+int SubMemTablePool::NumSlots() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(slots_.size());
+}
+
+int SubMemTablePool::NumFreeSlots() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int count = 0;
+  for (const auto& s : slots_) {
+    if (s.free) count++;
+  }
+  return count;
+}
+
+}  // namespace cachekv

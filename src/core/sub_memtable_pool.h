@@ -1,0 +1,103 @@
+#ifndef CACHEKV_CORE_SUB_MEMTABLE_POOL_H_
+#define CACHEKV_CORE_SUB_MEMTABLE_POOL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "core/options.h"
+#include "core/sub_memtable.h"
+#include "pmem/pmem_env.h"
+#include "util/status.h"
+
+namespace cachekv {
+
+/// SubMemTablePool manages the CAT pseudo-locked cache range
+/// [0, pool_bytes) as a set of variable-size sub-MemTable slots (§III-A).
+/// The pool capacity is fixed; slot sizes adapt to the workload:
+///
+///   * The global miss counter counts acquisition failures ("a CPU core
+///     cannot find a free sub-MemTable"). Past the configured threshold
+///     the pool halves its target size class, splitting free slots so
+///     more cores can make progress during bursts.
+///   * When acquisitions keep succeeding with spare free slots, the
+///     target size class grows back (up to the initial size) and
+///     adjacent free buddies merge, reducing background flush overhead.
+///
+/// Slot sizes are persisted inside each slot's header, so crash recovery
+/// can walk the pool without volatile state.
+///
+/// Thread-safe.
+class SubMemTablePool {
+ public:
+  SubMemTablePool(PmemEnv* env, const CacheKVOptions& options);
+
+  SubMemTablePool(const SubMemTablePool&) = delete;
+  SubMemTablePool& operator=(const SubMemTablePool&) = delete;
+
+  /// Formats every slot to the initial size class (fresh store).
+  void Format();
+
+  /// Rebuilds the DRAM slot directory by walking the persistent slot
+  /// headers, invoking `fn` for every non-empty slot before it is
+  /// reformatted to Free (crash recovery, §III-E). `fn` must evacuate the
+  /// slot's data (CacheKV copies it to the sub-ImmMemTable area).
+  Status RecoverScan(
+      const std::function<Status(const SubMemTable&)>& fn);
+
+  /// Acquires a free sub-MemTable for a core. Fails with Busy when every
+  /// slot is taken (the caller waits on the flusher); each failure bumps
+  /// the miss counter and may trigger elastic shrinking.
+  Status Acquire(SubMemTable* out);
+
+  /// Returns a flushed sub-ImmMemTable to the free pool, applying any
+  /// pending elastic resize to the freed slot.
+  void Release(const SubMemTable& table);
+
+  uint64_t miss_count() const {
+    return total_misses_.load(std::memory_order_relaxed);
+  }
+
+  /// Lock-free slot-count estimate (for mapping writer threads onto
+  /// slots); exact value requires NumSlots().
+  int ApproxNumSlots() const {
+    return approx_slots_.load(std::memory_order_relaxed);
+  }
+  uint64_t target_slot_bytes() const {
+    return target_slot_bytes_.load(std::memory_order_relaxed);
+  }
+  int NumSlots() const;
+  int NumFreeSlots() const;
+
+ private:
+  struct SlotInfo {
+    uint64_t offset = 0;
+    uint64_t size = 0;
+    bool free = true;
+  };
+
+  // Splits slots_[idx] in half (writes both persistent headers). Caller
+  // holds mu_; the slot must be free.
+  void SplitLocked(size_t idx);
+  // Merges slots_[idx] with its next neighbour when both are free, equal
+  // size, and buddy-aligned. Caller holds mu_.
+  bool TryMergeLocked(size_t idx);
+  void ApplyElasticityLocked(size_t idx);
+
+  PmemEnv* env_;
+  CacheKVOptions options_;
+
+  mutable std::mutex mu_;
+  std::vector<SlotInfo> slots_;  // sorted by offset
+  std::atomic<uint64_t> target_slot_bytes_;
+  std::atomic<uint64_t> miss_streak_{0};
+  std::atomic<uint64_t> total_misses_{0};
+  std::atomic<int> approx_slots_{0};
+  uint64_t acquire_streak_ = 0;  // successes since last miss (under mu_)
+};
+
+}  // namespace cachekv
+
+#endif  // CACHEKV_CORE_SUB_MEMTABLE_POOL_H_

@@ -1,0 +1,108 @@
+#ifndef CACHEKV_INDEX_PMEM_BPTREE_H_
+#define CACHEKV_INDEX_PMEM_BPTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "index/pmem_skiplist.h"  // for FlushMode
+#include "pmem/pmem_env.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace cachekv {
+
+/// PmemBPlusTree is a B+-tree resident in the simulated PMem, modeling
+/// SLM-DB's global persistent index that maps user keys to the exact
+/// position of their KV pair in the single-level storage. Values are
+/// opaque 64-bit locators.
+///
+/// Keys are stored inline in fixed slots and limited to kMaxKeyLen bytes
+/// (the paper's workloads use 16 B keys); longer keys are rejected with
+/// NotSupported.
+///
+/// Thread-safety: external synchronization required.
+class PmemBPlusTree {
+ public:
+  static constexpr size_t kMaxKeyLen = 40;
+  static constexpr size_t kNodeSize = 1024;
+
+  /// Builds an empty tree whose nodes are carved from
+  /// [region_offset, region_offset + region_size).
+  PmemBPlusTree(PmemEnv* env, uint64_t region_offset, uint64_t region_size,
+                FlushMode flush_mode);
+
+  PmemBPlusTree(const PmemBPlusTree&) = delete;
+  PmemBPlusTree& operator=(const PmemBPlusTree&) = delete;
+
+  /// Inserts or updates the locator for key. When the key already
+  /// existed, *replaced is set and *previous receives the old locator.
+  Status Insert(const Slice& key, uint64_t locator,
+                uint64_t* previous = nullptr, bool* replaced = nullptr);
+
+  /// Looks up the locator for key.
+  Status Get(const Slice& key, uint64_t* locator) const;
+
+  /// Removes key, reporting the removed locator via *previous when
+  /// given. Underflow is tolerated (no rebalancing on delete; SLM-DB's
+  /// GC rebuilds regions wholesale).
+  Status Delete(const Slice& key, uint64_t* previous = nullptr);
+
+  /// In-order traversal over all (key, locator) pairs.
+  void Scan(const std::function<void(const Slice&, uint64_t)>& fn) const;
+
+  uint64_t NumEntries() const { return num_entries_; }
+  uint64_t BytesUsed() const { return cursor_ - region_offset_; }
+  int Height() const { return height_; }
+
+ private:
+  // Node layout (kNodeSize bytes):
+  //   fixed32 is_leaf
+  //   fixed32 count
+  //   fixed64 next        (leaf: right sibling; internal: leftmost child)
+  //   entries: count x { u8 key_len, key[kMaxKeyLen-1], fixed64 value }
+  // Leaf entry value = locator. Internal entry value = child covering
+  // keys >= entry key (entry keys are the child's smallest key).
+  static constexpr size_t kHeaderSize = 16;
+  static constexpr size_t kSlotSize = kMaxKeyLen + 8;
+  static constexpr int kMaxEntries =
+      static_cast<int>((kNodeSize - kHeaderSize) / kSlotSize);
+
+  struct NodeRef {
+    uint64_t offset = 0;
+    bool is_leaf = true;
+    uint32_t count = 0;
+    uint64_t next = 0;
+  };
+
+  NodeRef LoadHeader(uint64_t offset) const;
+  void StoreHeader(const NodeRef& node);
+  std::string LoadSlotKey(uint64_t node_offset, int slot) const;
+  uint64_t LoadSlotValue(uint64_t node_offset, int slot) const;
+  void StoreSlot(uint64_t node_offset, int slot, const Slice& key,
+                 uint64_t value);
+  // First slot with key >= target (count if none).
+  int LowerBound(const NodeRef& node, const Slice& target) const;
+
+  Status AllocateNode(bool is_leaf, uint64_t* offset);
+  // Inserts into the subtree at `node`; on split, returns the new right
+  // sibling and its smallest key via *split_off / *split_key.
+  Status InsertRecursive(uint64_t node_offset, const Slice& key,
+                         uint64_t locator, uint64_t* split_off,
+                         std::string* split_key, uint64_t* previous,
+                         bool* replaced);
+  void MaybeFlush(uint64_t offset, uint64_t len);
+
+  PmemEnv* env_;
+  uint64_t region_offset_;
+  uint64_t region_size_;
+  FlushMode flush_mode_;
+  uint64_t cursor_;
+  uint64_t root_ = 0;
+  int height_ = 1;
+  uint64_t num_entries_ = 0;
+};
+
+}  // namespace cachekv
+
+#endif  // CACHEKV_INDEX_PMEM_BPTREE_H_

@@ -1,0 +1,253 @@
+#include "index/pmem_skiplist.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "util/coding.h"
+
+namespace cachekv {
+
+PmemSkipList::PmemSkipList(PmemEnv* env, uint64_t region_offset,
+                           uint64_t region_size, FlushMode flush_mode)
+    : env_(env),
+      region_offset_(region_offset),
+      region_size_(region_size),
+      flush_mode_(flush_mode),
+      head_(region_offset),
+      cursor_(region_offset),
+      rnd_(0x5eed) {
+  Reset();
+}
+
+void PmemSkipList::Reset() {
+  // Head node: height kMaxHeight, empty key/value, all links null (0).
+  // Offset 0 is never a valid node (the head occupies it within the
+  // region), so 0 encodes "null".
+  cursor_ = region_offset_;
+  char header[16 + 8 * kMaxHeight];
+  EncodeFixed32(header, kMaxHeight);
+  EncodeFixed32(header + 4, 0);
+  EncodeFixed32(header + 8, 0);
+  EncodeFixed32(header + 12, 0);  // padding keeps the link array 8-aligned
+  memset(header + 16, 0, 8 * kMaxHeight);
+  env_->Store(cursor_, header, sizeof(header));
+  MaybeFlush(cursor_, sizeof(header));
+  head_ = cursor_;
+  cursor_ += sizeof(header);
+  num_entries_ = 0;
+}
+
+void PmemSkipList::MaybeFlush(uint64_t offset, uint64_t len) {
+  if (flush_mode_ == FlushMode::kFlushEveryWrite) {
+    env_->Clwb(offset, len);
+    env_->Sfence();
+  }
+}
+
+PmemSkipList::NodeView PmemSkipList::LoadNode(uint64_t offset) const {
+  NodeView node;
+  node.offset = offset;
+  char header[12];
+  env_->Load(offset, header, sizeof(header));
+  node.height = DecodeFixed32(header);
+  node.key_len = DecodeFixed32(header + 4);
+  node.value_len = DecodeFixed32(header + 8);
+  assert(node.height >= 1 && node.height <= kMaxHeight);
+  return node;
+}
+
+uint64_t PmemSkipList::LoadNext(const NodeView& node, int level) const {
+  return env_->Load64(node.offset + 16 + 8ull * level);
+}
+
+void PmemSkipList::StoreNext(const NodeView& node, int level,
+                             uint64_t next) {
+  env_->Store64(node.offset + 16 + 8ull * level, next);
+}
+
+std::string PmemSkipList::LoadKey(const NodeView& node) const {
+  std::string key(node.key_len, '\0');
+  env_->Load(node.offset + HeaderSize(node.height), key.data(),
+             node.key_len);
+  return key;
+}
+
+void PmemSkipList::LoadValue(const NodeView& node,
+                             std::string* value) const {
+  value->resize(node.value_len);
+  env_->Load(node.offset + HeaderSize(node.height) + node.key_len,
+             value->data(), node.value_len);
+}
+
+int PmemSkipList::RandomHeight() {
+  static const unsigned int kBranching = 4;
+  int height = 1;
+  while (height < kMaxHeight && rnd_.OneIn(kBranching)) {
+    height++;
+  }
+  return height;
+}
+
+uint64_t PmemSkipList::FindGreaterOrEqual(const Slice& target,
+                                          uint64_t* prev) const {
+  NodeView x = LoadNode(head_);
+  int level = kMaxHeight - 1;
+  while (true) {
+    uint64_t next_off = LoadNext(x, level);
+    bool descend;
+    if (next_off == 0) {
+      descend = true;
+    } else {
+      NodeView next = LoadNode(next_off);
+      std::string next_key = LoadKey(next);
+      descend = (icmp_.Compare(Slice(next_key), target) >= 0);
+      if (!descend) {
+        x = next;
+        continue;
+      }
+    }
+    if (descend) {
+      if (prev != nullptr) {
+        prev[level] = x.offset;
+      }
+      if (level == 0) {
+        return next_off;
+      }
+      level--;
+    }
+  }
+}
+
+Status PmemSkipList::Insert(SequenceNumber seq, ValueType type,
+                            const Slice& user_key, const Slice& value) {
+  std::string internal_key;
+  AppendInternalKey(&internal_key, user_key, seq, type);
+
+  const int height = RandomHeight();
+  const uint64_t node_size =
+      HeaderSize(height) + internal_key.size() + value.size();
+  if (cursor_ + node_size > region_offset_ + region_size_) {
+    return Status::OutOfSpace("pmem skiplist region full");
+  }
+
+  uint64_t prev[kMaxHeight];
+  for (int i = 0; i < kMaxHeight; i++) prev[i] = head_;
+  {
+    ScopedNs index_timer(profiler_ != nullptr
+                             ? &profiler_->index_update_ns
+                             : nullptr);
+    FindGreaterOrEqual(Slice(internal_key), prev);
+  }
+
+  // Write the node body first, then link bottom-up (the LevelDB order:
+  // a reader either sees the node fully linked at a level or not at
+  // all).
+  const uint64_t node_off = cursor_;
+  cursor_ = AlignUp(cursor_ + node_size, 8);
+  std::string buf;
+  buf.reserve(node_size);
+  PutFixed32(&buf, static_cast<uint32_t>(height));
+  PutFixed32(&buf, static_cast<uint32_t>(internal_key.size()));
+  PutFixed32(&buf, static_cast<uint32_t>(value.size()));
+  PutFixed32(&buf, 0);  // padding
+  NodeView prev_views[kMaxHeight];
+  for (int i = 0; i < height; i++) {
+    prev_views[i] = LoadNode(prev[i]);
+    uint64_t succ = LoadNext(prev_views[i], i);
+    PutFixed64(&buf, succ);
+  }
+  buf.append(internal_key);
+  buf.append(value.data(), value.size());
+  {
+    ScopedNs append_timer(profiler_ != nullptr ? &profiler_->append_ns
+                                               : nullptr);
+    env_->Store(node_off, buf.data(), buf.size());
+    MaybeFlush(node_off, buf.size());
+  }
+
+  NodeView node;
+  node.offset = node_off;
+  node.height = height;
+  {
+    ScopedNs index_timer(profiler_ != nullptr
+                             ? &profiler_->index_update_ns
+                             : nullptr);
+    for (int i = 0; i < height; i++) {
+      StoreNext(prev_views[i], i, node_off);
+      MaybeFlush(prev[i] + 16 + 8ull * i, 8);
+    }
+  }
+  num_entries_++;
+  return Status::OK();
+}
+
+PmemSkipList::GetResult PmemSkipList::Get(const Slice& user_key,
+                                          SequenceNumber snapshot,
+                                          std::string* value) const {
+  std::string target;
+  AppendInternalKey(&target, user_key, snapshot, kValueTypeForSeek);
+  uint64_t found = FindGreaterOrEqual(Slice(target), nullptr);
+  if (found == 0) {
+    return GetResult::kNotFound;
+  }
+  NodeView node = LoadNode(found);
+  std::string key = LoadKey(node);
+  ParsedInternalKey parsed;
+  if (!ParseInternalKey(Slice(key), &parsed) ||
+      parsed.user_key != user_key) {
+    return GetResult::kNotFound;
+  }
+  if (parsed.type == kTypeDeletion) {
+    return GetResult::kDeleted;
+  }
+  LoadValue(node, value);
+  return GetResult::kFound;
+}
+
+class PmemSkipList::Iter : public Iterator {
+ public:
+  explicit Iter(const PmemSkipList* list) : list_(list) {}
+
+  bool Valid() const override { return current_ != 0; }
+
+  void SeekToFirst() override {
+    NodeView head = list_->LoadNode(list_->head_);
+    current_ = list_->LoadNext(head, 0);
+    LoadCurrent();
+  }
+
+  void Seek(const Slice& target) override {
+    current_ = list_->FindGreaterOrEqual(target, nullptr);
+    LoadCurrent();
+  }
+
+  void Next() override {
+    assert(Valid());
+    current_ = list_->LoadNext(node_, 0);
+    LoadCurrent();
+  }
+
+  Slice key() const override { return Slice(key_); }
+  Slice value() const override { return Slice(value_); }
+  Status status() const override { return Status::OK(); }
+
+ private:
+  void LoadCurrent() {
+    if (current_ == 0) {
+      return;
+    }
+    node_ = list_->LoadNode(current_);
+    key_ = list_->LoadKey(node_);
+    list_->LoadValue(node_, &value_);
+  }
+
+  const PmemSkipList* list_;
+  uint64_t current_ = 0;
+  NodeView node_;
+  std::string key_;
+  std::string value_;
+};
+
+Iterator* PmemSkipList::NewIterator() const { return new Iter(this); }
+
+}  // namespace cachekv

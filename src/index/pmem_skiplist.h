@@ -1,0 +1,122 @@
+#ifndef CACHEKV_INDEX_PMEM_SKIPLIST_H_
+#define CACHEKV_INDEX_PMEM_SKIPLIST_H_
+
+#include <cstdint>
+#include <string>
+
+#include "baselines/write_profiler.h"
+#include "lsm/dbformat.h"
+#include "lsm/iterator.h"
+#include "pmem/pmem_env.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace cachekv {
+
+/// How a structure persists its stores.
+enum class FlushMode {
+  /// store + clwb + sfence per update (the ADR discipline NoveLSM and
+  /// SLM-DB ship with).
+  kFlushEveryWrite,
+  /// plain stores; rely on the eADR persistent caches (the "-w/o-flush"
+  /// baseline variants).
+  kNone,
+};
+
+/// PmemSkipList is a skiplist whose nodes (keys, values and links) live
+/// entirely in the simulated PMem, as in NoveLSM's and SLM-DB's
+/// persistent MemTables. Every node visit costs simulated-PMem loads and
+/// every insert costs simulated-PMem stores, which is precisely the
+/// overhead the paper attributes to the baselines (§II-C, Exp#3).
+///
+/// Node layout at its 8-aligned region offset:
+///   fixed32 height
+///   fixed32 key_len      (internal key)
+///   fixed32 value_len
+///   fixed32 padding
+///   fixed64 next[height]
+///   key bytes, value bytes
+///
+/// Thread-safety: external synchronization required (the baselines guard
+/// their shared MemTable with a lock, which is observation Ob2/R2).
+class PmemSkipList {
+ public:
+  static constexpr int kMaxHeight = 12;
+
+  /// Uses [region_offset, region_offset + region_size) for nodes.
+  PmemSkipList(PmemEnv* env, uint64_t region_offset, uint64_t region_size,
+               FlushMode flush_mode);
+
+  PmemSkipList(const PmemSkipList&) = delete;
+  PmemSkipList& operator=(const PmemSkipList&) = delete;
+
+  /// Inserts an entry. Fails with OutOfSpace when the region is full.
+  Status Insert(SequenceNumber seq, ValueType type, const Slice& user_key,
+                const Slice& value);
+
+  /// Looks up the freshest visible entry (see MemTable::GetResult
+  /// semantics). kFound fills *value.
+  enum class GetResult { kFound, kDeleted, kNotFound };
+  GetResult Get(const Slice& user_key, SequenceNumber snapshot,
+                std::string* value) const;
+
+  /// Iterator over (internal key, value) pairs; the list must outlive it
+  /// and not be mutated while iterating.
+  Iterator* NewIterator() const;
+
+  uint64_t BytesUsed() const { return cursor_ - region_offset_; }
+  uint64_t BytesFree() const {
+    return region_offset_ + region_size_ - cursor_;
+  }
+  uint64_t NumEntries() const { return num_entries_; }
+
+  /// Logically empties the list (reinitializes the head node).
+  void Reset();
+
+  /// Attaches a profiler: Insert() then attributes its time to the
+  /// index-update (traversal + link writes) and append (record body
+  /// store) buckets of the Fig. 5(b) breakdown.
+  void SetProfiler(WriteProfiler* profiler) { profiler_ = profiler; }
+
+ private:
+  class Iter;
+
+  struct NodeView {
+    uint64_t offset = 0;
+    uint32_t height = 0;
+    uint32_t key_len = 0;
+    uint32_t value_len = 0;
+  };
+
+  // 16-byte fixed header (height, key_len, value_len, padding) keeps the
+  // link array 8-aligned for atomic 64-bit link updates.
+  uint64_t HeaderSize(uint32_t height) const {
+    return 16 + 8ull * height;
+  }
+  NodeView LoadNode(uint64_t offset) const;
+  uint64_t LoadNext(const NodeView& node, int level) const;
+  void StoreNext(const NodeView& node, int level, uint64_t next);
+  std::string LoadKey(const NodeView& node) const;
+  void LoadValue(const NodeView& node, std::string* value) const;
+  int RandomHeight();
+
+  // Finds the first node >= internal key target; fills prev[] when given.
+  uint64_t FindGreaterOrEqual(const Slice& target, uint64_t* prev) const;
+
+  void MaybeFlush(uint64_t offset, uint64_t len);
+
+  PmemEnv* env_;
+  uint64_t region_offset_;
+  uint64_t region_size_;
+  FlushMode flush_mode_;
+  uint64_t head_;    // offset of the head node
+  uint64_t cursor_;  // bump allocator cursor
+  uint64_t num_entries_ = 0;
+  Random rnd_;
+  InternalKeyComparator icmp_;
+  WriteProfiler* profiler_ = nullptr;
+};
+
+}  // namespace cachekv
+
+#endif  // CACHEKV_INDEX_PMEM_SKIPLIST_H_

@@ -1,0 +1,278 @@
+#ifndef CACHEKV_INDEX_SKIPLIST_H_
+#define CACHEKV_INDEX_SKIPLIST_H_
+
+// DRAM skiplist in the LevelDB style. Thread-safety contract:
+//
+//   Writes require external synchronization (one writer at a time per
+//   list). Reads require only a guarantee that the SkipList outlives the
+//   reader; they never lock and never block writers.
+//
+// Invariant (1): allocated nodes are never deleted until the SkipList is
+// destroyed. Invariant (2): node contents other than next pointers are
+// immutable after linking. Only Insert() modifies the list, and
+// release/acquire ordering on the next pointers publishes nodes safely.
+
+#include <atomic>
+#include <cassert>
+#include <cstdlib>
+
+#include "util/arena.h"
+#include "util/random.h"
+
+namespace cachekv {
+
+template <typename Key, class Comparator>
+class SkipList {
+ public:
+  /// Creates a new empty list that uses cmp for ordering keys, and
+  /// allocates nodes from arena (which must outlive the list).
+  explicit SkipList(Comparator cmp, Arena* arena);
+
+  SkipList(const SkipList&) = delete;
+  SkipList& operator=(const SkipList&) = delete;
+
+  /// Inserts key into the list. Requires: nothing equal to key is
+  /// currently in the list, and no concurrent Insert.
+  void Insert(const Key& key);
+
+  /// Returns true iff an entry that compares equal to key is in the list.
+  bool Contains(const Key& key) const;
+
+  /// Iteration over the contents of a skip list.
+  class Iterator {
+   public:
+    /// Initializes an iterator over the specified list. The returned
+    /// iterator is not valid.
+    explicit Iterator(const SkipList* list) : list_(list), node_(nullptr) {}
+
+    bool Valid() const { return node_ != nullptr; }
+
+    /// Requires: Valid().
+    const Key& key() const {
+      assert(Valid());
+      return node_->key;
+    }
+
+    /// Advances to the next position. Requires: Valid().
+    void Next() {
+      assert(Valid());
+      node_ = node_->Next(0);
+    }
+
+    /// Retreats to the previous position. Requires: Valid().
+    void Prev() {
+      assert(Valid());
+      node_ = list_->FindLessThan(node_->key);
+      if (node_ == list_->head_) {
+        node_ = nullptr;
+      }
+    }
+
+    /// Advances to the first entry with a key >= target.
+    void Seek(const Key& target) {
+      node_ = list_->FindGreaterOrEqual(target, nullptr);
+    }
+
+    void SeekToFirst() { node_ = list_->head_->Next(0); }
+
+    void SeekToLast() {
+      node_ = list_->FindLast();
+      if (node_ == list_->head_) {
+        node_ = nullptr;
+      }
+    }
+
+   private:
+    const SkipList* list_;
+    const typename SkipList::Node* node_;
+  };
+
+ private:
+  static constexpr int kMaxHeight = 12;
+
+  struct Node {
+    explicit Node(const Key& k) : key(k) {}
+
+    const Key key;
+
+    Node* Next(int n) const {
+      assert(n >= 0);
+      return next_[n].load(std::memory_order_acquire);
+    }
+    void SetNext(int n, Node* x) {
+      assert(n >= 0);
+      next_[n].store(x, std::memory_order_release);
+    }
+    Node* NoBarrier_Next(int n) const {
+      assert(n >= 0);
+      return next_[n].load(std::memory_order_relaxed);
+    }
+    void NoBarrier_SetNext(int n, Node* x) {
+      assert(n >= 0);
+      next_[n].store(x, std::memory_order_relaxed);
+    }
+
+   private:
+    // Array of length equal to the node height; next_[0] is the lowest
+    // level link.
+    std::atomic<Node*> next_[1];
+  };
+
+  Node* NewNode(const Key& key, int height);
+  int RandomHeight();
+  bool Equal(const Key& a, const Key& b) const {
+    return (compare_(a, b) == 0);
+  }
+
+  /// Returns true if key is greater than the data stored in n.
+  bool KeyIsAfterNode(const Key& key, const Node* n) const {
+    return (n != nullptr) && (compare_(n->key, key) < 0);
+  }
+
+  /// Returns the earliest node that comes at or after key; nullptr if
+  /// there is none. If prev is non-null, fills prev[level] with a pointer
+  /// to the previous node at "level" for every level in [0, kMaxHeight-1].
+  const Node* FindGreaterOrEqual(const Key& key, Node** prev) const;
+
+  /// Returns the latest node with a key < key, or head_ if there is none.
+  const Node* FindLessThan(const Key& key) const;
+
+  /// Returns the last node in the list, or head_ if the list is empty.
+  const Node* FindLast() const;
+
+  Comparator const compare_;
+  Arena* const arena_;
+  Node* const head_;
+
+  // Modified only by Insert(); read racily by readers.
+  std::atomic<int> max_height_;
+
+  Random rnd_;
+};
+
+template <typename Key, class Comparator>
+typename SkipList<Key, Comparator>::Node*
+SkipList<Key, Comparator>::NewNode(const Key& key, int height) {
+  char* const node_memory = arena_->AllocateAligned(
+      sizeof(Node) + sizeof(std::atomic<Node*>) * (height - 1));
+  return new (node_memory) Node(key);
+}
+
+template <typename Key, class Comparator>
+int SkipList<Key, Comparator>::RandomHeight() {
+  static const unsigned int kBranching = 4;
+  int height = 1;
+  while (height < kMaxHeight && rnd_.OneIn(kBranching)) {
+    height++;
+  }
+  assert(height > 0);
+  assert(height <= kMaxHeight);
+  return height;
+}
+
+template <typename Key, class Comparator>
+const typename SkipList<Key, Comparator>::Node*
+SkipList<Key, Comparator>::FindGreaterOrEqual(const Key& key,
+                                              Node** prev) const {
+  Node* x = head_;
+  int level = max_height_.load(std::memory_order_relaxed) - 1;
+  while (true) {
+    Node* next = x->Next(level);
+    if (KeyIsAfterNode(key, next)) {
+      x = next;
+    } else {
+      if (prev != nullptr) prev[level] = x;
+      if (level == 0) {
+        return next;
+      }
+      level--;
+    }
+  }
+}
+
+template <typename Key, class Comparator>
+const typename SkipList<Key, Comparator>::Node*
+SkipList<Key, Comparator>::FindLessThan(const Key& key) const {
+  Node* x = head_;
+  int level = max_height_.load(std::memory_order_relaxed) - 1;
+  while (true) {
+    assert(x == head_ || compare_(x->key, key) < 0);
+    Node* next = x->Next(level);
+    if (next == nullptr || compare_(next->key, key) >= 0) {
+      if (level == 0) {
+        return x;
+      }
+      level--;
+    } else {
+      x = next;
+    }
+  }
+}
+
+template <typename Key, class Comparator>
+const typename SkipList<Key, Comparator>::Node*
+SkipList<Key, Comparator>::FindLast() const {
+  Node* x = head_;
+  int level = max_height_.load(std::memory_order_relaxed) - 1;
+  while (true) {
+    Node* next = x->Next(level);
+    if (next == nullptr) {
+      if (level == 0) {
+        return x;
+      }
+      level--;
+    } else {
+      x = next;
+    }
+  }
+}
+
+template <typename Key, class Comparator>
+SkipList<Key, Comparator>::SkipList(Comparator cmp, Arena* arena)
+    : compare_(cmp),
+      arena_(arena),
+      head_(NewNode(Key(), kMaxHeight)),
+      max_height_(1),
+      rnd_(0xdeadbeef) {
+  for (int i = 0; i < kMaxHeight; i++) {
+    head_->SetNext(i, nullptr);
+  }
+}
+
+template <typename Key, class Comparator>
+void SkipList<Key, Comparator>::Insert(const Key& key) {
+  Node* prev[kMaxHeight];
+  const Node* x_const = FindGreaterOrEqual(key, prev);
+
+  // Our data structure does not allow duplicate insertion.
+  assert(x_const == nullptr || !Equal(key, x_const->key));
+  (void)x_const;
+
+  int height = RandomHeight();
+  if (height > max_height_.load(std::memory_order_relaxed)) {
+    for (int i = max_height_.load(std::memory_order_relaxed); i < height;
+         i++) {
+      prev[i] = head_;
+    }
+    // It is ok to mutate max_height_ without the new node being visible:
+    // concurrent readers observing the new level see nullptr from head_,
+    // which is handled correctly.
+    max_height_.store(height, std::memory_order_relaxed);
+  }
+
+  Node* x = NewNode(key, height);
+  for (int i = 0; i < height; i++) {
+    x->NoBarrier_SetNext(i, prev[i]->NoBarrier_Next(i));
+    prev[i]->SetNext(i, x);
+  }
+}
+
+template <typename Key, class Comparator>
+bool SkipList<Key, Comparator>::Contains(const Key& key) const {
+  const Node* x = FindGreaterOrEqual(key, nullptr);
+  return x != nullptr && Equal(key, x->key);
+}
+
+}  // namespace cachekv
+
+#endif  // CACHEKV_INDEX_SKIPLIST_H_

@@ -1,0 +1,274 @@
+#include "lsm/block.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "util/coding.h"
+
+namespace cachekv {
+
+BlockBuilder::BlockBuilder(int restart_interval)
+    : restart_interval_(restart_interval), counter_(0), finished_(false) {
+  assert(restart_interval_ >= 1);
+  restarts_.push_back(0);  // First restart point is at offset 0
+}
+
+void BlockBuilder::Reset() {
+  buffer_.clear();
+  restarts_.clear();
+  restarts_.push_back(0);
+  counter_ = 0;
+  finished_ = false;
+  last_key_.clear();
+}
+
+size_t BlockBuilder::CurrentSizeEstimate() const {
+  return buffer_.size() + restarts_.size() * sizeof(uint32_t) +
+         sizeof(uint32_t);
+}
+
+void BlockBuilder::Add(const Slice& key, const Slice& value) {
+  assert(!finished_);
+  assert(counter_ <= restart_interval_);
+  Slice last_key_piece(last_key_);
+  size_t shared = 0;
+  if (counter_ < restart_interval_) {
+    // See how much sharing to do with previous key.
+    const size_t min_length = std::min(last_key_piece.size(), key.size());
+    while ((shared < min_length) && (last_key_piece[shared] == key[shared])) {
+      shared++;
+    }
+  } else {
+    // Restart compression.
+    restarts_.push_back(static_cast<uint32_t>(buffer_.size()));
+    counter_ = 0;
+  }
+  const size_t non_shared = key.size() - shared;
+
+  PutVarint32(&buffer_, static_cast<uint32_t>(shared));
+  PutVarint32(&buffer_, static_cast<uint32_t>(non_shared));
+  PutVarint32(&buffer_, static_cast<uint32_t>(value.size()));
+
+  buffer_.append(key.data() + shared, non_shared);
+  buffer_.append(value.data(), value.size());
+
+  last_key_.resize(shared);
+  last_key_.append(key.data() + shared, non_shared);
+  assert(Slice(last_key_) == key);
+  counter_++;
+}
+
+Slice BlockBuilder::Finish() {
+  for (uint32_t restart : restarts_) {
+    PutFixed32(&buffer_, restart);
+  }
+  PutFixed32(&buffer_, static_cast<uint32_t>(restarts_.size()));
+  finished_ = true;
+  return Slice(buffer_);
+}
+
+Block::Block(std::string contents)
+    : data_(std::move(contents)),
+      restart_offset_(0),
+      num_restarts_(0),
+      malformed_(false) {
+  if (data_.size() < sizeof(uint32_t)) {
+    malformed_ = true;
+    return;
+  }
+  num_restarts_ = DecodeFixed32(data_.data() + data_.size() -
+                                sizeof(uint32_t));
+  const size_t max_restarts =
+      (data_.size() - sizeof(uint32_t)) / sizeof(uint32_t);
+  if (num_restarts_ > max_restarts) {
+    malformed_ = true;
+    return;
+  }
+  restart_offset_ = static_cast<uint32_t>(
+      data_.size() - (1 + num_restarts_) * sizeof(uint32_t));
+}
+
+/// Decodes the three length prefixes of the entry starting at p.
+/// Returns nullptr on any malformation.
+static inline const char* DecodeEntry(const char* p, const char* limit,
+                                      uint32_t* shared,
+                                      uint32_t* non_shared,
+                                      uint32_t* value_length) {
+  if (limit - p < 3) return nullptr;
+  *shared = static_cast<uint8_t>(p[0]);
+  *non_shared = static_cast<uint8_t>(p[1]);
+  *value_length = static_cast<uint8_t>(p[2]);
+  if ((*shared | *non_shared | *value_length) < 128) {
+    // Fast path: all three values are encoded in one byte each.
+    p += 3;
+  } else {
+    if ((p = GetVarint32Ptr(p, limit, shared)) == nullptr) return nullptr;
+    if ((p = GetVarint32Ptr(p, limit, non_shared)) == nullptr) {
+      return nullptr;
+    }
+    if ((p = GetVarint32Ptr(p, limit, value_length)) == nullptr) {
+      return nullptr;
+    }
+  }
+  if (static_cast<uint32_t>(limit - p) < (*non_shared + *value_length)) {
+    return nullptr;
+  }
+  return p;
+}
+
+class Block::Iter : public Iterator {
+ public:
+  Iter(const InternalKeyComparator* comparator, const char* data,
+       uint32_t restarts, uint32_t num_restarts, bool malformed)
+      : comparator_(comparator),
+        data_(data),
+        restarts_(restarts),
+        num_restarts_(num_restarts),
+        current_(restarts),
+        restart_index_(num_restarts) {
+    if (malformed) {
+      status_ = Status::Corruption("malformed block");
+    }
+  }
+
+  bool Valid() const override { return current_ < restarts_; }
+
+  void SeekToFirst() override {
+    if (!status_.ok()) return;
+    SeekToRestartPoint(0);
+    ParseNextKey();
+  }
+
+  void Seek(const Slice& target) override {
+    if (!status_.ok()) return;
+    // Binary search in restart array to find the last restart point with
+    // a key < target.
+    uint32_t left = 0;
+    uint32_t right = num_restarts_ - 1;
+    while (left < right) {
+      uint32_t mid = (left + right + 1) / 2;
+      uint32_t region_offset = GetRestartPoint(mid);
+      uint32_t shared, non_shared, value_length;
+      const char* key_ptr =
+          DecodeEntry(data_ + region_offset, data_ + restarts_, &shared,
+                      &non_shared, &value_length);
+      if (key_ptr == nullptr || (shared != 0)) {
+        CorruptionError();
+        return;
+      }
+      Slice mid_key(key_ptr, non_shared);
+      if (comparator_->Compare(mid_key, target) < 0) {
+        left = mid;
+      } else {
+        right = mid - 1;
+      }
+    }
+
+    // Linear scan within the restart region.
+    SeekToRestartPoint(left);
+    while (true) {
+      if (!ParseNextKey()) {
+        return;
+      }
+      if (comparator_->Compare(Slice(key_), target) >= 0) {
+        return;
+      }
+    }
+  }
+
+  void Next() override {
+    assert(Valid());
+    ParseNextKey();
+  }
+
+  Slice key() const override {
+    assert(Valid());
+    return Slice(key_);
+  }
+
+  Slice value() const override {
+    assert(Valid());
+    return value_;
+  }
+
+  Status status() const override { return status_; }
+
+ private:
+  uint32_t GetRestartPoint(uint32_t index) const {
+    assert(index < num_restarts_);
+    return DecodeFixed32(data_ + restarts_ + index * sizeof(uint32_t));
+  }
+
+  void SeekToRestartPoint(uint32_t index) {
+    key_.clear();
+    restart_index_ = index;
+    // current_ will be fixed by ParseNextKey(): value_ points just before
+    // the entry to parse.
+    uint32_t offset = GetRestartPoint(index);
+    value_ = Slice(data_ + offset, 0);
+  }
+
+  void CorruptionError() {
+    current_ = restarts_;
+    restart_index_ = num_restarts_;
+    status_ = Status::Corruption("bad entry in block");
+    key_.clear();
+    value_ = Slice();
+  }
+
+  bool ParseNextKey() {
+    current_ = NextEntryOffset();
+    const char* p = data_ + current_;
+    const char* limit = data_ + restarts_;
+    if (p >= limit) {
+      // No more entries; mark as invalid.
+      current_ = restarts_;
+      restart_index_ = num_restarts_;
+      return false;
+    }
+
+    uint32_t shared, non_shared, value_length;
+    p = DecodeEntry(p, limit, &shared, &non_shared, &value_length);
+    if (p == nullptr || key_.size() < shared) {
+      CorruptionError();
+      return false;
+    }
+    key_.resize(shared);
+    key_.append(p, non_shared);
+    value_ = Slice(p + non_shared, value_length);
+    while (restart_index_ + 1 < num_restarts_ &&
+           GetRestartPoint(restart_index_ + 1) < current_) {
+      ++restart_index_;
+    }
+    return true;
+  }
+
+  uint32_t NextEntryOffset() const {
+    return static_cast<uint32_t>((value_.data() + value_.size()) - data_);
+  }
+
+  const InternalKeyComparator* comparator_;
+  const char* data_;
+  uint32_t restarts_;
+  uint32_t num_restarts_;
+
+  uint32_t current_;  // offset of current entry, >= restarts_ if !Valid
+  uint32_t restart_index_;
+  std::string key_;
+  Slice value_;
+  Status status_;
+};
+
+Iterator* Block::NewIterator(const InternalKeyComparator* comparator) const {
+  if (malformed_) {
+    return NewEmptyIterator(Status::Corruption("malformed block"));
+  }
+  if (restart_offset_ == 0 || num_restarts_ == 0) {
+    return NewEmptyIterator();
+  }
+  return new Iter(comparator, data_.data(), restart_offset_, num_restarts_,
+                  false);
+}
+
+}  // namespace cachekv

@@ -1,0 +1,87 @@
+#ifndef CACHEKV_LSM_BLOCK_H_
+#define CACHEKV_LSM_BLOCK_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lsm/dbformat.h"
+#include "lsm/iterator.h"
+#include "util/slice.h"
+
+namespace cachekv {
+
+/// BlockBuilder produces one SSTable block: a sequence of
+/// prefix-compressed entries followed by a restart-point array.
+///
+/// Entry layout:
+///   shared_key_len:   varint32  (bytes shared with the previous key)
+///   unshared_key_len: varint32
+///   value_len:        varint32
+///   key_delta:        unshared_key_len bytes
+///   value:            value_len bytes
+///
+/// Every `restart_interval` entries the key is stored uncompressed and its
+/// offset recorded in the restart array, enabling binary search.
+/// Trailer: fixed32 restart offsets, then fixed32 restart count.
+class BlockBuilder {
+ public:
+  explicit BlockBuilder(int restart_interval = 16);
+
+  BlockBuilder(const BlockBuilder&) = delete;
+  BlockBuilder& operator=(const BlockBuilder&) = delete;
+
+  /// Resets to an empty block.
+  void Reset();
+
+  /// Appends key/value. Requires: key is greater than any previously
+  /// added key (internal-key order), and Finish() has not been called.
+  void Add(const Slice& key, const Slice& value);
+
+  /// Finishes the block and returns a slice referring to its contents,
+  /// valid until Reset().
+  Slice Finish();
+
+  /// Uncompressed size estimate of the block being built.
+  size_t CurrentSizeEstimate() const;
+
+  bool empty() const { return buffer_.empty(); }
+
+ private:
+  const int restart_interval_;
+  std::string buffer_;
+  std::vector<uint32_t> restarts_;
+  int counter_;
+  bool finished_;
+  std::string last_key_;
+};
+
+/// Block wraps the contents of one built block and provides iteration.
+/// The data is owned by the Block (copied out of the simulated PMem).
+class Block {
+ public:
+  /// Takes ownership of `contents`.
+  explicit Block(std::string contents);
+
+  Block(const Block&) = delete;
+  Block& operator=(const Block&) = delete;
+
+  size_t size() const { return data_.size(); }
+
+  /// Returns a new iterator over the block's entries. The Block must
+  /// outlive the iterator.
+  Iterator* NewIterator(const InternalKeyComparator* comparator) const;
+
+ private:
+  class Iter;
+
+  std::string data_;
+  uint32_t restart_offset_;  // offset of restart array in data_
+  uint32_t num_restarts_;
+  bool malformed_;
+};
+
+}  // namespace cachekv
+
+#endif  // CACHEKV_LSM_BLOCK_H_

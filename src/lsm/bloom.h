@@ -1,0 +1,30 @@
+#ifndef CACHEKV_LSM_BLOOM_H_
+#define CACHEKV_LSM_BLOOM_H_
+
+#include <string>
+#include <vector>
+
+#include "util/slice.h"
+
+namespace cachekv {
+
+/// Bloom filter over user keys, one per SSTable (LevelDB-style double
+/// hashing). bits_per_key 10 gives ~1% false positives.
+class BloomFilterPolicy {
+ public:
+  explicit BloomFilterPolicy(int bits_per_key = 10);
+
+  /// Appends a filter summarizing keys[0, n) to *dst.
+  void CreateFilter(const std::vector<Slice>& keys, std::string* dst) const;
+
+  /// Returns false only if key is definitely not in the filtered set.
+  bool KeyMayMatch(const Slice& key, const Slice& filter) const;
+
+ private:
+  int bits_per_key_;
+  int k_;
+};
+
+}  // namespace cachekv
+
+#endif  // CACHEKV_LSM_BLOOM_H_

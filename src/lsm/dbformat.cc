@@ -1,0 +1,38 @@
+#include "lsm/dbformat.h"
+
+namespace cachekv {
+
+void AppendInternalKey(std::string* result, const Slice& user_key,
+                       SequenceNumber seq, ValueType t) {
+  result->append(user_key.data(), user_key.size());
+  PutFixed64(result, PackSequenceAndType(seq, t));
+}
+
+bool ParseInternalKey(const Slice& internal_key,
+                      ParsedInternalKey* result) {
+  if (internal_key.size() < 8) {
+    return false;
+  }
+  uint64_t packed = ExtractTrailer(internal_key);
+  uint8_t c = packed & 0xff;
+  result->sequence = packed >> 8;
+  result->type = static_cast<ValueType>(c);
+  result->user_key = ExtractUserKey(internal_key);
+  return c <= kTypeValue;
+}
+
+int InternalKeyComparator::Compare(const Slice& a, const Slice& b) const {
+  int r = ExtractUserKey(a).compare(ExtractUserKey(b));
+  if (r == 0) {
+    const uint64_t at = ExtractTrailer(a);
+    const uint64_t bt = ExtractTrailer(b);
+    if (at > bt) {
+      r = -1;
+    } else if (at < bt) {
+      r = +1;
+    }
+  }
+  return r;
+}
+
+}  // namespace cachekv

@@ -1,0 +1,85 @@
+#ifndef CACHEKV_LSM_DBFORMAT_H_
+#define CACHEKV_LSM_DBFORMAT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/coding.h"
+#include "util/slice.h"
+
+namespace cachekv {
+
+/// Monotonically increasing per-store sequence number, assigned to every
+/// write so that concurrent structures can order updates to the same key.
+typedef uint64_t SequenceNumber;
+
+/// Value types encoded as the low byte of the internal key trailer.
+/// kTypeDeletion sorts after kTypeValue for equal (user_key, seq)... the
+/// trailer packs (seq << 8 | type), and internal keys with equal user keys
+/// order by decreasing trailer, so for the same sequence a kTypeValue
+/// (type 1) is seen before kTypeDeletion (type 0); sequences are unique
+/// per store so this tie never occurs in practice.
+enum ValueType : uint8_t {
+  kTypeDeletion = 0x0,
+  kTypeValue = 0x1,
+};
+
+/// kValueTypeForSeek is the highest type value, used when constructing
+/// seek targets so that all entries of the target sequence are visible.
+static constexpr ValueType kValueTypeForSeek = kTypeValue;
+
+/// We leave eight bits free for the type tag.
+static constexpr SequenceNumber kMaxSequenceNumber =
+    ((0x1ull << 56) - 1);
+
+inline uint64_t PackSequenceAndType(SequenceNumber seq, ValueType t) {
+  return (seq << 8) | t;
+}
+
+inline void UnpackSequenceAndType(uint64_t packed, SequenceNumber* seq,
+                                  ValueType* t) {
+  *seq = packed >> 8;
+  *t = static_cast<ValueType>(packed & 0xff);
+}
+
+/// An internal key is `user_key . fixed64(seq << 8 | type)`. Internal keys
+/// order by user key ascending, then by sequence descending (freshest
+/// first), then by type descending.
+void AppendInternalKey(std::string* result, const Slice& user_key,
+                       SequenceNumber seq, ValueType t);
+
+/// Returns the user-key prefix of an internal key.
+inline Slice ExtractUserKey(const Slice& internal_key) {
+  return Slice(internal_key.data(), internal_key.size() - 8);
+}
+
+/// Returns the packed (seq, type) trailer of an internal key.
+inline uint64_t ExtractTrailer(const Slice& internal_key) {
+  return DecodeFixed64(internal_key.data() + internal_key.size() - 8);
+}
+
+/// Parsed form of an internal key.
+struct ParsedInternalKey {
+  Slice user_key;
+  SequenceNumber sequence = 0;
+  ValueType type = kTypeValue;
+};
+
+/// Parses an internal key; returns false if malformed (too short).
+bool ParseInternalKey(const Slice& internal_key, ParsedInternalKey* result);
+
+/// Comparator over internal keys: user key ascending (bytewise), then
+/// trailer (sequence/type) descending.
+class InternalKeyComparator {
+ public:
+  /// Three-way compare of two internal keys.
+  int Compare(const Slice& a, const Slice& b) const;
+
+  int operator()(const Slice& a, const Slice& b) const {
+    return Compare(a, b);
+  }
+};
+
+}  // namespace cachekv
+
+#endif  // CACHEKV_LSM_DBFORMAT_H_

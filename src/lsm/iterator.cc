@@ -1,0 +1,29 @@
+#include "lsm/iterator.h"
+
+namespace cachekv {
+
+namespace {
+
+class EmptyIterator : public Iterator {
+ public:
+  explicit EmptyIterator(Status s) : status_(std::move(s)) {}
+
+  bool Valid() const override { return false; }
+  void SeekToFirst() override {}
+  void Seek(const Slice&) override {}
+  void Next() override {}
+  Slice key() const override { return Slice(); }
+  Slice value() const override { return Slice(); }
+  Status status() const override { return status_; }
+
+ private:
+  Status status_;
+};
+
+}  // namespace
+
+Iterator* NewEmptyIterator(Status status) {
+  return new EmptyIterator(std::move(status));
+}
+
+}  // namespace cachekv

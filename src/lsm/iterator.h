@@ -1,0 +1,52 @@
+#ifndef CACHEKV_LSM_ITERATOR_H_
+#define CACHEKV_LSM_ITERATOR_H_
+
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace cachekv {
+
+/// Forward iterator over sorted (internal key, value) pairs, in the
+/// LevelDB style. Keys yielded are internal keys unless a wrapper states
+/// otherwise. Iterators are not thread-safe.
+///
+/// Reverse iteration (Prev) is intentionally not part of this interface:
+/// none of the paper's workloads scan backwards, and omitting it keeps
+/// the merging iterator simple.
+class Iterator {
+ public:
+  Iterator() = default;
+  virtual ~Iterator() = default;
+
+  Iterator(const Iterator&) = delete;
+  Iterator& operator=(const Iterator&) = delete;
+
+  /// True iff the iterator is positioned at a valid entry.
+  virtual bool Valid() const = 0;
+
+  /// Positions at the first entry; Valid() iff the source is non-empty.
+  virtual void SeekToFirst() = 0;
+
+  /// Positions at the first entry with key >= target.
+  virtual void Seek(const Slice& target) = 0;
+
+  /// Moves to the next entry. Requires: Valid().
+  virtual void Next() = 0;
+
+  /// Current key. Requires: Valid(). The returned slice is valid until
+  /// the next mutation of the iterator.
+  virtual Slice key() const = 0;
+
+  /// Current value. Requires: Valid(). Same lifetime as key().
+  virtual Slice value() const = 0;
+
+  /// Non-ok if an error was encountered.
+  virtual Status status() const = 0;
+};
+
+/// Returns an iterator yielding nothing, with the given status.
+Iterator* NewEmptyIterator(Status status = Status::OK());
+
+}  // namespace cachekv
+
+#endif  // CACHEKV_LSM_ITERATOR_H_

@@ -1,0 +1,130 @@
+#ifndef CACHEKV_LSM_LSM_ENGINE_H_
+#define CACHEKV_LSM_LSM_ENGINE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "lsm/dbformat.h"
+#include "lsm/iterator.h"
+#include "lsm/version.h"
+#include "pmem/pmem_env.h"
+#include "util/status.h"
+
+namespace cachekv {
+
+/// Tuning knobs of the LSM storage component.
+struct LsmOptions {
+  int num_levels = 5;
+  /// L0 file count that triggers an L0 -> L1 compaction.
+  int l0_compaction_trigger = 4;
+  /// Size limit of L1; each deeper level is `level_size_multiplier`
+  /// larger (the 10x growth of LevelDB).
+  uint64_t base_level_bytes = 8ull << 20;
+  int level_size_multiplier = 10;
+  /// Target size of compaction output files.
+  uint64_t target_file_size = 2ull << 20;
+  SSTableOptions table_options;
+  /// Run compactions on a background thread. When false, compactions run
+  /// inline in WriteL0Tables (deterministic mode for tests).
+  bool background_compaction = true;
+};
+
+/// LsmEngine is the storage component of Figure 2 in the paper: SSTables
+/// organized in n+1 levels in (simulated) PMem, with L0 partially sorted
+/// (overlapping files, newest first) and L1+ fully sorted, plus leveled
+/// background compaction. It has no memory component of its own: callers
+/// feed it sorted runs (CacheKV feeds compacted sub-skiplist zones, the
+/// baselines feed sealed memtables).
+///
+/// Thread-safe.
+class LsmEngine {
+ public:
+  /// `manifest_base` names 2 x MetaLayout::kManifestSlotSize bytes of PMem
+  /// for the A/B manifest slots.
+  LsmEngine(PmemEnv* env, const LsmOptions& options, uint64_t manifest_base);
+  ~LsmEngine();
+
+  LsmEngine(const LsmEngine&) = delete;
+  LsmEngine& operator=(const LsmEngine&) = delete;
+
+  /// Initializes a fresh store (clearing any manifest) or recovers the
+  /// table tree from the manifest when `recover` is set.
+  Status Open(bool recover);
+
+  /// Builds one or more L0 SSTables from the sorted run `iter` (internal
+  /// keys) and installs them atomically. May trigger compactions.
+  Status WriteL0Tables(Iterator* iter);
+
+  /// Point lookup at `snapshot`. On a visible value: OK. On a visible
+  /// tombstone or no entry: NotFound (with *deleted distinguishing the
+  /// two so upper layers can stop searching). When seq_out is non-null it
+  /// receives the sequence of the entry that answered (value or
+  /// tombstone), letting callers order answers across components.
+  Status Get(const Slice& user_key, SequenceNumber snapshot,
+             std::string* value, bool* deleted,
+             SequenceNumber* seq_out = nullptr);
+
+  /// Iterator over all tables (internal-key order, duplicates possible
+  /// across levels; fresher levels yield first for equal user keys).
+  Iterator* NewIterator();
+
+  /// Sequence-number bookkeeping, persisted with each manifest write.
+  SequenceNumber LastSequence() const {
+    return last_sequence_.load(std::memory_order_acquire);
+  }
+  void EnsureLastSequenceAtLeast(SequenceNumber seq);
+
+  /// Blocks until no compaction is running or pending.
+  Status WaitForCompactions();
+
+  int NumFiles(int level) const;
+  uint64_t TotalTableBytes() const;
+  VersionRef CurrentVersion() const;
+
+ private:
+  uint64_t MaxBytesForLevel(int level) const;
+  Status InstallVersion(std::shared_ptr<Version> next,
+                        std::unique_lock<std::mutex>* lock);
+  Status BuildTables(Iterator* iter, std::vector<TableRef>* outputs,
+                     bool is_compaction, int output_level,
+                     const Version* base_version);
+  Status OpenTable(const FileMeta& meta, TableRef* out);
+
+  // Compaction machinery.
+  void BackgroundWork();
+  bool NeedsCompaction(const Version& v, int* level) const;
+  Status CompactLevel(int level);
+  bool IsBaseLevelForKey(const Version& v, int output_level,
+                         const Slice& user_key) const;
+  void MaybeScheduleCompaction();
+
+  PmemEnv* env_;
+  LsmOptions options_;
+  InternalKeyComparator icmp_;
+  ManifestWriter manifest_;
+
+  mutable std::mutex mu_;
+  std::shared_ptr<const Version> current_;
+  uint64_t next_file_number_ = 1;
+  std::atomic<uint64_t> last_sequence_{0};
+  std::vector<uint64_t> compact_cursor_;
+  uint64_t manifest_epoch_ = 0;
+
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::thread bg_thread_;
+  bool compaction_pending_ = false;
+  bool compaction_running_ = false;
+  bool shutting_down_ = false;
+  Status bg_error_;
+};
+
+}  // namespace cachekv
+
+#endif  // CACHEKV_LSM_LSM_ENGINE_H_

@@ -1,0 +1,243 @@
+#include "lsm/lsm_kv.h"
+
+#include "lsm/merger.h"
+#include "pmem/meta_layout.h"
+#include "util/coding.h"
+
+namespace cachekv {
+
+namespace {
+
+constexpr uint32_t kRootMagic = 0x4c534d4b;  // "LSMK"
+
+// Root block: magic, wal_offset, wal_size (all fixed-width), crc.
+void WriteRoot(PmemEnv* env, uint64_t wal_offset, uint64_t wal_size) {
+  std::string root;
+  PutFixed32(&root, kRootMagic);
+  PutFixed64(&root, wal_offset);
+  PutFixed64(&root, wal_size);
+  PutFixed32(&root, WalCrc(root.data(), root.size()));
+  env->NtStore(MetaLayout::BaselineRootBase(env), root.data(), root.size());
+  env->Sfence();
+}
+
+bool ReadRoot(PmemEnv* env, uint64_t* wal_offset, uint64_t* wal_size) {
+  char buf[24];
+  env->Load(MetaLayout::BaselineRootBase(env), buf, sizeof(buf));
+  if (DecodeFixed32(buf) != kRootMagic) {
+    return false;
+  }
+  if (WalCrc(buf, 20) != DecodeFixed32(buf + 20)) {
+    return false;
+  }
+  *wal_offset = DecodeFixed64(buf + 4);
+  *wal_size = DecodeFixed64(buf + 12);
+  return true;
+}
+
+// WAL payload: type(1) seq(8) varint-klen key varint-vlen value.
+void EncodeWalRecord(std::string* out, ValueType type, SequenceNumber seq,
+                     const Slice& key, const Slice& value) {
+  out->clear();
+  out->push_back(static_cast<char>(type));
+  PutFixed64(out, seq);
+  PutLengthPrefixedSlice(out, key);
+  PutLengthPrefixedSlice(out, value);
+}
+
+bool DecodeWalRecord(const Slice& record, ValueType* type,
+                     SequenceNumber* seq, Slice* key, Slice* value) {
+  Slice in = record;
+  if (in.size() < 9) return false;
+  uint8_t t = static_cast<uint8_t>(in[0]);
+  if (t > kTypeValue) return false;
+  *type = static_cast<ValueType>(t);
+  in.remove_prefix(1);
+  *seq = DecodeFixed64(in.data());
+  in.remove_prefix(8);
+  return GetLengthPrefixedSlice(&in, key) &&
+         GetLengthPrefixedSlice(&in, value);
+}
+
+}  // namespace
+
+LsmKv::LsmKv(PmemEnv* env, const LsmKvOptions& options)
+    : env_(env),
+      options_(options),
+      engine_(std::make_unique<LsmEngine>(env, options.lsm,
+                                          MetaLayout::ManifestBase(env))),
+      mem_(std::make_unique<MemTable>()) {}
+
+Status LsmKv::Open(PmemEnv* env, const LsmKvOptions& options, bool recover,
+                   std::unique_ptr<LsmKv>* db) {
+  std::unique_ptr<LsmKv> kv(new LsmKv(env, options));
+  Status s = kv->engine_->Open(recover);
+  if (!s.ok()) {
+    return s;
+  }
+  kv->sequence_.store(kv->engine_->LastSequence(),
+                      std::memory_order_release);
+
+  if (recover && ReadRoot(env, &kv->wal_offset_, &kv->wal_size_)) {
+    s = env->allocator()->Reserve(kv->wal_offset_, kv->wal_size_);
+    if (!s.ok()) {
+      return s;
+    }
+    s = kv->RecoverWal();
+    if (!s.ok()) {
+      return s;
+    }
+  } else {
+    kv->wal_size_ = AlignUp(2 * options.write_buffer_size, kXPLineSize);
+    s = env->allocator()->Allocate(kv->wal_size_, &kv->wal_offset_);
+    if (!s.ok()) {
+      return s;
+    }
+    WriteRoot(env, kv->wal_offset_, kv->wal_size_);
+    kv->wal_ = std::make_unique<WalWriter>(env, kv->wal_offset_,
+                                           kv->wal_size_,
+                                           options.use_flush_instructions);
+    kv->wal_->Reset();
+  }
+  *db = std::move(kv);
+  return Status::OK();
+}
+
+LsmKv::~LsmKv() = default;
+
+Status LsmKv::RecoverWal() {
+  wal_ = std::make_unique<WalWriter>(env_, wal_offset_, wal_size_,
+                                     options_.use_flush_instructions);
+  WalReader reader(env_, wal_offset_, wal_size_);
+  std::string record;
+  uint64_t max_seq = sequence_.load(std::memory_order_relaxed);
+  while (reader.ReadRecord(&record)) {
+    ValueType type;
+    SequenceNumber seq;
+    Slice key, value;
+    if (!DecodeWalRecord(Slice(record), &type, &seq, &key, &value)) {
+      break;  // torn tail
+    }
+    // Records already flushed into tables are superseded by equal-seq
+    // table entries; re-adding them is harmless (same seq, same data).
+    mem_->Add(seq, type, key, value);
+    if (seq > max_seq) max_seq = seq;
+  }
+  // Re-append the surviving records so the writer cursor lands after
+  // them. Simpler: rebuild the log from the recovered memtable.
+  wal_->Reset();
+  std::unique_ptr<Iterator> iter(mem_->NewIterator());
+  std::string rec;
+  for (iter->SeekToFirst(); iter->Valid(); iter->Next()) {
+    ParsedInternalKey parsed;
+    if (!ParseInternalKey(iter->key(), &parsed)) {
+      return Status::Corruption("bad key rebuilding wal");
+    }
+    EncodeWalRecord(&rec, parsed.type, parsed.sequence, parsed.user_key,
+                    iter->value());
+    Status s = wal_->AddRecord(Slice(rec));
+    if (!s.ok()) {
+      return s;
+    }
+  }
+  sequence_.store(max_seq, std::memory_order_release);
+  engine_->EnsureLastSequenceAtLeast(max_seq);
+  return Status::OK();
+}
+
+Status LsmKv::Write(ValueType type, const Slice& key, const Slice& value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const SequenceNumber seq =
+      sequence_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  std::string record;
+  EncodeWalRecord(&record, type, seq, key, value);
+  Status s = wal_->AddRecord(Slice(record));
+  if (s.IsOutOfSpace()) {
+    s = FlushMemTableLocked();
+    if (s.ok()) {
+      s = wal_->AddRecord(Slice(record));
+      if (s.IsOutOfSpace()) {
+        // The record alone exceeds the log region: make it durable by
+        // flushing it straight to L0 instead of logging it.
+        mem_->Add(seq, type, key, value);
+        return FlushMemTableLocked();
+      }
+    }
+  }
+  if (!s.ok()) {
+    return s;
+  }
+  mem_->Add(seq, type, key, value);
+  if (mem_->ApproximateMemoryUsage() >= options_.write_buffer_size) {
+    s = FlushMemTableLocked();
+  }
+  return s;
+}
+
+Status LsmKv::FlushMemTableLocked() {
+  if (mem_->NumEntries() == 0) {
+    return Status::OK();
+  }
+  std::unique_ptr<Iterator> iter(mem_->NewIterator());
+  Status s = engine_->WriteL0Tables(iter.get());
+  if (!s.ok()) {
+    return s;
+  }
+  mem_ = std::make_unique<MemTable>();
+  wal_->Reset();
+  return Status::OK();
+}
+
+Status LsmKv::Put(const Slice& key, const Slice& value) {
+  return Write(kTypeValue, key, value);
+}
+
+Status LsmKv::Delete(const Slice& key) {
+  return Write(kTypeDeletion, key, Slice());
+}
+
+Status LsmKv::Get(const Slice& key, std::string* value) {
+  // Reads return the freshest committed version. A bounded snapshot would
+  // race with compaction dropping shadowed versions (we keep no snapshot
+  // registry; the paper's stores expose read-latest semantics only).
+  const SequenceNumber snapshot = kMaxSequenceNumber;
+  // The memtable pointer may be swapped by a concurrent flush; hold the
+  // lock briefly to pin it. (The reference engine intentionally keeps the
+  // single-memtable locking discipline of LevelDB.)
+  MemTable* mem;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    mem = mem_.get();
+    MemTable::GetResult r = mem->Get(key, snapshot, value);
+    if (r == MemTable::GetResult::kFound) {
+      return Status::OK();
+    }
+    if (r == MemTable::GetResult::kDeleted) {
+      return Status::NotFound("deleted");
+    }
+  }
+  bool deleted = false;
+  return engine_->Get(key, snapshot, value, &deleted);
+}
+
+Status LsmKv::WaitIdle() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Status s = FlushMemTableLocked();
+    if (!s.ok()) {
+      return s;
+    }
+  }
+  return engine_->WaitForCompactions();
+}
+
+Iterator* LsmKv::NewInternalIterator() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Iterator*> children;
+  children.push_back(mem_->NewIterator());
+  children.push_back(engine_->NewIterator());
+  static InternalKeyComparator icmp;
+  return NewMergingIterator(&icmp, std::move(children));
+}
+
+}  // namespace cachekv

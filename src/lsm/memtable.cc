@@ -1,0 +1,124 @@
+#include "lsm/memtable.h"
+
+#include <cassert>
+
+#include "util/coding.h"
+
+namespace cachekv {
+
+namespace {
+
+Slice GetLengthPrefixedSliceAt(const char* data) {
+  uint32_t len;
+  const char* p = data;
+  p = GetVarint32Ptr(p, p + 5, &len);  // +5: max varint32 length
+  return Slice(p, len);
+}
+
+// Encodes a seek target entry (internal key only) into *scratch and
+// returns a pointer usable as a Table key for Seek.
+const char* EncodeKey(std::string* scratch, const Slice& internal_key) {
+  scratch->clear();
+  PutVarint32(scratch, static_cast<uint32_t>(internal_key.size()));
+  scratch->append(internal_key.data(), internal_key.size());
+  return scratch->data();
+}
+
+}  // namespace
+
+int MemTable::KeyComparator::operator()(const char* a,
+                                        const char* b) const {
+  Slice ak = GetLengthPrefixedSliceAt(a);
+  Slice bk = GetLengthPrefixedSliceAt(b);
+  return comparator.Compare(ak, bk);
+}
+
+MemTable::MemTable()
+    : table_(comparator_, &arena_), num_entries_(0) {}
+
+void MemTable::Add(SequenceNumber seq, ValueType type,
+                   const Slice& user_key, const Slice& value) {
+  // Entry format:
+  //   varint32 internal_key_size
+  //   char[internal_key_size]  (user_key + fixed64 tag)
+  //   varint32 value_size
+  //   char[value_size]
+  const size_t internal_key_size = user_key.size() + 8;
+  const size_t encoded_len = VarintLength(internal_key_size) +
+                             internal_key_size +
+                             VarintLength(value.size()) + value.size();
+  char* buf = arena_.Allocate(encoded_len);
+  char* p = EncodeVarint32(buf, static_cast<uint32_t>(internal_key_size));
+  memcpy(p, user_key.data(), user_key.size());
+  p += user_key.size();
+  EncodeFixed64(p, PackSequenceAndType(seq, type));
+  p += 8;
+  p = EncodeVarint32(p, static_cast<uint32_t>(value.size()));
+  memcpy(p, value.data(), value.size());
+  assert(p + value.size() == buf + encoded_len);
+  table_.Insert(buf);
+  num_entries_.fetch_add(1, std::memory_order_release);
+}
+
+MemTable::GetResult MemTable::Get(const Slice& user_key,
+                                  SequenceNumber snapshot,
+                                  std::string* value) const {
+  std::string target_key;
+  AppendInternalKey(&target_key, user_key, snapshot, kValueTypeForSeek);
+  std::string scratch;
+  Table::Iterator iter(&table_);
+  iter.Seek(EncodeKey(&scratch, Slice(target_key)));
+  if (iter.Valid()) {
+    const char* entry = iter.key();
+    Slice internal_key = GetLengthPrefixedSliceAt(entry);
+    ParsedInternalKey parsed;
+    if (ParseInternalKey(internal_key, &parsed) &&
+        parsed.user_key == user_key) {
+      if (parsed.type == kTypeDeletion) {
+        return GetResult::kDeleted;
+      }
+      const char* value_pos =
+          internal_key.data() + internal_key.size();
+      Slice v = GetLengthPrefixedSliceAt(value_pos);
+      value->assign(v.data(), v.size());
+      return GetResult::kFound;
+    }
+  }
+  return GetResult::kNotFound;
+}
+
+class MemTable::MemTableIterator : public Iterator {
+ public:
+  explicit MemTableIterator(const Table* table) : iter_(table) {}
+
+  bool Valid() const override { return iter_.Valid(); }
+
+  void SeekToFirst() override { iter_.SeekToFirst(); }
+
+  void Seek(const Slice& internal_key) override {
+    iter_.Seek(EncodeKey(&scratch_, internal_key));
+  }
+
+  void Next() override { iter_.Next(); }
+
+  Slice key() const override {
+    return GetLengthPrefixedSliceAt(iter_.key());
+  }
+
+  Slice value() const override {
+    Slice key_slice = GetLengthPrefixedSliceAt(iter_.key());
+    return GetLengthPrefixedSliceAt(key_slice.data() + key_slice.size());
+  }
+
+  Status status() const override { return Status::OK(); }
+
+ private:
+  Table::Iterator iter_;
+  std::string scratch_;
+};
+
+Iterator* MemTable::NewIterator() const {
+  return new MemTableIterator(&table_);
+}
+
+}  // namespace cachekv

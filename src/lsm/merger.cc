@@ -1,0 +1,185 @@
+#include "lsm/merger.h"
+
+namespace cachekv {
+
+namespace {
+
+class MergingIterator : public Iterator {
+ public:
+  MergingIterator(const InternalKeyComparator* comparator,
+                  std::vector<Iterator*> children)
+      : comparator_(comparator), current_(nullptr) {
+    children_.reserve(children.size());
+    for (Iterator* child : children) {
+      children_.emplace_back(child);
+    }
+  }
+
+  bool Valid() const override { return current_ != nullptr; }
+
+  void SeekToFirst() override {
+    for (auto& child : children_) {
+      child->SeekToFirst();
+    }
+    FindSmallest();
+  }
+
+  void Seek(const Slice& target) override {
+    for (auto& child : children_) {
+      child->Seek(target);
+    }
+    FindSmallest();
+  }
+
+  void Next() override {
+    current_->Next();
+    FindSmallest();
+  }
+
+  Slice key() const override { return current_->key(); }
+  Slice value() const override { return current_->value(); }
+
+  Status status() const override {
+    for (const auto& child : children_) {
+      Status s = child->status();
+      if (!s.ok()) {
+        return s;
+      }
+    }
+    return Status::OK();
+  }
+
+ private:
+  void FindSmallest() {
+    Iterator* smallest = nullptr;
+    for (auto& child : children_) {
+      if (child->Valid()) {
+        if (smallest == nullptr ||
+            comparator_->Compare(child->key(), smallest->key()) < 0) {
+          smallest = child.get();
+        }
+      }
+    }
+    current_ = smallest;
+  }
+
+  const InternalKeyComparator* comparator_;
+  std::vector<std::unique_ptr<Iterator>> children_;
+  Iterator* current_;
+};
+
+class DedupingIterator : public Iterator {
+ public:
+  explicit DedupingIterator(Iterator* base) : base_(base) {}
+
+  bool Valid() const override { return base_->Valid(); }
+
+  void SeekToFirst() override {
+    base_->SeekToFirst();
+    has_last_ = false;
+    RememberCurrent();
+  }
+
+  void Seek(const Slice& target) override {
+    base_->Seek(target);
+    has_last_ = false;
+    RememberCurrent();
+  }
+
+  void Next() override {
+    while (true) {
+      base_->Next();
+      if (!base_->Valid()) {
+        return;
+      }
+      Slice user_key = ExtractUserKey(base_->key());
+      if (!has_last_ || Slice(last_user_key_) != user_key) {
+        RememberCurrent();
+        return;
+      }
+    }
+  }
+
+  Slice key() const override { return base_->key(); }
+  Slice value() const override { return base_->value(); }
+  Status status() const override { return base_->status(); }
+
+ private:
+  void RememberCurrent() {
+    if (base_->Valid()) {
+      Slice user_key = ExtractUserKey(base_->key());
+      last_user_key_.assign(user_key.data(), user_key.size());
+      has_last_ = true;
+    }
+  }
+
+  std::unique_ptr<Iterator> base_;
+  std::string last_user_key_;
+  bool has_last_ = false;
+};
+
+class UserKeyIterator : public Iterator {
+ public:
+  explicit UserKeyIterator(Iterator* base) : base_(base) {}
+
+  bool Valid() const override { return base_->Valid(); }
+
+  void SeekToFirst() override {
+    base_->SeekToFirst();
+    SkipTombstones();
+  }
+
+  void Seek(const Slice& user_key) override {
+    std::string target;
+    AppendInternalKey(&target, user_key, kMaxSequenceNumber,
+                      kValueTypeForSeek);
+    base_->Seek(Slice(target));
+    SkipTombstones();
+  }
+
+  void Next() override {
+    base_->Next();
+    SkipTombstones();
+  }
+
+  Slice key() const override { return ExtractUserKey(base_->key()); }
+  Slice value() const override { return base_->value(); }
+  Status status() const override { return base_->status(); }
+
+ private:
+  void SkipTombstones() {
+    while (base_->Valid()) {
+      ParsedInternalKey parsed;
+      if (ParseInternalKey(base_->key(), &parsed) &&
+          parsed.type != kTypeDeletion) {
+        return;
+      }
+      base_->Next();
+    }
+  }
+
+  std::unique_ptr<Iterator> base_;
+};
+
+}  // namespace
+
+Iterator* NewDedupingIterator(Iterator* base) {
+  return new DedupingIterator(base);
+}
+
+Iterator* NewUserKeyIterator(Iterator* base) {
+  return new UserKeyIterator(base);
+}
+
+Iterator* NewMergingIterator(const InternalKeyComparator* comparator,
+                             std::vector<Iterator*> children) {
+  if (children.empty()) {
+    return NewEmptyIterator();
+  }
+  if (children.size() == 1) {
+    return children[0];
+  }
+  return new MergingIterator(comparator, std::move(children));
+}
+
+}  // namespace cachekv

@@ -1,0 +1,31 @@
+#ifndef CACHEKV_LSM_MERGER_H_
+#define CACHEKV_LSM_MERGER_H_
+
+#include <memory>
+#include <vector>
+
+#include "lsm/dbformat.h"
+#include "lsm/iterator.h"
+
+namespace cachekv {
+
+/// Returns an iterator yielding the union of the children's entries in
+/// internal-key order. Ties (identical internal keys cannot occur; equal
+/// user keys with different sequences can) break towards the
+/// earlier-listed child, so callers should list fresher sources first.
+/// Takes ownership of the children.
+Iterator* NewMergingIterator(const InternalKeyComparator* comparator,
+                             std::vector<Iterator*> children);
+
+/// Wraps a sorted internal-key stream, dropping all but the first
+/// (freshest) entry of every user key. Takes ownership of base.
+Iterator* NewDedupingIterator(Iterator* base);
+
+/// Wraps a deduped internal-key stream as a user-facing iterator:
+/// tombstoned keys are skipped, key() yields the user key. Takes
+/// ownership of base.
+Iterator* NewUserKeyIterator(Iterator* base);
+
+}  // namespace cachekv
+
+#endif  // CACHEKV_LSM_MERGER_H_

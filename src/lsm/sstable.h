@@ -1,0 +1,145 @@
+#ifndef CACHEKV_LSM_SSTABLE_H_
+#define CACHEKV_LSM_SSTABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lsm/block.h"
+#include "lsm/bloom.h"
+#include "lsm/dbformat.h"
+#include "lsm/iterator.h"
+#include "pmem/pmem_env.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace cachekv {
+
+/// Locates a block within an SSTable.
+struct BlockHandle {
+  uint64_t offset = 0;
+  uint64_t size = 0;
+
+  void EncodeTo(std::string* dst) const;
+  Status DecodeFrom(Slice* input);
+
+  /// Maximum encoded length of a BlockHandle.
+  static constexpr size_t kMaxEncodedLength = 20;
+};
+
+/// Footer at the tail of every SSTable: filter handle, index handle,
+/// padding, magic. Fixed length so it can be located from the table size.
+struct Footer {
+  BlockHandle filter_handle;
+  BlockHandle index_handle;
+
+  void EncodeTo(std::string* dst) const;
+  Status DecodeFrom(Slice* input);
+
+  static constexpr size_t kEncodedLength =
+      2 * BlockHandle::kMaxEncodedLength + 8;
+  static constexpr uint64_t kMagic = 0xcac8ec5db10c5ull;
+};
+
+/// Build-time knobs for SSTables.
+struct SSTableOptions {
+  size_t block_size = 4096;
+  int restart_interval = 16;
+  int bloom_bits_per_key = 10;
+};
+
+/// SSTableBuilder accumulates sorted (internal key, value) entries and
+/// produces the serialized table: data blocks, one whole-table bloom
+/// filter over user keys, an index block mapping last-key -> block
+/// handle, and a footer. The serialized bytes are buffered in DRAM; the
+/// caller writes them to PMem in one large non-temporal copy, which is
+/// how the storage component avoids the XPLine write amplification.
+class SSTableBuilder {
+ public:
+  explicit SSTableBuilder(const SSTableOptions& options = SSTableOptions());
+
+  SSTableBuilder(const SSTableBuilder&) = delete;
+  SSTableBuilder& operator=(const SSTableBuilder&) = delete;
+
+  /// Adds an entry. Requires: internal keys added in strictly increasing
+  /// order; Finish() not yet called.
+  void Add(const Slice& internal_key, const Slice& value);
+
+  /// Finalizes the table. No further Add() calls are allowed.
+  Status Finish();
+
+  /// Serialized table contents; valid after Finish().
+  const std::string& contents() const { return buffer_; }
+
+  uint64_t NumEntries() const { return num_entries_; }
+  const std::string& smallest_key() const { return smallest_key_; }
+  const std::string& largest_key() const { return largest_key_; }
+
+  /// Bytes the serialized table would occupy if finished now (estimate).
+  uint64_t CurrentSizeEstimate() const;
+
+ private:
+  void FlushDataBlock();
+
+  SSTableOptions options_;
+  BloomFilterPolicy bloom_;
+  std::string buffer_;
+  BlockBuilder data_block_;
+  BlockBuilder index_block_;
+  std::vector<std::string> user_keys_;  // for the bloom filter
+  std::string smallest_key_;
+  std::string largest_key_;
+  std::string pending_index_key_;
+  bool pending_index_entry_ = false;
+  BlockHandle pending_handle_;
+  uint64_t num_entries_ = 0;
+  bool finished_ = false;
+};
+
+/// SSTableReader reads a table resident in the simulated PMem. The index
+/// block and bloom filter are cached in DRAM at open (as LevelDB caches
+/// index/filter blocks); data blocks are fetched through the simulated
+/// CPU cache on demand.
+class SSTableReader {
+ public:
+  /// Opens the table stored at [region_offset, region_offset + size).
+  static Status Open(PmemEnv* env, uint64_t region_offset, uint64_t size,
+                     std::unique_ptr<SSTableReader>* reader);
+
+  SSTableReader(const SSTableReader&) = delete;
+  SSTableReader& operator=(const SSTableReader&) = delete;
+
+  /// Looks up `internal_key`. On a user-key match with sequence <= the
+  /// key's sequence, fills *parsed (pointing into *value_storage for the
+  /// user key) and *value and returns OK; otherwise NotFound.
+  Status InternalGet(const Slice& internal_key, ParsedInternalKey* parsed,
+                     std::string* key_storage, std::string* value);
+
+  /// Returns a new iterator over the table (internal-key order). The
+  /// reader must outlive the iterator.
+  Iterator* NewIterator() const;
+
+  uint64_t region_offset() const { return region_offset_; }
+  uint64_t size() const { return size_; }
+
+ private:
+  SSTableReader(PmemEnv* env, uint64_t region_offset, uint64_t size);
+
+  Status ReadBlockContents(const BlockHandle& handle,
+                           std::string* contents) const;
+
+  class TableIterator;
+
+  PmemEnv* env_;
+  uint64_t region_offset_;
+  uint64_t size_;
+  InternalKeyComparator comparator_;
+  BloomFilterPolicy bloom_;
+  std::unique_ptr<Block> index_block_;
+  std::string filter_data_;
+};
+
+}  // namespace cachekv
+
+#endif  // CACHEKV_LSM_SSTABLE_H_

@@ -1,0 +1,109 @@
+#ifndef CACHEKV_LSM_VERSION_H_
+#define CACHEKV_LSM_VERSION_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lsm/dbformat.h"
+#include "lsm/sstable.h"
+#include "pmem/pmem_env.h"
+#include "util/status.h"
+
+namespace cachekv {
+
+/// Metadata of one SSTable file (a PMem region).
+struct FileMeta {
+  uint64_t number = 0;
+  uint64_t region_offset = 0;
+  uint64_t file_size = 0;    // bytes of serialized table
+  uint64_t region_size = 0;  // allocated region (XPLine aligned)
+  std::string smallest;      // internal keys
+  std::string largest;
+};
+
+/// Refcounted open table. The PMem region backing the table is freed when
+/// the last reference drops (i.e., when no Version and no in-flight read
+/// uses it anymore).
+class TableHandle {
+ public:
+  TableHandle(PmemEnv* env, FileMeta meta,
+              std::unique_ptr<SSTableReader> reader)
+      : meta(std::move(meta)), reader(std::move(reader)), env_(env) {}
+
+  ~TableHandle() {
+    if (env_ != nullptr) {
+      env_->allocator()->Free(meta.region_offset, meta.region_size);
+    }
+  }
+
+  TableHandle(const TableHandle&) = delete;
+  TableHandle& operator=(const TableHandle&) = delete;
+
+  const FileMeta meta;
+  const std::unique_ptr<SSTableReader> reader;
+
+ private:
+  PmemEnv* env_;
+};
+
+typedef std::shared_ptr<TableHandle> TableRef;
+
+/// An immutable snapshot of the table tree: one vector of tables per
+/// level. L0 tables may overlap and are ordered newest-first (descending
+/// file number); L1+ tables are disjoint and sorted by smallest key.
+struct Version {
+  std::vector<std::vector<TableRef>> levels;
+
+  uint64_t LevelBytes(int level) const;
+  int NumFiles(int level) const {
+    return static_cast<int>(levels[level].size());
+  }
+};
+
+typedef std::shared_ptr<const Version> VersionRef;
+
+/// Serialized manifest state beyond the file tree.
+struct ManifestState {
+  uint64_t epoch = 0;
+  uint64_t next_file_number = 1;
+  uint64_t last_sequence = 0;
+  /// File metadata per level (readers are reopened from this at
+  /// recovery).
+  std::vector<std::vector<FileMeta>> levels;
+};
+
+/// ManifestWriter persists the complete version state into one of two
+/// fixed-offset PMem slots (A/B alternation keyed by epoch parity), each
+/// write via a single non-temporal copy plus fence. Recovery picks the
+/// valid slot with the highest epoch, so a crash mid-write is harmless.
+class ManifestWriter {
+ public:
+  /// Uses [base, base + 2 * slot_size) of PMem space.
+  ManifestWriter(PmemEnv* env, uint64_t base, uint64_t slot_size);
+
+  /// Serializes and persists the state under the next epoch. Updates
+  /// state->epoch on success.
+  Status Write(ManifestState* state);
+
+  /// Reads the freshest valid manifest into *state. Returns NotFound if
+  /// neither slot holds a valid manifest (fresh database).
+  Status Recover(ManifestState* state);
+
+  /// Erases both slots (fresh database initialization).
+  void Clear();
+
+ private:
+  static void Encode(const ManifestState& state, std::string* out);
+  static Status Decode(const Slice& input, ManifestState* state);
+  Status ReadSlot(int slot, ManifestState* state);
+
+  PmemEnv* env_;
+  uint64_t base_;
+  uint64_t slot_size_;
+};
+
+}  // namespace cachekv
+
+#endif  // CACHEKV_LSM_VERSION_H_

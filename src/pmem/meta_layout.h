@@ -1,0 +1,48 @@
+#ifndef CACHEKV_PMEM_META_LAYOUT_H_
+#define CACHEKV_PMEM_META_LAYOUT_H_
+
+#include <cstdint>
+
+#include "pmem/pmem_env.h"
+
+namespace cachekv {
+
+/// Fixed carving of the PmemEnv metadata area. Every engine finds its
+/// persistent roots at these offsets relative to env->meta_base(), so
+/// crash recovery needs no volatile state to bootstrap.
+struct MetaLayout {
+  /// Two manifest slots for the LSM storage component.
+  static constexpr uint64_t kManifestSlotSize = 256ull << 10;
+  static constexpr uint64_t kManifestOffset = 0;
+
+  /// CacheKV's flushed-zone registry (two slots, A/B alternation).
+  static constexpr uint64_t kZoneRegistrySlotSize = 128ull << 10;
+  static constexpr uint64_t kZoneRegistryOffset =
+      kManifestOffset + 2 * kManifestSlotSize;
+
+  /// Root block for baseline engines (persistent memtable head pointers,
+  /// B+-tree root, etc.).
+  static constexpr uint64_t kBaselineRootSize = 64ull << 10;
+  static constexpr uint64_t kBaselineRootOffset =
+      kZoneRegistryOffset + 2 * kZoneRegistrySlotSize;
+
+  static constexpr uint64_t kTotalBytes =
+      kBaselineRootOffset + kBaselineRootSize;
+
+  static uint64_t ManifestBase(PmemEnv* env) {
+    return env->meta_base() + kManifestOffset;
+  }
+  static uint64_t ZoneRegistryBase(PmemEnv* env) {
+    return env->meta_base() + kZoneRegistryOffset;
+  }
+  static uint64_t BaselineRootBase(PmemEnv* env) {
+    return env->meta_base() + kBaselineRootOffset;
+  }
+};
+
+static_assert(MetaLayout::kTotalBytes <= (2ull << 20),
+              "meta layout must fit the default meta area");
+
+}  // namespace cachekv
+
+#endif  // CACHEKV_PMEM_META_LAYOUT_H_

@@ -1,0 +1,149 @@
+#include "pmem/pmem_device.h"
+
+#include <sys/mman.h>
+
+#include <cassert>
+#include <cstring>
+
+namespace cachekv {
+
+PmemDevice::PmemDevice(const PmemConfig& config, LatencyModel* latency)
+    : config_(config), latency_(latency) {
+  assert(config_.capacity % kXPLineSize == 0);
+  assert(config_.num_dimms >= 1);
+  // Anonymous mapping: pages are committed lazily, so a large simulated
+  // capacity does not consume physical memory until touched.
+  void* p = mmap(nullptr, config_.capacity, PROT_READ | PROT_WRITE,
+                 MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  assert(p != MAP_FAILED);
+  media_ = static_cast<char*>(p);
+  dimms_.reserve(config_.num_dimms);
+  for (int i = 0; i < config_.num_dimms; i++) {
+    dimms_.push_back(std::make_unique<Dimm>());
+  }
+}
+
+PmemDevice::~PmemDevice() { munmap(media_, config_.capacity); }
+
+void PmemDevice::WritebackSlot(const Slot& slot) {
+  const uint8_t kFullMask = (1u << kLinesPerXPLine) - 1;
+  char merged[kXPLineSize];
+  if (slot.dirty_mask != kFullMask) {
+    // Partially dirty XPLine: the DIMM must read the 256 B media line,
+    // merge the dirty cachelines, and write the whole line back. This is
+    // the write-amplifying read-modify-write of §II-B.
+    counters_.rmw_count.fetch_add(1, std::memory_order_relaxed);
+    counters_.media_bytes_read.fetch_add(kXPLineSize,
+                                         std::memory_order_relaxed);
+    if (latency_ != nullptr) latency_->ChargeMediaRead(1);
+    memcpy(merged, media_ + slot.xpline_addr, kXPLineSize);
+    for (int i = 0; i < kLinesPerXPLine; i++) {
+      if (slot.dirty_mask & (1u << i)) {
+        memcpy(merged + i * kCacheLineSize,
+               slot.data + i * kCacheLineSize, kCacheLineSize);
+      }
+    }
+  } else {
+    counters_.full_line_writebacks.fetch_add(1, std::memory_order_relaxed);
+    memcpy(merged, slot.data, kXPLineSize);
+  }
+  memcpy(media_ + slot.xpline_addr, merged, kXPLineSize);
+  counters_.media_bytes_written.fetch_add(kXPLineSize,
+                                          std::memory_order_relaxed);
+  if (latency_ != nullptr) latency_->ChargeMediaWrite(1);
+}
+
+void PmemDevice::ReceiveLine(uint64_t addr, const char* data) {
+  assert(IsAligned(addr, kCacheLineSize));
+  assert(addr + kCacheLineSize <= config_.capacity);
+  const uint64_t xpline = AlignDown(addr, kXPLineSize);
+  const int sub = static_cast<int>((addr - xpline) / kCacheLineSize);
+  Dimm& dimm = *dimms_[DimmOf(addr)];
+
+  counters_.lines_received.fetch_add(1, std::memory_order_relaxed);
+  counters_.bytes_received.fetch_add(kCacheLineSize,
+                                     std::memory_order_relaxed);
+
+  std::lock_guard<std::mutex> lock(dimm.mu);
+  auto it = dimm.index.find(xpline);
+  if (it != dimm.index.end()) {
+    // Combining hit: the XPLine is already open in the buffer.
+    counters_.xpbuffer_hits.fetch_add(1, std::memory_order_relaxed);
+    Slot& slot = *it->second;
+    memcpy(slot.data + sub * kCacheLineSize, data, kCacheLineSize);
+    slot.dirty_mask |= (1u << sub);
+    // Move to MRU position.
+    dimm.slots.splice(dimm.slots.begin(), dimm.slots, it->second);
+    return;
+  }
+
+  counters_.xpbuffer_misses.fetch_add(1, std::memory_order_relaxed);
+  if (static_cast<int>(dimm.slots.size()) >=
+      config_.xpbuffer_slots) {
+    // Evict the least recently used slot to media.
+    Slot& victim = dimm.slots.back();
+    WritebackSlot(victim);
+    dimm.index.erase(victim.xpline_addr);
+    dimm.slots.pop_back();
+  }
+  dimm.slots.emplace_front();
+  Slot& slot = dimm.slots.front();
+  slot.xpline_addr = xpline;
+  slot.dirty_mask = static_cast<uint8_t>(1u << sub);
+  memcpy(slot.data + sub * kCacheLineSize, data, kCacheLineSize);
+  dimm.index[xpline] = dimm.slots.begin();
+}
+
+void PmemDevice::Read(uint64_t addr, void* dst, size_t len) {
+  assert(addr + len <= config_.capacity);
+  char* out = static_cast<char*>(dst);
+  uint64_t pos = addr;
+  size_t remaining = len;
+  while (remaining > 0) {
+    const uint64_t xpline = AlignDown(pos, kXPLineSize);
+    const uint64_t line_off = pos - xpline;
+    const size_t chunk = static_cast<size_t>(
+        std::min<uint64_t>(remaining, kXPLineSize - line_off));
+    Dimm& dimm = *dimms_[DimmOf(pos)];
+    {
+      std::lock_guard<std::mutex> lock(dimm.mu);
+      auto it = dimm.index.find(xpline);
+      if (it != dimm.index.end()) {
+        // Serve fresher bytes from the XPBuffer where dirty, media
+        // elsewhere.
+        const Slot& slot = *it->second;
+        for (size_t i = 0; i < chunk; i++) {
+          const uint64_t o = line_off + i;
+          const int sub = static_cast<int>(o / kCacheLineSize);
+          if (slot.dirty_mask & (1u << sub)) {
+            out[i] = slot.data[o];
+          } else {
+            out[i] = media_[xpline + o];
+          }
+        }
+      } else {
+        memcpy(out, media_ + pos, chunk);
+        counters_.media_bytes_read.fetch_add(kXPLineSize,
+                                             std::memory_order_relaxed);
+        if (latency_ != nullptr) latency_->ChargeMediaRead(1);
+      }
+    }
+    out += chunk;
+    pos += chunk;
+    remaining -= chunk;
+  }
+}
+
+void PmemDevice::DrainAll() {
+  for (auto& dimm_ptr : dimms_) {
+    Dimm& dimm = *dimm_ptr;
+    std::lock_guard<std::mutex> lock(dimm.mu);
+    for (Slot& slot : dimm.slots) {
+      WritebackSlot(slot);
+    }
+    dimm.slots.clear();
+    dimm.index.clear();
+  }
+}
+
+}  // namespace cachekv

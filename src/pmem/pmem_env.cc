@@ -1,0 +1,46 @@
+#include "pmem/pmem_env.h"
+
+#include <cassert>
+
+namespace cachekv {
+
+PmemEnv::PmemEnv(const EnvOptions& options) : options_(options) {
+  assert(options_.cat_locked_bytes <= options_.llc_capacity);
+  assert(options_.cat_locked_bytes < options_.pmem_capacity);
+  latency_ = std::make_unique<LatencyModel>(options_.latency);
+
+  PmemConfig pmem_config;
+  pmem_config.capacity = options_.pmem_capacity;
+  pmem_config.num_dimms = options_.num_dimms;
+  pmem_config.xpbuffer_slots = options_.xpbuffer_slots;
+  pmem_config.interleave_bytes = options_.interleave_bytes;
+  device_ = std::make_unique<PmemDevice>(pmem_config, latency_.get());
+
+  CacheConfig cache_config;
+  cache_config.capacity = options_.llc_capacity;
+  cache_config.ways = options_.llc_ways;
+  cache_config.locked_base = 0;
+  cache_config.locked_size = AlignUp(options_.cat_locked_bytes,
+                                     kCacheLineSize);
+  cache_config.domain = options_.domain;
+  cache_ = std::make_unique<CacheSim>(cache_config, device_.get(),
+                                      latency_.get());
+
+  const uint64_t heap_base =
+      AlignUp(options_.cat_locked_bytes, kXPLineSize) +
+      AlignUp(options_.meta_area_bytes, kXPLineSize);
+  assert(heap_base < options_.pmem_capacity);
+  allocator_ = std::make_unique<PmemAllocator>(
+      heap_base, options_.pmem_capacity - heap_base);
+}
+
+void PmemEnv::SimulateCrash() {
+  cache_->Crash();
+  const uint64_t heap_base =
+      AlignUp(options_.cat_locked_bytes, kXPLineSize) +
+      AlignUp(options_.meta_area_bytes, kXPLineSize);
+  allocator_ = std::make_unique<PmemAllocator>(
+      heap_base, options_.pmem_capacity - heap_base);
+}
+
+}  // namespace cachekv

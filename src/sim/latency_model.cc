@@ -1,0 +1,39 @@
+#include "sim/latency_model.h"
+
+#include <chrono>
+
+namespace cachekv {
+
+LatencyModel::LatencyModel(const LatencyCosts& costs)
+    : costs_(costs), total_injected_ns_(0) {}
+
+void LatencyModel::SpinFor(uint64_t ns) {
+  if (ns == 0) {
+    return;
+  }
+  auto start = std::chrono::steady_clock::now();
+  auto deadline = start + std::chrono::nanoseconds(ns);
+  // A pause-based spin keeps the wait precise at nanosecond scales without
+  // involving the scheduler; device latencies here are well below the
+  // granularity at which sleeping would make sense.
+  while (std::chrono::steady_clock::now() < deadline) {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#endif
+  }
+}
+
+void LatencyModel::Charge(uint64_t ns) {
+  if (costs_.scale <= 0 || ns == 0) {
+    return;
+  }
+  uint64_t scaled = static_cast<uint64_t>(static_cast<double>(ns) *
+                                          costs_.scale);
+  if (scaled == 0) {
+    return;
+  }
+  total_injected_ns_.fetch_add(scaled, std::memory_order_relaxed);
+  SpinFor(scaled);
+}
+
+}  // namespace cachekv

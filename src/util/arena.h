@@ -1,0 +1,60 @@
+#ifndef CACHEKV_UTIL_ARENA_H_
+#define CACHEKV_UTIL_ARENA_H_
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace cachekv {
+
+/// Arena is a bump allocator for short-lived, same-lifetime objects
+/// (skiplist nodes, memtable records). Memory is only reclaimed when the
+/// arena is destroyed. Allocate() is not thread-safe; AllocateAligned()
+/// supports one writer with concurrent readers of previously returned
+/// memory (the LevelDB contract).
+class Arena {
+ public:
+  Arena();
+  ~Arena() = default;
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns a pointer to a newly allocated memory block of "bytes" bytes.
+  char* Allocate(size_t bytes);
+
+  /// Allocates memory with the normal alignment guarantees of malloc.
+  char* AllocateAligned(size_t bytes);
+
+  /// Returns an estimate of the total memory usage of the arena.
+  size_t MemoryUsage() const {
+    return memory_usage_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  char* AllocateFallback(size_t bytes);
+  char* AllocateNewBlock(size_t block_bytes);
+
+  char* alloc_ptr_;
+  size_t alloc_bytes_remaining_;
+  std::vector<std::unique_ptr<char[]>> blocks_;
+  std::atomic<size_t> memory_usage_;
+};
+
+inline char* Arena::Allocate(size_t bytes) {
+  assert(bytes > 0);
+  if (bytes <= alloc_bytes_remaining_) {
+    char* result = alloc_ptr_;
+    alloc_ptr_ += bytes;
+    alloc_bytes_remaining_ -= bytes;
+    return result;
+  }
+  return AllocateFallback(bytes);
+}
+
+}  // namespace cachekv
+
+#endif  // CACHEKV_UTIL_ARENA_H_

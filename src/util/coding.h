@@ -1,0 +1,90 @@
+#ifndef CACHEKV_UTIL_CODING_H_
+#define CACHEKV_UTIL_CODING_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "util/slice.h"
+
+namespace cachekv {
+
+// Little-endian fixed-width encodings and LevelDB-style varints, used by
+// the record formats of the MemTables, SSTables and the WAL.
+
+inline void EncodeFixed32(char* dst, uint32_t value) {
+  memcpy(dst, &value, sizeof(value));
+}
+
+inline void EncodeFixed64(char* dst, uint64_t value) {
+  memcpy(dst, &value, sizeof(value));
+}
+
+inline uint32_t DecodeFixed32(const char* ptr) {
+  uint32_t result;
+  memcpy(&result, ptr, sizeof(result));
+  return result;
+}
+
+inline uint64_t DecodeFixed64(const char* ptr) {
+  uint64_t result;
+  memcpy(&result, ptr, sizeof(result));
+  return result;
+}
+
+void PutFixed32(std::string* dst, uint32_t value);
+void PutFixed64(std::string* dst, uint64_t value);
+
+/// Encodes value as a varint32 into dst (at most 5 bytes); returns a
+/// pointer just past the last written byte.
+char* EncodeVarint32(char* dst, uint32_t value);
+
+/// Encodes value as a varint64 into dst (at most 10 bytes); returns a
+/// pointer just past the last written byte.
+char* EncodeVarint64(char* dst, uint64_t value);
+
+void PutVarint32(std::string* dst, uint32_t value);
+void PutVarint64(std::string* dst, uint64_t value);
+
+/// Appends a varint32 length prefix followed by the slice contents.
+void PutLengthPrefixedSlice(std::string* dst, const Slice& value);
+
+/// Parses a varint32 from *input, advancing it. Returns false on underflow
+/// or malformed input.
+bool GetVarint32(Slice* input, uint32_t* value);
+
+/// Parses a varint64 from *input, advancing it.
+bool GetVarint64(Slice* input, uint64_t* value);
+
+/// Parses a length-prefixed slice from *input, advancing it.
+bool GetLengthPrefixedSlice(Slice* input, Slice* result);
+
+/// Lower-level varint32 parse used by hot paths: parses from [p, limit)
+/// and returns the byte after the varint, or nullptr on error.
+const char* GetVarint32Ptr(const char* p, const char* limit, uint32_t* value);
+
+/// Lower-level varint64 parse; see GetVarint32Ptr.
+const char* GetVarint64Ptr(const char* p, const char* limit, uint64_t* value);
+
+/// Returns the number of bytes EncodeVarint32/64 would produce.
+int VarintLength(uint64_t v);
+
+// Internal helper for GetVarint32Ptr's slow path.
+const char* GetVarint32PtrFallback(const char* p, const char* limit,
+                                   uint32_t* value);
+
+inline const char* GetVarint32PtrInline(const char* p, const char* limit,
+                                        uint32_t* value) {
+  if (p < limit) {
+    uint32_t result = static_cast<unsigned char>(*p);
+    if ((result & 128) == 0) {
+      *value = result;
+      return p + 1;
+    }
+  }
+  return GetVarint32PtrFallback(p, limit, value);
+}
+
+}  // namespace cachekv
+
+#endif  // CACHEKV_UTIL_CODING_H_

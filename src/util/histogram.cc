@@ -1,0 +1,137 @@
+#include "util/histogram.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace cachekv {
+
+const double Histogram::kBucketLimit[kNumBuckets] = {
+    1,       2,       3,       4,       5,       6,       7,
+    8,       9,       10,      12,      14,      16,      18,
+    20,      25,      30,      35,      40,      45,      50,
+    60,      70,      80,      90,      100,     120,     140,
+    160,     180,     200,     250,     300,     350,     400,
+    450,     500,     600,     700,     800,     900,     1000,
+    1200,    1400,    1600,    1800,    2000,    2500,    3000,
+    3500,    4000,    4500,    5000,    6000,    7000,    8000,
+    9000,    10000,   12000,   14000,   16000,   18000,   20000,
+    25000,   30000,   35000,   40000,   45000,   50000,   60000,
+    70000,   80000,   90000,   100000,  120000,  140000,  160000,
+    180000,  200000,  250000,  300000,  350000,  400000,  450000,
+    500000,  600000,  700000,  800000,  900000,  1000000, 1200000,
+    1400000, 1600000, 1800000, 2000000, 2500000, 3000000, 3500000,
+    4000000, 4500000, 5000000, 6000000, 7000000, 8000000, 9000000,
+    1e7,     1.2e7,   1.4e7,   1.6e7,   1.8e7,   2e7,     2.5e7,
+    3e7,     3.5e7,   4e7,     4.5e7,   5e7,     6e7,     7e7,
+    8e7,     9e7,     1e8,     1.2e8,   1.4e8,   1.6e8,   1.8e8,
+    2e8,     2.5e8,   3e8,     3.5e8,   4e8,     4.5e8,   5e8,
+    6e8,     7e8,     8e8,     9e8,     1e9,     1.2e9,   1.4e9,
+    1.6e9,   1.8e9,   2e9,     2.5e9,   3e9,     3.5e9,   4e9,
+    4.5e9,   5e9,     6e9,     7e9,     8e9,     9e9,     1e10,
+    1e200,
+};
+
+Histogram::Histogram() : buckets_(kNumBuckets, 0) { Clear(); }
+
+void Histogram::Clear() {
+  min_ = kBucketLimit[kNumBuckets - 1];
+  max_ = 0;
+  num_ = 0;
+  sum_ = 0;
+  sum_squares_ = 0;
+  for (auto& b : buckets_) {
+    b = 0;
+  }
+}
+
+void Histogram::Add(double value) {
+  // Linear scan is fast for small values which dominate latency samples;
+  // use binary search above 1000.
+  int b = 0;
+  if (value > kBucketLimit[40]) {
+    int lo = 41, hi = kNumBuckets - 1;
+    while (lo < hi) {
+      int mid = (lo + hi) / 2;
+      if (value > kBucketLimit[mid]) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    b = lo;
+  } else {
+    while (b < kNumBuckets - 1 && kBucketLimit[b] < value) {
+      b++;
+    }
+  }
+  buckets_[b] += 1;
+  if (min_ > value) min_ = value;
+  if (max_ < value) max_ = value;
+  num_++;
+  sum_ += value;
+  sum_squares_ += value * value;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+  num_ += other.num_;
+  sum_ += other.sum_;
+  sum_squares_ += other.sum_squares_;
+  for (int b = 0; b < kNumBuckets; b++) {
+    buckets_[b] += other.buckets_[b];
+  }
+}
+
+double Histogram::Average() const {
+  if (num_ == 0) return 0;
+  return sum_ / static_cast<double>(num_);
+}
+
+double Histogram::StandardDeviation() const {
+  if (num_ == 0) return 0;
+  double n = static_cast<double>(num_);
+  double variance = (sum_squares_ * n - sum_ * sum_) / (n * n);
+  return variance <= 0 ? 0 : std::sqrt(variance);
+}
+
+double Histogram::Percentile(double p) const {
+  if (num_ == 0) return 0;
+  double threshold = static_cast<double>(num_) * (p / 100.0);
+  double cumulative = 0;
+  for (int b = 0; b < kNumBuckets; b++) {
+    cumulative += buckets_[b];
+    if (cumulative >= threshold) {
+      double left_point = (b == 0) ? 0 : kBucketLimit[b - 1];
+      double right_point = kBucketLimit[b];
+      double left_sum = cumulative - buckets_[b];
+      double right_sum = cumulative;
+      double pos = 0;
+      if (right_sum > left_sum) {
+        pos = (threshold - left_sum) / (right_sum - left_sum);
+      }
+      double r = left_point + (right_point - left_point) * pos;
+      if (r < min_) r = min_;
+      if (r > max_) r = max_;
+      return r;
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::ToString() const {
+  char buf[256];
+  std::string r;
+  snprintf(buf, sizeof(buf),
+           "Count: %llu  Average: %.1f  StdDev: %.1f\n",
+           static_cast<unsigned long long>(num_), Average(),
+           StandardDeviation());
+  r.append(buf);
+  snprintf(buf, sizeof(buf),
+           "Min: %.1f  Median: %.1f  P95: %.1f  P99: %.1f  Max: %.1f\n",
+           min(), Median(), Percentile(95), Percentile(99), max());
+  r.append(buf);
+  return r;
+}
+
+}  // namespace cachekv

@@ -1,0 +1,55 @@
+#ifndef CACHEKV_UTIL_HISTOGRAM_H_
+#define CACHEKV_UTIL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cachekv {
+
+/// Histogram accumulates latency samples (in nanoseconds or any unit) into
+/// exponentially sized buckets and reports count, mean, percentiles, min
+/// and max. Add() is not thread-safe; use one histogram per thread and
+/// Merge() afterwards.
+class Histogram {
+ public:
+  Histogram();
+
+  /// Removes all accumulated samples.
+  void Clear();
+
+  /// Records one sample.
+  void Add(double value);
+
+  /// Merges the samples of `other` into this histogram.
+  void Merge(const Histogram& other);
+
+  uint64_t count() const { return num_; }
+  double min() const { return num_ == 0 ? 0 : min_; }
+  double max() const { return max_; }
+  double Average() const;
+  double StandardDeviation() const;
+
+  /// Returns the value at percentile p (0 < p <= 100), interpolated
+  /// within the containing bucket.
+  double Percentile(double p) const;
+  double Median() const { return Percentile(50.0); }
+
+  /// Multi-line summary with average / percentiles, db_bench style.
+  std::string ToString() const;
+
+ private:
+  static constexpr int kNumBuckets = 155;
+  static const double kBucketLimit[kNumBuckets];
+
+  double min_;
+  double max_;
+  uint64_t num_;
+  double sum_;
+  double sum_squares_;
+  std::vector<double> buckets_;
+};
+
+}  // namespace cachekv
+
+#endif  // CACHEKV_UTIL_HISTOGRAM_H_

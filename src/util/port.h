@@ -1,0 +1,31 @@
+#ifndef CACHEKV_UTIL_PORT_H_
+#define CACHEKV_UTIL_PORT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cachekv {
+
+/// Size of a CPU cacheline, the granularity in which dirty data leaves the
+/// CPU caches toward the integrated memory controller.
+inline constexpr size_t kCacheLineSize = 64;
+
+/// Size of an XPLine, the access granularity of the Optane PMem media.
+/// Writes smaller than this trigger read-modify-write inside the DIMM.
+inline constexpr size_t kXPLineSize = 256;
+
+inline constexpr uint64_t AlignDown(uint64_t x, uint64_t a) {
+  return x & ~(a - 1);
+}
+
+inline constexpr uint64_t AlignUp(uint64_t x, uint64_t a) {
+  return (x + a - 1) & ~(a - 1);
+}
+
+inline constexpr bool IsAligned(uint64_t x, uint64_t a) {
+  return (x & (a - 1)) == 0;
+}
+
+}  // namespace cachekv
+
+#endif  // CACHEKV_UTIL_PORT_H_

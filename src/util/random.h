@@ -1,0 +1,58 @@
+#ifndef CACHEKV_UTIL_RANDOM_H_
+#define CACHEKV_UTIL_RANDOM_H_
+
+#include <cstdint>
+
+#include "util/hash.h"
+
+namespace cachekv {
+
+/// A simple xorshift128+ pseudo-random generator. Not cryptographic; fast
+/// and good enough for workload generation and randomized tests.
+class Random {
+ public:
+  explicit Random(uint64_t seed) {
+    s_[0] = Mix64(seed);
+    s_[1] = Mix64(s_[0] + 0x9e3779b97f4a7c15ULL);
+    if (s_[0] == 0 && s_[1] == 0) {
+      s_[0] = 1;
+    }
+  }
+
+  /// Returns a uniformly distributed 64-bit value.
+  uint64_t Next64() {
+    uint64_t x = s_[0];
+    const uint64_t y = s_[1];
+    s_[0] = y;
+    x ^= x << 23;
+    s_[1] = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s_[1] + y;
+  }
+
+  /// Returns a uniformly distributed 32-bit value.
+  uint32_t Next() { return static_cast<uint32_t>(Next64() >> 32); }
+
+  /// Returns a uniform value in [0, n-1]. Requires n > 0.
+  uint64_t Uniform(uint64_t n) { return Next64() % n; }
+
+  /// Returns true with probability 1/n.
+  bool OneIn(uint32_t n) { return Uniform(n) == 0; }
+
+  /// Returns a uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next64() >> 11) * (1.0 / (1ULL << 53));
+  }
+
+  /// Skewed: picks a base in [0, max_log] uniformly, then returns a
+  /// uniform value in [0, 2^base - 1]. Favors small numbers.
+  uint64_t Skewed(int max_log) {
+    return Uniform(1ULL << Uniform(static_cast<uint64_t>(max_log) + 1));
+  }
+
+ private:
+  uint64_t s_[2];
+};
+
+}  // namespace cachekv
+
+#endif  // CACHEKV_UTIL_RANDOM_H_

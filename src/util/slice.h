@@ -1,0 +1,103 @@
+#ifndef CACHEKV_UTIL_SLICE_H_
+#define CACHEKV_UTIL_SLICE_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace cachekv {
+
+/// Slice is a non-owning view over a contiguous byte sequence, in the
+/// LevelDB/RocksDB idiom. The referenced storage must outlive the Slice.
+class Slice {
+ public:
+  /// Creates an empty slice.
+  Slice() : data_(""), size_(0) {}
+
+  /// Creates a slice that refers to d[0, n-1].
+  Slice(const char* d, size_t n) : data_(d), size_(n) {}
+
+  /// Creates a slice that refers to the contents of s.
+  Slice(const std::string& s) : data_(s.data()), size_(s.size()) {}
+
+  /// Creates a slice that refers to the NUL-terminated string s.
+  Slice(const char* s) : data_(s), size_(strlen(s)) {}
+
+  // Intentionally copyable.
+  Slice(const Slice&) = default;
+  Slice& operator=(const Slice&) = default;
+
+  /// Returns a pointer to the beginning of the referenced data.
+  const char* data() const { return data_; }
+
+  /// Returns the length (in bytes) of the referenced data.
+  size_t size() const { return size_; }
+
+  /// Returns true iff the length of the referenced data is zero.
+  bool empty() const { return size_ == 0; }
+
+  /// Returns the i-th byte of the referenced data. Requires i < size().
+  char operator[](size_t i) const {
+    assert(i < size());
+    return data_[i];
+  }
+
+  /// Changes this slice to refer to an empty array.
+  void clear() {
+    data_ = "";
+    size_ = 0;
+  }
+
+  /// Drops the first n bytes from this slice. Requires n <= size().
+  void remove_prefix(size_t n) {
+    assert(n <= size());
+    data_ += n;
+    size_ -= n;
+  }
+
+  /// Returns a string containing a copy of the referenced data.
+  std::string ToString() const { return std::string(data_, size_); }
+
+  /// Returns a std::string_view over the referenced data.
+  std::string_view ToStringView() const {
+    return std::string_view(data_, size_);
+  }
+
+  /// Three-way comparison: <0, ==0, >0 if this is <, ==, > b.
+  int compare(const Slice& b) const;
+
+  /// Returns true iff x is a prefix of this slice.
+  bool starts_with(const Slice& x) const {
+    return (size_ >= x.size_) && (memcmp(data_, x.data_, x.size_) == 0);
+  }
+
+ private:
+  const char* data_;
+  size_t size_;
+};
+
+inline bool operator==(const Slice& x, const Slice& y) {
+  return (x.size() == y.size()) &&
+         (memcmp(x.data(), y.data(), x.size()) == 0);
+}
+
+inline bool operator!=(const Slice& x, const Slice& y) { return !(x == y); }
+
+inline int Slice::compare(const Slice& b) const {
+  const size_t min_len = (size_ < b.size_) ? size_ : b.size_;
+  int r = memcmp(data_, b.data_, min_len);
+  if (r == 0) {
+    if (size_ < b.size_) {
+      r = -1;
+    } else if (size_ > b.size_) {
+      r = +1;
+    }
+  }
+  return r;
+}
+
+}  // namespace cachekv
+
+#endif  // CACHEKV_UTIL_SLICE_H_

@@ -1,0 +1,45 @@
+#include "util/status.h"
+
+namespace cachekv {
+
+Status::Status(Code code, const Slice& msg, const Slice& msg2) : code_(code) {
+  msg_.assign(msg.data(), msg.size());
+  if (!msg2.empty()) {
+    msg_.append(": ");
+    msg_.append(msg2.data(), msg2.size());
+  }
+}
+
+std::string Status::ToString() const {
+  const char* type = nullptr;
+  switch (code_) {
+    case kOk:
+      return "OK";
+    case kNotFound:
+      type = "NotFound: ";
+      break;
+    case kCorruption:
+      type = "Corruption: ";
+      break;
+    case kNotSupported:
+      type = "Not supported: ";
+      break;
+    case kInvalidArgument:
+      type = "Invalid argument: ";
+      break;
+    case kIOError:
+      type = "IO error: ";
+      break;
+    case kBusy:
+      type = "Busy: ";
+      break;
+    case kOutOfSpace:
+      type = "Out of space: ";
+      break;
+  }
+  std::string result(type);
+  result.append(msg_);
+  return result;
+}
+
+}  // namespace cachekv

@@ -1,0 +1,81 @@
+#ifndef CACHEKV_UTIL_STATUS_H_
+#define CACHEKV_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+#include "util/slice.h"
+
+namespace cachekv {
+
+/// Status represents the result of an operation. It either indicates
+/// success ("OK"), or carries an error code and message. This project
+/// does not throw exceptions on normal error paths; fallible operations
+/// return Status (the LevelDB/RocksDB idiom).
+class Status {
+ public:
+  /// Creates an OK status.
+  Status() : code_(kOk) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status NotFound(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(kNotFound, msg, msg2);
+  }
+  static Status Corruption(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(kCorruption, msg, msg2);
+  }
+  static Status NotSupported(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(kNotSupported, msg, msg2);
+  }
+  static Status InvalidArgument(const Slice& msg,
+                                const Slice& msg2 = Slice()) {
+    return Status(kInvalidArgument, msg, msg2);
+  }
+  static Status IOError(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(kIOError, msg, msg2);
+  }
+  static Status Busy(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(kBusy, msg, msg2);
+  }
+  static Status OutOfSpace(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(kOutOfSpace, msg, msg2);
+  }
+
+  bool ok() const { return code_ == kOk; }
+  bool IsNotFound() const { return code_ == kNotFound; }
+  bool IsCorruption() const { return code_ == kCorruption; }
+  bool IsNotSupported() const { return code_ == kNotSupported; }
+  bool IsInvalidArgument() const { return code_ == kInvalidArgument; }
+  bool IsIOError() const { return code_ == kIOError; }
+  bool IsBusy() const { return code_ == kBusy; }
+  bool IsOutOfSpace() const { return code_ == kOutOfSpace; }
+
+  /// Returns a string representation suitable for printing.
+  std::string ToString() const;
+
+ private:
+  enum Code {
+    kOk = 0,
+    kNotFound = 1,
+    kCorruption = 2,
+    kNotSupported = 3,
+    kInvalidArgument = 4,
+    kIOError = 5,
+    kBusy = 6,
+    kOutOfSpace = 7,
+  };
+
+  Status(Code code, const Slice& msg, const Slice& msg2);
+
+  Code code_;
+  std::string msg_;
+};
+
+}  // namespace cachekv
+
+#endif  // CACHEKV_UTIL_STATUS_H_

@@ -1,0 +1,48 @@
+#include "util/zipfian.h"
+
+#include <cmath>
+
+namespace cachekv {
+
+ZipfianGenerator::ZipfianGenerator(uint64_t item_count, double theta,
+                                   uint64_t seed)
+    : item_count_(item_count == 0 ? 1 : item_count),
+      theta_(theta),
+      rng_(seed) {
+  zetan_ = Zeta(item_count_, theta_);
+  zeta2theta_ = Zeta(2, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(item_count_),
+                         1.0 - theta_)) /
+         (1.0 - zeta2theta_ / zetan_);
+}
+
+double ZipfianGenerator::Zeta(uint64_t n, double theta) {
+  // For the item counts used in our benchmarks (<= ~100M) a direct sum is
+  // fine; it runs once at generator construction.
+  double sum = 0;
+  for (uint64_t i = 1; i <= n; i++) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+uint64_t ZipfianGenerator::Next() {
+  double u = rng_.NextDouble();
+  double uz = u * zetan_;
+  if (uz < 1.0) {
+    return 0;
+  }
+  if (uz < 1.0 + std::pow(0.5, theta_)) {
+    return 1;
+  }
+  uint64_t v = static_cast<uint64_t>(
+      static_cast<double>(item_count_) *
+      std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  if (v >= item_count_) {
+    v = item_count_ - 1;
+  }
+  return v;
+}
+
+}  // namespace cachekv

@@ -1,0 +1,78 @@
+#ifndef CACHEKV_UTIL_ZIPFIAN_H_
+#define CACHEKV_UTIL_ZIPFIAN_H_
+
+#include <cstdint>
+
+#include "util/random.h"
+
+namespace cachekv {
+
+/// Zipfian-distributed integer generator over [0, item_count), following
+/// the YCSB implementation (Gray et al.'s "quickly generating
+/// billion-record synthetic databases" algorithm). theta defaults to the
+/// YCSB value 0.99.
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(uint64_t item_count, double theta, uint64_t seed);
+
+  /// Returns the next Zipfian-distributed value in [0, item_count).
+  /// Rank 0 is the most popular item.
+  uint64_t Next();
+
+  uint64_t item_count() const { return item_count_; }
+
+ private:
+  static double Zeta(uint64_t n, double theta);
+
+  uint64_t item_count_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double zeta2theta_;
+  Random rng_;
+};
+
+/// ScrambledZipfian spreads the Zipfian head uniformly over the keyspace
+/// by hashing the rank, as YCSB does, so hot keys are not clustered.
+class ScrambledZipfianGenerator {
+ public:
+  ScrambledZipfianGenerator(uint64_t item_count, double theta, uint64_t seed)
+      : gen_(item_count, theta, seed), item_count_(item_count) {}
+
+  uint64_t Next() { return Mix64(gen_.Next()) % item_count_; }
+
+ private:
+  ZipfianGenerator gen_;
+  uint64_t item_count_;
+};
+
+/// YCSB "latest" distribution: like Zipfian but anchored at the most
+/// recently inserted item, so recent inserts are the hottest reads.
+class LatestGenerator {
+ public:
+  LatestGenerator(uint64_t initial_count, double theta, uint64_t seed)
+      : gen_(initial_count == 0 ? 1 : initial_count, theta, seed),
+        max_(initial_count == 0 ? 1 : initial_count) {}
+
+  /// Records that the keyspace has grown to new_count items.
+  void UpdateCount(uint64_t new_count) {
+    if (new_count > max_) {
+      max_ = new_count;
+    }
+  }
+
+  /// Returns a key index in [0, current_count) biased towards the latest.
+  uint64_t Next() {
+    uint64_t off = gen_.Next() % max_;
+    return max_ - 1 - off;
+  }
+
+ private:
+  ZipfianGenerator gen_;
+  uint64_t max_;
+};
+
+}  // namespace cachekv
+
+#endif  // CACHEKV_UTIL_ZIPFIAN_H_

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "lsm/dbformat.h"
+
+namespace cachekv {
+namespace {
+
+std::string IKey(const std::string& user_key, SequenceNumber seq,
+                 ValueType vt) {
+  std::string encoded;
+  AppendInternalKey(&encoded, Slice(user_key), seq, vt);
+  return encoded;
+}
+
+TEST(FormatTest, InternalKeyEncodeDecode) {
+  const char* keys[] = {"", "k", "hello", "longggggggggggggggggggggg"};
+  const SequenceNumber seqs[] = {1,
+                                 2,
+                                 3,
+                                 (1ull << 8) - 1,
+                                 1ull << 8,
+                                 (1ull << 8) + 1,
+                                 (1ull << 16) - 1,
+                                 1ull << 16,
+                                 (1ull << 16) + 1,
+                                 (1ull << 32) - 1,
+                                 1ull << 32,
+                                 (1ull << 32) + 1};
+  for (const char* key : keys) {
+    for (SequenceNumber seq : seqs) {
+      for (ValueType vt : {kTypeValue, kTypeDeletion}) {
+        std::string encoded = IKey(key, seq, vt);
+        ParsedInternalKey decoded;
+        ASSERT_TRUE(ParseInternalKey(Slice(encoded), &decoded));
+        EXPECT_EQ(key, decoded.user_key.ToString());
+        EXPECT_EQ(seq, decoded.sequence);
+        EXPECT_EQ(vt, decoded.type);
+      }
+    }
+  }
+}
+
+TEST(FormatTest, ParseRejectsShortKeys) {
+  ParsedInternalKey parsed;
+  EXPECT_FALSE(ParseInternalKey(Slice("1234567"), &parsed));
+  EXPECT_FALSE(ParseInternalKey(Slice(""), &parsed));
+}
+
+TEST(FormatTest, ParseRejectsBadType) {
+  std::string encoded;
+  AppendInternalKey(&encoded, Slice("k"), 1, kTypeValue);
+  encoded[encoded.size() - 8] = 0x7f;  // corrupt the type byte
+  ParsedInternalKey parsed;
+  EXPECT_FALSE(ParseInternalKey(Slice(encoded), &parsed));
+}
+
+TEST(FormatTest, ComparatorUserKeyOrder) {
+  InternalKeyComparator cmp;
+  EXPECT_LT(cmp.Compare(IKey("a", 100, kTypeValue),
+                        IKey("b", 1, kTypeValue)),
+            0);
+  EXPECT_GT(cmp.Compare(IKey("b", 1, kTypeValue),
+                        IKey("a", 100, kTypeValue)),
+            0);
+}
+
+TEST(FormatTest, ComparatorSequenceDescendingWithinUserKey) {
+  InternalKeyComparator cmp;
+  // Fresher (higher seq) sorts first.
+  EXPECT_LT(cmp.Compare(IKey("k", 10, kTypeValue),
+                        IKey("k", 9, kTypeValue)),
+            0);
+  EXPECT_GT(cmp.Compare(IKey("k", 9, kTypeValue),
+                        IKey("k", 10, kTypeValue)),
+            0);
+  EXPECT_EQ(cmp.Compare(IKey("k", 7, kTypeValue),
+                        IKey("k", 7, kTypeValue)),
+            0);
+}
+
+TEST(FormatTest, ShorterUserKeyPrefixSortsFirst) {
+  InternalKeyComparator cmp;
+  EXPECT_LT(cmp.Compare(IKey("ab", 1, kTypeValue),
+                        IKey("abc", 100, kTypeValue)),
+            0);
+}
+
+TEST(FormatTest, SeekKeyVisibility) {
+  // A seek target at snapshot S must sort at-or-before all entries of the
+  // same user key with sequence <= S, and after entries with sequence >
+  // S.
+  InternalKeyComparator cmp;
+  std::string target = IKey("k", 50, kValueTypeForSeek);
+  EXPECT_GT(cmp.Compare(target, IKey("k", 51, kTypeValue)), 0);
+  EXPECT_LE(cmp.Compare(target, IKey("k", 50, kTypeValue)), 0);
+  EXPECT_LT(cmp.Compare(target, IKey("k", 49, kTypeValue)), 0);
+}
+
+TEST(FormatTest, PackUnpackRoundTrip) {
+  SequenceNumber seq;
+  ValueType t;
+  UnpackSequenceAndType(PackSequenceAndType(12345, kTypeDeletion), &seq,
+                        &t);
+  EXPECT_EQ(12345u, seq);
+  EXPECT_EQ(kTypeDeletion, t);
+  UnpackSequenceAndType(PackSequenceAndType(kMaxSequenceNumber, kTypeValue),
+                        &seq, &t);
+  EXPECT_EQ(kMaxSequenceNumber, seq);
+  EXPECT_EQ(kTypeValue, t);
+}
+
+}  // namespace
+}  // namespace cachekv

@@ -1,0 +1,169 @@
+// Differential test: the same randomized operation history is applied to
+// every KV engine in the repository and to a std::map reference model;
+// all engines must agree with the model on every probe. This pins down
+// semantic drift between CacheKV, the baselines, and the reference LSM
+// store.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/novelsm.h"
+#include "baselines/slmdb.h"
+#include "core/db.h"
+#include "lsm/lsm_kv.h"
+#include "pmem/pmem_env.h"
+#include "util/random.h"
+
+namespace cachekv {
+namespace {
+
+struct EngineUnderTest {
+  std::string name;
+  std::unique_ptr<PmemEnv> env;
+  std::unique_ptr<KVStore> store;
+};
+
+std::vector<EngineUnderTest> MakeAllEngines() {
+  std::vector<EngineUnderTest> engines;
+
+  {
+    EngineUnderTest e;
+    e.name = "CacheKV";
+    EnvOptions eo;
+    eo.pmem_capacity = 512ull << 20;
+    eo.cat_locked_bytes = 4ull << 20;
+    eo.latency.scale = 0;
+    e.env = std::make_unique<PmemEnv>(eo);
+    CacheKVOptions opts;
+    opts.pool_bytes = 4ull << 20;
+    opts.sub_memtable_bytes = 512ull << 10;
+    opts.min_sub_memtable_bytes = 128ull << 10;
+    opts.imm_zone_flush_threshold = 2ull << 20;
+    std::unique_ptr<DB> db;
+    EXPECT_TRUE(DB::Open(e.env.get(), opts, false, &db).ok());
+    e.store = std::move(db);
+    engines.push_back(std::move(e));
+  }
+  {
+    EngineUnderTest e;
+    e.name = "NoveLSM";
+    EnvOptions eo;
+    eo.pmem_capacity = 512ull << 20;
+    eo.latency.scale = 0;
+    e.env = std::make_unique<PmemEnv>(eo);
+    NoveLsmOptions opts;
+    opts.pmem_memtable_bytes = 2ull << 20;
+    std::unique_ptr<NoveLsmStore> s;
+    EXPECT_TRUE(NoveLsmStore::Open(e.env.get(), opts, &s).ok());
+    e.store = std::move(s);
+    engines.push_back(std::move(e));
+  }
+  {
+    EngineUnderTest e;
+    e.name = "SLM-DB";
+    EnvOptions eo;
+    eo.pmem_capacity = 512ull << 20;
+    eo.latency.scale = 0;
+    e.env = std::make_unique<PmemEnv>(eo);
+    SlmDbOptions opts;
+    opts.pmem_memtable_bytes = 2ull << 20;
+    opts.chunk_bytes = 1ull << 20;
+    std::unique_ptr<SlmDbStore> s;
+    EXPECT_TRUE(SlmDbStore::Open(e.env.get(), opts, &s).ok());
+    e.store = std::move(s);
+    engines.push_back(std::move(e));
+  }
+  {
+    EngineUnderTest e;
+    e.name = "LsmKv";
+    EnvOptions eo;
+    eo.pmem_capacity = 512ull << 20;
+    eo.latency.scale = 0;
+    e.env = std::make_unique<PmemEnv>(eo);
+    LsmKvOptions opts;
+    opts.write_buffer_size = 256 << 10;
+    std::unique_ptr<LsmKv> s;
+    EXPECT_TRUE(LsmKv::Open(e.env.get(), opts, false, &s).ok());
+    e.store = std::move(s);
+    engines.push_back(std::move(e));
+  }
+  return engines;
+}
+
+class DifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DifferentialTest, AllEnginesAgreeWithModel) {
+  const uint64_t seed = GetParam();
+  auto engines = MakeAllEngines();
+  ASSERT_EQ(4u, engines.size());
+
+  std::map<std::string, std::string> model;
+  Random rng(seed);
+  const int kOps = 15000;
+  const int kKeySpace = 1200;
+
+  for (int i = 0; i < kOps; i++) {
+    std::string k = "key" + std::to_string(rng.Uniform(kKeySpace));
+    const uint32_t dice = rng.Uniform(10);
+    if (dice < 2) {
+      model.erase(k);
+      for (auto& e : engines) {
+        ASSERT_TRUE(e.store->Delete(k).ok()) << e.name;
+      }
+    } else if (dice < 9) {
+      std::string v = "v" + std::to_string(i) + "-" +
+                      std::string(rng.Uniform(100), 'x');
+      model[k] = v;
+      for (auto& e : engines) {
+        ASSERT_TRUE(e.store->Put(k, v).ok()) << e.name;
+      }
+    } else {
+      // Probe while running.
+      auto it = model.find(k);
+      for (auto& e : engines) {
+        std::string got;
+        Status s = e.store->Get(k, &got);
+        if (it == model.end()) {
+          ASSERT_TRUE(s.IsNotFound())
+              << e.name << " key " << k << " op " << i << ": "
+              << s.ToString();
+        } else {
+          ASSERT_TRUE(s.ok())
+              << e.name << " key " << k << " op " << i << ": "
+              << s.ToString();
+          ASSERT_EQ(it->second, got) << e.name << " key " << k;
+        }
+      }
+    }
+  }
+
+  // Final full sweep after quiescing background work.
+  for (auto& e : engines) {
+    ASSERT_TRUE(e.store->WaitIdle().ok()) << e.name;
+  }
+  for (int i = 0; i < kKeySpace; i++) {
+    std::string k = "key" + std::to_string(i);
+    auto it = model.find(k);
+    for (auto& e : engines) {
+      std::string got;
+      Status s = e.store->Get(k, &got);
+      if (it == model.end()) {
+        ASSERT_TRUE(s.IsNotFound()) << e.name << " key " << k;
+      } else {
+        ASSERT_TRUE(s.ok()) << e.name << " key " << k << " "
+                            << s.ToString();
+        ASSERT_EQ(it->second, got) << e.name << " key " << k;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest,
+                         ::testing::Values(1, 42, 0xbeef, 20260707));
+
+}  // namespace
+}  // namespace cachekv

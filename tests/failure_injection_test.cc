@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "core/db.h"
+#include "lsm/lsm_engine.h"
+#include "lsm/memtable.h"
+#include "lsm/wal.h"
+#include "pmem/meta_layout.h"
+#include "pmem/pmem_env.h"
+#include "util/random.h"
+
+namespace cachekv {
+namespace {
+
+EnvOptions TestEnv(uint64_t cat = 0) {
+  EnvOptions o;
+  o.pmem_capacity = 256ull << 20;
+  o.llc_capacity = 16ull << 20;
+  o.cat_locked_bytes = cat;
+  o.latency.scale = 0;
+  return o;
+}
+
+LsmOptions SmallLsm() {
+  LsmOptions o;
+  o.l0_compaction_trigger = 3;
+  o.base_level_bytes = 1 << 20;
+  o.target_file_size = 256 << 10;
+  o.background_compaction = false;
+  return o;
+}
+
+// Overwrites `len` bytes at `addr` with junk, through the nt path so the
+// damage is durable.
+void Clobber(PmemEnv* env, uint64_t addr, size_t len) {
+  std::string junk(len, '\x5a');
+  env->NtStore(addr, junk.data(), junk.size());
+  env->Sfence();
+}
+
+TEST(FailureInjectionTest, ManifestSingleSlotCorruptionFallsBack) {
+  PmemEnv env(TestEnv());
+  {
+    LsmEngine engine(&env, SmallLsm(), MetaLayout::ManifestBase(&env));
+    ASSERT_TRUE(engine.Open(false).ok());
+    MemTable mem;
+    SequenceNumber seq = 0;
+    for (int batch = 0; batch < 3; batch++) {
+      MemTable m;
+      for (int i = 0; i < 50; i++) {
+        m.Add(++seq, kTypeValue, Slice("key" + std::to_string(i)),
+              Slice("b" + std::to_string(batch)));
+      }
+      std::unique_ptr<Iterator> iter(m.NewIterator());
+      ASSERT_TRUE(engine.WriteL0Tables(iter.get()).ok());
+    }
+  }
+  // Corrupt the slot holding the NEWEST manifest epoch. Epochs increment
+  // per install; the latest lives at slot (epoch % 2). Clobber both
+  // headers' crc bytes in turn and verify open still succeeds using the
+  // surviving slot (losing at most the last install).
+  env.SimulateCrash();
+  Clobber(&env, MetaLayout::ManifestBase(&env) + 4, 4);  // slot 0 crc
+  LsmEngine engine(&env, SmallLsm(), MetaLayout::ManifestBase(&env));
+  Status s = engine.Open(true);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  // The engine recovered *something* consistent: at most one batch lost.
+  std::string value;
+  bool deleted;
+  Status g = engine.Get(Slice("key0"), kMaxSequenceNumber, &value,
+                        &deleted);
+  EXPECT_TRUE(g.ok()) << g.ToString();
+}
+
+TEST(FailureInjectionTest, ManifestBothSlotsCorruptStartsEmpty) {
+  PmemEnv env(TestEnv());
+  {
+    LsmEngine engine(&env, SmallLsm(), MetaLayout::ManifestBase(&env));
+    ASSERT_TRUE(engine.Open(false).ok());
+    MemTable m;
+    m.Add(1, kTypeValue, Slice("k"), Slice("v"));
+    std::unique_ptr<Iterator> iter(m.NewIterator());
+    ASSERT_TRUE(engine.WriteL0Tables(iter.get()).ok());
+  }
+  env.SimulateCrash();
+  Clobber(&env, MetaLayout::ManifestBase(&env), 64);
+  Clobber(&env,
+          MetaLayout::ManifestBase(&env) + MetaLayout::kManifestSlotSize,
+          64);
+  LsmEngine engine(&env, SmallLsm(), MetaLayout::ManifestBase(&env));
+  Status s = engine.Open(true);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  std::string value;
+  bool deleted;
+  EXPECT_TRUE(engine.Get(Slice("k"), kMaxSequenceNumber, &value, &deleted)
+                  .IsNotFound())
+      << "with no valid manifest the engine must come up empty, not crash";
+}
+
+TEST(FailureInjectionTest, TornWalTailStopsReplayCleanly) {
+  PmemEnv env(TestEnv());
+  uint64_t region;
+  ASSERT_TRUE(env.allocator()->Allocate(1 << 20, &region).ok());
+  WalWriter writer(&env, region, 1 << 20, true);
+  writer.Reset();
+  uint64_t offsets[3];
+  for (int i = 0; i < 3; i++) {
+    offsets[i] = writer.BytesUsed();
+    ASSERT_TRUE(
+        writer.AddRecord(Slice("record-" + std::to_string(i))).ok());
+  }
+  // Tear the third record's payload.
+  Clobber(&env, region + offsets[2] + 10, 2);
+  WalReader reader(&env, region, 1 << 20);
+  std::string rec;
+  ASSERT_TRUE(reader.ReadRecord(&rec));
+  EXPECT_EQ("record-0", rec);
+  ASSERT_TRUE(reader.ReadRecord(&rec));
+  EXPECT_EQ("record-1", rec);
+  EXPECT_FALSE(reader.ReadRecord(&rec))
+      << "replay must stop at the torn record";
+}
+
+TEST(FailureInjectionTest, CorruptSSTableBytesNeverCrash) {
+  PmemEnv env(TestEnv());
+  LsmEngine engine(&env, SmallLsm(), MetaLayout::ManifestBase(&env));
+  ASSERT_TRUE(engine.Open(false).ok());
+  MemTable m;
+  SequenceNumber seq = 0;
+  for (int i = 0; i < 2000; i++) {
+    m.Add(++seq, kTypeValue, Slice("key" + std::to_string(i)),
+          Slice("value" + std::to_string(i)));
+  }
+  std::unique_ptr<Iterator> iter(m.NewIterator());
+  ASSERT_TRUE(engine.WriteL0Tables(iter.get()).ok());
+
+  // Flip a few bytes inside the first table's data area (not the
+  // footer: the reader caches index/filter at open). Every Get must
+  // return a Status — never crash — and the per-block checksums must
+  // flag the damaged block as Corruption instead of serving bad data.
+  VersionRef v = engine.CurrentVersion();
+  ASSERT_FALSE(v->levels[0].empty());
+  const TableRef& t = v->levels[0][0];
+  Random rng(13);
+  for (int flips = 0; flips < 3; flips++) {
+    uint64_t off = rng.Uniform(t->meta.file_size > 1024
+                                   ? t->meta.file_size / 2
+                                   : 1);
+    Clobber(&env, t->meta.region_offset + off, 1);
+  }
+  int ok_count = 0, corrupt = 0, not_found = 0;
+  for (int i = 0; i < 2000; i++) {
+    std::string value;
+    bool deleted;
+    Status s = engine.Get(Slice("key" + std::to_string(i)),
+                          kMaxSequenceNumber, &value, &deleted);
+    if (s.ok()) {
+      ok_count++;
+      EXPECT_EQ("value" + std::to_string(i), value)
+          << "a checksummed read must never return wrong bytes";
+    } else if (s.IsCorruption()) {
+      corrupt++;
+    } else {
+      not_found++;
+    }
+  }
+  EXPECT_EQ(2000, ok_count + corrupt + not_found);
+  EXPECT_GT(corrupt, 0) << "the flipped block must be detected";
+  SUCCEED() << ok_count << " ok, " << corrupt << " corrupt, "
+            << not_found << " not found";
+}
+
+TEST(FailureInjectionTest, ZoneRegistryCorruptionRecoversOtherSlot) {
+  PmemEnv env(TestEnv(4ull << 20));
+  CacheKVOptions opts;
+  opts.pool_bytes = 4ull << 20;
+  opts.sub_memtable_bytes = 512ull << 10;
+  opts.min_sub_memtable_bytes = 128ull << 10;
+  {
+    std::unique_ptr<DB> db;
+    ASSERT_TRUE(DB::Open(&env, opts, false, &db).ok());
+    std::string value(300, 'z');
+    for (int i = 0; i < 10000; i++) {
+      ASSERT_TRUE(db->Put("key" + std::to_string(i), value).ok());
+    }
+    ASSERT_TRUE(db->WaitIdle().ok());
+  }
+  env.SimulateCrash();
+  // Corrupt one registry slot; recovery must still come up (using the
+  // other slot or, at worst, replaying the epoch before it).
+  Clobber(&env, MetaLayout::ZoneRegistryBase(&env) + 4, 4);
+  std::unique_ptr<DB> db;
+  Status s = DB::Open(&env, opts, true, &db);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  std::string got;
+  Status g = db->Get("key1", &got);
+  EXPECT_TRUE(g.ok() || g.IsNotFound()) << g.ToString();
+}
+
+TEST(FailureInjectionTest, RepeatedCrashesDuringLoad) {
+  PmemEnv env(TestEnv(4ull << 20));
+  CacheKVOptions opts;
+  opts.pool_bytes = 4ull << 20;
+  opts.sub_memtable_bytes = 512ull << 10;
+  opts.min_sub_memtable_bytes = 128ull << 10;
+  opts.imm_zone_flush_threshold = 1ull << 20;
+
+  int written = 0;
+  for (int round = 0; round < 5; round++) {
+    std::unique_ptr<DB> db;
+    ASSERT_TRUE(DB::Open(&env, opts, round > 0, &db).ok()) << round;
+    for (int i = 0; i < 4000; i++) {
+      ASSERT_TRUE(db->Put("key" + std::to_string(written),
+                          "v" + std::to_string(written))
+                      .ok());
+      written++;
+    }
+    db.reset();
+    env.SimulateCrash();
+  }
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(&env, opts, true, &db).ok());
+  Random rng(3);
+  for (int probe = 0; probe < 500; probe++) {
+    int i = rng.Uniform(written);
+    std::string got;
+    ASSERT_TRUE(db->Get("key" + std::to_string(i), &got).ok()) << i;
+    EXPECT_EQ("v" + std::to_string(i), got);
+  }
+}
+
+}  // namespace
+}  // namespace cachekv

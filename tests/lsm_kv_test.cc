@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "lsm/lsm_kv.h"
+#include "pmem/pmem_env.h"
+#include "util/random.h"
+
+namespace cachekv {
+namespace {
+
+EnvOptions TestEnv() {
+  EnvOptions o;
+  o.pmem_capacity = 256ull << 20;
+  o.llc_capacity = 8ull << 20;
+  o.latency.scale = 0;
+  return o;
+}
+
+LsmKvOptions SmallOptions() {
+  LsmKvOptions o;
+  o.write_buffer_size = 64 << 10;
+  o.lsm.l0_compaction_trigger = 3;
+  o.lsm.base_level_bytes = 256 << 10;
+  o.lsm.level_size_multiplier = 4;
+  o.lsm.target_file_size = 64 << 10;
+  o.lsm.background_compaction = true;
+  return o;
+}
+
+class LsmKvTest : public ::testing::Test {
+ protected:
+  LsmKvTest() : env_(TestEnv()) {
+    EXPECT_TRUE(LsmKv::Open(&env_, SmallOptions(), false, &db_).ok());
+  }
+
+  PmemEnv env_;
+  std::unique_ptr<LsmKv> db_;
+};
+
+TEST_F(LsmKvTest, PutGet) {
+  ASSERT_TRUE(db_->Put("key", "value").ok());
+  std::string value;
+  ASSERT_TRUE(db_->Get("key", &value).ok());
+  EXPECT_EQ("value", value);
+  EXPECT_TRUE(db_->Get("missing", &value).IsNotFound());
+}
+
+TEST_F(LsmKvTest, Overwrite) {
+  ASSERT_TRUE(db_->Put("k", "v1").ok());
+  ASSERT_TRUE(db_->Put("k", "v2").ok());
+  std::string value;
+  ASSERT_TRUE(db_->Get("k", &value).ok());
+  EXPECT_EQ("v2", value);
+}
+
+TEST_F(LsmKvTest, DeleteHidesKey) {
+  ASSERT_TRUE(db_->Put("k", "v").ok());
+  ASSERT_TRUE(db_->Delete("k").ok());
+  std::string value;
+  EXPECT_TRUE(db_->Get("k", &value).IsNotFound());
+  // Deleting a missing key is fine.
+  EXPECT_TRUE(db_->Delete("never-existed").ok());
+}
+
+TEST_F(LsmKvTest, ManyKeysThroughFlushesAndCompactions) {
+  std::map<std::string, std::string> model;
+  Random rng(123);
+  for (int i = 0; i < 20000; i++) {
+    std::string k = "key" + std::to_string(rng.Uniform(5000));
+    std::string v = "value" + std::to_string(i);
+    ASSERT_TRUE(db_->Put(k, v).ok());
+    model[k] = v;
+  }
+  ASSERT_TRUE(db_->WaitIdle().ok());
+  for (const auto& [k, v] : model) {
+    std::string value;
+    ASSERT_TRUE(db_->Get(k, &value).ok()) << k;
+    EXPECT_EQ(v, value);
+  }
+}
+
+TEST_F(LsmKvTest, MixedDeletesAgainstModel) {
+  std::map<std::string, std::string> model;
+  Random rng(7);
+  for (int i = 0; i < 15000; i++) {
+    std::string k = "key" + std::to_string(rng.Uniform(2000));
+    if (rng.OneIn(4)) {
+      ASSERT_TRUE(db_->Delete(k).ok());
+      model.erase(k);
+    } else {
+      std::string v = "v" + std::to_string(i);
+      ASSERT_TRUE(db_->Put(k, v).ok());
+      model[k] = v;
+    }
+  }
+  ASSERT_TRUE(db_->WaitIdle().ok());
+  for (int i = 0; i < 2000; i++) {
+    std::string k = "key" + std::to_string(i);
+    std::string value;
+    Status s = db_->Get(k, &value);
+    auto it = model.find(k);
+    if (it == model.end()) {
+      EXPECT_TRUE(s.IsNotFound()) << k;
+    } else {
+      ASSERT_TRUE(s.ok()) << k;
+      EXPECT_EQ(it->second, value);
+    }
+  }
+}
+
+TEST_F(LsmKvTest, ConcurrentReadersAndWriters) {
+  // Preload.
+  for (int i = 0; i < 1000; i++) {
+    ASSERT_TRUE(db_->Put("key" + std::to_string(i), "init").ok());
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<int> read_errors{0};
+  std::thread writer([&] {
+    Random rng(1);
+    for (int i = 0; i < 20000; i++) {
+      db_->Put("key" + std::to_string(rng.Uniform(1000)),
+               "gen" + std::to_string(i));
+    }
+    stop.store(true);
+  });
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 4; r++) {
+    readers.emplace_back([&, r] {
+      Random rng(100 + r);
+      std::string value;
+      while (!stop.load()) {
+        Status s =
+            db_->Get("key" + std::to_string(rng.Uniform(1000)), &value);
+        if (!s.ok() && !s.IsNotFound()) {
+          read_errors.fetch_add(1);
+        }
+        // Every preloaded key must remain visible (no lost writes).
+        if (s.IsNotFound()) {
+          read_errors.fetch_add(1);
+        }
+      }
+    });
+  }
+  writer.join();
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(0, read_errors.load());
+}
+
+TEST_F(LsmKvTest, CrashRecoveryEadrWithoutWalFlushes) {
+  // Under eADR the WAL needs no flush instructions; everything written
+  // must survive the crash.
+  LsmKvOptions opts = SmallOptions();
+  opts.use_flush_instructions = false;
+  PmemEnv env(TestEnv());
+  std::unique_ptr<LsmKv> db;
+  ASSERT_TRUE(LsmKv::Open(&env, opts, false, &db).ok());
+  std::map<std::string, std::string> model;
+  Random rng(55);
+  for (int i = 0; i < 8000; i++) {
+    std::string k = "key" + std::to_string(rng.Uniform(3000));
+    std::string v = "v" + std::to_string(i);
+    ASSERT_TRUE(db->Put(k, v).ok());
+    model[k] = v;
+  }
+  // No WaitIdle: crash with data still in the memtable + WAL.
+  db.reset();
+  env.SimulateCrash();
+  ASSERT_TRUE(LsmKv::Open(&env, opts, true, &db).ok());
+  for (const auto& [k, v] : model) {
+    std::string value;
+    ASSERT_TRUE(db->Get(k, &value).ok()) << k;
+    EXPECT_EQ(v, value);
+  }
+}
+
+TEST_F(LsmKvTest, CrashRecoveryAdrLosesUnflushedTail) {
+  // Under ADR with flush instructions disabled, unflushed WAL records are
+  // lost; with them enabled they survive. This is the paper's Feature 2
+  // in action.
+  EnvOptions eo = TestEnv();
+  eo.domain = PersistDomain::kAdr;
+
+  for (bool flush : {false, true}) {
+    PmemEnv env(eo);
+    LsmKvOptions opts = SmallOptions();
+    opts.use_flush_instructions = flush;
+    std::unique_ptr<LsmKv> db;
+    ASSERT_TRUE(LsmKv::Open(&env, opts, false, &db).ok());
+    ASSERT_TRUE(db->Put("k", "v").ok());
+    db.reset();
+    env.SimulateCrash();
+    ASSERT_TRUE(LsmKv::Open(&env, opts, true, &db).ok());
+    std::string value;
+    Status s = db->Get("k", &value);
+    if (flush) {
+      ASSERT_TRUE(s.ok());
+      EXPECT_EQ("v", value);
+    } else {
+      EXPECT_TRUE(s.IsNotFound());
+    }
+  }
+}
+
+TEST_F(LsmKvTest, EmptyAndLargeValues) {
+  ASSERT_TRUE(db_->Put("empty", "").ok());
+  std::string big(256 << 10, 'B');
+  ASSERT_TRUE(db_->Put("big", big).ok());
+  ASSERT_TRUE(db_->WaitIdle().ok());
+  std::string value;
+  ASSERT_TRUE(db_->Get("empty", &value).ok());
+  EXPECT_EQ("", value);
+  ASSERT_TRUE(db_->Get("big", &value).ok());
+  EXPECT_EQ(big, value);
+}
+
+}  // namespace
+}  // namespace cachekv

@@ -1,0 +1,226 @@
+// Parameterized property sweeps across configuration space: the
+// simulated cache must stay coherent for any geometry, SSTables must
+// round-trip for any block size, and the sub-MemTable pool must preserve
+// its capacity invariant under any elasticity schedule.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include "cache/cache_sim.h"
+#include "core/sub_memtable_pool.h"
+#include "lsm/sstable.h"
+#include "pmem/pmem_device.h"
+#include "pmem/pmem_env.h"
+#include "util/random.h"
+
+namespace cachekv {
+namespace {
+
+LatencyCosts NoLatency() {
+  LatencyCosts c;
+  c.scale = 0;
+  return c;
+}
+
+// ---------------------------------------------------------------------
+// Cache geometry sweep: (capacity_kb, ways) — random stores/loads must
+// behave like flat memory regardless of geometry.
+class CacheGeometryTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CacheGeometryTest, CoherentUnderRandomTraffic) {
+  const auto [capacity_kb, ways] = GetParam();
+  LatencyModel latency(NoLatency());
+  PmemConfig pc;
+  pc.capacity = 8ull << 20;
+  PmemDevice device(pc, &latency);
+  CacheConfig cc;
+  cc.capacity = static_cast<uint64_t>(capacity_kb) << 10;
+  cc.ways = ways;
+  CacheSim cache(cc, &device, &latency);
+
+  // Reference model: byte map.
+  std::map<uint64_t, char> model;
+  Random rng(capacity_kb * 131 + ways);
+  for (int op = 0; op < 20000; op++) {
+    uint64_t addr = rng.Uniform(pc.capacity - 256);
+    if (rng.OneIn(3)) {
+      char buf[64];
+      size_t len = 1 + rng.Uniform(64);
+      for (size_t i = 0; i < len; i++) {
+        buf[i] = static_cast<char>(rng.Next());
+        model[addr + i] = buf[i];
+      }
+      if (rng.OneIn(5)) {
+        cache.NtStore(addr, buf, len);
+      } else {
+        cache.Store(addr, buf, len);
+      }
+    } else {
+      size_t len = 1 + rng.Uniform(64);
+      std::string out(len, '\0');
+      cache.Load(addr, out.data(), len);
+      for (size_t i = 0; i < len; i++) {
+        auto it = model.find(addr + i);
+        char expect = (it == model.end()) ? 0 : it->second;
+        ASSERT_EQ(expect, out[i])
+            << "addr " << addr + i << " geometry " << capacity_kb << "KB/"
+            << ways << "w";
+      }
+    }
+    if (rng.OneIn(997)) {
+      cache.Clwb(addr, 64);
+    }
+    if (rng.OneIn(1499)) {
+      cache.Clflush(addr, 64);
+    }
+  }
+  // Post-crash (eADR) the media must equal the model.
+  cache.Crash();
+  for (const auto& [addr, byte] : model) {
+    char out;
+    device.Read(addr, &out, 1);
+    ASSERT_EQ(byte, out) << addr;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheGeometryTest,
+    ::testing::Values(std::make_tuple(16, 1), std::make_tuple(16, 4),
+                      std::make_tuple(64, 2), std::make_tuple(256, 8),
+                      std::make_tuple(1024, 12),
+                      std::make_tuple(4096, 16)));
+
+// ---------------------------------------------------------------------
+// SSTable block-size sweep.
+class SSTableBlockSizeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SSTableBlockSizeTest, RoundTripAnyBlockSize) {
+  const int block_size = GetParam();
+  EnvOptions eo;
+  eo.pmem_capacity = 64ull << 20;
+  eo.latency.scale = 0;
+  PmemEnv env(eo);
+
+  SSTableOptions opts;
+  opts.block_size = block_size;
+  SSTableBuilder builder(opts);
+  std::map<std::string, std::string> model;
+  Random rng(block_size);
+  for (int i = 0; i < 1500; i++) {
+    char buf[20];
+    snprintf(buf, sizeof(buf), "key%08d", i * 3);
+    model[buf] = "value-" + std::to_string(rng.Next64() % 100000);
+  }
+  for (const auto& [k, v] : model) {
+    std::string ikey;
+    AppendInternalKey(&ikey, Slice(k), 50, kTypeValue);
+    builder.Add(Slice(ikey), Slice(v));
+  }
+  ASSERT_TRUE(builder.Finish().ok());
+  uint64_t region;
+  uint64_t region_size = AlignUp(builder.contents().size(), kXPLineSize);
+  ASSERT_TRUE(env.allocator()->Allocate(region_size, &region).ok());
+  env.NtStore(region, builder.contents().data(),
+              builder.contents().size());
+  env.Sfence();
+  std::unique_ptr<SSTableReader> reader;
+  ASSERT_TRUE(SSTableReader::Open(&env, region,
+                                  builder.contents().size(), &reader)
+                  .ok());
+  // Point lookups.
+  for (const auto& [k, v] : model) {
+    std::string ikey;
+    AppendInternalKey(&ikey, Slice(k), 100, kValueTypeForSeek);
+    ParsedInternalKey parsed;
+    std::string key_storage, value;
+    ASSERT_TRUE(
+        reader->InternalGet(Slice(ikey), &parsed, &key_storage, &value)
+            .ok())
+        << k << " block_size=" << block_size;
+    EXPECT_EQ(v, value);
+  }
+  // Full scan.
+  std::unique_ptr<Iterator> iter(reader->NewIterator());
+  size_t count = 0;
+  for (iter->SeekToFirst(); iter->Valid(); iter->Next()) {
+    count++;
+  }
+  EXPECT_EQ(model.size(), count);
+}
+
+INSTANTIATE_TEST_SUITE_P(BlockSizes, SSTableBlockSizeTest,
+                         ::testing::Values(128, 512, 4096, 65536));
+
+// ---------------------------------------------------------------------
+// Pool elasticity sweep: under any (pool, initial, min) combination and
+// any acquire/release schedule, the sum of slot sizes equals the pool
+// capacity and all slots stay usable.
+class PoolElasticityTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(PoolElasticityTest, CapacityConserved) {
+  const auto [pool_mb, sub_kb, min_kb] = GetParam();
+  EnvOptions eo;
+  eo.pmem_capacity = 128ull << 20;
+  eo.cat_locked_bytes = static_cast<uint64_t>(pool_mb) << 20;
+  eo.latency.scale = 0;
+  PmemEnv env(eo);
+  CacheKVOptions opts;
+  opts.pool_bytes = static_cast<uint64_t>(pool_mb) << 20;
+  opts.sub_memtable_bytes = static_cast<uint64_t>(sub_kb) << 10;
+  opts.min_sub_memtable_bytes = static_cast<uint64_t>(min_kb) << 10;
+  opts.elasticity_miss_threshold = 4;
+  SubMemTablePool pool(&env, opts);
+  pool.Format();
+
+  Random rng(pool_mb * 100 + sub_kb);
+  std::vector<SubMemTable> held;
+  for (int op = 0; op < 3000; op++) {
+    if (rng.OneIn(2) || held.empty()) {
+      SubMemTable t(&env, 0, SubMemTable::kDataOffset + kCacheLineSize);
+      Status s = pool.Acquire(&t);
+      if (s.ok()) {
+        // The slot must be appendable.
+        ASSERT_TRUE(
+            t.Append(op + 1, kTypeValue, Slice("k"), Slice("v")).ok());
+        held.push_back(t);
+      } else {
+        ASSERT_TRUE(s.IsBusy()) << s.ToString();
+      }
+    } else {
+      size_t idx = rng.Uniform(held.size());
+      ASSERT_TRUE(held[idx].Seal());
+      pool.Release(held[idx]);
+      held.erase(held.begin() + idx);
+    }
+  }
+  for (auto& t : held) {
+    t.Seal();
+    pool.Release(t);
+  }
+  // Capacity invariant: walking the persistent headers covers the pool
+  // exactly (RecoverScan validates contiguity internally).
+  env.SimulateCrash();
+  SubMemTablePool recovered(&env, opts);
+  ASSERT_TRUE(
+      recovered.RecoverScan([](const SubMemTable&) {
+        return Status::OK();
+      }).ok());
+  EXPECT_EQ(recovered.NumSlots(), recovered.NumFreeSlots());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pools, PoolElasticityTest,
+    ::testing::Values(std::make_tuple(2, 512, 128),
+                      std::make_tuple(4, 1024, 128),
+                      std::make_tuple(4, 2048, 256),
+                      std::make_tuple(12, 2048, 256),
+                      std::make_tuple(8, 512, 512)));
+
+}  // namespace
+}  // namespace cachekv

@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "index/skiplist.h"
+#include "util/arena.h"
+#include "util/hash.h"
+#include "util/random.h"
+
+namespace cachekv {
+namespace {
+
+typedef uint64_t Key;
+
+struct Comparator {
+  int operator()(const Key& a, const Key& b) const {
+    if (a < b) {
+      return -1;
+    } else if (a > b) {
+      return +1;
+    } else {
+      return 0;
+    }
+  }
+};
+
+TEST(SkipTest, Empty) {
+  Arena arena;
+  Comparator cmp;
+  SkipList<Key, Comparator> list(cmp, &arena);
+  EXPECT_TRUE(!list.Contains(10));
+
+  SkipList<Key, Comparator>::Iterator iter(&list);
+  EXPECT_TRUE(!iter.Valid());
+  iter.SeekToFirst();
+  EXPECT_TRUE(!iter.Valid());
+  iter.Seek(100);
+  EXPECT_TRUE(!iter.Valid());
+  iter.SeekToLast();
+  EXPECT_TRUE(!iter.Valid());
+}
+
+TEST(SkipTest, InsertAndLookup) {
+  const int N = 2000;
+  const int R = 5000;
+  Random rnd(1000);
+  std::set<Key> keys;
+  Arena arena;
+  Comparator cmp;
+  SkipList<Key, Comparator> list(cmp, &arena);
+  for (int i = 0; i < N; i++) {
+    Key key = rnd.Next() % R;
+    if (keys.insert(key).second) {
+      list.Insert(key);
+    }
+  }
+
+  for (int i = 0; i < R; i++) {
+    if (list.Contains(i)) {
+      EXPECT_EQ(keys.count(i), 1u);
+    } else {
+      EXPECT_EQ(keys.count(i), 0u);
+    }
+  }
+
+  // Simple iterator tests.
+  {
+    SkipList<Key, Comparator>::Iterator iter(&list);
+    EXPECT_TRUE(!iter.Valid());
+
+    iter.Seek(0);
+    EXPECT_TRUE(iter.Valid());
+    EXPECT_EQ(*(keys.begin()), iter.key());
+
+    iter.SeekToFirst();
+    EXPECT_TRUE(iter.Valid());
+    EXPECT_EQ(*(keys.begin()), iter.key());
+
+    iter.SeekToLast();
+    EXPECT_TRUE(iter.Valid());
+    EXPECT_EQ(*(keys.rbegin()), iter.key());
+  }
+
+  // Forward iteration test.
+  for (int i = 0; i < R; i++) {
+    SkipList<Key, Comparator>::Iterator iter(&list);
+    iter.Seek(i);
+
+    // Compare against model iterator.
+    std::set<Key>::iterator model_iter = keys.lower_bound(i);
+    for (int j = 0; j < 3; j++) {
+      if (model_iter == keys.end()) {
+        EXPECT_TRUE(!iter.Valid());
+        break;
+      } else {
+        EXPECT_TRUE(iter.Valid());
+        EXPECT_EQ(*model_iter, iter.key());
+        ++model_iter;
+        iter.Next();
+      }
+    }
+  }
+
+  // Backward iteration test.
+  {
+    SkipList<Key, Comparator>::Iterator iter(&list);
+    iter.SeekToLast();
+
+    // Compare against model iterator.
+    for (std::set<Key>::reverse_iterator model_iter = keys.rbegin();
+         model_iter != keys.rend(); ++model_iter) {
+      EXPECT_TRUE(iter.Valid());
+      EXPECT_EQ(*model_iter, iter.key());
+      iter.Prev();
+    }
+    EXPECT_TRUE(!iter.Valid());
+  }
+}
+
+// Concurrent-read test: a writer inserts monotonically hashed keys while
+// readers verify that every key they observed inserted remains findable
+// and iteration stays sorted.
+TEST(SkipTest, ConcurrentReadWhileWriting) {
+  Arena arena;
+  Comparator cmp;
+  SkipList<Key, Comparator> list(cmp, &arena);
+
+  std::atomic<uint64_t> inserted_upto{0};
+  std::atomic<bool> done{false};
+
+  std::thread writer([&] {
+    for (uint64_t i = 1; i <= 50000; i++) {
+      list.Insert(i);
+      inserted_upto.store(i, std::memory_order_release);
+    }
+    done.store(true, std::memory_order_release);
+  });
+
+  std::vector<std::thread> readers;
+  std::atomic<int> failures{0};
+  for (int r = 0; r < 3; r++) {
+    readers.emplace_back([&] {
+      Random rnd(1234 + r);
+      while (!done.load(std::memory_order_acquire)) {
+        uint64_t upto = inserted_upto.load(std::memory_order_acquire);
+        if (upto == 0) continue;
+        uint64_t probe = 1 + rnd.Uniform(upto);
+        if (!list.Contains(probe)) {
+          failures.fetch_add(1);
+        }
+        // Validate local sortedness along a short scan.
+        SkipList<Key, Comparator>::Iterator iter(&list);
+        iter.Seek(probe);
+        uint64_t prev = 0;
+        for (int s = 0; s < 10 && iter.Valid(); s++) {
+          if (iter.key() < prev) {
+            failures.fetch_add(1);
+          }
+          prev = iter.key();
+          iter.Next();
+        }
+      }
+    });
+  }
+  writer.join();
+  for (auto& th : readers) th.join();
+  EXPECT_EQ(0, failures.load());
+  for (uint64_t i = 1; i <= 50000; i++) {
+    ASSERT_TRUE(list.Contains(i)) << i;
+  }
+}
+
+// Parameterized property test: for several sizes, insertion order never
+// affects the iteration order, which is always the sorted key order.
+class SkipListPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SkipListPropertyTest, IterationSortedRegardlessOfInsertOrder) {
+  const int n = GetParam();
+  Random rnd(n);
+  std::set<Key> model;
+  Arena arena;
+  Comparator cmp;
+  SkipList<Key, Comparator> list(cmp, &arena);
+  for (int i = 0; i < n; i++) {
+    Key k = Mix64(rnd.Next64());
+    if (model.insert(k).second) {
+      list.Insert(k);
+    }
+  }
+  SkipList<Key, Comparator>::Iterator iter(&list);
+  iter.SeekToFirst();
+  for (Key expected : model) {
+    ASSERT_TRUE(iter.Valid());
+    EXPECT_EQ(expected, iter.key());
+    iter.Next();
+  }
+  EXPECT_FALSE(iter.Valid());
+}
+
+TEST_P(SkipListPropertyTest, SeekFindsLowerBound) {
+  const int n = GetParam();
+  Random rnd(n * 31 + 7);
+  std::set<Key> model;
+  Arena arena;
+  Comparator cmp;
+  SkipList<Key, Comparator> list(cmp, &arena);
+  for (int i = 0; i < n; i++) {
+    Key k = rnd.Uniform(10 * n + 1);
+    if (model.insert(k).second) {
+      list.Insert(k);
+    }
+  }
+  for (int probe = 0; probe < 200; probe++) {
+    Key target = rnd.Uniform(12 * n + 1);
+    SkipList<Key, Comparator>::Iterator iter(&list);
+    iter.Seek(target);
+    auto model_it = model.lower_bound(target);
+    if (model_it == model.end()) {
+      EXPECT_FALSE(iter.Valid());
+    } else {
+      ASSERT_TRUE(iter.Valid());
+      EXPECT_EQ(*model_it, iter.key());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SkipListPropertyTest,
+                         ::testing::Values(1, 2, 10, 100, 1000, 10000));
+
+}  // namespace
+}  // namespace cachekv

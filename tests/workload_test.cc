@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "workload.h"
+
+namespace cachekv {
+namespace bench {
+namespace {
+
+TEST(KeyGenTest, FixedWidthAndUnique) {
+  std::set<std::string> keys;
+  for (uint64_t i = 0; i < 10000; i += 7) {
+    std::string k = KeyFor(i, 16);
+    EXPECT_EQ(16u, k.size());
+    EXPECT_TRUE(keys.insert(k).second) << "duplicate key for " << i;
+  }
+  // Sequential indexes produce lexicographically sorted keys.
+  EXPECT_LT(KeyFor(1, 16), KeyFor(2, 16));
+  EXPECT_LT(KeyFor(99, 16), KeyFor(100, 16));
+}
+
+TEST(KeyGenTest, OtherWidths) {
+  EXPECT_EQ(8u, KeyFor(123, 8).size());
+  EXPECT_EQ(32u, KeyFor(123, 32).size());
+}
+
+TEST(ValueGenTest, DeterministicAndSized) {
+  EXPECT_EQ(ValueFor(42, 64), ValueFor(42, 64));
+  EXPECT_NE(ValueFor(42, 64), ValueFor(43, 64));
+  EXPECT_EQ(16u, ValueFor(1, 16).size());
+  EXPECT_EQ(256u, ValueFor(1, 256).size());
+  EXPECT_EQ(0u, ValueFor(1, 0).size());
+}
+
+TEST(OpGeneratorTest, FillSeqCoversKeyspaceAcrossThreads) {
+  const uint64_t n = 1000;
+  WorkloadSpec spec = WorkloadSpec::FillSeq(n);
+  std::set<uint64_t> seen;
+  const int threads = 4;
+  for (int t = 0; t < threads; t++) {
+    OpGenerator gen(spec, t, threads, 42);
+    for (uint64_t i = 0; i < n / threads; i++) {
+      Op op = gen.Next();
+      EXPECT_EQ(OpType::kPut, op.type);
+      EXPECT_TRUE(seen.insert(op.key_index).second)
+          << "duplicate " << op.key_index;
+    }
+  }
+  EXPECT_EQ(n, seen.size());
+}
+
+TEST(OpGeneratorTest, ReadFractionRespected) {
+  WorkloadSpec spec = WorkloadSpec::YcsbB(10000);  // 95% reads
+  OpGenerator gen(spec, 0, 1, 7);
+  int reads = 0;
+  const int total = 20000;
+  for (int i = 0; i < total; i++) {
+    if (gen.Next().type == OpType::kGet) {
+      reads++;
+    }
+  }
+  EXPECT_NEAR(0.95, static_cast<double>(reads) / total, 0.02);
+}
+
+TEST(OpGeneratorTest, YcsbAIsHalfAndHalf) {
+  WorkloadSpec spec = WorkloadSpec::YcsbA(10000);
+  OpGenerator gen(spec, 0, 1, 3);
+  int reads = 0, writes = 0;
+  for (int i = 0; i < 20000; i++) {
+    Op op = gen.Next();
+    if (op.type == OpType::kGet) {
+      reads++;
+    } else if (op.type == OpType::kPut) {
+      writes++;
+    }
+    EXPECT_LT(op.key_index, 10000u);
+  }
+  EXPECT_NEAR(reads, writes, 0.1 * (reads + writes));
+}
+
+TEST(OpGeneratorTest, YcsbFHasRmw) {
+  WorkloadSpec spec = WorkloadSpec::YcsbF(10000);
+  OpGenerator gen(spec, 0, 1, 3);
+  int rmw = 0;
+  for (int i = 0; i < 20000; i++) {
+    if (gen.Next().type == OpType::kReadModifyWrite) {
+      rmw++;
+    }
+  }
+  EXPECT_NEAR(0.5, rmw / 20000.0, 0.02);
+}
+
+TEST(OpGeneratorTest, YcsbDInsertsExtendKeyspace) {
+  WorkloadSpec spec = WorkloadSpec::YcsbD(1000);
+  OpGenerator gen(spec, 0, 1, 3);
+  std::set<uint64_t> inserts;
+  for (int i = 0; i < 5000; i++) {
+    Op op = gen.Next();
+    if (op.type == OpType::kPut) {
+      EXPECT_GE(op.key_index, 1000u) << "inserts must extend the space";
+      EXPECT_TRUE(inserts.insert(op.key_index).second);
+    }
+  }
+  EXPECT_GT(inserts.size(), 50u);
+}
+
+TEST(OpGeneratorTest, ZipfianSkewsTowardsHotKeys) {
+  WorkloadSpec spec = WorkloadSpec::YcsbC(100000);
+  OpGenerator gen(spec, 0, 1, 11);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 50000; i++) {
+    counts[gen.Next().key_index]++;
+  }
+  int max_count = 0;
+  for (const auto& [k, c] : counts) {
+    max_count = std::max(max_count, c);
+  }
+  // Zipf(0.99): the hottest key should take a few percent of accesses.
+  EXPECT_GT(max_count, 500);
+  // But the tail must still be broad.
+  EXPECT_GT(counts.size(), 5000u);
+}
+
+TEST(OpGeneratorTest, DeterministicPerSeed) {
+  WorkloadSpec spec = WorkloadSpec::YcsbA(1000);
+  OpGenerator a(spec, 0, 1, 99), b(spec, 0, 1, 99);
+  for (int i = 0; i < 1000; i++) {
+    Op oa = a.Next(), ob = b.Next();
+    EXPECT_EQ(oa.type, ob.type);
+    EXPECT_EQ(oa.key_index, ob.key_index);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace cachekv
