@@ -20,7 +20,9 @@
 #include <functional>
 #include <string>
 
+#include "harness.h"
 #include "pmem/pmem_env.h"
+#include "report.h"
 #include "util/random.h"
 
 namespace cachekv {
@@ -53,7 +55,7 @@ struct Result {
   double millis;
 };
 
-Result Measure(const char* name, PmemEnv* env,
+Result Measure(const char* name, PmemEnv* env, bench::BenchReport* report,
                const std::function<void()>& flush_fn) {
   env->device()->counters().Reset();
   auto start = std::chrono::steady_clock::now();
@@ -69,6 +71,13 @@ Result Measure(const char* name, PmemEnv* env,
   printf("%-12s hit ratio %.3f   write amp %.3f   %8.2f ms\n", name,
          r.hit_ratio, r.write_amp, r.millis);
   fflush(stdout);
+  bench::RunResult rr;
+  rr.seconds = ms / 1000.0;
+  rr.ops = kTableBytes / 64;  // cache lines moved
+  JsonValue& entry = report->AddRun(name, rr);
+  entry.Set("hit_ratio", JsonValue::Number(r.hit_ratio));
+  entry.Set("millis", JsonValue::Number(r.millis));
+  entry.Set("pmem", bench::BenchReport::PmemJson(env));
   return r;
 }
 
@@ -77,6 +86,7 @@ Result Measure(const char* name, PmemEnv* env,
 
 int main() {
   using namespace cachekv;
+  bench::BenchReport report("ablation_flush_paths");
   printf("Ablation: moving a 2 MB sealed sub-ImmMemTable to PMem\n\n");
 
   // nt-copy (CacheKV).
@@ -86,7 +96,7 @@ int main() {
     env.allocator()->Allocate(kTableBytes, &src);
     env.allocator()->Allocate(kTableBytes, &dst);
     FillTable(&env, src);
-    Measure("nt-copy", &env, [&] {
+    Measure("nt-copy", &env, &report, [&] {
       char buf[4096];
       for (uint64_t off = 0; off < kTableBytes; off += sizeof(buf)) {
         env.Load(src + off, buf, sizeof(buf));
@@ -102,7 +112,7 @@ int main() {
     uint64_t src;
     env.allocator()->Allocate(kTableBytes, &src);
     FillTable(&env, src);
-    Measure("clwb-sweep", &env, [&] {
+    Measure("clwb-sweep", &env, &report, [&] {
       env.Clwb(src, kTableBytes);
       env.Sfence();
     });
@@ -115,7 +125,7 @@ int main() {
     env.allocator()->Allocate(kTableBytes, &src);
     env.allocator()->Allocate(64ull << 20, &noise);
     FillTable(&env, src);
-    Measure("eviction", &env, [&] {
+    Measure("eviction", &env, &report, [&] {
       // A scan over 16 MB of unrelated data evicts the dirty table
       // lines in LRU order.
       Random rng(7);
@@ -130,5 +140,9 @@ int main() {
   }
   printf("\nCacheKV picks nt-copy: ordered large writes saturate the\n"
          "XPBuffer and the pool slot is reusable immediately.\n");
+  if (!report.Write().ok()) {
+    fprintf(stderr, "failed to write the ablation report\n");
+    return 1;
+  }
   return 0;
 }

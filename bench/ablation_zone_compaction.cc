@@ -15,6 +15,7 @@
 #include "core/db.h"
 #include "harness.h"
 #include "pmem/pmem_env.h"
+#include "report.h"
 #include "util/random.h"
 
 namespace cachekv {
@@ -90,6 +91,7 @@ Numbers RunOnce(bool zone_compaction, uint64_t ops) {
 }
 
 int Run() {
+  BenchReport report("ablation_zone_compaction");
   const uint64_t ops = BenchOps(150'000);
   printf("Ablation: sub-skiplist compaction (SC) on the read path, "
          "%llu overwrite-heavy ops staged in the zone\n\n",
@@ -103,10 +105,26 @@ int Run() {
            static_cast<unsigned long long>(n.zone_tables),
            static_cast<unsigned long long>(n.global_entries));
     fflush(stdout);
+    RunResult rr;
+    rr.ops = ops;
+    JsonValue& entry =
+        report.AddRun(sc ? "CacheKV-sc" : "CacheKV-no-sc", rr);
+    entry.Set("zone_compaction", JsonValue::Bool(sc));
+    entry.Set("get_kops", JsonValue::Number(n.get_kops));
+    entry.Set("scan_entries_per_ms",
+              JsonValue::Number(n.scan_entries_per_ms));
+    entry.Set("zone_tables",
+              JsonValue::Number(static_cast<double>(n.zone_tables)));
+    entry.Set("global_entries",
+              JsonValue::Number(static_cast<double>(n.global_entries)));
   }
   printf("\nSC merges the staged sub-skiplists into one global skiplist "
          "and drops superseded nodes,\nso reads stop paying for every "
          "staged table (paper: Figure 9 / Exp#2).\n");
+  if (!report.Write().ok()) {
+    fprintf(stderr, "failed to write the ablation report\n");
+    return 1;
+  }
   return 0;
 }
 

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "harness.h"
+#include "report.h"
 #include "stores.h"
 
 namespace cachekv {
@@ -18,6 +19,7 @@ namespace bench {
 namespace {
 
 int Run() {
+  BenchReport report("fig04");
   const uint64_t ops = BenchOps(150'000);
   const double scale = BenchScale(0.0);  // hit ratio: no latency needed
   const std::vector<size_t> value_sizes = {32, 64, 128, 256};
@@ -58,7 +60,7 @@ int Run() {
       opts.total_ops = ops;
       opts.value_size = vs;
       WorkloadSpec spec = WorkloadSpec::FillRandom(ops);
-      RunWorkload(bundle.store.get(), spec, opts);
+      RunResult result = RunWorkload(bundle.store.get(), spec, opts);
       bundle.store->WaitIdle();
       // Note: no final cache sweep — like intel-pmwatch, the counters
       // reflect the traffic the DIMMs actually saw during the run.
@@ -66,8 +68,15 @@ int Run() {
       snprintf(buf, sizeof(buf), "%9.3f ",
                bundle.env->device()->counters().WriteHitRatio());
       row += buf;
+      JsonValue& entry = report.AddRun(SystemName(kind), result);
+      entry.Set("value_size", JsonValue::Number(static_cast<double>(vs)));
+      entry.Set("pmem", BenchReport::PmemJson(bundle.env.get()));
     }
     PrintRow(SystemName(kind), row);
+  }
+  if (!report.Write().ok()) {
+    fprintf(stderr, "failed to write the fig04 report\n");
+    return 1;
   }
   return 0;
 }

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "harness.h"
+#include "report.h"
 #include "stores.h"
 
 namespace cachekv {
@@ -17,6 +18,7 @@ namespace bench {
 namespace {
 
 int Run() {
+  BenchReport report("fig11");
   const uint64_t ops = BenchOps(150'000);
   const double scale = BenchScale(1.0);
   const std::vector<size_t> value_sizes = {16, 64, 256};
@@ -68,10 +70,19 @@ int Run() {
         char buf[32];
         snprintf(buf, sizeof(buf), "%9.1f ", result.Kops());
         row += buf;
+        JsonValue& entry = report.AddRun(SystemName(kind), result);
+        entry.Set("workload",
+                  JsonValue::Str(sequential ? "readseq" : "readrandom"));
+        entry.Set("value_size",
+                  JsonValue::Number(static_cast<double>(vs)));
       }
       PrintRow(SystemName(kind), row);
     }
     printf("\n");
+  }
+  if (!report.Write().ok()) {
+    fprintf(stderr, "failed to write the fig11 report\n");
+    return 1;
   }
   return 0;
 }

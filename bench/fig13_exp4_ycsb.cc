@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "harness.h"
+#include "report.h"
 #include "stores.h"
 
 namespace cachekv {
@@ -17,6 +18,7 @@ namespace bench {
 namespace {
 
 int Run() {
+  BenchReport report("fig13");
   const uint64_t ops = BenchOps(100'000);
   const double scale = BenchScale(1.0);
   const std::vector<SystemKind> systems = ComparisonSet();
@@ -66,8 +68,14 @@ int Run() {
       char buf[32];
       snprintf(buf, sizeof(buf), "%9.1f ", result.Kops());
       row += buf;
+      JsonValue& entry = report.AddRun(SystemName(kind), result);
+      entry.Set("workload", JsonValue::Str(std::string("ycsb-") + wl.name));
     }
     PrintRow(SystemName(kind), row);
+  }
+  if (!report.Write().ok()) {
+    fprintf(stderr, "failed to write the fig13 report\n");
+    return 1;
   }
   return 0;
 }

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "harness.h"
+#include "report.h"
 #include "stores.h"
 
 namespace cachekv {
@@ -16,6 +17,7 @@ namespace bench {
 namespace {
 
 int Run() {
+  BenchReport report("fig14");
   const uint64_t ops = BenchOps(150'000);
   const double scale = BenchScale(1.0);
   const std::vector<int> user_threads = {2, 4, 6};
@@ -51,8 +53,17 @@ int Run() {
       char buf[32];
       snprintf(buf, sizeof(buf), "%9.1f ", result.Kops());
       row += buf;
+      JsonValue& entry = report.AddRun("CacheKV", result);
+      entry.Set("user_threads",
+                JsonValue::Number(static_cast<double>(users)));
+      entry.Set("flush_threads",
+                JsonValue::Number(static_cast<double>(flushers)));
     }
     PrintRow(std::to_string(users) + " user threads", row);
+  }
+  if (!report.Write().ok()) {
+    fprintf(stderr, "failed to write the fig14 report\n");
+    return 1;
   }
   return 0;
 }

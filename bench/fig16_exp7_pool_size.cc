@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "harness.h"
+#include "report.h"
 #include "stores.h"
 
 namespace cachekv {
@@ -18,6 +19,7 @@ namespace bench {
 namespace {
 
 int Run() {
+  BenchReport report("fig16");
   // The read-side trend needs the dataset to dwarf every pool size under
   // test (as the paper's 10 M-op runs do), so this figure runs 3x the
   // base op count.
@@ -64,8 +66,17 @@ int Run() {
       char buf[32];
       snprintf(buf, sizeof(buf), "%9.1f ", result.Kops());
       row += buf;
+      JsonValue& entry = report.AddRun("CacheKV", result);
+      entry.Set("workload",
+                JsonValue::Str(reads ? "readrandom" : "fillrandom"));
+      entry.Set("pool_bytes",
+                JsonValue::Number(static_cast<double>(pool)));
     }
     PrintRow(reads ? "random reads" : "random writes", row);
+  }
+  if (!report.Write().ok()) {
+    fprintf(stderr, "failed to write the fig16 report\n");
+    return 1;
   }
   return 0;
 }

@@ -34,18 +34,26 @@ RunResult RunWorkload(KVStore* store, const WorkloadSpec& spec,
       std::string value;
       for (uint64_t i = 0; i < per_thread; i++) {
         Op op = gen.Next();
+        // Generate the key/value outside the timed window so the
+        // latency histogram measures the store, not the workload
+        // generator (keeps the per-op figure comparable with the
+        // store-internal stage spans).
+        std::string key = KeyFor(op.key_index, opts.key_size);
+        std::string put_value;
+        if (op.type == OpType::kPut ||
+            op.type == OpType::kReadModifyWrite) {
+          put_value = ValueFor(op.key_index, opts.value_size);
+        }
         auto op_start = opts.collect_latency ? Clock::now()
                                              : Clock::time_point();
         switch (op.type) {
           case OpType::kPut: {
-            Status s = store->Put(KeyFor(op.key_index, opts.key_size),
-                                  ValueFor(op.key_index, opts.value_size));
+            Status s = store->Put(key, put_value);
             if (!s.ok()) local.errors++;
             break;
           }
           case OpType::kGet: {
-            Status s = store->Get(KeyFor(op.key_index, opts.key_size),
-                                  &value);
+            Status s = store->Get(key, &value);
             if (s.ok()) {
               local.found++;
             } else if (s.IsNotFound()) {
@@ -56,19 +64,18 @@ RunResult RunWorkload(KVStore* store, const WorkloadSpec& spec,
             break;
           }
           case OpType::kDelete: {
-            Status s = store->Delete(KeyFor(op.key_index, opts.key_size));
+            Status s = store->Delete(key);
             if (!s.ok()) local.errors++;
             break;
           }
           case OpType::kReadModifyWrite: {
-            std::string key = KeyFor(op.key_index, opts.key_size);
             Status s = store->Get(key, &value);
             if (s.ok()) {
               local.found++;
             } else if (s.IsNotFound()) {
               local.not_found++;
             }
-            s = store->Put(key, ValueFor(op.key_index, opts.value_size));
+            s = store->Put(key, put_value);
             if (!s.ok()) local.errors++;
             break;
           }

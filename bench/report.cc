@@ -1,0 +1,124 @@
+#include "report.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "pmem/pmem_device.h"
+
+namespace cachekv {
+namespace bench {
+
+BenchReport::BenchReport(std::string figure)
+    : figure_(std::move(figure)), root_(JsonValue::Object()) {
+  root_.Set("figure", JsonValue::Str(figure_));
+  root_.Set("runs", JsonValue::Array());
+}
+
+JsonValue& BenchReport::AddRun(const std::string& name,
+                               const RunResult& result) {
+  JsonValue entry = JsonValue::Object();
+  entry.Set("name", JsonValue::Str(name));
+  entry.Set("kops", JsonValue::Number(result.Kops()));
+  entry.Set("seconds", JsonValue::Number(result.seconds));
+  entry.Set("ops", JsonValue::Number(static_cast<double>(result.ops)));
+  entry.Set("found",
+            JsonValue::Number(static_cast<double>(result.found)));
+  entry.Set("not_found",
+            JsonValue::Number(static_cast<double>(result.not_found)));
+  entry.Set("errors",
+            JsonValue::Number(static_cast<double>(result.errors)));
+  if (result.latency_ns.count() > 0) {
+    entry.Set("latency_ns", LatencyJson(result.latency_ns));
+  }
+  return root_.GetMutable("runs")->Append(std::move(entry));
+}
+
+Status BenchReport::Write() const {
+  std::string path;
+  const char* dir = std::getenv("CACHEKV_BENCH_OUT");
+  if (dir != nullptr && dir[0] != '\0') {
+    path = std::string(dir) + "/";
+  }
+  path += "BENCH_" + figure_ + ".json";
+  std::string body = root_.ToString(2);
+  body.push_back('\n');
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot open " + path);
+  }
+  size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  int rc = std::fclose(f);
+  if (written != body.size() || rc != 0) {
+    return Status::IOError("short write to " + path);
+  }
+  printf("wrote %s\n", path.c_str());
+  fflush(stdout);
+  return Status::OK();
+}
+
+JsonValue BenchReport::LatencyJson(const Histogram& h) {
+  JsonValue lat = JsonValue::Object();
+  lat.Set("count", JsonValue::Number(static_cast<double>(h.count())));
+  lat.Set("avg", JsonValue::Number(h.Average()));
+  lat.Set("p50", JsonValue::Number(h.Percentile(50.0)));
+  lat.Set("p95", JsonValue::Number(h.Percentile(95.0)));
+  lat.Set("p99", JsonValue::Number(h.Percentile(99.0)));
+  lat.Set("max", JsonValue::Number(h.max()));
+  return lat;
+}
+
+JsonValue BenchReport::PmemJson(PmemEnv* env) {
+  const PmemCounters& pc = env->device()->counters();
+  JsonValue pmem = JsonValue::Object();
+  pmem.Set("bytes_received",
+           JsonValue::Number(static_cast<double>(
+               pc.bytes_received.load(std::memory_order_relaxed))));
+  pmem.Set("media_bytes_written",
+           JsonValue::Number(static_cast<double>(
+               pc.media_bytes_written.load(std::memory_order_relaxed))));
+  pmem.Set("rmw_count",
+           JsonValue::Number(static_cast<double>(
+               pc.rmw_count.load(std::memory_order_relaxed))));
+  pmem.Set("nt_bytes_received",
+           JsonValue::Number(static_cast<double>(
+               pc.nt_bytes_received.load(std::memory_order_relaxed))));
+  pmem.Set("write_amplification",
+           JsonValue::Number(pc.WriteAmplification()));
+  pmem.Set("write_hit_ratio", JsonValue::Number(pc.WriteHitRatio()));
+  return pmem;
+}
+
+Status BenchReport::Validate(const JsonValue& doc) {
+  if (!doc.is_object()) {
+    return Status::Corruption("report root is not an object");
+  }
+  const JsonValue* figure = doc.Get("figure");
+  if (figure == nullptr || !figure->is_string() ||
+      figure->str().empty()) {
+    return Status::Corruption("report lacks a figure string");
+  }
+  const JsonValue* runs = doc.Get("runs");
+  if (runs == nullptr || !runs->is_array()) {
+    return Status::Corruption("report lacks a runs array");
+  }
+  for (const JsonValue& run : runs->items()) {
+    if (!run.is_object()) {
+      return Status::Corruption("run entry is not an object");
+    }
+    const JsonValue* name = run.Get("name");
+    if (name == nullptr || !name->is_string()) {
+      return Status::Corruption("run entry lacks a name");
+    }
+    for (const char* field : {"kops", "seconds", "ops"}) {
+      const JsonValue* v = run.Get(field);
+      if (v == nullptr || !v->is_number()) {
+        return Status::Corruption(std::string("run entry lacks numeric ") +
+                                  field);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace bench
+}  // namespace cachekv

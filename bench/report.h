@@ -1,0 +1,69 @@
+#ifndef CACHEKV_BENCH_REPORT_H_
+#define CACHEKV_BENCH_REPORT_H_
+
+#include <string>
+
+#include "harness.h"
+#include "pmem/pmem_env.h"
+#include "util/json.h"
+#include "util/status.h"
+
+namespace cachekv {
+namespace bench {
+
+/// BenchReport collects the structured results of one benchmark binary
+/// and writes them as BENCH_<figure>.json next to the human-readable
+/// table output, so runs can be archived and diffed (see
+/// docs/OBSERVABILITY.md for the schema and a comparison recipe).
+///
+/// Shape:
+///   {
+///     "figure": "fig05",
+///     "runs": [
+///       { "name": "NoveLSM-cache", "threads": 4, "kops": 123.4,
+///         "seconds": 0.97, "ops": 120000, "errors": 0,
+///         "latency_ns": {"p50":..., "p95":..., "p99":..., ...},
+///         "stages_ns": {"lock":..., "index":..., ...},
+///         "pmem": {"write_amplification":..., ...} },
+///       ...
+///     ]
+///   }
+/// Only name/kops/seconds/ops/errors are guaranteed; the rest is
+/// figure-specific and attached by the caller on the returned entry.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string figure);
+
+  /// Appends one run entry pre-filled from `result` and returns it so
+  /// the figure can attach its own dimensions (threads, value size,
+  /// stage breakdown, ...). Latency percentiles are included when the
+  /// run collected them.
+  JsonValue& AddRun(const std::string& name, const RunResult& result);
+
+  JsonValue& root() { return root_; }
+
+  /// Serializes to BENCH_<figure>.json in $CACHEKV_BENCH_OUT (current
+  /// directory when unset) and prints the path written.
+  Status Write() const;
+
+  /// {"count","avg","p50","p95","p99","max"} of a latency histogram.
+  static JsonValue LatencyJson(const Histogram& h);
+
+  /// PMem-side counters of the run's private environment: media write
+  /// amplification, XPLine RMWs, and non-temporal store bytes.
+  static JsonValue PmemJson(PmemEnv* env);
+
+  /// Structural check of a document produced by this class: "figure"
+  /// string, "runs" array, and numeric kops/seconds/ops per run. The
+  /// unit tests round-trip reports through Parse and this validator.
+  static Status Validate(const JsonValue& doc);
+
+ private:
+  std::string figure_;
+  JsonValue root_;
+};
+
+}  // namespace bench
+}  // namespace cachekv
+
+#endif  // CACHEKV_BENCH_REPORT_H_

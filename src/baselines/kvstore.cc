@@ -1,0 +1,21 @@
+#include "baselines/kvstore.h"
+
+namespace cachekv {
+
+Status KVStore::ApplyBatch(const std::vector<BatchOp>& batch) {
+  for (const BatchOp& op : batch) {
+    Status s = op.is_delete ? Delete(op.key) : Put(op.key, op.value);
+    if (!s.ok()) {
+      return s;
+    }
+  }
+  return Status::OK();
+}
+
+Status KVStore::Scan(const Slice& /*start*/, size_t /*limit*/,
+                     std::vector<std::pair<std::string, std::string>>* out) {
+  out->clear();
+  return Status::NotSupported("scan not implemented by " + Name());
+}
+
+}  // namespace cachekv

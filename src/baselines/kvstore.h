@@ -2,6 +2,8 @@
 #define CACHEKV_BASELINES_KVSTORE_H_
 
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "util/slice.h"
 #include "util/status.h"
@@ -17,6 +19,13 @@ class KVStore {
  public:
   virtual ~KVStore() = default;
 
+  /// One operation of a multi-key batch.
+  struct BatchOp {
+    bool is_delete = false;
+    std::string key;
+    std::string value;
+  };
+
   /// Inserts or updates the entry for key.
   virtual Status Put(const Slice& key, const Slice& value) = 0;
 
@@ -27,6 +36,19 @@ class KVStore {
   /// Removes the entry for key (writes a tombstone). It is not an error
   /// if the key does not exist.
   virtual Status Delete(const Slice& key) = 0;
+
+  /// Applies every operation of `batch`. The default decomposes the
+  /// batch into individual Put/Delete calls (no atomicity); engines with
+  /// a native multi-key commit (CacheKV's MultiPut) override this with
+  /// an all-or-nothing implementation.
+  virtual Status ApplyBatch(const std::vector<BatchOp>& batch);
+
+  /// Forward scan over the live user keys: fills `out` with at most
+  /// `limit` (key, value) pairs, in ascending key order, starting at the
+  /// first key >= `start` (tombstones elided, freshest versions).
+  /// Engines without an ordered view return NotSupported.
+  virtual Status Scan(const Slice& start, size_t limit,
+                      std::vector<std::pair<std::string, std::string>>* out);
 
   /// Human-readable engine name used in benchmark output.
   virtual std::string Name() const = 0;

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "lsm/merger.h"
 #include "pmem/meta_layout.h"
 
 namespace cachekv {
@@ -244,6 +245,35 @@ Status NoveLsmStore::WaitIdle() {
     }
   }
   return engine_->WaitForCompactions();
+}
+
+Status NoveLsmStore::Scan(
+    const Slice& start, size_t limit,
+    std::vector<std::pair<std::string, std::string>>* out) {
+  out->clear();
+  // Writers are held off and the memtable pointers pinned: the PMem
+  // skiplists require external synchronization to iterate.
+  std::unique_lock<std::mutex> write_lock(write_mu_);
+  std::shared_lock<std::shared_mutex> swap_lock(swap_mu_);
+  std::vector<Iterator*> children;
+  children.push_back(active_->NewIterator());
+  if (imm_ != nullptr) {
+    children.push_back(imm_->NewIterator());
+  }
+  children.push_back(engine_->NewIterator());
+  static InternalKeyComparator icmp;
+  std::unique_ptr<Iterator> it(NewUserKeyIterator(
+      NewDedupingIterator(NewMergingIterator(&icmp, std::move(children)))));
+  if (start.empty()) {
+    it->SeekToFirst();
+  } else {
+    it->Seek(start);
+  }
+  while (it->Valid() && out->size() < limit) {
+    out->emplace_back(it->key().ToString(), it->value().ToString());
+    it->Next();
+  }
+  return it->status();
 }
 
 }  // namespace cachekv

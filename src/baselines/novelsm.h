@@ -66,6 +66,12 @@ class NoveLsmStore : public KVStore {
   }
   Status WaitIdle() override;
 
+  /// Ordered forward scan merging the active/immutable persistent
+  /// memtables with the LSM levels. Blocks writers for the duration.
+  Status Scan(const Slice& start, size_t limit,
+              std::vector<std::pair<std::string, std::string>>* out)
+      override;
+
   WriteProfiler* profiler() { return &profiler_; }
   LsmEngine* engine() { return engine_.get(); }
 

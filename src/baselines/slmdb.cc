@@ -1,8 +1,10 @@
 #include "baselines/slmdb.h"
 
 #include <cassert>
+#include <map>
 
 #include "core/record_format.h"
+#include "lsm/merger.h"
 
 namespace cachekv {
 
@@ -428,6 +430,74 @@ Status SlmDbStore::Get(const Slice& key, std::string* value) {
     return Status::Corruption("slm-db locator key mismatch");
   }
   LoadRecordValue(env_, locator, header, value);
+  return Status::OK();
+}
+
+Status SlmDbStore::Scan(
+    const Slice& start, size_t limit,
+    std::vector<std::pair<std::string, std::string>>* out) {
+  out->clear();
+  // Block writers and pin the memtable pointers; the PMem skiplists need
+  // external synchronization to iterate.
+  std::unique_lock<std::mutex> write_lock(write_mu_);
+  std::shared_lock<std::shared_mutex> swap_lock(swap_mu_);
+  // key -> (is_delete, value); memtable state overlays the flushed index.
+  std::map<std::string, std::pair<bool, std::string>> merged;
+  {
+    std::vector<Iterator*> children;
+    children.push_back(active_->NewIterator());
+    if (imm_ != nullptr) {
+      children.push_back(imm_->NewIterator());
+    }
+    static InternalKeyComparator icmp;
+    std::unique_ptr<Iterator> it(
+        NewDedupingIterator(NewMergingIterator(&icmp, std::move(children))));
+    for (it->SeekToFirst(); it->Valid(); it->Next()) {
+      ParsedInternalKey parsed;
+      if (!ParseInternalKey(it->key(), &parsed)) {
+        return Status::Corruption("bad key in slm-db memtable");
+      }
+      merged.emplace(parsed.user_key.ToString(),
+                     std::make_pair(parsed.type == kTypeDeletion,
+                                    it->value().ToString()));
+    }
+    if (!it->status().ok()) {
+      return it->status();
+    }
+  }
+  // The B+-tree indexes exactly the live flushed records (deletes are
+  // applied to it at flush time); fresher memtable entries win.
+  std::shared_lock<std::shared_mutex> index_lock(index_mu_);
+  Status scan_status;
+  index_->Scan([&](const Slice& key, uint64_t locator) {
+    if (!scan_status.ok()) {
+      return;
+    }
+    std::string user_key = key.ToString();
+    if (merged.find(user_key) != merged.end()) {
+      return;
+    }
+    RecordHeader header;
+    if (!DecodeRecordHeaderAt(env_, locator, &header)) {
+      scan_status = Status::Corruption("dangling slm-db locator");
+      return;
+    }
+    std::string value;
+    LoadRecordValue(env_, locator, header, &value);
+    merged.emplace(std::move(user_key),
+                   std::make_pair(false, std::move(value)));
+  });
+  if (!scan_status.ok()) {
+    return scan_status;
+  }
+  auto it = start.empty() ? merged.begin()
+                          : merged.lower_bound(start.ToString());
+  for (; it != merged.end() && out->size() < limit; ++it) {
+    if (it->second.first) {
+      continue;  // tombstone masking nothing or a flushed record
+    }
+    out->emplace_back(it->first, it->second.second);
+  }
   return Status::OK();
 }
 

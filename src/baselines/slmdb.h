@@ -57,6 +57,13 @@ class SlmDbStore : public KVStore {
   }
   Status WaitIdle() override;
 
+  /// Ordered forward scan: unflushed memtable entries (tombstones
+  /// included) are overlaid on the B+-tree's live index. Materializes
+  /// the merged key set, which is fine for the simulated baseline.
+  Status Scan(const Slice& start, size_t limit,
+              std::vector<std::pair<std::string, std::string>>* out)
+      override;
+
   WriteProfiler* profiler() { return &profiler_; }
   uint64_t GarbageBytes() const;
   uint64_t DataBytes() const;

@@ -289,7 +289,7 @@ void CacheSim::NtStore(uint64_t addr, const void* src, size_t len) {
     memcpy(merged + off, in, chunk);
     stats_.nt_lines.fetch_add(1, std::memory_order_relaxed);
     if (latency_ != nullptr) latency_->ChargeNtStore(1);
-    device_->ReceiveLine(line, merged);
+    device_->ReceiveLine(line, merged, /*non_temporal=*/true);
 
     in += chunk;
     pos += chunk;

@@ -6,6 +6,7 @@
 #include "core/record_format.h"
 #include "lsm/merger.h"
 #include "pmem/meta_layout.h"
+#include "util/json.h"
 
 namespace cachekv {
 
@@ -17,7 +18,9 @@ DB::DB(PmemEnv* env, const CacheKVOptions& options)
           env, MetaLayout::ZoneRegistryBase(env),
           MetaLayout::kZoneRegistrySlotSize, options.zone_compaction)),
       engine_(std::make_unique<LsmEngine>(env, options.lsm,
-                                          MetaLayout::ManifestBase(env))) {
+                                          MetaLayout::ManifestBase(env),
+                                          &metrics_)),
+      stats_(&metrics_) {
   metadata_.resize(options_.num_cores);
 }
 
@@ -81,6 +84,7 @@ Status DB::Open(PmemEnv* env, const CacheKVOptions& options, bool recover,
       ft.data_tail = h.tail;
       ft.entry_count = h.counter;
       ft.max_sequence = index->max_sequence();
+      ft.data_crc = FlushedZone::ComputeDataCrc(env, region, h.tail);
       ft.index = std::move(index);
       return d->zone_->AddTable(std::move(ft));
     });
@@ -154,6 +158,7 @@ int DB::CoreOf() {
 }
 
 Status DB::AcquireFor(int core) {
+  OBS_SPAN(&metrics_, "put.acquire");
   SubMemTable table(env_, 0, SubMemTable::kDataOffset + kCacheLineSize);
   for (;;) {
     Status s = pool_->Acquire(&table);
@@ -222,10 +227,15 @@ Status DB::WriteToCore(int core, SequenceNumber seq, ValueType type,
       }
       t = metadata_[core];
     }
-    Status s = t->table.Append(seq, type, key, value);
+    Status s;
+    {
+      OBS_SPAN(&metrics_, "put.append");
+      s = t->table.Append(seq, type, key, value);
+    }
     if (s.ok()) {
       if (!options_.lazy_index_update) {
         // PCSM mode: diligently update the sub-skiplist on every write.
+        OBS_SPAN(&metrics_, "put.index_sync");
         return t->index->SyncWithTable(t->table);
       }
       uint64_t pending =
@@ -251,6 +261,7 @@ Status DB::WriteToCore(int core, SequenceNumber seq, ValueType type,
 }
 
 Status DB::Write(ValueType type, const Slice& key, const Slice& value) {
+  OBS_SPAN(&metrics_, "put");
   if (MaxRecordSize(key.size(), value.size()) >
       options_.sub_memtable_bytes - SubMemTable::kDataOffset) {
     return Status::InvalidArgument(
@@ -268,7 +279,12 @@ Status DB::Put(const Slice& key, const Slice& value) {
   return Write(kTypeValue, key, value);
 }
 
+Status DB::ApplyBatch(const std::vector<BatchOp>& batch) {
+  return MultiPut(batch);
+}
+
 Status DB::MultiPut(const std::vector<BatchOp>& batch) {
+  OBS_SPAN(&metrics_, "put");
   if (batch.empty()) {
     return Status::OK();
   }
@@ -308,10 +324,15 @@ Status DB::MultiPut(const std::vector<BatchOp>& batch) {
       }
       t = metadata_[core];
     }
-    Status s = t->table.AppendEncoded(
-        Slice(records), static_cast<uint32_t>(batch.size()));
+    Status s;
+    {
+      OBS_SPAN(&metrics_, "put.append");
+      s = t->table.AppendEncoded(Slice(records),
+                                 static_cast<uint32_t>(batch.size()));
+    }
     if (s.ok()) {
       if (!options_.lazy_index_update) {
+        OBS_SPAN(&metrics_, "put.index_sync");
         return t->index->SyncWithTable(t->table);
       }
       uint64_t pending = t->writes_since_sync.fetch_add(
@@ -381,6 +402,22 @@ Iterator* DB::NewScanIterator() {
     Status status_;
   };
   return new ScanIterator(this);
+}
+
+Status DB::Scan(const Slice& start, size_t limit,
+                std::vector<std::pair<std::string, std::string>>* out) {
+  out->clear();
+  std::unique_ptr<Iterator> it(NewScanIterator());
+  if (start.empty()) {
+    it->SeekToFirst();
+  } else {
+    it->Seek(start);
+  }
+  while (it->Valid() && out->size() < limit) {
+    out->emplace_back(it->key().ToString(), it->value().ToString());
+    it->Next();
+  }
+  return it->status();
 }
 
 Status DB::Delete(const Slice& key) {
@@ -486,6 +523,7 @@ void DB::ScheduleSync(const std::shared_ptr<ActiveTable>& table) {
 }
 
 Status DB::CopyFlushOne(std::shared_ptr<ActiveTable> sealed) {
+  OBS_SPAN(&metrics_, "flush.copy");
   // Final synchronization of the sub-skiplist (lazy trigger 3).
   Status s = sealed->index->SyncWithTable(sealed->table);
   if (!s.ok()) {
@@ -524,6 +562,7 @@ Status DB::CopyFlushOne(std::shared_ptr<ActiveTable> sealed) {
   ft.data_tail = h.tail;
   ft.entry_count = h.counter;
   ft.max_sequence = sealed->index->max_sequence();
+  ft.data_crc = FlushedZone::ComputeDataCrc(env_, region, h.tail);
   ft.index = sealed->index;
   s = zone_->AddTable(std::move(ft));
   if (!s.ok()) {
@@ -578,6 +617,7 @@ void DB::FlushThread() {
 }
 
 Status DB::FlushZoneToL0() {
+  OBS_SPAN(&metrics_, "flush.zone");
   std::vector<FlushedTable> snapshot = zone_->SnapshotTables();
   if (snapshot.empty()) {
     return Status::OK();
@@ -621,7 +661,11 @@ void DB::IndexThread() {
       table->sync_scheduled.store(false, std::memory_order_release);
       // Lazy index update (trigger 2), §III-B: batch-replay the appended
       // records into the sub-skiplist without blocking writers.
-      Status s = table->index->SyncWithTable(table->table);
+      Status s;
+      {
+        OBS_SPAN(&metrics_, "index.sync");
+        s = table->index->SyncWithTable(table->table);
+      }
       stats_.index_syncs.fetch_add(1, std::memory_order_relaxed);
       lock.lock();
       index_work_in_flight_--;
@@ -636,7 +680,10 @@ void DB::IndexThread() {
     compaction_requested_ = false;
     index_work_in_flight_++;
     lock.unlock();
-    zone_->Compact();
+    {
+      OBS_SPAN(&metrics_, "zone.compact");
+      zone_->Compact();
+    }
     Status s = Status::OK();
     if (zone_->TotalBytes() >= options_.imm_zone_flush_threshold) {
       s = FlushZoneToL0();
@@ -648,6 +695,39 @@ void DB::IndexThread() {
     }
     index_done_cv_.notify_all();
   }
+}
+
+obs::MetricsSnapshot DB::GetMetricsSnapshot() {
+  // Mirror the device- and cache-level hardware counters into gauges so
+  // one scrape carries the whole stack (engine spans + PMem media +
+  // LLC). Gauges, not counters: the device owns the source of truth and
+  // we overwrite with its current value on every snapshot.
+  const PmemCounters& pc = env_->device()->counters();
+  metrics_.GetGauge("pmem.rmw_count")
+      ->Set(static_cast<double>(pc.rmw_count.load()));
+  metrics_.GetGauge("pmem.media_bytes_written")
+      ->Set(static_cast<double>(pc.media_bytes_written.load()));
+  metrics_.GetGauge("pmem.bytes_received")
+      ->Set(static_cast<double>(pc.bytes_received.load()));
+  metrics_.GetGauge("pmem.nt_bytes")
+      ->Set(static_cast<double>(pc.nt_bytes_received.load()));
+  metrics_.GetGauge("pmem.write_amplification")
+      ->Set(pc.WriteAmplification());
+  metrics_.GetGauge("pmem.write_hit_ratio")->Set(pc.WriteHitRatio());
+  const CacheStats& cs = env_->cache()->stats();
+  metrics_.GetGauge("cache.clwb_lines")
+      ->Set(static_cast<double>(cs.clwb_lines.load()));
+  metrics_.GetGauge("cache.fences")
+      ->Set(static_cast<double>(cs.fences.load()));
+  metrics_.GetGauge("cache.dirty_evictions")
+      ->Set(static_cast<double>(cs.dirty_evictions.load()));
+  return metrics_.Snapshot();
+}
+
+void DB::DumpMetrics(std::string* out) {
+  JsonValue json;
+  GetMetricsSnapshot().ToJson(&json);
+  json.Write(out);
 }
 
 Status DB::WaitIdle() {

@@ -19,19 +19,33 @@
 #include "core/sub_memtable_pool.h"
 #include "core/sub_skiplist.h"
 #include "lsm/lsm_engine.h"
+#include "obs/metrics.h"
 #include "pmem/pmem_env.h"
 
 namespace cachekv {
 
-/// Runtime counters exposed for benchmarks and tests.
+/// Runtime counters exposed for benchmarks and tests. The counters live
+/// in the store's MetricsRegistry (under "db.*" names); this struct is a
+/// view of named references so historical call sites
+/// (stats().puts.load()) keep working while every value also shows up in
+/// GetMetricsSnapshot() / DumpMetrics().
 struct CacheKVStats {
-  std::atomic<uint64_t> puts{0};
-  std::atomic<uint64_t> gets{0};
-  std::atomic<uint64_t> seals{0};
-  std::atomic<uint64_t> copy_flushes{0};
-  std::atomic<uint64_t> zone_flushes{0};
-  std::atomic<uint64_t> index_syncs{0};
-  std::atomic<uint64_t> acquire_waits{0};
+  obs::Counter& puts;
+  obs::Counter& gets;
+  obs::Counter& seals;
+  obs::Counter& copy_flushes;
+  obs::Counter& zone_flushes;
+  obs::Counter& index_syncs;
+  obs::Counter& acquire_waits;
+
+  explicit CacheKVStats(obs::MetricsRegistry* registry)
+      : puts(*registry->GetCounter("db.puts")),
+        gets(*registry->GetCounter("db.gets")),
+        seals(*registry->GetCounter("db.seals")),
+        copy_flushes(*registry->GetCounter("db.copy_flushes")),
+        zone_flushes(*registry->GetCounter("db.zone_flushes")),
+        index_syncs(*registry->GetCounter("db.index_syncs")),
+        acquire_waits(*registry->GetCounter("db.acquire_waits")) {}
 };
 
 /// DB is the CacheKV store (§III): per-core sub-MemTables pinned in the
@@ -60,12 +74,17 @@ class DB : public KVStore {
   std::string Name() const override;
   Status WaitIdle() override;
 
-  /// One operation of a multi-key transaction.
-  struct BatchOp {
-    bool is_delete = false;
-    std::string key;
-    std::string value;
-  };
+  /// One operation of a multi-key transaction (shared with the generic
+  /// KVStore batch interface).
+  using BatchOp = KVStore::BatchOp;
+
+  /// Atomic batch commit: forwards to MultiPut.
+  Status ApplyBatch(const std::vector<BatchOp>& batch) override;
+
+  /// Ordered forward scan built on NewScanIterator().
+  Status Scan(const Slice& start, size_t limit,
+              std::vector<std::pair<std::string, std::string>>* out)
+      override;
 
   /// Multi-key transaction (§III-A discussion): all operations are
   /// appended contiguously to the calling core's sub-MemTable and
@@ -83,6 +102,21 @@ class DB : public KVStore {
   Iterator* NewScanIterator();
 
   const CacheKVStats& stats() const { return stats_; }
+
+  /// The store's metrics registry: "db.*" counters, "span.*" stage
+  /// histograms (nanoseconds), and — after a snapshot refresh —
+  /// "pmem.*" / "cache.*" device gauges. Components may register more.
+  obs::MetricsRegistry* metrics() { return &metrics_; }
+
+  /// Scrapes the registry after refreshing the PMem device and cache
+  /// simulator gauges (pmem.rmw_count, pmem.media_bytes_written,
+  /// pmem.bytes_received, pmem.nt_bytes, pmem.write_amplification,
+  /// cache.clwb_lines, cache.fences, cache.dirty_evictions).
+  obs::MetricsSnapshot GetMetricsSnapshot();
+
+  /// Appends the current snapshot to *out as pretty-printed JSON.
+  void DumpMetrics(std::string* out);
+
   SubMemTablePool* pool() { return pool_.get(); }
   FlushedZone* zone() { return zone_.get(); }
   LsmEngine* engine() { return engine_.get(); }
@@ -128,6 +162,10 @@ class DB : public KVStore {
   PmemEnv* env_;
   CacheKVOptions options_;
   InternalKeyComparator scan_icmp_;
+  // The registry must outlive (so precede) every component holding
+  // pointers into it: stats_, pool_/zone_/engine_, and the span call
+  // sites in the background threads.
+  obs::MetricsRegistry metrics_;
   std::unique_ptr<SubMemTablePool> pool_;
   std::unique_ptr<FlushedZone> zone_;
   std::unique_ptr<LsmEngine> engine_;

@@ -135,6 +135,14 @@ FlushedZone::FlushedZone(PmemEnv* env, uint64_t registry_base,
       compaction_enabled_(compaction_enabled),
       global_(std::make_shared<GlobalSkiplist>()) {}
 
+uint32_t FlushedZone::ComputeDataCrc(PmemEnv* env, uint64_t region_offset,
+                                     uint32_t data_tail) {
+  std::string data(data_tail, '\0');
+  env->Load(region_offset + SubMemTable::kDataOffset, data.data(),
+            data_tail);
+  return WalCrc(data.data(), data.size());
+}
+
 Status FlushedZone::PersistRegistryLocked() {
   std::string body;
   PutFixed64(&body, registry_epoch_ + 1);
@@ -145,6 +153,7 @@ Status FlushedZone::PersistRegistryLocked() {
     PutFixed32(&body, t.data_tail);
     PutFixed64(&body, t.entry_count);
     PutFixed64(&body, t.max_sequence);
+    PutFixed32(&body, t.data_crc);
   }
   std::string encoded;
   PutFixed32(&encoded, static_cast<uint32_t>(body.size()));
@@ -384,7 +393,7 @@ Status FlushedZone::Recover() {
     uint32_t count = DecodeFixed32(in.data() + 8);
     in.remove_prefix(12);
     for (uint32_t i = 0; i < count; i++) {
-      if (in.size() < 36) {
+      if (in.size() < 40) {
         return Status::Corruption("zone registry truncated");
       }
       FlushedTable t;
@@ -393,7 +402,8 @@ Status FlushedZone::Recover() {
       t.data_tail = DecodeFixed32(in.data() + 16);
       t.entry_count = DecodeFixed64(in.data() + 20);
       t.max_sequence = DecodeFixed64(in.data() + 28);
-      in.remove_prefix(36);
+      t.data_crc = DecodeFixed32(in.data() + 36);
+      in.remove_prefix(40);
       out->push_back(std::move(t));
     }
     return Status::OK();
@@ -425,6 +435,12 @@ Status FlushedZone::Recover() {
     Status s = env_->allocator()->Reserve(t.region_offset, t.region_size);
     if (!s.ok()) {
       return s;
+    }
+    // The registry named this table, but the staged bytes themselves may
+    // have been damaged (torn copy, media corruption): verify the data
+    // checksum before trusting a single record header.
+    if (ComputeDataCrc(env_, t.region_offset, t.data_tail) != t.data_crc) {
+      return Status::Corruption("zone table data crc mismatch");
     }
     t.index = std::make_shared<SubSkiplist>(
         env_, t.region_offset + SubMemTable::kDataOffset);

@@ -26,6 +26,10 @@ struct FlushedTable {
   uint32_t data_tail = 0;      // bytes of records in the data region
   uint64_t entry_count = 0;
   SequenceNumber max_sequence = 0;
+  /// Checksum of the data_tail record bytes, persisted in the zone
+  /// registry so recovery can tell clobbered table data from a valid
+  /// staged table (the record format itself carries no checksums).
+  uint32_t data_crc = 0;
   std::shared_ptr<SubSkiplist> index;  // re-pointed at the copy
   /// Whether the current global skiplist already covers this table;
   /// readers probe uncovered tables individually until the next
@@ -96,6 +100,12 @@ class FlushedZone {
 
   FlushedZone(const FlushedZone&) = delete;
   FlushedZone& operator=(const FlushedZone&) = delete;
+
+  /// Checksum over a staged table's record bytes, as stored in
+  /// FlushedTable::data_crc. Producers call this right after copying the
+  /// table into its zone region; Recover() recomputes and compares.
+  static uint32_t ComputeDataCrc(PmemEnv* env, uint64_t region_offset,
+                                 uint32_t data_tail);
 
   /// Adds a freshly copy-flushed table and persists the registry.
   Status AddTable(FlushedTable table);

@@ -46,6 +46,22 @@ Status SubMemTablePool::RecoverScan(
     }
     SubMemTable table(env_, off, size);
     SubMemTable::Header h = table.ReadHeader();
+    // Plausibility-check the packed header before replaying anything:
+    // recovery must report clobbered headers as corruption rather than
+    // replay garbage (or silently skip a table that held committed
+    // records).
+    if (static_cast<uint8_t>(h.state) >
+        static_cast<uint8_t>(SubState::kImmutable)) {
+      return Status::Corruption("sub-memtable header has invalid state");
+    }
+    if (h.tail > size - SubMemTable::kDataOffset) {
+      return Status::Corruption(
+          "sub-memtable tail points beyond the slot capacity");
+    }
+    if (h.state == SubState::kFree && (h.counter != 0 || h.tail != 0)) {
+      return Status::Corruption(
+          "free sub-memtable with nonzero counter or tail");
+    }
     if (h.counter > 0 &&
         (h.state == SubState::kAllocated ||
          h.state == SubState::kImmutable)) {

@@ -9,9 +9,10 @@
 namespace cachekv {
 
 LsmEngine::LsmEngine(PmemEnv* env, const LsmOptions& options,
-                     uint64_t manifest_base)
+                     uint64_t manifest_base, obs::MetricsRegistry* metrics)
     : env_(env),
       options_(options),
+      metrics_(metrics),
       manifest_(env, manifest_base, MetaLayout::kManifestSlotSize),
       compact_cursor_(options.num_levels, 0) {
   auto v = std::make_shared<Version>();
@@ -235,6 +236,7 @@ Status LsmEngine::InstallVersion(std::shared_ptr<Version> next,
 }
 
 Status LsmEngine::WriteL0Tables(Iterator* iter) {
+  OBS_SPAN(metrics_, "lsm.write_l0");
   std::vector<TableRef> outputs;
   Status s = BuildTables(iter, &outputs, /*is_compaction=*/false, 0,
                          nullptr);
@@ -367,6 +369,10 @@ bool LsmEngine::IsBaseLevelForKey(const Version& v, int output_level,
 }
 
 Status LsmEngine::CompactLevel(int level) {
+  OBS_SPAN(metrics_, "lsm.compact");
+  if (metrics_ != nullptr) {
+    metrics_->GetCounter("lsm.compactions")->Increment();
+  }
   // Phase 1 (under lock): pick inputs from the current version.
   std::vector<TableRef> inputs_this, inputs_next;
   VersionRef base;

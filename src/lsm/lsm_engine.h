@@ -13,6 +13,7 @@
 #include "lsm/dbformat.h"
 #include "lsm/iterator.h"
 #include "lsm/version.h"
+#include "obs/metrics.h"
 #include "pmem/pmem_env.h"
 #include "util/status.h"
 
@@ -46,8 +47,11 @@ struct LsmOptions {
 class LsmEngine {
  public:
   /// `manifest_base` names 2 x MetaLayout::kManifestSlotSize bytes of PMem
-  /// for the A/B manifest slots.
-  LsmEngine(PmemEnv* env, const LsmOptions& options, uint64_t manifest_base);
+  /// for the A/B manifest slots. When `metrics` is non-null the engine
+  /// records "lsm.write_l0" / "lsm.compact" spans and compaction counters
+  /// into it; null disables instrumentation (standalone tests).
+  LsmEngine(PmemEnv* env, const LsmOptions& options, uint64_t manifest_base,
+            obs::MetricsRegistry* metrics = nullptr);
   ~LsmEngine();
 
   LsmEngine(const LsmEngine&) = delete;
@@ -106,6 +110,7 @@ class LsmEngine {
 
   PmemEnv* env_;
   LsmOptions options_;
+  obs::MetricsRegistry* metrics_;  // may be null
   InternalKeyComparator icmp_;
   ManifestWriter manifest_;
 

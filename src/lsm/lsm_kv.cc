@@ -240,4 +240,28 @@ Iterator* LsmKv::NewInternalIterator() {
   return NewMergingIterator(&icmp, std::move(children));
 }
 
+Status LsmKv::Scan(const Slice& start, size_t limit,
+                   std::vector<std::pair<std::string, std::string>>* out) {
+  out->clear();
+  // The DRAM memtable is not safe to iterate under concurrent inserts,
+  // so the scan holds the write lock end to end.
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Iterator*> children;
+  children.push_back(mem_->NewIterator());
+  children.push_back(engine_->NewIterator());
+  static InternalKeyComparator icmp;
+  std::unique_ptr<Iterator> it(NewUserKeyIterator(
+      NewDedupingIterator(NewMergingIterator(&icmp, std::move(children)))));
+  if (start.empty()) {
+    it->SeekToFirst();
+  } else {
+    it->Seek(start);
+  }
+  while (it->Valid() && out->size() < limit) {
+    out->emplace_back(it->key().ToString(), it->value().ToString());
+    it->Next();
+  }
+  return it->status();
+}
+
 }  // namespace cachekv

@@ -44,6 +44,12 @@ class LsmKv : public KVStore {
   std::string Name() const override { return "LsmKv"; }
   Status WaitIdle() override;
 
+  /// Ordered forward scan over memtable + tables. Holds the write lock
+  /// for the duration (single-memtable locking discipline).
+  Status Scan(const Slice& start, size_t limit,
+              std::vector<std::pair<std::string, std::string>>* out)
+      override;
+
   /// Iterator over the live contents (freshest user-key versions;
   /// internal keys exposed). Testing hook.
   Iterator* NewInternalIterator();

@@ -1,0 +1,307 @@
+#include "obs/metrics.h"
+
+#include <cassert>
+#include <functional>
+
+#include "util/json.h"
+
+namespace cachekv {
+namespace obs {
+
+namespace {
+
+/// Instance ids disambiguate thread-local shard caches when a destroyed
+/// histogram's address is reused by a later instance.
+std::atomic<uint64_t> g_next_histogram_id{1};
+
+}  // namespace
+
+struct ShardedHistogram::Shard {
+  std::array<std::atomic<uint64_t>, Histogram::kNumBuckets> buckets{};
+  std::atomic<uint64_t> num{0};
+  std::atomic<double> min{0};
+  std::atomic<double> max{0};
+  std::atomic<double> sum{0};
+  std::atomic<double> sum_squares{0};
+};
+
+namespace {
+
+struct TlsShardRef {
+  const void* histogram = nullptr;
+  uint64_t id = 0;
+  ShardedHistogram::Shard* shard = nullptr;
+};
+
+/// Per-thread cache mapping histogram instance -> this thread's shard.
+/// A handful of entries per thread in practice; linear scan wins.
+thread_local std::vector<TlsShardRef> tls_shards;
+
+}  // namespace
+
+ShardedHistogram::ShardedHistogram()
+    : id_(g_next_histogram_id.fetch_add(1, std::memory_order_relaxed)) {}
+ShardedHistogram::~ShardedHistogram() = default;
+
+ShardedHistogram::Shard* ShardedHistogram::LocalShard() {
+  for (TlsShardRef& ref : tls_shards) {
+    if (ref.histogram == this && ref.id == id_) {
+      return ref.shard;
+    }
+  }
+  std::unique_ptr<Shard> shard = std::make_unique<Shard>();
+  Shard* raw = shard.get();
+  {
+    std::lock_guard<std::mutex> lock(shards_mu_);
+    shards_.push_back(std::move(shard));
+  }
+  // Replace a stale entry for a dead histogram at the same address, if
+  // any, else append.
+  for (TlsShardRef& ref : tls_shards) {
+    if (ref.histogram == this) {
+      ref.id = id_;
+      ref.shard = raw;
+      return raw;
+    }
+  }
+  tls_shards.push_back(TlsShardRef{this, id_, raw});
+  return raw;
+}
+
+void ShardedHistogram::Record(double value) {
+  Shard* s = LocalShard();
+  // Single-writer shard: plain load/store pairs on relaxed atomics are
+  // race-free and keep concurrent scrapes (Merged) well-defined.
+  const int b = Histogram::BucketFor(value);
+  s->buckets[b].store(s->buckets[b].load(std::memory_order_relaxed) + 1,
+                      std::memory_order_relaxed);
+  const uint64_t n = s->num.load(std::memory_order_relaxed);
+  if (n == 0 || value < s->min.load(std::memory_order_relaxed)) {
+    s->min.store(value, std::memory_order_relaxed);
+  }
+  if (n == 0 || value > s->max.load(std::memory_order_relaxed)) {
+    s->max.store(value, std::memory_order_relaxed);
+  }
+  s->sum.store(s->sum.load(std::memory_order_relaxed) + value,
+               std::memory_order_relaxed);
+  s->sum_squares.store(
+      s->sum_squares.load(std::memory_order_relaxed) + value * value,
+      std::memory_order_relaxed);
+  // Publish the sample count last: a concurrent scrape never reports
+  // more samples than it can see moments for.
+  s->num.store(n + 1, std::memory_order_release);
+}
+
+Histogram ShardedHistogram::Merged() const {
+  Histogram merged;
+  std::lock_guard<std::mutex> lock(shards_mu_);
+  uint64_t counts[Histogram::kNumBuckets];
+  for (const auto& shard : shards_) {
+    const uint64_t n = shard->num.load(std::memory_order_acquire);
+    if (n == 0) {
+      continue;
+    }
+    for (int b = 0; b < Histogram::kNumBuckets; b++) {
+      counts[b] = shard->buckets[b].load(std::memory_order_relaxed);
+    }
+    merged.MergeRaw(counts, shard->min.load(std::memory_order_relaxed),
+                    shard->max.load(std::memory_order_relaxed), n,
+                    shard->sum.load(std::memory_order_relaxed),
+                    shard->sum_squares.load(std::memory_order_relaxed));
+  }
+  return merged;
+}
+
+uint64_t ShardedHistogram::TotalCount() const {
+  std::lock_guard<std::mutex> lock(shards_mu_);
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->num.load(std::memory_order_acquire);
+  }
+  return total;
+}
+
+double ShardedHistogram::TotalSum() const {
+  std::lock_guard<std::mutex> lock(shards_mu_);
+  double total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->sum.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+int ShardedHistogram::NumShards() const {
+  std::lock_guard<std::mutex> lock(shards_mu_);
+  return static_cast<int>(shards_.size());
+}
+
+const MetricValue* MetricsSnapshot::Find(std::string_view name) const {
+  for (const auto& m : metrics) {
+    if (m.first == name) {
+      return &m.second;
+    }
+  }
+  return nullptr;
+}
+
+uint64_t MetricsSnapshot::CounterValue(std::string_view name) const {
+  const MetricValue* v = Find(name);
+  return (v != nullptr && v->kind == MetricKind::kCounter) ? v->counter
+                                                           : 0;
+}
+
+double MetricsSnapshot::GaugeValue(std::string_view name) const {
+  const MetricValue* v = Find(name);
+  return (v != nullptr && v->kind == MetricKind::kGauge) ? v->gauge : 0;
+}
+
+uint64_t MetricsSnapshot::HistogramCount(std::string_view name) const {
+  const MetricValue* v = Find(name);
+  return (v != nullptr && v->kind == MetricKind::kHistogram)
+             ? v->histogram.count()
+             : 0;
+}
+
+double MetricsSnapshot::HistogramSum(std::string_view name) const {
+  const MetricValue* v = Find(name);
+  return (v != nullptr && v->kind == MetricKind::kHistogram)
+             ? v->histogram.sum()
+             : 0;
+}
+
+void MetricsSnapshot::ToJson(JsonValue* out) const {
+  *out = JsonValue::Object();
+  for (const auto& [name, value] : metrics) {
+    switch (value.kind) {
+      case MetricKind::kCounter:
+        out->Set(name,
+                 JsonValue::Number(static_cast<double>(value.counter)));
+        break;
+      case MetricKind::kGauge:
+        out->Set(name, JsonValue::Number(value.gauge));
+        break;
+      case MetricKind::kHistogram: {
+        JsonValue h = JsonValue::Object();
+        const Histogram& hist = value.histogram;
+        h.Set("count",
+              JsonValue::Number(static_cast<double>(hist.count())));
+        h.Set("sum", JsonValue::Number(hist.sum()));
+        h.Set("min", JsonValue::Number(hist.min()));
+        h.Set("mean", JsonValue::Number(hist.Average()));
+        h.Set("p50", JsonValue::Number(hist.Percentile(50)));
+        h.Set("p95", JsonValue::Number(hist.Percentile(95)));
+        h.Set("p99", JsonValue::Number(hist.Percentile(99)));
+        h.Set("max", JsonValue::Number(hist.max()));
+        out->Set(name, std::move(h));
+        break;
+      }
+    }
+  }
+}
+
+struct MetricsRegistry::Entry {
+  std::string name;
+  MetricKind kind;
+  Counter counter;
+  Gauge gauge;
+  std::unique_ptr<ShardedHistogram> histogram;
+};
+
+MetricsRegistry::MetricsRegistry() {
+  for (auto& slot : table_) {
+    slot.store(nullptr, std::memory_order_relaxed);
+  }
+}
+
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry::Entry* MetricsRegistry::FindOrCreate(std::string_view name,
+                                                      MetricKind kind) {
+  const size_t mask = kTableSize - 1;
+  const size_t hash = std::hash<std::string_view>()(name);
+  // Lock-free fast path: probe the published slots.
+  for (size_t i = 0; i < kTableSize; i++) {
+    const size_t slot = (hash + i) & mask;
+    Entry* e = table_[slot].load(std::memory_order_acquire);
+    if (e == nullptr) {
+      break;  // name not registered yet
+    }
+    if (e->name == name) {
+      assert(e->kind == kind && "metric re-registered with another kind");
+      return e;
+    }
+  }
+  // Slow path: register under the mutex, re-probing (another thread may
+  // have inserted the name between our probe and the lock).
+  std::lock_guard<std::mutex> lock(insert_mu_);
+  size_t free_slot = kTableSize;
+  for (size_t i = 0; i < kTableSize; i++) {
+    const size_t slot = (hash + i) & mask;
+    Entry* e = table_[slot].load(std::memory_order_relaxed);
+    if (e == nullptr) {
+      free_slot = slot;
+      break;
+    }
+    if (e->name == name) {
+      assert(e->kind == kind && "metric re-registered with another kind");
+      return e;
+    }
+  }
+  assert(free_slot != kTableSize && "metrics registry table full");
+  auto entry = std::make_unique<Entry>();
+  entry->name.assign(name.data(), name.size());
+  entry->kind = kind;
+  if (kind == MetricKind::kHistogram) {
+    entry->histogram = std::make_unique<ShardedHistogram>();
+  }
+  Entry* raw = entry.get();
+  entries_.push_back(std::move(entry));
+  table_[free_slot].store(raw, std::memory_order_release);
+  return raw;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  return &FindOrCreate(name, MetricKind::kCounter)->counter;
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  return &FindOrCreate(name, MetricKind::kGauge)->gauge;
+}
+
+ShardedHistogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  return FindOrCreate(name, MetricKind::kHistogram)->histogram.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  // The entry list only grows; the mutex pins its backing storage while
+  // we walk it. Values themselves are read with relaxed atomics.
+  MetricsSnapshot snapshot;
+  std::lock_guard<std::mutex> lock(insert_mu_);
+  snapshot.metrics.reserve(entries_.size());
+  for (const auto& entry : entries_) {
+    MetricValue value;
+    value.kind = entry->kind;
+    switch (entry->kind) {
+      case MetricKind::kCounter:
+        value.counter = entry->counter.load();
+        break;
+      case MetricKind::kGauge:
+        value.gauge = entry->gauge.Value();
+        break;
+      case MetricKind::kHistogram:
+        value.histogram = entry->histogram->Merged();
+        break;
+    }
+    snapshot.metrics.emplace_back(entry->name, std::move(value));
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::DumpJson(std::string* out) const {
+  JsonValue json;
+  Snapshot().ToJson(&json);
+  json.Write(out);
+}
+
+}  // namespace obs
+}  // namespace cachekv

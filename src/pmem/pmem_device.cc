@@ -53,7 +53,8 @@ void PmemDevice::WritebackSlot(const Slot& slot) {
   if (latency_ != nullptr) latency_->ChargeMediaWrite(1);
 }
 
-void PmemDevice::ReceiveLine(uint64_t addr, const char* data) {
+void PmemDevice::ReceiveLine(uint64_t addr, const char* data,
+                             bool non_temporal) {
   assert(IsAligned(addr, kCacheLineSize));
   assert(addr + kCacheLineSize <= config_.capacity);
   const uint64_t xpline = AlignDown(addr, kXPLineSize);
@@ -63,6 +64,11 @@ void PmemDevice::ReceiveLine(uint64_t addr, const char* data) {
   counters_.lines_received.fetch_add(1, std::memory_order_relaxed);
   counters_.bytes_received.fetch_add(kCacheLineSize,
                                      std::memory_order_relaxed);
+  if (non_temporal) {
+    counters_.nt_lines_received.fetch_add(1, std::memory_order_relaxed);
+    counters_.nt_bytes_received.fetch_add(kCacheLineSize,
+                                          std::memory_order_relaxed);
+  }
 
   std::lock_guard<std::mutex> lock(dimm.mu);
   auto it = dimm.index.find(xpline);

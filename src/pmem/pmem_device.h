@@ -31,6 +31,10 @@ struct PmemCounters {
   /// read-modify-write of the 256 B media line.
   std::atomic<uint64_t> rmw_count{0};
   std::atomic<uint64_t> full_line_writebacks{0};
+  /// Subset of the received lines that arrived via non-temporal stores
+  /// (the copy-based flush path), as opposed to cache evictions / clwb.
+  std::atomic<uint64_t> nt_lines_received{0};
+  std::atomic<uint64_t> nt_bytes_received{0};
 
   /// Fraction of received 64 B lines that combined into an open XPLine.
   double WriteHitRatio() const {
@@ -60,6 +64,8 @@ struct PmemCounters {
     media_bytes_read.store(0);
     rmw_count.store(0);
     full_line_writebacks.store(0);
+    nt_lines_received.store(0);
+    nt_bytes_received.store(0);
   }
 };
 
@@ -100,7 +106,10 @@ class PmemDevice {
 
   /// Receives one 64 B cacheline at `addr` (must be 64-aligned, in range)
   /// from the CPU side (cache eviction, clwb writeback, or an nt-store).
-  void ReceiveLine(uint64_t addr, const char* data);
+  /// `non_temporal` marks lines bypassing the cache hierarchy so the
+  /// counters can attribute traffic to the streaming-store path.
+  void ReceiveLine(uint64_t addr, const char* data,
+                   bool non_temporal = false);
 
   /// Reads `len` bytes at `addr` observing both media and any fresher
   /// bytes still staged in the XPBuffer.

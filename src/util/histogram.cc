@@ -1,7 +1,10 @@
 #include "util/histogram.h"
 
+#include <cassert>
 #include <cmath>
 #include <cstdio>
+#include <functional>
+#include <thread>
 
 namespace cachekv {
 
@@ -31,23 +34,11 @@ const double Histogram::kBucketLimit[kNumBuckets] = {
     1e200,
 };
 
-Histogram::Histogram() : buckets_(kNumBuckets, 0) { Clear(); }
+double Histogram::BucketLimit(int b) { return kBucketLimit[b]; }
 
-void Histogram::Clear() {
-  min_ = kBucketLimit[kNumBuckets - 1];
-  max_ = 0;
-  num_ = 0;
-  sum_ = 0;
-  sum_squares_ = 0;
-  for (auto& b : buckets_) {
-    b = 0;
-  }
-}
-
-void Histogram::Add(double value) {
+int Histogram::BucketFor(double value) {
   // Linear scan is fast for small values which dominate latency samples;
   // use binary search above 1000.
-  int b = 0;
   if (value > kBucketLimit[40]) {
     int lo = 41, hi = kNumBuckets - 1;
     while (lo < hi) {
@@ -58,13 +49,77 @@ void Histogram::Add(double value) {
         hi = mid;
       }
     }
-    b = lo;
-  } else {
-    while (b < kNumBuckets - 1 && kBucketLimit[b] < value) {
-      b++;
-    }
+    return lo;
   }
-  buckets_[b] += 1;
+  int b = 0;
+  while (b < kNumBuckets - 1 && kBucketLimit[b] < value) {
+    b++;
+  }
+  return b;
+}
+
+namespace {
+
+#ifndef NDEBUG
+uint64_t SelfTid() {
+  uint64_t h = std::hash<std::thread::id>()(std::this_thread::get_id());
+  return h == 0 ? 1 : h;
+}
+#endif
+
+}  // namespace
+
+Histogram::Histogram() : buckets_(kNumBuckets, 0) { Clear(); }
+
+Histogram::Histogram(const Histogram& other)
+    : min_(other.min_),
+      max_(other.max_),
+      num_(other.num_),
+      sum_(other.sum_),
+      sum_squares_(other.sum_squares_),
+      buckets_(other.buckets_) {}
+
+Histogram& Histogram::operator=(const Histogram& other) {
+  min_ = other.min_;
+  max_ = other.max_;
+  num_ = other.num_;
+  sum_ = other.sum_;
+  sum_squares_ = other.sum_squares_;
+  buckets_ = other.buckets_;
+#ifndef NDEBUG
+  writer_tid_ = 0;  // the copy starts unclaimed
+#endif
+  return *this;
+}
+
+void Histogram::Clear() {
+  min_ = kBucketLimit[kNumBuckets - 1];
+  max_ = 0;
+  num_ = 0;
+  sum_ = 0;
+  sum_squares_ = 0;
+  for (auto& b : buckets_) {
+    b = 0;
+  }
+#ifndef NDEBUG
+  writer_tid_ = 0;
+#endif
+}
+
+void Histogram::Add(double value) {
+#ifndef NDEBUG
+  // One writer thread per histogram (see the class comment). Percentile
+  // corruption from racing Add()s is silent in release builds, so claim
+  // the histogram for the first writer and abort on any other.
+  const uint64_t self = SelfTid();
+  if (writer_tid_ == 0) {
+    writer_tid_ = self;
+  }
+  assert(writer_tid_ == self &&
+         "Histogram::Add called from two threads; use one histogram per "
+         "thread (or obs::ShardedHistogram) and Merge()");
+#endif
+  buckets_[BucketFor(value)] += 1;
   if (min_ > value) min_ = value;
   if (max_ < value) max_ = value;
   num_++;
@@ -80,6 +135,22 @@ void Histogram::Merge(const Histogram& other) {
   sum_squares_ += other.sum_squares_;
   for (int b = 0; b < kNumBuckets; b++) {
     buckets_[b] += other.buckets_[b];
+  }
+}
+
+void Histogram::MergeRaw(const uint64_t* bucket_counts, double min,
+                         double max, uint64_t num, double sum,
+                         double sum_squares) {
+  if (num == 0) {
+    return;
+  }
+  if (min < min_) min_ = min;
+  if (max > max_) max_ = max;
+  num_ += num;
+  sum_ += sum;
+  sum_squares_ += sum_squares;
+  for (int b = 0; b < kNumBuckets; b++) {
+    buckets_[b] += static_cast<double>(bucket_counts[b]);
   }
 }
 

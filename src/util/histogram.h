@@ -9,24 +9,53 @@ namespace cachekv {
 
 /// Histogram accumulates latency samples (in nanoseconds or any unit) into
 /// exponentially sized buckets and reports count, mean, percentiles, min
-/// and max. Add() is not thread-safe; use one histogram per thread and
-/// Merge() afterwards.
+/// and max.
+///
+/// Thread-safety contract: Add() is not thread-safe — each histogram has
+/// at most ONE writer thread; use one histogram per thread and Merge()
+/// afterwards (or obs::ShardedHistogram, which owns one shard per
+/// thread). Debug builds enforce this: the first Add() claims the
+/// histogram for the calling thread, and an Add() from any other thread
+/// aborts with an assertion until Clear() releases the claim.
 class Histogram {
  public:
+  static constexpr int kNumBuckets = 155;
+
+  /// Upper bound of bucket b (inclusive).
+  static double BucketLimit(int b);
+
+  /// Index of the bucket holding `value`.
+  static int BucketFor(double value);
+
   Histogram();
 
-  /// Removes all accumulated samples.
+  Histogram(const Histogram& other);
+  Histogram& operator=(const Histogram& other);
+
+  /// Removes all accumulated samples (and, in debug builds, the writer
+  /// claim).
   void Clear();
 
-  /// Records one sample.
+  /// Records one sample. Single writer thread only; see the class
+  /// comment.
   void Add(double value);
 
-  /// Merges the samples of `other` into this histogram.
+  /// Merges the samples of `other` into this histogram. Safe only when
+  /// neither histogram has a concurrent writer (benchmarks merge after
+  /// joining their worker threads).
   void Merge(const Histogram& other);
+
+  /// Merges raw shard state: per-bucket counts plus the moment sums.
+  /// `bucket_counts` must have kNumBuckets entries. Used by the metrics
+  /// registry to fold its per-thread atomic shards into a plain
+  /// histogram without going through Add().
+  void MergeRaw(const uint64_t* bucket_counts, double min, double max,
+                uint64_t num, double sum, double sum_squares);
 
   uint64_t count() const { return num_; }
   double min() const { return num_ == 0 ? 0 : min_; }
   double max() const { return max_; }
+  double sum() const { return sum_; }
   double Average() const;
   double StandardDeviation() const;
 
@@ -39,7 +68,6 @@ class Histogram {
   std::string ToString() const;
 
  private:
-  static constexpr int kNumBuckets = 155;
   static const double kBucketLimit[kNumBuckets];
 
   double min_;
@@ -48,6 +76,12 @@ class Histogram {
   double sum_;
   double sum_squares_;
   std::vector<double> buckets_;
+#ifndef NDEBUG
+  /// Hash of the thread that first Add()ed since the last Clear(); 0
+  /// while unclaimed. Plain (non-atomic) on purpose: it only exists to
+  /// trip the assertion in already-racy programs.
+  uint64_t writer_tid_ = 0;
+#endif
 };
 
 }  // namespace cachekv

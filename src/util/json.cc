@@ -1,0 +1,422 @@
+#include "util/json.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace cachekv {
+
+JsonValue JsonValue::Bool(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::Number(double d) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.number_ = d;
+  return v;
+}
+
+JsonValue JsonValue::Str(const std::string& s) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.string_ = s;
+  return v;
+}
+
+JsonValue JsonValue::Array() {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  return v;
+}
+
+JsonValue JsonValue::Object() {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  return v;
+}
+
+const JsonValue* JsonValue::Get(const std::string& key) const {
+  for (const auto& m : members_) {
+    if (m.first == key) {
+      return &m.second;
+    }
+  }
+  return nullptr;
+}
+
+JsonValue* JsonValue::GetMutable(const std::string& key) {
+  for (auto& m : members_) {
+    if (m.first == key) {
+      return &m.second;
+    }
+  }
+  return nullptr;
+}
+
+JsonValue& JsonValue::Set(const std::string& key, JsonValue value) {
+  for (auto& m : members_) {
+    if (m.first == key) {
+      m.second = std::move(value);
+      return m.second;
+    }
+  }
+  members_.emplace_back(key, std::move(value));
+  return members_.back().second;
+}
+
+JsonValue& JsonValue::Append(JsonValue value) {
+  items_.push_back(std::move(value));
+  return items_.back();
+}
+
+namespace {
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendNumber(std::string* out, double d) {
+  if (!std::isfinite(d)) {
+    out->append("0");  // JSON has no inf/nan
+    return;
+  }
+  // Integers (the common case for counters) print without a fraction.
+  if (d == std::floor(d) && std::fabs(d) < 9.007199254740992e15) {
+    char buf[32];
+    snprintf(buf, sizeof(buf), "%.0f", d);
+    out->append(buf);
+    return;
+  }
+  char buf[32];
+  snprintf(buf, sizeof(buf), "%.6g", d);
+  out->append(buf);
+}
+
+void Newline(std::string* out, int indent, int depth) {
+  if (indent < 0) {
+    return;
+  }
+  out->push_back('\n');
+  out->append(static_cast<size_t>(indent * depth), ' ');
+}
+
+}  // namespace
+
+void JsonValue::WriteIndented(std::string* out, int indent,
+                              int depth) const {
+  switch (kind_) {
+    case Kind::kNull:
+      out->append("null");
+      break;
+    case Kind::kBool:
+      out->append(bool_ ? "true" : "false");
+      break;
+    case Kind::kNumber:
+      AppendNumber(out, number_);
+      break;
+    case Kind::kString:
+      AppendEscaped(out, string_);
+      break;
+    case Kind::kArray: {
+      if (items_.empty()) {
+        out->append("[]");
+        break;
+      }
+      out->push_back('[');
+      for (size_t i = 0; i < items_.size(); i++) {
+        if (i > 0) {
+          out->push_back(',');
+        }
+        Newline(out, indent, depth + 1);
+        items_[i].WriteIndented(out, indent, depth + 1);
+      }
+      Newline(out, indent, depth);
+      out->push_back(']');
+      break;
+    }
+    case Kind::kObject: {
+      if (members_.empty()) {
+        out->append("{}");
+        break;
+      }
+      out->push_back('{');
+      for (size_t i = 0; i < members_.size(); i++) {
+        if (i > 0) {
+          out->push_back(',');
+        }
+        Newline(out, indent, depth + 1);
+        AppendEscaped(out, members_[i].first);
+        out->append(indent < 0 ? ":" : ": ");
+        members_[i].second.WriteIndented(out, indent, depth + 1);
+      }
+      Newline(out, indent, depth);
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+void JsonValue::Write(std::string* out, int indent) const {
+  WriteIndented(out, indent, 0);
+  if (indent >= 0) {
+    out->push_back('\n');
+  }
+}
+
+std::string JsonValue::ToString(int indent) const {
+  std::string out;
+  Write(&out, indent);
+  return out;
+}
+
+namespace {
+
+struct Parser {
+  const char* p;
+  const char* end;
+
+  void SkipSpace() {
+    while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' ||
+                       *p == '\r')) {
+      p++;
+    }
+  }
+
+  bool Consume(char c) {
+    if (p < end && *p == c) {
+      p++;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(const char* w) {
+    const char* q = p;
+    while (*w != '\0') {
+      if (q >= end || *q != *w) {
+        return false;
+      }
+      q++;
+      w++;
+    }
+    p = q;
+    return true;
+  }
+
+  Status Fail(const char* what) {
+    return Status::Corruption(std::string("json parse error: ") + what);
+  }
+
+  Status ParseString(std::string* out) {
+    if (!Consume('"')) {
+      return Fail("expected string");
+    }
+    out->clear();
+    while (p < end && *p != '"') {
+      char c = *p++;
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (p >= end) {
+        return Fail("truncated escape");
+      }
+      char e = *p++;
+      switch (e) {
+        case '"':
+          out->push_back('"');
+          break;
+        case '\\':
+          out->push_back('\\');
+          break;
+        case '/':
+          out->push_back('/');
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'u': {
+          if (end - p < 4) {
+            return Fail("truncated \\u escape");
+          }
+          char hex[5] = {p[0], p[1], p[2], p[3], '\0'};
+          unsigned code = static_cast<unsigned>(strtoul(hex, nullptr, 16));
+          p += 4;
+          // Metric names and figure ids are ASCII; anything else is
+          // replaced rather than UTF-8 encoded.
+          out->push_back(code < 0x80 ? static_cast<char>(code) : '?');
+          break;
+        }
+        default:
+          return Fail("bad escape character");
+      }
+    }
+    if (!Consume('"')) {
+      return Fail("unterminated string");
+    }
+    return Status::OK();
+  }
+
+  Status ParseValue(JsonValue* out, int depth) {
+    if (depth > 64) {
+      return Fail("nesting too deep");
+    }
+    SkipSpace();
+    if (p >= end) {
+      return Fail("unexpected end of input");
+    }
+    if (*p == '{') {
+      p++;
+      *out = JsonValue::Object();
+      SkipSpace();
+      if (Consume('}')) {
+        return Status::OK();
+      }
+      for (;;) {
+        SkipSpace();
+        std::string key;
+        Status s = ParseString(&key);
+        if (!s.ok()) {
+          return s;
+        }
+        SkipSpace();
+        if (!Consume(':')) {
+          return Fail("expected ':'");
+        }
+        JsonValue member;
+        s = ParseValue(&member, depth + 1);
+        if (!s.ok()) {
+          return s;
+        }
+        out->Set(key, std::move(member));
+        SkipSpace();
+        if (Consume(',')) {
+          continue;
+        }
+        if (Consume('}')) {
+          return Status::OK();
+        }
+        return Fail("expected ',' or '}'");
+      }
+    }
+    if (*p == '[') {
+      p++;
+      *out = JsonValue::Array();
+      SkipSpace();
+      if (Consume(']')) {
+        return Status::OK();
+      }
+      for (;;) {
+        JsonValue item;
+        Status s = ParseValue(&item, depth + 1);
+        if (!s.ok()) {
+          return s;
+        }
+        out->Append(std::move(item));
+        SkipSpace();
+        if (Consume(',')) {
+          continue;
+        }
+        if (Consume(']')) {
+          return Status::OK();
+        }
+        return Fail("expected ',' or ']'");
+      }
+    }
+    if (*p == '"') {
+      std::string s;
+      Status st = ParseString(&s);
+      if (!st.ok()) {
+        return st;
+      }
+      *out = JsonValue::Str(s);
+      return Status::OK();
+    }
+    if (ConsumeWord("true")) {
+      *out = JsonValue::Bool(true);
+      return Status::OK();
+    }
+    if (ConsumeWord("false")) {
+      *out = JsonValue::Bool(false);
+      return Status::OK();
+    }
+    if (ConsumeWord("null")) {
+      *out = JsonValue();
+      return Status::OK();
+    }
+    // Number.
+    char* num_end = nullptr;
+    std::string num_buf(p, static_cast<size_t>(
+                               std::min<ptrdiff_t>(end - p, 48)));
+    double d = strtod(num_buf.c_str(), &num_end);
+    if (num_end == num_buf.c_str()) {
+      return Fail("unexpected character");
+    }
+    p += (num_end - num_buf.c_str());
+    *out = JsonValue::Number(d);
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+Status JsonValue::Parse(const Slice& in, JsonValue* out) {
+  Parser parser{in.data(), in.data() + in.size()};
+  Status s = parser.ParseValue(out, 0);
+  if (!s.ok()) {
+    return s;
+  }
+  parser.SkipSpace();
+  if (parser.p != parser.end) {
+    return Status::Corruption("json parse error: trailing bytes");
+  }
+  return Status::OK();
+}
+
+}  // namespace cachekv

@@ -1,0 +1,77 @@
+#ifndef CACHEKV_UTIL_JSON_H_
+#define CACHEKV_UTIL_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace cachekv {
+
+/// Minimal JSON document model used by the observability layer and the
+/// benchmark exporters: enough of RFC 8259 to write and re-read the
+/// BENCH_<figure>.json reports and metric dumps. Numbers are doubles
+/// (the metric values all fit); object member order is preserved so
+/// emitted files diff cleanly across runs.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : kind_(Kind::kNull) {}
+  static JsonValue Bool(bool b);
+  static JsonValue Number(double d);
+  static JsonValue Str(const std::string& s);
+  static JsonValue Array();
+  static JsonValue Object();
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool bool_value() const { return bool_; }
+  double number() const { return number_; }
+  const std::string& str() const { return string_; }
+  const std::vector<JsonValue>& items() const { return items_; }
+
+  /// Object access. Get returns nullptr when the member is absent.
+  const JsonValue* Get(const std::string& key) const;
+  JsonValue* GetMutable(const std::string& key);
+  /// Inserts or replaces a member, keeping first-insertion order.
+  JsonValue& Set(const std::string& key, JsonValue value);
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+
+  /// Array append; returns the stored element.
+  JsonValue& Append(JsonValue value);
+
+  /// Serializes the value. `indent` >= 0 pretty-prints with that many
+  /// spaces per level; -1 emits the compact form.
+  void Write(std::string* out, int indent = 2) const;
+  std::string ToString(int indent = 2) const;
+
+  /// Parses `in` into *out. The whole input must be one JSON value
+  /// (trailing whitespace allowed).
+  static Status Parse(const Slice& in, JsonValue* out);
+
+ private:
+  void WriteIndented(std::string* out, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+}  // namespace cachekv
+
+#endif  // CACHEKV_UTIL_JSON_H_

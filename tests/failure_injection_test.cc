@@ -1,9 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <map>
 #include <memory>
 #include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
 
 #include "core/db.h"
+#include "core/flushed_zone.h"
+#include "core/sub_memtable.h"
 #include "lsm/lsm_engine.h"
 #include "lsm/memtable.h"
 #include "lsm/wal.h"
@@ -230,6 +236,185 @@ TEST(FailureInjectionTest, RepeatedCrashesDuringLoad) {
     EXPECT_EQ("v" + std::to_string(i), got);
   }
 }
+
+// --- Crash-point sweep -----------------------------------------------------
+//
+// The two sweeps below parameterize Clobber over a grid of offsets and
+// lengths in (a) the staged-zone table data and (b) the sub-MemTable pool
+// headers. The contract under test: after a crash plus arbitrary damage at
+// a grid point, reopening the store either restores every committed key or
+// fails with a Corruption status — it must never open successfully while
+// silently dropping or mangling committed data.
+
+CacheKVOptions SweepOptions() {
+  CacheKVOptions opts;
+  opts.pool_bytes = 4ull << 20;
+  opts.sub_memtable_bytes = 512ull << 10;
+  opts.min_sub_memtable_bytes = 128ull << 10;
+  // Keep flushed tables staged in the zone so the sweep has zone data to
+  // damage (no zone->L0 migration).
+  opts.imm_zone_flush_threshold = 256ull << 20;
+  return opts;
+}
+
+// Reopens with recovery and checks the all-or-clean-error contract.
+void ExpectRestoreOrCorruption(
+    PmemEnv* env, const CacheKVOptions& opts,
+    const std::map<std::string, std::string>& committed) {
+  std::unique_ptr<DB> db;
+  Status s = DB::Open(env, opts, true, &db);
+  if (!s.ok()) {
+    EXPECT_TRUE(s.IsCorruption())
+        << "damage must surface as Corruption, got: " << s.ToString();
+    return;
+  }
+  for (const auto& [key, value] : committed) {
+    std::string got;
+    Status g = db->Get(key, &got);
+    ASSERT_TRUE(g.ok())
+        << "open succeeded but committed key '" << key
+        << "' was silently dropped: " << g.ToString();
+    ASSERT_EQ(value, got) << "wrong bytes for committed key '" << key
+                          << "'";
+  }
+}
+
+// Param: (position permille within the table's data, clobber length).
+class ZoneDataClobberSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ZoneDataClobberSweep, RestoresOrReportsCorruption) {
+  const auto [pos_pct, len] = GetParam();
+  PmemEnv env(TestEnv(4ull << 20));
+  CacheKVOptions opts = SweepOptions();
+  std::map<std::string, std::string> committed;
+  std::vector<FlushedTable> tables;
+  {
+    std::unique_ptr<DB> db;
+    ASSERT_TRUE(DB::Open(&env, opts, false, &db).ok());
+    for (int i = 0; i < 8000; i++) {
+      std::string key = "key" + std::to_string(i);
+      std::string value =
+          "val" + std::to_string(i) + std::string(280, 'a' + (i % 26));
+      ASSERT_TRUE(db->Put(key, value).ok()) << i;
+      committed[key] = value;
+    }
+    ASSERT_TRUE(db->WaitIdle().ok());
+    tables = db->zone()->SnapshotTables();
+  }
+  ASSERT_FALSE(tables.empty())
+      << "the workload must stage at least one table in the zone";
+  env.SimulateCrash();
+
+  const FlushedTable& t = tables[tables.size() / 2];
+  ASSERT_GT(t.data_tail, static_cast<uint64_t>(len));
+  const uint64_t pos = (t.data_tail - len) * pos_pct / 100;
+  Clobber(&env, t.region_offset + SubMemTable::kDataOffset + pos, len);
+
+  ExpectRestoreOrCorruption(&env, opts, committed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ZoneDataClobberSweep,
+    ::testing::Combine(::testing::Values(0, 50, 95),
+                       ::testing::Values(1, 64, 300)));
+
+TEST(FailureInjectionTest, ZoneClobberPastDataTailStillRestores) {
+  PmemEnv env(TestEnv(4ull << 20));
+  CacheKVOptions opts = SweepOptions();
+  std::map<std::string, std::string> committed;
+  std::vector<FlushedTable> tables;
+  {
+    std::unique_ptr<DB> db;
+    ASSERT_TRUE(DB::Open(&env, opts, false, &db).ok());
+    for (int i = 0; i < 8000; i++) {
+      std::string key = "key" + std::to_string(i);
+      std::string value = "val" + std::to_string(i) + std::string(280, 'p');
+      ASSERT_TRUE(db->Put(key, value).ok()) << i;
+      committed[key] = value;
+    }
+    ASSERT_TRUE(db->WaitIdle().ok());
+    tables = db->zone()->SnapshotTables();
+  }
+  ASSERT_FALSE(tables.empty());
+  env.SimulateCrash();
+
+  // Damage bytes in a staged region but past the committed data tail:
+  // the CRC does not cover them, so recovery must come up with every key.
+  bool clobbered = false;
+  for (const auto& t : tables) {
+    const uint64_t used = SubMemTable::kDataOffset + t.data_tail;
+    if (t.region_size >= used + 8) {
+      Clobber(&env, t.region_offset + used, 8);
+      clobbered = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(clobbered) << "no staged region had slack past its tail";
+
+  std::unique_ptr<DB> db;
+  Status s = DB::Open(&env, opts, true, &db);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  for (const auto& [key, value] : committed) {
+    std::string got;
+    ASSERT_TRUE(db->Get(key, &got).ok()) << key;
+    ASSERT_EQ(value, got) << key;
+  }
+}
+
+// Param: (pool slot index, byte offset within the header, clobber length).
+// Offset 0 holds the packed {counter|state|tail} word (low 3 bytes are the
+// tail, bytes 5..7 the counter's high bits), offset 16 the slot-size word
+// that the recovery walk uses to parse the pool layout.
+class PoolHeaderClobberSweep
+    : public ::testing::TestWithParam<std::tuple<int, std::pair<int, int>>> {
+};
+
+TEST_P(PoolHeaderClobberSweep, RestoresOrReportsCorruption) {
+  const auto [slot_index, point] = GetParam();
+  const auto [hdr_off, len] = point;
+  PmemEnv env(TestEnv(4ull << 20));
+  CacheKVOptions opts = SweepOptions();
+  std::map<std::string, std::string> committed;
+  {
+    std::unique_ptr<DB> db;
+    ASSERT_TRUE(DB::Open(&env, opts, false, &db).ok());
+    // Few enough writes that they stay in the active sub-MemTable: the
+    // clobbered headers guard data that only exists in the pool.
+    for (int i = 0; i < 50; i++) {
+      std::string key = "hk" + std::to_string(i);
+      std::string value = "hv" + std::to_string(i);
+      ASSERT_TRUE(db->Put(key, value).ok()) << i;
+      committed[key] = value;
+    }
+  }
+  env.SimulateCrash();
+
+  // Walk the slot directory the same way recovery does.
+  std::vector<uint64_t> slot_offsets;
+  uint64_t off = 0;
+  while (off < opts.pool_bytes) {
+    const uint64_t size = SubMemTable::ReadSlotSize(&env, off);
+    ASSERT_GE(size, opts.min_sub_memtable_bytes);
+    ASSERT_LE(size, opts.pool_bytes - off);
+    slot_offsets.push_back(off);
+    off += size;
+  }
+  ASSERT_LT(static_cast<size_t>(slot_index), slot_offsets.size());
+  Clobber(&env, slot_offsets[slot_index] + hdr_off, len);
+
+  ExpectRestoreOrCorruption(&env, opts, committed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PoolHeaderClobberSweep,
+    ::testing::Combine(
+        ::testing::Values(0, 1),
+        ::testing::Values(std::make_pair(0, 8),    // whole packed word
+                          std::make_pair(0, 3),    // tail bytes only
+                          std::make_pair(5, 3),    // counter high bytes
+                          std::make_pair(16, 8))   // slot-size word
+        ));
 
 }  // namespace
 }  // namespace cachekv

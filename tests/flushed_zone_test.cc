@@ -112,6 +112,7 @@ class FlushedZoneTest : public ::testing::Test {
     t.data_tail = static_cast<uint32_t>(data.size());
     t.entry_count = count;
     t.max_sequence = max_seq;
+    t.data_crc = FlushedZone::ComputeDataCrc(&env_, region, t.data_tail);
     t.index = std::make_shared<SubSkiplist>(
         &env_, region + SubMemTable::kDataOffset);
     ASSERT_TRUE(t.index->SyncTo(count, t.data_tail).ok());
@@ -299,6 +300,7 @@ TEST(FlushedZoneNoCompactionTest, PerTableProbesStillCorrect) {
     ft.data_tail = static_cast<uint32_t>(data.size());
     ft.entry_count = count;
     ft.max_sequence = seq;
+    ft.data_crc = FlushedZone::ComputeDataCrc(&env, region, ft.data_tail);
     ft.index = std::make_shared<SubSkiplist>(
         &env, region + SubMemTable::kDataOffset);
     ASSERT_TRUE(ft.index->SyncTo(count, ft.data_tail).ok());
