@@ -140,8 +140,9 @@ int main() {
   }
   printf("\nCacheKV picks nt-copy: ordered large writes saturate the\n"
          "XPBuffer and the pool slot is reusable immediately.\n");
-  if (!report.Write().ok()) {
-    fprintf(stderr, "failed to write the ablation report\n");
+  if (Status ws = report.Write(); !ws.ok()) {
+    fprintf(stderr, "failed to write the ablation report: %s\n",
+            ws.ToString().c_str());
     return 1;
   }
   return 0;

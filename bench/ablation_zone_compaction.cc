@@ -121,8 +121,9 @@ int Run() {
   printf("\nSC merges the staged sub-skiplists into one global skiplist "
          "and drops superseded nodes,\nso reads stop paying for every "
          "staged table (paper: Figure 9 / Exp#2).\n");
-  if (!report.Write().ok()) {
-    fprintf(stderr, "failed to write the ablation report\n");
+  if (Status ws = report.Write(); !ws.ok()) {
+    fprintf(stderr, "failed to write the ablation report: %s\n",
+            ws.ToString().c_str());
     return 1;
   }
   return 0;

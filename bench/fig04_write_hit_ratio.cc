@@ -74,8 +74,9 @@ int Run() {
     }
     PrintRow(SystemName(kind), row);
   }
-  if (!report.Write().ok()) {
-    fprintf(stderr, "failed to write the fig04 report\n");
+  if (Status ws = report.Write(); !ws.ok()) {
+    fprintf(stderr, "failed to write the fig04 report: %s\n",
+            ws.ToString().c_str());
     return 1;
   }
   return 0;

@@ -179,8 +179,9 @@ int Run() {
     entry.Set("pmem", BenchReport::PmemJson(bundle.env.get()));
   }
 
-  if (!report.Write().ok()) {
-    fprintf(stderr, "failed to write the fig05 report\n");
+  if (Status ws = report.Write(); !ws.ok()) {
+    fprintf(stderr, "failed to write the fig05 report: %s\n",
+            ws.ToString().c_str());
     return 1;
   }
   return 0;

@@ -68,13 +68,17 @@ int Run() {
         entry.Set("value_size",
                   JsonValue::Number(static_cast<double>(vs)));
         entry.Set("pmem", BenchReport::PmemJson(bundle.env.get()));
+        report.AttachTrace((sequential ? "fillseq/" : "fillrandom/") +
+                               std::to_string(vs) + "B",
+                           bundle.cachekv);
       }
       PrintRow(SystemName(kind), row);
     }
     printf("\n");
   }
-  if (!report.Write().ok()) {
-    fprintf(stderr, "failed to write the fig10 report\n");
+  if (Status ws = report.Write(); !ws.ok()) {
+    fprintf(stderr, "failed to write the fig10 report: %s\n",
+            ws.ToString().c_str());
     return 1;
   }
   return 0;

@@ -75,13 +75,22 @@ int Run() {
                   JsonValue::Str(sequential ? "readseq" : "readrandom"));
         entry.Set("value_size",
                   JsonValue::Number(static_cast<double>(vs)));
+        if (bundle.cachekv != nullptr) {
+          entry.Set("read_breakdown",
+                    BenchReport::ReadBreakdownJson(
+                        bundle.cachekv->GetMetricsSnapshot()));
+          report.AttachTrace((sequential ? "readseq/" : "readrandom/") +
+                                 std::to_string(vs) + "B",
+                             bundle.cachekv);
+        }
       }
       PrintRow(SystemName(kind), row);
     }
     printf("\n");
   }
-  if (!report.Write().ok()) {
-    fprintf(stderr, "failed to write the fig11 report\n");
+  if (Status ws = report.Write(); !ws.ok()) {
+    fprintf(stderr, "failed to write the fig11 report: %s\n",
+            ws.ToString().c_str());
     return 1;
   }
   return 0;

@@ -74,8 +74,9 @@ int Run() {
     }
     printf("\n");
   }
-  if (!report.Write().ok()) {
-    fprintf(stderr, "failed to write the fig12 report\n");
+  if (Status ws = report.Write(); !ws.ok()) {
+    fprintf(stderr, "failed to write the fig12 report: %s\n",
+            ws.ToString().c_str());
     return 1;
   }
   return 0;

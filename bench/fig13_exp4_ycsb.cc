@@ -70,11 +70,19 @@ int Run() {
       row += buf;
       JsonValue& entry = report.AddRun(SystemName(kind), result);
       entry.Set("workload", JsonValue::Str(std::string("ycsb-") + wl.name));
+      if (bundle.cachekv != nullptr) {
+        entry.Set("read_breakdown",
+                  BenchReport::ReadBreakdownJson(
+                      bundle.cachekv->GetMetricsSnapshot()));
+        report.AttachTrace(std::string("ycsb-") + wl.name,
+                           bundle.cachekv);
+      }
     }
     PrintRow(SystemName(kind), row);
   }
-  if (!report.Write().ok()) {
-    fprintf(stderr, "failed to write the fig13 report\n");
+  if (Status ws = report.Write(); !ws.ok()) {
+    fprintf(stderr, "failed to write the fig13 report: %s\n",
+            ws.ToString().c_str());
     return 1;
   }
   return 0;

@@ -61,8 +61,9 @@ int Run() {
     }
     PrintRow(std::to_string(users) + " user threads", row);
   }
-  if (!report.Write().ok()) {
-    fprintf(stderr, "failed to write the fig14 report\n");
+  if (Status ws = report.Write(); !ws.ok()) {
+    fprintf(stderr, "failed to write the fig14 report: %s\n",
+            ws.ToString().c_str());
     return 1;
   }
   return 0;

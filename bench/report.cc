@@ -1,7 +1,11 @@
 #include "report.h"
 
+#include <sys/stat.h>
+
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "pmem/pmem_device.h"
 
@@ -33,27 +37,115 @@ JsonValue& BenchReport::AddRun(const std::string& name,
   return root_.GetMutable("runs")->Append(std::move(entry));
 }
 
-Status BenchReport::Write() const {
-  std::string path;
-  const char* dir = std::getenv("CACHEKV_BENCH_OUT");
-  if (dir != nullptr && dir[0] != '\0') {
-    path = std::string(dir) + "/";
+namespace {
+
+/// mkdir -p: creates every missing component of `dir`.
+Status MakeDirs(const std::string& dir) {
+  for (size_t i = 1; i <= dir.size(); i++) {
+    if (i != dir.size() && dir[i] != '/') {
+      continue;
+    }
+    std::string prefix = dir.substr(0, i);
+    if (::mkdir(prefix.c_str(), 0777) != 0 && errno != EEXIST) {
+      return Status::IOError("mkdir " + prefix + ": " +
+                             std::strerror(errno));
+    }
   }
-  path += "BENCH_" + figure_ + ".json";
-  std::string body = root_.ToString(2);
-  body.push_back('\n');
+  return Status::OK();
+}
+
+Status WriteFile(const std::string& path, const std::string& body) {
   FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
-    return Status::IOError("cannot open " + path);
+    return Status::IOError("cannot open " + path + ": " +
+                           std::strerror(errno));
   }
   size_t written = std::fwrite(body.data(), 1, body.size(), f);
   int rc = std::fclose(f);
   if (written != body.size() || rc != 0) {
-    return Status::IOError("short write to " + path);
+    return Status::IOError("short write to " + path + ": " +
+                           std::strerror(errno));
   }
   printf("wrote %s\n", path.c_str());
   fflush(stdout);
   return Status::OK();
+}
+
+}  // namespace
+
+void BenchReport::AttachTrace(const std::string& run_name, DB* db) {
+  if (db == nullptr || !db->trace()->enabled()) {
+    return;
+  }
+  db->trace()->ExportJson(&trace_events_, next_trace_pid_,
+                          db->Name() + "/" + run_name);
+  next_trace_pid_++;
+}
+
+Status BenchReport::Write() const {
+  std::string prefix;
+  const char* dir = std::getenv("CACHEKV_BENCH_OUT");
+  if (dir != nullptr && dir[0] != '\0') {
+    Status s = MakeDirs(dir);
+    if (!s.ok()) {
+      return s;
+    }
+    prefix = std::string(dir) + "/";
+  }
+  std::string body = root_.ToString(2);
+  body.push_back('\n');
+  Status s = WriteFile(prefix + "BENCH_" + figure_ + ".json", body);
+  if (!s.ok()) {
+    return s;
+  }
+  if (HasTrace()) {
+    std::string trace_body;
+    trace_events_.Write(&trace_body);
+    trace_body.push_back('\n');
+    s = WriteFile(prefix + "TRACE_" + figure_ + ".json", trace_body);
+    if (!s.ok()) {
+      return s;
+    }
+  }
+  return Status::OK();
+}
+
+JsonValue BenchReport::ReadBreakdownJson(const obs::MetricsSnapshot& snap) {
+  JsonValue b = JsonValue::Object();
+  const uint64_t gets = snap.CounterValue("db.gets");
+  b.Set("gets", JsonValue::Number(static_cast<double>(gets)));
+  b.Set("hit_submemtable",
+        JsonValue::Number(static_cast<double>(
+            snap.CounterValue("db.get_hit_submemtable"))));
+  b.Set("hit_zone", JsonValue::Number(static_cast<double>(
+                        snap.CounterValue("db.get_hit_zone"))));
+  b.Set("hit_lsm", JsonValue::Number(static_cast<double>(
+                       snap.CounterValue("db.get_hit_lsm"))));
+  b.Set("miss", JsonValue::Number(static_cast<double>(
+                    snap.CounterValue("db.get_miss"))));
+  JsonValue bloom = JsonValue::Object();
+  bloom.Set("checks", JsonValue::Number(static_cast<double>(
+                          snap.CounterValue("lsm.bloom_checks"))));
+  bloom.Set("negatives",
+            JsonValue::Number(static_cast<double>(
+                snap.CounterValue("lsm.bloom_negatives"))));
+  bloom.Set("false_positives",
+            JsonValue::Number(static_cast<double>(
+                snap.CounterValue("lsm.bloom_false_positives"))));
+  b.Set("bloom", std::move(bloom));
+  JsonValue stages = JsonValue::Object();
+  for (const char* stage : {"get.memtable", "get.zone", "get.lsm"}) {
+    const uint64_t count = snap.HistogramCount(stage);
+    JsonValue entry = JsonValue::Object();
+    entry.Set("count", JsonValue::Number(static_cast<double>(count)));
+    entry.Set("avg_ns",
+              JsonValue::Number(count == 0 ? 0.0
+                                           : snap.HistogramSum(stage) /
+                                                 static_cast<double>(count)));
+    stages.Set(stage, std::move(entry));
+  }
+  b.Set("stages", std::move(stages));
+  return b;
 }
 
 JsonValue BenchReport::LatencyJson(const Histogram& h) {

@@ -3,7 +3,9 @@
 
 #include <string>
 
+#include "core/db.h"
 #include "harness.h"
+#include "obs/metrics.h"
 #include "pmem/pmem_env.h"
 #include "util/json.h"
 #include "util/status.h"
@@ -42,9 +44,26 @@ class BenchReport {
 
   JsonValue& root() { return root_; }
 
+  /// Drains `db`'s trace into this report's trace document under a
+  /// fresh pid labeled "<System>/<run_name>", so one TRACE_<figure>.json
+  /// can hold every traced run of the figure side by side. No-op when
+  /// the store's tracing is disabled.
+  void AttachTrace(const std::string& run_name, DB* db);
+
+  /// True when at least one AttachTrace call captured events.
+  bool HasTrace() const { return next_trace_pid_ > 0; }
+
   /// Serializes to BENCH_<figure>.json in $CACHEKV_BENCH_OUT (current
-  /// directory when unset) and prints the path written.
+  /// directory when unset; the directory is created when missing) and
+  /// prints the path written. When traces were attached, also writes
+  /// TRACE_<figure>.json (a Chrome trace-event array for Perfetto).
   Status Write() const;
+
+  /// Read-path breakdown of one CacheKV run for the "read_breakdown"
+  /// report section: where Gets were answered (sub-MemTable / zone /
+  /// LSM / miss), bloom-filter effectiveness, and the per-stage span
+  /// latencies ("get.memtable" / "get.zone" / "get.lsm").
+  static JsonValue ReadBreakdownJson(const obs::MetricsSnapshot& snap);
 
   /// {"count","avg","p50","p95","p99","max"} of a latency histogram.
   static JsonValue LatencyJson(const Histogram& h);
@@ -61,6 +80,8 @@ class BenchReport {
  private:
   std::string figure_;
   JsonValue root_;
+  JsonValue trace_events_ = JsonValue::Array();
+  int next_trace_pid_ = 0;
 };
 
 }  // namespace bench

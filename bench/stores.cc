@@ -102,6 +102,7 @@ Status MakeStore(SystemKind kind, const StoreConfig& config,
       std::unique_ptr<DB> db;
       Status s = DB::Open(bundle->env.get(), opts, false, &db);
       if (!s.ok()) return s;
+      bundle->cachekv = db.get();
       bundle->store = std::move(db);
       return Status::OK();
     }

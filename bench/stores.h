@@ -54,6 +54,9 @@ struct StoreConfig {
 struct StoreBundle {
   std::unique_ptr<PmemEnv> env;
   std::unique_ptr<KVStore> store;
+  /// Non-null when `store` is a CacheKV DB (any ablation): the same
+  /// object downcast, for metrics/trace access. Owned by `store`.
+  DB* cachekv = nullptr;
 };
 
 /// Builds a ready-to-use store of the given kind.

@@ -44,11 +44,13 @@ void PrintHelp() {
 void PrintStats(PmemEnv* env, DB* db) {
   printf("puts=%llu gets=%llu seals=%llu copy_flushes=%llu "
          "zone_flushes=%llu\n",
-         static_cast<unsigned long long>(db->stats().puts.load()),
-         static_cast<unsigned long long>(db->stats().gets.load()),
-         static_cast<unsigned long long>(db->stats().seals.load()),
-         static_cast<unsigned long long>(db->stats().copy_flushes.load()),
-         static_cast<unsigned long long>(db->stats().zone_flushes.load()));
+         static_cast<unsigned long long>(db->CounterValue("db.puts")),
+         static_cast<unsigned long long>(db->CounterValue("db.gets")),
+         static_cast<unsigned long long>(db->CounterValue("db.seals")),
+         static_cast<unsigned long long>(
+             db->CounterValue("db.copy_flushes")),
+         static_cast<unsigned long long>(
+             db->CounterValue("db.zone_flushes")));
   printf("pool: %d slots (%d free), target class %llu KB\n",
          db->pool()->NumSlots(), db->pool()->NumFreeSlots(),
          static_cast<unsigned long long>(

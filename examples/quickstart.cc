@@ -70,13 +70,15 @@ int main() {
 
   printf("\n--- pipeline counters ---\n");
   printf("puts:          %llu\n",
-         static_cast<unsigned long long>(db->stats().puts.load()));
+         static_cast<unsigned long long>(db->CounterValue("db.puts")));
   printf("seals:         %llu\n",
-         static_cast<unsigned long long>(db->stats().seals.load()));
+         static_cast<unsigned long long>(db->CounterValue("db.seals")));
   printf("copy flushes:  %llu\n",
-         static_cast<unsigned long long>(db->stats().copy_flushes.load()));
+         static_cast<unsigned long long>(
+             db->CounterValue("db.copy_flushes")));
   printf("zone flushes:  %llu\n",
-         static_cast<unsigned long long>(db->stats().zone_flushes.load()));
+         static_cast<unsigned long long>(
+             db->CounterValue("db.zone_flushes")));
   printf("L0 files:      %d\n", db->engine()->NumFiles(0));
   printf("L1 files:      %d\n", db->engine()->NumFiles(1));
 

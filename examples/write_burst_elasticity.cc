@@ -67,7 +67,7 @@ int main() {
              db->pool()->target_slot_bytes() >> 10),
          static_cast<unsigned long long>(db->pool()->miss_count()),
          static_cast<unsigned long long>(
-             db->stats().acquire_waits.load()));
+             db->CounterValue("db.acquire_waits")));
 
   // Calm phase: a single writer; the pool grows its class back.
   for (int i = 0; i < 100000; i++) {

@@ -13,14 +13,29 @@ namespace cachekv {
 DB::DB(PmemEnv* env, const CacheKVOptions& options)
     : env_(env),
       options_(options),
+      trace_(options.trace_events_per_thread),
       pool_(std::make_unique<SubMemTablePool>(env, options)),
       zone_(std::make_unique<FlushedZone>(
           env, MetaLayout::ZoneRegistryBase(env),
-          MetaLayout::kZoneRegistrySlotSize, options.zone_compaction)),
+          MetaLayout::kZoneRegistrySlotSize, options.zone_compaction,
+          &metrics_, &trace_)),
       engine_(std::make_unique<LsmEngine>(env, options.lsm,
                                           MetaLayout::ManifestBase(env),
-                                          &metrics_)),
-      stats_(&metrics_) {
+                                          &metrics_, &trace_)),
+      puts_(metrics_.GetCounter("db.puts")),
+      gets_(metrics_.GetCounter("db.gets")),
+      seals_(metrics_.GetCounter("db.seals")),
+      copy_flushes_(metrics_.GetCounter("db.copy_flushes")),
+      zone_flushes_(metrics_.GetCounter("db.zone_flushes")),
+      index_syncs_(metrics_.GetCounter("db.index_syncs")),
+      acquire_waits_(metrics_.GetCounter("db.acquire_waits")),
+      get_hit_submemtable_(
+          metrics_.GetCounter("db.get_hit_submemtable")),
+      get_hit_zone_(metrics_.GetCounter("db.get_hit_zone")),
+      get_hit_lsm_(metrics_.GetCounter("db.get_hit_lsm")),
+      get_miss_(metrics_.GetCounter("db.get_miss")) {
+  trace_.set_enabled(options_.trace_enabled ||
+                     obs::TraceEnabledFromEnv());
   metadata_.resize(options_.num_cores);
 }
 
@@ -168,7 +183,8 @@ Status DB::AcquireFor(int core) {
     if (!s.IsBusy()) {
       return s;
     }
-    stats_.acquire_waits.fetch_add(1, std::memory_order_relaxed);
+    acquire_waits_->Increment();
+    trace_.Instant("acquire.wait");
     // Wait for the copy-based flush to free a table.
     std::unique_lock<std::mutex> lock(flush_mu_);
     if (!flush_error_.ok()) {
@@ -194,7 +210,8 @@ Status DB::SealAndReplace(int core,
   if (!current->table.Seal()) {
     return Status::Corruption("seal failed: unexpected table state");
   }
-  stats_.seals.fetch_add(1, std::memory_order_relaxed);
+  seals_->Increment();
+  trace_.Instant("seal", "bytes", h.tail);
   metadata_[core] = nullptr;
   if (h.counter == 0) {
     // Nothing to flush: recycle the empty table immediately (it was too
@@ -267,7 +284,7 @@ Status DB::Write(ValueType type, const Slice& key, const Slice& value) {
     return Status::InvalidArgument(
         "record larger than a full-size sub-memtable");
   }
-  stats_.puts.fetch_add(1, std::memory_order_relaxed);
+  puts_->Increment();
   const int core = CoreOf();
   const SequenceNumber seq =
       sequence_.fetch_add(1, std::memory_order_acq_rel) + 1;
@@ -300,7 +317,9 @@ Status DB::MultiPut(const std::vector<BatchOp>& batch) {
     return Status::InvalidArgument(
         "batch larger than a full-size sub-memtable");
   }
-  stats_.puts.fetch_add(batch.size(), std::memory_order_relaxed);
+  puts_->Increment(batch.size());
+  obs::TraceScope trace(&trace_, "multiput");
+  trace.AddArg("keys", batch.size());
   const int core = CoreOf();
   std::lock_guard<std::mutex> core_lock(core_mu_[core % kMaxCoreLocks]);
   // Reserve a contiguous sequence block for the transaction.
@@ -406,6 +425,8 @@ Iterator* DB::NewScanIterator() {
 
 Status DB::Scan(const Slice& start, size_t limit,
                 std::vector<std::pair<std::string, std::string>>* out) {
+  OBS_SPAN(&metrics_, "scan");
+  obs::TraceScope trace(&trace_, "scan");
   out->clear();
   std::unique_ptr<Iterator> it(NewScanIterator());
   if (start.empty()) {
@@ -417,6 +438,7 @@ Status DB::Scan(const Slice& start, size_t limit,
     out->emplace_back(it->key().ToString(), it->value().ToString());
     it->Next();
   }
+  trace.AddArg("rows", out->size());
   return it->status();
 }
 
@@ -425,15 +447,45 @@ Status DB::Delete(const Slice& key) {
 }
 
 Status DB::Get(const Slice& key, std::string* value) {
-  stats_.gets.fetch_add(1, std::memory_order_relaxed);
+  OBS_SPAN(&metrics_, "get");
+  obs::TraceScope trace(&trace_, "get");
+  gets_->Increment();
 
   bool found = false;
   SequenceNumber best_seq = 0;
   ValueType best_type = kTypeValue;
+  // Which component holds the freshest entry (the one that answers the
+  // Get, whether with a value or a tombstone). Error returns bypass the
+  // accounting, so on clean runs the four db.get_hit_*/db.get_miss
+  // counters sum to db.gets.
+  enum class Where { kNone, kSubMemTable, kZone, kLsm };
+  Where where = Where::kNone;
+  auto resolve = [&]() -> Status {
+    switch (where) {
+      case Where::kNone:
+        get_miss_->Increment();
+        break;
+      case Where::kSubMemTable:
+        get_hit_submemtable_->Increment();
+        break;
+      case Where::kZone:
+        get_hit_zone_->Increment();
+        break;
+      case Where::kLsm:
+        get_hit_lsm_->Increment();
+        break;
+    }
+    if (!found || best_type == kTypeDeletion) {
+      return Status::NotFound(where == Where::kNone ? "no visible entry"
+                                                    : "deleted");
+    }
+    return Status::OK();
+  };
 
   // 1) Memory component: every live sub-MemTable (read trigger: sync
   //    the sub-skiplist before searching; §III-B strict consistency).
   {
+    OBS_SPAN(&metrics_, "get.memtable");
     std::shared_lock<std::shared_mutex> lock(tables_mu_);
     const SubSkiplist* best_index = nullptr;
     SubSkiplist::Candidate best_candidate;
@@ -442,7 +494,7 @@ Status DB::Get(const Slice& key, std::string* value) {
       if (!s.ok()) {
         return s;
       }
-      stats_.index_syncs.fetch_add(1, std::memory_order_relaxed);
+      index_syncs_->Increment();
       SubSkiplist::Candidate c;
       if (t->index->Get(key, &c) && (!found || c.sequence > best_seq)) {
         found = true;
@@ -459,15 +511,17 @@ Status DB::Get(const Slice& key, std::string* value) {
       }
     }
   }
-  if (found &&
-      best_seq > flushed_hwm_.load(std::memory_order_acquire)) {
-    // Nothing outside the live tables can be fresher.
-    return best_type == kTypeDeletion ? Status::NotFound("deleted")
-                                      : Status::OK();
+  if (found) {
+    where = Where::kSubMemTable;
+    if (best_seq > flushed_hwm_.load(std::memory_order_acquire)) {
+      // Nothing outside the live tables can be fresher.
+      return resolve();
+    }
   }
 
   // 2) Sub-ImmMemTable zone (global skiplist / per-table probes).
   {
+    OBS_SPAN(&metrics_, "get.zone");
     auto zone_lock = zone_->LockShared();
     FlushedZone::LookupResult zr;
     Status s = zone_->Get(key, &zr);
@@ -478,39 +532,40 @@ Status DB::Get(const Slice& key, std::string* value) {
       found = true;
       best_seq = zr.sequence;
       best_type = zr.type;
+      where = Where::kZone;
       if (zr.type == kTypeValue) {
         *value = std::move(zr.value);
       }
     }
   }
   if (found && best_seq > l0_hwm_.load(std::memory_order_acquire)) {
-    return best_type == kTypeDeletion ? Status::NotFound("deleted")
-                                      : Status::OK();
+    return resolve();
   }
 
   // 3) LSM storage component.
-  std::string lsm_value;
-  bool lsm_deleted = false;
-  SequenceNumber lsm_seq = 0;
-  Status s = engine_->Get(key, kMaxSequenceNumber, &lsm_value,
-                          &lsm_deleted, &lsm_seq);
-  if (s.ok() || (s.IsNotFound() && lsm_deleted)) {
-    if (!found || lsm_seq > best_seq) {
-      found = true;
-      best_seq = lsm_seq;
-      best_type = lsm_deleted ? kTypeDeletion : kTypeValue;
-      if (!lsm_deleted) {
-        *value = std::move(lsm_value);
+  {
+    OBS_SPAN(&metrics_, "get.lsm");
+    std::string lsm_value;
+    bool lsm_deleted = false;
+    SequenceNumber lsm_seq = 0;
+    Status s = engine_->Get(key, kMaxSequenceNumber, &lsm_value,
+                            &lsm_deleted, &lsm_seq);
+    if (s.ok() || (s.IsNotFound() && lsm_deleted)) {
+      if (!found || lsm_seq > best_seq) {
+        found = true;
+        best_seq = lsm_seq;
+        best_type = lsm_deleted ? kTypeDeletion : kTypeValue;
+        where = Where::kLsm;
+        if (!lsm_deleted) {
+          *value = std::move(lsm_value);
+        }
       }
+    } else if (!s.IsNotFound()) {
+      return s;
     }
-  } else if (!s.IsNotFound()) {
-    return s;
   }
 
-  if (!found || best_type == kTypeDeletion) {
-    return Status::NotFound("no visible entry");
-  }
-  return Status::OK();
+  return resolve();
 }
 
 void DB::ScheduleSync(const std::shared_ptr<ActiveTable>& table) {
@@ -524,6 +579,7 @@ void DB::ScheduleSync(const std::shared_ptr<ActiveTable>& table) {
 
 Status DB::CopyFlushOne(std::shared_ptr<ActiveTable> sealed) {
   OBS_SPAN(&metrics_, "flush.copy");
+  obs::TraceScope trace(&trace_, "flush.copy");
   // Final synchronization of the sub-skiplist (lazy trigger 3).
   Status s = sealed->index->SyncWithTable(sealed->table);
   if (!s.ok()) {
@@ -551,7 +607,9 @@ Status DB::CopyFlushOne(std::shared_ptr<ActiveTable> sealed) {
     env_->NtStore(region + off, buf, chunk);
   }
   env_->Sfence();
-  stats_.copy_flushes.fetch_add(1, std::memory_order_relaxed);
+  copy_flushes_->Increment();
+  trace.AddArg("bytes", copy_len);
+  trace.AddArg("keys", h.counter);
 
   // Re-point the index at the copy, publish the table in the zone, then
   // recycle the pool slot.
@@ -592,6 +650,7 @@ Status DB::CopyFlushOne(std::shared_ptr<ActiveTable> sealed) {
 }
 
 void DB::FlushThread() {
+  trace_.SetThreadName("flush");
   std::unique_lock<std::mutex> lock(flush_mu_);
   while (true) {
     while (flush_queue_.empty() &&
@@ -622,6 +681,9 @@ Status DB::FlushZoneToL0() {
   if (snapshot.empty()) {
     return Status::OK();
   }
+  obs::TraceScope trace(&trace_, "flush.zone");
+  trace.AddArg("tables", snapshot.size());
+  trace.AddArg("bytes", zone_->TotalBytes());
   uint64_t snapshot_max_seq = 0;
   for (const FlushedTable& t : snapshot) {
     snapshot_max_seq = std::max(snapshot_max_seq, t.max_sequence);
@@ -638,11 +700,12 @@ Status DB::FlushZoneToL0() {
     return s;
   }
   stream.reset();
-  stats_.zone_flushes.fetch_add(1, std::memory_order_relaxed);
+  zone_flushes_->Increment();
   return zone_->DropTables(snapshot);
 }
 
 void DB::IndexThread() {
+  trace_.SetThreadName("index");
   std::unique_lock<std::mutex> lock(index_mu_);
   while (true) {
     while (sync_queue_.empty() && !compaction_requested_ &&
@@ -664,9 +727,10 @@ void DB::IndexThread() {
       Status s;
       {
         OBS_SPAN(&metrics_, "index.sync");
+        obs::TraceScope sync_trace(&trace_, "index.sync");
         s = table->index->SyncWithTable(table->table);
       }
-      stats_.index_syncs.fetch_add(1, std::memory_order_relaxed);
+      index_syncs_->Increment();
       lock.lock();
       index_work_in_flight_--;
       if (!s.ok() && index_error_.ok()) {
@@ -680,10 +744,9 @@ void DB::IndexThread() {
     compaction_requested_ = false;
     index_work_in_flight_++;
     lock.unlock();
-    {
-      OBS_SPAN(&metrics_, "zone.compact");
-      zone_->Compact();
-    }
+    // The "zone.compact" span and trace event are emitted inside
+    // FlushedZone::Compact(), which owns that stage.
+    zone_->Compact();
     Status s = Status::OK();
     if (zone_->TotalBytes() >= options_.imm_zone_flush_threshold) {
       s = FlushZoneToL0();

@@ -20,33 +20,10 @@
 #include "core/sub_skiplist.h"
 #include "lsm/lsm_engine.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "pmem/pmem_env.h"
 
 namespace cachekv {
-
-/// Runtime counters exposed for benchmarks and tests. The counters live
-/// in the store's MetricsRegistry (under "db.*" names); this struct is a
-/// view of named references so historical call sites
-/// (stats().puts.load()) keep working while every value also shows up in
-/// GetMetricsSnapshot() / DumpMetrics().
-struct CacheKVStats {
-  obs::Counter& puts;
-  obs::Counter& gets;
-  obs::Counter& seals;
-  obs::Counter& copy_flushes;
-  obs::Counter& zone_flushes;
-  obs::Counter& index_syncs;
-  obs::Counter& acquire_waits;
-
-  explicit CacheKVStats(obs::MetricsRegistry* registry)
-      : puts(*registry->GetCounter("db.puts")),
-        gets(*registry->GetCounter("db.gets")),
-        seals(*registry->GetCounter("db.seals")),
-        copy_flushes(*registry->GetCounter("db.copy_flushes")),
-        zone_flushes(*registry->GetCounter("db.zone_flushes")),
-        index_syncs(*registry->GetCounter("db.index_syncs")),
-        acquire_waits(*registry->GetCounter("db.acquire_waits")) {}
-};
 
 /// DB is the CacheKV store (§III): per-core sub-MemTables pinned in the
 /// persistent CPU caches, lazily synchronized DRAM sub-skiplists,
@@ -101,12 +78,27 @@ class DB : public KVStore {
   /// keep scans short-lived.
   Iterator* NewScanIterator();
 
-  const CacheKVStats& stats() const { return stats_; }
-
-  /// The store's metrics registry: "db.*" counters, "span.*" stage
+  /// The store's metrics registry: "db.*" counters, stage-span
   /// histograms (nanoseconds), and — after a snapshot refresh —
   /// "pmem.*" / "cache.*" device gauges. Components may register more.
+  /// All runtime counters live here and ONLY here; read one with
+  /// CounterValue() or via a snapshot — there is no separate stats
+  /// structure.
   obs::MetricsRegistry* metrics() { return &metrics_; }
+
+  /// Convenience read of one registry counter (0 when never touched).
+  uint64_t CounterValue(std::string_view name) {
+    return metrics_.GetCounter(name)->value();
+  }
+
+  /// The store's event tracer (off unless Options::trace_enabled or
+  /// CACHEKV_TRACE turned it on at Open time).
+  obs::Tracer* trace() { return &trace_; }
+
+  /// Serializes the retained trace events as one Chrome trace-event
+  /// JSON array (loadable in Perfetto / chrome://tracing). Empty array
+  /// when tracing is disabled. Best called after WaitIdle().
+  void DumpTrace(std::string* out) { trace_.Export(out); }
 
   /// Scrapes the registry after refreshing the PMem device and cache
   /// simulator gauges (pmem.rmw_count, pmem.media_bytes_written,
@@ -162,14 +154,28 @@ class DB : public KVStore {
   PmemEnv* env_;
   CacheKVOptions options_;
   InternalKeyComparator scan_icmp_;
-  // The registry must outlive (so precede) every component holding
-  // pointers into it: stats_, pool_/zone_/engine_, and the span call
-  // sites in the background threads.
+  // The registry and tracer must outlive (so precede) every component
+  // holding pointers into them: pool_/zone_/engine_, the cached counter
+  // pointers below, and the span call sites in background threads.
   obs::MetricsRegistry metrics_;
+  obs::Tracer trace_;
   std::unique_ptr<SubMemTablePool> pool_;
   std::unique_ptr<FlushedZone> zone_;
   std::unique_ptr<LsmEngine> engine_;
-  CacheKVStats stats_;
+
+  // Hot-path counters, cached once from the registry (which owns them;
+  // DumpMetrics() is the single source of truth for their values).
+  obs::Counter* puts_;
+  obs::Counter* gets_;
+  obs::Counter* seals_;
+  obs::Counter* copy_flushes_;
+  obs::Counter* zone_flushes_;
+  obs::Counter* index_syncs_;
+  obs::Counter* acquire_waits_;
+  obs::Counter* get_hit_submemtable_;
+  obs::Counter* get_hit_zone_;
+  obs::Counter* get_hit_lsm_;
+  obs::Counter* get_miss_;
 
   std::atomic<uint64_t> sequence_{0};
 

@@ -128,11 +128,15 @@ Iterator* GlobalSkiplist::NewIterator(PmemEnv* env) const {
 
 FlushedZone::FlushedZone(PmemEnv* env, uint64_t registry_base,
                          uint64_t registry_slot_size,
-                         bool compaction_enabled)
+                         bool compaction_enabled,
+                         obs::MetricsRegistry* metrics,
+                         obs::Tracer* trace)
     : env_(env),
       registry_base_(registry_base),
       registry_slot_size_(registry_slot_size),
       compaction_enabled_(compaction_enabled),
+      metrics_(metrics),
+      trace_(trace),
       global_(std::make_shared<GlobalSkiplist>()) {}
 
 uint32_t FlushedZone::ComputeDataCrc(PmemEnv* env, uint64_t region_offset,
@@ -186,6 +190,8 @@ void FlushedZone::Compact() {
   if (!compaction_enabled_) {
     return;
   }
+  obs::SpanTimer span(metrics_, "zone.compact");
+  obs::TraceScope trace(trace_, "zone.compact");
   // Snapshot the member tables.
   std::vector<std::shared_ptr<SubSkiplist>> indexes;
   std::vector<uint64_t> bases;
@@ -241,6 +247,9 @@ void FlushedZone::Compact() {
       sources.erase(sources.begin() + best);
     }
   }
+
+  trace.AddArg("tables", indexes.size());
+  trace.AddArg("entries", rebuilt->NumEntries());
 
   std::unique_lock<std::shared_mutex> lock(mu_);
   size_t still_present = 0;

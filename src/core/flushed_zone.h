@@ -13,6 +13,8 @@
 #include "index/skiplist.h"
 #include "lsm/dbformat.h"
 #include "lsm/iterator.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "pmem/pmem_env.h"
 #include "util/arena.h"
 
@@ -95,8 +97,13 @@ class GlobalSkiplist {
 /// from LockShared() so the L0 flush cannot free a region under them.
 class FlushedZone {
  public:
+  /// `metrics` and `trace` are optional observability sinks (the zone
+  /// records its compaction passes there); both must outlive the zone
+  /// when given.
   FlushedZone(PmemEnv* env, uint64_t registry_base,
-              uint64_t registry_slot_size, bool compaction_enabled);
+              uint64_t registry_slot_size, bool compaction_enabled,
+              obs::MetricsRegistry* metrics = nullptr,
+              obs::Tracer* trace = nullptr);
 
   FlushedZone(const FlushedZone&) = delete;
   FlushedZone& operator=(const FlushedZone&) = delete;
@@ -168,6 +175,8 @@ class FlushedZone {
   uint64_t registry_base_;
   uint64_t registry_slot_size_;
   bool compaction_enabled_;
+  obs::MetricsRegistry* metrics_;  // may be null
+  obs::Tracer* trace_;             // may be null
   InternalKeyComparator icmp_;
 
   mutable std::shared_mutex mu_;

@@ -44,6 +44,17 @@ struct CacheKVOptions {
   /// paper's miss counter) that trigger halving of free tables.
   uint32_t elasticity_miss_threshold = 8;
 
+  /// Event tracing (docs/OBSERVABILITY.md): when true the store records
+  /// begin/end and instant events into per-thread ring buffers and
+  /// DB::DumpTrace() exports them as Chrome trace-event JSON. Off by
+  /// default; the CACHEKV_TRACE environment variable also enables it at
+  /// Open() time. Disabled tracing costs one relaxed load per probe.
+  bool trace_enabled = false;
+
+  /// Fixed ring capacity (events) of each emitting thread's trace
+  /// shard. Overflow keeps the newest events and counts drops.
+  size_t trace_events_per_thread = 1 << 16;
+
   /// Ablation switches for the paper's breakdown (Exp#1/Exp#2):
   /// lazy_index_update=false gives the PCSM configuration (sub-skiplists
   /// updated synchronously on every write); zone_compaction=false

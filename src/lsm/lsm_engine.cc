@@ -9,12 +9,20 @@
 namespace cachekv {
 
 LsmEngine::LsmEngine(PmemEnv* env, const LsmOptions& options,
-                     uint64_t manifest_base, obs::MetricsRegistry* metrics)
+                     uint64_t manifest_base, obs::MetricsRegistry* metrics,
+                     obs::Tracer* trace)
     : env_(env),
       options_(options),
       metrics_(metrics),
+      trace_(trace),
       manifest_(env, manifest_base, MetaLayout::kManifestSlotSize),
       compact_cursor_(options.num_levels, 0) {
+  if (metrics_ != nullptr) {
+    bloom_checks_ = metrics_->GetCounter("lsm.bloom_checks");
+    bloom_negatives_ = metrics_->GetCounter("lsm.bloom_negatives");
+    bloom_false_positives_ =
+        metrics_->GetCounter("lsm.bloom_false_positives");
+  }
   auto v = std::make_shared<Version>();
   v->levels.resize(options_.num_levels);
   current_ = v;
@@ -237,6 +245,7 @@ Status LsmEngine::InstallVersion(std::shared_ptr<Version> next,
 
 Status LsmEngine::WriteL0Tables(Iterator* iter) {
   OBS_SPAN(metrics_, "lsm.write_l0");
+  obs::TraceScope trace(trace_, "lsm.write_l0");
   std::vector<TableRef> outputs;
   Status s = BuildTables(iter, &outputs, /*is_compaction=*/false, 0,
                          nullptr);
@@ -246,6 +255,12 @@ Status LsmEngine::WriteL0Tables(Iterator* iter) {
   if (outputs.empty()) {
     return Status::OK();
   }
+  uint64_t output_bytes = 0;
+  for (const TableRef& t : outputs) {
+    output_bytes += t->meta.file_size;
+  }
+  trace.AddArg("tables", outputs.size());
+  trace.AddArg("bytes", output_bytes);
   {
     std::unique_lock<std::mutex> lock(mu_);
     auto next = std::make_shared<Version>(*current_);
@@ -305,6 +320,9 @@ void LsmEngine::MaybeScheduleCompaction() {
 }
 
 void LsmEngine::BackgroundWork() {
+  if (trace_ != nullptr) {
+    trace_->SetThreadName("lsm-compaction");
+  }
   std::unique_lock<std::mutex> lock(mu_);
   while (true) {
     while (!shutting_down_ && !compaction_pending_) {
@@ -370,6 +388,8 @@ bool LsmEngine::IsBaseLevelForKey(const Version& v, int output_level,
 
 Status LsmEngine::CompactLevel(int level) {
   OBS_SPAN(metrics_, "lsm.compact");
+  obs::TraceScope trace(trace_, "lsm.compact");
+  trace.AddArg("level", static_cast<uint64_t>(level));
   if (metrics_ != nullptr) {
     metrics_->GetCounter("lsm.compactions")->Increment();
   }
@@ -412,6 +432,7 @@ Status LsmEngine::CompactLevel(int level) {
     }
   }
   const int output_level = std::min(level + 1, options_.num_levels - 1);
+  trace.AddArg("tables", inputs_this.size() + inputs_next.size());
 
   // Phase 2 (no lock): merge and write the outputs. Fresher sources
   // first: L0 files are newest-first already; the next level is older
@@ -481,8 +502,18 @@ Status LsmEngine::Get(const Slice& user_key, SequenceNumber snapshot,
     }
     ParsedInternalKey parsed;
     std::string key_storage;
+    bool bloom_negative = false;
     Status s = t->reader->InternalGet(Slice(target), &parsed, &key_storage,
-                                      value);
+                                      value, &bloom_negative);
+    if (bloom_checks_ != nullptr) {
+      bloom_checks_->Increment();
+      if (bloom_negative) {
+        bloom_negatives_->Increment();
+      } else if (s.IsNotFound()) {
+        // The filter admitted the key but the table does not hold it.
+        bloom_false_positives_->Increment();
+      }
+    }
     if (s.ok()) {
       *done = true;
       if (seq_out != nullptr) {

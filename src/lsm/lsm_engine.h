@@ -14,6 +14,7 @@
 #include "lsm/iterator.h"
 #include "lsm/version.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "pmem/pmem_env.h"
 #include "util/status.h"
 
@@ -48,10 +49,13 @@ class LsmEngine {
  public:
   /// `manifest_base` names 2 x MetaLayout::kManifestSlotSize bytes of PMem
   /// for the A/B manifest slots. When `metrics` is non-null the engine
-  /// records "lsm.write_l0" / "lsm.compact" spans and compaction counters
-  /// into it; null disables instrumentation (standalone tests).
+  /// records "lsm.write_l0" / "lsm.compact" spans, compaction counters,
+  /// and bloom-filter counters into it; when `trace` is non-null it also
+  /// emits L0-write and compaction trace events. Null disables
+  /// instrumentation (standalone tests).
   LsmEngine(PmemEnv* env, const LsmOptions& options, uint64_t manifest_base,
-            obs::MetricsRegistry* metrics = nullptr);
+            obs::MetricsRegistry* metrics = nullptr,
+            obs::Tracer* trace = nullptr);
   ~LsmEngine();
 
   LsmEngine(const LsmEngine&) = delete;
@@ -111,6 +115,14 @@ class LsmEngine {
   PmemEnv* env_;
   LsmOptions options_;
   obs::MetricsRegistry* metrics_;  // may be null
+  obs::Tracer* trace_;             // may be null
+  // Bloom-filter effectiveness counters, cached from the registry (null
+  // when metrics_ is null): checks = table probes that reached the
+  // filter, negatives = probes the filter rejected, false positives =
+  // probes the filter passed but the table did not contain.
+  obs::Counter* bloom_checks_ = nullptr;
+  obs::Counter* bloom_negatives_ = nullptr;
+  obs::Counter* bloom_false_positives_ = nullptr;
   InternalKeyComparator icmp_;
   ManifestWriter manifest_;
 

@@ -195,9 +195,16 @@ Status SSTableReader::Open(PmemEnv* env, uint64_t region_offset,
 Status SSTableReader::InternalGet(const Slice& internal_key,
                                   ParsedInternalKey* parsed,
                                   std::string* key_storage,
-                                  std::string* value) {
+                                  std::string* value,
+                                  bool* bloom_negative) {
+  if (bloom_negative != nullptr) {
+    *bloom_negative = false;
+  }
   const Slice user_key = ExtractUserKey(internal_key);
   if (!bloom_.KeyMayMatch(user_key, Slice(filter_data_))) {
+    if (bloom_negative != nullptr) {
+      *bloom_negative = true;
+    }
     return Status::NotFound("bloom miss");
   }
 

@@ -112,9 +112,12 @@ class SSTableReader {
 
   /// Looks up `internal_key`. On a user-key match with sequence <= the
   /// key's sequence, fills *parsed (pointing into *value_storage for the
-  /// user key) and *value and returns OK; otherwise NotFound.
+  /// user key) and *value and returns OK; otherwise NotFound. When
+  /// `bloom_negative` is non-null it is set to whether the bloom filter
+  /// rejected the key (so callers can tally filter effectiveness).
   Status InternalGet(const Slice& internal_key, ParsedInternalKey* parsed,
-                     std::string* key_storage, std::string* value);
+                     std::string* key_storage, std::string* value,
+                     bool* bloom_negative = nullptr);
 
   /// Returns a new iterator over the table (internal-key order). The
   /// reader must outlive the iterator.

@@ -2,12 +2,14 @@
 
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/db.h"
 #include "pmem/pmem_env.h"
+#include "util/json.h"
 #include "util/random.h"
 
 namespace cachekv {
@@ -119,9 +121,9 @@ TEST_F(CacheKVDbTest, ModelCheckThroughSealsAndZoneFlushes) {
   }
   ASSERT_TRUE(db_->WaitIdle().ok());
   // The workload must have exercised the full pipeline.
-  EXPECT_GT(db_->stats().seals.load(), 0u);
-  EXPECT_GT(db_->stats().copy_flushes.load(), 0u);
-  EXPECT_GT(db_->stats().zone_flushes.load(), 0u);
+  EXPECT_GT(db_->CounterValue("db.seals"), 0u);
+  EXPECT_GT(db_->CounterValue("db.copy_flushes"), 0u);
+  EXPECT_GT(db_->CounterValue("db.zone_flushes"), 0u);
   for (int i = 0; i < 5000; i++) {
     std::string k = "key" + std::to_string(i);
     std::string got;
@@ -267,7 +269,7 @@ TEST_F(CacheKVDbTest, CopyFlushStreamsThroughXPBuffer) {
     ASSERT_TRUE(db_->Put("key" + std::to_string(i), value).ok());
   }
   ASSERT_TRUE(db_->WaitIdle().ok());
-  EXPECT_GT(db_->stats().copy_flushes.load(), 4u);
+  EXPECT_GT(db_->CounterValue("db.copy_flushes"), 4u);
   // Large sequential NT-stores combine in the XPBuffer: high hit ratio,
   // low write amplification (this is R1 resolved).
   EXPECT_GT(env_->device()->counters().WriteHitRatio(), 0.6);
@@ -336,6 +338,82 @@ INSTANTIATE_TEST_SUITE_P(
       }
       return n;
     });
+
+TEST_F(CacheKVDbTest, TraceCapturesPipelineAndReadPath) {
+  CacheKVOptions opts = SmallDb();
+  opts.trace_enabled = true;
+  OpenDb(opts);
+  std::string value(128, 't');
+  for (int i = 0; i < 30000; i++) {
+    ASSERT_TRUE(db_->Put("key" + std::to_string(i), value).ok());
+  }
+  ASSERT_TRUE(db_->WaitIdle().ok());
+  std::string got;
+  for (int i = 0; i < 500; i++) {
+    ASSERT_TRUE(db_->Get("key" + std::to_string(i * 53 % 30000), &got).ok());
+  }
+  for (int i = 0; i < 100; i++) {
+    EXPECT_TRUE(db_->Get("nope" + std::to_string(i), &got).IsNotFound());
+  }
+  std::vector<std::pair<std::string, std::string>> rows;
+  ASSERT_TRUE(db_->Scan("key0", 50, &rows).ok());
+
+  // Reads are attributed to exactly one component each.
+  EXPECT_EQ(db_->CounterValue("db.gets"),
+            db_->CounterValue("db.get_hit_submemtable") +
+                db_->CounterValue("db.get_hit_zone") +
+                db_->CounterValue("db.get_hit_lsm") +
+                db_->CounterValue("db.get_miss"));
+  EXPECT_GE(db_->CounterValue("db.get_miss"), 100u);
+
+  // The dump is a Chrome trace-event array holding the whole pipeline:
+  // background flush stages, read-path spans, and thread names.
+  std::string json;
+  db_->DumpTrace(&json);
+  JsonValue doc;
+  ASSERT_TRUE(JsonValue::Parse(json, &doc).ok());
+  ASSERT_TRUE(doc.is_array());
+  std::set<std::string> names;
+  std::set<std::string> thread_names;
+  for (const JsonValue& ev : doc.items()) {
+    names.insert(ev.Get("name")->str());
+    if (ev.Get("name")->str() == "thread_name") {
+      thread_names.insert(ev.Get("args")->Get("name")->str());
+    }
+  }
+  for (const char* expected :
+       {"seal", "flush.copy", "flush.zone", "lsm.write_l0", "index.sync",
+        "get", "scan"}) {
+    EXPECT_TRUE(names.count(expected)) << "missing event: " << expected;
+  }
+  EXPECT_TRUE(thread_names.count("flush"));
+  EXPECT_TRUE(thread_names.count("index"));
+
+  // A "get" duration event carries the pid/tid/ts/ph schema Perfetto
+  // expects.
+  for (const JsonValue& ev : doc.items()) {
+    if (ev.Get("name")->str() != "get") continue;
+    EXPECT_EQ("X", ev.Get("ph")->str());
+    ASSERT_NE(nullptr, ev.Get("ts"));
+    ASSERT_NE(nullptr, ev.Get("dur"));
+    ASSERT_NE(nullptr, ev.Get("pid"));
+    ASSERT_NE(nullptr, ev.Get("tid"));
+    break;
+  }
+}
+
+TEST_F(CacheKVDbTest, TraceDisabledByDefault) {
+  OpenDb(SmallDb());
+  ASSERT_TRUE(db_->Put("k", "v").ok());
+  std::string got;
+  ASSERT_TRUE(db_->Get("k", &got).ok());
+  std::string json;
+  db_->DumpTrace(&json);
+  JsonValue doc;
+  ASSERT_TRUE(JsonValue::Parse(json, &doc).ok());
+  ASSERT_TRUE(doc.is_array());
+  EXPECT_TRUE(doc.items().empty());
+}
 
 TEST_F(CacheKVDbTest, ElasticityUnderManyWriters) {
   CacheKVOptions opts = SmallDb();

@@ -219,20 +219,20 @@ TEST(DbMetricsTest, WorkloadPopulatesSpans) {
   ASSERT_TRUE(db->WaitIdle().ok());
 
   MetricsSnapshot snap = db->GetMetricsSnapshot();
-  // The stats counters live on the registry, so the snapshot and the
-  // legacy accessors must agree.
-  EXPECT_EQ(static_cast<uint64_t>(kOps), db->stats().puts.load());
-  EXPECT_EQ(db->stats().puts.load(), snap.CounterValue("db.puts"));
+  // Every counter lives on the registry, so the snapshot and the
+  // CounterValue() accessor must agree.
+  EXPECT_EQ(static_cast<uint64_t>(kOps), db->CounterValue("db.puts"));
+  EXPECT_EQ(db->CounterValue("db.puts"), snap.CounterValue("db.puts"));
   // Every write crossed the "put" span.
   EXPECT_GE(snap.HistogramCount("put"), static_cast<uint64_t>(kOps));
   EXPECT_GT(snap.HistogramCount("put.append"), 0u);
   // 20k * ~80 B of records overflows the 512 KB sub-MemTables many
   // times over, so copy flushes ran — and every copy flush was counted
   // by exactly one "flush.copy" span.
-  EXPECT_GT(db->stats().copy_flushes.load(), 0u);
-  EXPECT_EQ(db->stats().copy_flushes.load(),
+  EXPECT_GT(db->CounterValue("db.copy_flushes"), 0u);
+  EXPECT_EQ(db->CounterValue("db.copy_flushes"),
             snap.HistogramCount("flush.copy"));
-  EXPECT_EQ(db->stats().zone_flushes.load(),
+  EXPECT_EQ(db->CounterValue("db.zone_flushes"),
             snap.HistogramCount("flush.zone"));
   // PMem gauges were refreshed from the device on scrape.
   EXPECT_GT(snap.GaugeValue("pmem.bytes_received"), 0.0);
@@ -247,6 +247,73 @@ TEST(DbMetricsTest, WorkloadPopulatesSpans) {
   const JsonValue* puts = parsed.Get("db.puts");
   ASSERT_NE(nullptr, puts);
   EXPECT_DOUBLE_EQ(static_cast<double>(kOps), puts->number());
+}
+
+TEST(DbMetricsTest, ReadPathSpansAndHitCounters) {
+  PmemEnv env(TestEnv(4ull << 20));
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(&env, SmallDb(), false, &db).ok());
+  const int kKeys = 30000;
+  std::string value(128, 'r');
+  for (int i = 0; i < kKeys; i++) {
+    ASSERT_TRUE(db->Put("key" + std::to_string(i), value).ok());
+  }
+  ASSERT_TRUE(db->WaitIdle().ok());
+
+  // Mixed hits (every component holds some of the keyspace after the
+  // flush pipeline ran) and guaranteed misses.
+  const int kHits = 2000, kMisses = 500;
+  std::string got;
+  for (int i = 0; i < kHits; i++) {
+    ASSERT_TRUE(db->Get("key" + std::to_string(i * 7 % kKeys), &got).ok());
+  }
+  for (int i = 0; i < kMisses; i++) {
+    EXPECT_TRUE(db->Get("absent" + std::to_string(i), &got).IsNotFound());
+  }
+  std::vector<std::pair<std::string, std::string>> rows;
+  ASSERT_TRUE(db->Scan("key0", 100, &rows).ok());
+  EXPECT_EQ(100u, rows.size());
+
+  MetricsSnapshot snap = db->GetMetricsSnapshot();
+  const uint64_t gets = snap.CounterValue("db.gets");
+  EXPECT_EQ(static_cast<uint64_t>(kHits + kMisses), gets);
+  // Every Get crossed the end-to-end span and stage 1; the scan crossed
+  // its own span.
+  EXPECT_EQ(gets, snap.HistogramCount("get"));
+  EXPECT_EQ(gets, snap.HistogramCount("get.memtable"));
+  EXPECT_GE(snap.HistogramCount("scan"), 1u);
+  // Hit-location accounting partitions the Gets exactly.
+  EXPECT_EQ(gets, snap.CounterValue("db.get_hit_submemtable") +
+                      snap.CounterValue("db.get_hit_zone") +
+                      snap.CounterValue("db.get_hit_lsm") +
+                      snap.CounterValue("db.get_miss"));
+  EXPECT_GE(snap.CounterValue("db.get_miss"),
+            static_cast<uint64_t>(kMisses));
+  // 30k * ~150 B overflows the 512 KB zone threshold repeatedly, so the
+  // LSM holds most of the keyspace: LSM hits and bloom probes happened.
+  EXPECT_GT(snap.CounterValue("db.get_hit_lsm"), 0u);
+  EXPECT_GT(snap.HistogramCount("get.lsm"), 0u);
+  EXPECT_GT(snap.CounterValue("lsm.bloom_checks"), 0u);
+  EXPECT_GE(snap.CounterValue("lsm.bloom_checks"),
+            snap.CounterValue("lsm.bloom_negatives") +
+                snap.CounterValue("lsm.bloom_false_positives"));
+
+  // The read_breakdown report section mirrors the snapshot.
+  JsonValue breakdown = bench::BenchReport::ReadBreakdownJson(snap);
+  EXPECT_DOUBLE_EQ(static_cast<double>(gets),
+                   breakdown.Get("gets")->number());
+  EXPECT_DOUBLE_EQ(
+      static_cast<double>(snap.CounterValue("db.get_miss")),
+      breakdown.Get("miss")->number());
+  ASSERT_NE(nullptr, breakdown.Get("bloom"));
+  EXPECT_DOUBLE_EQ(
+      static_cast<double>(snap.CounterValue("lsm.bloom_checks")),
+      breakdown.Get("bloom")->Get("checks")->number());
+  const JsonValue* stages = breakdown.Get("stages");
+  ASSERT_NE(nullptr, stages);
+  EXPECT_DOUBLE_EQ(static_cast<double>(gets),
+                   stages->Get("get.memtable")->Get("count")->number());
+  EXPECT_GT(stages->Get("get.lsm")->Get("avg_ns")->number(), 0.0);
 }
 
 TEST(JsonTest, RoundTrip) {
@@ -309,6 +376,66 @@ TEST(BenchReportTest, SchemaRoundTripsThroughFile) {
   unsetenv("CACHEKV_BENCH_OUT");
   std::remove(
       (std::string(dir_template) + "/BENCH_figtest.json").c_str());
+}
+
+TEST(BenchReportTest, CreatesMissingOutputDirAndWritesTrace) {
+  char dir_template[] = "/tmp/cachekv_report_XXXXXX";
+  ASSERT_NE(nullptr, mkdtemp(dir_template));
+  // Point at a directory that does not exist yet: Write() must create
+  // the whole chain.
+  std::string out_dir = std::string(dir_template) + "/nested/out";
+  ASSERT_EQ(0, setenv("CACHEKV_BENCH_OUT", out_dir.c_str(), 1));
+
+  PmemEnv env(TestEnv(4ull << 20));
+  CacheKVOptions db_opts = SmallDb();
+  db_opts.trace_enabled = true;
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(&env, db_opts, false, &db).ok());
+  std::string got;
+  for (int i = 0; i < 5000; i++) {
+    ASSERT_TRUE(db->Put("key" + std::to_string(i), "value").ok());
+  }
+  ASSERT_TRUE(db->WaitIdle().ok());
+  ASSERT_TRUE(db->Get("key1", &got).ok());
+
+  bench::BenchReport report("figtrace");
+  bench::RunResult result;
+  result.seconds = 1.0;
+  result.ops = 5001;
+  report.AddRun("CacheKV", result);
+  EXPECT_FALSE(report.HasTrace());
+  report.AttachTrace("fill", db.get());
+  EXPECT_TRUE(report.HasTrace());
+  ASSERT_TRUE(report.Write().ok());
+
+  std::ifstream trace_in(out_dir + "/TRACE_figtrace.json");
+  ASSERT_TRUE(trace_in.good());
+  std::stringstream buf;
+  buf << trace_in.rdbuf();
+  JsonValue trace;
+  ASSERT_TRUE(JsonValue::Parse(buf.str(), &trace).ok());
+  ASSERT_TRUE(trace.is_array());
+  // The run's process metadata and at least one pipeline event made it.
+  bool saw_process = false, saw_event = false;
+  for (const JsonValue& ev : trace.items()) {
+    const std::string& name = ev.Get("name")->str();
+    if (name == "process_name" &&
+        ev.Get("args")->Get("name")->str() == "CacheKV/fill") {
+      saw_process = true;
+    }
+    if (name == "flush.copy" || name == "seal" || name == "get") {
+      saw_event = true;
+    }
+  }
+  EXPECT_TRUE(saw_process);
+  EXPECT_TRUE(saw_event);
+
+  std::ifstream bench_in(out_dir + "/BENCH_figtrace.json");
+  EXPECT_TRUE(bench_in.good());
+
+  unsetenv("CACHEKV_BENCH_OUT");
+  std::remove((out_dir + "/BENCH_figtrace.json").c_str());
+  std::remove((out_dir + "/TRACE_figtrace.json").c_str());
 }
 
 TEST(BenchReportTest, ValidateRejectsMalformedReports) {

@@ -1,0 +1,209 @@
+// Tests for the lock-free event tracer (src/obs/trace.h): ring
+// wraparound with drop accounting, concurrent emission (run under TSan
+// to check the seqlock-guarded slots), and Chrome trace-event export
+// that round-trips through the JSON layer.
+
+#include "obs/trace.h"
+
+#include <atomic>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "util/json.h"
+
+namespace cachekv {
+namespace obs {
+namespace {
+
+TEST(TraceTest, DisabledTracerRecordsNothing) {
+  Tracer tracer(64);
+  tracer.Instant("never");
+  {
+    TraceScope scope(&tracer, "never");
+    scope.AddArg("bytes", 1);
+  }
+  TraceScope null_scope(nullptr, "never");
+  EXPECT_FALSE(null_scope.active());
+  EXPECT_EQ(0u, tracer.RetainedEvents());
+  EXPECT_EQ(0u, tracer.DroppedEvents());
+  std::string out;
+  tracer.Export(&out);
+  JsonValue doc;
+  ASSERT_TRUE(JsonValue::Parse(out, &doc).ok());
+  ASSERT_TRUE(doc.is_array());
+  EXPECT_TRUE(doc.items().empty());
+}
+
+TEST(TraceTest, RecordsCompleteAndInstantEvents) {
+  Tracer tracer(64);
+  tracer.set_enabled(true);
+  tracer.SetThreadName("main");
+  tracer.Instant("seal", "bytes", 123);
+  {
+    TraceScope scope(&tracer, "flush.copy");
+    ASSERT_TRUE(scope.active());
+    scope.AddArg("bytes", 4096);
+    scope.AddArg("keys", 17);
+    scope.AddArg("overflow", 1);  // third arg: dropped silently
+  }
+  EXPECT_EQ(2u, tracer.RetainedEvents());
+  EXPECT_EQ(0u, tracer.DroppedEvents());
+
+  std::string out;
+  tracer.Export(&out);
+  JsonValue doc;
+  ASSERT_TRUE(JsonValue::Parse(out, &doc).ok());
+  ASSERT_TRUE(doc.is_array());
+
+  const JsonValue* instant = nullptr;
+  const JsonValue* complete = nullptr;
+  const JsonValue* thread_meta = nullptr;
+  for (const JsonValue& ev : doc.items()) {
+    ASSERT_TRUE(ev.is_object());
+    const JsonValue* name = ev.Get("name");
+    ASSERT_NE(nullptr, name);
+    if (name->str() == "seal") instant = &ev;
+    if (name->str() == "flush.copy") complete = &ev;
+    if (name->str() == "thread_name") thread_meta = &ev;
+  }
+  ASSERT_NE(nullptr, instant);
+  EXPECT_EQ("i", instant->Get("ph")->str());
+  EXPECT_DOUBLE_EQ(123.0,
+                   instant->Get("args")->Get("bytes")->number());
+  ASSERT_NE(nullptr, complete);
+  EXPECT_EQ("X", complete->Get("ph")->str());
+  ASSERT_NE(nullptr, complete->Get("dur"));
+  EXPECT_GE(complete->Get("dur")->number(), 0.0);
+  EXPECT_DOUBLE_EQ(4096.0,
+                   complete->Get("args")->Get("bytes")->number());
+  EXPECT_DOUBLE_EQ(17.0, complete->Get("args")->Get("keys")->number());
+  EXPECT_EQ(nullptr, complete->Get("args")->Get("overflow"));
+  ASSERT_NE(nullptr, thread_meta);
+  EXPECT_EQ("M", thread_meta->Get("ph")->str());
+  EXPECT_EQ("main", thread_meta->Get("args")->Get("name")->str());
+}
+
+TEST(TraceTest, RingWrapsKeepingNewestAndCountsDrops) {
+  constexpr size_t kCapacity = 32;
+  constexpr uint64_t kEvents = 100;
+  Tracer tracer(kCapacity);
+  tracer.set_enabled(true);
+  for (uint64_t i = 0; i < kEvents; i++) {
+    // Distinguishable timestamps: event i covers [i, i+1) ns.
+    tracer.Complete("op", /*ts_ns=*/i * 1000, /*dur_ns=*/1000);
+  }
+  EXPECT_EQ(kCapacity, tracer.RetainedEvents());
+  EXPECT_EQ(kEvents - kCapacity, tracer.DroppedEvents());
+
+  std::string out;
+  tracer.Export(&out);
+  JsonValue doc;
+  ASSERT_TRUE(JsonValue::Parse(out, &doc).ok());
+  std::vector<double> ts;
+  double reported_drops = 0;
+  for (const JsonValue& ev : doc.items()) {
+    if (ev.Get("name")->str() == "op") {
+      ts.push_back(ev.Get("ts")->number());
+    } else if (ev.Get("name")->str() == "trace.dropped") {
+      reported_drops = ev.Get("args")->Get("dropped")->number();
+    }
+  }
+  // Exactly the newest kCapacity events survive, in append order.
+  ASSERT_EQ(kCapacity, ts.size());
+  for (size_t i = 0; i < ts.size(); i++) {
+    EXPECT_DOUBLE_EQ(static_cast<double>(kEvents - kCapacity + i), ts[i]);
+  }
+  EXPECT_DOUBLE_EQ(static_cast<double>(kEvents - kCapacity),
+                   reported_drops);
+}
+
+TEST(TraceTest, ConcurrentEmittersGetPrivateRings) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 2000;
+  Tracer tracer(kPerThread);  // exactly fits: no drops expected
+  tracer.set_enabled(true);
+  std::atomic<bool> exporter_stop{false};
+  // A concurrent exporter exercises the seqlock path under TSan.
+  std::thread exporter([&] {
+    while (!exporter_stop.load(std::memory_order_acquire)) {
+      std::string out;
+      tracer.Export(&out);
+      JsonValue doc;
+      ASSERT_TRUE(JsonValue::Parse(out, &doc).ok());
+    }
+  });
+  std::vector<std::thread> emitters;
+  for (int t = 0; t < kThreads; t++) {
+    emitters.emplace_back([&tracer, t] {
+      tracer.SetThreadName(t % 2 == 0 ? "even" : "odd");
+      for (int i = 0; i < kPerThread; i++) {
+        if (i % 2 == 0) {
+          tracer.Instant("tick");
+        } else {
+          TraceScope scope(&tracer, "work");
+          scope.AddArg("i", static_cast<uint64_t>(i));
+        }
+      }
+    });
+  }
+  for (auto& t : emitters) t.join();
+  exporter_stop.store(true, std::memory_order_release);
+  exporter.join();
+
+  EXPECT_EQ(static_cast<uint64_t>(kThreads) * kPerThread,
+            tracer.RetainedEvents());
+  EXPECT_EQ(0u, tracer.DroppedEvents());
+
+  // The quiesced export holds every event, under one tid per thread.
+  std::string out;
+  tracer.Export(&out);
+  JsonValue doc;
+  ASSERT_TRUE(JsonValue::Parse(out, &doc).ok());
+  size_t events = 0;
+  std::set<double> tids;
+  for (const JsonValue& ev : doc.items()) {
+    const std::string& name = ev.Get("name")->str();
+    if (name == "tick" || name == "work") {
+      events++;
+      tids.insert(ev.Get("tid")->number());
+    }
+  }
+  EXPECT_EQ(static_cast<size_t>(kThreads) * kPerThread, events);
+  EXPECT_EQ(static_cast<size_t>(kThreads), tids.size());
+}
+
+TEST(TraceTest, ExportJsonAssignsPidAndProcessName) {
+  Tracer a(16), b(16);
+  a.set_enabled(true);
+  b.set_enabled(true);
+  a.Instant("from-a");
+  b.Instant("from-b");
+  JsonValue events = JsonValue::Array();
+  a.ExportJson(&events, /*pid=*/1, "run-a");
+  b.ExportJson(&events, /*pid=*/2, "run-b");
+  bool saw_a = false, saw_b = false, saw_meta_a = false;
+  for (const JsonValue& ev : events.items()) {
+    const std::string& name = ev.Get("name")->str();
+    if (name == "from-a") {
+      saw_a = true;
+      EXPECT_DOUBLE_EQ(1.0, ev.Get("pid")->number());
+    } else if (name == "from-b") {
+      saw_b = true;
+      EXPECT_DOUBLE_EQ(2.0, ev.Get("pid")->number());
+    } else if (name == "process_name" &&
+               ev.Get("args")->Get("name")->str() == "run-a") {
+      saw_meta_a = true;
+      EXPECT_DOUBLE_EQ(1.0, ev.Get("pid")->number());
+    }
+  }
+  EXPECT_TRUE(saw_a);
+  EXPECT_TRUE(saw_b);
+  EXPECT_TRUE(saw_meta_a);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace cachekv

@@ -133,7 +133,7 @@ TEST_F(TxnScanTest, ScanSeesAllComponents) {
       model[k] = v;
     }
   }
-  EXPECT_GT(db_->stats().copy_flushes.load(), 0u);
+  EXPECT_GT(db_->CounterValue("db.copy_flushes"), 0u);
 
   std::map<std::string, std::string> scanned;
   std::unique_ptr<Iterator> iter(db_->NewScanIterator());

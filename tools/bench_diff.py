@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_<figure>.json reports produced by bench/report.h.
+
+Usage:
+    tools/bench_diff.py BASE.json CAND.json [--threshold PCT]
+
+Matches run entries by (name, workload, value_size, threads, ...) — every
+non-measurement field the figure attached — and prints throughput and
+latency-percentile deltas plus read_breakdown shifts when both sides
+carry one. Exits non-zero when any |kops delta| exceeds --threshold
+(default: report only, never fail).
+"""
+
+import argparse
+import json
+import sys
+
+# Fields that are measurements (everything else identifies the run).
+MEASUREMENTS = {
+    "kops", "seconds", "ops", "found", "not_found", "errors",
+    "latency_ns", "stages_ns", "total_avg_ns", "pmem", "read_breakdown",
+}
+
+
+def run_key(run):
+    return tuple(sorted(
+        (k, json.dumps(v, sort_keys=True))
+        for k, v in run.items() if k not in MEASUREMENTS))
+
+
+def fmt_key(run):
+    parts = [run.get("name", "?")]
+    for k, v in sorted(run.items()):
+        if k in MEASUREMENTS or k == "name":
+            continue
+        parts.append(f"{k}={v}")
+    return " ".join(str(p) for p in parts)
+
+
+def pct(base, cand):
+    if not base:
+        return float("inf") if cand else 0.0
+    return (cand / base - 1.0) * 100.0
+
+
+def diff_latency(base, cand, indent="    "):
+    for p in ("p50", "p95", "p99"):
+        if p in base and p in cand:
+            print(f"{indent}{p}: {base[p]:12.1f} -> {cand[p]:12.1f} ns"
+                  f"  ({pct(base[p], cand[p]):+7.1f}%)")
+
+
+def diff_breakdown(base, cand, indent="    "):
+    for field in ("gets", "hit_submemtable", "hit_zone", "hit_lsm",
+                  "miss"):
+        b, c = base.get(field, 0), cand.get(field, 0)
+        if b or c:
+            print(f"{indent}{field}: {b:.0f} -> {c:.0f}")
+    bb, cb = base.get("bloom", {}), cand.get("bloom", {})
+    if bb.get("checks") or cb.get("checks"):
+        def fp_rate(d):
+            checks = d.get("checks", 0)
+            return d.get("false_positives", 0) / checks if checks else 0.0
+        print(f"{indent}bloom fp-rate: {fp_rate(bb):.4f} -> "
+              f"{fp_rate(cb):.4f}")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("base")
+    ap.add_argument("cand")
+    ap.add_argument("--threshold", type=float, default=None,
+                    help="fail when any |kops delta %%| exceeds this")
+    ap.add_argument("--latency", action="store_true",
+                    help="also print latency percentile deltas")
+    args = ap.parse_args()
+
+    with open(args.base) as f:
+        base = json.load(f)
+    with open(args.cand) as f:
+        cand = json.load(f)
+
+    if base.get("figure") != cand.get("figure"):
+        print(f"warning: comparing figure {base.get('figure')!r} against "
+              f"{cand.get('figure')!r}", file=sys.stderr)
+
+    cand_by_key = {}
+    for run in cand.get("runs", []):
+        cand_by_key.setdefault(run_key(run), []).append(run)
+
+    worst = 0.0
+    unmatched = 0
+    for b in base.get("runs", []):
+        matches = cand_by_key.get(run_key(b))
+        if not matches:
+            print(f"{fmt_key(b):<56} (only in base)")
+            unmatched += 1
+            continue
+        c = matches.pop(0)
+        delta = pct(b.get("kops", 0), c.get("kops", 0))
+        worst = max(worst, abs(delta))
+        print(f"{fmt_key(b):<56} {b.get('kops', 0):10.1f} -> "
+              f"{c.get('kops', 0):10.1f} kops  ({delta:+7.1f}%)")
+        if args.latency and "latency_ns" in b and "latency_ns" in c:
+            diff_latency(b["latency_ns"], c["latency_ns"])
+        if "read_breakdown" in b and "read_breakdown" in c:
+            diff_breakdown(b["read_breakdown"], c["read_breakdown"])
+    for runs in cand_by_key.values():
+        for run in runs:
+            print(f"{fmt_key(run):<56} (only in cand)")
+            unmatched += 1
+
+    if unmatched:
+        print(f"\n{unmatched} run(s) had no counterpart", file=sys.stderr)
+    if args.threshold is not None and worst > args.threshold:
+        print(f"\nFAIL: worst |kops delta| {worst:.1f}% exceeds "
+              f"threshold {args.threshold:.1f}%", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
