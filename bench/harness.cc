@@ -101,6 +101,7 @@ RunResult RunWorkload(KVStore* store, const WorkloadSpec& spec,
     result.errors += p.errors;
     result.latency_ns.Merge(p.latency_ns);
   }
+  result.read_only = store->IsReadOnly();
   return result;
 }
 

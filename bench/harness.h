@@ -28,6 +28,10 @@ struct RunResult {
   uint64_t found = 0;      // Gets that returned a value
   uint64_t not_found = 0;  // Gets that returned NotFound
   uint64_t errors = 0;
+  /// The store was in read-only degradation when the phase ended; the
+  /// throughput numbers of such a run are not comparable to healthy runs
+  /// (tools/bench_diff.py excludes them from regression thresholds).
+  bool read_only = false;
   Histogram latency_ns;
 
   double Kops() const { return seconds > 0 ? ops / seconds / 1000.0 : 0; }

@@ -31,6 +31,7 @@ JsonValue& BenchReport::AddRun(const std::string& name,
             JsonValue::Number(static_cast<double>(result.not_found)));
   entry.Set("errors",
             JsonValue::Number(static_cast<double>(result.errors)));
+  entry.Set("read_only", JsonValue::Bool(result.read_only));
   if (result.latency_ns.count() > 0) {
     entry.Set("latency_ns", LatencyJson(result.latency_ns));
   }

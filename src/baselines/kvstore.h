@@ -57,6 +57,12 @@ class KVStore {
   /// (index sync, memtable flushes) has quiesced. Benchmarks call this
   /// before switching phases.
   virtual Status WaitIdle() { return Status::OK(); }
+
+  /// True when the engine degraded to read-only mode after a background
+  /// failure (docs/ROBUSTNESS.md). The harness records this in bench
+  /// reports so a degraded run is never mistaken for a performance
+  /// result. Engines without the degradation state report false.
+  virtual bool IsReadOnly() const { return false; }
 };
 
 }  // namespace cachekv

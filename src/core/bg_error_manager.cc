@@ -1,0 +1,76 @@
+#include "core/bg_error_manager.h"
+
+namespace cachekv {
+
+BackgroundErrorManager::BackgroundErrorManager(const Policy& policy,
+                                               obs::MetricsRegistry* metrics,
+                                               obs::Tracer* trace)
+    : policy_(policy),
+      trace_(trace),
+      retries_(metrics->GetCounter("bg.retries")),
+      retry_exhausted_(metrics->GetCounter("bg.retry_exhausted")),
+      hard_errors_(metrics->GetCounter("bg.hard_errors")),
+      read_only_gauge_(metrics->GetGauge("db.read_only")) {
+  read_only_gauge_->Set(0);
+}
+
+BackgroundErrorManager::ErrorClass BackgroundErrorManager::Classify(
+    const Status& s) {
+  // Corruption and programming/state errors cannot be healed by running
+  // the same stage again; everything else (I/O error, allocator
+  // exhaustion that compaction may relieve, busy) is worth retrying.
+  if (s.IsCorruption() || s.IsInvalidArgument() || s.IsNotSupported()) {
+    return ErrorClass::kHard;
+  }
+  return ErrorClass::kTransient;
+}
+
+BackgroundErrorManager::Decision BackgroundErrorManager::OnError(
+    const char* stage, const Status& s, int attempt,
+    std::chrono::milliseconds* backoff) {
+  if (Classify(s) == ErrorClass::kTransient && attempt < policy_.max_retries) {
+    retries_->Increment();
+    trace_->Instant("bg.retry", "attempt",
+                    static_cast<uint64_t>(attempt + 1));
+    uint64_t ms = policy_.backoff_base_ms;
+    for (int i = 0; i < attempt && ms < policy_.backoff_max_ms; i++) ms *= 2;
+    if (ms > policy_.backoff_max_ms) ms = policy_.backoff_max_ms;
+    if (ms == 0) ms = 1;
+    *backoff = std::chrono::milliseconds(ms);
+    return Decision::kRetry;
+  }
+  if (Classify(s) == ErrorClass::kTransient) {
+    retry_exhausted_->Increment();
+  }
+  RaiseHardError(stage, s);
+  return Decision::kFail;
+}
+
+void BackgroundErrorManager::RaiseHardError(const char* stage,
+                                            const Status& s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (bg_error_.ok()) {  // first error wins; later ones are symptoms
+    bg_error_ = s;
+    bg_stage_ = stage;
+    hard_errors_->Increment();
+    read_only_gauge_->Set(1);
+    trace_->Instant("bg.read_only");
+    read_only_.store(true, std::memory_order_release);
+  }
+}
+
+Status BackgroundErrorManager::CheckWritable() const {
+  if (!read_only_.load(std::memory_order_acquire)) return Status::OK();
+  std::lock_guard<std::mutex> lock(mu_);
+  return Status::IOError("db is read-only after background error in " +
+                             bg_stage_,
+                         bg_error_.ToString());
+}
+
+Status BackgroundErrorManager::background_error() const {
+  if (!read_only_.load(std::memory_order_acquire)) return Status::OK();
+  std::lock_guard<std::mutex> lock(mu_);
+  return bg_error_;
+}
+
+}  // namespace cachekv

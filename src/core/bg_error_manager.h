@@ -1,0 +1,79 @@
+#ifndef CACHEKV_CORE_BG_ERROR_MANAGER_H_
+#define CACHEKV_CORE_BG_ERROR_MANAGER_H_
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/status.h"
+
+namespace cachekv {
+
+/// Classifies background-stage failures and decides between retry and
+/// degradation (the BackgroundErrorHandler idiom of production LSM
+/// stores). Transient errors (I/O, allocator pressure, busy) are retried
+/// with capped exponential backoff; hard errors (corruption, invalid
+/// state) — or transient errors whose retry budget is exhausted — flip
+/// the DB into an explicit read-only mode: the error is recorded, the
+/// `db.read_only` gauge is raised, and every subsequent Put/ApplyBatch/
+/// Delete returns the recorded error until the DB is reopened.
+///
+/// Shared by the flush and index threads; thread safe.
+class BackgroundErrorManager {
+ public:
+  struct Policy {
+    int max_retries = 5;
+    uint32_t backoff_base_ms = 1;
+    uint32_t backoff_max_ms = 100;
+  };
+
+  BackgroundErrorManager(const Policy& policy, obs::MetricsRegistry* metrics,
+                         obs::Tracer* trace);
+
+  enum class ErrorClass { kTransient, kHard };
+  static ErrorClass Classify(const Status& s);
+
+  enum class Decision { kRetry, kFail };
+
+  /// A background stage failed with `s` after `attempt` completed retry
+  /// attempts (0 on the first failure). Returns kRetry — with the
+  /// backoff to sleep before the next attempt in *backoff — while the
+  /// error is transient and budget remains; otherwise records the error,
+  /// enters read-only mode, and returns kFail.
+  Decision OnError(const char* stage, const Status& s, int attempt,
+                   std::chrono::milliseconds* backoff);
+
+  /// Records a hard error directly (no retry budget applies), e.g.
+  /// corruption detected outside a retryable stage.
+  void RaiseHardError(const char* stage, const Status& s);
+
+  /// Foreground write gate: OK while writable, else the recorded error.
+  Status CheckWritable() const;
+
+  /// The recorded background error (OK while healthy).
+  Status background_error() const;
+
+  bool read_only() const {
+    return read_only_.load(std::memory_order_acquire);
+  }
+
+ private:
+  const Policy policy_;
+  obs::Tracer* trace_;
+  obs::Counter* retries_;
+  obs::Counter* retry_exhausted_;
+  obs::Counter* hard_errors_;
+  obs::Gauge* read_only_gauge_;
+
+  mutable std::mutex mu_;
+  Status bg_error_;
+  std::string bg_stage_;
+  std::atomic<bool> read_only_{false};
+};
+
+}  // namespace cachekv
+
+#endif  // CACHEKV_CORE_BG_ERROR_MANAGER_H_

@@ -1,9 +1,10 @@
 #include "core/db.h"
 
 #include <algorithm>
-#include <cassert>
+#include <thread>
 
 #include "core/record_format.h"
+#include "fault/fail_point.h"
 #include "lsm/merger.h"
 #include "pmem/meta_layout.h"
 #include "util/json.h"
@@ -14,6 +15,10 @@ DB::DB(PmemEnv* env, const CacheKVOptions& options)
     : env_(env),
       options_(options),
       trace_(options.trace_events_per_thread),
+      bg_errors_(BackgroundErrorManager::Policy{options.max_bg_retries,
+                                                options.bg_backoff_base_ms,
+                                                options.bg_backoff_max_ms},
+                 &metrics_, &trace_),
       pool_(std::make_unique<SubMemTablePool>(env, options)),
       zone_(std::make_unique<FlushedZone>(
           env, MetaLayout::ZoneRegistryBase(env),
@@ -29,6 +34,7 @@ DB::DB(PmemEnv* env, const CacheKVOptions& options)
       zone_flushes_(metrics_.GetCounter("db.zone_flushes")),
       index_syncs_(metrics_.GetCounter("db.index_syncs")),
       acquire_waits_(metrics_.GetCounter("db.acquire_waits")),
+      write_stalls_(metrics_.GetCounter("db.write_stalls")),
       get_hit_submemtable_(
           metrics_.GetCounter("db.get_hit_submemtable")),
       get_hit_zone_(metrics_.GetCounter("db.get_hit_zone")),
@@ -49,8 +55,14 @@ Status DB::Open(PmemEnv* env, const CacheKVOptions& options, bool recover,
     return Status::InvalidArgument(
         "CacheKV requires persistent CPU caches (eADR)");
   }
+  // Validate before constructing: the pool is built in the DB
+  // constructor, which clamps rather than checks.
+  Status s = SubMemTablePool::ValidateOptions(options);
+  if (!s.ok()) {
+    return s;
+  }
   std::unique_ptr<DB> d(new DB(env, options));
-  Status s = d->engine_->Open(recover);
+  s = d->engine_->Open(recover);
   if (!s.ok()) {
     return s;
   }
@@ -175,6 +187,12 @@ int DB::CoreOf() {
 Status DB::AcquireFor(int core) {
   OBS_SPAN(&metrics_, "put.acquire");
   SubMemTable table(env_, 0, SubMemTable::kDataOffset + kCacheLineSize);
+  // Write-stall deadline: if the flushers cannot recycle a slot within
+  // the budget (e.g. they are stuck in retry backoff), fail the write
+  // instead of blocking the caller forever.
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(options_.write_stall_timeout_ms);
   for (;;) {
     Status s = pool_->Acquire(&table);
     if (s.ok()) {
@@ -187,11 +205,18 @@ Status DB::AcquireFor(int core) {
     trace_.Instant("acquire.wait");
     // Wait for the copy-based flush to free a table.
     std::unique_lock<std::mutex> lock(flush_mu_);
-    if (!flush_error_.ok()) {
-      return flush_error_;
+    Status gate = bg_errors_.CheckWritable();
+    if (!gate.ok()) {
+      return gate;
     }
     if (shutting_down_.load(std::memory_order_acquire)) {
       return Status::Busy("shutting down");
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      write_stalls_->Increment();
+      trace_.Instant("write.stall");
+      return Status::Busy(
+          "write stalled: sealed-table queue is not draining");
     }
     flush_done_cv_.wait_for(lock, std::chrono::milliseconds(1));
   }
@@ -222,7 +247,13 @@ Status DB::SealAndReplace(int core,
           std::remove(live_tables_.begin(), live_tables_.end(), current),
           live_tables_.end());
     }
-    pool_->Release(current->table);
+    Status rs = pool_->Release(current->table);
+    if (!rs.ok()) {
+      // A release mismatch means the pool directory no longer describes
+      // the slot: corruption, not a retryable condition.
+      bg_errors_.RaiseHardError("pool.release", rs);
+      return rs;
+    }
   } else {
     std::lock_guard<std::mutex> lock(flush_mu_);
     flush_queue_.push_back(std::move(current));
@@ -279,6 +310,12 @@ Status DB::WriteToCore(int core, SequenceNumber seq, ValueType type,
 
 Status DB::Write(ValueType type, const Slice& key, const Slice& value) {
   OBS_SPAN(&metrics_, "put");
+  // Background-error propagation: once a flush/index/compaction stage
+  // failed hard, acknowledge no further writes.
+  Status gate = bg_errors_.CheckWritable();
+  if (!gate.ok()) {
+    return gate;
+  }
   if (MaxRecordSize(key.size(), value.size()) >
       options_.sub_memtable_bytes - SubMemTable::kDataOffset) {
     return Status::InvalidArgument(
@@ -302,6 +339,10 @@ Status DB::ApplyBatch(const std::vector<BatchOp>& batch) {
 
 Status DB::MultiPut(const std::vector<BatchOp>& batch) {
   OBS_SPAN(&metrics_, "put");
+  Status gate = bg_errors_.CheckWritable();
+  if (!gate.ok()) {
+    return gate;
+  }
   if (batch.empty()) {
     return Status::OK();
   }
@@ -578,6 +619,7 @@ void DB::ScheduleSync(const std::shared_ptr<ActiveTable>& table) {
 }
 
 Status DB::CopyFlushOne(std::shared_ptr<ActiveTable> sealed) {
+  CACHEKV_FAIL_POINT("flush.copy");
   OBS_SPAN(&metrics_, "flush.copy");
   obs::TraceScope trace(&trace_, "flush.copy");
   // Final synchronization of the sub-skiplist (lazy trigger 3).
@@ -586,7 +628,9 @@ Status DB::CopyFlushOne(std::shared_ptr<ActiveTable> sealed) {
     return s;
   }
   SubMemTable::Header h = sealed->table.ReadHeader();
-  assert(h.state == SubState::kImmutable);
+  if (h.state != SubState::kImmutable) {
+    return Status::Corruption("flush of a table that is not sealed");
+  }
 
   // Copy-based flush (§III-C): stream the whole sub-ImmMemTable out of
   // the persistent cache with non-temporal stores ("modified memory
@@ -612,8 +656,22 @@ Status DB::CopyFlushOne(std::shared_ptr<ActiveTable> sealed) {
   trace.AddArg("keys", h.counter);
 
   // Re-point the index at the copy, publish the table in the zone, then
-  // recycle the pool slot.
+  // recycle the pool slot. Any failure between here and the zone publish
+  // must undo both steps — re-point the index back at the (identical)
+  // pool-slot bytes and free the staged region — so a retried flush
+  // starts from the same clean state.
   sealed->index->SetDataBase(region + SubMemTable::kDataOffset);
+  auto unpublish = [&]() {
+    sealed->index->SetDataBase(sealed->table.data_offset());
+    env_->allocator()->Free(region, region_size);
+  };
+  if (fault::AnyActive()) {
+    Status inj = fault::Inject("flush.copy.publish");
+    if (!inj.ok()) {
+      unpublish();
+      return inj;
+    }
+  }
   FlushedTable ft;
   ft.region_offset = region;
   ft.region_size = region_size;
@@ -624,6 +682,7 @@ Status DB::CopyFlushOne(std::shared_ptr<ActiveTable> sealed) {
   ft.index = sealed->index;
   s = zone_->AddTable(std::move(ft));
   if (!s.ok()) {
+    unpublish();
     return s;
   }
   uint64_t seen = flushed_hwm_.load(std::memory_order_relaxed);
@@ -637,7 +696,13 @@ Status DB::CopyFlushOne(std::shared_ptr<ActiveTable> sealed) {
         std::remove(live_tables_.begin(), live_tables_.end(), sealed),
         live_tables_.end());
   }
-  pool_->Release(sealed->table);
+  s = pool_->Release(sealed->table);
+  if (!s.ok()) {
+    // The data is already safe in the zone; a directory mismatch here
+    // only loses the slot. Record it as a hard error (corruption).
+    bg_errors_.RaiseHardError("pool.release", s);
+    return s;
+  }
 
   // Ask the index thread to fold the new table into the global skiplist
   // and to check the zone-to-L0 threshold.
@@ -664,18 +729,36 @@ void DB::FlushThread() {
     auto sealed = std::move(flush_queue_.front());
     flush_queue_.pop_front();
     flushes_in_flight_++;
-    lock.unlock();
-    Status s = CopyFlushOne(std::move(sealed));
-    lock.lock();
-    flushes_in_flight_--;
-    if (!s.ok() && flush_error_.ok()) {
-      flush_error_ = s;
+    // Retry loop: transient failures back off and re-run the flush
+    // (CopyFlushOne un-publishes on failure, so a retry is idempotent);
+    // hard failures or an exhausted budget flip the DB to read-only. The
+    // sealed table then stays in live_tables_, still serving reads from
+    // its pool slot.
+    int attempt = 0;
+    for (;;) {
+      lock.unlock();
+      Status s = CopyFlushOne(sealed);
+      lock.lock();
+      if (s.ok() || shutting_down_.load(std::memory_order_acquire)) {
+        break;
+      }
+      std::chrono::milliseconds backoff(0);
+      if (bg_errors_.OnError("flush.copy", s, attempt, &backoff) ==
+          BackgroundErrorManager::Decision::kFail) {
+        break;
+      }
+      attempt++;
+      flush_cv_.wait_for(lock, backoff, [this] {
+        return shutting_down_.load(std::memory_order_acquire);
+      });
     }
+    flushes_in_flight_--;
     flush_done_cv_.notify_all();
   }
 }
 
 Status DB::FlushZoneToL0() {
+  CACHEKV_FAIL_POINT("flush.zone_to_l0");
   OBS_SPAN(&metrics_, "flush.zone");
   std::vector<FlushedTable> snapshot = zone_->SnapshotTables();
   if (snapshot.empty()) {
@@ -723,19 +806,34 @@ void DB::IndexThread() {
       lock.unlock();
       table->sync_scheduled.store(false, std::memory_order_release);
       // Lazy index update (trigger 2), §III-B: batch-replay the appended
-      // records into the sub-skiplist without blocking writers.
-      Status s;
-      {
-        OBS_SPAN(&metrics_, "index.sync");
-        obs::TraceScope sync_trace(&trace_, "index.sync");
-        s = table->index->SyncWithTable(table->table);
+      // records into the sub-skiplist without blocking writers. Sync is
+      // idempotent (replays from the last synced offset), so transient
+      // failures simply back off and run it again.
+      int attempt = 0;
+      for (;;) {
+        Status s;
+        {
+          OBS_SPAN(&metrics_, "index.sync");
+          obs::TraceScope sync_trace(&trace_, "index.sync");
+          s = [&]() -> Status {
+            CACHEKV_FAIL_POINT("index.sync");
+            return table->index->SyncWithTable(table->table);
+          }();
+        }
+        if (s.ok() || shutting_down_.load(std::memory_order_acquire)) {
+          break;
+        }
+        std::chrono::milliseconds backoff(0);
+        if (bg_errors_.OnError("index.sync", s, attempt, &backoff) ==
+            BackgroundErrorManager::Decision::kFail) {
+          break;
+        }
+        attempt++;
+        std::this_thread::sleep_for(backoff);
       }
       index_syncs_->Increment();
       lock.lock();
       index_work_in_flight_--;
-      if (!s.ok() && index_error_.ok()) {
-        index_error_ = s;
-      }
       index_done_cv_.notify_all();
       continue;
     }
@@ -747,15 +845,25 @@ void DB::IndexThread() {
     // The "zone.compact" span and trace event are emitted inside
     // FlushedZone::Compact(), which owns that stage.
     zone_->Compact();
-    Status s = Status::OK();
-    if (zone_->TotalBytes() >= options_.imm_zone_flush_threshold) {
-      s = FlushZoneToL0();
+    // Retry-safe: the zone keeps its tables until DropTables succeeds,
+    // and the L0 high-water mark is published before the LSM write, so
+    // re-running the flush after a failure never loses visibility.
+    int attempt = 0;
+    while (zone_->TotalBytes() >= options_.imm_zone_flush_threshold) {
+      Status s = FlushZoneToL0();
+      if (s.ok() || shutting_down_.load(std::memory_order_acquire)) {
+        break;
+      }
+      std::chrono::milliseconds backoff(0);
+      if (bg_errors_.OnError("flush.zone", s, attempt, &backoff) ==
+          BackgroundErrorManager::Decision::kFail) {
+        break;
+      }
+      attempt++;
+      std::this_thread::sleep_for(backoff);
     }
     lock.lock();
     index_work_in_flight_--;
-    if (!s.ok() && index_error_.ok()) {
-      index_error_ = s;
-    }
     index_done_cv_.notify_all();
   }
 }
@@ -794,28 +902,41 @@ void DB::DumpMetrics(std::string* out) {
 }
 
 Status DB::WaitIdle() {
+  // Timed waits throughout: the workers do not signal while sleeping in
+  // a retry backoff, and the predicate must also observe a background
+  // error raised by the other thread.
   {
     std::unique_lock<std::mutex> lock(flush_mu_);
     while ((!flush_queue_.empty() || flushes_in_flight_ > 0) &&
-           flush_error_.ok()) {
-      flush_done_cv_.wait(lock);
+           !bg_errors_.read_only()) {
+      flush_done_cv_.wait_for(lock, std::chrono::milliseconds(1));
     }
-    if (!flush_error_.ok()) {
-      return flush_error_;
-    }
+  }
+  Status s = bg_errors_.background_error();
+  if (!s.ok()) {
+    return s;
   }
   {
     std::unique_lock<std::mutex> lock(index_mu_);
     while ((!sync_queue_.empty() || compaction_requested_ ||
             index_work_in_flight_ > 0) &&
-           index_error_.ok()) {
+           !bg_errors_.read_only()) {
       index_done_cv_.wait_for(lock, std::chrono::milliseconds(1));
     }
-    if (!index_error_.ok()) {
-      return index_error_;
-    }
+  }
+  s = bg_errors_.background_error();
+  if (!s.ok()) {
+    return s;
   }
   return engine_->WaitForCompactions();
+}
+
+Status DB::BackgroundError() {
+  Status s = bg_errors_.background_error();
+  if (!s.ok()) {
+    return s;
+  }
+  return engine_->BackgroundError();
 }
 
 }  // namespace cachekv

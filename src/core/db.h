@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "baselines/kvstore.h"
+#include "core/bg_error_manager.h"
 #include "core/flushed_zone.h"
 #include "core/options.h"
 #include "core/sub_memtable.h"
@@ -109,6 +110,15 @@ class DB : public KVStore {
   /// Appends the current snapshot to *out as pretty-printed JSON.
   void DumpMetrics(std::string* out);
 
+  /// The sticky background error: OK while healthy. Set when a flush,
+  /// index-sync, or zone-to-L0 stage failed hard (or exhausted its retry
+  /// budget) — from then on the DB is read-only and every write returns
+  /// this error. Also surfaces the LSM engine's own background error.
+  Status BackgroundError();
+
+  /// True once a background failure degraded the store to read-only.
+  bool IsReadOnly() const override { return bg_errors_.read_only(); }
+
   SubMemTablePool* pool() { return pool_.get(); }
   FlushedZone* zone() { return zone_.get(); }
   LsmEngine* engine() { return engine_.get(); }
@@ -159,6 +169,10 @@ class DB : public KVStore {
   // pointers below, and the span call sites in background threads.
   obs::MetricsRegistry metrics_;
   obs::Tracer trace_;
+  // Background-error policy: classifies failures from the flush and
+  // index threads, drives their retry loops, and owns the read-only
+  // degradation state checked by every foreground write.
+  BackgroundErrorManager bg_errors_;
   std::unique_ptr<SubMemTablePool> pool_;
   std::unique_ptr<FlushedZone> zone_;
   std::unique_ptr<LsmEngine> engine_;
@@ -172,6 +186,7 @@ class DB : public KVStore {
   obs::Counter* zone_flushes_;
   obs::Counter* index_syncs_;
   obs::Counter* acquire_waits_;
+  obs::Counter* write_stalls_;
   obs::Counter* get_hit_submemtable_;
   obs::Counter* get_hit_zone_;
   obs::Counter* get_hit_lsm_;
@@ -205,7 +220,6 @@ class DB : public KVStore {
   std::condition_variable flush_done_cv_;
   std::deque<std::shared_ptr<ActiveTable>> flush_queue_;
   int flushes_in_flight_ = 0;
-  Status flush_error_;
   std::vector<std::thread> flush_threads_;
 
   // Index/compaction work queue (lazy index trigger 2 + zone work).
@@ -215,7 +229,6 @@ class DB : public KVStore {
   std::deque<std::shared_ptr<ActiveTable>> sync_queue_;
   bool compaction_requested_ = false;
   int index_work_in_flight_ = 0;
-  Status index_error_;
   std::vector<std::thread> index_threads_;
 
   std::atomic<bool> shutting_down_{false};

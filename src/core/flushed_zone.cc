@@ -1,9 +1,9 @@
 #include "core/flushed_zone.h"
 
 #include <algorithm>
-#include <cassert>
 
 #include "core/record_format.h"
+#include "fault/fail_point.h"
 #include "lsm/merger.h"
 #include "lsm/wal.h"
 #include "util/coding.h"
@@ -166,11 +166,31 @@ Status FlushedZone::PersistRegistryLocked() {
   if (encoded.size() > registry_slot_size_) {
     return Status::OutOfSpace("zone registry exceeds its slot");
   }
-  registry_epoch_++;
   const uint64_t slot =
-      registry_base_ + (registry_epoch_ % 2) * registry_slot_size_;
+      registry_base_ + ((registry_epoch_ + 1) % 2) * registry_slot_size_;
+  if (fault::AnyActive()) {
+    fault::InjectResult inj = fault::Evaluate("zone.persist");
+    if (inj.torn) {
+      // Torn A/B slot write: persist only an XPLine-aligned prefix of the
+      // encoded registry. The epoch is not consumed, so a retry rewrites
+      // this same (partially written) slot and never overwrites the last
+      // fully-written one; recovery falls back to the surviving slot.
+      uint64_t keep = (encoded.size() * (inj.rand % fault::kTearDenom)) /
+                      fault::kTearDenom;
+      keep -= keep % kXPLineSize;
+      if (keep > 0) {
+        env_->NtStore(slot, encoded.data(), keep);
+        env_->Sfence();
+      }
+      return inj.status;
+    }
+    if (!inj.status.ok()) {
+      return inj.status;
+    }
+  }
   env_->NtStore(slot, encoded.data(), encoded.size());
   env_->Sfence();
+  registry_epoch_++;
   return Status::OK();
 }
 
@@ -182,8 +202,16 @@ Status FlushedZone::AddTable(FlushedTable table) {
          !max_sequence_.compare_exchange_weak(seen, table.max_sequence)) {
   }
   table.in_global = false;
+  const uint32_t data_tail = table.data_tail;
   tables_.push_back(std::move(table));
-  return PersistRegistryLocked();
+  Status s = PersistRegistryLocked();
+  if (!s.ok()) {
+    // Roll back the in-memory add so a retried flush re-adds the table
+    // exactly once. The monotonic max_sequence_ bump is harmless.
+    tables_.pop_back();
+    total_bytes_.fetch_sub(data_tail, std::memory_order_release);
+  }
+  return s;
 }
 
 void FlushedZone::Compact() {
@@ -349,6 +377,7 @@ Iterator* FlushedZone::NewL0Stream(
 }
 
 Status FlushedZone::DropTables(const std::vector<FlushedTable>& snapshot) {
+  CACHEKV_FAIL_POINT("zone.drop");
   std::unique_lock<std::shared_mutex> lock(mu_);
   for (const FlushedTable& dropped : snapshot) {
     for (size_t i = 0; i < tables_.size(); i++) {
@@ -376,6 +405,7 @@ Status FlushedZone::DropTables(const std::vector<FlushedTable>& snapshot) {
 }
 
 Status FlushedZone::Recover() {
+  CACHEKV_FAIL_POINT("zone.recover");
   // Read both registry slots; adopt the valid one with the higher epoch.
   auto read_slot = [&](int slot, uint64_t* epoch,
                        std::vector<FlushedTable>* out) -> Status {

@@ -63,6 +63,19 @@ struct CacheKVOptions {
   bool lazy_index_update = true;
   bool zone_compaction = true;
 
+  /// Background-error handling (docs/ROBUSTNESS.md): transient flush /
+  /// index / compaction failures are retried up to max_bg_retries times
+  /// with capped exponential backoff before the store degrades to
+  /// read-only mode.
+  int max_bg_retries = 5;
+  uint32_t bg_backoff_base_ms = 1;
+  uint32_t bg_backoff_max_ms = 100;
+
+  /// How long a writer waits for the flushers to free a sub-MemTable
+  /// before the Put fails with Busy (write stall; the db.write_stalls
+  /// counter records every such failure).
+  uint32_t write_stall_timeout_ms = 5000;
+
   /// The LSM storage component underneath.
   LsmOptions lsm;
 };

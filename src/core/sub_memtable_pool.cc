@@ -8,10 +8,24 @@ SubMemTablePool::SubMemTablePool(PmemEnv* env,
                                  const CacheKVOptions& options)
     : env_(env),
       options_(options),
-      target_slot_bytes_(options.sub_memtable_bytes) {
-  assert(options_.pool_bytes % options_.sub_memtable_bytes == 0);
-  assert(options_.sub_memtable_bytes % options_.min_sub_memtable_bytes ==
-         0);
+      target_slot_bytes_(options.sub_memtable_bytes) {}
+
+Status SubMemTablePool::ValidateOptions(const CacheKVOptions& options) {
+  if (options.min_sub_memtable_bytes == 0 ||
+      options.sub_memtable_bytes <
+          SubMemTable::kDataOffset + kCacheLineSize) {
+    return Status::InvalidArgument("sub-memtable size too small");
+  }
+  if (options.pool_bytes == 0 ||
+      options.pool_bytes % options.sub_memtable_bytes != 0) {
+    return Status::InvalidArgument(
+        "pool_bytes must be a multiple of sub_memtable_bytes");
+  }
+  if (options.sub_memtable_bytes % options.min_sub_memtable_bytes != 0) {
+    return Status::InvalidArgument(
+        "sub_memtable_bytes must be a multiple of min_sub_memtable_bytes");
+  }
+  return Status::OK();
 }
 
 void SubMemTablePool::Format() {
@@ -220,19 +234,24 @@ Status SubMemTablePool::Acquire(SubMemTable* out) {
   return Status::OK();
 }
 
-void SubMemTablePool::Release(const SubMemTable& table) {
+Status SubMemTablePool::Release(const SubMemTable& table) {
   std::lock_guard<std::mutex> lock(mu_);
-  SubMemTable handle = table;  // stateless handle; state lives in PMem
-  handle.Release();
   for (size_t i = 0; i < slots_.size(); i++) {
     if (slots_[i].offset == table.slot_offset()) {
-      assert(slots_[i].size == table.slot_size());
+      if (slots_[i].size != table.slot_size()) {
+        return Status::Corruption(
+            "released table size does not match the pool directory");
+      }
+      // Only clear the persistent header once the directory agrees the
+      // slot is ours; a mismatched release must not erase data.
+      SubMemTable handle = table;  // stateless handle; state lives in PMem
+      handle.Release();
       slots_[i].free = true;
       ApplyElasticityLocked(i);
-      return;
+      return Status::OK();
     }
   }
-  assert(false && "released table not in pool directory");
+  return Status::Corruption("released table not in pool directory");
 }
 
 int SubMemTablePool::NumSlots() const {

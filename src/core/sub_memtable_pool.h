@@ -34,6 +34,11 @@ class SubMemTablePool {
  public:
   SubMemTablePool(PmemEnv* env, const CacheKVOptions& options);
 
+  /// Checks the pool-geometry invariants (slot divisibility, minimum
+  /// sizes). DB::Open rejects bad configurations with this instead of
+  /// asserting inside the constructor.
+  static Status ValidateOptions(const CacheKVOptions& options);
+
   SubMemTablePool(const SubMemTablePool&) = delete;
   SubMemTablePool& operator=(const SubMemTablePool&) = delete;
 
@@ -53,8 +58,10 @@ class SubMemTablePool {
   Status Acquire(SubMemTable* out);
 
   /// Returns a flushed sub-ImmMemTable to the free pool, applying any
-  /// pending elastic resize to the freed slot.
-  void Release(const SubMemTable& table);
+  /// pending elastic resize to the freed slot. Fails with Corruption
+  /// when the table does not match the pool directory (the slot is then
+  /// left untouched, so its data remains recoverable).
+  Status Release(const SubMemTable& table);
 
   uint64_t miss_count() const {
     return total_misses_.load(std::memory_order_relaxed);

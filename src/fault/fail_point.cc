@@ -1,0 +1,346 @@
+#include "fault/fail_point.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+#include "util/hash.h"
+
+namespace cachekv {
+namespace fault {
+
+namespace {
+
+// One entry per injection site wired into the engine. Keep in sync with
+// docs/ROBUSTNESS.md (the fail-point table) and the crash-sweep test,
+// which enumerates this list.
+const char* const kBuiltinPoints[] = {
+    "pmem.alloc",         // PmemAllocator::Allocate
+    "pmem.reserve",       // PmemAllocator::Reserve (recovery re-adoption)
+    "pmem.media.bitrot",  // PmemDevice::ReceiveLine — bit-rot on write
+    "pmem.media.read",    // PmemDevice::Read — bit-rot on read
+    "flush.copy",         // DB::CopyFlushOne entry
+    "flush.copy.publish", // DB::CopyFlushOne, before zone AddTable
+    "flush.zone_to_l0",   // DB::FlushZoneToL0 entry
+    "zone.persist",       // FlushedZone registry A/B slot write (torn-able)
+    "zone.drop",          // FlushedZone::DropTables
+    "zone.recover",       // FlushedZone::Recover entry
+    "index.sync",         // DB index thread, lazy index sync work
+    "lsm.write_l0",       // LsmEngine::WriteL0Tables entry
+    "lsm.compact",        // LsmEngine::CompactLevel entry
+    "lsm.manifest",       // ManifestWriter A/B slot write (torn-able)
+};
+
+bool ParseUint(const std::string& s, uint64_t* out) {
+  if (s.empty()) return false;
+  uint64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = v;
+  return true;
+}
+
+// One comma-separated item of a spec string.
+Status ApplyItem(const std::string& item, FailPointSpec* spec) {
+  std::string head = item;
+  std::string arg;
+  size_t colon = item.find(':');
+  if (colon != std::string::npos) {
+    head = item.substr(0, colon);
+    arg = item.substr(colon + 1);
+  }
+  if (head == "always") {
+    spec->trigger = Trigger::kAlways;
+  } else if (head == "once") {
+    spec->trigger = Trigger::kOnce;
+  } else if (head == "every") {
+    uint64_t n = 0;
+    if (!ParseUint(arg, &n) || n == 0) {
+      return Status::InvalidArgument("fail point: bad every:N", item);
+    }
+    spec->trigger = Trigger::kEveryN;
+    spec->every_n = n;
+  } else if (head == "p") {
+    char* end = nullptr;
+    double p = std::strtod(arg.c_str(), &end);
+    if (arg.empty() || end == nullptr || *end != '\0' || p < 0.0 || p > 1.0) {
+      return Status::InvalidArgument("fail point: bad p:X", item);
+    }
+    spec->trigger = Trigger::kProbability;
+    spec->probability = p;
+  } else if (head == "error") {
+    spec->action = Action::kReturnError;
+    std::string kind = arg;
+    size_t colon2 = arg.find(':');
+    if (colon2 != std::string::npos) {
+      kind = arg.substr(0, colon2);
+      spec->message = arg.substr(colon2 + 1);
+    }
+    if (kind.empty() || kind == "io") {
+      spec->error = ErrorKind::kIOError;
+    } else if (kind == "corruption") {
+      spec->error = ErrorKind::kCorruption;
+    } else if (kind == "busy") {
+      spec->error = ErrorKind::kBusy;
+    } else if (kind == "oom" || kind == "outofspace") {
+      spec->error = ErrorKind::kOutOfSpace;
+    } else if (kind == "notfound") {
+      spec->error = ErrorKind::kNotFound;
+    } else {
+      return Status::InvalidArgument("fail point: bad error kind", item);
+    }
+  } else if (head == "delay") {
+    uint64_t us = 0;
+    if (!ParseUint(arg, &us)) {
+      return Status::InvalidArgument("fail point: bad delay:USEC", item);
+    }
+    spec->action = Action::kDelay;
+    spec->delay_us = static_cast<uint32_t>(us);
+  } else if (head == "bitrot") {
+    spec->action = Action::kBitrot;
+  } else if (head == "torn") {
+    spec->action = Action::kTorn;
+  } else if (head == "noop") {
+    spec->action = Action::kNoop;
+  } else {
+    return Status::InvalidArgument("fail point: unknown spec item", item);
+  }
+  return Status::OK();
+}
+
+Status ParseSpec(const std::string& spec_str, FailPointSpec* spec) {
+  size_t start = 0;
+  while (start <= spec_str.size()) {
+    size_t comma = spec_str.find(',', start);
+    if (comma == std::string::npos) comma = spec_str.size();
+    std::string item = spec_str.substr(start, comma - start);
+    if (!item.empty()) {
+      Status s = ApplyItem(item, spec);
+      if (!s.ok()) return s;
+    }
+    start = comma + 1;
+  }
+  return Status::OK();
+}
+
+Status MakeError(const FailPointSpec& spec, const char* name) {
+  std::string msg = spec.message.empty()
+                        ? std::string("injected fault at ") + name
+                        : spec.message;
+  switch (spec.error) {
+    case ErrorKind::kIOError:
+      return Status::IOError(msg);
+    case ErrorKind::kCorruption:
+      return Status::Corruption(msg);
+    case ErrorKind::kBusy:
+      return Status::Busy(msg);
+    case ErrorKind::kOutOfSpace:
+      return Status::OutOfSpace(msg);
+    case ErrorKind::kNotFound:
+      return Status::NotFound(msg);
+  }
+  return Status::IOError(msg);
+}
+
+}  // namespace
+
+FailPointRegistry::FailPointRegistry() : seed_(0xC0FFEEULL) {
+  const char* seed_env = std::getenv(kEnvSeedVar);
+  if (seed_env != nullptr) {
+    uint64_t seed = 0;
+    if (ParseUint(seed_env, &seed)) seed_ = seed;
+  }
+  for (const char* name : kBuiltinPoints) {
+    FindOrCreateLocked(name);  // single-threaded in the constructor
+  }
+  const char* env = std::getenv(kEnvVar);
+  if (env != nullptr && env[0] != '\0') {
+    EnableFromSpecList(env);  // best effort; bad specs are ignored here
+  }
+}
+
+FailPointRegistry* FailPointRegistry::Global() {
+  static FailPointRegistry* registry = new FailPointRegistry();
+  return registry;
+}
+
+const std::vector<std::string>& FailPointRegistry::BuiltinPoints() {
+  static const std::vector<std::string>* points = [] {
+    auto* v = new std::vector<std::string>();
+    for (const char* name : kBuiltinPoints) v->emplace_back(name);
+    return v;
+  }();
+  return *points;
+}
+
+FailPointRegistry::Point* FailPointRegistry::FindOrCreateLocked(
+    const std::string& name) {
+  auto it = points_.find(name);
+  if (it == points_.end()) {
+    it = points_.emplace(name, Point()).first;
+    it->second.rng = Random(seed_ ^ Hash64(name.data(), name.size(), 0));
+  }
+  return &it->second;
+}
+
+Status FailPointRegistry::Enable(const std::string& name,
+                                 const std::string& spec_str) {
+  FailPointSpec spec;
+  Status s = ParseSpec(spec_str, &spec);
+  if (!s.ok()) return s;
+  return Enable(name, spec);
+}
+
+Status FailPointRegistry::Enable(const std::string& name,
+                                 const FailPointSpec& spec) {
+  if (name.empty()) return Status::InvalidArgument("fail point: empty name");
+  std::lock_guard<std::mutex> lock(mu_);
+  Point* p = FindOrCreateLocked(name);
+  if (!p->enabled) active_points_.fetch_add(1, std::memory_order_relaxed);
+  p->spec = spec;
+  p->enabled = true;
+  p->exhausted = false;
+  p->evals = 0;
+  p->fires = 0;
+  p->rng = Random(seed_ ^ Hash64(name.data(), name.size(), 0));
+  return Status::OK();
+}
+
+Status FailPointRegistry::EnableFromSpecList(const std::string& list) {
+  size_t start = 0;
+  while (start <= list.size()) {
+    size_t semi = list.find(';', start);
+    if (semi == std::string::npos) semi = list.size();
+    std::string entry = list.substr(start, semi - start);
+    if (!entry.empty()) {
+      size_t eq = entry.find('=');
+      if (eq == std::string::npos) {
+        return Status::InvalidArgument("fail point: missing '=' in", entry);
+      }
+      Status s = Enable(entry.substr(0, eq), entry.substr(eq + 1));
+      if (!s.ok()) return s;
+    }
+    start = semi + 1;
+  }
+  return Status::OK();
+}
+
+void FailPointRegistry::Disable(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(name);
+  if (it != points_.end() && it->second.enabled) {
+    it->second.enabled = false;
+    active_points_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void FailPointRegistry::DisableAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& kv : points_) {
+    Point& p = kv.second;
+    p.enabled = false;
+    p.exhausted = false;
+    p.evals = 0;
+    p.fires = 0;
+  }
+  active_points_.store(0, std::memory_order_relaxed);
+}
+
+void FailPointRegistry::SetSeed(uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  seed_ = seed;
+  for (auto& kv : points_) {
+    kv.second.rng =
+        Random(seed_ ^ Hash64(kv.first.data(), kv.first.size(), 0));
+  }
+}
+
+uint64_t FailPointRegistry::EvalCount(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(name);
+  return it == points_.end() ? 0 : it->second.evals;
+}
+
+uint64_t FailPointRegistry::FireCount(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(name);
+  return it == points_.end() ? 0 : it->second.fires;
+}
+
+InjectResult FailPointRegistry::Evaluate(const char* name) {
+  InjectResult result;
+  FailPointSpec spec;
+  uint64_t rand = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Point* p = FindOrCreateLocked(name);
+    p->evals++;
+    if (!p->enabled || p->exhausted) return result;
+    bool fire = false;
+    switch (p->spec.trigger) {
+      case Trigger::kAlways:
+        fire = true;
+        break;
+      case Trigger::kOnce:
+        fire = true;
+        p->exhausted = true;
+        break;
+      case Trigger::kEveryN:
+        fire = (p->evals % p->spec.every_n) == 0;
+        break;
+      case Trigger::kProbability:
+        fire = p->rng.NextDouble() < p->spec.probability;
+        break;
+    }
+    if (!fire) return result;
+    p->fires++;
+    spec = p->spec;
+    rand = p->rng.Next64();
+  }
+  result.fired = true;
+  result.rand = rand;
+  switch (spec.action) {
+    case Action::kReturnError:
+      result.status = MakeError(spec, name);
+      break;
+    case Action::kDelay:
+      std::this_thread::sleep_for(std::chrono::microseconds(spec.delay_us));
+      break;
+    case Action::kBitrot:
+      result.bitrot = true;
+      break;
+    case Action::kTorn:
+      result.torn = true;
+      // Keep a strict prefix of the write: [0, kTearDenom) of 1024ths.
+      result.rand = rand % kTearDenom;
+      result.status = Status::IOError(
+          std::string("injected torn write at ") + name);
+      break;
+    case Action::kNoop:
+      break;
+  }
+  return result;
+}
+
+Status Inject(const char* name) {
+  return FailPointRegistry::Global()->Evaluate(name).status;
+}
+
+InjectResult Evaluate(const char* name) {
+  return FailPointRegistry::Global()->Evaluate(name);
+}
+
+bool MaybeBitrot(const char* name, char* data, size_t len) {
+  if (len == 0) return false;
+  InjectResult r = FailPointRegistry::Global()->Evaluate(name);
+  if (!r.bitrot) return false;
+  size_t byte = static_cast<size_t>(r.rand % len);
+  int bit = static_cast<int>((r.rand / len) % 8);
+  data[byte] = static_cast<char>(data[byte] ^ (1u << bit));
+  return true;
+}
+
+}  // namespace fault
+}  // namespace cachekv

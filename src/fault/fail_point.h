@@ -1,0 +1,174 @@
+#ifndef CACHEKV_FAULT_FAIL_POINT_H_
+#define CACHEKV_FAULT_FAIL_POINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/random.h"
+#include "util/status.h"
+
+namespace cachekv {
+namespace fault {
+
+/// Process-wide fail-point registry (the fail_point / SyncPoint idiom of
+/// production LSM stores). Engine code declares named points at the places
+/// where hardware or software can fail — PMem media access, allocator
+/// exhaustion, flush/compaction stages, manifest installs — and tests (or
+/// the CACHEKV_FAILPOINTS environment variable) arm them with a trigger
+/// policy and an action. When nothing is armed the hot-path cost is a
+/// single relaxed atomic load (see AnyActive()).
+///
+/// Spec grammar, used both by Enable() and the environment variable
+///   CACHEKV_FAILPOINTS="point=item,item;point2=item,..."
+/// where each comma-separated item is one of
+///   triggers:  always (default) | once | every:N | p:X   (X in [0,1])
+///   actions:   error[:io|corruption|busy|oom|notfound[:message]]
+///              delay:USEC | bitrot | torn | noop
+/// e.g.  CACHEKV_FAILPOINTS="flush.copy=once,error:io;pmem.media.bitrot=p:0.01,bitrot"
+/// The probabilistic trigger draws from a per-point xorshift RNG seeded
+/// from the registry seed (SetSeed / CACHEKV_FAILPOINTS_SEED), so fault
+/// schedules are reproducible.
+
+enum class Trigger : uint8_t {
+  kAlways = 0,
+  kOnce,
+  kEveryN,
+  kProbability,
+};
+
+enum class Action : uint8_t {
+  kReturnError = 0,  // Evaluate() carries a non-OK Status
+  kDelay,            // Evaluate() sleeps delay_us, then reports fired
+  kBitrot,           // caller flips one bit of the in-flight data
+  kTorn,             // caller tears the in-flight write at an XPLine edge
+  kNoop,             // fires (counted) but takes no action; coverage probes
+};
+
+enum class ErrorKind : uint8_t {
+  kIOError = 0,
+  kCorruption,
+  kBusy,
+  kOutOfSpace,
+  kNotFound,
+};
+
+struct FailPointSpec {
+  Trigger trigger = Trigger::kAlways;
+  uint64_t every_n = 1;       // kEveryN: fire on every Nth evaluation
+  double probability = 1.0;   // kProbability
+  Action action = Action::kReturnError;
+  ErrorKind error = ErrorKind::kIOError;
+  uint32_t delay_us = 0;
+  std::string message;        // optional custom error message
+};
+
+/// Outcome of evaluating one fail point at its site.
+struct InjectResult {
+  Status status;       // non-OK when an error action (or torn) fired
+  bool fired = false;  // the trigger matched this evaluation
+  bool torn = false;   // site should tear the in-flight write
+  bool bitrot = false; // site should flip one bit of the in-flight data
+  // For torn: fraction (in 1/1024ths) of the write to keep. For bitrot:
+  // a seeded random value the site uses to pick the damaged bit.
+  uint64_t rand = 0;
+};
+
+constexpr const char* kEnvVar = "CACHEKV_FAILPOINTS";
+constexpr const char* kEnvSeedVar = "CACHEKV_FAILPOINTS_SEED";
+constexpr uint64_t kTearDenom = 1024;
+
+class FailPointRegistry {
+ public:
+  /// The process-wide registry. On first use it arms any points named in
+  /// $CACHEKV_FAILPOINTS (and seeds from $CACHEKV_FAILPOINTS_SEED).
+  static FailPointRegistry* Global();
+
+  /// Canonical list of every fail point wired into the engine, so test
+  /// harnesses can enumerate and sweep them without executing the sites
+  /// first. Registering extra points at runtime is also allowed.
+  static const std::vector<std::string>& BuiltinPoints();
+
+  /// Arms `name` with the parsed `spec` string (grammar above). Replaces
+  /// any previous configuration of the point.
+  Status Enable(const std::string& name, const std::string& spec_str);
+  Status Enable(const std::string& name, const FailPointSpec& spec);
+  /// Parses "a=spec;b=spec" and arms every listed point.
+  Status EnableFromSpecList(const std::string& list);
+  void Disable(const std::string& name);
+  void DisableAll();
+
+  /// Reseeds every per-point RNG (deterministic fault schedules). Call
+  /// before arming probabilistic points.
+  void SetSeed(uint64_t seed);
+
+  /// Times the named point was evaluated / fired since the last
+  /// DisableAll(). Evaluations are only counted while any point is armed
+  /// (the disarmed fast path does not touch the registry).
+  uint64_t EvalCount(const std::string& name) const;
+  uint64_t FireCount(const std::string& name) const;
+
+  /// Evaluates `name`: counts the evaluation and, when the trigger
+  /// matches, applies the action (sleeps for kDelay; fills status for
+  /// kReturnError/kTorn; sets the bitrot/torn flags for the site).
+  InjectResult Evaluate(const char* name);
+
+  /// True when at least one point is armed. One relaxed load; the guard
+  /// every injection site checks before calling Evaluate().
+  bool AnyActive() const {
+    return active_points_.load(std::memory_order_relaxed) > 0;
+  }
+
+ private:
+  FailPointRegistry();
+
+  struct Point {
+    FailPointSpec spec;
+    bool enabled = false;
+    bool exhausted = false;  // kOnce already fired
+    uint64_t evals = 0;
+    uint64_t fires = 0;
+    Random rng{0};
+  };
+
+  Point* FindOrCreateLocked(const std::string& name);
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Point> points_;
+  uint64_t seed_;
+  std::atomic<int> active_points_{0};
+};
+
+/// Convenience wrappers over the global registry. ----------------------
+
+inline bool AnyActive() { return FailPointRegistry::Global()->AnyActive(); }
+
+/// Evaluates `name`; returns OK unless an error action fired. Sites that
+/// cannot honor torn/bitrot treat those actions as plain errors (torn) or
+/// ignore them (bitrot flips nothing without a buffer).
+Status Inject(const char* name);
+
+InjectResult Evaluate(const char* name);
+
+/// Flips one seeded-random bit of data[0..len) when the point fires with
+/// the bitrot action. Returns true when it did.
+bool MaybeBitrot(const char* name, char* data, size_t len);
+
+}  // namespace fault
+}  // namespace cachekv
+
+/// Injection site for Status-returning functions: when the named point is
+/// armed with an error action, returns that error from the enclosing
+/// function. Compiles to one relaxed load when no points are armed.
+#define CACHEKV_FAIL_POINT(name)                                      \
+  do {                                                                \
+    if (::cachekv::fault::AnyActive()) {                              \
+      ::cachekv::Status _cfp_status = ::cachekv::fault::Inject(name); \
+      if (!_cfp_status.ok()) return _cfp_status;                      \
+    }                                                                 \
+  } while (0)
+
+#endif  // CACHEKV_FAULT_FAIL_POINT_H_

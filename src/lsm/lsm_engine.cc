@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 
+#include "fault/fail_point.h"
 #include "lsm/merger.h"
 #include "pmem/meta_layout.h"
 
@@ -246,6 +248,9 @@ Status LsmEngine::InstallVersion(std::shared_ptr<Version> next,
 Status LsmEngine::WriteL0Tables(Iterator* iter) {
   OBS_SPAN(metrics_, "lsm.write_l0");
   obs::TraceScope trace(trace_, "lsm.write_l0");
+  CACHEKV_FAIL_POINT("lsm.write_l0");
+  // Failure paths below drop `outputs`; TableHandle's destructor frees
+  // the backing regions, so nothing not yet installed in a version leaks.
   std::vector<TableRef> outputs;
   Status s = BuildTables(iter, &outputs, /*is_compaction=*/false, 0,
                          nullptr);
@@ -324,6 +329,7 @@ void LsmEngine::BackgroundWork() {
     trace_->SetThreadName("lsm-compaction");
   }
   std::unique_lock<std::mutex> lock(mu_);
+  int attempt = 0;
   while (true) {
     while (!shutting_down_ && !compaction_pending_) {
       work_cv_.wait(lock);
@@ -334,6 +340,7 @@ void LsmEngine::BackgroundWork() {
     int level;
     if (!NeedsCompaction(*current_, &level)) {
       compaction_pending_ = false;
+      attempt = 0;
       idle_cv_.notify_all();
       continue;
     }
@@ -343,11 +350,34 @@ void LsmEngine::BackgroundWork() {
     lock.lock();
     compaction_running_ = false;
     if (!s.ok()) {
+      // Transient failures (I/O, allocator pressure) are retried with
+      // capped exponential backoff; corruption-class failures and an
+      // exhausted budget park the error for WaitForCompactions() /
+      // BackgroundError().
+      const bool transient = !s.IsCorruption() && !s.IsInvalidArgument() &&
+                             !s.IsNotSupported();
+      if (transient && attempt < options_.max_bg_retries) {
+        if (metrics_ != nullptr) {
+          metrics_->GetCounter("lsm.bg_retries")->Increment();
+        }
+        uint64_t ms = options_.bg_backoff_base_ms;
+        for (int i = 0; i < attempt && ms < options_.bg_backoff_max_ms;
+             i++) {
+          ms *= 2;
+        }
+        if (ms > options_.bg_backoff_max_ms) ms = options_.bg_backoff_max_ms;
+        attempt++;
+        work_cv_.wait_for(lock, std::chrono::milliseconds(ms == 0 ? 1 : ms),
+                          [this] { return shutting_down_; });
+        continue;  // compaction_pending_ is still set
+      }
       bg_error_ = s;
       compaction_pending_ = false;
+      attempt = 0;
       idle_cv_.notify_all();
       continue;
     }
+    attempt = 0;
     int next_level;
     compaction_pending_ = NeedsCompaction(*current_, &next_level);
     if (!compaction_pending_) {
@@ -389,6 +419,7 @@ bool LsmEngine::IsBaseLevelForKey(const Version& v, int output_level,
 Status LsmEngine::CompactLevel(int level) {
   OBS_SPAN(metrics_, "lsm.compact");
   obs::TraceScope trace(trace_, "lsm.compact");
+  CACHEKV_FAIL_POINT("lsm.compact");
   trace.AddArg("level", static_cast<uint64_t>(level));
   if (metrics_ != nullptr) {
     metrics_->GetCounter("lsm.compactions")->Increment();

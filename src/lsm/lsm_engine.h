@@ -35,6 +35,12 @@ struct LsmOptions {
   /// Run compactions on a background thread. When false, compactions run
   /// inline in WriteL0Tables (deterministic mode for tests).
   bool background_compaction = true;
+  /// Transient background-compaction failures are retried up to this many
+  /// times with capped exponential backoff (lsm.bg_retries counts them)
+  /// before the error parks in BackgroundError().
+  int max_bg_retries = 5;
+  uint32_t bg_backoff_base_ms = 1;
+  uint32_t bg_backoff_max_ms = 100;
 };
 
 /// LsmEngine is the storage component of Figure 2 in the paper: SSTables
@@ -90,6 +96,14 @@ class LsmEngine {
 
   /// Blocks until no compaction is running or pending.
   Status WaitForCompactions();
+
+  /// The parked background-compaction error (OK while healthy). Set once
+  /// the retry budget for a transient failure is exhausted or a hard
+  /// (corruption-class) failure occurs.
+  Status BackgroundError() const {
+    std::unique_lock<std::mutex> lock(mu_);
+    return bg_error_;
+  }
 
   int NumFiles(int level) const;
   uint64_t TotalTableBytes() const;

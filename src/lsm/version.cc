@@ -1,5 +1,6 @@
 #include "lsm/version.h"
 
+#include "fault/fail_point.h"
 #include "lsm/wal.h"
 #include "util/coding.h"
 
@@ -95,6 +96,28 @@ Status ManifestWriter::Write(ManifestState* state) {
     return Status::OutOfSpace("manifest exceeds slot size");
   }
   const uint64_t slot_base = base_ + (state->epoch % 2) * slot_size_;
+  if (fault::AnyActive()) {
+    fault::InjectResult inj = fault::Evaluate("lsm.manifest");
+    if (inj.torn) {
+      // Torn A/B slot write: persist only an XPLine-aligned prefix, then
+      // report the failure. The epoch rolls back so a retry (or the next
+      // install) rewrites this same slot and never overwrites the last
+      // fully-written one; recovery falls back to that older slot.
+      uint64_t keep = (encoded.size() * (inj.rand % fault::kTearDenom)) /
+                      fault::kTearDenom;
+      keep -= keep % kXPLineSize;
+      if (keep > 0) {
+        env_->NtStore(slot_base, encoded.data(), keep);
+        env_->Sfence();
+      }
+      state->epoch--;
+      return inj.status;
+    }
+    if (!inj.status.ok()) {
+      state->epoch--;
+      return inj.status;
+    }
+  }
   env_->NtStore(slot_base, encoded.data(), encoded.size());
   env_->Sfence();
   return Status::OK();

@@ -1,6 +1,6 @@
 #include "pmem/pmem_allocator.h"
 
-#include <cassert>
+#include "fault/fail_point.h"
 
 namespace cachekv {
 
@@ -14,6 +14,7 @@ PmemAllocator::PmemAllocator(uint64_t base, uint64_t size)
 }
 
 Status PmemAllocator::Allocate(uint64_t size, uint64_t* offset) {
+  CACHEKV_FAIL_POINT("pmem.alloc");
   if (size == 0) {
     return Status::InvalidArgument("zero-sized allocation");
   }
@@ -76,6 +77,7 @@ Status PmemAllocator::Free(uint64_t offset, uint64_t size) {
 }
 
 Status PmemAllocator::Reserve(uint64_t offset, uint64_t size) {
+  CACHEKV_FAIL_POINT("pmem.reserve");
   if (size == 0) {
     return Status::InvalidArgument("zero-sized reserve");
   }

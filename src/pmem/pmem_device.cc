@@ -2,20 +2,32 @@
 
 #include <sys/mman.h>
 
-#include <cassert>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
+
+#include "fault/fail_point.h"
 
 namespace cachekv {
 
 PmemDevice::PmemDevice(const PmemConfig& config, LatencyModel* latency)
     : config_(config), latency_(latency) {
-  assert(config_.capacity % kXPLineSize == 0);
-  assert(config_.num_dimms >= 1);
+  // Tolerate loosely specified configurations instead of asserting:
+  // round the capacity down to whole XPLines, require one DIMM minimum.
+  config_.capacity = AlignDown(config_.capacity, kXPLineSize);
+  if (config_.capacity < kXPLineSize) config_.capacity = kXPLineSize;
+  if (config_.num_dimms < 1) config_.num_dimms = 1;
   // Anonymous mapping: pages are committed lazily, so a large simulated
   // capacity does not consume physical memory until touched.
   void* p = mmap(nullptr, config_.capacity, PROT_READ | PROT_WRITE,
                  MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
-  assert(p != MAP_FAILED);
+  if (p == MAP_FAILED) {
+    // Unrecoverable from a constructor; fail loudly rather than via a
+    // null-pointer write later.
+    std::fprintf(stderr, "PmemDevice: mmap of %llu bytes failed\n",
+                 static_cast<unsigned long long>(config_.capacity));
+    std::abort();
+  }
   media_ = static_cast<char*>(p);
   dimms_.reserve(config_.num_dimms);
   for (int i = 0; i < config_.num_dimms; i++) {
@@ -55,8 +67,27 @@ void PmemDevice::WritebackSlot(const Slot& slot) {
 
 void PmemDevice::ReceiveLine(uint64_t addr, const char* data,
                              bool non_temporal) {
-  assert(IsAligned(addr, kCacheLineSize));
-  assert(addr + kCacheLineSize <= config_.capacity);
+  if (!IsAligned(addr, kCacheLineSize) ||
+      addr + kCacheLineSize > config_.capacity) {
+    // Never write out of bounds: drop the line and count it. The data
+    // loss is detectable (CRCs, recovery plausibility checks); an OOB
+    // memcpy would not be.
+    counters_.oob_accesses.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  // Simulated media bit-rot: a fired "pmem.media.bitrot" point flips one
+  // seeded-random bit of the incoming line before it is buffered.
+  char rotted[kCacheLineSize];
+  if (fault::AnyActive()) {
+    fault::InjectResult inj = fault::Evaluate("pmem.media.bitrot");
+    if (inj.bitrot) {
+      memcpy(rotted, data, kCacheLineSize);
+      const size_t byte = static_cast<size_t>(inj.rand % kCacheLineSize);
+      const int bit = static_cast<int>((inj.rand / kCacheLineSize) % 8);
+      rotted[byte] = static_cast<char>(rotted[byte] ^ (1u << bit));
+      data = rotted;
+    }
+  }
   const uint64_t xpline = AlignDown(addr, kXPLineSize);
   const int sub = static_cast<int>((addr - xpline) / kCacheLineSize);
   Dimm& dimm = *dimms_[DimmOf(addr)];
@@ -101,8 +132,18 @@ void PmemDevice::ReceiveLine(uint64_t addr, const char* data,
 }
 
 void PmemDevice::Read(uint64_t addr, void* dst, size_t len) {
-  assert(addr + len <= config_.capacity);
   char* out = static_cast<char*>(dst);
+  if (addr >= config_.capacity || len > config_.capacity - addr) {
+    // Out-of-range read: zero-fill the inaccessible tail and count the
+    // access instead of reading past the media array.
+    counters_.oob_accesses.fetch_add(1, std::memory_order_relaxed);
+    const size_t valid = addr < config_.capacity
+                             ? static_cast<size_t>(config_.capacity - addr)
+                             : 0;
+    memset(out + valid, 0, len - valid);
+    if (valid == 0) return;
+    len = valid;
+  }
   uint64_t pos = addr;
   size_t remaining = len;
   while (remaining > 0) {
@@ -137,6 +178,12 @@ void PmemDevice::Read(uint64_t addr, void* dst, size_t len) {
     out += chunk;
     pos += chunk;
     remaining -= chunk;
+  }
+  // Simulated read disturb: a fired "pmem.media.read" point flips one
+  // seeded-random bit of the returned buffer. Checksummed structures
+  // (zone registry, manifest, SSTables) detect this as corruption.
+  if (fault::AnyActive()) {
+    fault::MaybeBitrot("pmem.media.read", static_cast<char*>(dst), len);
   }
 }
 

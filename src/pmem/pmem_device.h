@@ -35,6 +35,10 @@ struct PmemCounters {
   /// (the copy-based flush path), as opposed to cache evictions / clwb.
   std::atomic<uint64_t> nt_lines_received{0};
   std::atomic<uint64_t> nt_bytes_received{0};
+  /// Accesses outside the device range or misaligned writes. The device
+  /// drops the write (or zero-fills the read) instead of touching memory
+  /// out of bounds; a nonzero count means a software bug upstream.
+  std::atomic<uint64_t> oob_accesses{0};
 
   /// Fraction of received 64 B lines that combined into an open XPLine.
   double WriteHitRatio() const {
@@ -66,6 +70,7 @@ struct PmemCounters {
     full_line_writebacks.store(0);
     nt_lines_received.store(0);
     nt_bytes_received.store(0);
+    oob_accesses.store(0);
   }
 };
 

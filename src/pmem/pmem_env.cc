@@ -1,12 +1,34 @@
 #include "pmem/pmem_env.h"
 
-#include <cassert>
-
 namespace cachekv {
 
+Status PmemEnv::ValidateOptions(const EnvOptions& options) {
+  if (options.cat_locked_bytes > options.llc_capacity) {
+    return Status::InvalidArgument(
+        "cat_locked_bytes exceeds the LLC capacity");
+  }
+  if (options.cat_locked_bytes >= options.pmem_capacity) {
+    return Status::InvalidArgument(
+        "cat_locked_bytes must leave room in the PMem capacity");
+  }
+  const uint64_t heap_base = AlignUp(options.cat_locked_bytes, kXPLineSize) +
+                             AlignUp(options.meta_area_bytes, kXPLineSize);
+  if (heap_base >= options.pmem_capacity) {
+    return Status::InvalidArgument(
+        "metadata area leaves no PMem heap space");
+  }
+  return Status::OK();
+}
+
 PmemEnv::PmemEnv(const EnvOptions& options) : options_(options) {
-  assert(options_.cat_locked_bytes <= options_.llc_capacity);
-  assert(options_.cat_locked_bytes < options_.pmem_capacity);
+  // Clamp inconsistent configurations instead of asserting: the CAT range
+  // cannot exceed the LLC it is carved from, and must leave PMem space.
+  if (options_.cat_locked_bytes > options_.llc_capacity) {
+    options_.cat_locked_bytes = options_.llc_capacity;
+  }
+  if (options_.cat_locked_bytes >= options_.pmem_capacity) {
+    options_.cat_locked_bytes = 0;
+  }
   latency_ = std::make_unique<LatencyModel>(options_.latency);
 
   PmemConfig pmem_config;
@@ -29,9 +51,11 @@ PmemEnv::PmemEnv(const EnvOptions& options) : options_(options) {
   const uint64_t heap_base =
       AlignUp(options_.cat_locked_bytes, kXPLineSize) +
       AlignUp(options_.meta_area_bytes, kXPLineSize);
-  assert(heap_base < options_.pmem_capacity);
-  allocator_ = std::make_unique<PmemAllocator>(
-      heap_base, options_.pmem_capacity - heap_base);
+  const uint64_t heap_size =
+      heap_base < options_.pmem_capacity
+          ? options_.pmem_capacity - heap_base
+          : 0;  // empty heap: every Allocate fails with OutOfSpace
+  allocator_ = std::make_unique<PmemAllocator>(heap_base, heap_size);
 }
 
 void PmemEnv::SimulateCrash() {
@@ -39,8 +63,10 @@ void PmemEnv::SimulateCrash() {
   const uint64_t heap_base =
       AlignUp(options_.cat_locked_bytes, kXPLineSize) +
       AlignUp(options_.meta_area_bytes, kXPLineSize);
-  allocator_ = std::make_unique<PmemAllocator>(
-      heap_base, options_.pmem_capacity - heap_base);
+  const uint64_t heap_size = heap_base < options_.pmem_capacity
+                                 ? options_.pmem_capacity - heap_base
+                                 : 0;
+  allocator_ = std::make_unique<PmemAllocator>(heap_base, heap_size);
 }
 
 }  // namespace cachekv

@@ -54,6 +54,13 @@ class PmemEnv {
  public:
   explicit PmemEnv(const EnvOptions& options);
 
+  /// Checks platform-description invariants (CAT range within the LLC
+  /// and the PMem capacity, room for the metadata area and heap).
+  /// Callers that build an env from external configuration should check
+  /// this first; the constructor itself clamps inconsistent values
+  /// instead of asserting.
+  static Status ValidateOptions(const EnvOptions& options);
+
   PmemEnv(const PmemEnv&) = delete;
   PmemEnv& operator=(const PmemEnv&) = delete;
 

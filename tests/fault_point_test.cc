@@ -1,0 +1,216 @@
+#include "fault/fail_point.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "core/bg_error_manager.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace cachekv {
+namespace {
+
+class FailPointTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    fault::FailPointRegistry::Global()->DisableAll();
+  }
+  fault::FailPointRegistry* reg() {
+    return fault::FailPointRegistry::Global();
+  }
+  std::vector<std::string> patterns_;
+};
+
+TEST_F(FailPointTest, DisarmedPointsAreFree) {
+  EXPECT_FALSE(fault::AnyActive());
+  // Inject on a disarmed registry short-circuits before Evaluate, so the
+  // eval counter must stay zero even after "evaluating" the point.
+  EXPECT_TRUE(fault::Inject("flush.copy").ok());
+}
+
+TEST_F(FailPointTest, AlwaysTriggerReturnsConfiguredError) {
+  ASSERT_TRUE(reg()->Enable("flush.copy", "always,error:io").ok());
+  EXPECT_TRUE(fault::AnyActive());
+  Status s = fault::Inject("flush.copy");
+  EXPECT_TRUE(s.IsIOError()) << s.ToString();
+  s = fault::Inject("flush.copy");
+  EXPECT_TRUE(s.IsIOError());
+  EXPECT_EQ(2u, reg()->FireCount("flush.copy"));
+  EXPECT_EQ(2u, reg()->EvalCount("flush.copy"));
+}
+
+TEST_F(FailPointTest, OnceTriggerFiresExactlyOnce) {
+  ASSERT_TRUE(reg()->Enable("pmem.alloc", "once,error:oom").ok());
+  Status s = fault::Inject("pmem.alloc");
+  EXPECT_TRUE(s.IsOutOfSpace()) << s.ToString();
+  for (int i = 0; i < 5; i++) {
+    EXPECT_TRUE(fault::Inject("pmem.alloc").ok());
+  }
+  EXPECT_EQ(1u, reg()->FireCount("pmem.alloc"));
+  EXPECT_EQ(6u, reg()->EvalCount("pmem.alloc"));
+}
+
+TEST_F(FailPointTest, EveryNFiresOnMultiples) {
+  ASSERT_TRUE(reg()->Enable("index.sync", "every:3,error:busy").ok());
+  int fired = 0;
+  for (int i = 1; i <= 9; i++) {
+    Status s = fault::Inject("index.sync");
+    if (!s.ok()) {
+      EXPECT_TRUE(s.IsBusy());
+      EXPECT_EQ(0, i % 3) << "fired off the every-3 schedule at eval " << i;
+      fired++;
+    }
+  }
+  EXPECT_EQ(3, fired);
+}
+
+TEST_F(FailPointTest, ProbabilisticScheduleIsReproducible) {
+  auto run = [&](uint64_t seed) {
+    reg()->DisableAll();
+    reg()->SetSeed(seed);
+    ASSERT_TRUE(reg()->Enable("lsm.compact", "p:0.3,error").ok());
+    std::string pattern;
+    for (int i = 0; i < 64; i++) {
+      pattern.push_back(fault::Inject("lsm.compact").ok() ? '.' : 'X');
+    }
+    patterns_.push_back(pattern);
+  };
+  run(42);
+  run(42);
+  run(43);
+  EXPECT_EQ(patterns_[0], patterns_[1]);
+  EXPECT_NE(patterns_[0], patterns_[2]);
+  EXPECT_NE(std::string::npos, patterns_[0].find('X'));
+  EXPECT_NE(std::string::npos, patterns_[0].find('.'));
+}
+
+TEST_F(FailPointTest, SpecListArmsMultiplePoints) {
+  ASSERT_TRUE(reg()
+                  ->EnableFromSpecList(
+                      "flush.copy=once,error:corruption:bad flush;"
+                      "zone.persist=torn")
+                  .ok());
+  Status s = fault::Inject("flush.copy");
+  EXPECT_TRUE(s.IsCorruption());
+  EXPECT_NE(std::string::npos, s.ToString().find("bad flush"));
+  fault::InjectResult r = fault::Evaluate("zone.persist");
+  EXPECT_TRUE(r.torn);
+  EXPECT_TRUE(r.status.IsIOError());
+  EXPECT_LT(r.rand, fault::kTearDenom);
+}
+
+TEST_F(FailPointTest, BadSpecsAreRejected) {
+  EXPECT_FALSE(reg()->Enable("x", "every:0").ok());
+  EXPECT_FALSE(reg()->Enable("x", "p:1.5").ok());
+  EXPECT_FALSE(reg()->Enable("x", "error:nonsense").ok());
+  EXPECT_FALSE(reg()->Enable("x", "frobnicate").ok());
+  EXPECT_FALSE(reg()->EnableFromSpecList("missing-equals").ok());
+  EXPECT_FALSE(reg()->Enable("", "always,error").ok());
+}
+
+TEST_F(FailPointTest, MaybeBitrotFlipsExactlyOneBit) {
+  ASSERT_TRUE(reg()->Enable("pmem.media.read", "once,bitrot").ok());
+  char buf[64] = {0};
+  ASSERT_TRUE(fault::MaybeBitrot("pmem.media.read", buf, sizeof(buf)));
+  int set_bits = 0;
+  for (char c : buf) {
+    for (int b = 0; b < 8; b++) {
+      if (c & (1 << b)) set_bits++;
+    }
+  }
+  EXPECT_EQ(1, set_bits);
+  // Exhausted: no further damage.
+  char clean[64] = {0};
+  EXPECT_FALSE(fault::MaybeBitrot("pmem.media.read", clean, sizeof(clean)));
+}
+
+TEST_F(FailPointTest, BuiltinPointListCoversTheWiredSites) {
+  const auto& points = fault::FailPointRegistry::BuiltinPoints();
+  EXPECT_GE(points.size(), 10u);
+  for (const char* name :
+       {"pmem.alloc", "flush.copy", "zone.persist", "index.sync",
+        "lsm.manifest", "lsm.compact", "zone.recover"}) {
+    bool found = false;
+    for (const std::string& p : points) {
+      if (p == name) found = true;
+    }
+    EXPECT_TRUE(found) << name << " missing from BuiltinPoints()";
+  }
+}
+
+class BgErrorManagerTest : public ::testing::Test {
+ protected:
+  BackgroundErrorManager::Policy policy_{3, 2, 16};
+  obs::MetricsRegistry metrics_;
+  obs::Tracer trace_{64};
+};
+
+TEST_F(BgErrorManagerTest, ClassifiesTransientVsHard) {
+  using EC = BackgroundErrorManager::ErrorClass;
+  EXPECT_EQ(EC::kTransient,
+            BackgroundErrorManager::Classify(Status::IOError("x")));
+  EXPECT_EQ(EC::kTransient,
+            BackgroundErrorManager::Classify(Status::Busy("x")));
+  EXPECT_EQ(EC::kTransient,
+            BackgroundErrorManager::Classify(Status::OutOfSpace("x")));
+  EXPECT_EQ(EC::kHard,
+            BackgroundErrorManager::Classify(Status::Corruption("x")));
+  EXPECT_EQ(EC::kHard,
+            BackgroundErrorManager::Classify(Status::InvalidArgument("x")));
+}
+
+TEST_F(BgErrorManagerTest, TransientRetriesWithCappedBackoff) {
+  BackgroundErrorManager mgr(policy_, &metrics_, &trace_);
+  std::chrono::milliseconds backoff(0);
+  uint64_t last = 0;
+  for (int attempt = 0; attempt < policy_.max_retries; attempt++) {
+    ASSERT_EQ(BackgroundErrorManager::Decision::kRetry,
+              mgr.OnError("flush", Status::IOError("x"), attempt, &backoff));
+    EXPECT_GE(static_cast<uint64_t>(backoff.count()), last);
+    EXPECT_LE(backoff.count(), policy_.backoff_max_ms);
+    last = static_cast<uint64_t>(backoff.count());
+    EXPECT_FALSE(mgr.read_only());
+  }
+  // Budget exhausted: degrade.
+  EXPECT_EQ(BackgroundErrorManager::Decision::kFail,
+            mgr.OnError("flush", Status::IOError("x"), policy_.max_retries,
+                        &backoff));
+  EXPECT_TRUE(mgr.read_only());
+  EXPECT_TRUE(mgr.background_error().IsIOError());
+  EXPECT_EQ(static_cast<uint64_t>(policy_.max_retries),
+            metrics_.GetCounter("bg.retries")->value());
+  EXPECT_EQ(1u, metrics_.GetCounter("bg.retry_exhausted")->value());
+}
+
+TEST_F(BgErrorManagerTest, HardErrorSkipsRetriesAndFirstErrorWins) {
+  BackgroundErrorManager mgr(policy_, &metrics_, &trace_);
+  std::chrono::milliseconds backoff(0);
+  EXPECT_EQ(BackgroundErrorManager::Decision::kFail,
+            mgr.OnError("flush", Status::Corruption("first"), 0, &backoff));
+  EXPECT_TRUE(mgr.read_only());
+  mgr.RaiseHardError("index", Status::IOError("second"));
+  Status s = mgr.background_error();
+  EXPECT_TRUE(s.IsCorruption());
+  EXPECT_NE(std::string::npos, s.ToString().find("first"));
+  EXPECT_EQ(1u, metrics_.GetCounter("bg.hard_errors")->value());
+
+  Status gate = mgr.CheckWritable();
+  EXPECT_TRUE(gate.IsIOError());
+  EXPECT_NE(std::string::npos, gate.ToString().find("read-only"));
+  EXPECT_NE(std::string::npos, gate.ToString().find("flush"));
+  EXPECT_EQ(1.0, metrics_.GetGauge("db.read_only")->Value());
+}
+
+TEST_F(BgErrorManagerTest, WritableWhileHealthy) {
+  BackgroundErrorManager mgr(policy_, &metrics_, &trace_);
+  EXPECT_TRUE(mgr.CheckWritable().ok());
+  EXPECT_TRUE(mgr.background_error().ok());
+  EXPECT_FALSE(mgr.read_only());
+  EXPECT_EQ(0.0, metrics_.GetGauge("db.read_only")->Value());
+}
+
+}  // namespace
+}  // namespace cachekv

@@ -16,9 +16,12 @@ import json
 import sys
 
 # Fields that are measurements (everything else identifies the run).
+# "read_only" is a measurement too: a degraded run must still match its
+# healthy counterpart so the annotation below can flag it.
 MEASUREMENTS = {
     "kops", "seconds", "ops", "found", "not_found", "errors",
     "latency_ns", "stages_ns", "total_avg_ns", "pmem", "read_breakdown",
+    "read_only",
 }
 
 
@@ -98,9 +101,15 @@ def main():
             continue
         c = matches.pop(0)
         delta = pct(b.get("kops", 0), c.get("kops", 0))
-        worst = max(worst, abs(delta))
+        # A run that ended in read-only degradation measures the failure
+        # path, not throughput: report it but keep it out of the
+        # regression threshold.
+        degraded = bool(b.get("read_only") or c.get("read_only"))
+        if not degraded:
+            worst = max(worst, abs(delta))
+        note = "  [read-only]" if degraded else ""
         print(f"{fmt_key(b):<56} {b.get('kops', 0):10.1f} -> "
-              f"{c.get('kops', 0):10.1f} kops  ({delta:+7.1f}%)")
+              f"{c.get('kops', 0):10.1f} kops  ({delta:+7.1f}%){note}")
         if args.latency and "latency_ns" in b and "latency_ns" in c:
             diff_latency(b["latency_ns"], c["latency_ns"])
         if "read_breakdown" in b and "read_breakdown" in c:
