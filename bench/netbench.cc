@@ -1,0 +1,404 @@
+// netbench — closed-loop load generator for cachekv_server, the
+// network-layer counterpart of the fig* harnesses. Drives N client
+// connections (each its own thread + TCP connection) with a mixed
+// read/write workload at a configurable pipeline depth, then emits
+// BENCH_netbench.json (throughput + latency percentiles per op class)
+// in the standard report schema, so tools/bench_diff.py can track
+// server performance across commits.
+//
+//   # against an already-running server:
+//   $ ./build/tools/cachekv_server --port 7070 &
+//   $ ./build/bench/netbench --connect 127.0.0.1:7070 --ops 100000
+//
+//   # self-contained (spawns an in-process server on an ephemeral port):
+//   $ ./build/bench/netbench
+//
+// Reads are verified against the deterministic ValueFor() payloads; a
+// mismatched value, transport failure, or unexpected error status all
+// count into "errors" (the CI smoke asserts the count stays zero).
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/db.h"
+#include "harness.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "pmem/pmem_env.h"
+#include "report.h"
+#include "util/histogram.h"
+#include "util/random.h"
+#include "workload.h"
+
+using namespace cachekv;
+using namespace cachekv::bench;
+
+namespace {
+
+struct Config {
+  std::string connect_host;  // empty => spawn in-process server
+  uint16_t connect_port = 0;
+  int connections = 4;
+  uint64_t total_ops = 0;  // 0 => BenchOps(100'000)
+  int read_pct = 50;
+  int pipeline = 8;
+  size_t key_size = 16;
+  size_t value_size = 100;
+  uint64_t key_space = 20'000;
+  bool preload = true;
+  double latency_scale = 1.0;
+  int workers = 2;
+  uint64_t seed = 42;
+};
+
+struct ThreadStats {
+  uint64_t gets = 0;
+  uint64_t puts = 0;
+  uint64_t found = 0;
+  uint64_t not_found = 0;
+  uint64_t errors = 0;
+  Histogram get_ns;
+  Histogram put_ns;
+  double seconds = 0;
+};
+
+bool SplitHostPort(const std::string& arg, std::string* host,
+                   uint16_t* port) {
+  const size_t colon = arg.rfind(':');
+  if (colon == std::string::npos || colon + 1 >= arg.size()) {
+    return false;
+  }
+  *host = arg.substr(0, colon);
+  *port = static_cast<uint16_t>(std::atoi(arg.c_str() + colon + 1));
+  return *port != 0;
+}
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Preloads this thread's stripe of the keyspace with pipelined puts.
+bool PreloadStripe(net::Client* client, const Config& cfg, int tid) {
+  uint64_t submitted = 0;
+  for (uint64_t i = tid; i < cfg.key_space;
+       i += static_cast<uint64_t>(cfg.connections)) {
+    client->SubmitPut(KeyFor(i, cfg.key_size),
+                      ValueFor(i, cfg.value_size));
+    if (++submitted % 256 == 0) {
+      std::vector<net::Client::Result> results;
+      if (!client->WaitAll(&results).ok()) return false;
+      for (const auto& r : results) {
+        if (!r.status.ok()) return false;
+      }
+    }
+  }
+  std::vector<net::Client::Result> results;
+  if (!client->WaitAll(&results).ok()) return false;
+  for (const auto& r : results) {
+    if (!r.status.ok()) return false;
+  }
+  return true;
+}
+
+void RunThread(const Config& cfg, int tid, uint64_t ops,
+               ThreadStats* stats) {
+  net::Client client;
+  if (!client.Connect(cfg.connect_host, cfg.connect_port).ok()) {
+    stats->errors += ops;
+    return;
+  }
+  Random rng(cfg.seed * 2654435761u + static_cast<uint64_t>(tid) + 1);
+
+  const auto start = std::chrono::steady_clock::now();
+  uint64_t done = 0;
+  // One flight of `pipeline` requests per iteration: every request in
+  // the flight observes (approximately) the flight's round-trip time,
+  // which is the service latency a closed-loop client at this depth
+  // experiences.
+  std::vector<uint64_t> flight_keys;
+  std::vector<bool> flight_is_get;
+  while (done < ops) {
+    const int depth = static_cast<int>(
+        std::min<uint64_t>(static_cast<uint64_t>(cfg.pipeline),
+                           ops - done));
+    flight_keys.clear();
+    flight_is_get.clear();
+    for (int i = 0; i < depth; i++) {
+      const uint64_t key_index = rng.Uniform(
+          static_cast<uint32_t>(cfg.key_space));
+      const bool is_get =
+          static_cast<int>(rng.Uniform(100)) < cfg.read_pct;
+      flight_keys.push_back(key_index);
+      flight_is_get.push_back(is_get);
+      const std::string key = KeyFor(key_index, cfg.key_size);
+      if (is_get) {
+        client.SubmitGet(key);
+      } else {
+        client.SubmitPut(key, ValueFor(key_index, cfg.value_size));
+      }
+    }
+    const uint64_t t0 = NowNs();
+    std::vector<net::Client::Result> results;
+    Status s = client.WaitAll(&results);
+    const double flight_ns = static_cast<double>(NowNs() - t0);
+    if (!s.ok() || results.size() != static_cast<size_t>(depth)) {
+      stats->errors += static_cast<uint64_t>(depth);
+      done += static_cast<uint64_t>(depth);
+      if (!client.connected() &&
+          !client.Connect(cfg.connect_host, cfg.connect_port).ok()) {
+        stats->errors += ops - done;
+        break;
+      }
+      continue;
+    }
+    for (int i = 0; i < depth; i++) {
+      const auto& r = results[static_cast<size_t>(i)];
+      if (flight_is_get[static_cast<size_t>(i)]) {
+        stats->gets++;
+        stats->get_ns.Add(flight_ns);
+        if (r.status.ok()) {
+          if (r.value !=
+              ValueFor(flight_keys[static_cast<size_t>(i)],
+                       cfg.value_size)) {
+            stats->errors++;  // wrong payload: a correctness failure
+          } else {
+            stats->found++;
+          }
+        } else if (r.status.IsNotFound()) {
+          stats->not_found++;
+        } else {
+          stats->errors++;
+        }
+      } else {
+        stats->puts++;
+        stats->put_ns.Add(flight_ns);
+        if (!r.status.ok()) {
+          stats->errors++;
+        }
+      }
+    }
+    done += static_cast<uint64_t>(depth);
+  }
+  stats->seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start)
+          .count();
+}
+
+JsonValue& AttachRunFields(JsonValue& run, const Config& cfg) {
+  run.Set("connections",
+          JsonValue::Number(static_cast<double>(cfg.connections)));
+  run.Set("pipeline",
+          JsonValue::Number(static_cast<double>(cfg.pipeline)));
+  run.Set("value_size",
+          JsonValue::Number(static_cast<double>(cfg.value_size)));
+  run.Set("read_pct",
+          JsonValue::Number(static_cast<double>(cfg.read_pct)));
+  return run;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config cfg;
+  for (int i = 1; i < argc; i++) {
+    auto next = [&](const char* name) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", name);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--connect") == 0) {
+      if (!SplitHostPort(next("--connect"), &cfg.connect_host,
+                         &cfg.connect_port)) {
+        std::fprintf(stderr, "bad --connect, want host:port\n");
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--connections") == 0) {
+      cfg.connections = std::atoi(next("--connections"));
+    } else if (std::strcmp(argv[i], "--ops") == 0) {
+      cfg.total_ops = std::strtoull(next("--ops"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--read-pct") == 0) {
+      cfg.read_pct = std::atoi(next("--read-pct"));
+    } else if (std::strcmp(argv[i], "--pipeline") == 0) {
+      cfg.pipeline = std::atoi(next("--pipeline"));
+    } else if (std::strcmp(argv[i], "--value-size") == 0) {
+      cfg.value_size = std::strtoull(next("--value-size"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--key-space") == 0) {
+      cfg.key_space = std::strtoull(next("--key-space"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--no-preload") == 0) {
+      cfg.preload = false;
+    } else if (std::strcmp(argv[i], "--latency-scale") == 0) {
+      cfg.latency_scale = std::atof(next("--latency-scale"));
+    } else if (std::strcmp(argv[i], "--workers") == 0) {
+      cfg.workers = std::atoi(next("--workers"));
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      cfg.seed = std::strtoull(next("--seed"), nullptr, 10);
+    } else {
+      std::fprintf(
+          stderr,
+          "usage: %s [--connect host:port] [--connections N] [--ops N]\n"
+          "          [--read-pct P] [--pipeline D] [--value-size B]\n"
+          "          [--key-space N] [--no-preload] [--latency-scale X]\n"
+          "          [--workers N] [--seed S]\n",
+          argv[0]);
+      return 2;
+    }
+  }
+  if (cfg.total_ops == 0) {
+    cfg.total_ops = BenchOps(100'000);
+  }
+  if (cfg.connections < 1) cfg.connections = 1;
+  if (cfg.pipeline < 1) cfg.pipeline = 1;
+
+  // Self-contained mode: spawn a server in-process on an ephemeral
+  // port, backed by its own simulated PMem platform.
+  std::unique_ptr<PmemEnv> env;
+  std::unique_ptr<DB> db;
+  std::unique_ptr<net::Server> server;
+  if (cfg.connect_host.empty()) {
+    EnvOptions env_opts;
+    env_opts.pmem_capacity = 1ull << 30;
+    env_opts.cat_locked_bytes = 12ull << 20;
+    env_opts.latency.scale = BenchScale(cfg.latency_scale);
+    env = std::make_unique<PmemEnv>(env_opts);
+    CacheKVOptions db_opts;
+    db_opts.pool_bytes = 12ull << 20;
+    db_opts.num_cores = 8;
+    Status s = DB::Open(env.get(), db_opts, false, &db);
+    if (!s.ok()) {
+      std::fprintf(stderr, "open: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    net::ServerOptions srv_opts;
+    srv_opts.port = 0;
+    srv_opts.num_workers = cfg.workers;
+    server = std::make_unique<net::Server>(db.get(), srv_opts);
+    s = server->Start();
+    if (!s.ok()) {
+      std::fprintf(stderr, "server start: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    cfg.connect_host = "127.0.0.1";
+    cfg.connect_port = server->port();
+    std::printf("in-process server on 127.0.0.1:%u\n", server->port());
+  }
+
+  std::printf(
+      "netbench: %d connections, %llu ops, %d%% reads, pipeline %d, "
+      "value %zu B, keyspace %llu\n",
+      cfg.connections, static_cast<unsigned long long>(cfg.total_ops),
+      cfg.read_pct, cfg.pipeline, cfg.value_size,
+      static_cast<unsigned long long>(cfg.key_space));
+
+  if (cfg.preload) {
+    std::vector<std::thread> loaders;
+    std::atomic<bool> preload_ok{true};
+    for (int t = 0; t < cfg.connections; t++) {
+      loaders.emplace_back([&, t] {
+        net::Client client;
+        if (!client.Connect(cfg.connect_host, cfg.connect_port).ok() ||
+            !PreloadStripe(&client, cfg, t)) {
+          preload_ok.store(false);
+        }
+      });
+    }
+    for (auto& th : loaders) th.join();
+    if (!preload_ok.load()) {
+      std::fprintf(stderr, "preload failed\n");
+      return 1;
+    }
+    std::printf("preloaded %llu keys\n",
+                static_cast<unsigned long long>(cfg.key_space));
+  }
+
+  std::vector<ThreadStats> stats(
+      static_cast<size_t>(cfg.connections));
+  std::vector<std::thread> threads;
+  const uint64_t per_thread =
+      cfg.total_ops / static_cast<uint64_t>(cfg.connections);
+  const auto wall_start = std::chrono::steady_clock::now();
+  for (int t = 0; t < cfg.connections; t++) {
+    uint64_t ops = per_thread;
+    if (t == 0) {
+      ops += cfg.total_ops % static_cast<uint64_t>(cfg.connections);
+    }
+    threads.emplace_back(RunThread, std::cref(cfg), t, ops,
+                         &stats[static_cast<size_t>(t)]);
+  }
+  for (auto& th : threads) th.join();
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+
+  // Aggregate per-op-class results.
+  RunResult get_result, put_result, all_result;
+  get_result.seconds = put_result.seconds = all_result.seconds =
+      wall_seconds;
+  for (ThreadStats& s : stats) {
+    get_result.ops += s.gets;
+    get_result.found += s.found;
+    get_result.not_found += s.not_found;
+    put_result.ops += s.puts;
+    all_result.errors += s.errors;
+    get_result.latency_ns.Merge(s.get_ns);
+    put_result.latency_ns.Merge(s.put_ns);
+  }
+  all_result.ops = get_result.ops + put_result.ops;
+  all_result.found = get_result.found;
+  all_result.not_found = get_result.not_found;
+  all_result.latency_ns.Merge(get_result.latency_ns);
+  all_result.latency_ns.Merge(put_result.latency_ns);
+  // Protocol/transport errors are not attributable to one class after
+  // aggregation; the per-class entries carry zero and the mixed entry
+  // carries the total.
+
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "%9.1f kops  p50 %8.0f ns  p99 %8.0f ns",
+                all_result.Kops(), all_result.latency_ns.Median(),
+                all_result.latency_ns.Percentile(99));
+  PrintRow("net-mixed", buf);
+  std::snprintf(buf, sizeof(buf),
+                "%9.1f kops  p50 %8.0f ns  p99 %8.0f ns",
+                get_result.Kops(), get_result.latency_ns.Median(),
+                get_result.latency_ns.Percentile(99));
+  PrintRow("net-get", buf);
+  std::snprintf(buf, sizeof(buf),
+                "%9.1f kops  p50 %8.0f ns  p99 %8.0f ns",
+                put_result.Kops(), put_result.latency_ns.Median(),
+                put_result.latency_ns.Percentile(99));
+  PrintRow("net-put", buf);
+
+  BenchReport report("netbench");
+  AttachRunFields(report.AddRun("net-mixed", all_result), cfg);
+  AttachRunFields(report.AddRun("net-get", get_result), cfg);
+  AttachRunFields(report.AddRun("net-put", put_result), cfg);
+  Status ws = report.Write();
+  if (!ws.ok()) {
+    std::fprintf(stderr, "report: %s\n", ws.ToString().c_str());
+    return 1;
+  }
+
+  if (server != nullptr) {
+    server->Stop();
+    db->WaitIdle();
+  }
+  if (all_result.errors != 0) {
+    std::fprintf(stderr, "%llu errors\n",
+                 static_cast<unsigned long long>(all_result.errors));
+    return 1;
+  }
+  return 0;
+}

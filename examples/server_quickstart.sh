@@ -1,0 +1,8 @@
+#!/bin/sh
+# Start a CacheKV server and talk to it — the 5-line network quickstart
+# (docs/SERVER.md). Run from the repo root after building.
+./build/tools/cachekv_server --port 7070 --workers 2 & server=$!
+sleep 1
+printf 'put language C++20\nget language\nstats\nquit\n' | \
+    ./build/tools/cachekv_cli --connect 127.0.0.1:7070
+kill -INT "$server" && wait "$server"

@@ -417,6 +417,17 @@ Status DB::MultiPut(const std::vector<BatchOp>& batch) {
       "batch does not fit any available sub-memtable");
 }
 
+uint64_t DB::ApproxMultiPutCapacityBytes() const {
+  // Elasticity (§III-A) can hand out tables shrunk to the minimum size
+  // class, so a batch bounded by that class commits after at most one
+  // seal-and-replace; halving leaves headroom for per-record framing.
+  const uint64_t slot = options_.min_sub_memtable_bytes;
+  if (slot <= SubMemTable::kDataOffset) {
+    return 0;
+  }
+  return (slot - SubMemTable::kDataOffset) / 2;
+}
+
 Iterator* DB::NewScanIterator() {
   // The scan pins the memory component for its lifetime: the locks are
   // owned by the returned iterator.

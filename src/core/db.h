@@ -119,6 +119,12 @@ class DB : public KVStore {
   /// True once a background failure degraded the store to read-only.
   bool IsReadOnly() const override { return bg_errors_.read_only(); }
 
+  /// Conservative bound on the total encoded bytes one MultiPut /
+  /// ApplyBatch call can carry and still commit on the first available
+  /// sub-MemTable even under elasticity (front ends batching pipelined
+  /// writes size their batches against this; see src/net/server.cc).
+  uint64_t ApproxMultiPutCapacityBytes() const;
+
   SubMemTablePool* pool() { return pool_.get(); }
   FlushedZone* zone() { return zone_.get(); }
   LsmEngine* engine() { return engine_.get(); }

@@ -1,0 +1,331 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace cachekv {
+namespace net {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::IOError(what, std::strerror(errno));
+}
+
+Status NotConnected() { return Status::IOError("not connected"); }
+
+}  // namespace
+
+Client::Client(const ClientOptions& options)
+    : options_(options), decoder_(options.max_frame_bytes) {}
+
+Client::~Client() { Close(); }
+
+Status Client::Connect(const std::string& host, uint16_t port) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    return Errno("socket");
+  }
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    // Not a literal address: resolve the name.
+    addrinfo hints;
+    std::memset(&hints, 0, sizeof(hints));
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo* result = nullptr;
+    if (::getaddrinfo(host.c_str(), nullptr, &hints, &result) != 0 ||
+        result == nullptr) {
+      Close();
+      return Status::IOError("cannot resolve host", host);
+    }
+    addr.sin_addr =
+        reinterpret_cast<sockaddr_in*>(result->ai_addr)->sin_addr;
+    ::freeaddrinfo(result);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    Status s = Errno("connect");
+    Close();
+    return s;
+  }
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (options_.recv_timeout_ms > 0) {
+    timeval tv;
+    tv.tv_sec = options_.recv_timeout_ms / 1000;
+    tv.tv_usec = (options_.recv_timeout_ms % 1000) * 1000;
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+  next_id_ = 1;
+  sendbuf_.clear();
+  outstanding_.clear();
+  decoder_ = FrameDecoder(options_.max_frame_bytes);
+  return Status::OK();
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  sendbuf_.clear();
+  outstanding_.clear();
+}
+
+void Client::FailConnection() { Close(); }
+
+Status Client::RequireIdle() const {
+  if (!outstanding_.empty()) {
+    return Status::InvalidArgument(
+        "pipelined requests outstanding; WaitAll() first");
+  }
+  return Status::OK();
+}
+
+Status Client::SendAll(const char* data, size_t len) {
+  size_t sent = 0;
+  while (sent < len) {
+    ssize_t n = ::send(fd_, data + sent, len - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+    } else if (n < 0 && errno == EINTR) {
+      continue;
+    } else {
+      Status s = Errno("send");
+      FailConnection();
+      return s;
+    }
+  }
+  return Status::OK();
+}
+
+Status Client::ReadFrame(Frame* frame) {
+  char buf[64 << 10];
+  while (true) {
+    FrameDecoder::Result r = decoder_.Next(frame);
+    if (r == FrameDecoder::Result::kFrame) {
+      return Status::OK();
+    }
+    if (r == FrameDecoder::Result::kError) {
+      Status s = Status::Corruption("protocol", decoder_.error());
+      FailConnection();
+      return s;
+    }
+    ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      decoder_.Feed(buf, static_cast<size_t>(n));
+    } else if (n == 0) {
+      FailConnection();
+      return Status::IOError("connection closed by server");
+    } else if (errno == EINTR) {
+      continue;
+    } else if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      FailConnection();
+      return Status::IOError("recv timeout");
+    } else {
+      Status s = Errno("recv");
+      FailConnection();
+      return s;
+    }
+  }
+}
+
+Status Client::RoundTrip(Op op, const std::string& request,
+                         Frame* response, std::string* payload_out) {
+  if (fd_ < 0) return NotConnected();
+  Status s = RequireIdle();
+  if (!s.ok()) return s;
+  s = SendAll(request.data(), request.size());
+  if (!s.ok()) return s;
+  s = ReadFrame(response);
+  if (!s.ok()) return s;
+  if (!response->response || response->op != op) {
+    FailConnection();
+    return Status::Corruption("protocol", "unexpected response frame");
+  }
+  if (response->code != kOk) {
+    return StatusFromWire(response->code,
+                          response->payload);
+  }
+  if (payload_out != nullptr) {
+    *payload_out = response->payload.ToString();
+  }
+  return Status::OK();
+}
+
+// Synchronous API. ----------------------------------------------------
+
+Status Client::Put(const Slice& key, const Slice& value) {
+  std::string req;
+  EncodePutRequest(&req, next_id_++, key, value);
+  Frame resp;
+  return RoundTrip(Op::kPut, req, &resp, nullptr);
+}
+
+Status Client::Get(const Slice& key, std::string* value) {
+  std::string req;
+  EncodeGetRequest(&req, next_id_++, key);
+  Frame resp;
+  return RoundTrip(Op::kGet, req, &resp, value);
+}
+
+Status Client::Delete(const Slice& key) {
+  std::string req;
+  EncodeDeleteRequest(&req, next_id_++, key);
+  Frame resp;
+  return RoundTrip(Op::kDelete, req, &resp, nullptr);
+}
+
+Status Client::MultiPut(const std::vector<KVStore::BatchOp>& batch) {
+  std::string req;
+  EncodeMultiPutRequest(&req, next_id_++, batch);
+  Frame resp;
+  return RoundTrip(Op::kMultiPut, req, &resp, nullptr);
+}
+
+Status Client::Scan(
+    const Slice& start, uint32_t limit,
+    std::vector<std::pair<std::string, std::string>>* out) {
+  std::string req;
+  EncodeScanRequest(&req, next_id_++, start, limit);
+  Frame resp;
+  std::string payload;
+  Status s = RoundTrip(Op::kScan, req, &resp, &payload);
+  if (!s.ok()) return s;
+  return ParseScanPayload(payload, out);
+}
+
+Status Client::Stats(std::string* json) {
+  std::string req;
+  EncodeStatsRequest(&req, next_id_++);
+  Frame resp;
+  return RoundTrip(Op::kStats, req, &resp, json);
+}
+
+Status Client::Ping() {
+  std::string req;
+  EncodePingRequest(&req, next_id_++);
+  Frame resp;
+  return RoundTrip(Op::kPing, req, &resp, nullptr);
+}
+
+// Pipelined API. ------------------------------------------------------
+
+uint64_t Client::Enqueue(Op op, std::string encoded) {
+  sendbuf_.append(encoded);
+  const uint64_t id = next_id_ - 1;  // the id the encoder consumed
+  outstanding_.push_back({id, op});
+  return id;
+}
+
+uint64_t Client::SubmitGet(const Slice& key) {
+  std::string req;
+  EncodeGetRequest(&req, next_id_++, key);
+  return Enqueue(Op::kGet, std::move(req));
+}
+
+uint64_t Client::SubmitPut(const Slice& key, const Slice& value) {
+  std::string req;
+  EncodePutRequest(&req, next_id_++, key, value);
+  return Enqueue(Op::kPut, std::move(req));
+}
+
+uint64_t Client::SubmitDelete(const Slice& key) {
+  std::string req;
+  EncodeDeleteRequest(&req, next_id_++, key);
+  return Enqueue(Op::kDelete, std::move(req));
+}
+
+uint64_t Client::SubmitMultiPut(
+    const std::vector<KVStore::BatchOp>& batch) {
+  std::string req;
+  EncodeMultiPutRequest(&req, next_id_++, batch);
+  return Enqueue(Op::kMultiPut, std::move(req));
+}
+
+uint64_t Client::SubmitScan(const Slice& start, uint32_t limit) {
+  std::string req;
+  EncodeScanRequest(&req, next_id_++, start, limit);
+  return Enqueue(Op::kScan, std::move(req));
+}
+
+uint64_t Client::SubmitPing() {
+  std::string req;
+  EncodePingRequest(&req, next_id_++);
+  return Enqueue(Op::kPing, std::move(req));
+}
+
+Status Client::Flush() {
+  if (fd_ < 0) return NotConnected();
+  if (sendbuf_.empty()) return Status::OK();
+  std::string buf;
+  buf.swap(sendbuf_);
+  return SendAll(buf.data(), buf.size());
+}
+
+Status Client::WaitAll(std::vector<Result>* results) {
+  Status s = Flush();
+  if (!s.ok()) return s;
+  while (!outstanding_.empty()) {
+    Frame frame;
+    s = ReadFrame(&frame);
+    if (!s.ok()) {
+      outstanding_.clear();
+      return s;
+    }
+    if (!frame.response) {
+      FailConnection();
+      return Status::Corruption("protocol", "request frame from server");
+    }
+    // The server answers in request order; tolerate reordering anyway
+    // by searching the outstanding window for the id.
+    size_t idx = 0;
+    bool found = false;
+    for (size_t i = 0; i < outstanding_.size(); i++) {
+      if (outstanding_[i].id == frame.request_id) {
+        idx = i;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      FailConnection();
+      return Status::Corruption("protocol", "response for unknown id");
+    }
+    Result result;
+    result.id = frame.request_id;
+    result.op = outstanding_[idx].op;
+    if (frame.op != result.op) {
+      FailConnection();
+      return Status::Corruption("protocol", "response opcode mismatch");
+    }
+    if (frame.code != kOk) {
+      result.status = StatusFromWire(frame.code, frame.payload);
+    } else if (result.op == Op::kGet) {
+      result.value = frame.payload.ToString();
+    } else if (result.op == Op::kScan) {
+      result.status = ParseScanPayload(frame.payload, &result.entries);
+    } else if (result.op == Op::kStats) {
+      result.value = frame.payload.ToString();
+    }
+    outstanding_.erase(outstanding_.begin() + idx);
+    results->push_back(std::move(result));
+  }
+  return Status::OK();
+}
+
+}  // namespace net
+}  // namespace cachekv

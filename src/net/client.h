@@ -1,0 +1,125 @@
+#ifndef CACHEKV_NET_CLIENT_H_
+#define CACHEKV_NET_CLIENT_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/protocol.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace cachekv {
+namespace net {
+
+struct ClientOptions {
+  /// recv timeout on the socket; 0 disables (blocks forever).
+  uint32_t recv_timeout_ms = 60'000;
+  uint32_t connect_timeout_ms = 10'000;
+  size_t max_frame_bytes = kDefaultMaxFrameBody;
+};
+
+/// Client speaks the CacheKV wire protocol over one TCP connection
+/// (docs/SERVER.md).
+///
+/// Two usage styles share the connection:
+///   * synchronous calls (Put/Get/...) — one request, wait for its
+///     response;
+///   * pipelining — queue many requests with Submit*(), push them out
+///     with Flush(), then collect every response with WaitAll(). The
+///     server executes pipelined requests in order and may batch
+///     consecutive writes into one atomic commit.
+///
+/// A Client is NOT thread-safe: one connection, one thread (open one
+/// Client per thread for concurrency — connections are cheap). Any
+/// socket-level failure closes the connection; calls after that return
+/// IOError("not connected") until Connect() succeeds again.
+class Client {
+ public:
+  Client() : Client(ClientOptions()) {}
+  explicit Client(const ClientOptions& options);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  Status Connect(const std::string& host, uint16_t port);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  // Synchronous API. These fail with InvalidArgument while pipelined
+  // requests are outstanding (collect them first). ------------------
+
+  Status Put(const Slice& key, const Slice& value);
+  Status Get(const Slice& key, std::string* value);
+  Status Delete(const Slice& key);
+  Status MultiPut(const std::vector<KVStore::BatchOp>& batch);
+  Status Scan(const Slice& start, uint32_t limit,
+              std::vector<std::pair<std::string, std::string>>* out);
+  /// Server-side metrics dump (the registry JSON; see docs/SERVER.md).
+  Status Stats(std::string* json);
+  Status Ping();
+
+  // Pipelined API. --------------------------------------------------
+
+  /// Queues a request and returns its id (unique per connection).
+  /// Nothing is sent until Flush(); WaitAll() returns the responses.
+  uint64_t SubmitGet(const Slice& key);
+  uint64_t SubmitPut(const Slice& key, const Slice& value);
+  uint64_t SubmitDelete(const Slice& key);
+  uint64_t SubmitMultiPut(const std::vector<KVStore::BatchOp>& batch);
+  uint64_t SubmitScan(const Slice& start, uint32_t limit);
+  uint64_t SubmitPing();
+
+  /// Writes every queued request to the socket.
+  Status Flush();
+
+  /// One pipelined response.
+  struct Result {
+    uint64_t id = 0;
+    Op op = Op::kPing;
+    Status status;
+    /// GET: the value. SCAN: parse with ParseScanPayload via entries.
+    std::string value;
+    /// SCAN results (filled only for kScan).
+    std::vector<std::pair<std::string, std::string>> entries;
+  };
+
+  /// Flushes, then reads responses until every outstanding request is
+  /// answered. Responses are appended to *results in arrival (= request)
+  /// order. A transport error fails the call and closes the connection;
+  /// per-request errors land in each Result::status instead.
+  Status WaitAll(std::vector<Result>* results);
+
+  size_t outstanding() const { return outstanding_.size(); }
+
+ private:
+  struct PendingOp {
+    uint64_t id;
+    Op op;
+  };
+
+  uint64_t Enqueue(Op op, std::string encoded);
+  Status SendAll(const char* data, size_t len);
+  /// Reads until one complete frame is decoded into *frame.
+  Status ReadFrame(Frame* frame);
+  /// Runs one synchronous request end-to-end.
+  Status RoundTrip(Op op, const std::string& request, Frame* response,
+                   std::string* payload_out);
+  Status RequireIdle() const;
+  void FailConnection();
+
+  ClientOptions options_;
+  int fd_ = -1;
+  uint64_t next_id_ = 1;
+  std::string sendbuf_;
+  FrameDecoder decoder_;
+  std::deque<PendingOp> outstanding_;
+};
+
+}  // namespace net
+}  // namespace cachekv
+
+#endif  // CACHEKV_NET_CLIENT_H_

@@ -1,0 +1,373 @@
+#include "net/protocol.h"
+
+#include "util/coding.h"
+
+namespace cachekv {
+namespace net {
+
+namespace {
+
+constexpr uint8_t kFlagResponse = 0x01;
+
+/// Bounds-checked cursor primitives over a payload slice.
+bool GetU8(Slice* in, uint8_t* out) {
+  if (in->size() < 1) return false;
+  *out = static_cast<uint8_t>(in->data()[0]);
+  in->remove_prefix(1);
+  return true;
+}
+
+bool GetU32(Slice* in, uint32_t* out) {
+  if (in->size() < 4) return false;
+  *out = DecodeFixed32(in->data());
+  in->remove_prefix(4);
+  return true;
+}
+
+bool GetBytes(Slice* in, uint32_t len, Slice* out) {
+  if (in->size() < len) return false;
+  *out = Slice(in->data(), len);
+  in->remove_prefix(len);
+  return true;
+}
+
+Status DecodeError(const char* what) {
+  return Status::InvalidArgument("decode", what);
+}
+
+void AppendFrame(std::string* out, Op op, bool response, uint16_t code,
+                 uint64_t id, const Slice& payload) {
+  PutFixed32(out, static_cast<uint32_t>(kFrameFixedBody + payload.size()));
+  out->push_back(static_cast<char>(op));
+  out->push_back(response ? static_cast<char>(kFlagResponse) : 0);
+  char code_buf[2];
+  code_buf[0] = static_cast<char>(code & 0xff);
+  code_buf[1] = static_cast<char>(code >> 8);
+  out->append(code_buf, 2);
+  PutFixed64(out, id);
+  out->append(payload.data(), payload.size());
+}
+
+void AppendKey(std::string* out, const Slice& key) {
+  PutFixed32(out, static_cast<uint32_t>(key.size()));
+  out->append(key.data(), key.size());
+}
+
+}  // namespace
+
+bool ValidOp(uint8_t raw) {
+  return raw >= static_cast<uint8_t>(Op::kGet) &&
+         raw <= static_cast<uint8_t>(Op::kPing);
+}
+
+const char* OpName(Op op) {
+  switch (op) {
+    case Op::kGet: return "get";
+    case Op::kPut: return "put";
+    case Op::kDelete: return "del";
+    case Op::kMultiPut: return "multiput";
+    case Op::kScan: return "scan";
+    case Op::kStats: return "stats";
+    case Op::kPing: return "ping";
+  }
+  return "?";
+}
+
+const char* WireCodeName(uint16_t code) {
+  switch (code) {
+    case kOk: return "ok";
+    case kNotFound: return "not_found";
+    case kCorruption: return "corruption";
+    case kNotSupported: return "not_supported";
+    case kInvalidArgument: return "invalid_argument";
+    case kIOError: return "io_error";
+    case kBusy: return "busy";
+    case kOutOfSpace: return "out_of_space";
+    case kReadOnly: return "read_only";
+    case kDecodeError: return "decode_error";
+    case kTooLarge: return "too_large";
+    case kUnknownOp: return "unknown_op";
+  }
+  return "unknown_code";
+}
+
+uint16_t WireCodeOf(const Status& s) {
+  if (s.ok()) return kOk;
+  if (s.IsNotFound()) return kNotFound;
+  if (s.IsCorruption()) return kCorruption;
+  if (s.IsNotSupported()) return kNotSupported;
+  if (s.IsInvalidArgument()) return kInvalidArgument;
+  if (s.IsBusy()) return kBusy;
+  if (s.IsOutOfSpace()) return kOutOfSpace;
+  return kIOError;
+}
+
+Status StatusFromWire(uint16_t code, const Slice& message) {
+  switch (code) {
+    case kOk: return Status::OK();
+    case kNotFound: return Status::NotFound(message);
+    case kCorruption: return Status::Corruption(message);
+    case kNotSupported: return Status::NotSupported(message);
+    case kInvalidArgument: return Status::InvalidArgument(message);
+    case kBusy: return Status::Busy(message);
+    case kOutOfSpace: return Status::OutOfSpace(message);
+    case kReadOnly:
+      // Matches the local DB behavior: degraded writes surface as the
+      // sticky background IOError with "read-only" in the message.
+      return Status::IOError("read-only", message);
+    case kDecodeError:
+    case kTooLarge:
+    case kUnknownOp:
+      return Status::InvalidArgument(WireCodeName(code), message);
+    default: return Status::IOError(WireCodeName(code), message);
+  }
+}
+
+FrameDecoder::FrameDecoder(size_t max_frame_body)
+    : max_frame_body_(max_frame_body) {}
+
+void FrameDecoder::Feed(const char* data, size_t len) {
+  if (failed_) return;
+  // Drop the consumed prefix before it grows unbounded.
+  if (pos_ > 0 && (pos_ == buf_.size() || pos_ >= (64u << 10))) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  buf_.append(data, len);
+}
+
+FrameDecoder::Result FrameDecoder::Next(Frame* out) {
+  if (failed_) return Result::kError;
+  const size_t avail = buf_.size() - pos_;
+  if (avail < 4) return Result::kNeedMore;
+  const char* base = buf_.data() + pos_;
+  const uint32_t body_len = DecodeFixed32(base);
+  if (body_len < kFrameFixedBody) {
+    failed_ = true;
+    error_ = "frame body shorter than fixed header";
+    return Result::kError;
+  }
+  if (body_len > max_frame_body_) {
+    failed_ = true;
+    error_ = "frame exceeds the maximum frame size";
+    return Result::kError;
+  }
+  // Opcode and flags are validated as soon as they are present, so a
+  // garbage stream fails fast instead of stalling on a bogus length.
+  if (avail >= 6) {
+    const uint8_t raw_op = static_cast<uint8_t>(base[4]);
+    const uint8_t flags = static_cast<uint8_t>(base[5]);
+    if (!ValidOp(raw_op)) {
+      failed_ = true;
+      error_ = "unknown opcode";
+      return Result::kError;
+    }
+    if ((flags & ~kFlagResponse) != 0) {
+      failed_ = true;
+      error_ = "reserved flag bits set";
+      return Result::kError;
+    }
+  }
+  if (avail < 4u + body_len) return Result::kNeedMore;
+  out->op = static_cast<Op>(static_cast<uint8_t>(base[4]));
+  out->response = (static_cast<uint8_t>(base[5]) & kFlagResponse) != 0;
+  out->code = static_cast<uint16_t>(
+      static_cast<uint8_t>(base[6]) |
+      (static_cast<uint16_t>(static_cast<uint8_t>(base[7])) << 8));
+  out->request_id = DecodeFixed64(base + 8);
+  out->payload = Slice(base + kFrameHeaderBytes,
+                       body_len - kFrameFixedBody);
+  pos_ += 4u + body_len;
+  return Result::kFrame;
+}
+
+// Request encoders. ---------------------------------------------------
+
+void EncodeGetRequest(std::string* out, uint64_t id, const Slice& key) {
+  std::string payload;
+  AppendKey(&payload, key);
+  AppendFrame(out, Op::kGet, false, kOk, id, payload);
+}
+
+void EncodePutRequest(std::string* out, uint64_t id, const Slice& key,
+                      const Slice& value) {
+  std::string payload;
+  AppendKey(&payload, key);
+  PutFixed32(&payload, static_cast<uint32_t>(value.size()));
+  payload.append(value.data(), value.size());
+  AppendFrame(out, Op::kPut, false, kOk, id, payload);
+}
+
+void EncodeDeleteRequest(std::string* out, uint64_t id, const Slice& key) {
+  std::string payload;
+  AppendKey(&payload, key);
+  AppendFrame(out, Op::kDelete, false, kOk, id, payload);
+}
+
+void EncodeMultiPutRequest(std::string* out, uint64_t id,
+                           const std::vector<KVStore::BatchOp>& batch) {
+  std::string payload;
+  PutFixed32(&payload, static_cast<uint32_t>(batch.size()));
+  for (const KVStore::BatchOp& op : batch) {
+    payload.push_back(op.is_delete ? 1 : 0);
+    AppendKey(&payload, op.key);
+    PutFixed32(&payload, static_cast<uint32_t>(op.value.size()));
+    payload.append(op.value);
+  }
+  AppendFrame(out, Op::kMultiPut, false, kOk, id, payload);
+}
+
+void EncodeScanRequest(std::string* out, uint64_t id, const Slice& start,
+                       uint32_t limit) {
+  std::string payload;
+  AppendKey(&payload, start);
+  PutFixed32(&payload, limit);
+  AppendFrame(out, Op::kScan, false, kOk, id, payload);
+}
+
+void EncodeStatsRequest(std::string* out, uint64_t id) {
+  AppendFrame(out, Op::kStats, false, kOk, id, Slice());
+}
+
+void EncodePingRequest(std::string* out, uint64_t id) {
+  AppendFrame(out, Op::kPing, false, kOk, id, Slice());
+}
+
+// Response encoders. --------------------------------------------------
+
+void EncodeOkResponse(std::string* out, Op op, uint64_t id,
+                      const Slice& payload) {
+  AppendFrame(out, op, true, kOk, id, payload);
+}
+
+void EncodeErrorResponse(std::string* out, Op op, uint64_t id,
+                         uint16_t code, const Slice& message) {
+  AppendFrame(out, op, true, code, id, message);
+}
+
+void EncodeScanPayload(
+    std::string* out,
+    const std::vector<std::pair<std::string, std::string>>& entries) {
+  PutFixed32(out, static_cast<uint32_t>(entries.size()));
+  for (const auto& [key, value] : entries) {
+    PutFixed32(out, static_cast<uint32_t>(key.size()));
+    out->append(key);
+    PutFixed32(out, static_cast<uint32_t>(value.size()));
+    out->append(value);
+  }
+}
+
+// Payload parsers. ----------------------------------------------------
+
+namespace {
+
+Status ParseKey(Slice* in, Slice* key) {
+  uint32_t klen = 0;
+  if (!GetU32(in, &klen)) return DecodeError("truncated key length");
+  if (klen > kMaxKeyBytes) return DecodeError("key too large");
+  if (!GetBytes(in, klen, key)) return DecodeError("truncated key");
+  return Status::OK();
+}
+
+Status ParseValue(Slice* in, Slice* value) {
+  uint32_t vlen = 0;
+  if (!GetU32(in, &vlen)) return DecodeError("truncated value length");
+  if (!GetBytes(in, vlen, value)) return DecodeError("truncated value");
+  return Status::OK();
+}
+
+Status ExpectEmpty(const Slice& in) {
+  if (!in.empty()) return DecodeError("trailing bytes in payload");
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ParseGetRequest(const Slice& payload, GetRequest* out) {
+  Slice in = payload;
+  Status s = ParseKey(&in, &out->key);
+  if (!s.ok()) return s;
+  return ExpectEmpty(in);
+}
+
+Status ParsePutRequest(const Slice& payload, PutRequest* out) {
+  Slice in = payload;
+  Status s = ParseKey(&in, &out->key);
+  if (!s.ok()) return s;
+  s = ParseValue(&in, &out->value);
+  if (!s.ok()) return s;
+  return ExpectEmpty(in);
+}
+
+Status ParseDeleteRequest(const Slice& payload, DeleteRequest* out) {
+  Slice in = payload;
+  Status s = ParseKey(&in, &out->key);
+  if (!s.ok()) return s;
+  return ExpectEmpty(in);
+}
+
+Status ParseMultiPutRequest(const Slice& payload, MultiPutRequest* out) {
+  Slice in = payload;
+  uint32_t count = 0;
+  if (!GetU32(&in, &count)) return DecodeError("truncated batch count");
+  if (count > kMaxBatchCount) return DecodeError("batch count too large");
+  // Each op costs at least 10 bytes on the wire; a count announcing
+  // more ops than the payload could hold is rejected before reserving.
+  if (static_cast<uint64_t>(count) * 10 > in.size()) {
+    return DecodeError("batch count exceeds payload");
+  }
+  out->ops.clear();
+  out->ops.reserve(count);
+  for (uint32_t i = 0; i < count; i++) {
+    KVStore::BatchOp op;
+    uint8_t is_delete = 0;
+    if (!GetU8(&in, &is_delete)) return DecodeError("truncated batch op");
+    if (is_delete > 1) return DecodeError("bad is_delete flag");
+    op.is_delete = is_delete != 0;
+    Slice key, value;
+    Status s = ParseKey(&in, &key);
+    if (!s.ok()) return s;
+    s = ParseValue(&in, &value);
+    if (!s.ok()) return s;
+    if (op.is_delete && !value.empty()) {
+      return DecodeError("delete op carries a value");
+    }
+    op.key = key.ToString();
+    op.value = value.ToString();
+    out->ops.push_back(std::move(op));
+  }
+  return ExpectEmpty(in);
+}
+
+Status ParseScanRequest(const Slice& payload, ScanRequest* out) {
+  Slice in = payload;
+  Status s = ParseKey(&in, &out->start);
+  if (!s.ok()) return s;
+  if (!GetU32(&in, &out->limit)) return DecodeError("truncated scan limit");
+  return ExpectEmpty(in);
+}
+
+Status ParseScanPayload(
+    const Slice& payload,
+    std::vector<std::pair<std::string, std::string>>* out) {
+  Slice in = payload;
+  uint32_t count = 0;
+  if (!GetU32(&in, &count)) return DecodeError("truncated scan count");
+  if (static_cast<uint64_t>(count) * 8 > in.size()) {
+    return DecodeError("scan count exceeds payload");
+  }
+  out->clear();
+  out->reserve(count);
+  for (uint32_t i = 0; i < count; i++) {
+    Slice key, value;
+    Status s = ParseKey(&in, &key);
+    if (!s.ok()) return s;
+    s = ParseValue(&in, &value);
+    if (!s.ok()) return s;
+    out->emplace_back(key.ToString(), value.ToString());
+  }
+  return ExpectEmpty(in);
+}
+
+}  // namespace net
+}  // namespace cachekv

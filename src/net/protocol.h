@@ -1,0 +1,208 @@
+#ifndef CACHEKV_NET_PROTOCOL_H_
+#define CACHEKV_NET_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "baselines/kvstore.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace cachekv {
+namespace net {
+
+/// Wire protocol of the CacheKV network service (docs/SERVER.md).
+///
+/// Every message — request or response — is one length-prefixed frame:
+///
+///   offset  size  field
+///   0       4     body_len   (u32 LE; bytes after this field, >= 12)
+///   4       1     opcode     (Op below)
+///   5       1     flags      (bit 0: response)
+///   6       2     code       (u16 LE; WireCode; 0 in requests)
+///   8       8     request_id (u64 LE; echoed verbatim in the response)
+///   16      ...   payload    (body_len - 12 bytes, op-specific)
+///
+/// All integers are little-endian fixed width. Requests on one
+/// connection may be pipelined: the server replies to every request,
+/// in request order, carrying the request's id. Payload layouts:
+///
+///   GET  req:  u32 klen, key            resp: value bytes
+///   PUT  req:  u32 klen, key, u32 vlen, value
+///   DEL  req:  u32 klen, key
+///   MPUT req:  u32 count, count * { u8 is_delete, u32 klen, key,
+///                                   u32 vlen, value }
+///   SCAN req:  u32 start_klen, start key, u32 limit
+///        resp: u32 count, count * { u32 klen, key, u32 vlen, value }
+///   STATS req: empty                    resp: metrics JSON (UTF-8)
+///   PING req:  empty                    resp: empty
+///
+/// Error responses (code != kOk) carry a human-readable message as the
+/// payload regardless of opcode.
+
+enum class Op : uint8_t {
+  kGet = 1,
+  kPut = 2,
+  kDelete = 3,
+  kMultiPut = 4,
+  kScan = 5,
+  kStats = 6,
+  kPing = 7,
+};
+
+/// True when `raw` is a defined opcode.
+bool ValidOp(uint8_t raw);
+const char* OpName(Op op);
+
+/// Response status codes. 0-7 mirror Status codes so either side can
+/// translate losslessly; 100+ are protocol-level conditions with no
+/// Status equivalent.
+enum WireCode : uint16_t {
+  kOk = 0,
+  kNotFound = 1,
+  kCorruption = 2,
+  kNotSupported = 3,
+  kInvalidArgument = 4,
+  kIOError = 5,
+  kBusy = 6,
+  kOutOfSpace = 7,
+  /// The store degraded to read-only after a background failure
+  /// (docs/ROBUSTNESS.md); writes are rejected until the DB reopens.
+  kReadOnly = 100,
+  /// The request frame or payload failed to parse; the server closes
+  /// the connection after sending this.
+  kDecodeError = 101,
+  /// The request exceeded a server limit (frame size, scan limit).
+  kTooLarge = 102,
+  /// Valid frame, unknown opcode (client newer than server).
+  kUnknownOp = 103,
+};
+
+const char* WireCodeName(uint16_t code);
+
+/// Response code for `s` (OK => kOk, NotFound => kNotFound, ...).
+uint16_t WireCodeOf(const Status& s);
+
+/// Reconstructs a Status from a response code + message. kReadOnly maps
+/// to IOError (matching what DB::Put returns locally when degraded);
+/// kDecodeError/kTooLarge/kUnknownOp map to InvalidArgument.
+Status StatusFromWire(uint16_t code, const Slice& message);
+
+/// Fixed sizes of the frame layout above.
+constexpr size_t kFrameHeaderBytes = 16;  // length field + fixed body
+constexpr size_t kFrameFixedBody = 12;    // opcode..request_id
+/// Default cap on body_len; a peer announcing more is a decode error
+/// (rejected before any allocation).
+constexpr size_t kDefaultMaxFrameBody = 16u << 20;
+/// Individual field caps, enforced by the payload parsers.
+constexpr size_t kMaxKeyBytes = 64u << 10;
+constexpr uint32_t kMaxBatchCount = 1u << 20;
+constexpr uint32_t kMaxScanLimit = 1u << 20;
+
+/// One decoded frame. `payload` points into the decoder's buffer and is
+/// valid until the next Feed call.
+struct Frame {
+  Op op = Op::kPing;
+  bool response = false;
+  uint16_t code = kOk;
+  uint64_t request_id = 0;
+  Slice payload;
+};
+
+/// Incremental frame decoder: feed bytes in arbitrary chunks (a single
+/// byte at a time is fine), pull complete frames out. Malformed input —
+/// undersized/oversized body_len, unknown opcode — latches a permanent
+/// error; the caller should close the connection. The decoder never
+/// reads past the bytes it was fed and never allocates proportionally
+/// to a hostile length announcement.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(size_t max_frame_body = kDefaultMaxFrameBody);
+
+  /// Appends raw bytes from the peer.
+  void Feed(const char* data, size_t len);
+  void Feed(const Slice& data) { Feed(data.data(), data.size()); }
+
+  enum class Result { kFrame, kNeedMore, kError };
+
+  /// Extracts the next complete frame. kFrame: *out stays valid until
+  /// the next Feed call (Next never moves the buffer, so a batch of
+  /// frames can be pulled and processed together). kNeedMore: feed
+  /// more bytes. kError: the stream is corrupt (error() says why);
+  /// every later call returns kError too.
+  Result Next(Frame* out);
+
+  const std::string& error() const { return error_; }
+  size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  size_t max_frame_body_;  // non-const so decoders are re-assignable
+  std::string buf_;
+  size_t pos_ = 0;
+  bool failed_ = false;
+  std::string error_;
+};
+
+// Request encoding (client side). ------------------------------------
+
+void EncodeGetRequest(std::string* out, uint64_t id, const Slice& key);
+void EncodePutRequest(std::string* out, uint64_t id, const Slice& key,
+                      const Slice& value);
+void EncodeDeleteRequest(std::string* out, uint64_t id, const Slice& key);
+void EncodeMultiPutRequest(std::string* out, uint64_t id,
+                           const std::vector<KVStore::BatchOp>& batch);
+void EncodeScanRequest(std::string* out, uint64_t id, const Slice& start,
+                       uint32_t limit);
+void EncodeStatsRequest(std::string* out, uint64_t id);
+void EncodePingRequest(std::string* out, uint64_t id);
+
+// Response encoding (server side). -----------------------------------
+
+/// Success response with an op-specific payload (empty for writes).
+void EncodeOkResponse(std::string* out, Op op, uint64_t id,
+                      const Slice& payload = Slice());
+/// Error response; `message` becomes the payload.
+void EncodeErrorResponse(std::string* out, Op op, uint64_t id,
+                         uint16_t code, const Slice& message);
+/// Encodes the SCAN success payload.
+void EncodeScanPayload(
+    std::string* out,
+    const std::vector<std::pair<std::string, std::string>>& entries);
+
+// Request payload parsing (server side). All parsers are bounds-checked
+// against the payload slice; they never read outside it. -------------
+
+struct GetRequest {
+  Slice key;
+};
+struct PutRequest {
+  Slice key;
+  Slice value;
+};
+struct DeleteRequest {
+  Slice key;
+};
+struct MultiPutRequest {
+  std::vector<KVStore::BatchOp> ops;
+};
+struct ScanRequest {
+  Slice start;
+  uint32_t limit = 0;
+};
+
+Status ParseGetRequest(const Slice& payload, GetRequest* out);
+Status ParsePutRequest(const Slice& payload, PutRequest* out);
+Status ParseDeleteRequest(const Slice& payload, DeleteRequest* out);
+Status ParseMultiPutRequest(const Slice& payload, MultiPutRequest* out);
+Status ParseScanRequest(const Slice& payload, ScanRequest* out);
+
+/// Parses a SCAN success payload (client side).
+Status ParseScanPayload(
+    const Slice& payload,
+    std::vector<std::pair<std::string, std::string>>* out);
+
+}  // namespace net
+}  // namespace cachekv
+
+#endif  // CACHEKV_NET_PROTOCOL_H_

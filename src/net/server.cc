@@ -1,0 +1,771 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#if defined(__linux__)
+#include <sys/epoll.h>
+#define CACHEKV_NET_EPOLL 1
+#endif
+
+#include <cerrno>
+#include <cstring>
+#include <deque>
+
+#include "core/db.h"
+#include "fault/fail_point.h"
+#include "obs/trace.h"
+
+namespace cachekv {
+namespace net {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::IOError(what, std::strerror(errno));
+}
+
+Status SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Errno("fcntl O_NONBLOCK");
+  }
+  return Status::OK();
+}
+
+void DrainPipe(int fd) {
+  char buf[256];
+  while (::read(fd, buf, sizeof(buf)) > 0) {
+  }
+}
+
+void WakeByte(int fd) {
+  char b = 1;
+  ssize_t ignored = ::write(fd, &b, 1);
+  (void)ignored;
+}
+
+/// Span histogram name for one op's service latency (string literals:
+/// both the registry and the tracer only store the pointer).
+const char* OpHistogramName(Op op) {
+  switch (op) {
+    case Op::kGet: return "net.op.get";
+    case Op::kPut: return "net.op.put";
+    case Op::kDelete: return "net.op.del";
+    case Op::kMultiPut: return "net.op.multiput";
+    case Op::kScan: return "net.op.scan";
+    case Op::kStats: return "net.op.stats";
+    case Op::kPing: return "net.op.ping";
+  }
+  return "net.op.other";
+}
+
+const char* OpTraceName(Op op) {
+  switch (op) {
+    case Op::kGet: return "net.get";
+    case Op::kPut: return "net.put";
+    case Op::kDelete: return "net.del";
+    case Op::kMultiPut: return "net.multiput";
+    case Op::kScan: return "net.scan";
+    case Op::kStats: return "net.stats";
+    case Op::kPing: return "net.ping";
+  }
+  return "net.other";
+}
+
+}  // namespace
+
+/// One TCP connection; owned by exactly one worker thread.
+struct Server::Conn {
+  explicit Conn(int fd_in, size_t max_frame)
+      : fd(fd_in), decoder(max_frame) {}
+
+  int fd;
+  FrameDecoder decoder;
+  std::string out;
+  size_t out_pos = 0;
+  /// The poller currently watches for writability (out backlog).
+  bool want_write = false;
+};
+
+struct Server::Worker {
+  int index = 0;
+#if CACHEKV_NET_EPOLL
+  int epfd = -1;
+#endif
+  int wake_rd = -1;
+  int wake_wr = -1;
+  std::mutex mu;
+  std::deque<int> pending_fds;  // accepted, not yet adopted
+  std::unordered_map<int, std::unique_ptr<Conn>> conns;
+  std::thread thread;
+};
+
+Server::Server(DB* db, const ServerOptions& options)
+    : db_(db), options_(options) {
+  obs::MetricsRegistry* reg = db_->metrics();
+  accepts_ = reg->GetCounter("net.accepts");
+  requests_ = reg->GetCounter("net.requests");
+  bytes_in_ = reg->GetCounter("net.bytes_in");
+  bytes_out_ = reg->GetCounter("net.bytes_out");
+  decode_errors_ = reg->GetCounter("net.decode_errors");
+  batched_writes_ = reg->GetCounter("net.batched_writes");
+  batched_ops_ = reg->GetCounter("net.batched_ops");
+  connections_ = reg->GetGauge("net.connections");
+
+  batch_bytes_cap_ = options_.max_batch_bytes != 0
+                         ? options_.max_batch_bytes
+                         : db_->ApproxMultiPutCapacityBytes();
+}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::InvalidArgument("server already started");
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Errno("socket");
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad listen host", options_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    Status s = Errno("bind");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  if (::listen(listen_fd_, options_.listen_backlog) != 0) {
+    Status s = Errno("listen");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                    &addr_len) != 0) {
+    Status s = Errno("getsockname");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  port_ = ntohs(addr.sin_port);
+
+  Status s = SetNonBlocking(listen_fd_);
+  if (!s.ok()) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  if (::pipe(accept_wake_) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Errno("pipe");
+  }
+  SetNonBlocking(accept_wake_[0]);
+
+  const int num_workers = options_.num_workers > 0 ? options_.num_workers : 1;
+  workers_.clear();
+  for (int i = 0; i < num_workers; i++) {
+    auto w = std::make_unique<Worker>();
+    w->index = i;
+    int pipe_fds[2];
+    if (::pipe(pipe_fds) != 0) {
+      s = Errno("pipe");
+      break;
+    }
+    SetNonBlocking(pipe_fds[0]);
+    w->wake_rd = pipe_fds[0];
+    w->wake_wr = pipe_fds[1];
+#if CACHEKV_NET_EPOLL
+    w->epfd = ::epoll_create1(0);
+    if (w->epfd < 0) {
+      s = Errno("epoll_create1");
+      ::close(w->wake_rd);
+      ::close(w->wake_wr);
+      break;
+    }
+    epoll_event ev;
+    std::memset(&ev, 0, sizeof(ev));
+    ev.events = EPOLLIN;
+    ev.data.fd = w->wake_rd;
+    ::epoll_ctl(w->epfd, EPOLL_CTL_ADD, w->wake_rd, &ev);
+#endif
+    workers_.push_back(std::move(w));
+  }
+  if (!s.ok()) {
+    for (auto& w : workers_) {
+#if CACHEKV_NET_EPOLL
+      if (w->epfd >= 0) ::close(w->epfd);
+#endif
+      ::close(w->wake_rd);
+      ::close(w->wake_wr);
+    }
+    workers_.clear();
+    ::close(accept_wake_[0]);
+    ::close(accept_wake_[1]);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+
+  running_.store(true, std::memory_order_release);
+  for (auto& w : workers_) {
+    w->thread = std::thread(&Server::WorkerLoop, this, w.get());
+  }
+  accept_thread_ = std::thread(&Server::AcceptLoop, this);
+  return Status::OK();
+}
+
+void Server::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) {
+    return;
+  }
+  WakeByte(accept_wake_[1]);
+  if (accept_thread_.joinable()) {
+    accept_thread_.join();
+  }
+  for (auto& w : workers_) {
+    WakeByte(w->wake_wr);
+  }
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) {
+      w->thread.join();
+    }
+    // The worker closed its connections on exit; release the plumbing.
+    for (auto& [fd, conn] : w->conns) {
+      (void)conn;
+      ::close(fd);
+      connections_->Add(-1);
+    }
+    w->conns.clear();
+    {
+      std::lock_guard<std::mutex> lock(w->mu);
+      for (int fd : w->pending_fds) {
+        ::close(fd);
+      }
+      w->pending_fds.clear();
+    }
+#if CACHEKV_NET_EPOLL
+    if (w->epfd >= 0) ::close(w->epfd);
+#endif
+    ::close(w->wake_rd);
+    ::close(w->wake_wr);
+  }
+  workers_.clear();
+  ::close(accept_wake_[0]);
+  ::close(accept_wake_[1]);
+  accept_wake_[0] = accept_wake_[1] = -1;
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void Server::AcceptLoop() {
+  db_->trace()->SetThreadName("net-accept");
+  pollfd fds[2];
+  fds[0].fd = listen_fd_;
+  fds[0].events = POLLIN;
+  fds[1].fd = accept_wake_[0];
+  fds[1].events = POLLIN;
+  while (running_.load(std::memory_order_acquire)) {
+    fds[0].revents = fds[1].revents = 0;
+    int n = ::poll(fds, 2, 500);
+    if (n < 0 && errno != EINTR) {
+      break;
+    }
+    if (fds[1].revents != 0) {
+      DrainPipe(accept_wake_[0]);
+      continue;  // re-check running_
+    }
+    if ((fds[0].revents & POLLIN) == 0) {
+      continue;
+    }
+    while (true) {
+      int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd < 0) {
+        break;  // EAGAIN or transient error; poll again
+      }
+      if (fault::AnyActive() && !fault::Inject("net.accept").ok()) {
+        // Injected accept failure: the connection is dropped before it
+        // ever reaches a worker; the server itself stays healthy.
+        ::close(fd);
+        continue;
+      }
+      SetNonBlocking(fd);
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      accepts_->Increment();
+      connections_->Add(1);
+      db_->trace()->Instant("net.accept");
+      Worker* w = workers_[next_worker_.fetch_add(
+                               1, std::memory_order_relaxed) %
+                           workers_.size()]
+                      .get();
+      {
+        std::lock_guard<std::mutex> lock(w->mu);
+        w->pending_fds.push_back(fd);
+      }
+      WakeByte(w->wake_wr);
+    }
+  }
+}
+
+void Server::CloseConn(Worker* worker, int fd) {
+#if CACHEKV_NET_EPOLL
+  ::epoll_ctl(worker->epfd, EPOLL_CTL_DEL, fd, nullptr);
+#endif
+  worker->conns.erase(fd);
+  ::close(fd);
+  connections_->Add(-1);
+  db_->trace()->Instant("net.close");
+}
+
+void Server::WorkerLoop(Worker* worker) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "net-worker-%d", worker->index);
+  db_->trace()->SetThreadName(name);
+
+  char rbuf[64 << 10];
+  while (running_.load(std::memory_order_acquire)) {
+    // Collect the fds that are ready this round.
+    std::vector<std::pair<int, uint32_t>> ready;  // fd, POLLIN|POLLOUT
+    bool woke = false;
+#if CACHEKV_NET_EPOLL
+    epoll_event events[64];
+    int n = ::epoll_wait(worker->epfd, events, 64, 500);
+    if (n < 0 && errno != EINTR) {
+      break;
+    }
+    for (int i = 0; i < n; i++) {
+      if (events[i].data.fd == worker->wake_rd) {
+        woke = true;
+        continue;
+      }
+      uint32_t mask = 0;
+      if (events[i].events & (EPOLLIN | EPOLLERR | EPOLLHUP)) {
+        mask |= POLLIN;
+      }
+      if (events[i].events & EPOLLOUT) {
+        mask |= POLLOUT;
+      }
+      ready.emplace_back(static_cast<int>(events[i].data.fd), mask);
+    }
+#else
+    std::vector<pollfd> fds;
+    fds.reserve(worker->conns.size() + 1);
+    fds.push_back({worker->wake_rd, POLLIN, 0});
+    for (const auto& [fd, conn] : worker->conns) {
+      short ev = POLLIN;
+      if (conn->want_write) ev |= POLLOUT;
+      fds.push_back({fd, ev, 0});
+    }
+    int n = ::poll(fds.data(), fds.size(), 500);
+    if (n < 0 && errno != EINTR) {
+      break;
+    }
+    if (fds[0].revents != 0) {
+      woke = true;
+    }
+    for (size_t i = 1; i < fds.size(); i++) {
+      if (fds[i].revents != 0) {
+        uint32_t mask = 0;
+        if (fds[i].revents & (POLLIN | POLLERR | POLLHUP)) mask |= POLLIN;
+        if (fds[i].revents & POLLOUT) mask |= POLLOUT;
+        ready.emplace_back(fds[i].fd, mask);
+      }
+    }
+#endif
+    if (woke) {
+      DrainPipe(worker->wake_rd);
+      // Adopt connections handed over by the acceptor.
+      std::deque<int> adopted;
+      {
+        std::lock_guard<std::mutex> lock(worker->mu);
+        adopted.swap(worker->pending_fds);
+      }
+      for (int fd : adopted) {
+        worker->conns.emplace(
+            fd, std::make_unique<Conn>(fd, options_.max_frame_bytes));
+#if CACHEKV_NET_EPOLL
+        epoll_event ev;
+        std::memset(&ev, 0, sizeof(ev));
+        ev.events = EPOLLIN;
+        ev.data.fd = fd;
+        ::epoll_ctl(worker->epfd, EPOLL_CTL_ADD, fd, &ev);
+#endif
+      }
+    }
+
+    for (const auto& [fd, mask] : ready) {
+      auto it = worker->conns.find(fd);
+      if (it == worker->conns.end()) {
+        continue;  // closed earlier this round
+      }
+      Conn* conn = it->second.get();
+      bool alive = true;
+      if (mask & POLLIN) {
+        while (alive) {
+          if (fault::AnyActive() && !fault::Inject("net.read").ok()) {
+            alive = false;  // injected read failure closes the conn
+            break;
+          }
+          ssize_t got = ::recv(fd, rbuf, sizeof(rbuf), 0);
+          if (got > 0) {
+            bytes_in_->Increment(static_cast<uint64_t>(got));
+            conn->decoder.Feed(rbuf, static_cast<size_t>(got));
+            alive = ProcessFrames(conn);
+            if (got < static_cast<ssize_t>(sizeof(rbuf))) {
+              break;  // drained the socket
+            }
+          } else if (got == 0) {
+            alive = false;  // orderly peer close
+            break;
+          } else {
+            if (errno != EAGAIN && errno != EWOULDBLOCK &&
+                errno != EINTR) {
+              alive = false;
+            }
+            break;
+          }
+        }
+      }
+      if (alive && (mask & POLLOUT)) {
+        alive = FlushOut(conn);
+      }
+      if (!alive) {
+        CloseConn(worker, fd);
+        continue;
+      }
+      // (Re-)arm write interest to match the backlog.
+      const bool backlog = conn->out_pos < conn->out.size();
+      if (backlog != conn->want_write) {
+        conn->want_write = backlog;
+#if CACHEKV_NET_EPOLL
+        epoll_event ev;
+        std::memset(&ev, 0, sizeof(ev));
+        ev.events = EPOLLIN | (backlog ? static_cast<uint32_t>(EPOLLOUT) : 0u);
+        ev.data.fd = fd;
+        ::epoll_ctl(worker->epfd, EPOLL_CTL_MOD, fd, &ev);
+#endif
+      }
+    }
+  }
+
+  // Shutdown: close every connection this worker owns.
+  for (auto& [fd, conn] : worker->conns) {
+    (void)conn;
+#if CACHEKV_NET_EPOLL
+    ::epoll_ctl(worker->epfd, EPOLL_CTL_DEL, fd, nullptr);
+#endif
+    ::close(fd);
+    connections_->Add(-1);
+  }
+  worker->conns.clear();
+}
+
+bool Server::ProcessFrames(Conn* conn) {
+  // Pull every complete frame first: the span between "bytes arrived"
+  // and "responses written" is where pipelined writes batch.
+  std::vector<Frame> frames;
+  Frame frame;
+  FrameDecoder::Result r;
+  while ((r = conn->decoder.Next(&frame)) == FrameDecoder::Result::kFrame) {
+    frames.push_back(frame);
+  }
+  bool alive = true;
+  size_t i = 0;
+  while (i < frames.size()) {
+    if (frames[i].op == Op::kPut || frames[i].op == Op::kDelete) {
+      i = HandleWriteRun(conn, frames, i);
+    } else {
+      HandleRequest(conn, frames[i]);
+      i++;
+    }
+  }
+  if (r == FrameDecoder::Result::kError) {
+    // The stream is unrecoverable: report once, then close. The id is 0
+    // because the broken frame's id cannot be trusted.
+    decode_errors_->Increment();
+    EncodeErrorResponse(&conn->out, Op::kPing, 0, kDecodeError,
+                        conn->decoder.error());
+    alive = false;
+  }
+  return FlushOut(conn) && alive;
+}
+
+bool Server::RejectIfReadOnly(Conn* conn, Op op, uint64_t id) {
+  if (!db_->IsReadOnly()) {
+    return false;
+  }
+  EncodeErrorResponse(&conn->out, op, id, kReadOnly,
+                      db_->BackgroundError().ToString());
+  return true;
+}
+
+void Server::AppendWriteResponse(Conn* conn, Op op, uint64_t id,
+                                 const Status& s) {
+  if (s.ok()) {
+    EncodeOkResponse(&conn->out, op, id);
+  } else {
+    // A write refused because of background degradation surfaces as
+    // kReadOnly so clients can tell it from an ordinary IO error.
+    const uint16_t code =
+        db_->IsReadOnly() ? static_cast<uint16_t>(kReadOnly) : WireCodeOf(s);
+    EncodeErrorResponse(&conn->out, op, id, code, s.ToString());
+  }
+}
+
+size_t Server::HandleWriteRun(Conn* conn, const std::vector<Frame>& frames,
+                              size_t begin) {
+  // Gather the maximal batchable run under the caps.
+  std::vector<KVStore::BatchOp> batch;
+  size_t end = begin;
+  size_t batch_bytes = 0;
+  while (end < frames.size() && batch.size() < options_.max_batch_ops) {
+    const Frame& f = frames[end];
+    if (f.op != Op::kPut && f.op != Op::kDelete) {
+      break;
+    }
+    KVStore::BatchOp op;
+    if (f.op == Op::kPut) {
+      PutRequest req;
+      if (!ParsePutRequest(f.payload, &req).ok()) {
+        break;
+      }
+      op.key = req.key.ToString();
+      op.value = req.value.ToString();
+    } else {
+      DeleteRequest req;
+      if (!ParseDeleteRequest(f.payload, &req).ok()) {
+        break;
+      }
+      op.is_delete = true;
+      op.key = req.key.ToString();
+    }
+    // 64 bytes per record bounds the engine's framing overhead.
+    const size_t cost = op.key.size() + op.value.size() + 64;
+    if (batch_bytes_cap_ != 0 && !batch.empty() &&
+        batch_bytes + cost > batch_bytes_cap_) {
+      break;
+    }
+    batch_bytes += cost;
+    batch.push_back(std::move(op));
+    end++;
+  }
+  if (batch.size() <= 1) {
+    // Nothing to batch (lone write, or the first frame failed to
+    // parse); the single-op path owns its histogram and error.
+    HandleRequest(conn, frames[begin]);
+    return begin + 1;
+  }
+  // The whole run shares one service span: every request in it is
+  // answered by the same commit.
+  obs::SpanTimer span(db_->metrics(), "net.op.put");
+  requests_->Increment(batch.size());
+  if (db_->IsReadOnly()) {
+    const std::string message = db_->BackgroundError().ToString();
+    for (size_t i = begin; i < end; i++) {
+      EncodeErrorResponse(&conn->out, frames[i].op,
+                          frames[i].request_id, kReadOnly, message);
+    }
+    return end;
+  }
+  Status s;
+  {
+    obs::TraceScope trace(db_->trace(), "net.write_batch");
+    trace.AddArg("ops", batch.size());
+    s = db_->ApplyBatch(batch);
+    if (s.IsInvalidArgument() || s.IsOutOfSpace()) {
+      // The combined batch exceeded what one sub-MemTable holds (the
+      // caps are estimates); commit the run op by op instead — clients
+      // never asked for cross-request atomicity.
+      s = Status::OK();
+      for (size_t i = 0; i < batch.size() && s.ok(); i++) {
+        s = batch[i].is_delete ? db_->Delete(batch[i].key)
+                               : db_->Put(batch[i].key, batch[i].value);
+      }
+    }
+    if (s.ok()) {
+      batched_writes_->Increment();
+      batched_ops_->Increment(batch.size());
+    }
+  }
+  for (size_t i = begin; i < end; i++) {
+    AppendWriteResponse(conn, frames[i].op, frames[i].request_id, s);
+  }
+  return end;
+}
+
+void Server::HandleRequest(Conn* conn, const Frame& frame) {
+  requests_->Increment();
+  const Op op = frame.op;
+  const uint64_t id = frame.request_id;
+  obs::SpanTimer span(db_->metrics(), OpHistogramName(op));
+  obs::TraceScope trace(db_->trace(), OpTraceName(op));
+
+  if (frame.response) {
+    // A client must never send response frames; treat as decode error.
+    decode_errors_->Increment();
+    EncodeErrorResponse(&conn->out, op, id, kDecodeError,
+                        "response frame sent to server");
+    return;
+  }
+  if (fault::AnyActive()) {
+    Status injected = fault::Inject("net.decode");
+    if (!injected.ok()) {
+      decode_errors_->Increment();
+      EncodeErrorResponse(&conn->out, op, id, kDecodeError,
+                          injected.ToString());
+      return;
+    }
+  }
+
+  switch (op) {
+    case Op::kGet: {
+      GetRequest req;
+      Status s = ParseGetRequest(frame.payload, &req);
+      if (!s.ok()) {
+        decode_errors_->Increment();
+        EncodeErrorResponse(&conn->out, op, id, kDecodeError,
+                            s.ToString());
+        return;
+      }
+      std::string value;
+      s = db_->Get(req.key, &value);
+      if (s.ok()) {
+        EncodeOkResponse(&conn->out, op, id, value);
+      } else {
+        EncodeErrorResponse(&conn->out, op, id, WireCodeOf(s),
+                            s.ToString());
+      }
+      return;
+    }
+    case Op::kPut: {
+      PutRequest req;
+      Status s = ParsePutRequest(frame.payload, &req);
+      if (!s.ok()) {
+        decode_errors_->Increment();
+        EncodeErrorResponse(&conn->out, op, id, kDecodeError,
+                            s.ToString());
+        return;
+      }
+      if (RejectIfReadOnly(conn, op, id)) return;
+      AppendWriteResponse(conn, op, id, db_->Put(req.key, req.value));
+      return;
+    }
+    case Op::kDelete: {
+      DeleteRequest req;
+      Status s = ParseDeleteRequest(frame.payload, &req);
+      if (!s.ok()) {
+        decode_errors_->Increment();
+        EncodeErrorResponse(&conn->out, op, id, kDecodeError,
+                            s.ToString());
+        return;
+      }
+      if (RejectIfReadOnly(conn, op, id)) return;
+      AppendWriteResponse(conn, op, id, db_->Delete(req.key));
+      return;
+    }
+    case Op::kMultiPut: {
+      MultiPutRequest req;
+      Status s = ParseMultiPutRequest(frame.payload, &req);
+      if (!s.ok()) {
+        decode_errors_->Increment();
+        EncodeErrorResponse(&conn->out, op, id, kDecodeError,
+                            s.ToString());
+        return;
+      }
+      if (RejectIfReadOnly(conn, op, id)) return;
+      trace.AddArg("keys", req.ops.size());
+      AppendWriteResponse(conn, op, id, db_->ApplyBatch(req.ops));
+      return;
+    }
+    case Op::kScan: {
+      ScanRequest req;
+      Status s = ParseScanRequest(frame.payload, &req);
+      if (!s.ok()) {
+        decode_errors_->Increment();
+        EncodeErrorResponse(&conn->out, op, id, kDecodeError,
+                            s.ToString());
+        return;
+      }
+      if (req.limit > options_.max_scan_limit) {
+        EncodeErrorResponse(&conn->out, op, id, kTooLarge,
+                            "scan limit exceeds server maximum");
+        return;
+      }
+      std::vector<std::pair<std::string, std::string>> entries;
+      s = db_->Scan(req.start, req.limit, &entries);
+      if (!s.ok()) {
+        EncodeErrorResponse(&conn->out, op, id, WireCodeOf(s),
+                            s.ToString());
+        return;
+      }
+      trace.AddArg("entries", entries.size());
+      std::string payload;
+      EncodeScanPayload(&payload, entries);
+      EncodeOkResponse(&conn->out, op, id, payload);
+      return;
+    }
+    case Op::kStats: {
+      // Reuses the registry's canonical JSON dump (src/obs); the server
+      // adds no formatting of its own, so STATS and DB::DumpMetrics can
+      // never drift apart.
+      std::string json;
+      db_->DumpMetrics(&json);
+      EncodeOkResponse(&conn->out, op, id, json);
+      return;
+    }
+    case Op::kPing: {
+      EncodeOkResponse(&conn->out, op, id);
+      return;
+    }
+  }
+  EncodeErrorResponse(&conn->out, op, id, kUnknownOp, "unknown opcode");
+}
+
+bool Server::FlushOut(Conn* conn) {
+  while (conn->out_pos < conn->out.size()) {
+    if (fault::AnyActive() && !fault::Inject("net.write").ok()) {
+      return false;  // injected write failure closes the conn
+    }
+    ssize_t sent =
+        ::send(conn->fd, conn->out.data() + conn->out_pos,
+               conn->out.size() - conn->out_pos, MSG_NOSIGNAL);
+    if (sent > 0) {
+      bytes_out_->Increment(static_cast<uint64_t>(sent));
+      conn->out_pos += static_cast<size_t>(sent);
+    } else if (sent < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return true;  // poller will signal writability
+    } else if (sent < 0 && errno == EINTR) {
+      continue;
+    } else {
+      return false;
+    }
+  }
+  conn->out.clear();
+  conn->out_pos = 0;
+  return true;
+}
+
+}  // namespace net
+}  // namespace cachekv

@@ -1,0 +1,142 @@
+#ifndef CACHEKV_NET_SERVER_H_
+#define CACHEKV_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/protocol.h"
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace cachekv {
+
+class DB;
+
+namespace net {
+
+/// Tuning knobs of one Server instance (docs/SERVER.md).
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 binds an ephemeral port (read it back with port()).
+  uint16_t port = 0;
+  /// Worker event-loop threads; each connection is owned by exactly one
+  /// worker, so per-connection state needs no locking.
+  int num_workers = 2;
+  int listen_backlog = 128;
+  /// Frames whose announced body exceeds this are decode errors.
+  size_t max_frame_bytes = kDefaultMaxFrameBody;
+  /// Server-side cap on one SCAN response.
+  uint32_t max_scan_limit = 65536;
+  /// Caps on batching consecutive pipelined PUT/DEL requests into one
+  /// DB::ApplyBatch commit. max_batch_bytes == 0 derives the bound from
+  /// DB::ApproxMultiPutCapacityBytes().
+  size_t max_batch_ops = 64;
+  size_t max_batch_bytes = 0;
+};
+
+/// Server exposes one DB over TCP, speaking the length-prefixed frame
+/// protocol of net/protocol.h.
+///
+/// Threading: one acceptor thread multiplexes the listening socket; N
+/// worker threads each run an event loop (epoll on Linux, poll(2)
+/// elsewhere) over the connections assigned to them round-robin.
+/// Requests on a connection may be pipelined; responses are sent in
+/// request order. Runs of consecutive single-key PUT/DEL requests are
+/// committed as one atomic DB::ApplyBatch (bounded by the batch caps
+/// above) and acknowledged individually.
+///
+/// Integration: counters and per-op latency histograms go to the DB's
+/// MetricsRegistry under "net.*" (so STATS serves one unified dump),
+/// request spans to the DB's Tracer, and the accept/read/write/decode
+/// paths carry "net.*" fail points (src/fault). When the DB has
+/// degraded to read-only, write requests are rejected with the
+/// kReadOnly wire code carrying DB::BackgroundError().
+///
+/// Shutdown ordering: Stop() (or the destructor) quiesces the network
+/// layer — stops accepting, closes every connection, joins all threads
+/// — and must complete before the DB is destroyed; the DB never learns
+/// about the server, it only sees plain concurrent callers.
+class Server {
+ public:
+  Server(DB* db, const ServerOptions& options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens and starts the acceptor + worker threads.
+  Status Start();
+
+  /// Graceful shutdown; idempotent. Safe to call from a signal-driven
+  /// main loop. After Stop() returns no thread of this server touches
+  /// the DB again.
+  void Stop();
+
+  /// The bound TCP port (the actual one when options.port was 0).
+  /// Valid after a successful Start().
+  uint16_t port() const { return port_; }
+
+  bool running() const {
+    return running_.load(std::memory_order_acquire);
+  }
+
+ private:
+  struct Conn;
+  struct Worker;
+
+  void AcceptLoop();
+  void WorkerLoop(Worker* worker);
+  /// Pulls every complete frame out of the connection's decoder and
+  /// writes the responses. Returns false when the connection must
+  /// close (decode error, write failure).
+  bool ProcessFrames(Conn* conn);
+  /// Handles frames[begin..end) where [begin, end) is a maximal run of
+  /// single-key PUT/DEL requests: one ApplyBatch commit, one response
+  /// per request. Returns the first unconsumed index.
+  size_t HandleWriteRun(Conn* conn, const std::vector<Frame>& frames,
+                        size_t begin);
+  void HandleRequest(Conn* conn, const Frame& frame);
+  /// Appends the response for a completed write `s` (shared by the
+  /// single-op and batched paths).
+  void AppendWriteResponse(Conn* conn, Op op, uint64_t id,
+                           const Status& s);
+  /// Rejects a write when the store is read-only; true when rejected.
+  bool RejectIfReadOnly(Conn* conn, Op op, uint64_t id);
+  /// Flushes the connection's write buffer as far as the socket
+  /// accepts; false on a fatal socket error.
+  bool FlushOut(Conn* conn);
+  void CloseConn(Worker* worker, int fd);
+
+  DB* const db_;
+  const ServerOptions options_;
+  size_t batch_bytes_cap_ = 0;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  int accept_wake_[2] = {-1, -1};
+  std::atomic<bool> running_{false};
+  std::thread accept_thread_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::atomic<uint64_t> next_worker_{0};
+
+  // Cached "net.*" instruments (owned by the DB's registry).
+  obs::Counter* accepts_ = nullptr;
+  obs::Counter* requests_ = nullptr;
+  obs::Counter* bytes_in_ = nullptr;
+  obs::Counter* bytes_out_ = nullptr;
+  obs::Counter* decode_errors_ = nullptr;
+  obs::Counter* batched_writes_ = nullptr;
+  obs::Counter* batched_ops_ = nullptr;
+  obs::Gauge* connections_ = nullptr;
+};
+
+}  // namespace net
+}  // namespace cachekv
+
+#endif  // CACHEKV_NET_SERVER_H_

@@ -1,0 +1,473 @@
+// Wire-protocol codec tests (src/net/protocol.h): every op round-trips
+// through encode -> FrameDecoder -> parse; the decoder accepts bytes at
+// any granularity (byte-at-a-time, random split points) and rejects
+// truncated, oversized, and garbage input with a latched decode error —
+// never a crash or an out-of-bounds read.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/protocol.h"
+#include "util/random.h"
+
+namespace cachekv {
+namespace net {
+namespace {
+
+using Result = FrameDecoder::Result;
+
+/// Feeds the whole stream into *dec and expects exactly one frame. The
+/// caller owns the decoder so the frame's payload slice stays valid.
+Frame DecodeOne(FrameDecoder* dec, const std::string& stream) {
+  dec->Feed(stream.data(), stream.size());
+  Frame f;
+  EXPECT_EQ(Result::kFrame, dec->Next(&f)) << dec->error();
+  Frame extra;
+  EXPECT_EQ(Result::kNeedMore, dec->Next(&extra));
+  EXPECT_EQ(0u, dec->buffered());
+  return f;
+}
+
+TEST(NetProtocolTest, GetRoundTrip) {
+  std::string stream;
+  EncodeGetRequest(&stream, 7, "the-key");
+  FrameDecoder dec;
+  Frame f = DecodeOne(&dec, stream);
+  EXPECT_EQ(Op::kGet, f.op);
+  EXPECT_FALSE(f.response);
+  EXPECT_EQ(kOk, f.code);
+  EXPECT_EQ(7u, f.request_id);
+  GetRequest req;
+  ASSERT_TRUE(ParseGetRequest(f.payload, &req).ok());
+  EXPECT_EQ("the-key", req.key.ToString());
+}
+
+TEST(NetProtocolTest, PutRoundTrip) {
+  std::string stream;
+  const std::string value(1000, 'v');
+  EncodePutRequest(&stream, 8, "k", value);
+  FrameDecoder dec;
+  Frame f = DecodeOne(&dec, stream);
+  EXPECT_EQ(Op::kPut, f.op);
+  EXPECT_EQ(8u, f.request_id);
+  PutRequest req;
+  ASSERT_TRUE(ParsePutRequest(f.payload, &req).ok());
+  EXPECT_EQ("k", req.key.ToString());
+  EXPECT_EQ(value, req.value.ToString());
+}
+
+TEST(NetProtocolTest, PutEmptyValueRoundTrip) {
+  std::string stream;
+  EncodePutRequest(&stream, 9, "k", "");
+  PutRequest req;
+  FrameDecoder dec;
+  ASSERT_TRUE(ParsePutRequest(DecodeOne(&dec, stream).payload, &req).ok());
+  EXPECT_EQ("k", req.key.ToString());
+  EXPECT_TRUE(req.value.empty());
+}
+
+TEST(NetProtocolTest, DeleteRoundTrip) {
+  std::string stream;
+  EncodeDeleteRequest(&stream, 10, "gone");
+  FrameDecoder dec;
+  Frame f = DecodeOne(&dec, stream);
+  EXPECT_EQ(Op::kDelete, f.op);
+  DeleteRequest req;
+  ASSERT_TRUE(ParseDeleteRequest(f.payload, &req).ok());
+  EXPECT_EQ("gone", req.key.ToString());
+}
+
+TEST(NetProtocolTest, MultiPutRoundTrip) {
+  std::vector<KVStore::BatchOp> batch;
+  batch.push_back({false, "a", "1"});
+  batch.push_back({true, "b", ""});
+  batch.push_back({false, "c", std::string(300, 'x')});
+  std::string stream;
+  EncodeMultiPutRequest(&stream, 11, batch);
+  FrameDecoder dec;
+  Frame f = DecodeOne(&dec, stream);
+  EXPECT_EQ(Op::kMultiPut, f.op);
+  MultiPutRequest req;
+  ASSERT_TRUE(ParseMultiPutRequest(f.payload, &req).ok());
+  ASSERT_EQ(batch.size(), req.ops.size());
+  for (size_t i = 0; i < batch.size(); i++) {
+    EXPECT_EQ(batch[i].is_delete, req.ops[i].is_delete);
+    EXPECT_EQ(batch[i].key, req.ops[i].key);
+    EXPECT_EQ(batch[i].value, req.ops[i].value);
+  }
+}
+
+TEST(NetProtocolTest, ScanRoundTrip) {
+  std::string stream;
+  EncodeScanRequest(&stream, 12, "start-here", 99);
+  FrameDecoder dec;
+  Frame f = DecodeOne(&dec, stream);
+  EXPECT_EQ(Op::kScan, f.op);
+  ScanRequest req;
+  ASSERT_TRUE(ParseScanRequest(f.payload, &req).ok());
+  EXPECT_EQ("start-here", req.start.ToString());
+  EXPECT_EQ(99u, req.limit);
+}
+
+TEST(NetProtocolTest, StatsAndPingRoundTrip) {
+  std::string stream;
+  EncodeStatsRequest(&stream, 13);
+  EncodePingRequest(&stream, 14);
+  FrameDecoder dec;
+  dec.Feed(stream.data(), stream.size());
+  Frame f;
+  ASSERT_EQ(Result::kFrame, dec.Next(&f));
+  EXPECT_EQ(Op::kStats, f.op);
+  EXPECT_EQ(13u, f.request_id);
+  EXPECT_TRUE(f.payload.empty());
+  ASSERT_EQ(Result::kFrame, dec.Next(&f));
+  EXPECT_EQ(Op::kPing, f.op);
+  EXPECT_EQ(14u, f.request_id);
+  EXPECT_TRUE(f.payload.empty());
+}
+
+TEST(NetProtocolTest, ResponseRoundTrip) {
+  std::string stream;
+  EncodeOkResponse(&stream, Op::kGet, 21, "hello");
+  EncodeErrorResponse(&stream, Op::kPut, 22, kReadOnly, "flush failed");
+  FrameDecoder dec;
+  dec.Feed(stream.data(), stream.size());
+  Frame f;
+  ASSERT_EQ(Result::kFrame, dec.Next(&f));
+  EXPECT_EQ(Op::kGet, f.op);
+  EXPECT_TRUE(f.response);
+  EXPECT_EQ(kOk, f.code);
+  EXPECT_EQ(21u, f.request_id);
+  EXPECT_EQ("hello", f.payload.ToString());
+  ASSERT_EQ(Result::kFrame, dec.Next(&f));
+  EXPECT_TRUE(f.response);
+  EXPECT_EQ(kReadOnly, f.code);
+  EXPECT_EQ(22u, f.request_id);
+  Status s = StatusFromWire(f.code, f.payload);
+  EXPECT_TRUE(s.IsIOError());
+  EXPECT_NE(std::string::npos, s.ToString().find("read-only"));
+  EXPECT_NE(std::string::npos, s.ToString().find("flush failed"));
+}
+
+TEST(NetProtocolTest, ScanPayloadRoundTrip) {
+  std::vector<std::pair<std::string, std::string>> entries = {
+      {"a", "1"}, {"b", std::string(100, 'q')}, {"c", ""}};
+  std::string payload;
+  EncodeScanPayload(&payload, entries);
+  std::vector<std::pair<std::string, std::string>> decoded;
+  ASSERT_TRUE(ParseScanPayload(payload, &decoded).ok());
+  EXPECT_EQ(entries, decoded);
+}
+
+TEST(NetProtocolTest, WireCodeStatusMappingIsLossless) {
+  const Status statuses[] = {
+      Status::OK(),
+      Status::NotFound("x"),
+      Status::Corruption("x"),
+      Status::NotSupported("x"),
+      Status::InvalidArgument("x"),
+      Status::IOError("x"),
+      Status::Busy("x"),
+      Status::OutOfSpace("x"),
+  };
+  for (const Status& s : statuses) {
+    const Status back = StatusFromWire(WireCodeOf(s), "x");
+    EXPECT_EQ(s.ok(), back.ok()) << s.ToString();
+    EXPECT_EQ(s.IsNotFound(), back.IsNotFound()) << s.ToString();
+    EXPECT_EQ(s.IsCorruption(), back.IsCorruption()) << s.ToString();
+    EXPECT_EQ(s.IsNotSupported(), back.IsNotSupported()) << s.ToString();
+    EXPECT_EQ(s.IsInvalidArgument(), back.IsInvalidArgument())
+        << s.ToString();
+    EXPECT_EQ(s.IsIOError(), back.IsIOError()) << s.ToString();
+    EXPECT_EQ(s.IsBusy(), back.IsBusy()) << s.ToString();
+    EXPECT_EQ(s.IsOutOfSpace(), back.IsOutOfSpace()) << s.ToString();
+  }
+}
+
+// Incremental delivery. ----------------------------------------------
+
+TEST(NetProtocolTest, ByteAtATimeDelivery) {
+  std::string stream;
+  EncodePutRequest(&stream, 33, "incremental-key", "incremental-value");
+  FrameDecoder dec;
+  Frame f;
+  for (size_t i = 0; i + 1 < stream.size(); i++) {
+    dec.Feed(stream.data() + i, 1);
+    ASSERT_EQ(Result::kNeedMore, dec.Next(&f))
+        << "frame complete after " << (i + 1) << "/" << stream.size()
+        << " bytes";
+  }
+  dec.Feed(stream.data() + stream.size() - 1, 1);
+  ASSERT_EQ(Result::kFrame, dec.Next(&f));
+  EXPECT_EQ(33u, f.request_id);
+  PutRequest req;
+  ASSERT_TRUE(ParsePutRequest(f.payload, &req).ok());
+  EXPECT_EQ("incremental-key", req.key.ToString());
+}
+
+TEST(NetProtocolTest, RandomSplitDelivery) {
+  // A stream of many mixed frames, delivered at random split points;
+  // every frame must come out intact and in order regardless of the
+  // chunking. Frames are consumed after each Feed (payload slices are
+  // only valid until the next Feed call).
+  std::string stream;
+  const int kFrames = 200;
+  for (int i = 0; i < kFrames; i++) {
+    const uint64_t id = static_cast<uint64_t>(i);
+    switch (i % 4) {
+      case 0: EncodeGetRequest(&stream, id, "key" + std::to_string(i)); break;
+      case 1:
+        EncodePutRequest(&stream, id, "key" + std::to_string(i),
+                         std::string(static_cast<size_t>(i % 97), 'v'));
+        break;
+      case 2: EncodePingRequest(&stream, id); break;
+      case 3:
+        EncodeScanRequest(&stream, id, "s", static_cast<uint32_t>(i));
+        break;
+    }
+  }
+  for (uint64_t seed = 1; seed <= 5; seed++) {
+    Random rng(seed);
+    FrameDecoder dec;
+    uint64_t next_id = 0;
+    size_t off = 0;
+    while (off < stream.size()) {
+      const size_t n = std::min<size_t>(
+          stream.size() - off, 1 + rng.Uniform(97));
+      dec.Feed(stream.data() + off, n);
+      off += n;
+      Frame f;
+      Result r;
+      while ((r = dec.Next(&f)) == Result::kFrame) {
+        ASSERT_EQ(next_id, f.request_id) << "seed " << seed;
+        next_id++;
+      }
+      ASSERT_EQ(Result::kNeedMore, r) << dec.error();
+    }
+    EXPECT_EQ(static_cast<uint64_t>(kFrames), next_id);
+    EXPECT_EQ(0u, dec.buffered());
+  }
+}
+
+// Malformed input. ----------------------------------------------------
+
+std::string U32Le(uint32_t v) {
+  std::string s(4, '\0');
+  s[0] = static_cast<char>(v & 0xff);
+  s[1] = static_cast<char>((v >> 8) & 0xff);
+  s[2] = static_cast<char>((v >> 16) & 0xff);
+  s[3] = static_cast<char>((v >> 24) & 0xff);
+  return s;
+}
+
+TEST(NetProtocolTest, UndersizedBodyLenIsError) {
+  FrameDecoder dec;
+  const std::string bad = U32Le(3);  // < kFrameFixedBody
+  dec.Feed(bad.data(), bad.size());
+  Frame f;
+  EXPECT_EQ(Result::kError, dec.Next(&f));
+  EXPECT_FALSE(dec.error().empty());
+}
+
+TEST(NetProtocolTest, OversizedBodyLenRejectedBeforePayloadArrives) {
+  // A hostile length announcement fails immediately — the decoder never
+  // waits for (or allocates) the announced bytes.
+  FrameDecoder dec(/*max_frame_body=*/1024);
+  const std::string bad = U32Le(1u << 30);
+  dec.Feed(bad.data(), bad.size());
+  Frame f;
+  EXPECT_EQ(Result::kError, dec.Next(&f));
+  EXPECT_NE(std::string::npos, dec.error().find("maximum frame size"));
+}
+
+TEST(NetProtocolTest, UnknownOpcodeIsError) {
+  std::string bad = U32Le(kFrameFixedBody);
+  bad.push_back(static_cast<char>(0x7f));  // opcode
+  bad.push_back(0);                        // flags
+  FrameDecoder dec;
+  dec.Feed(bad.data(), bad.size());
+  Frame f;
+  EXPECT_EQ(Result::kError, dec.Next(&f));
+  EXPECT_NE(std::string::npos, dec.error().find("opcode"));
+}
+
+TEST(NetProtocolTest, ReservedFlagBitsAreError) {
+  std::string bad = U32Le(kFrameFixedBody);
+  bad.push_back(static_cast<char>(Op::kPing));
+  bad.push_back(static_cast<char>(0xf0));  // reserved bits
+  FrameDecoder dec;
+  dec.Feed(bad.data(), bad.size());
+  Frame f;
+  EXPECT_EQ(Result::kError, dec.Next(&f));
+}
+
+TEST(NetProtocolTest, ErrorLatchesPermanently) {
+  FrameDecoder dec;
+  const std::string bad = U32Le(1);
+  dec.Feed(bad.data(), bad.size());
+  Frame f;
+  ASSERT_EQ(Result::kError, dec.Next(&f));
+  // A valid frame fed afterwards must not resurrect the stream.
+  std::string good;
+  EncodePingRequest(&good, 1);
+  dec.Feed(good.data(), good.size());
+  EXPECT_EQ(Result::kError, dec.Next(&f));
+}
+
+TEST(NetProtocolTest, GarbageStreamNeverCrashes) {
+  // Random byte soup: the decoder must either error out or keep asking
+  // for more, without crashing or reading out of bounds (the CI runs
+  // this under ASan).
+  for (uint64_t seed = 1; seed <= 20; seed++) {
+    Random rng(seed);
+    FrameDecoder dec;
+    bool dead = false;
+    for (int chunk = 0; chunk < 64 && !dead; chunk++) {
+      std::string bytes;
+      const size_t n = 1 + rng.Uniform(128);
+      for (size_t i = 0; i < n; i++) {
+        bytes.push_back(static_cast<char>(rng.Uniform(256)));
+      }
+      dec.Feed(bytes.data(), bytes.size());
+      Frame f;
+      Result r;
+      while ((r = dec.Next(&f)) == Result::kFrame) {
+        // Touch the payload to give ASan a chance to catch over-reads.
+        (void)f.payload.ToString();
+      }
+      dead = (r == Result::kError);
+    }
+  }
+}
+
+TEST(NetProtocolTest, SingleByteCorruptionNeverCrashes) {
+  // Flip each byte of a valid two-frame stream in turn; decoding plus
+  // parsing must stay memory-safe for every mutation.
+  std::string stream;
+  EncodePutRequest(&stream, 1, "key", "value");
+  EncodeScanRequest(&stream, 2, "s", 10);
+  for (size_t i = 0; i < stream.size(); i++) {
+    std::string mutated = stream;
+    mutated[i] = static_cast<char>(mutated[i] ^ 0xff);
+    FrameDecoder dec;
+    dec.Feed(mutated.data(), mutated.size());
+    Frame f;
+    while (dec.Next(&f) == Result::kFrame) {
+      PutRequest put;
+      ScanRequest scan;
+      switch (f.op) {
+        case Op::kPut: (void)ParsePutRequest(f.payload, &put); break;
+        case Op::kScan: (void)ParseScanRequest(f.payload, &scan); break;
+        default: (void)f.payload.ToString(); break;
+      }
+    }
+  }
+}
+
+TEST(NetProtocolTest, TruncatedPayloadsFailCleanly) {
+  // Build each request, then decode with the payload cut short at every
+  // possible point: the parser must return InvalidArgument, never crash.
+  std::string get, put, del, mput, scan;
+  EncodeGetRequest(&get, 1, "some-key");
+  EncodePutRequest(&put, 2, "some-key", "some-value");
+  EncodeDeleteRequest(&del, 3, "some-key");
+  EncodeMultiPutRequest(&mput, 4, {{false, "a", "1"}, {true, "b", ""}});
+  EncodeScanRequest(&scan, 5, "start", 10);
+  struct Case {
+    const std::string* stream;
+    Op op;
+  };
+  const Case cases[] = {{&get, Op::kGet},
+                        {&put, Op::kPut},
+                        {&del, Op::kDelete},
+                        {&mput, Op::kMultiPut},
+                        {&scan, Op::kScan}};
+  for (const Case& c : cases) {
+    FrameDecoder dec;
+    Frame f = DecodeOne(&dec, *c.stream);
+    ASSERT_EQ(c.op, f.op);
+    for (size_t cut = 0; cut < f.payload.size(); cut++) {
+      const Slice truncated(f.payload.data(), cut);
+      Status s;
+      GetRequest g;
+      PutRequest p;
+      DeleteRequest d;
+      MultiPutRequest m;
+      ScanRequest sc;
+      switch (c.op) {
+        case Op::kGet: s = ParseGetRequest(truncated, &g); break;
+        case Op::kPut: s = ParsePutRequest(truncated, &p); break;
+        case Op::kDelete: s = ParseDeleteRequest(truncated, &d); break;
+        case Op::kMultiPut: s = ParseMultiPutRequest(truncated, &m); break;
+        case Op::kScan: s = ParseScanRequest(truncated, &sc); break;
+        default: FAIL();
+      }
+      EXPECT_TRUE(s.IsInvalidArgument())
+          << OpName(c.op) << " cut at " << cut << ": " << s.ToString();
+    }
+  }
+}
+
+TEST(NetProtocolTest, TrailingPayloadBytesRejected) {
+  std::string stream;
+  EncodeGetRequest(&stream, 1, "k");
+  FrameDecoder dec;
+  Frame f = DecodeOne(&dec, stream);
+  std::string padded = f.payload.ToString() + "extra";
+  GetRequest req;
+  EXPECT_TRUE(ParseGetRequest(padded, &req).IsInvalidArgument());
+}
+
+TEST(NetProtocolTest, OversizedKeyRejectedByParser) {
+  std::string payload = U32Le(static_cast<uint32_t>(kMaxKeyBytes + 1));
+  payload.append(kMaxKeyBytes + 1, 'k');
+  GetRequest req;
+  Status s = ParseGetRequest(payload, &req);
+  ASSERT_TRUE(s.IsInvalidArgument());
+  EXPECT_NE(std::string::npos, s.ToString().find("key too large"));
+}
+
+TEST(NetProtocolTest, MultiPutCountExceedingPayloadRejected) {
+  // count = 1M but almost no payload behind it: must be rejected before
+  // any proportional allocation happens.
+  std::string payload = U32Le(kMaxBatchCount);
+  payload.append(16, '\0');
+  MultiPutRequest req;
+  Status s = ParseMultiPutRequest(payload, &req);
+  ASSERT_TRUE(s.IsInvalidArgument());
+  EXPECT_NE(std::string::npos,
+            s.ToString().find("batch count exceeds payload"));
+}
+
+TEST(NetProtocolTest, MultiPutDeleteWithValueRejected) {
+  std::string payload = U32Le(1);
+  payload.push_back(1);  // is_delete
+  payload += U32Le(1);
+  payload += "k";
+  payload += U32Le(1);  // a delete must not carry a value
+  payload += "v";
+  MultiPutRequest req;
+  EXPECT_TRUE(ParseMultiPutRequest(payload, &req).IsInvalidArgument());
+}
+
+TEST(NetProtocolTest, DecoderCompactsConsumedPrefix) {
+  // Long-lived connections must not grow the receive buffer without
+  // bound: after consuming >64 KiB the decoder drops the dead prefix.
+  FrameDecoder dec;
+  std::string stream;
+  EncodePutRequest(&stream, 1, "k", std::string(8192, 'v'));
+  for (int i = 0; i < 64; i++) {
+    dec.Feed(stream.data(), stream.size());
+    Frame f;
+    ASSERT_EQ(Result::kFrame, dec.Next(&f));
+    ASSERT_EQ(Result::kNeedMore, dec.Next(&f));
+  }
+  EXPECT_EQ(0u, dec.buffered());
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace cachekv

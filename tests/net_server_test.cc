@@ -1,0 +1,395 @@
+// Client <-> server integration tests: an in-process Server on an
+// ephemeral port, driven through the real TCP client library.
+// Covers the op surface against shadow maps (concurrent clients),
+// pipelined write batching, STATS serving the registry dump, armed
+// net.* fail points surfacing as clean client errors while the server
+// stays up, read-only degradation over the wire, and the acceptance
+// case: killing the server mid-load and reopening the store loses no
+// acknowledged write.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/db.h"
+#include "fault/fail_point.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "pmem/pmem_env.h"
+#include "util/json.h"
+
+namespace cachekv {
+namespace {
+
+EnvOptions TestEnv(uint64_t pool_bytes) {
+  EnvOptions o;
+  o.pmem_capacity = 256ull << 20;
+  o.llc_capacity = 16ull << 20;
+  o.cat_locked_bytes = pool_bytes;
+  o.latency.scale = 0;
+  return o;
+}
+
+CacheKVOptions TestDb() {
+  CacheKVOptions o;
+  o.pool_bytes = 2ull << 20;
+  o.sub_memtable_bytes = 128ull << 10;
+  o.min_sub_memtable_bytes = 64ull << 10;
+  o.num_cores = 2;
+  o.bg_backoff_base_ms = 1;
+  o.bg_backoff_max_ms = 4;
+  o.write_stall_timeout_ms = 2000;
+  o.lsm.background_compaction = false;
+  return o;
+}
+
+class NetServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fault::FailPointRegistry::Global()->DisableAll();
+    opts_ = TestDb();
+    env_ = std::make_unique<PmemEnv>(TestEnv(opts_.pool_bytes));
+    ASSERT_TRUE(DB::Open(env_.get(), opts_, false, &db_).ok());
+  }
+
+  void TearDown() override {
+    if (server_) server_->Stop();
+    if (db_) db_->WaitIdle();
+    fault::FailPointRegistry::Global()->DisableAll();
+  }
+
+  void StartServer(net::ServerOptions srv = net::ServerOptions()) {
+    srv.port = 0;  // ephemeral
+    server_ = std::make_unique<net::Server>(db_.get(), srv);
+    ASSERT_TRUE(server_->Start().ok());
+    ASSERT_NE(0, server_->port());
+  }
+
+  void MakeClient(net::Client* client) {
+    ASSERT_TRUE(client->Connect("127.0.0.1", server_->port()).ok());
+  }
+
+  CacheKVOptions opts_;
+  std::unique_ptr<PmemEnv> env_;
+  std::unique_ptr<DB> db_;
+  std::unique_ptr<net::Server> server_;
+};
+
+TEST_F(NetServerTest, BasicOpsRoundTrip) {
+  StartServer();
+  net::Client client;
+  MakeClient(&client);
+
+  ASSERT_TRUE(client.Ping().ok());
+  ASSERT_TRUE(client.Put("alpha", "1").ok());
+  ASSERT_TRUE(client.Put("beta", "2").ok());
+  ASSERT_TRUE(client.Put("gamma", "3").ok());
+
+  std::string value;
+  ASSERT_TRUE(client.Get("beta", &value).ok());
+  EXPECT_EQ("2", value);
+  EXPECT_TRUE(client.Get("missing", &value).IsNotFound());
+
+  ASSERT_TRUE(client.Delete("beta").ok());
+  EXPECT_TRUE(client.Get("beta", &value).IsNotFound());
+
+  // MultiPut commits atomically server-side via DB::ApplyBatch.
+  ASSERT_TRUE(client
+                  .MultiPut({{false, "delta", "4"},
+                             {true, "gamma", ""},
+                             {false, "epsilon", "5"}})
+                  .ok());
+  ASSERT_TRUE(client.Get("delta", &value).ok());
+  EXPECT_EQ("4", value);
+  EXPECT_TRUE(client.Get("gamma", &value).IsNotFound());
+
+  std::vector<std::pair<std::string, std::string>> entries;
+  ASSERT_TRUE(client.Scan("", 10, &entries).ok());
+  ASSERT_EQ(3u, entries.size());  // alpha, delta, epsilon — in order
+  EXPECT_EQ("alpha", entries[0].first);
+  EXPECT_EQ("delta", entries[1].first);
+  EXPECT_EQ("epsilon", entries[2].first);
+
+  ASSERT_TRUE(client.Scan("b", 1, &entries).ok());
+  ASSERT_EQ(1u, entries.size());
+  EXPECT_EQ("delta", entries[0].first);
+}
+
+TEST_F(NetServerTest, ScanLimitAboveServerMaximumRejected) {
+  net::ServerOptions srv;
+  srv.max_scan_limit = 4;
+  StartServer(srv);
+  net::Client client;
+  MakeClient(&client);
+  std::vector<std::pair<std::string, std::string>> entries;
+  ASSERT_TRUE(client.Scan("", 4, &entries).ok());
+  Status s = client.Scan("", 5, &entries);
+  ASSERT_TRUE(s.IsInvalidArgument()) << s.ToString();
+  EXPECT_NE(std::string::npos, s.ToString().find("too_large"));
+  // The rejection is per-request; the connection stays usable.
+  EXPECT_TRUE(client.Ping().ok());
+}
+
+TEST_F(NetServerTest, ConcurrentClientsAgainstShadowMaps) {
+  StartServer();
+  constexpr int kThreads = 4;
+  constexpr int kOps = 400;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&, t] {
+      net::Client client;
+      if (!client.Connect("127.0.0.1", server_->port()).ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      // Disjoint per-thread key prefixes; every thread maintains its own
+      // shadow map and verifies against it at the end.
+      std::map<std::string, std::string> shadow;
+      const std::string prefix = "t" + std::to_string(t) + "-";
+      for (int i = 0; i < kOps; i++) {
+        const std::string key = prefix + std::to_string(i % 50);
+        if (i % 7 == 3) {
+          if (!client.Delete(key).ok()) failures.fetch_add(1);
+          shadow.erase(key);
+        } else {
+          const std::string value =
+              "v" + std::to_string(t) + "." + std::to_string(i);
+          if (!client.Put(key, value).ok()) failures.fetch_add(1);
+          shadow[key] = value;
+        }
+      }
+      for (const auto& [key, want] : shadow) {
+        std::string got;
+        if (!client.Get(key, &got).ok() || got != want) {
+          failures.fetch_add(1);
+        }
+      }
+      // Every key this thread deleted last must stay gone.
+      for (int i = 0; i < 50; i++) {
+        const std::string key = prefix + std::to_string(i);
+        if (shadow.count(key)) continue;
+        std::string got;
+        if (!client.Get(key, &got).IsNotFound()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(0, failures.load());
+}
+
+TEST_F(NetServerTest, PipelinedWritesAreBatchedAndAcknowledged) {
+  StartServer();
+  net::Client client;
+  MakeClient(&client);
+
+  const uint64_t batched_before = db_->CounterValue("net.batched_writes");
+  constexpr int kPipelined = 48;
+  for (int i = 0; i < kPipelined; i++) {
+    client.SubmitPut("pipe" + std::to_string(i),
+                     "value" + std::to_string(i));
+  }
+  std::vector<net::Client::Result> results;
+  ASSERT_TRUE(client.WaitAll(&results).ok());
+  ASSERT_EQ(static_cast<size_t>(kPipelined), results.size());
+  for (const auto& r : results) {
+    EXPECT_TRUE(r.status.ok()) << r.status.ToString();
+    EXPECT_EQ(net::Op::kPut, r.op);
+  }
+  // Pipelined consecutive PUTs landed as at least one ApplyBatch commit
+  // (the whole flight arrives before the server starts responding).
+  EXPECT_GT(db_->CounterValue("net.batched_writes"), batched_before);
+  EXPECT_GE(db_->CounterValue("net.batched_ops"), 2u);
+
+  for (int i = 0; i < kPipelined; i++) {
+    std::string got;
+    ASSERT_TRUE(client.Get("pipe" + std::to_string(i), &got).ok());
+    EXPECT_EQ("value" + std::to_string(i), got);
+  }
+
+  // Mixed pipelined flight: responses arrive in request order with
+  // matching ids, reads interleaved with writes.
+  const uint64_t id_put = client.SubmitPut("pipe0", "rewritten");
+  const uint64_t id_get = client.SubmitGet("pipe0");
+  const uint64_t id_del = client.SubmitDelete("pipe1");
+  const uint64_t id_miss = client.SubmitGet("pipe1");
+  results.clear();
+  ASSERT_TRUE(client.WaitAll(&results).ok());
+  ASSERT_EQ(4u, results.size());
+  EXPECT_EQ(id_put, results[0].id);
+  EXPECT_TRUE(results[0].status.ok());
+  EXPECT_EQ(id_get, results[1].id);
+  ASSERT_TRUE(results[1].status.ok());
+  EXPECT_EQ("rewritten", results[1].value);
+  EXPECT_EQ(id_del, results[2].id);
+  EXPECT_TRUE(results[2].status.ok());
+  EXPECT_EQ(id_miss, results[3].id);
+  EXPECT_TRUE(results[3].status.IsNotFound());
+}
+
+TEST_F(NetServerTest, StatsServesTheRegistryDump) {
+  StartServer();
+  net::Client client;
+  MakeClient(&client);
+  ASSERT_TRUE(client.Put("k", "v").ok());
+  std::string json;
+  ASSERT_TRUE(client.Stats(&json).ok());
+
+  // STATS is DB::DumpMetrics verbatim: one parseable document holding
+  // both the network-layer and the storage-engine instruments.
+  JsonValue doc;
+  ASSERT_TRUE(JsonValue::Parse(json, &doc).ok()) << json;
+  EXPECT_NE(nullptr, doc.Get("net.requests"));
+  EXPECT_NE(nullptr, doc.Get("net.connections"));
+  EXPECT_NE(nullptr, doc.Get("db.puts"));
+  std::string local;
+  db_->DumpMetrics(&local);
+  JsonValue local_doc;
+  ASSERT_TRUE(JsonValue::Parse(local, &local_doc).ok());
+  EXPECT_NE(nullptr, local_doc.Get("net.requests"));
+}
+
+TEST_F(NetServerTest, InjectedReadFaultClosesOneConnNotTheServer) {
+  StartServer();
+  auto* reg = fault::FailPointRegistry::Global();
+  net::Client victim;
+  MakeClient(&victim);
+  ASSERT_TRUE(victim.Ping().ok());
+
+  // Armed net.read: the next socket read on the victim's worker fails,
+  // the server closes that connection, and the client surfaces a clean
+  // transport error — no hang, no crash.
+  ASSERT_TRUE(reg->Enable("net.read", "once,error:io").ok());
+  Status s = victim.Put("doomed", "x");
+  EXPECT_FALSE(s.ok());
+  EXPECT_FALSE(victim.connected());
+  EXPECT_GE(reg->FireCount("net.read"), 1u);
+  reg->DisableAll();
+
+  // The server keeps serving fresh connections.
+  net::Client survivor;
+  MakeClient(&survivor);
+  EXPECT_TRUE(survivor.Ping().ok());
+  EXPECT_TRUE(survivor.Put("alive", "yes").ok());
+}
+
+TEST_F(NetServerTest, InjectedDecodeFaultIsAPerRequestError) {
+  StartServer();
+  auto* reg = fault::FailPointRegistry::Global();
+  net::Client client;
+  MakeClient(&client);
+  ASSERT_TRUE(reg->Enable("net.decode", "once,error:io").ok());
+  Status s = client.Ping();
+  ASSERT_TRUE(s.IsInvalidArgument()) << s.ToString();
+  EXPECT_NE(std::string::npos, s.ToString().find("decode_error"));
+  reg->DisableAll();
+  // Per-request failure: the same connection keeps working.
+  EXPECT_TRUE(client.connected());
+  EXPECT_TRUE(client.Ping().ok());
+}
+
+TEST_F(NetServerTest, ReadOnlyDegradationSurfacesOverTheWire) {
+  StartServer();
+  auto* reg = fault::FailPointRegistry::Global();
+  // Exhaust the flush retry budget: every copy-flush attempt fails, the
+  // background-error manager degrades the store to read-only.
+  ASSERT_TRUE(reg->Enable("flush.copy", "always,error:io").ok());
+  const std::string filler(512, 'f');
+  for (int i = 0; i < 20000 && !db_->IsReadOnly(); i++) {
+    (void)db_->Put("fill" + std::to_string(i), filler);
+  }
+  db_->WaitIdle();
+  ASSERT_TRUE(db_->IsReadOnly());
+
+  net::Client client;
+  MakeClient(&client);
+  Status s = client.Put("rejected", "x");
+  ASSERT_TRUE(s.IsIOError()) << s.ToString();
+  EXPECT_NE(std::string::npos, s.ToString().find("read-only"));
+  s = client.MultiPut({{false, "also-rejected", "x"}});
+  EXPECT_TRUE(s.IsIOError()) << s.ToString();
+  // Reads keep working while degraded.
+  std::string got;
+  EXPECT_TRUE(client.Get("fill0", &got).ok());
+  EXPECT_TRUE(client.Ping().ok());
+  reg->DisableAll();
+}
+
+TEST_F(NetServerTest, ServerKillMidLoadLosesNoAcknowledgedWrite) {
+  StartServer();
+  constexpr int kWriters = 3;
+  std::vector<std::map<std::string, std::string>> acked(kWriters);
+  std::vector<std::thread> writers;
+  std::atomic<bool> stop{false};
+  for (int t = 0; t < kWriters; t++) {
+    writers.emplace_back([&, t] {
+      net::Client client;
+      if (!client.Connect("127.0.0.1", server_->port()).ok()) return;
+      for (int i = 0; !stop.load(std::memory_order_relaxed); i++) {
+        const std::string key =
+            "crash-t" + std::to_string(t) + "-" + std::to_string(i);
+        const std::string value =
+            "durable-" + std::to_string(t) + "." + std::to_string(i);
+        // Only responses that actually came back count as acknowledged;
+        // the write cut off by the shutdown never enters the map.
+        if (!client.Put(key, value).ok()) break;
+        acked[static_cast<size_t>(t)][key] = value;
+      }
+    });
+  }
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  server_->Stop();  // hard cut: every in-flight connection drops
+  stop.store(true);
+  for (auto& th : writers) th.join();
+  server_.reset();
+
+  size_t total = 0;
+  for (const auto& m : acked) total += m.size();
+  ASSERT_GT(total, 100u) << "load phase too short to mean anything";
+
+  // Crash the machine under the store and recover from PMem alone.
+  db_->WaitIdle();
+  db_.reset();
+  env_->SimulateCrash();
+  std::unique_ptr<DB> reopened;
+  ASSERT_TRUE(DB::Open(env_.get(), opts_, true, &reopened).ok());
+  for (const auto& m : acked) {
+    for (const auto& [key, want] : m) {
+      std::string got;
+      Status s = reopened->Get(key, &got);
+      ASSERT_TRUE(s.ok()) << "acknowledged write lost: " << key << ": "
+                          << s.ToString();
+      EXPECT_EQ(want, got) << key;
+    }
+  }
+  db_ = std::move(reopened);
+}
+
+TEST_F(NetServerTest, StopIsIdempotentAndRestartable) {
+  StartServer();
+  net::Client client;
+  MakeClient(&client);
+  ASSERT_TRUE(client.Put("k", "v").ok());
+  server_->Stop();
+  server_->Stop();  // idempotent
+  EXPECT_FALSE(server_->running());
+
+  // A fresh server over the same DB picks the data right up.
+  server_ = std::make_unique<net::Server>(db_.get(), net::ServerOptions());
+  ASSERT_TRUE(server_->Start().ok());
+  net::Client again;
+  MakeClient(&again);
+  std::string got;
+  ASSERT_TRUE(again.Get("k", &got).ok());
+  EXPECT_EQ("v", got);
+}
+
+}  // namespace
+}  // namespace cachekv

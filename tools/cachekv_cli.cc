@@ -1,0 +1,197 @@
+// cachekv_cli — interactive REPL over the network client library,
+// mirroring examples/kv_shell.cc but against a remote cachekv_server.
+//
+//   $ ./build/tools/cachekv_cli --connect 127.0.0.1:7070
+//   > put language C++20
+//   OK
+//   > get language
+//   C++20
+//
+// Commands: put <k> <v> | get <k> | del <k> | multiput <k1> <v1> ...
+//           scan [start] [limit] | stats | ping | pipe <n> | help
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "net/client.h"
+
+using namespace cachekv;
+
+namespace {
+
+void PrintHelp() {
+  std::printf(
+      "commands:\n"
+      "  put <key> <value>          insert or update\n"
+      "  get <key>                  point lookup\n"
+      "  del <key>                  delete\n"
+      "  multiput <k> <v> [...]     atomic multi-key transaction\n"
+      "  scan [start] [limit]       ordered scan (default limit 10)\n"
+      "  stats                      server metrics dump (JSON)\n"
+      "  ping                       round-trip check\n"
+      "  pipe <n>                   pipeline n gets of key0..key<n-1>\n"
+      "  help                       this text\n");
+}
+
+bool SplitHostPort(const std::string& arg, std::string* host,
+                   uint16_t* port) {
+  const size_t colon = arg.rfind(':');
+  if (colon == std::string::npos || colon + 1 >= arg.size()) {
+    return false;
+  }
+  *host = arg.substr(0, colon);
+  *port = static_cast<uint16_t>(std::atoi(arg.c_str() + colon + 1));
+  return *port != 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  uint16_t port = 7070;
+  for (int i = 1; i < argc; i++) {
+    if (std::strcmp(argv[i], "--connect") == 0 && i + 1 < argc) {
+      if (!SplitHostPort(argv[++i], &host, &port)) {
+        std::fprintf(stderr, "bad --connect, want host:port\n");
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--connect host:port]   (default "
+                   "127.0.0.1:7070)\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  net::Client client;
+  Status s = client.Connect(host, port);
+  if (!s.ok()) {
+    std::fprintf(stderr, "connect %s:%u: %s\n", host.c_str(), port,
+                 s.ToString().c_str());
+    return 1;
+  }
+  std::printf("connected to %s:%u — 'help' for commands, EOF to exit\n",
+              host.c_str(), port);
+
+  std::string line;
+  while (std::printf("> "), std::fflush(stdout),
+         std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string cmd;
+    in >> cmd;
+    if (cmd.empty()) continue;
+    if (cmd == "quit" || cmd == "exit") break;
+
+    if (cmd == "help") {
+      PrintHelp();
+    } else if (cmd == "put") {
+      std::string k, v;
+      if (!(in >> k >> v)) {
+        std::printf("usage: put <key> <value>\n");
+        continue;
+      }
+      std::printf("%s\n", client.Put(k, v).ToString().c_str());
+    } else if (cmd == "get") {
+      std::string k;
+      if (!(in >> k)) {
+        std::printf("usage: get <key>\n");
+        continue;
+      }
+      std::string value;
+      Status st = client.Get(k, &value);
+      std::printf("%s\n",
+                  st.ok() ? value.c_str() : st.ToString().c_str());
+    } else if (cmd == "del") {
+      std::string k;
+      if (!(in >> k)) {
+        std::printf("usage: del <key>\n");
+        continue;
+      }
+      std::printf("%s\n", client.Delete(k).ToString().c_str());
+    } else if (cmd == "multiput") {
+      std::vector<KVStore::BatchOp> batch;
+      std::string k, v;
+      while (in >> k >> v) {
+        batch.push_back({false, k, v});
+      }
+      if (batch.empty()) {
+        std::printf("usage: multiput <k1> <v1> [<k2> <v2> ...]\n");
+        continue;
+      }
+      Status st = client.MultiPut(batch);
+      std::printf("%s (%zu keys, one atomic commit)\n",
+                  st.ToString().c_str(), batch.size());
+    } else if (cmd == "scan") {
+      std::string start;
+      uint32_t limit = 10;
+      in >> start >> limit;
+      std::vector<std::pair<std::string, std::string>> entries;
+      Status st = client.Scan(start, limit, &entries);
+      if (!st.ok()) {
+        std::printf("%s\n", st.ToString().c_str());
+        continue;
+      }
+      for (const auto& [key, value] : entries) {
+        std::printf("  %s = %s\n", key.c_str(), value.c_str());
+      }
+      std::printf("(%zu entr%s)\n", entries.size(),
+                  entries.size() == 1 ? "y" : "ies");
+    } else if (cmd == "stats") {
+      std::string json;
+      Status st = client.Stats(&json);
+      std::printf("%s\n",
+                  st.ok() ? json.c_str() : st.ToString().c_str());
+    } else if (cmd == "ping") {
+      auto t0 = std::chrono::steady_clock::now();
+      Status st = client.Ping();
+      auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+      if (st.ok()) {
+        std::printf("pong (%lld us)\n", static_cast<long long>(us));
+      } else {
+        std::printf("%s\n", st.ToString().c_str());
+      }
+    } else if (cmd == "pipe") {
+      int n = 0;
+      if (!(in >> n) || n <= 0) {
+        std::printf("usage: pipe <n>\n");
+        continue;
+      }
+      for (int i = 0; i < n; i++) {
+        client.SubmitGet("key" + std::to_string(i));
+      }
+      std::vector<net::Client::Result> results;
+      Status st = client.WaitAll(&results);
+      if (!st.ok()) {
+        std::printf("%s\n", st.ToString().c_str());
+        continue;
+      }
+      int hits = 0;
+      for (const auto& r : results) {
+        if (r.status.ok()) hits++;
+      }
+      std::printf("%zu responses, %d hits (one pipelined flight)\n",
+                  results.size(), hits);
+    } else {
+      std::printf("unknown command '%s' — try 'help'\n", cmd.c_str());
+    }
+
+    if (!client.connected()) {
+      std::printf("connection lost; reconnecting...\n");
+      Status rc = client.Connect(host, port);
+      if (!rc.ok()) {
+        std::fprintf(stderr, "reconnect: %s\n", rc.ToString().c_str());
+        return 1;
+      }
+    }
+  }
+  std::printf("\nbye\n");
+  return 0;
+}

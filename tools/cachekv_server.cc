@@ -1,0 +1,158 @@
+// cachekv_server — standalone network daemon serving one CacheKV store
+// over the wire protocol of docs/SERVER.md.
+//
+//   $ ./build/tools/cachekv_server --port 7070 --workers 4
+//   cachekv_server listening on 127.0.0.1:7070 (workers=4)
+//
+// The store runs on the simulated PMem platform (src/pmem), so data
+// lives for the lifetime of the process; SIGINT/SIGTERM shut down
+// gracefully in the required order: network layer first (no thread
+// touches the DB afterwards), then DB background work, then the store.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "core/db.h"
+#include "net/server.h"
+#include "pmem/pmem_env.h"
+
+using namespace cachekv;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleSignal(int) { g_stop = 1; }
+
+void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options]\n"
+      "  --host ADDR       listen address (default 127.0.0.1)\n"
+      "  --port N          TCP port, 0 = ephemeral (default 7070)\n"
+      "  --workers N       worker event-loop threads (default 2)\n"
+      "  --pool-mb N       CAT-locked sub-MemTable pool MB (default 12)\n"
+      "  --pmem-mb N       simulated PMem capacity MB (default 1024)\n"
+      "  --cores N         per-core writer slots (default 8)\n"
+      "  --latency-scale X PMem latency model scale (default 1.0)\n"
+      "  --trace           enable event tracing (also: CACHEKV_TRACE)\n",
+      argv0);
+}
+
+bool ParseArg(int argc, char** argv, int* i, const char* name,
+              const char** value) {
+  if (std::strcmp(argv[*i], name) != 0) return false;
+  if (*i + 1 >= argc) {
+    std::fprintf(stderr, "%s needs a value\n", name);
+    std::exit(2);
+  }
+  *value = argv[++*i];
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  int port = 7070;
+  int workers = 2;
+  uint64_t pool_mb = 12;
+  uint64_t pmem_mb = 1024;
+  int cores = 8;
+  double latency_scale = 1.0;
+  bool trace = false;
+
+  for (int i = 1; i < argc; i++) {
+    const char* v = nullptr;
+    if (ParseArg(argc, argv, &i, "--host", &v)) {
+      host = v;
+    } else if (ParseArg(argc, argv, &i, "--port", &v)) {
+      port = std::atoi(v);
+    } else if (ParseArg(argc, argv, &i, "--workers", &v)) {
+      workers = std::atoi(v);
+    } else if (ParseArg(argc, argv, &i, "--pool-mb", &v)) {
+      pool_mb = std::strtoull(v, nullptr, 10);
+    } else if (ParseArg(argc, argv, &i, "--pmem-mb", &v)) {
+      pmem_mb = std::strtoull(v, nullptr, 10);
+    } else if (ParseArg(argc, argv, &i, "--cores", &v)) {
+      cores = std::atoi(v);
+    } else if (ParseArg(argc, argv, &i, "--latency-scale", &v)) {
+      latency_scale = std::atof(v);
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      trace = true;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      Usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown option %s\n", argv[i]);
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+
+  EnvOptions env_opts;
+  env_opts.pmem_capacity = pmem_mb << 20;
+  env_opts.cat_locked_bytes = pool_mb << 20;
+  env_opts.latency.scale = latency_scale;
+  Status s = PmemEnv::ValidateOptions(env_opts);
+  if (!s.ok()) {
+    std::fprintf(stderr, "bad platform options: %s\n",
+                 s.ToString().c_str());
+    return 1;
+  }
+  PmemEnv env(env_opts);
+
+  CacheKVOptions db_opts;
+  db_opts.pool_bytes = pool_mb << 20;
+  db_opts.num_cores = cores;
+  db_opts.trace_enabled = trace;
+
+  std::unique_ptr<DB> db;
+  s = DB::Open(&env, db_opts, /*recover=*/false, &db);
+  if (!s.ok()) {
+    std::fprintf(stderr, "open: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  net::ServerOptions srv_opts;
+  srv_opts.host = host;
+  srv_opts.port = static_cast<uint16_t>(port);
+  srv_opts.num_workers = workers;
+  net::Server server(db.get(), srv_opts);
+  s = server.Start();
+  if (!s.ok()) {
+    std::fprintf(stderr, "start: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("cachekv_server listening on %s:%u (workers=%d)\n",
+              host.c_str(), server.port(), workers);
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (g_stop == 0) {
+    // Sleep in short slices so signals turn around promptly.
+    struct timespec ts = {0, 200'000'000};
+    nanosleep(&ts, nullptr);
+  }
+
+  std::printf("shutting down...\n");
+  std::fflush(stdout);
+  // Ordering contract (docs/SERVER.md): quiesce the network layer
+  // before the store so no request thread can race DB teardown.
+  server.Stop();
+  Status idle = db->WaitIdle();
+  if (!idle.ok()) {
+    std::fprintf(stderr, "background error at shutdown: %s\n",
+                 idle.ToString().c_str());
+  }
+  const uint64_t requests = db->CounterValue("net.requests");
+  db.reset();
+  std::printf("served %llu requests; bye\n",
+              static_cast<unsigned long long>(requests));
+  return 0;
+}
