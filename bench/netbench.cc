@@ -13,7 +13,14 @@
 //   # self-contained (spawns an in-process server on an ephemeral port):
 //   $ ./build/bench/netbench
 //
-// Reads are verified against the deterministic ValueFor() payloads; a
+//   # sharded: 4 in-process shards, client-side routing, per-shard
+//   # throughput rows (net-shard-0..3) in the report:
+//   $ ./build/bench/netbench --shards 4
+//
+// With --shards N (or when connecting to a sharded server), every
+// thread uses a ShardedClient: each op is routed to its owning shard's
+// connection and the whole fan-out flight is awaited together. Reads
+// are verified against the deterministic ValueFor() payloads; a
 // mismatched value, transport failure, or unexpected error status all
 // count into "errors" (the CI smoke asserts the count stays zero).
 
@@ -24,12 +31,14 @@
 #include <memory>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "core/db.h"
 #include "harness.h"
 #include "net/client.h"
 #include "net/server.h"
+#include "net/shard_router.h"
 #include "pmem/pmem_env.h"
 #include "report.h"
 #include "util/histogram.h"
@@ -54,6 +63,10 @@ struct Config {
   bool preload = true;
   double latency_scale = 1.0;
   int workers = 2;
+  /// > 1 enables the sharded path: self-contained mode spawns this many
+  /// in-process shards; connect mode routes with the server's map (the
+  /// real shard count then comes from the fetched ring).
+  int shards = 1;
   uint64_t seed = 42;
 };
 
@@ -63,6 +76,7 @@ struct ThreadStats {
   uint64_t found = 0;
   uint64_t not_found = 0;
   uint64_t errors = 0;
+  std::vector<uint64_t> shard_ops;  // sharded mode: ops routed per shard
   Histogram get_ns;
   Histogram put_ns;
   double seconds = 0;
@@ -107,6 +121,37 @@ bool PreloadStripe(net::Client* client, const Config& cfg, int tid) {
     if (!r.status.ok()) return false;
   }
   return true;
+}
+
+/// Collects every outstanding pipelined response on every shard
+/// connection; false on any transport or per-request failure.
+bool DrainAllShards(net::ShardedClient* client) {
+  for (uint32_t s = 0; s < client->num_shards(); s++) {
+    net::Client* conn = client->shard_client(s);
+    if (conn->outstanding() == 0) continue;
+    std::vector<net::Client::Result> results;
+    if (!conn->WaitAll(&results).ok()) return false;
+    for (const auto& r : results) {
+      if (!r.status.ok()) return false;
+    }
+  }
+  return true;
+}
+
+/// Sharded preload: each put pipelines on its owning shard's conn.
+bool PreloadStripeSharded(net::ShardedClient* client, const Config& cfg,
+                          int tid) {
+  uint64_t submitted = 0;
+  for (uint64_t i = tid; i < cfg.key_space;
+       i += static_cast<uint64_t>(cfg.connections)) {
+    const std::string key = KeyFor(i, cfg.key_size);
+    client->shard_client(client->ShardOf(key))
+        ->SubmitPut(key, ValueFor(i, cfg.value_size));
+    if (++submitted % 256 == 0 && !DrainAllShards(client)) {
+      return false;
+    }
+  }
+  return DrainAllShards(client);
 }
 
 void RunThread(const Config& cfg, int tid, uint64_t ops,
@@ -194,7 +239,112 @@ void RunThread(const Config& cfg, int tid, uint64_t ops,
           .count();
 }
 
-JsonValue& AttachRunFields(JsonValue& run, const Config& cfg) {
+/// Sharded worker: routes each op in the flight to its owning shard's
+/// connection, flushes all of them, then awaits every shard — the whole
+/// fan-out flight shares one round-trip measurement.
+void RunThreadSharded(const Config& cfg, int tid, uint64_t ops,
+                      ThreadStats* stats) {
+  net::ShardedClient client;
+  if (!client.Connect(cfg.connect_host, cfg.connect_port).ok()) {
+    stats->errors += ops;
+    return;
+  }
+  const uint32_t num_shards = client.num_shards();
+  stats->shard_ops.assign(num_shards, 0);
+  Random rng(cfg.seed * 2654435761u + static_cast<uint64_t>(tid) + 1);
+
+  struct FlightOp {
+    uint64_t key_index;
+    bool is_get;
+  };
+
+  const auto start = std::chrono::steady_clock::now();
+  uint64_t done = 0;
+  std::vector<std::unordered_map<uint64_t, FlightOp>> pending(num_shards);
+  while (done < ops) {
+    const int depth = static_cast<int>(
+        std::min<uint64_t>(static_cast<uint64_t>(cfg.pipeline),
+                           ops - done));
+    for (auto& m : pending) m.clear();
+    for (int i = 0; i < depth; i++) {
+      const uint64_t key_index = rng.Uniform(
+          static_cast<uint32_t>(cfg.key_space));
+      const bool is_get =
+          static_cast<int>(rng.Uniform(100)) < cfg.read_pct;
+      const std::string key = KeyFor(key_index, cfg.key_size);
+      const uint32_t shard = client.ShardOf(key);
+      net::Client* conn = client.shard_client(shard);
+      const uint64_t id =
+          is_get ? conn->SubmitGet(key)
+                 : conn->SubmitPut(key, ValueFor(key_index,
+                                                 cfg.value_size));
+      pending[shard].emplace(id, FlightOp{key_index, is_get});
+      stats->shard_ops[shard]++;
+    }
+    const uint64_t t0 = NowNs();
+    bool failed = false;
+    std::vector<std::vector<net::Client::Result>> responses(num_shards);
+    for (uint32_t s = 0; s < num_shards && !failed; s++) {
+      net::Client* conn = client.shard_client(s);
+      if (conn->outstanding() == 0 && pending[s].empty()) continue;
+      if (!conn->WaitAll(&responses[s]).ok() ||
+          responses[s].size() != pending[s].size()) {
+        failed = true;
+      }
+    }
+    const double flight_ns = static_cast<double>(NowNs() - t0);
+    if (failed) {
+      stats->errors += static_cast<uint64_t>(depth);
+      done += static_cast<uint64_t>(depth);
+      // A failed WaitAll closed that shard's connection; rebuild the
+      // whole sharded client (re-fetches the map, reopens every conn).
+      if (!client.Connect(cfg.connect_host, cfg.connect_port).ok()) {
+        stats->errors += ops - done;
+        break;
+      }
+      continue;
+    }
+    for (uint32_t s = 0; s < num_shards; s++) {
+      for (const auto& r : responses[s]) {
+        auto it = pending[s].find(r.id);
+        if (it == pending[s].end()) {
+          stats->errors++;
+          continue;
+        }
+        const FlightOp& op = it->second;
+        if (op.is_get) {
+          stats->gets++;
+          stats->get_ns.Add(flight_ns);
+          if (r.status.ok()) {
+            if (r.value != ValueFor(op.key_index, cfg.value_size)) {
+              stats->errors++;  // wrong payload: a correctness failure
+            } else {
+              stats->found++;
+            }
+          } else if (r.status.IsNotFound()) {
+            stats->not_found++;
+          } else {
+            stats->errors++;
+          }
+        } else {
+          stats->puts++;
+          stats->put_ns.Add(flight_ns);
+          if (!r.status.ok()) {
+            stats->errors++;
+          }
+        }
+      }
+    }
+    done += static_cast<uint64_t>(depth);
+  }
+  stats->seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start)
+          .count();
+}
+
+JsonValue& AttachRunFields(JsonValue& run, const Config& cfg,
+                           uint32_t shards) {
   run.Set("connections",
           JsonValue::Number(static_cast<double>(cfg.connections)));
   run.Set("pipeline",
@@ -203,6 +353,7 @@ JsonValue& AttachRunFields(JsonValue& run, const Config& cfg) {
           JsonValue::Number(static_cast<double>(cfg.value_size)));
   run.Set("read_pct",
           JsonValue::Number(static_cast<double>(cfg.read_pct)));
+  run.Set("shards", JsonValue::Number(static_cast<double>(shards)));
   return run;
 }
 
@@ -242,6 +393,8 @@ int main(int argc, char** argv) {
       cfg.latency_scale = std::atof(next("--latency-scale"));
     } else if (std::strcmp(argv[i], "--workers") == 0) {
       cfg.workers = std::atoi(next("--workers"));
+    } else if (std::strcmp(argv[i], "--shards") == 0) {
+      cfg.shards = std::atoi(next("--shards"));
     } else if (std::strcmp(argv[i], "--seed") == 0) {
       cfg.seed = std::strtoull(next("--seed"), nullptr, 10);
     } else {
@@ -250,7 +403,7 @@ int main(int argc, char** argv) {
           "usage: %s [--connect host:port] [--connections N] [--ops N]\n"
           "          [--read-pct P] [--pipeline D] [--value-size B]\n"
           "          [--key-space N] [--no-preload] [--latency-scale X]\n"
-          "          [--workers N] [--seed S]\n",
+          "          [--workers N] [--shards N] [--seed S]\n",
           argv[0]);
       return 2;
     }
@@ -260,56 +413,103 @@ int main(int argc, char** argv) {
   }
   if (cfg.connections < 1) cfg.connections = 1;
   if (cfg.pipeline < 1) cfg.pipeline = 1;
+  if (cfg.shards < 1) cfg.shards = 1;
+  const bool sharded = cfg.shards > 1;
 
   // Self-contained mode: spawn a server in-process on an ephemeral
-  // port, backed by its own simulated PMem platform.
-  std::unique_ptr<PmemEnv> env;
-  std::unique_ptr<DB> db;
+  // port — one simulated PMem platform + DB per shard.
+  std::vector<std::unique_ptr<PmemEnv>> envs;
+  std::vector<std::unique_ptr<DB>> dbs;
   std::unique_ptr<net::Server> server;
   if (cfg.connect_host.empty()) {
     EnvOptions env_opts;
     env_opts.pmem_capacity = 1ull << 30;
     env_opts.cat_locked_bytes = 12ull << 20;
     env_opts.latency.scale = BenchScale(cfg.latency_scale);
-    env = std::make_unique<PmemEnv>(env_opts);
     CacheKVOptions db_opts;
     db_opts.pool_bytes = 12ull << 20;
     db_opts.num_cores = 8;
-    Status s = DB::Open(env.get(), db_opts, false, &db);
-    if (!s.ok()) {
-      std::fprintf(stderr, "open: %s\n", s.ToString().c_str());
-      return 1;
+    std::vector<DB*> db_ptrs;
+    for (int s = 0; s < cfg.shards; s++) {
+      envs.push_back(std::make_unique<PmemEnv>(env_opts));
+      std::unique_ptr<DB> db;
+      Status st = DB::Open(envs.back().get(), db_opts, false, &db);
+      if (!st.ok()) {
+        std::fprintf(stderr, "open shard %d: %s\n", s,
+                     st.ToString().c_str());
+        return 1;
+      }
+      db_ptrs.push_back(db.get());
+      dbs.push_back(std::move(db));
+    }
+    net::ShardRouter router;
+    if (sharded) {
+      net::ShardMap map;
+      map.num_shards = static_cast<uint32_t>(cfg.shards);
+      Status rs = net::ShardRouter::Build(map, &router);
+      if (!rs.ok()) {
+        std::fprintf(stderr, "shard map: %s\n", rs.ToString().c_str());
+        return 1;
+      }
     }
     net::ServerOptions srv_opts;
     srv_opts.port = 0;
     srv_opts.num_workers = cfg.workers;
-    server = std::make_unique<net::Server>(db.get(), srv_opts);
-    s = server->Start();
-    if (!s.ok()) {
-      std::fprintf(stderr, "server start: %s\n", s.ToString().c_str());
+    server = std::make_unique<net::Server>(db_ptrs, router, srv_opts);
+    Status st = server->Start();
+    if (!st.ok()) {
+      std::fprintf(stderr, "server start: %s\n", st.ToString().c_str());
       return 1;
     }
     cfg.connect_host = "127.0.0.1";
     cfg.connect_port = server->port();
-    std::printf("in-process server on 127.0.0.1:%u\n", server->port());
+    if (sharded) {
+      std::printf("in-process server on 127.0.0.1:%u (%d shards)\n",
+                  server->port(), cfg.shards);
+    } else {
+      std::printf("in-process server on 127.0.0.1:%u\n", server->port());
+    }
+  }
+
+  // Sharded mode against a remote server: the real shard count is
+  // whatever the fetched ring says, not the flag.
+  uint32_t actual_shards = 1;
+  if (sharded) {
+    net::ShardedClient probe;
+    Status st = probe.Connect(cfg.connect_host, cfg.connect_port);
+    if (!st.ok()) {
+      std::fprintf(stderr, "connect: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    actual_shards = probe.num_shards();
   }
 
   std::printf(
       "netbench: %d connections, %llu ops, %d%% reads, pipeline %d, "
-      "value %zu B, keyspace %llu\n",
+      "value %zu B, keyspace %llu%s\n",
       cfg.connections, static_cast<unsigned long long>(cfg.total_ops),
       cfg.read_pct, cfg.pipeline, cfg.value_size,
-      static_cast<unsigned long long>(cfg.key_space));
+      static_cast<unsigned long long>(cfg.key_space),
+      sharded ? (", shards " + std::to_string(actual_shards)).c_str()
+              : "");
 
   if (cfg.preload) {
     std::vector<std::thread> loaders;
     std::atomic<bool> preload_ok{true};
     for (int t = 0; t < cfg.connections; t++) {
       loaders.emplace_back([&, t] {
-        net::Client client;
-        if (!client.Connect(cfg.connect_host, cfg.connect_port).ok() ||
-            !PreloadStripe(&client, cfg, t)) {
-          preload_ok.store(false);
+        if (sharded) {
+          net::ShardedClient client;
+          if (!client.Connect(cfg.connect_host, cfg.connect_port).ok() ||
+              !PreloadStripeSharded(&client, cfg, t)) {
+            preload_ok.store(false);
+          }
+        } else {
+          net::Client client;
+          if (!client.Connect(cfg.connect_host, cfg.connect_port).ok() ||
+              !PreloadStripe(&client, cfg, t)) {
+            preload_ok.store(false);
+          }
         }
       });
     }
@@ -333,7 +533,8 @@ int main(int argc, char** argv) {
     if (t == 0) {
       ops += cfg.total_ops % static_cast<uint64_t>(cfg.connections);
     }
-    threads.emplace_back(RunThread, std::cref(cfg), t, ops,
+    threads.emplace_back(sharded ? RunThreadSharded : RunThread,
+                         std::cref(cfg), t, ops,
                          &stats[static_cast<size_t>(t)]);
   }
   for (auto& th : threads) th.join();
@@ -346,6 +547,7 @@ int main(int argc, char** argv) {
   RunResult get_result, put_result, all_result;
   get_result.seconds = put_result.seconds = all_result.seconds =
       wall_seconds;
+  std::vector<uint64_t> shard_totals(actual_shards, 0);
   for (ThreadStats& s : stats) {
     get_result.ops += s.gets;
     get_result.found += s.found;
@@ -354,6 +556,10 @@ int main(int argc, char** argv) {
     all_result.errors += s.errors;
     get_result.latency_ns.Merge(s.get_ns);
     put_result.latency_ns.Merge(s.put_ns);
+    for (size_t i = 0; i < s.shard_ops.size() && i < shard_totals.size();
+         i++) {
+      shard_totals[i] += s.shard_ops[i];
+    }
   }
   all_result.ops = get_result.ops + put_result.ops;
   all_result.found = get_result.found;
@@ -382,9 +588,27 @@ int main(int argc, char** argv) {
   PrintRow("net-put", buf);
 
   BenchReport report("netbench");
-  AttachRunFields(report.AddRun("net-mixed", all_result), cfg);
-  AttachRunFields(report.AddRun("net-get", get_result), cfg);
-  AttachRunFields(report.AddRun("net-put", put_result), cfg);
+  AttachRunFields(report.AddRun("net-mixed", all_result), cfg,
+                  actual_shards);
+  AttachRunFields(report.AddRun("net-get", get_result), cfg,
+                  actual_shards);
+  AttachRunFields(report.AddRun("net-put", put_result), cfg,
+                  actual_shards);
+  if (sharded) {
+    // Per-shard throughput: how evenly the ring spread the routed load.
+    for (uint32_t s = 0; s < actual_shards; s++) {
+      RunResult shard_result;
+      shard_result.ops = shard_totals[s];
+      shard_result.seconds = wall_seconds;
+      const std::string name = "net-shard-" + std::to_string(s);
+      std::snprintf(buf, sizeof(buf), "%9.1f kops  (%llu ops routed)",
+                    shard_result.Kops(),
+                    static_cast<unsigned long long>(shard_totals[s]));
+      PrintRow(name.c_str(), buf);
+      AttachRunFields(report.AddRun(name, shard_result), cfg,
+                      actual_shards);
+    }
+  }
   Status ws = report.Write();
   if (!ws.ok()) {
     std::fprintf(stderr, "report: %s\n", ws.ToString().c_str());
@@ -393,7 +617,7 @@ int main(int argc, char** argv) {
 
   if (server != nullptr) {
     server->Stop();
-    db->WaitIdle();
+    for (auto& db : dbs) db->WaitIdle();
   }
   if (all_result.errors != 0) {
     std::fprintf(stderr, "%llu errors\n",

@@ -1,0 +1,21 @@
+#!/bin/sh
+# A 4-shard CacheKV server end to end (docs/SERVER.md, "Sharding").
+# Run from the repo root after building. The server hosts four fully
+# independent stores behind one port; keys are partitioned by the
+# consistent-hash ring, which the CLI fetches over the SHARDMAP op.
+./build/tools/cachekv_server --port 7071 --shards 4 & server=$!
+sleep 1
+printf 'shardmap
+shard user42
+put user42 alice
+get user42
+multiput a 1 b 2 c 3 d 4
+scan a 4
+stats
+quit
+' | ./build/tools/cachekv_cli --connect 127.0.0.1:7071
+# Client-routed load against the same server: netbench fetches the
+# ring and pipelines each op straight to its owning shard.
+./build/bench/netbench --connect 127.0.0.1:7071 --shards 4 \
+    --ops 20000 --read-pct 50
+kill -INT "$server" && wait "$server"

@@ -222,6 +222,16 @@ Status Client::Ping() {
   return RoundTrip(Op::kPing, req, &resp, nullptr);
 }
 
+Status Client::FetchShardMap(ShardRouter* out) {
+  std::string req;
+  EncodeShardMapRequest(&req, next_id_++);
+  Frame resp;
+  std::string payload;
+  Status s = RoundTrip(Op::kShardMap, req, &resp, &payload);
+  if (!s.ok()) return s;
+  return ShardRouter::Decode(payload, out);
+}
+
 // Pipelined API. ------------------------------------------------------
 
 uint64_t Client::Enqueue(Op op, std::string encoded) {
@@ -323,6 +333,184 @@ Status Client::WaitAll(std::vector<Result>* results) {
     }
     outstanding_.erase(outstanding_.begin() + idx);
     results->push_back(std::move(result));
+  }
+  return Status::OK();
+}
+
+// ShardedClient. ------------------------------------------------------
+
+namespace {
+
+/// Splits an advertised "host:port" endpoint. Falls back to the
+/// bootstrap address on anything unusable (empty, malformed, or a
+/// wildcard bind address that is not routable from a client).
+void ResolveEndpoint(const std::string& endpoint,
+                     const std::string& bootstrap_host,
+                     uint16_t bootstrap_port, std::string* host,
+                     uint16_t* port) {
+  *host = bootstrap_host;
+  *port = bootstrap_port;
+  const size_t colon = endpoint.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 >= endpoint.size()) {
+    return;
+  }
+  const std::string ep_host = endpoint.substr(0, colon);
+  if (ep_host == "0.0.0.0") {
+    return;
+  }
+  unsigned long ep_port = 0;
+  for (size_t i = colon + 1; i < endpoint.size(); i++) {
+    if (endpoint[i] < '0' || endpoint[i] > '9') return;
+    ep_port = ep_port * 10 + static_cast<unsigned long>(endpoint[i] - '0');
+    if (ep_port > 65535) return;
+  }
+  if (ep_port == 0) return;
+  *host = ep_host;
+  *port = static_cast<uint16_t>(ep_port);
+}
+
+}  // namespace
+
+ShardedClient::ShardedClient(const ClientOptions& options)
+    : options_(options) {}
+
+Status ShardedClient::RequireConnected() const {
+  if (conns_.empty()) return NotConnected();
+  return Status::OK();
+}
+
+Status ShardedClient::Connect(const std::string& host, uint16_t port) {
+  Close();
+  // Bootstrap: one throwaway connection fetches the ring.
+  {
+    Client bootstrap(options_);
+    Status s = bootstrap.Connect(host, port);
+    if (!s.ok()) return s;
+    s = bootstrap.FetchShardMap(&router_);
+    if (!s.ok()) return s;
+  }
+  const std::vector<std::string>& endpoints = router_.map().endpoints;
+  conns_.reserve(router_.num_shards());
+  for (uint32_t shard = 0; shard < router_.num_shards(); shard++) {
+    std::string shard_host;
+    uint16_t shard_port = 0;
+    ResolveEndpoint(shard < endpoints.size() ? endpoints[shard] : "",
+                    host, port, &shard_host, &shard_port);
+    auto conn = std::make_unique<Client>(options_);
+    Status s = conn->Connect(shard_host, shard_port);
+    if (!s.ok()) {
+      Close();
+      return s;
+    }
+    conns_.push_back(std::move(conn));
+    resolved_endpoints_.push_back(shard_host + ":" +
+                                  std::to_string(shard_port));
+  }
+  return Status::OK();
+}
+
+void ShardedClient::Close() {
+  conns_.clear();
+  resolved_endpoints_.clear();
+  router_ = ShardRouter();
+}
+
+Status ShardedClient::Put(const Slice& key, const Slice& value) {
+  Status s = RequireConnected();
+  if (!s.ok()) return s;
+  return conns_[router_.ShardOf(key)]->Put(key, value);
+}
+
+Status ShardedClient::Get(const Slice& key, std::string* value) {
+  Status s = RequireConnected();
+  if (!s.ok()) return s;
+  return conns_[router_.ShardOf(key)]->Get(key, value);
+}
+
+Status ShardedClient::Delete(const Slice& key) {
+  Status s = RequireConnected();
+  if (!s.ok()) return s;
+  return conns_[router_.ShardOf(key)]->Delete(key);
+}
+
+Status ShardedClient::MultiPut(
+    const std::vector<KVStore::BatchOp>& batch) {
+  Status s = RequireConnected();
+  if (!s.ok()) return s;
+  if (conns_.size() == 1) {
+    return conns_[0]->MultiPut(batch);
+  }
+  std::vector<std::vector<KVStore::BatchOp>> split(conns_.size());
+  for (const KVStore::BatchOp& op : batch) {
+    split[router_.ShardOf(op.key)].push_back(op);
+  }
+  Status first_error;
+  for (uint32_t shard = 0; shard < conns_.size(); shard++) {
+    if (split[shard].empty()) continue;
+    Status st = conns_[shard]->MultiPut(split[shard]);
+    if (!st.ok() && first_error.ok()) first_error = st;
+  }
+  return first_error;
+}
+
+Status ShardedClient::Scan(
+    const Slice& start, uint32_t limit,
+    std::vector<std::pair<std::string, std::string>>* out) {
+  Status s = RequireConnected();
+  if (!s.ok()) return s;
+  // A server merges across every shard it hosts, so asking two conns
+  // that resolve to the same server would duplicate the result. Fan
+  // out to one representative connection per distinct endpoint; each
+  // may own up to `limit` of the smallest keys, so all are asked for
+  // the full limit and the merge trims.
+  std::vector<uint32_t> reps;
+  for (uint32_t shard = 0; shard < conns_.size(); shard++) {
+    bool seen = false;
+    for (uint32_t r : reps) {
+      if (resolved_endpoints_[r] == resolved_endpoints_[shard]) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) reps.push_back(shard);
+  }
+  if (reps.size() == 1) {
+    return conns_[reps[0]]->Scan(start, limit, out);
+  }
+  for (uint32_t r : reps) {
+    conns_[r]->SubmitScan(start, limit);
+    Status st = conns_[r]->Flush();
+    if (!st.ok()) return st;
+  }
+  std::vector<std::vector<std::pair<std::string, std::string>>>
+      per_server(reps.size());
+  for (size_t i = 0; i < reps.size(); i++) {
+    std::vector<Client::Result> results;
+    Status st = conns_[reps[i]]->WaitAll(&results);
+    if (!st.ok()) return st;
+    if (results.size() != 1) {
+      return Status::Corruption("protocol", "scan fan-out mismatch");
+    }
+    if (!results[0].status.ok()) return results[0].status;
+    per_server[i] = std::move(results[0].entries);
+  }
+  MergeShardScans(std::move(per_server), limit, out);
+  return Status::OK();
+}
+
+Status ShardedClient::Stats(std::string* json) {
+  Status s = RequireConnected();
+  if (!s.ok()) return s;
+  return conns_[0]->Stats(json);
+}
+
+Status ShardedClient::Ping() {
+  Status s = RequireConnected();
+  if (!s.ok()) return s;
+  for (auto& conn : conns_) {
+    Status st = conn->Ping();
+    if (!st.ok()) return st;
   }
   return Status::OK();
 }

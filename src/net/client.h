@@ -3,11 +3,13 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "net/protocol.h"
+#include "net/shard_router.h"
 #include "util/slice.h"
 #include "util/status.h"
 
@@ -61,6 +63,9 @@ class Client {
   /// Server-side metrics dump (the registry JSON; see docs/SERVER.md).
   Status Stats(std::string* json);
   Status Ping();
+  /// Fetches and decodes the server's SHARDMAP (a 1-shard identity map
+  /// from unsharded servers). ShardedClient uses this to bootstrap.
+  Status FetchShardMap(ShardRouter* out);
 
   // Pipelined API. --------------------------------------------------
 
@@ -117,6 +122,64 @@ class Client {
   std::string sendbuf_;
   FrameDecoder decoder_;
   std::deque<PendingOp> outstanding_;
+};
+
+/// ShardedClient routes every keyed operation to its owning shard on
+/// the client side: Connect() bootstraps off one address, fetches the
+/// server's SHARDMAP, and opens one connection per shard (to each
+/// shard's advertised endpoint, which today is the bootstrap address —
+/// see net/shard_router.h). GET/PUT/DEL go straight to the owning
+/// shard's connection; MULTIPUT is split per shard (atomic per shard,
+/// not across shards); SCAN fans out to every shard concurrently and
+/// returns the ordered k-way merge. Against an unsharded server this
+/// degenerates to a plain single-connection client.
+///
+/// Like Client, a ShardedClient is NOT thread-safe — one instance per
+/// thread.
+class ShardedClient {
+ public:
+  ShardedClient() : ShardedClient(ClientOptions()) {}
+  explicit ShardedClient(const ClientOptions& options);
+
+  ShardedClient(const ShardedClient&) = delete;
+  ShardedClient& operator=(const ShardedClient&) = delete;
+
+  Status Connect(const std::string& host, uint16_t port);
+  void Close();
+  bool connected() const { return !conns_.empty(); }
+
+  Status Put(const Slice& key, const Slice& value);
+  Status Get(const Slice& key, std::string* value);
+  Status Delete(const Slice& key);
+  /// Splits the batch per shard; the first failing shard's status is
+  /// returned but every shard's sub-batch is attempted.
+  Status MultiPut(const std::vector<KVStore::BatchOp>& batch);
+  /// Fans the scan out once per distinct server endpoint (a server
+  /// already merges across the shards it hosts), then merges the
+  /// ordered per-server results down to `limit` entries (0 = no limit).
+  Status Scan(const Slice& start, uint32_t limit,
+              std::vector<std::pair<std::string, std::string>>* out);
+  /// The server's STATS document (shard-labelled when sharded).
+  Status Stats(std::string* json);
+  /// Pings every shard connection.
+  Status Ping();
+
+  const ShardRouter& router() const { return router_; }
+  uint32_t num_shards() const { return router_.num_shards(); }
+  uint32_t ShardOf(const Slice& key) const { return router_.ShardOf(key); }
+  /// The connection serving shard `shard`; benchmarks pipeline on it
+  /// directly (Submit*/Flush/WaitAll) after routing with ShardOf().
+  Client* shard_client(uint32_t shard) { return conns_[shard].get(); }
+
+ private:
+  Status RequireConnected() const;
+
+  ClientOptions options_;
+  ShardRouter router_;
+  std::vector<std::unique_ptr<Client>> conns_;  // one per shard
+  // Resolved "host:port" per connection; shards co-hosted by one
+  // server share the string, which SCAN uses to fan out per server.
+  std::vector<std::string> resolved_endpoints_;
 };
 
 }  // namespace net

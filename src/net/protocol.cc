@@ -57,7 +57,7 @@ void AppendKey(std::string* out, const Slice& key) {
 
 bool ValidOp(uint8_t raw) {
   return raw >= static_cast<uint8_t>(Op::kGet) &&
-         raw <= static_cast<uint8_t>(Op::kPing);
+         raw <= static_cast<uint8_t>(Op::kShardMap);
 }
 
 const char* OpName(Op op) {
@@ -69,6 +69,7 @@ const char* OpName(Op op) {
     case Op::kScan: return "scan";
     case Op::kStats: return "stats";
     case Op::kPing: return "ping";
+    case Op::kShardMap: return "shardmap";
   }
   return "?";
 }
@@ -231,6 +232,10 @@ void EncodeStatsRequest(std::string* out, uint64_t id) {
 
 void EncodePingRequest(std::string* out, uint64_t id) {
   AppendFrame(out, Op::kPing, false, kOk, id, Slice());
+}
+
+void EncodeShardMapRequest(std::string* out, uint64_t id) {
+  AppendFrame(out, Op::kShardMap, false, kOk, id, Slice());
 }
 
 // Response encoders. --------------------------------------------------

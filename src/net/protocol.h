@@ -37,6 +37,8 @@ namespace net {
 ///        resp: u32 count, count * { u32 klen, key, u32 vlen, value }
 ///   STATS req: empty                    resp: metrics JSON (UTF-8)
 ///   PING req:  empty                    resp: empty
+///   SHARDMAP req: empty                 resp: ShardRouter::Encode image
+///        (net/shard_router.h; single-DB servers answer a 1-shard map)
 ///
 /// Error responses (code != kOk) carry a human-readable message as the
 /// payload regardless of opcode.
@@ -49,6 +51,7 @@ enum class Op : uint8_t {
   kScan = 5,
   kStats = 6,
   kPing = 7,
+  kShardMap = 8,
 };
 
 /// True when `raw` is a defined opcode.
@@ -156,6 +159,7 @@ void EncodeScanRequest(std::string* out, uint64_t id, const Slice& start,
                        uint32_t limit);
 void EncodeStatsRequest(std::string* out, uint64_t id);
 void EncodePingRequest(std::string* out, uint64_t id);
+void EncodeShardMapRequest(std::string* out, uint64_t id);
 
 // Response encoding (server side). -----------------------------------
 

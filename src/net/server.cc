@@ -13,6 +13,7 @@
 #define CACHEKV_NET_EPOLL 1
 #endif
 
+#include <cassert>
 #include <cerrno>
 #include <cstring>
 #include <deque>
@@ -20,6 +21,7 @@
 #include "core/db.h"
 #include "fault/fail_point.h"
 #include "obs/trace.h"
+#include "util/json.h"
 
 namespace cachekv {
 namespace net {
@@ -61,6 +63,7 @@ const char* OpHistogramName(Op op) {
     case Op::kScan: return "net.op.scan";
     case Op::kStats: return "net.op.stats";
     case Op::kPing: return "net.op.ping";
+    case Op::kShardMap: return "net.op.shardmap";
   }
   return "net.op.other";
 }
@@ -74,6 +77,7 @@ const char* OpTraceName(Op op) {
     case Op::kScan: return "net.scan";
     case Op::kStats: return "net.stats";
     case Op::kPing: return "net.ping";
+    case Op::kShardMap: return "net.shardmap";
   }
   return "net.other";
 }
@@ -107,8 +111,15 @@ struct Server::Worker {
 };
 
 Server::Server(DB* db, const ServerOptions& options)
-    : db_(db), options_(options) {
-  obs::MetricsRegistry* reg = db_->metrics();
+    : Server(std::vector<DB*>{db}, ShardRouter(), options) {}
+
+Server::Server(std::vector<DB*> shards, const ShardRouter& router,
+               const ServerOptions& options)
+    : dbs_(std::move(shards)), router_(router), options_(options) {
+  assert(!dbs_.empty());
+  assert(dbs_.size() == router_.num_shards());
+
+  obs::MetricsRegistry* reg = primary()->metrics();
   accepts_ = reg->GetCounter("net.accepts");
   requests_ = reg->GetCounter("net.requests");
   bytes_in_ = reg->GetCounter("net.bytes_in");
@@ -116,14 +127,39 @@ Server::Server(DB* db, const ServerOptions& options)
   decode_errors_ = reg->GetCounter("net.decode_errors");
   batched_writes_ = reg->GetCounter("net.batched_writes");
   batched_ops_ = reg->GetCounter("net.batched_ops");
+  backpressure_sheds_ = reg->GetCounter("net.backpressure_sheds");
   connections_ = reg->GetGauge("net.connections");
+  shard_requests_.reserve(dbs_.size());
+  for (DB* db : dbs_) {
+    shard_requests_.push_back(
+        db->metrics()->GetCounter("net.shard.requests"));
+  }
 
-  batch_bytes_cap_ = options_.max_batch_bytes != 0
-                         ? options_.max_batch_bytes
-                         : db_->ApproxMultiPutCapacityBytes();
+  if (options_.max_batch_bytes != 0) {
+    batch_bytes_cap_ = options_.max_batch_bytes;
+  } else {
+    // Every op of a run could land on one shard, so the derived cap is
+    // the smallest shard's batch capacity.
+    for (DB* db : dbs_) {
+      const size_t cap = db->ApproxMultiPutCapacityBytes();
+      if (batch_bytes_cap_ == 0 || cap < batch_bytes_cap_) {
+        batch_bytes_cap_ = cap;
+      }
+    }
+  }
 }
 
 Server::~Server() { Stop(); }
+
+DB* Server::Route(const Slice& key, uint32_t* shard_out) {
+  const uint32_t shard =
+      dbs_.size() == 1 ? 0 : router_.ShardOf(key);
+  shard_requests_[shard]->Increment();
+  if (shard_out != nullptr) {
+    *shard_out = shard;
+  }
+  return dbs_[shard];
+}
 
 Status Server::Start() {
   if (running_.load(std::memory_order_acquire)) {
@@ -167,6 +203,17 @@ Status Server::Start() {
     return s;
   }
   port_ = ntohs(addr.sin_port);
+
+  // The SHARDMAP image can only be finalized now that the port is
+  // known: every shard of this process is served at the bound address.
+  {
+    std::vector<std::string> endpoints(
+        router_.num_shards(),
+        options_.host + ":" + std::to_string(port_));
+    router_.SetEndpoints(std::move(endpoints));
+    shard_map_image_.clear();
+    router_.Encode(&shard_map_image_);
+  }
 
   Status s = SetNonBlocking(listen_fd_);
   if (!s.ok()) {
@@ -280,7 +327,7 @@ void Server::Stop() {
 }
 
 void Server::AcceptLoop() {
-  db_->trace()->SetThreadName("net-accept");
+  primary()->trace()->SetThreadName("net-accept");
   pollfd fds[2];
   fds[0].fd = listen_fd_;
   fds[0].events = POLLIN;
@@ -315,7 +362,7 @@ void Server::AcceptLoop() {
       ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
       accepts_->Increment();
       connections_->Add(1);
-      db_->trace()->Instant("net.accept");
+      primary()->trace()->Instant("net.accept");
       Worker* w = workers_[next_worker_.fetch_add(
                                1, std::memory_order_relaxed) %
                            workers_.size()]
@@ -336,13 +383,13 @@ void Server::CloseConn(Worker* worker, int fd) {
   worker->conns.erase(fd);
   ::close(fd);
   connections_->Add(-1);
-  db_->trace()->Instant("net.close");
+  primary()->trace()->Instant("net.close");
 }
 
 void Server::WorkerLoop(Worker* worker) {
   char name[32];
   std::snprintf(name, sizeof(name), "net-worker-%d", worker->index);
-  db_->trace()->SetThreadName(name);
+  primary()->trace()->SetThreadName(name);
 
   char rbuf[64 << 10];
   while (running_.load(std::memory_order_acquire)) {
@@ -494,6 +541,10 @@ bool Server::ProcessFrames(Conn* conn) {
   bool alive = true;
   size_t i = 0;
   while (i < frames.size()) {
+    if (ShedForBackpressure(conn, frames[i].op, frames[i].request_id)) {
+      i++;
+      continue;
+    }
     if (frames[i].op == Op::kPut || frames[i].op == Op::kDelete) {
       i = HandleWriteRun(conn, frames, i);
     } else {
@@ -512,16 +563,36 @@ bool Server::ProcessFrames(Conn* conn) {
   return FlushOut(conn) && alive;
 }
 
-bool Server::RejectIfReadOnly(Conn* conn, Op op, uint64_t id) {
-  if (!db_->IsReadOnly()) {
+bool Server::ShedForBackpressure(Conn* conn, Op op, uint64_t id) {
+  const size_t cap = options_.max_conn_write_buffer_bytes;
+  if (cap == 0 || op == Op::kPing) {
+    return false;  // disabled, or a liveness probe that must pass
+  }
+  if (conn->out.size() - conn->out_pos <= cap) {
     return false;
   }
-  EncodeErrorResponse(&conn->out, op, id, kReadOnly,
-                      db_->BackgroundError().ToString());
+  // Offer the backlog to the socket once before giving up; a fatal
+  // write error here surfaces on the next FlushOut and closes the conn.
+  FlushOut(conn);
+  if (conn->out.size() - conn->out_pos <= cap) {
+    return false;
+  }
+  backpressure_sheds_->Increment();
+  EncodeErrorResponse(&conn->out, op, id, kBusy,
+                      "connection write buffer full; request shed");
   return true;
 }
 
-void Server::AppendWriteResponse(Conn* conn, Op op, uint64_t id,
+bool Server::RejectIfReadOnly(Conn* conn, DB* db, Op op, uint64_t id) {
+  if (!db->IsReadOnly()) {
+    return false;
+  }
+  EncodeErrorResponse(&conn->out, op, id, kReadOnly,
+                      db->BackgroundError().ToString());
+  return true;
+}
+
+void Server::AppendWriteResponse(Conn* conn, DB* db, Op op, uint64_t id,
                                  const Status& s) {
   if (s.ok()) {
     EncodeOkResponse(&conn->out, op, id);
@@ -529,18 +600,21 @@ void Server::AppendWriteResponse(Conn* conn, Op op, uint64_t id,
     // A write refused because of background degradation surfaces as
     // kReadOnly so clients can tell it from an ordinary IO error.
     const uint16_t code =
-        db_->IsReadOnly() ? static_cast<uint16_t>(kReadOnly) : WireCodeOf(s);
+        db->IsReadOnly() ? static_cast<uint16_t>(kReadOnly) : WireCodeOf(s);
     EncodeErrorResponse(&conn->out, op, id, code, s.ToString());
   }
 }
 
 size_t Server::HandleWriteRun(Conn* conn, const std::vector<Frame>& frames,
                               size_t begin) {
-  // Gather the maximal batchable run under the caps.
-  std::vector<KVStore::BatchOp> batch;
+  // Gather the maximal batchable run under the caps, routing each op to
+  // its shard as it is parsed.
+  std::vector<std::vector<KVStore::BatchOp>> shard_batches(dbs_.size());
+  std::vector<uint32_t> op_shards;  // shard of frames[begin + i]
   size_t end = begin;
   size_t batch_bytes = 0;
-  while (end < frames.size() && batch.size() < options_.max_batch_ops) {
+  size_t total_ops = 0;
+  while (end < frames.size() && total_ops < options_.max_batch_ops) {
     const Frame& f = frames[end];
     if (f.op != Op::kPut && f.op != Op::kDelete) {
       break;
@@ -563,64 +637,101 @@ size_t Server::HandleWriteRun(Conn* conn, const std::vector<Frame>& frames,
     }
     // 64 bytes per record bounds the engine's framing overhead.
     const size_t cost = op.key.size() + op.value.size() + 64;
-    if (batch_bytes_cap_ != 0 && !batch.empty() &&
+    if (batch_bytes_cap_ != 0 && total_ops > 0 &&
         batch_bytes + cost > batch_bytes_cap_) {
       break;
     }
     batch_bytes += cost;
-    batch.push_back(std::move(op));
+    const uint32_t shard =
+        dbs_.size() == 1 ? 0 : router_.ShardOf(op.key);
+    op_shards.push_back(shard);
+    shard_batches[shard].push_back(std::move(op));
+    total_ops++;
     end++;
   }
-  if (batch.size() <= 1) {
+  if (total_ops <= 1) {
     // Nothing to batch (lone write, or the first frame failed to
     // parse); the single-op path owns its histogram and error.
     HandleRequest(conn, frames[begin]);
     return begin + 1;
   }
-  // The whole run shares one service span: every request in it is
-  // answered by the same commit.
-  obs::SpanTimer span(db_->metrics(), "net.op.put");
-  requests_->Increment(batch.size());
-  if (db_->IsReadOnly()) {
-    const std::string message = db_->BackgroundError().ToString();
-    for (size_t i = begin; i < end; i++) {
-      EncodeErrorResponse(&conn->out, frames[i].op,
-                          frames[i].request_id, kReadOnly, message);
+  // The whole run shares one service span; each touched shard gets one
+  // commit, and every request is answered with its shard's outcome.
+  obs::SpanTimer span(primary()->metrics(), "net.op.put");
+  requests_->Increment(total_ops);
+  std::vector<Status> shard_status(dbs_.size(), Status::OK());
+  std::vector<bool> shard_read_only(dbs_.size(), false);
+  for (uint32_t shard = 0; shard < dbs_.size(); shard++) {
+    std::vector<KVStore::BatchOp>& batch = shard_batches[shard];
+    if (batch.empty()) {
+      continue;
     }
-    return end;
-  }
-  Status s;
-  {
-    obs::TraceScope trace(db_->trace(), "net.write_batch");
+    shard_requests_[shard]->Increment(batch.size());
+    DB* db = dbs_[shard];
+    if (db->IsReadOnly()) {
+      shard_read_only[shard] = true;
+      shard_status[shard] = db->BackgroundError();
+      continue;
+    }
+    obs::TraceScope trace(primary()->trace(), "net.write_batch");
     trace.AddArg("ops", batch.size());
-    s = db_->ApplyBatch(batch);
+    Status s = db->ApplyBatch(batch);
     if (s.IsInvalidArgument() || s.IsOutOfSpace()) {
       // The combined batch exceeded what one sub-MemTable holds (the
       // caps are estimates); commit the run op by op instead — clients
       // never asked for cross-request atomicity.
       s = Status::OK();
       for (size_t i = 0; i < batch.size() && s.ok(); i++) {
-        s = batch[i].is_delete ? db_->Delete(batch[i].key)
-                               : db_->Put(batch[i].key, batch[i].value);
+        s = batch[i].is_delete ? db->Delete(batch[i].key)
+                               : db->Put(batch[i].key, batch[i].value);
       }
     }
     if (s.ok()) {
       batched_writes_->Increment();
       batched_ops_->Increment(batch.size());
     }
+    shard_status[shard] = s;
   }
   for (size_t i = begin; i < end; i++) {
-    AppendWriteResponse(conn, frames[i].op, frames[i].request_id, s);
+    const uint32_t shard = op_shards[i - begin];
+    if (shard_read_only[shard]) {
+      EncodeErrorResponse(&conn->out, frames[i].op, frames[i].request_id,
+                          kReadOnly, shard_status[shard].ToString());
+    } else {
+      AppendWriteResponse(conn, dbs_[shard], frames[i].op,
+                          frames[i].request_id, shard_status[shard]);
+    }
   }
   return end;
+}
+
+void Server::BuildStatsPayload(std::string* out) {
+  if (dbs_.size() == 1) {
+    // Reuses the registry's canonical JSON dump (src/obs); the server
+    // adds no formatting of its own, so STATS and DB::DumpMetrics can
+    // never drift apart.
+    primary()->DumpMetrics(out);
+    return;
+  }
+  // Sharded: one document, every shard's dump under a "shard.<i>"
+  // label (the per-shard objects are the same shape as the single-DB
+  // dump, so existing consumers work per shard).
+  JsonValue root = JsonValue::Object();
+  root.Set("shards", JsonValue::Number(static_cast<double>(dbs_.size())));
+  for (size_t i = 0; i < dbs_.size(); i++) {
+    JsonValue snap;
+    dbs_[i]->GetMetricsSnapshot().ToJson(&snap);
+    root.Set("shard." + std::to_string(i), std::move(snap));
+  }
+  out->append(root.ToString());
 }
 
 void Server::HandleRequest(Conn* conn, const Frame& frame) {
   requests_->Increment();
   const Op op = frame.op;
   const uint64_t id = frame.request_id;
-  obs::SpanTimer span(db_->metrics(), OpHistogramName(op));
-  obs::TraceScope trace(db_->trace(), OpTraceName(op));
+  obs::SpanTimer span(primary()->metrics(), OpHistogramName(op));
+  obs::TraceScope trace(primary()->trace(), OpTraceName(op));
 
   if (frame.response) {
     // A client must never send response frames; treat as decode error.
@@ -650,7 +761,7 @@ void Server::HandleRequest(Conn* conn, const Frame& frame) {
         return;
       }
       std::string value;
-      s = db_->Get(req.key, &value);
+      s = Route(req.key)->Get(req.key, &value);
       if (s.ok()) {
         EncodeOkResponse(&conn->out, op, id, value);
       } else {
@@ -668,8 +779,9 @@ void Server::HandleRequest(Conn* conn, const Frame& frame) {
                             s.ToString());
         return;
       }
-      if (RejectIfReadOnly(conn, op, id)) return;
-      AppendWriteResponse(conn, op, id, db_->Put(req.key, req.value));
+      DB* db = Route(req.key);
+      if (RejectIfReadOnly(conn, db, op, id)) return;
+      AppendWriteResponse(conn, db, op, id, db->Put(req.key, req.value));
       return;
     }
     case Op::kDelete: {
@@ -681,8 +793,9 @@ void Server::HandleRequest(Conn* conn, const Frame& frame) {
                             s.ToString());
         return;
       }
-      if (RejectIfReadOnly(conn, op, id)) return;
-      AppendWriteResponse(conn, op, id, db_->Delete(req.key));
+      DB* db = Route(req.key);
+      if (RejectIfReadOnly(conn, db, op, id)) return;
+      AppendWriteResponse(conn, db, op, id, db->Delete(req.key));
       return;
     }
     case Op::kMultiPut: {
@@ -694,9 +807,41 @@ void Server::HandleRequest(Conn* conn, const Frame& frame) {
                             s.ToString());
         return;
       }
-      if (RejectIfReadOnly(conn, op, id)) return;
       trace.AddArg("keys", req.ops.size());
-      AppendWriteResponse(conn, op, id, db_->ApplyBatch(req.ops));
+      if (dbs_.size() == 1) {
+        shard_requests_[0]->Increment(req.ops.size());
+        if (RejectIfReadOnly(conn, primary(), op, id)) return;
+        AppendWriteResponse(conn, primary(), op, id,
+                            primary()->ApplyBatch(req.ops));
+        return;
+      }
+      // Split per shard: the batch stays atomic within each shard but
+      // not across shards (docs/SERVER.md). All touched shards are
+      // checked for degradation before anything commits.
+      std::vector<std::vector<KVStore::BatchOp>> split(dbs_.size());
+      for (KVStore::BatchOp& bop : req.ops) {
+        split[router_.ShardOf(bop.key)].push_back(std::move(bop));
+      }
+      for (uint32_t shard = 0; shard < dbs_.size(); shard++) {
+        if (split[shard].empty()) continue;
+        shard_requests_[shard]->Increment(split[shard].size());
+        if (RejectIfReadOnly(conn, dbs_[shard], op, id)) return;
+      }
+      Status first_error;
+      DB* failed_db = nullptr;
+      for (uint32_t shard = 0; shard < dbs_.size(); shard++) {
+        if (split[shard].empty()) continue;
+        Status st = dbs_[shard]->ApplyBatch(split[shard]);
+        if (!st.ok() && first_error.ok()) {
+          first_error = st;
+          failed_db = dbs_[shard];
+        }
+      }
+      if (first_error.ok()) {
+        EncodeOkResponse(&conn->out, op, id);
+      } else {
+        AppendWriteResponse(conn, failed_db, op, id, first_error);
+      }
       return;
     }
     case Op::kScan: {
@@ -714,7 +859,23 @@ void Server::HandleRequest(Conn* conn, const Frame& frame) {
         return;
       }
       std::vector<std::pair<std::string, std::string>> entries;
-      s = db_->Scan(req.start, req.limit, &entries);
+      if (dbs_.size() == 1) {
+        shard_requests_[0]->Increment();
+        s = primary()->Scan(req.start, req.limit, &entries);
+      } else {
+        // Each shard holds an arbitrary slice of the range, so every
+        // shard scans up to the full limit and the ordered k-way merge
+        // trims the union back down.
+        std::vector<std::vector<std::pair<std::string, std::string>>>
+            per_shard(dbs_.size());
+        for (uint32_t shard = 0; s.ok() && shard < dbs_.size(); shard++) {
+          shard_requests_[shard]->Increment();
+          s = dbs_[shard]->Scan(req.start, req.limit, &per_shard[shard]);
+        }
+        if (s.ok()) {
+          MergeShardScans(std::move(per_shard), req.limit, &entries);
+        }
+      }
       if (!s.ok()) {
         EncodeErrorResponse(&conn->out, op, id, WireCodeOf(s),
                             s.ToString());
@@ -727,16 +888,19 @@ void Server::HandleRequest(Conn* conn, const Frame& frame) {
       return;
     }
     case Op::kStats: {
-      // Reuses the registry's canonical JSON dump (src/obs); the server
-      // adds no formatting of its own, so STATS and DB::DumpMetrics can
-      // never drift apart.
       std::string json;
-      db_->DumpMetrics(&json);
+      BuildStatsPayload(&json);
       EncodeOkResponse(&conn->out, op, id, json);
       return;
     }
     case Op::kPing: {
       EncodeOkResponse(&conn->out, op, id);
+      return;
+    }
+    case Op::kShardMap: {
+      // The image is immutable after Start(), so serving it is just a
+      // copy; single-DB servers answer a 1-shard identity map.
+      EncodeOkResponse(&conn->out, op, id, shard_map_image_);
       return;
     }
   }

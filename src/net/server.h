@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "net/protocol.h"
+#include "net/shard_router.h"
 #include "obs/metrics.h"
 #include "util/status.h"
 
@@ -38,33 +39,57 @@ struct ServerOptions {
   /// DB::ApproxMultiPutCapacityBytes().
   size_t max_batch_ops = 64;
   size_t max_batch_bytes = 0;
+  /// Backpressure: when a connection's outbound buffer holds more than
+  /// this many unsent bytes (after trying the socket once), further
+  /// requests on it are shed with a Busy response instead of buffering
+  /// unboundedly. PING still passes so clients can probe liveness.
+  /// Counted in net.backpressure_sheds. 0 disables shedding.
+  size_t max_conn_write_buffer_bytes = 4u << 20;
 };
 
-/// Server exposes one DB over TCP, speaking the length-prefixed frame
-/// protocol of net/protocol.h.
+/// Server exposes one DB — or N sharded DB instances — over TCP,
+/// speaking the length-prefixed frame protocol of net/protocol.h.
+///
+/// Sharding: the N-shard constructor serves independent DB instances
+/// behind one listening socket. Every keyed request is routed through a
+/// consistent-hash ShardRouter (net/shard_router.h), so plain clients
+/// work unchanged; SHARDMAP hands the encoded ring to sharded clients
+/// that want to route on their side. MULTIPUT batches are split per
+/// shard (atomic per shard, not across shards) and SCAN is answered as
+/// an ordered k-way merge of the per-shard scans. Shard 0 is the
+/// "primary": server-wide net.* instruments and trace spans live in its
+/// registry; each shard additionally counts the requests routed to it
+/// as net.shard.requests in its own registry, and STATS returns one
+/// JSON document with every shard's dump under a "shard.<i>" label.
 ///
 /// Threading: one acceptor thread multiplexes the listening socket; N
 /// worker threads each run an event loop (epoll on Linux, poll(2)
 /// elsewhere) over the connections assigned to them round-robin.
 /// Requests on a connection may be pipelined; responses are sent in
 /// request order. Runs of consecutive single-key PUT/DEL requests are
-/// committed as one atomic DB::ApplyBatch (bounded by the batch caps
-/// above) and acknowledged individually.
+/// committed as one atomic DB::ApplyBatch per shard (bounded by the
+/// batch caps above) and acknowledged individually.
 ///
-/// Integration: counters and per-op latency histograms go to the DB's
-/// MetricsRegistry under "net.*" (so STATS serves one unified dump),
-/// request spans to the DB's Tracer, and the accept/read/write/decode
-/// paths carry "net.*" fail points (src/fault). When the DB has
-/// degraded to read-only, write requests are rejected with the
-/// kReadOnly wire code carrying DB::BackgroundError().
+/// Integration: counters and per-op latency histograms go to the
+/// primary DB's MetricsRegistry under "net.*" (so STATS serves one
+/// unified dump), request spans to its Tracer, and the
+/// accept/read/write/decode paths carry "net.*" fail points
+/// (src/fault). When a shard has degraded to read-only, write requests
+/// routed to it are rejected with the kReadOnly wire code carrying that
+/// shard's DB::BackgroundError().
 ///
 /// Shutdown ordering: Stop() (or the destructor) quiesces the network
 /// layer — stops accepting, closes every connection, joins all threads
-/// — and must complete before the DB is destroyed; the DB never learns
-/// about the server, it only sees plain concurrent callers.
+/// — and must complete before any DB is destroyed; the DBs never learn
+/// about the server, they only see plain concurrent callers.
 class Server {
  public:
+  /// Single-store server (shard count 1, identity routing).
   Server(DB* db, const ServerOptions& options);
+  /// Sharded server: `shards` and `router.num_shards()` must agree, and
+  /// every pointer must outlive the server. The router is copied.
+  Server(std::vector<DB*> shards, const ShardRouter& router,
+         const ServerOptions& options);
   ~Server();
 
   Server(const Server&) = delete;
@@ -75,7 +100,7 @@ class Server {
 
   /// Graceful shutdown; idempotent. Safe to call from a signal-driven
   /// main loop. After Stop() returns no thread of this server touches
-  /// the DB again.
+  /// any DB again.
   void Stop();
 
   /// The bound TCP port (the actual one when options.port was 0).
@@ -86,9 +111,17 @@ class Server {
     return running_.load(std::memory_order_acquire);
   }
 
+  uint32_t num_shards() const { return router_.num_shards(); }
+  const ShardRouter& router() const { return router_; }
+
  private:
   struct Conn;
   struct Worker;
+
+  DB* primary() const { return dbs_[0]; }
+  /// The shard owning `key`; counts the routing decision in the target
+  /// shard's net.shard.requests.
+  DB* Route(const Slice& key, uint32_t* shard_out = nullptr);
 
   void AcceptLoop();
   void WorkerLoop(Worker* worker);
@@ -97,25 +130,37 @@ class Server {
   /// close (decode error, write failure).
   bool ProcessFrames(Conn* conn);
   /// Handles frames[begin..end) where [begin, end) is a maximal run of
-  /// single-key PUT/DEL requests: one ApplyBatch commit, one response
-  /// per request. Returns the first unconsumed index.
+  /// single-key PUT/DEL requests: one ApplyBatch commit per touched
+  /// shard, one response per request. Returns the first unconsumed
+  /// index.
   size_t HandleWriteRun(Conn* conn, const std::vector<Frame>& frames,
                         size_t begin);
   void HandleRequest(Conn* conn, const Frame& frame);
-  /// Appends the response for a completed write `s` (shared by the
-  /// single-op and batched paths).
-  void AppendWriteResponse(Conn* conn, Op op, uint64_t id,
+  /// Appends the response for a completed write `s` against `db`
+  /// (shared by the single-op and batched paths).
+  void AppendWriteResponse(Conn* conn, DB* db, Op op, uint64_t id,
                            const Status& s);
-  /// Rejects a write when the store is read-only; true when rejected.
-  bool RejectIfReadOnly(Conn* conn, Op op, uint64_t id);
+  /// Rejects a write when `db` is read-only; true when rejected.
+  bool RejectIfReadOnly(Conn* conn, DB* db, Op op, uint64_t id);
+  /// Backpressure: true when the connection's outbound backlog exceeds
+  /// the cap even after offering it to the socket once — the request
+  /// was answered with Busy and must not execute.
+  bool ShedForBackpressure(Conn* conn, Op op, uint64_t id);
+  /// The STATS payload: the primary's DumpMetrics verbatim for a
+  /// single store, or the shard-labelled combined document.
+  void BuildStatsPayload(std::string* out);
   /// Flushes the connection's write buffer as far as the socket
   /// accepts; false on a fatal socket error.
   bool FlushOut(Conn* conn);
   void CloseConn(Worker* worker, int fd);
 
-  DB* const db_;
+  std::vector<DB*> dbs_;
+  ShardRouter router_;
   const ServerOptions options_;
   size_t batch_bytes_cap_ = 0;
+  /// SHARDMAP response payload, finalized at Start() (endpoints carry
+  /// the bound address).
+  std::string shard_map_image_;
 
   int listen_fd_ = -1;
   uint16_t port_ = 0;
@@ -125,7 +170,7 @@ class Server {
   std::vector<std::unique_ptr<Worker>> workers_;
   std::atomic<uint64_t> next_worker_{0};
 
-  // Cached "net.*" instruments (owned by the DB's registry).
+  // Cached "net.*" instruments (owned by the primary DB's registry).
   obs::Counter* accepts_ = nullptr;
   obs::Counter* requests_ = nullptr;
   obs::Counter* bytes_in_ = nullptr;
@@ -133,7 +178,10 @@ class Server {
   obs::Counter* decode_errors_ = nullptr;
   obs::Counter* batched_writes_ = nullptr;
   obs::Counter* batched_ops_ = nullptr;
+  obs::Counter* backpressure_sheds_ = nullptr;
   obs::Gauge* connections_ = nullptr;
+  // Per-shard routing counters, one in each shard's own registry.
+  std::vector<obs::Counter*> shard_requests_;
 };
 
 }  // namespace net

@@ -1,0 +1,269 @@
+#include "net/shard_router.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <queue>
+
+#include "util/coding.h"
+#include "util/hash.h"
+
+namespace cachekv {
+namespace net {
+
+namespace {
+
+constexpr uint32_t kShardMapMagic = 0x50414d53;  // "SMAP" LE
+constexpr uint32_t kShardMapVersion = 1;
+/// Safety bound on decoded maps: 4096 shards * 1024 vnodes is far past
+/// anything this repo deploys, and keeps hostile images from reserving
+/// gigabytes.
+constexpr uint32_t kMaxShards = 4096;
+constexpr uint32_t kMaxVnodes = 1024;
+constexpr size_t kMaxEndpointBytes = 256;
+
+/// Ring point for (seed, shard, vnode): one well-mixed 64-bit value.
+/// Mix twice so shard/vnode structure cannot survive into the ring.
+uint64_t RingPoint(uint64_t seed, uint32_t shard, uint32_t vnode) {
+  return Mix64(seed ^ Mix64((static_cast<uint64_t>(shard) << 32) |
+                            static_cast<uint64_t>(vnode)));
+}
+
+Status DecodeError(const char* what) {
+  return Status::Corruption("shard map", what);
+}
+
+bool GetU32(Slice* in, uint32_t* out) {
+  if (in->size() < 4) return false;
+  *out = DecodeFixed32(in->data());
+  in->remove_prefix(4);
+  return true;
+}
+
+bool GetU64(Slice* in, uint64_t* out) {
+  if (in->size() < 8) return false;
+  *out = DecodeFixed64(in->data());
+  in->remove_prefix(8);
+  return true;
+}
+
+}  // namespace
+
+ShardRouter::ShardRouter() {
+  map_.num_shards = 1;
+  // One point suffices for identity routing, and keeping
+  // vnodes_per_shard consistent with the ring keeps the Encode image
+  // round-trippable through Decode's count validation.
+  map_.vnodes_per_shard = 1;
+  ring_.push_back({0, 0});
+}
+
+Status ShardRouter::Build(const ShardMap& map, ShardRouter* out) {
+  if (map.num_shards < 1 || map.num_shards > kMaxShards) {
+    return Status::InvalidArgument("shard map", "bad num_shards");
+  }
+  if (map.vnodes_per_shard < 1 || map.vnodes_per_shard > kMaxVnodes) {
+    return Status::InvalidArgument("shard map", "bad vnodes_per_shard");
+  }
+  if (!map.endpoints.empty() &&
+      map.endpoints.size() != map.num_shards) {
+    return Status::InvalidArgument("shard map",
+                                   "endpoints must match num_shards");
+  }
+  out->map_ = map;
+  out->ring_.clear();
+  out->ring_.reserve(static_cast<size_t>(map.num_shards) *
+                     map.vnodes_per_shard);
+  for (uint32_t shard = 0; shard < map.num_shards; shard++) {
+    for (uint32_t v = 0; v < map.vnodes_per_shard; v++) {
+      out->ring_.push_back({RingPoint(map.seed, shard, v), shard});
+    }
+  }
+  std::sort(out->ring_.begin(), out->ring_.end(),
+            [](const Point& a, const Point& b) {
+              return a.hash < b.hash ||
+                     (a.hash == b.hash && a.shard < b.shard);
+            });
+  // 64-bit point collisions are ~impossible at these ring sizes, but a
+  // duplicate would make ShardOf depend on sort stability; break the
+  // tie deterministically by nudging the later point.
+  for (size_t i = 1; i < out->ring_.size(); i++) {
+    if (out->ring_[i].hash <= out->ring_[i - 1].hash) {
+      out->ring_[i].hash = out->ring_[i - 1].hash + 1;
+    }
+  }
+  return Status::OK();
+}
+
+Status ShardRouter::SetEndpoints(std::vector<std::string> endpoints) {
+  if (!endpoints.empty() && endpoints.size() != map_.num_shards) {
+    return Status::InvalidArgument("shard map",
+                                   "endpoints must match num_shards");
+  }
+  map_.endpoints = std::move(endpoints);
+  return Status::OK();
+}
+
+uint32_t ShardRouter::ShardOf(const Slice& key) const {
+  if (ring_.size() == 1) return ring_[0].shard;
+  const uint64_t h =
+      Hash64(key.data(), key.size(), map_.seed ^ 0x9e3779b97f4a7c15ULL);
+  // Owner = first point clockwise at or after the key's hash.
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), h,
+      [](const Point& p, uint64_t value) { return p.hash < value; });
+  if (it == ring_.end()) it = ring_.begin();  // wrap past the top
+  return it->shard;
+}
+
+void ShardRouter::Encode(std::string* out) const {
+  PutFixed32(out, kShardMapMagic);
+  PutFixed32(out, kShardMapVersion);
+  PutFixed64(out, map_.seed);
+  PutFixed32(out, map_.num_shards);
+  PutFixed32(out, map_.vnodes_per_shard);
+  PutFixed32(out, static_cast<uint32_t>(map_.endpoints.size()));
+  for (const std::string& ep : map_.endpoints) {
+    PutFixed32(out, static_cast<uint32_t>(ep.size()));
+    out->append(ep);
+  }
+  PutFixed32(out, static_cast<uint32_t>(ring_.size()));
+  for (const Point& p : ring_) {
+    PutFixed64(out, p.hash);
+    PutFixed32(out, p.shard);
+  }
+}
+
+Status ShardRouter::Decode(const Slice& in, ShardRouter* out) {
+  Slice cursor = in;
+  uint32_t magic = 0, version = 0;
+  if (!GetU32(&cursor, &magic) || magic != kShardMapMagic) {
+    return DecodeError("bad magic");
+  }
+  if (!GetU32(&cursor, &version) || version != kShardMapVersion) {
+    return DecodeError("unsupported version");
+  }
+  ShardMap map;
+  uint32_t endpoint_count = 0;
+  if (!GetU64(&cursor, &map.seed) ||
+      !GetU32(&cursor, &map.num_shards) ||
+      !GetU32(&cursor, &map.vnodes_per_shard) ||
+      !GetU32(&cursor, &endpoint_count)) {
+    return DecodeError("truncated header");
+  }
+  if (map.num_shards < 1 || map.num_shards > kMaxShards) {
+    return DecodeError("bad num_shards");
+  }
+  if (map.vnodes_per_shard < 1 || map.vnodes_per_shard > kMaxVnodes) {
+    return DecodeError("bad vnodes_per_shard");
+  }
+  if (endpoint_count != 0 && endpoint_count != map.num_shards) {
+    return DecodeError("endpoint count mismatch");
+  }
+  map.endpoints.reserve(endpoint_count);
+  for (uint32_t i = 0; i < endpoint_count; i++) {
+    uint32_t len = 0;
+    if (!GetU32(&cursor, &len) || len > kMaxEndpointBytes ||
+        cursor.size() < len) {
+      return DecodeError("truncated endpoint");
+    }
+    map.endpoints.emplace_back(cursor.data(), len);
+    cursor.remove_prefix(len);
+  }
+  uint32_t ring_count = 0;
+  if (!GetU32(&cursor, &ring_count)) {
+    return DecodeError("truncated ring count");
+  }
+  if (ring_count !=
+      static_cast<uint64_t>(map.num_shards) * map.vnodes_per_shard) {
+    return DecodeError("ring count mismatch");
+  }
+  std::vector<Point> ring;
+  ring.reserve(ring_count);
+  std::vector<uint32_t> per_shard(map.num_shards, 0);
+  uint64_t prev = 0;
+  for (uint32_t i = 0; i < ring_count; i++) {
+    Point p;
+    if (!GetU64(&cursor, &p.hash) || !GetU32(&cursor, &p.shard)) {
+      return DecodeError("truncated ring point");
+    }
+    if (p.shard >= map.num_shards) return DecodeError("point shard OOB");
+    if (i > 0 && p.hash <= prev) {
+      return DecodeError("ring points not strictly sorted");
+    }
+    prev = p.hash;
+    per_shard[p.shard]++;
+    ring.push_back(p);
+  }
+  if (!cursor.empty()) return DecodeError("trailing bytes");
+  for (uint32_t s = 0; s < map.num_shards; s++) {
+    if (per_shard[s] == 0) return DecodeError("shard owns no ring point");
+  }
+  out->map_ = std::move(map);
+  out->ring_ = std::move(ring);
+  return Status::OK();
+}
+
+Status ShardRouter::SaveToFile(const std::string& path) const {
+  std::string image;
+  Encode(&image);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("shard map open for write", path);
+  }
+  const size_t written = std::fwrite(image.data(), 1, image.size(), f);
+  const bool flushed = std::fflush(f) == 0;
+  std::fclose(f);
+  if (written != image.size() || !flushed) {
+    return Status::IOError("shard map write", path);
+  }
+  return Status::OK();
+}
+
+Status ShardRouter::LoadFromFile(const std::string& path,
+                                 ShardRouter* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("shard map", path);
+  }
+  std::string image;
+  char buf[4096];
+  size_t got = 0;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    image.append(buf, got);
+  }
+  std::fclose(f);
+  return Decode(image, out);
+}
+
+void MergeShardScans(
+    std::vector<std::vector<std::pair<std::string, std::string>>>&&
+        per_shard,
+    size_t limit,
+    std::vector<std::pair<std::string, std::string>>* out) {
+  out->clear();
+  // Heap of (shard, next index), ordered by the entry key.
+  struct Cursor {
+    size_t shard;
+    size_t index;
+  };
+  auto key_at = [&per_shard](const Cursor& c) -> const std::string& {
+    return per_shard[c.shard][c.index].first;
+  };
+  auto greater = [&key_at](const Cursor& a, const Cursor& b) {
+    return key_at(a) > key_at(b);
+  };
+  std::priority_queue<Cursor, std::vector<Cursor>, decltype(greater)>
+      heap(greater);
+  for (size_t s = 0; s < per_shard.size(); s++) {
+    if (!per_shard[s].empty()) heap.push({s, 0});
+  }
+  while (!heap.empty() && (limit == 0 || out->size() < limit)) {
+    Cursor c = heap.top();
+    heap.pop();
+    out->push_back(std::move(per_shard[c.shard][c.index]));
+    if (++c.index < per_shard[c.shard].size()) heap.push(c);
+  }
+}
+
+}  // namespace net
+}  // namespace cachekv

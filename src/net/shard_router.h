@@ -1,0 +1,107 @@
+#ifndef CACHEKV_NET_SHARD_ROUTER_H_
+#define CACHEKV_NET_SHARD_ROUTER_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace cachekv {
+namespace net {
+
+/// Parameters of one key->shard assignment (docs/SERVER.md, "Sharding").
+/// The assignment itself is a consistent-hash ring of virtual nodes
+/// derived deterministically from these parameters, so two processes
+/// given the same ShardMap agree on every key without communicating.
+struct ShardMap {
+  /// Seeds both the ring-point derivation and the key hash; changing it
+  /// reshuffles every assignment, so it is fixed per deployment and
+  /// persisted with the map.
+  uint64_t seed = 0xcac4e005eedULL;  // "cachekv, seed 0"
+  uint32_t num_shards = 1;
+  /// Virtual nodes per shard. More vnodes -> more uniform key split
+  /// (the shard_router_test asserts +/-15% over 1M keys at the
+  /// default) at the cost of a larger ring; lookups stay O(log ring).
+  uint32_t vnodes_per_shard = 128;
+  /// Optional per-shard endpoint ("host:port"). Today every shard of a
+  /// `cachekv_server --shards=N` lives behind one address, so all
+  /// entries match the serving socket; a future proxy/placement tier
+  /// fills in distinct addresses and clients route without changes.
+  std::vector<std::string> endpoints;
+};
+
+/// ShardRouter owns the consistent-hash ring for one ShardMap and
+/// answers ShardOf(key) lookups. The ring is a sorted array of
+/// (point, shard) pairs: vnodes_per_shard points per shard, each the
+/// 64-bit mix of (seed, shard, vnode). A key routes to the owner of the
+/// first ring point at or after Hash64(key, seed), wrapping at the top.
+///
+/// Stability contract: the ring depends only on the ShardMap parameters
+/// and the fixed derivation below — never on insertion order, process
+/// layout, or time — so it is identical across restarts and across
+/// machines. Encode()/Decode() additionally carry the explicit ring
+/// points, so a decoded router keeps routing identically even if a
+/// future build changed the derivation (the decoder trusts the encoded
+/// points over re-derivation).
+class ShardRouter {
+ public:
+  /// Single-shard identity router (everything maps to shard 0).
+  ShardRouter();
+
+  /// Builds the ring for `map`. num_shards and vnodes_per_shard must be
+  /// >= 1; endpoints, when non-empty, must have one entry per shard.
+  static Status Build(const ShardMap& map, ShardRouter* out);
+
+  uint32_t ShardOf(const Slice& key) const;
+
+  uint32_t num_shards() const { return map_.num_shards; }
+  const ShardMap& map() const { return map_; }
+  /// Replaces the advertised endpoints (one per shard, or empty) without
+  /// touching the ring; the server calls this once it knows its bound
+  /// address. InvalidArgument on a size mismatch.
+  Status SetEndpoints(std::vector<std::string> endpoints);
+  /// Ring size (num_shards * vnodes_per_shard). Test hook.
+  size_t ring_points() const { return ring_.size(); }
+
+  /// Serializes the map parameters plus the explicit ring (the SHARDMAP
+  /// response payload and the on-disk shard-map format; docs/SERVER.md
+  /// documents the layout).
+  void Encode(std::string* out) const;
+  /// Parses an Encode() image. Validates the magic/version, the point
+  /// count, that every shard owns at least one point, and that points
+  /// are strictly sorted (so lookups stay well-defined).
+  static Status Decode(const Slice& in, ShardRouter* out);
+
+  /// Persists/loads the Encode() image as a small file, so a restarted
+  /// server reuses the exact assignment it served before.
+  Status SaveToFile(const std::string& path) const;
+  static Status LoadFromFile(const std::string& path, ShardRouter* out);
+
+ private:
+  struct Point {
+    uint64_t hash;
+    uint32_t shard;
+  };
+
+  ShardMap map_;
+  std::vector<Point> ring_;  // sorted by hash, strictly increasing
+};
+
+/// Merges per-shard ordered scan results into one globally ordered
+/// result of at most `limit` entries (0 = no limit). Shards partition
+/// the key space, so inputs are disjoint and no deduplication is
+/// needed; each input must already be key-ordered (as DB::Scan and the
+/// SCAN op return). Used by both the sharded server and ShardedClient.
+void MergeShardScans(
+    std::vector<std::vector<std::pair<std::string, std::string>>>&&
+        per_shard,
+    size_t limit,
+    std::vector<std::pair<std::string, std::string>>* out);
+
+}  // namespace net
+}  // namespace cachekv
+
+#endif  // CACHEKV_NET_SHARD_ROUTER_H_

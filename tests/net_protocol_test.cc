@@ -129,6 +129,17 @@ TEST(NetProtocolTest, StatsAndPingRoundTrip) {
   EXPECT_TRUE(f.payload.empty());
 }
 
+TEST(NetProtocolTest, ShardMapRoundTrip) {
+  std::string stream;
+  EncodeShardMapRequest(&stream, 15);
+  FrameDecoder dec;
+  Frame f = DecodeOne(&dec, stream);
+  EXPECT_EQ(Op::kShardMap, f.op);
+  EXPECT_EQ(15u, f.request_id);
+  EXPECT_TRUE(f.payload.empty());
+  EXPECT_STREQ("shardmap", OpName(Op::kShardMap));
+}
+
 TEST(NetProtocolTest, ResponseRoundTrip) {
   std::string stream;
   EncodeOkResponse(&stream, Op::kGet, 21, "hello");

@@ -21,6 +21,7 @@
 #include "fault/fail_point.h"
 #include "net/client.h"
 #include "net/server.h"
+#include "net/shard_router.h"
 #include "pmem/pmem_env.h"
 #include "util/json.h"
 
@@ -372,6 +373,54 @@ TEST_F(NetServerTest, ServerKillMidLoadLosesNoAcknowledgedWrite) {
   db_ = std::move(reopened);
 }
 
+TEST_F(NetServerTest, BackpressureShedsWithBusyInsteadOfBuffering) {
+  net::ServerOptions srv;
+  srv.max_conn_write_buffer_bytes = 64ull << 10;
+  StartServer(srv);
+  net::Client client;
+  MakeClient(&client);
+
+  const std::string big(8192, 'b');
+  ASSERT_TRUE(client.Put("big", big).ok());
+
+  // Pipeline far more response bytes (~32 MB) than the kernel's socket
+  // buffers plus the 64 KB cap can hold, then give the server time to
+  // process the whole flight while this thread is NOT reading: the
+  // outbound buffer hits the cap and the tail of the flight must be
+  // shed with Busy rather than buffered without bound.
+  constexpr int kGets = 4000;
+  for (int i = 0; i < kGets; i++) {
+    client.SubmitGet("big");
+  }
+  ASSERT_TRUE(client.Flush().ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(500));
+  std::vector<net::Client::Result> results;
+  ASSERT_TRUE(client.WaitAll(&results).ok());
+  ASSERT_EQ(static_cast<size_t>(kGets), results.size());
+
+  int served = 0, shed = 0;
+  for (const auto& r : results) {
+    if (r.status.ok()) {
+      served++;
+      EXPECT_EQ(big, r.value);
+    } else {
+      ASSERT_TRUE(r.status.IsBusy()) << r.status.ToString();
+      shed++;
+    }
+  }
+  EXPECT_GT(served, 0);
+  EXPECT_GT(shed, 0);
+  EXPECT_GE(db_->CounterValue("net.backpressure_sheds"),
+            static_cast<uint64_t>(shed));
+
+  // Shedding is per-request: the connection survives and recovers.
+  EXPECT_TRUE(client.connected());
+  EXPECT_TRUE(client.Ping().ok());
+  std::string got;
+  ASSERT_TRUE(client.Get("big", &got).ok());
+  EXPECT_EQ(big, got);
+}
+
 TEST_F(NetServerTest, StopIsIdempotentAndRestartable) {
   StartServer();
   net::Client client;
@@ -389,6 +438,278 @@ TEST_F(NetServerTest, StopIsIdempotentAndRestartable) {
   std::string got;
   ASSERT_TRUE(again.Get("k", &got).ok());
   EXPECT_EQ("v", got);
+}
+
+// Sharded-server integration: four independent stores behind one
+// listening socket, a consistent-hash ring shared by server and
+// clients, SHARDMAP bootstrap, shard-labelled STATS, and the
+// acceptance case — killing the sharded server mid-load and crash-
+// recovering every shard loses no acknowledged write.
+class ShardedNetServerTest : public ::testing::Test {
+ protected:
+  static constexpr int kShards = 4;
+
+  void SetUp() override {
+    fault::FailPointRegistry::Global()->DisableAll();
+    opts_ = TestDb();
+    net::ShardMap map;
+    map.num_shards = kShards;
+    ASSERT_TRUE(net::ShardRouter::Build(map, &router_).ok());
+    for (int i = 0; i < kShards; i++) {
+      envs_.push_back(
+          std::make_unique<PmemEnv>(TestEnv(opts_.pool_bytes)));
+      std::unique_ptr<DB> db;
+      ASSERT_TRUE(DB::Open(envs_.back().get(), opts_, false, &db).ok());
+      dbs_.push_back(std::move(db));
+    }
+  }
+
+  void TearDown() override {
+    if (server_) server_->Stop();
+    for (auto& db : dbs_) {
+      if (db) db->WaitIdle();
+    }
+    fault::FailPointRegistry::Global()->DisableAll();
+  }
+
+  void StartServer(net::ServerOptions srv = net::ServerOptions()) {
+    srv.port = 0;  // ephemeral
+    std::vector<DB*> ptrs;
+    for (auto& db : dbs_) ptrs.push_back(db.get());
+    server_ = std::make_unique<net::Server>(ptrs, router_, srv);
+    ASSERT_TRUE(server_->Start().ok());
+    ASSERT_NE(0, server_->port());
+  }
+
+  CacheKVOptions opts_;
+  net::ShardRouter router_;
+  std::vector<std::unique_ptr<PmemEnv>> envs_;
+  std::vector<std::unique_ptr<DB>> dbs_;
+  std::unique_ptr<net::Server> server_;
+};
+
+TEST_F(ShardedNetServerTest, OpsRouteAcrossAllShards) {
+  StartServer();
+  net::ShardedClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+  ASSERT_EQ(static_cast<uint32_t>(kShards), client.num_shards());
+
+  std::vector<std::string> keys;
+  for (int i = 0; i < 200; i++) {
+    const std::string key = "route" + std::to_string(i);
+    ASSERT_TRUE(client.Put(key, "v" + std::to_string(i)).ok());
+    keys.push_back(key);
+  }
+  // 200 keys over 4 shards: every store must have received writes.
+  for (int s = 0; s < kShards; s++) {
+    EXPECT_GT(dbs_[static_cast<size_t>(s)]->CounterValue("db.puts"), 0u)
+        << "shard " << s << " never written";
+    EXPECT_GT(dbs_[static_cast<size_t>(s)]->CounterValue(
+                  "net.shard.requests"),
+              0u);
+  }
+  for (int i = 0; i < 200; i++) {
+    std::string got;
+    ASSERT_TRUE(client.Get(keys[static_cast<size_t>(i)], &got).ok());
+    EXPECT_EQ("v" + std::to_string(i), got);
+  }
+  // The routing is the fixture ring: each key lives in exactly the
+  // shard the router names (verified store-side, bypassing the net).
+  for (int i = 0; i < 200; i += 17) {
+    const std::string& key = keys[static_cast<size_t>(i)];
+    const uint32_t owner = router_.ShardOf(key);
+    std::string got;
+    EXPECT_TRUE(dbs_[owner]->Get(key, &got).ok()) << key;
+  }
+
+  // MULTIPUT splits across shards; SCAN merges back in global order.
+  ASSERT_TRUE(client
+                  .MultiPut({{false, "m-a", "1"},
+                             {false, "m-b", "2"},
+                             {false, "m-c", "3"},
+                             {false, "m-d", "4"}})
+                  .ok());
+  // SCAN is `keys >= start` merged across all shards in global order;
+  // the four m-* keys sort before the route* bulk.
+  std::vector<std::pair<std::string, std::string>> entries;
+  ASSERT_TRUE(client.Scan("m-", 4, &entries).ok());
+  ASSERT_EQ(4u, entries.size());
+  EXPECT_EQ("m-a", entries[0].first);
+  EXPECT_EQ("m-b", entries[1].first);
+  EXPECT_EQ("m-c", entries[2].first);
+  EXPECT_EQ("m-d", entries[3].first);
+
+  ASSERT_TRUE(client.Delete("m-b").ok());
+  std::string got;
+  EXPECT_TRUE(client.Get("m-b", &got).IsNotFound());
+
+  // A plain (unsharded) client works against the same server: the
+  // server routes on its side.
+  net::Client plain;
+  ASSERT_TRUE(plain.Connect("127.0.0.1", server_->port()).ok());
+  ASSERT_TRUE(plain.Get("route7", &got).ok());
+  EXPECT_EQ("v7", got);
+  ASSERT_TRUE(plain.Put("plain-key", "plain-value").ok());
+  ASSERT_TRUE(client.Get("plain-key", &got).ok());
+  EXPECT_EQ("plain-value", got);
+  entries.clear();
+  ASSERT_TRUE(plain.Scan("m-", 3, &entries).ok());
+  ASSERT_EQ(3u, entries.size());  // m-b deleted — globally ordered
+  EXPECT_EQ("m-a", entries[0].first);
+  EXPECT_EQ("m-c", entries[1].first);
+  EXPECT_EQ("m-d", entries[2].first);
+}
+
+TEST_F(ShardedNetServerTest, ShardMapFetchMatchesServerRouting) {
+  StartServer();
+  net::Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+  net::ShardRouter fetched;
+  ASSERT_TRUE(client.FetchShardMap(&fetched).ok());
+  EXPECT_EQ(static_cast<uint32_t>(kShards), fetched.num_shards());
+  ASSERT_EQ(static_cast<size_t>(kShards),
+            fetched.map().endpoints.size());
+  const std::string want_endpoint =
+      "127.0.0.1:" + std::to_string(server_->port());
+  for (const std::string& ep : fetched.map().endpoints) {
+    EXPECT_EQ(want_endpoint, ep);
+  }
+  // The fetched ring assigns every key exactly as the server does.
+  for (int i = 0; i < 10'000; i++) {
+    const std::string key = "agree" + std::to_string(i);
+    ASSERT_EQ(router_.ShardOf(key), fetched.ShardOf(key)) << key;
+  }
+}
+
+TEST_F(ShardedNetServerTest, StatsAreShardLabelled) {
+  StartServer();
+  net::ShardedClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+  for (int i = 0; i < 100; i++) {
+    ASSERT_TRUE(client.Put("stat" + std::to_string(i), "v").ok());
+  }
+  std::string json;
+  ASSERT_TRUE(client.Stats(&json).ok());
+  JsonValue doc;
+  ASSERT_TRUE(JsonValue::Parse(json, &doc).ok()) << json;
+  const JsonValue* shards = doc.Get("shards");
+  ASSERT_NE(nullptr, shards);
+  EXPECT_EQ(kShards, static_cast<int>(shards->number()));
+  for (int s = 0; s < kShards; s++) {
+    const JsonValue* shard = doc.Get("shard." + std::to_string(s));
+    ASSERT_NE(nullptr, shard) << "missing shard." << s;
+    EXPECT_NE(nullptr, shard->Get("net.shard.requests"))
+        << "shard." << s;
+    EXPECT_NE(nullptr, shard->Get("db.puts")) << "shard." << s;
+  }
+  // Server-wide net.* instruments live in the primary shard's dump.
+  EXPECT_NE(nullptr, doc.Get("shard.0")->Get("net.requests"));
+}
+
+TEST_F(ShardedNetServerTest, ConcurrentShardedClientsAgainstShadowMaps) {
+  StartServer();
+  constexpr int kThreads = 4;
+  constexpr int kOps = 400;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&, t] {
+      net::ShardedClient client;
+      if (!client.Connect("127.0.0.1", server_->port()).ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      std::map<std::string, std::string> shadow;
+      const std::string prefix = "st" + std::to_string(t) + "-";
+      for (int i = 0; i < kOps; i++) {
+        const std::string key = prefix + std::to_string(i % 50);
+        if (i % 7 == 3) {
+          if (!client.Delete(key).ok()) failures.fetch_add(1);
+          shadow.erase(key);
+        } else {
+          const std::string value =
+              "v" + std::to_string(t) + "." + std::to_string(i);
+          if (!client.Put(key, value).ok()) failures.fetch_add(1);
+          shadow[key] = value;
+        }
+      }
+      for (const auto& [key, want] : shadow) {
+        std::string got;
+        if (!client.Get(key, &got).ok() || got != want) {
+          failures.fetch_add(1);
+        }
+      }
+      for (int i = 0; i < 50; i++) {
+        const std::string key = prefix + std::to_string(i);
+        if (shadow.count(key)) continue;
+        std::string got;
+        if (!client.Get(key, &got).IsNotFound()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(0, failures.load());
+}
+
+TEST_F(ShardedNetServerTest, KillMidLoadLosesNoAcknowledgedWrite) {
+  StartServer();
+  constexpr int kWriters = 3;
+  std::vector<std::map<std::string, std::string>> acked(kWriters);
+  std::vector<std::thread> writers;
+  std::atomic<bool> stop{false};
+  for (int t = 0; t < kWriters; t++) {
+    writers.emplace_back([&, t] {
+      net::ShardedClient client;
+      if (!client.Connect("127.0.0.1", server_->port()).ok()) return;
+      for (int i = 0; !stop.load(std::memory_order_relaxed); i++) {
+        const std::string key =
+            "scrash-t" + std::to_string(t) + "-" + std::to_string(i);
+        const std::string value =
+            "durable-" + std::to_string(t) + "." + std::to_string(i);
+        // Only responses that actually came back count as acknowledged.
+        if (!client.Put(key, value).ok()) break;
+        acked[static_cast<size_t>(t)][key] = value;
+      }
+    });
+  }
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  server_->Stop();  // hard cut: every in-flight connection drops
+  stop.store(true);
+  for (auto& th : writers) th.join();
+  server_.reset();
+
+  size_t total = 0;
+  for (const auto& m : acked) total += m.size();
+  ASSERT_GT(total, 100u) << "load phase too short to mean anything";
+
+  // Crash every shard's machine and recover each store from its own
+  // PMem device alone.
+  for (int s = 0; s < kShards; s++) {
+    dbs_[static_cast<size_t>(s)]->WaitIdle();
+    dbs_[static_cast<size_t>(s)].reset();
+    envs_[static_cast<size_t>(s)]->SimulateCrash();
+    std::unique_ptr<DB> reopened;
+    ASSERT_TRUE(DB::Open(envs_[static_cast<size_t>(s)].get(), opts_,
+                         true, &reopened)
+                    .ok())
+        << "shard " << s;
+    dbs_[static_cast<size_t>(s)] = std::move(reopened);
+  }
+
+  // Every acknowledged write must be in exactly the shard the ring
+  // routes it to.
+  for (const auto& m : acked) {
+    for (const auto& [key, want] : m) {
+      const uint32_t owner = router_.ShardOf(key);
+      std::string got;
+      Status s = dbs_[owner]->Get(key, &got);
+      ASSERT_TRUE(s.ok()) << "acknowledged write lost: " << key
+                          << " (shard " << owner << "): "
+                          << s.ToString();
+      EXPECT_EQ(want, got) << key;
+    }
+  }
 }
 
 }  // namespace

@@ -8,7 +8,8 @@
 //   C++20
 //
 // Commands: put <k> <v> | get <k> | del <k> | multiput <k1> <v1> ...
-//           scan [start] [limit] | stats | ping | pipe <n> | help
+//           scan [start] [limit] | stats | ping | pipe <n> |
+//           shardmap | shard <key> | help
 
 #include <chrono>
 #include <cstdio>
@@ -35,6 +36,8 @@ void PrintHelp() {
       "  stats                      server metrics dump (JSON)\n"
       "  ping                       round-trip check\n"
       "  pipe <n>                   pipeline n gets of key0..key<n-1>\n"
+      "  shardmap                   fetch the server's shard ring\n"
+      "  shard <key>                which shard owns <key>\n"
       "  help                       this text\n");
 }
 
@@ -125,7 +128,7 @@ int main(int argc, char** argv) {
         continue;
       }
       Status st = client.MultiPut(batch);
-      std::printf("%s (%zu keys, one atomic commit)\n",
+      std::printf("%s (%zu keys, atomic per shard)\n",
                   st.ToString().c_str(), batch.size());
     } else if (cmd == "scan") {
       std::string start;
@@ -179,6 +182,36 @@ int main(int argc, char** argv) {
       }
       std::printf("%zu responses, %d hits (one pipelined flight)\n",
                   results.size(), hits);
+    } else if (cmd == "shardmap") {
+      net::ShardRouter router;
+      Status st = client.FetchShardMap(&router);
+      if (!st.ok()) {
+        std::printf("%s\n", st.ToString().c_str());
+        continue;
+      }
+      const net::ShardMap& map = router.map();
+      std::printf(
+          "shards=%u vnodes_per_shard=%u seed=%llu ring_points=%zu\n",
+          map.num_shards, map.vnodes_per_shard,
+          static_cast<unsigned long long>(map.seed),
+          router.ring_points());
+      for (size_t i = 0; i < map.endpoints.size(); i++) {
+        std::printf("  shard %zu @ %s\n", i, map.endpoints[i].c_str());
+      }
+    } else if (cmd == "shard") {
+      std::string k;
+      if (!(in >> k)) {
+        std::printf("usage: shard <key>\n");
+        continue;
+      }
+      net::ShardRouter router;
+      Status st = client.FetchShardMap(&router);
+      if (!st.ok()) {
+        std::printf("%s\n", st.ToString().c_str());
+        continue;
+      }
+      std::printf("'%s' -> shard %u of %u\n", k.c_str(),
+                  router.ShardOf(k), router.num_shards());
     } else {
       std::printf("unknown command '%s' — try 'help'\n", cmd.c_str());
     }

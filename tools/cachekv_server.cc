@@ -1,13 +1,18 @@
 // cachekv_server — standalone network daemon serving one CacheKV store
-// over the wire protocol of docs/SERVER.md.
+// (or N consistent-hash shards of one keyspace) over the wire protocol
+// of docs/SERVER.md.
 //
 //   $ ./build/tools/cachekv_server --port 7070 --workers 4
 //   cachekv_server listening on 127.0.0.1:7070 (workers=4)
+//   $ ./build/tools/cachekv_server --port 7070 --shards 4
+//   cachekv_server listening on 127.0.0.1:7070 (workers=2, shards=4)
 //
-// The store runs on the simulated PMem platform (src/pmem), so data
-// lives for the lifetime of the process; SIGINT/SIGTERM shut down
-// gracefully in the required order: network layer first (no thread
-// touches the DB afterwards), then DB background work, then the store.
+// Each shard is a fully independent DB on its own simulated PMem device
+// (src/pmem) with its own background threads; requests are routed by
+// the shard ring (docs/SERVER.md, "Sharding"). Data lives for the
+// lifetime of the process; SIGINT/SIGTERM shut down gracefully in the
+// required order: network layer first (no thread touches any DB
+// afterwards), then per-shard background work, then the stores.
 
 #include <csignal>
 #include <cstdio>
@@ -15,9 +20,11 @@
 #include <cstring>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/db.h"
 #include "net/server.h"
+#include "net/shard_router.h"
 #include "pmem/pmem_env.h"
 
 using namespace cachekv;
@@ -35,8 +42,16 @@ void Usage(const char* argv0) {
       "  --host ADDR       listen address (default 127.0.0.1)\n"
       "  --port N          TCP port, 0 = ephemeral (default 7070)\n"
       "  --workers N       worker event-loop threads (default 2)\n"
-      "  --pool-mb N       CAT-locked sub-MemTable pool MB (default 12)\n"
-      "  --pmem-mb N       simulated PMem capacity MB (default 1024)\n"
+      "  --shards N        independent DB shards (default 1)\n"
+      "  --vnodes N        ring virtual nodes per shard (default 128)\n"
+      "  --shard-seed N    ring seed (default: built-in constant)\n"
+      "  --shard-map PATH  persist/load the ring at PATH (load wins\n"
+      "                    when the file exists; --shards etc. must\n"
+      "                    then match the loaded map)\n"
+      "  --pool-mb N       CAT-locked sub-MemTable pool MB per shard\n"
+      "                    (default 12)\n"
+      "  --pmem-mb N       simulated PMem capacity MB per shard\n"
+      "                    (default 1024)\n"
       "  --cores N         per-core writer slots (default 8)\n"
       "  --latency-scale X PMem latency model scale (default 1.0)\n"
       "  --trace           enable event tracing (also: CACHEKV_TRACE)\n",
@@ -60,6 +75,10 @@ int main(int argc, char** argv) {
   std::string host = "127.0.0.1";
   int port = 7070;
   int workers = 2;
+  int shards = 1;
+  int vnodes = 128;
+  uint64_t shard_seed = 0;  // 0 = keep the ShardMap default
+  std::string shard_map_path;
   uint64_t pool_mb = 12;
   uint64_t pmem_mb = 1024;
   int cores = 8;
@@ -74,6 +93,14 @@ int main(int argc, char** argv) {
       port = std::atoi(v);
     } else if (ParseArg(argc, argv, &i, "--workers", &v)) {
       workers = std::atoi(v);
+    } else if (ParseArg(argc, argv, &i, "--shards", &v)) {
+      shards = std::atoi(v);
+    } else if (ParseArg(argc, argv, &i, "--vnodes", &v)) {
+      vnodes = std::atoi(v);
+    } else if (ParseArg(argc, argv, &i, "--shard-seed", &v)) {
+      shard_seed = std::strtoull(v, nullptr, 10);
+    } else if (ParseArg(argc, argv, &i, "--shard-map", &v)) {
+      shard_map_path = v;
     } else if (ParseArg(argc, argv, &i, "--pool-mb", &v)) {
       pool_mb = std::strtoull(v, nullptr, 10);
     } else if (ParseArg(argc, argv, &i, "--pmem-mb", &v)) {
@@ -93,6 +120,45 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  if (shards < 1 || vnodes < 1) {
+    std::fprintf(stderr, "--shards and --vnodes must be >= 1\n");
+    return 2;
+  }
+
+  // The ring: load a persisted map when one exists (so a restarted
+  // server keeps the exact assignment it served before), else build
+  // from the flags and persist it when a path was given.
+  net::ShardRouter router;
+  if (!shard_map_path.empty() &&
+      net::ShardRouter::LoadFromFile(shard_map_path, &router).ok()) {
+    if (router.num_shards() != static_cast<uint32_t>(shards)) {
+      std::fprintf(stderr,
+                   "shard map %s has %u shards but --shards is %d\n",
+                   shard_map_path.c_str(), router.num_shards(), shards);
+      return 2;
+    }
+    std::printf("loaded shard map from %s (%u shards, %zu ring points)\n",
+                shard_map_path.c_str(), router.num_shards(),
+                router.ring_points());
+  } else {
+    net::ShardMap map;
+    map.num_shards = static_cast<uint32_t>(shards);
+    map.vnodes_per_shard = static_cast<uint32_t>(vnodes);
+    if (shard_seed != 0) map.seed = shard_seed;
+    Status rs = net::ShardRouter::Build(map, &router);
+    if (!rs.ok()) {
+      std::fprintf(stderr, "shard map: %s\n", rs.ToString().c_str());
+      return 2;
+    }
+    if (!shard_map_path.empty()) {
+      rs = router.SaveToFile(shard_map_path);
+      if (!rs.ok()) {
+        std::fprintf(stderr, "shard map save: %s\n",
+                     rs.ToString().c_str());
+        return 1;
+      }
+    }
+  }
 
   EnvOptions env_opts;
   env_opts.pmem_capacity = pmem_mb << 20;
@@ -104,32 +170,48 @@ int main(int argc, char** argv) {
                  s.ToString().c_str());
     return 1;
   }
-  PmemEnv env(env_opts);
 
   CacheKVOptions db_opts;
   db_opts.pool_bytes = pool_mb << 20;
   db_opts.num_cores = cores;
   db_opts.trace_enabled = trace;
 
-  std::unique_ptr<DB> db;
-  s = DB::Open(&env, db_opts, /*recover=*/false, &db);
-  if (!s.ok()) {
-    std::fprintf(stderr, "open: %s\n", s.ToString().c_str());
-    return 1;
+  // One simulated PMem device + one store per shard, each with its own
+  // pool and background threads.
+  std::vector<std::unique_ptr<PmemEnv>> envs;
+  std::vector<std::unique_ptr<DB>> dbs;
+  std::vector<DB*> db_ptrs;
+  for (int i = 0; i < shards; i++) {
+    envs.push_back(std::make_unique<PmemEnv>(env_opts));
+    std::unique_ptr<DB> db;
+    s = DB::Open(envs.back().get(), db_opts, /*recover=*/false, &db);
+    if (!s.ok()) {
+      std::fprintf(stderr, "open shard %d: %s\n", i,
+                   s.ToString().c_str());
+      return 1;
+    }
+    db_ptrs.push_back(db.get());
+    dbs.push_back(std::move(db));
   }
 
   net::ServerOptions srv_opts;
   srv_opts.host = host;
   srv_opts.port = static_cast<uint16_t>(port);
   srv_opts.num_workers = workers;
-  net::Server server(db.get(), srv_opts);
+  net::Server server(db_ptrs, router, srv_opts);
   s = server.Start();
   if (!s.ok()) {
     std::fprintf(stderr, "start: %s\n", s.ToString().c_str());
     return 1;
   }
-  std::printf("cachekv_server listening on %s:%u (workers=%d)\n",
-              host.c_str(), server.port(), workers);
+  if (shards == 1) {
+    std::printf("cachekv_server listening on %s:%u (workers=%d)\n",
+                host.c_str(), server.port(), workers);
+  } else {
+    std::printf(
+        "cachekv_server listening on %s:%u (workers=%d, shards=%d)\n",
+        host.c_str(), server.port(), workers, shards);
+  }
   std::fflush(stdout);
 
   std::signal(SIGINT, HandleSignal);
@@ -143,15 +225,18 @@ int main(int argc, char** argv) {
   std::printf("shutting down...\n");
   std::fflush(stdout);
   // Ordering contract (docs/SERVER.md): quiesce the network layer
-  // before the store so no request thread can race DB teardown.
+  // before the stores so no request thread can race DB teardown.
   server.Stop();
-  Status idle = db->WaitIdle();
-  if (!idle.ok()) {
-    std::fprintf(stderr, "background error at shutdown: %s\n",
-                 idle.ToString().c_str());
+  for (int i = 0; i < shards; i++) {
+    Status idle = dbs[i]->WaitIdle();
+    if (!idle.ok()) {
+      std::fprintf(stderr, "shard %d background error at shutdown: %s\n",
+                   i, idle.ToString().c_str());
+    }
   }
-  const uint64_t requests = db->CounterValue("net.requests");
-  db.reset();
+  const uint64_t requests = dbs[0]->CounterValue("net.requests");
+  dbs.clear();
+  envs.clear();
   std::printf("served %llu requests; bye\n",
               static_cast<unsigned long long>(requests));
   return 0;

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Checks that every relative markdown link in the docs resolves.
+
+Scans README.md and docs/*.md (plus any extra files given on the
+command line) for inline links `[text](target)`, strips `#anchors`,
+skips absolute URLs (`http://`, `https://`, `mailto:`), and fails with
+a non-zero exit when a target does not exist relative to the linking
+file. Run from anywhere:
+
+    tools/check_doc_links.py            # default doc set
+    tools/check_doc_links.py FILE.md…   # explicit files
+"""
+
+import pathlib
+import re
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+# Inline markdown links, excluding images; lazily matched target up to
+# the first ')'. Code spans are stripped first so `[x](y)` examples in
+# backticks don't count.
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
+CODE_SPAN_RE = re.compile(r"`[^`]*`")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def doc_files(argv):
+    if argv:
+        return [pathlib.Path(a) for a in argv]
+    files = [REPO_ROOT / "README.md"]
+    files += sorted((REPO_ROOT / "docs").glob("*.md"))
+    return files
+
+
+def check_file(path):
+    errors = []
+    in_fence = False
+    for lineno, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if CODE_FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for target in LINK_RE.findall(CODE_SPAN_RE.sub("", line)):
+            if target.startswith(SKIP_PREFIXES) or target.startswith("#"):
+                continue
+            rel = target.split("#", 1)[0]
+            if not rel:
+                continue
+            resolved = (path.parent / rel).resolve()
+            if not resolved.exists():
+                errors.append(f"{path}:{lineno}: broken link -> {target}")
+    return errors
+
+
+def main(argv):
+    files = doc_files(argv)
+    missing = [f for f in files if not f.exists()]
+    if missing:
+        for f in missing:
+            print(f"no such file: {f}", file=sys.stderr)
+        return 2
+    errors = []
+    checked = 0
+    for f in files:
+        errors += check_file(f)
+        checked += 1
+    for e in errors:
+        print(e, file=sys.stderr)
+    print(f"{checked} files checked, {len(errors)} broken links")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
