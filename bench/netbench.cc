@@ -68,6 +68,18 @@ struct Config {
   /// real shard count then comes from the fetched ring).
   int shards = 1;
   uint64_t seed = 42;
+  /// Key distribution: uniform | zipfian | hotspot | latest, or one of
+  /// the YCSB core mixes via --ycsb (which overrides dist + read_pct).
+  std::string dist = "uniform";
+  double theta = 0.99;
+  double hot_keys = 0.1;  // --hot-keys: hot fraction of the keyspace
+  double hot_ops = 0.9;   // --hot-ops: op fraction aimed at the hot set
+  std::string ycsb;       // "", or A|B|C|D
+  /// In-process server's per-shard hot-key cache (0 disables).
+  uint64_t cache_mb = 8;
+  uint32_t cache_admit = 2;
+  /// Resolved from the fields above after flag parsing.
+  WorkloadSpec spec;
 };
 
 struct ThreadStats {
@@ -161,7 +173,7 @@ void RunThread(const Config& cfg, int tid, uint64_t ops,
     stats->errors += ops;
     return;
   }
-  Random rng(cfg.seed * 2654435761u + static_cast<uint64_t>(tid) + 1);
+  OpGenerator gen(cfg.spec, tid, cfg.connections, cfg.seed);
 
   const auto start = std::chrono::steady_clock::now();
   uint64_t done = 0;
@@ -178,10 +190,9 @@ void RunThread(const Config& cfg, int tid, uint64_t ops,
     flight_keys.clear();
     flight_is_get.clear();
     for (int i = 0; i < depth; i++) {
-      const uint64_t key_index = rng.Uniform(
-          static_cast<uint32_t>(cfg.key_space));
-      const bool is_get =
-          static_cast<int>(rng.Uniform(100)) < cfg.read_pct;
+      const Op wop = gen.Next();
+      const uint64_t key_index = wop.key_index;
+      const bool is_get = wop.type == OpType::kGet;
       flight_keys.push_back(key_index);
       flight_is_get.push_back(is_get);
       const std::string key = KeyFor(key_index, cfg.key_size);
@@ -251,7 +262,7 @@ void RunThreadSharded(const Config& cfg, int tid, uint64_t ops,
   }
   const uint32_t num_shards = client.num_shards();
   stats->shard_ops.assign(num_shards, 0);
-  Random rng(cfg.seed * 2654435761u + static_cast<uint64_t>(tid) + 1);
+  OpGenerator gen(cfg.spec, tid, cfg.connections, cfg.seed);
 
   struct FlightOp {
     uint64_t key_index;
@@ -267,10 +278,9 @@ void RunThreadSharded(const Config& cfg, int tid, uint64_t ops,
                            ops - done));
     for (auto& m : pending) m.clear();
     for (int i = 0; i < depth; i++) {
-      const uint64_t key_index = rng.Uniform(
-          static_cast<uint32_t>(cfg.key_space));
-      const bool is_get =
-          static_cast<int>(rng.Uniform(100)) < cfg.read_pct;
+      const Op wop = gen.Next();
+      const uint64_t key_index = wop.key_index;
+      const bool is_get = wop.type == OpType::kGet;
       const std::string key = KeyFor(key_index, cfg.key_size);
       const uint32_t shard = client.ShardOf(key);
       net::Client* conn = client.shard_client(shard);
@@ -354,7 +364,92 @@ JsonValue& AttachRunFields(JsonValue& run, const Config& cfg,
   run.Set("read_pct",
           JsonValue::Number(static_cast<double>(cfg.read_pct)));
   run.Set("shards", JsonValue::Number(static_cast<double>(shards)));
+  // Workload identity: these are scalar fields, so bench_diff matches
+  // zipfian runs only against zipfian runs, etc.
+  run.Set("dist", JsonValue::Str(cfg.dist));
+  if (cfg.spec.dist == KeyDist::kZipfian ||
+      cfg.spec.dist == KeyDist::kLatest) {
+    run.Set("theta", JsonValue::Number(cfg.theta));
+  } else if (cfg.spec.dist == KeyDist::kHotSpot) {
+    run.Set("hot_keys", JsonValue::Number(cfg.hot_keys));
+    run.Set("hot_ops", JsonValue::Number(cfg.hot_ops));
+  }
+  if (!cfg.ycsb.empty()) {
+    run.Set("ycsb", JsonValue::Str(cfg.ycsb));
+  }
   return run;
+}
+
+/// Server-side hot-key cache counters, summed across shards.
+struct HotCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t admissions = 0;
+  uint64_t evictions = 0;
+  uint64_t invalidations = 0;
+
+  bool active() const { return hits + misses > 0; }
+  double HitRatio() const {
+    const uint64_t lookups = hits + misses;
+    return lookups == 0
+               ? 0.0
+               : static_cast<double>(hits) / static_cast<double>(lookups);
+  }
+};
+
+/// Scrapes STATS from the server (in-process or remote) and sums the
+/// cache.* counters over every shard document. False when the server is
+/// unreachable or the payload does not parse.
+bool ScrapeCacheStats(const Config& cfg, HotCacheStats* out) {
+  net::Client client;
+  if (!client.Connect(cfg.connect_host, cfg.connect_port).ok()) {
+    return false;
+  }
+  std::string json;
+  if (!client.Stats(&json).ok()) {
+    return false;
+  }
+  JsonValue doc;
+  if (!JsonValue::Parse(json, &doc).ok() || !doc.is_object()) {
+    return false;
+  }
+  auto add_from = [out](const JsonValue& reg) {
+    auto num = [&reg](const char* name) -> uint64_t {
+      const JsonValue* v = reg.Get(name);
+      return (v != nullptr && v->is_number())
+                 ? static_cast<uint64_t>(v->number())
+                 : 0;
+    };
+    out->hits += num("cache.hits");
+    out->misses += num("cache.misses");
+    out->admissions += num("cache.admissions");
+    out->evictions += num("cache.evictions");
+    out->invalidations += num("cache.invalidations");
+  };
+  if (doc.Get("shard.0") != nullptr) {
+    for (size_t i = 0;; i++) {
+      const JsonValue* shard = doc.Get("shard." + std::to_string(i));
+      if (shard == nullptr || !shard->is_object()) break;
+      add_from(*shard);
+    }
+  } else {
+    add_from(doc);
+  }
+  return true;
+}
+
+JsonValue CacheJson(const HotCacheStats& c) {
+  JsonValue v = JsonValue::Object();
+  v.Set("hits", JsonValue::Number(static_cast<double>(c.hits)));
+  v.Set("misses", JsonValue::Number(static_cast<double>(c.misses)));
+  v.Set("admissions",
+        JsonValue::Number(static_cast<double>(c.admissions)));
+  v.Set("evictions",
+        JsonValue::Number(static_cast<double>(c.evictions)));
+  v.Set("invalidations",
+        JsonValue::Number(static_cast<double>(c.invalidations)));
+  v.Set("hit_ratio", JsonValue::Number(c.HitRatio()));
+  return v;
 }
 
 }  // namespace
@@ -397,13 +492,31 @@ int main(int argc, char** argv) {
       cfg.shards = std::atoi(next("--shards"));
     } else if (std::strcmp(argv[i], "--seed") == 0) {
       cfg.seed = std::strtoull(next("--seed"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--dist") == 0) {
+      cfg.dist = next("--dist");
+    } else if (std::strcmp(argv[i], "--theta") == 0) {
+      cfg.theta = std::atof(next("--theta"));
+    } else if (std::strcmp(argv[i], "--hot-keys") == 0) {
+      cfg.hot_keys = std::atof(next("--hot-keys"));
+    } else if (std::strcmp(argv[i], "--hot-ops") == 0) {
+      cfg.hot_ops = std::atof(next("--hot-ops"));
+    } else if (std::strcmp(argv[i], "--ycsb") == 0) {
+      cfg.ycsb = next("--ycsb");
+    } else if (std::strcmp(argv[i], "--cache-mb") == 0) {
+      cfg.cache_mb = std::strtoull(next("--cache-mb"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--cache-admit") == 0) {
+      cfg.cache_admit = static_cast<uint32_t>(
+          std::strtoul(next("--cache-admit"), nullptr, 10));
     } else {
       std::fprintf(
           stderr,
           "usage: %s [--connect host:port] [--connections N] [--ops N]\n"
           "          [--read-pct P] [--pipeline D] [--value-size B]\n"
           "          [--key-space N] [--no-preload] [--latency-scale X]\n"
-          "          [--workers N] [--shards N] [--seed S]\n",
+          "          [--workers N] [--shards N] [--seed S]\n"
+          "          [--dist uniform|zipfian|hotspot|latest]\n"
+          "          [--theta X] [--hot-keys F] [--hot-ops F]\n"
+          "          [--ycsb A|B|C|D] [--cache-mb N] [--cache-admit N]\n",
           argv[0]);
       return 2;
     }
@@ -415,6 +528,57 @@ int main(int argc, char** argv) {
   if (cfg.pipeline < 1) cfg.pipeline = 1;
   if (cfg.shards < 1) cfg.shards = 1;
   const bool sharded = cfg.shards > 1;
+
+  // Resolve the workload spec. --ycsb overrides --dist and --read-pct
+  // with the named YCSB core mix; plain --dist keeps the read mix of
+  // --read-pct.
+  if (!cfg.ycsb.empty()) {
+    switch (cfg.ycsb[0]) {
+      case 'A': case 'a':
+        cfg.spec = WorkloadSpec::YcsbA(cfg.key_space);
+        break;
+      case 'B': case 'b':
+        cfg.spec = WorkloadSpec::YcsbB(cfg.key_space);
+        break;
+      case 'C': case 'c':
+        cfg.spec = WorkloadSpec::YcsbC(cfg.key_space);
+        break;
+      case 'D': case 'd':
+        cfg.spec = WorkloadSpec::YcsbD(cfg.key_space);
+        break;
+      default:
+        std::fprintf(stderr, "bad --ycsb %s, want A..D\n",
+                     cfg.ycsb.c_str());
+        return 2;
+    }
+    cfg.ycsb = static_cast<char>(
+        cfg.ycsb[0] >= 'a' ? cfg.ycsb[0] - ('a' - 'A') : cfg.ycsb[0]);
+    cfg.spec.zipf_theta = cfg.theta;
+    cfg.read_pct =
+        static_cast<int>(cfg.spec.read_fraction * 100.0 + 0.5);
+    cfg.dist =
+        cfg.spec.dist == KeyDist::kLatest ? "latest" : "zipfian";
+  } else {
+    cfg.spec.read_fraction = static_cast<double>(cfg.read_pct) / 100.0;
+    cfg.spec.key_space = cfg.key_space;
+    cfg.spec.zipf_theta = cfg.theta;
+    cfg.spec.hot_key_fraction = cfg.hot_keys;
+    cfg.spec.hot_op_fraction = cfg.hot_ops;
+    if (cfg.dist == "uniform") {
+      cfg.spec.dist = KeyDist::kUniform;
+    } else if (cfg.dist == "zipfian") {
+      cfg.spec.dist = KeyDist::kZipfian;
+    } else if (cfg.dist == "hotspot") {
+      cfg.spec.dist = KeyDist::kHotSpot;
+    } else if (cfg.dist == "latest") {
+      cfg.spec.dist = KeyDist::kLatest;
+    } else {
+      std::fprintf(stderr,
+                   "bad --dist %s, want uniform|zipfian|hotspot|latest\n",
+                   cfg.dist.c_str());
+      return 2;
+    }
+  }
 
   // Self-contained mode: spawn a server in-process on an ephemeral
   // port — one simulated PMem platform + DB per shard.
@@ -455,6 +619,8 @@ int main(int argc, char** argv) {
     net::ServerOptions srv_opts;
     srv_opts.port = 0;
     srv_opts.num_workers = cfg.workers;
+    srv_opts.hot_key_cache_bytes = cfg.cache_mb << 20;
+    srv_opts.hot_key_cache_admit = cfg.cache_admit;
     server = std::make_unique<net::Server>(db_ptrs, router, srv_opts);
     Status st = server->Start();
     if (!st.ok()) {
@@ -486,10 +652,11 @@ int main(int argc, char** argv) {
 
   std::printf(
       "netbench: %d connections, %llu ops, %d%% reads, pipeline %d, "
-      "value %zu B, keyspace %llu%s\n",
+      "value %zu B, keyspace %llu, dist %s%s%s\n",
       cfg.connections, static_cast<unsigned long long>(cfg.total_ops),
       cfg.read_pct, cfg.pipeline, cfg.value_size,
-      static_cast<unsigned long long>(cfg.key_space),
+      static_cast<unsigned long long>(cfg.key_space), cfg.dist.c_str(),
+      cfg.ycsb.empty() ? "" : (" (YCSB-" + cfg.ycsb + ")").c_str(),
       sharded ? (", shards " + std::to_string(actual_shards)).c_str()
               : "");
 
@@ -570,12 +737,29 @@ int main(int argc, char** argv) {
   // aggregation; the per-class entries carry zero and the mixed entry
   // carries the total.
 
+  // Hot-key cache effectiveness, scraped from the server's STATS while
+  // it is still up; attached to the net-mixed run as an informational
+  // object (bench_diff ignores dict-valued fields for matching).
+  HotCacheStats cache_stats;
+  const bool have_cache_stats =
+      ScrapeCacheStats(cfg, &cache_stats) && cache_stats.active();
+
   char buf[160];
   std::snprintf(buf, sizeof(buf),
                 "%9.1f kops  p50 %8.0f ns  p99 %8.0f ns",
                 all_result.Kops(), all_result.latency_ns.Median(),
                 all_result.latency_ns.Percentile(99));
   PrintRow("net-mixed", buf);
+  if (have_cache_stats) {
+    std::snprintf(
+        buf, sizeof(buf),
+        "hit %5.1f%%  (%llu hits, %llu misses, %llu invalidations)",
+        cache_stats.HitRatio() * 100.0,
+        static_cast<unsigned long long>(cache_stats.hits),
+        static_cast<unsigned long long>(cache_stats.misses),
+        static_cast<unsigned long long>(cache_stats.invalidations));
+    PrintRow("net-cache", buf);
+  }
   std::snprintf(buf, sizeof(buf),
                 "%9.1f kops  p50 %8.0f ns  p99 %8.0f ns",
                 get_result.Kops(), get_result.latency_ns.Median(),
@@ -588,8 +772,14 @@ int main(int argc, char** argv) {
   PrintRow("net-put", buf);
 
   BenchReport report("netbench");
-  AttachRunFields(report.AddRun("net-mixed", all_result), cfg,
-                  actual_shards);
+  {
+    JsonValue& mixed =
+        AttachRunFields(report.AddRun("net-mixed", all_result), cfg,
+                        actual_shards);
+    if (have_cache_stats) {
+      mixed.Set("cache", CacheJson(cache_stats));
+    }
+  }
   AttachRunFields(report.AddRun("net-get", get_result), cfg,
                   actual_shards);
   AttachRunFields(report.AddRun("net-put", put_result), cfg,

@@ -114,6 +114,17 @@ WorkloadSpec WorkloadSpec::YcsbF(uint64_t n) {
   return s;
 }
 
+WorkloadSpec WorkloadSpec::HotSpot(uint64_t n, double hot_key_fraction,
+                                   double hot_op_fraction) {
+  WorkloadSpec s;
+  s.read_fraction = 0.5;
+  s.dist = KeyDist::kHotSpot;
+  s.key_space = n;
+  s.hot_key_fraction = hot_key_fraction;
+  s.hot_op_fraction = hot_op_fraction;
+  return s;
+}
+
 OpGenerator::OpGenerator(const WorkloadSpec& spec, int thread_id,
                          int num_threads, uint64_t seed)
     : spec_(spec),
@@ -146,6 +157,19 @@ uint64_t OpGenerator::NextKeyIndex() {
       return zipf_->Next();
     case KeyDist::kLatest:
       return latest_->Next();
+    case KeyDist::kHotSpot: {
+      // The hot set occupies the low indices so ValueFor verification
+      // stays trivial; the ring hashes them across shards regardless.
+      uint64_t hot_n = static_cast<uint64_t>(
+          static_cast<double>(spec_.key_space) * spec_.hot_key_fraction);
+      if (hot_n == 0) hot_n = 1;
+      if (hot_n >= spec_.key_space) hot_n = spec_.key_space;
+      if (rng_.NextDouble() < spec_.hot_op_fraction ||
+          hot_n == spec_.key_space) {
+        return rng_.Uniform(hot_n);
+      }
+      return hot_n + rng_.Uniform(spec_.key_space - hot_n);
+    }
   }
   return 0;
 }

@@ -39,6 +39,9 @@ enum class KeyDist {
   kUniform,
   kZipfian,
   kLatest,
+  /// Two-level hot-spot: hot_op_fraction of ops land uniformly on the
+  /// first hot_key_fraction of the keyspace, the rest on the cold tail.
+  kHotSpot,
 };
 
 /// The YCSB core workloads used in the paper's Exp#4 plus the db_bench
@@ -52,6 +55,10 @@ struct WorkloadSpec {
   KeyDist dist = KeyDist::kUniform;
   /// For kZipfian / kLatest.
   double zipf_theta = 0.99;
+  /// For kHotSpot: the fraction of the keyspace that is hot and the
+  /// fraction of operations that target it (YCSB hotspot defaults).
+  double hot_key_fraction = 0.1;
+  double hot_op_fraction = 0.9;
   /// Number of distinct keys in the keyspace.
   uint64_t key_space = 1'000'000;
   /// Writes extend the keyspace (YCSB insert) instead of updating.
@@ -67,6 +74,8 @@ struct WorkloadSpec {
   static WorkloadSpec YcsbC(uint64_t n);
   static WorkloadSpec YcsbD(uint64_t n);
   static WorkloadSpec YcsbF(uint64_t n);
+  static WorkloadSpec HotSpot(uint64_t n, double hot_key_fraction,
+                              double hot_op_fraction);
 };
 
 /// Per-thread operation stream for a WorkloadSpec. Each generator is

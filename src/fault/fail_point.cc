@@ -13,11 +13,13 @@ namespace {
 
 // One entry per injection site wired into the engine. Keep in sync with
 // docs/ROBUSTNESS.md (the fail-point table) and the crash-sweep test,
-// which enumerates this list. Points outside the storage engine (the
-// network layer's net.accept / net.read / net.write / net.decode,
-// docs/SERVER.md) are registered at runtime on first evaluation instead:
-// the crash sweep requires every builtin point to fire during a DB
-// workload, which non-engine points never would.
+// which enumerates this list. Points outside the storage engine — the
+// network layer's net.accept / net.read / net.write / net.decode
+// (docs/SERVER.md) and the hot-key cache's cache.poison /
+// cache.invalidate (src/cache/hot_key_cache.h) — are registered at
+// runtime on first evaluation instead: the crash sweep requires every
+// builtin point to fire during a DB workload, which non-engine points
+// never would.
 const char* const kBuiltinPoints[] = {
     "pmem.alloc",         // PmemAllocator::Allocate
     "pmem.reserve",       // PmemAllocator::Reserve (recovery re-adoption)

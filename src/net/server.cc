@@ -135,6 +135,17 @@ Server::Server(std::vector<DB*> shards, const ShardRouter& router,
         db->metrics()->GetCounter("net.shard.requests"));
   }
 
+  if (options_.hot_key_cache_bytes > 0) {
+    cache::HotKeyCacheOptions cache_opts;
+    cache_opts.capacity_bytes = options_.hot_key_cache_bytes;
+    cache_opts.admit_threshold = options_.hot_key_cache_admit;
+    caches_.reserve(dbs_.size());
+    for (DB* db : dbs_) {
+      caches_.push_back(std::make_unique<cache::HotKeyCache>(
+          cache_opts, db->metrics()));
+    }
+  }
+
   if (options_.max_batch_bytes != 0) {
     batch_bytes_cap_ = options_.max_batch_bytes;
   } else {
@@ -583,6 +594,12 @@ bool Server::ShedForBackpressure(Conn* conn, Op op, uint64_t id) {
   return true;
 }
 
+void Server::InvalidateCache(uint32_t shard, const Slice& key) {
+  if (!caches_.empty()) {
+    caches_[shard]->Invalidate(key);
+  }
+}
+
 bool Server::RejectIfReadOnly(Conn* conn, DB* db, Op op, uint64_t id) {
   if (!db->IsReadOnly()) {
     return false;
@@ -690,6 +707,11 @@ size_t Server::HandleWriteRun(Conn* conn, const std::vector<Frame>& frames,
       batched_writes_->Increment();
       batched_ops_->Increment(batch.size());
     }
+    // Invalidation precedes the response loop below, so every ack in
+    // this run is only sent after its key's cache entry is gone.
+    for (const KVStore::BatchOp& bop : batch) {
+      InvalidateCache(shard, bop.key);
+    }
     shard_status[shard] = s;
   }
   for (size_t i = begin; i < end; i++) {
@@ -760,9 +782,24 @@ void Server::HandleRequest(Conn* conn, const Frame& frame) {
                             s.ToString());
         return;
       }
+      uint32_t shard = 0;
+      DB* db = Route(req.key, &shard);
       std::string value;
-      s = Route(req.key)->Get(req.key, &value);
+      cache::HotKeyCache* hot =
+          caches_.empty() ? nullptr : caches_[shard].get();
+      cache::HotKeyCache::FillToken token;
+      if (hot != nullptr && hot->Lookup(req.key, &value, &token)) {
+        EncodeOkResponse(&conn->out, op, id, value);
+        return;
+      }
+      s = db->Get(req.key, &value);
       if (s.ok()) {
+        if (hot != nullptr) {
+          // Read-through fill, guarded by the token: if a write
+          // invalidated this key since the Lookup miss, the fill is
+          // dropped rather than shadowing the acked overwrite.
+          hot->Insert(req.key, value, token);
+        }
         EncodeOkResponse(&conn->out, op, id, value);
       } else {
         EncodeErrorResponse(&conn->out, op, id, WireCodeOf(s),
@@ -779,9 +816,12 @@ void Server::HandleRequest(Conn* conn, const Frame& frame) {
                             s.ToString());
         return;
       }
-      DB* db = Route(req.key);
+      uint32_t shard = 0;
+      DB* db = Route(req.key, &shard);
       if (RejectIfReadOnly(conn, db, op, id)) return;
-      AppendWriteResponse(conn, db, op, id, db->Put(req.key, req.value));
+      Status ws = db->Put(req.key, req.value);
+      InvalidateCache(shard, req.key);
+      AppendWriteResponse(conn, db, op, id, ws);
       return;
     }
     case Op::kDelete: {
@@ -793,9 +833,12 @@ void Server::HandleRequest(Conn* conn, const Frame& frame) {
                             s.ToString());
         return;
       }
-      DB* db = Route(req.key);
+      uint32_t shard = 0;
+      DB* db = Route(req.key, &shard);
       if (RejectIfReadOnly(conn, db, op, id)) return;
-      AppendWriteResponse(conn, db, op, id, db->Delete(req.key));
+      Status ws = db->Delete(req.key);
+      InvalidateCache(shard, req.key);
+      AppendWriteResponse(conn, db, op, id, ws);
       return;
     }
     case Op::kMultiPut: {
@@ -811,8 +854,11 @@ void Server::HandleRequest(Conn* conn, const Frame& frame) {
       if (dbs_.size() == 1) {
         shard_requests_[0]->Increment(req.ops.size());
         if (RejectIfReadOnly(conn, primary(), op, id)) return;
-        AppendWriteResponse(conn, primary(), op, id,
-                            primary()->ApplyBatch(req.ops));
+        Status ws = primary()->ApplyBatch(req.ops);
+        for (const KVStore::BatchOp& bop : req.ops) {
+          InvalidateCache(0, bop.key);
+        }
+        AppendWriteResponse(conn, primary(), op, id, ws);
         return;
       }
       // Split per shard: the batch stays atomic within each shard but
@@ -832,6 +878,9 @@ void Server::HandleRequest(Conn* conn, const Frame& frame) {
       for (uint32_t shard = 0; shard < dbs_.size(); shard++) {
         if (split[shard].empty()) continue;
         Status st = dbs_[shard]->ApplyBatch(split[shard]);
+        for (const KVStore::BatchOp& bop : split[shard]) {
+          InvalidateCache(shard, bop.key);
+        }
         if (!st.ok() && first_error.ok()) {
           first_error = st;
           failed_db = dbs_[shard];

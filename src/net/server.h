@@ -10,6 +10,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cache/hot_key_cache.h"
 #include "net/protocol.h"
 #include "net/shard_router.h"
 #include "obs/metrics.h"
@@ -45,6 +46,15 @@ struct ServerOptions {
   /// unboundedly. PING still passes so clients can probe liveness.
   /// Counted in net.backpressure_sheds. 0 disables shedding.
   size_t max_conn_write_buffer_bytes = 4u << 20;
+  /// Per-shard hot-key read cache in front of DB::Get
+  /// (src/cache/hot_key_cache.h); 0 disables caching. Served entries
+  /// skip the full memtable->zone->LSM descent; every committed write
+  /// invalidates its key before the write is acked, so the cache can
+  /// never shadow an acked overwrite.
+  size_t hot_key_cache_bytes = 8u << 20;
+  /// Count-Min-sketch admission: estimated lookup frequency a key needs
+  /// before a read fill is cached (--cache-admit on the daemon).
+  uint32_t hot_key_cache_admit = 2;
 };
 
 /// Server exposes one DB — or N sharded DB instances — over TCP,
@@ -77,6 +87,14 @@ struct ServerOptions {
 /// (src/fault). When a shard has degraded to read-only, write requests
 /// routed to it are rejected with the kReadOnly wire code carrying that
 /// shard's DB::BackgroundError().
+///
+/// Hot-key cache: with hot_key_cache_bytes > 0 each shard owns a
+/// read-through HotKeyCache (src/cache/hot_key_cache.h) consulted by
+/// GET before DB::Get; its cache.* instruments live in that shard's
+/// registry, so STATS reports per-shard hit ratios. Every write path
+/// (PUT, DEL, MULTIPUT, the pipelined write-run batcher) invalidates
+/// the touched keys after the DB commit and before the response is
+/// appended — the ordering the cache's coherence protocol requires.
 ///
 /// Shutdown ordering: Stop() (or the destructor) quiesces the network
 /// layer — stops accepting, closes every connection, joins all threads
@@ -142,6 +160,9 @@ class Server {
                            const Status& s);
   /// Rejects a write when `db` is read-only; true when rejected.
   bool RejectIfReadOnly(Conn* conn, DB* db, Op op, uint64_t id);
+  /// Invalidates `key` in `shard`'s hot-key cache (no-op when caching
+  /// is disabled). Must run after the DB commit, before the ack.
+  void InvalidateCache(uint32_t shard, const Slice& key);
   /// Backpressure: true when the connection's outbound backlog exceeds
   /// the cap even after offering it to the socket once — the request
   /// was answered with Busy and must not execute.
@@ -157,6 +178,8 @@ class Server {
   std::vector<DB*> dbs_;
   ShardRouter router_;
   const ServerOptions options_;
+  /// One hot-key cache per shard; empty when caching is disabled.
+  std::vector<std::unique_ptr<cache::HotKeyCache>> caches_;
   size_t batch_bytes_cap_ = 0;
   /// SHARDMAP response payload, finalized at Start() (endpoints carry
   /// the bound address).

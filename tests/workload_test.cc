@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <map>
 #include <set>
 #include <string>
@@ -122,6 +123,76 @@ TEST(OpGeneratorTest, ZipfianSkewsTowardsHotKeys) {
   EXPECT_GT(max_count, 500);
   // But the tail must still be broad.
   EXPECT_GT(counts.size(), 5000u);
+}
+
+TEST(OpGeneratorTest, ZipfianTopKeyShareMatchesTheory) {
+  // The probability of the hottest key under Zipf(theta) over n items is
+  // (1/1^theta) / zeta(n, theta). The generator is scrambled (the hot
+  // ranks are hashed across the keyspace), which permutes WHICH index is
+  // hottest but not its share of accesses. Fixed seed: deterministic,
+  // never flaky.
+  const uint64_t n = 20000;
+  const double theta = 0.99;
+  double zetan = 0.0;
+  for (uint64_t i = 1; i <= n; i++) {
+    zetan += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  const double want_share = 1.0 / zetan;  // ~8.8% at n=20000, theta=0.99
+
+  WorkloadSpec spec = WorkloadSpec::YcsbC(n);  // 100% zipfian reads
+  ASSERT_EQ(theta, spec.zipf_theta);
+  OpGenerator gen(spec, 0, 1, 20240611);
+  std::map<uint64_t, int> counts;
+  const int samples = 200000;
+  for (int i = 0; i < samples; i++) {
+    counts[gen.Next().key_index]++;
+  }
+  int top = 0;
+  for (const auto& [k, c] : counts) top = std::max(top, c);
+  const double got_share = static_cast<double>(top) / samples;
+  // 25% relative tolerance covers sampling noise and the (rare, but
+  // seed-fixed) scramble collision folding two ranks onto one index.
+  EXPECT_NEAR(want_share, got_share, want_share * 0.25)
+      << "zipfian head far from theory: want " << want_share << " got "
+      << got_share;
+}
+
+TEST(OpGeneratorTest, ZipfianThetaControlsSkew) {
+  // Lower theta must flatten the head measurably.
+  auto top_share = [](double theta) {
+    WorkloadSpec spec = WorkloadSpec::YcsbC(20000);
+    spec.zipf_theta = theta;
+    OpGenerator gen(spec, 0, 1, 7);
+    std::map<uint64_t, int> counts;
+    for (int i = 0; i < 100000; i++) counts[gen.Next().key_index]++;
+    int top = 0;
+    for (const auto& [k, c] : counts) top = std::max(top, c);
+    return static_cast<double>(top) / 100000.0;
+  };
+  EXPECT_GT(top_share(0.99), 3.0 * top_share(0.5));
+}
+
+TEST(OpGeneratorTest, HotSpotHitsTheHotSetAtTheConfiguredRate) {
+  const uint64_t n = 100000;
+  WorkloadSpec spec = WorkloadSpec::HotSpot(n, 0.1, 0.9);
+  const uint64_t hot_n = 10000;
+  OpGenerator gen(spec, 0, 1, 99);
+  int hot = 0;
+  std::set<uint64_t> cold_seen;
+  const int samples = 100000;
+  for (int i = 0; i < samples; i++) {
+    const uint64_t k = gen.Next().key_index;
+    ASSERT_LT(k, n);
+    if (k < hot_n) {
+      hot++;
+    } else {
+      cold_seen.insert(k);
+    }
+  }
+  // 90% of operations land on the first 10% of the keyspace...
+  EXPECT_NEAR(0.9, static_cast<double>(hot) / samples, 0.01);
+  // ...and the cold 10% still sweeps broadly across the tail.
+  EXPECT_GT(cold_seen.size(), 5000u);
 }
 
 TEST(OpGeneratorTest, DeterministicPerSeed) {

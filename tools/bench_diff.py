@@ -25,16 +25,29 @@ MEASUREMENTS = {
 }
 
 
+def informational(key, value):
+    """New report sections the diff doesn't know about yet.
+
+    Any dict-valued field outside MEASUREMENTS (e.g. netbench's "cache"
+    object) is a metric bundle, not a run dimension: it must neither
+    break run matching when one side lacks it nor feed the kops
+    threshold. Scalar unknown fields stay identity dimensions, so runs
+    with different workload settings never silently compare.
+    """
+    return key not in MEASUREMENTS and isinstance(value, dict)
+
+
 def run_key(run):
     return tuple(sorted(
         (k, json.dumps(v, sort_keys=True))
-        for k, v in run.items() if k not in MEASUREMENTS))
+        for k, v in run.items()
+        if k not in MEASUREMENTS and not informational(k, v)))
 
 
 def fmt_key(run):
     parts = [run.get("name", "?")]
     for k, v in sorted(run.items()):
-        if k in MEASUREMENTS or k == "name":
+        if k in MEASUREMENTS or k == "name" or informational(k, v):
             continue
         parts.append(f"{k}={v}")
     return " ".join(str(p) for p in parts)
@@ -51,6 +64,23 @@ def diff_latency(base, cand, indent="    "):
         if p in base and p in cand:
             print(f"{indent}{p}: {base[p]:12.1f} -> {cand[p]:12.1f} ns"
                   f"  ({pct(base[p], cand[p]):+7.1f}%)")
+
+
+def diff_informational(base, cand, indent="    "):
+    """Prints scalar members of unknown dict-valued fields, info-only."""
+    names = sorted({k for k in base if informational(k, base[k])} |
+                   {k for k in cand if informational(k, cand[k])})
+    for name in names:
+        b, c = base.get(name), cand.get(name)
+        if not isinstance(b, dict) or not isinstance(c, dict):
+            side = "base" if isinstance(b, dict) else "cand"
+            print(f"{indent}{name}: ({side} only, informational)")
+            continue
+        for field in sorted(set(b) | set(c)):
+            bv, cv = b.get(field), c.get(field)
+            if isinstance(bv, (int, float)) and isinstance(cv, (int, float)):
+                print(f"{indent}{name}.{field}: {bv:g} -> {cv:g}"
+                      f"  (informational)")
 
 
 def diff_breakdown(base, cand, indent="    "):
@@ -114,6 +144,7 @@ def main():
             diff_latency(b["latency_ns"], c["latency_ns"])
         if "read_breakdown" in b and "read_breakdown" in c:
             diff_breakdown(b["read_breakdown"], c["read_breakdown"])
+        diff_informational(b, c)
     for runs in cand_by_key.values():
         for run in runs:
             print(f"{fmt_key(run):<56} (only in cand)")

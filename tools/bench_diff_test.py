@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/bench_diff.py (run via ctest).
+
+The regression under test: a run carrying a new dict-valued field (like
+netbench's "cache" object) used to enter the run identity, so base and
+cand stopped matching entirely — the threshold then never fired and
+real regressions sailed through as "(only in base/cand)" noise.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+BENCH_DIFF = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                          "bench_diff.py")
+
+
+def report(runs):
+    return {"figure": "netbench", "runs": runs}
+
+
+def run_entry(name, kops, **extra):
+    entry = {"name": name, "kops": kops, "seconds": 1.0,
+             "ops": int(kops * 1000), "errors": 0}
+    entry.update(extra)
+    return entry
+
+
+class BenchDiffTest(unittest.TestCase):
+    def diff(self, base, cand, *args):
+        with tempfile.TemporaryDirectory() as tmp:
+            base_path = os.path.join(tmp, "base.json")
+            cand_path = os.path.join(tmp, "cand.json")
+            with open(base_path, "w") as f:
+                json.dump(base, f)
+            with open(cand_path, "w") as f:
+                json.dump(cand, f)
+            proc = subprocess.run(
+                [sys.executable, BENCH_DIFF, base_path, cand_path, *args],
+                capture_output=True, text=True)
+        return proc
+
+    def test_identical_reports_match(self):
+        rep = report([run_entry("net-mixed", 100.0, shards=4)])
+        proc = self.diff(rep, rep, "--threshold", "0.1")
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertNotIn("only in", proc.stdout)
+
+    def test_unknown_dict_field_is_informational_not_identity(self):
+        # cand grew a "cache" object the base predates: the runs must
+        # still match, the threshold must still see the kops delta, and
+        # the new field must be reported as informational.
+        base = report([run_entry("net-mixed", 100.0, shards=4)])
+        cand = report([run_entry("net-mixed", 100.5, shards=4,
+                                 cache={"hits": 9000, "misses": 1000,
+                                        "hit_ratio": 0.9})])
+        proc = self.diff(base, cand, "--threshold", "5")
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertNotIn("only in", proc.stdout)
+        self.assertIn("->", proc.stdout)
+
+    def test_unknown_dict_field_does_not_mask_threshold_failure(self):
+        base = report([run_entry("net-mixed", 100.0, shards=4)])
+        cand = report([run_entry("net-mixed", 50.0, shards=4,
+                                 cache={"hit_ratio": 0.9})])
+        proc = self.diff(base, cand, "--threshold", "5")
+        self.assertEqual(proc.returncode, 1, proc.stdout)
+        self.assertIn("FAIL", proc.stderr)
+
+    def test_dict_field_on_both_sides_prints_informational_delta(self):
+        base = report([run_entry("net-mixed", 100.0,
+                                 cache={"hit_ratio": 0.5})])
+        cand = report([run_entry("net-mixed", 101.0,
+                                 cache={"hit_ratio": 0.9})])
+        proc = self.diff(base, cand)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("cache.hit_ratio", proc.stdout)
+        self.assertIn("informational", proc.stdout)
+
+    def test_unknown_scalar_field_still_separates_runs(self):
+        # Scalar unknowns are workload dimensions: a zipfian run must
+        # not silently compare against a uniform one.
+        base = report([run_entry("net-mixed", 100.0, dist="uniform")])
+        cand = report([run_entry("net-mixed", 100.0, dist="zipfian")])
+        proc = self.diff(base, cand)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("only in base", proc.stdout)
+        self.assertIn("only in cand", proc.stdout)
+
+    def test_read_only_runs_stay_out_of_threshold(self):
+        base = report([run_entry("net-mixed", 100.0)])
+        cand = report([run_entry("net-mixed", 10.0, read_only=True)])
+        proc = self.diff(base, cand, "--threshold", "5")
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("read-only", proc.stdout)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -53,6 +53,10 @@ void Usage(const char* argv0) {
       "  --pmem-mb N       simulated PMem capacity MB per shard\n"
       "                    (default 1024)\n"
       "  --cores N         per-core writer slots (default 8)\n"
+      "  --cache-mb N      per-shard hot-key read cache MB, 0 disables\n"
+      "                    (default 8)\n"
+      "  --cache-admit N   lookups a key needs before a read fill is\n"
+      "                    cached (default 2)\n"
       "  --latency-scale X PMem latency model scale (default 1.0)\n"
       "  --trace           enable event tracing (also: CACHEKV_TRACE)\n",
       argv0);
@@ -82,6 +86,8 @@ int main(int argc, char** argv) {
   uint64_t pool_mb = 12;
   uint64_t pmem_mb = 1024;
   int cores = 8;
+  uint64_t cache_mb = 8;
+  uint32_t cache_admit = 2;
   double latency_scale = 1.0;
   bool trace = false;
 
@@ -107,6 +113,10 @@ int main(int argc, char** argv) {
       pmem_mb = std::strtoull(v, nullptr, 10);
     } else if (ParseArg(argc, argv, &i, "--cores", &v)) {
       cores = std::atoi(v);
+    } else if (ParseArg(argc, argv, &i, "--cache-mb", &v)) {
+      cache_mb = std::strtoull(v, nullptr, 10);
+    } else if (ParseArg(argc, argv, &i, "--cache-admit", &v)) {
+      cache_admit = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
     } else if (ParseArg(argc, argv, &i, "--latency-scale", &v)) {
       latency_scale = std::atof(v);
     } else if (std::strcmp(argv[i], "--trace") == 0) {
@@ -198,6 +208,8 @@ int main(int argc, char** argv) {
   srv_opts.host = host;
   srv_opts.port = static_cast<uint16_t>(port);
   srv_opts.num_workers = workers;
+  srv_opts.hot_key_cache_bytes = cache_mb << 20;
+  srv_opts.hot_key_cache_admit = cache_admit;
   net::Server server(db_ptrs, router, srv_opts);
   s = server.Start();
   if (!s.ok()) {
