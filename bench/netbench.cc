@@ -37,6 +37,7 @@
 #include "core/db.h"
 #include "harness.h"
 #include "net/client.h"
+#include "obs/trace.h"
 #include "net/server.h"
 #include "net/shard_router.h"
 #include "pmem/pmem_env.h"
@@ -78,6 +79,18 @@ struct Config {
   /// In-process server's per-shard hot-key cache (0 disables).
   uint64_t cache_mb = 8;
   uint32_t cache_admit = 2;
+  /// Trace sampling (docs/OBSERVABILITY.md): every Nth request per
+  /// connection goes out as a traced frame; 0 disables. Sampled results
+  /// carry both the client-observed and the server-reported latency,
+  /// which feeds the queueing_us report section.
+  uint32_t trace_sample = 0;
+  /// Chrome-trace dump of the client-side spans (--trace-out), and of
+  /// the in-process server's tracer (--trace-server-out; merged views
+  /// come from tools/trace_merge.py).
+  std::string trace_out;
+  std::string trace_server_out;
+  /// Client-span tracer, owned by main() (null when not sampling).
+  obs::Tracer* tracer = nullptr;
   /// Resolved from the fields above after flag parsing.
   WorkloadSpec spec;
 };
@@ -88,11 +101,35 @@ struct ThreadStats {
   uint64_t found = 0;
   uint64_t not_found = 0;
   uint64_t errors = 0;
+  uint64_t traced = 0;  // responses that came back with trace context
   std::vector<uint64_t> shard_ops;  // sharded mode: ops routed per shard
   Histogram get_ns;
   Histogram put_ns;
+  /// Per-sampled-request client_ns - server_ns: network + queue time.
+  Histogram queue_ns;
   double seconds = 0;
 };
+
+/// Client options for one bench connection: thread-distinct trace seeds
+/// keep sampled ids unique across connections while staying
+/// reproducible for a fixed --seed.
+net::ClientOptions BenchClientOptions(const Config& cfg, int tid) {
+  net::ClientOptions opts;
+  opts.trace_sample_every = cfg.trace_sample;
+  opts.trace_seed =
+      cfg.seed + 0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(tid + 1);
+  opts.tracer = cfg.tracer;
+  return opts;
+}
+
+/// Folds one pipelined result's trace context into the stats.
+void RecordTraced(const net::Client::Result& r, ThreadStats* stats) {
+  if (!r.traced) return;
+  stats->traced++;
+  if (r.server_ns > 0 && r.client_ns > r.server_ns) {
+    stats->queue_ns.Add(static_cast<double>(r.client_ns - r.server_ns));
+  }
+}
 
 bool SplitHostPort(const std::string& arg, std::string* host,
                    uint16_t* port) {
@@ -168,7 +205,7 @@ bool PreloadStripeSharded(net::ShardedClient* client, const Config& cfg,
 
 void RunThread(const Config& cfg, int tid, uint64_t ops,
                ThreadStats* stats) {
-  net::Client client;
+  net::Client client(BenchClientOptions(cfg, tid));
   if (!client.Connect(cfg.connect_host, cfg.connect_port).ok()) {
     stats->errors += ops;
     return;
@@ -218,6 +255,7 @@ void RunThread(const Config& cfg, int tid, uint64_t ops,
     }
     for (int i = 0; i < depth; i++) {
       const auto& r = results[static_cast<size_t>(i)];
+      RecordTraced(r, stats);
       if (flight_is_get[static_cast<size_t>(i)]) {
         stats->gets++;
         stats->get_ns.Add(flight_ns);
@@ -255,7 +293,7 @@ void RunThread(const Config& cfg, int tid, uint64_t ops,
 /// fan-out flight shares one round-trip measurement.
 void RunThreadSharded(const Config& cfg, int tid, uint64_t ops,
                       ThreadStats* stats) {
-  net::ShardedClient client;
+  net::ShardedClient client(BenchClientOptions(cfg, tid));
   if (!client.Connect(cfg.connect_host, cfg.connect_port).ok()) {
     stats->errors += ops;
     return;
@@ -316,6 +354,7 @@ void RunThreadSharded(const Config& cfg, int tid, uint64_t ops,
     }
     for (uint32_t s = 0; s < num_shards; s++) {
       for (const auto& r : responses[s]) {
+        RecordTraced(r, stats);
         auto it = pending[s].find(r.id);
         if (it == pending[s].end()) {
           stats->errors++;
@@ -507,6 +546,13 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--cache-admit") == 0) {
       cfg.cache_admit = static_cast<uint32_t>(
           std::strtoul(next("--cache-admit"), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--trace-sample") == 0) {
+      cfg.trace_sample = static_cast<uint32_t>(
+          std::strtoul(next("--trace-sample"), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--trace-out") == 0) {
+      cfg.trace_out = next("--trace-out");
+    } else if (std::strcmp(argv[i], "--trace-server-out") == 0) {
+      cfg.trace_server_out = next("--trace-server-out");
     } else {
       std::fprintf(
           stderr,
@@ -516,7 +562,9 @@ int main(int argc, char** argv) {
           "          [--workers N] [--shards N] [--seed S]\n"
           "          [--dist uniform|zipfian|hotspot|latest]\n"
           "          [--theta X] [--hot-keys F] [--hot-ops F]\n"
-          "          [--ycsb A|B|C|D] [--cache-mb N] [--cache-admit N]\n",
+          "          [--ycsb A|B|C|D] [--cache-mb N] [--cache-admit N]\n"
+          "          [--trace-sample N] [--trace-out PATH]\n"
+          "          [--trace-server-out PATH]\n",
           argv[0]);
       return 2;
     }
@@ -580,6 +628,15 @@ int main(int argc, char** argv) {
     }
   }
 
+  // The client-span tracer: one tracer shared by every connection
+  // thread (each claims its own lock-free shard).
+  std::unique_ptr<obs::Tracer> client_tracer;
+  if (cfg.trace_sample > 0) {
+    client_tracer = std::make_unique<obs::Tracer>();
+    client_tracer->set_enabled(true);
+    cfg.tracer = client_tracer.get();
+  }
+
   // Self-contained mode: spawn a server in-process on an ephemeral
   // port — one simulated PMem platform + DB per shard.
   std::vector<std::unique_ptr<PmemEnv>> envs;
@@ -593,6 +650,9 @@ int main(int argc, char** argv) {
     CacheKVOptions db_opts;
     db_opts.pool_bytes = 12ull << 20;
     db_opts.num_cores = 8;
+    // The in-process server's spans land in the primary DB's tracer;
+    // turn it on when a server-side dump was requested.
+    db_opts.trace_enabled = !cfg.trace_server_out.empty();
     std::vector<DB*> db_ptrs;
     for (int s = 0; s < cfg.shards; s++) {
       envs.push_back(std::make_unique<PmemEnv>(env_opts));
@@ -715,6 +775,8 @@ int main(int argc, char** argv) {
   get_result.seconds = put_result.seconds = all_result.seconds =
       wall_seconds;
   std::vector<uint64_t> shard_totals(actual_shards, 0);
+  uint64_t traced_total = 0;
+  Histogram queue_ns;
   for (ThreadStats& s : stats) {
     get_result.ops += s.gets;
     get_result.found += s.found;
@@ -723,6 +785,8 @@ int main(int argc, char** argv) {
     all_result.errors += s.errors;
     get_result.latency_ns.Merge(s.get_ns);
     put_result.latency_ns.Merge(s.put_ns);
+    traced_total += s.traced;
+    queue_ns.Merge(s.queue_ns);
     for (size_t i = 0; i < s.shard_ops.size() && i < shard_totals.size();
          i++) {
       shard_totals[i] += s.shard_ops[i];
@@ -750,6 +814,16 @@ int main(int argc, char** argv) {
                 all_result.Kops(), all_result.latency_ns.Median(),
                 all_result.latency_ns.Percentile(99));
   PrintRow("net-mixed", buf);
+  if (queue_ns.count() > 0) {
+    // Client-observed minus server-reported latency over the sampled
+    // requests: what the wire + server queue added.
+    std::snprintf(buf, sizeof(buf),
+                  "%9llu sampled  queueing p50 %6.0f us  p99 %6.0f us",
+                  static_cast<unsigned long long>(traced_total),
+                  queue_ns.Percentile(50) / 1000.0,
+                  queue_ns.Percentile(99) / 1000.0);
+    PrintRow("net-queueing", buf);
+  }
   if (have_cache_stats) {
     std::snprintf(
         buf, sizeof(buf),
@@ -778,6 +852,24 @@ int main(int argc, char** argv) {
                         actual_shards);
     if (have_cache_stats) {
       mixed.Set("cache", CacheJson(cache_stats));
+    }
+    if (traced_total > 0) {
+      // Informational (dict-valued fields are ignored by bench_diff
+      // matching): client-observed minus server-reported latency for
+      // the sampled requests.
+      JsonValue q = JsonValue::Object();
+      q.Set("sampled",
+            JsonValue::Number(static_cast<double>(traced_total)));
+      q.Set("sample_every",
+            JsonValue::Number(static_cast<double>(cfg.trace_sample)));
+      q.Set("measured",
+            JsonValue::Number(static_cast<double>(queue_ns.count())));
+      q.Set("mean_us", JsonValue::Number(queue_ns.Average() / 1000.0));
+      q.Set("p50_us",
+            JsonValue::Number(queue_ns.Percentile(50) / 1000.0));
+      q.Set("p99_us",
+            JsonValue::Number(queue_ns.Percentile(99) / 1000.0));
+      mixed.Set("queueing_us", std::move(q));
     }
   }
   AttachRunFields(report.AddRun("net-get", get_result), cfg,
@@ -809,6 +901,44 @@ int main(int argc, char** argv) {
     server->Stop();
     for (auto& db : dbs) db->WaitIdle();
   }
+
+  // Chrome-trace dumps, written after the run quiesced. The client and
+  // server dumps share trace ids on sampled requests, so
+  // tools/trace_merge.py joins them into one timeline.
+  auto write_file = [](const std::string& path,
+                       const std::string& content) {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fwrite(content.data(), 1, content.size(), f);
+    std::fclose(f);
+    return true;
+  };
+  if (!cfg.trace_out.empty() && cfg.tracer != nullptr) {
+    std::string json;
+    cfg.tracer->Export(&json);
+    if (write_file(cfg.trace_out, json)) {
+      std::printf("client trace: %s (%llu events)\n",
+                  cfg.trace_out.c_str(),
+                  static_cast<unsigned long long>(
+                      cfg.tracer->RetainedEvents()));
+    }
+  }
+  if (!cfg.trace_server_out.empty()) {
+    if (dbs.empty()) {
+      std::fprintf(stderr,
+                   "--trace-server-out needs the in-process server\n");
+    } else {
+      std::string json;
+      dbs[0]->DumpTrace(&json);
+      if (write_file(cfg.trace_server_out, json)) {
+        std::printf("server trace: %s\n", cfg.trace_server_out.c_str());
+      }
+    }
+  }
+
   if (all_result.errors != 0) {
     std::fprintf(stderr, "%llu errors\n",
                  static_cast<unsigned long long>(all_result.errors));

@@ -9,6 +9,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 namespace cachekv {
@@ -21,6 +22,28 @@ Status Errno(const char* what) {
 }
 
 Status NotConnected() { return Status::IOError("not connected"); }
+
+/// SplitMix64: trace ids must be well-mixed (they key merged
+/// timelines) yet reproducible from (seed, ordinal).
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Client-side span name for a sampled op (string literal: the tracer
+/// stores the pointer).
+const char* ClientSpanName(Op op) {
+  switch (op) {
+    case Op::kGet: return "client.get";
+    case Op::kPut: return "client.put";
+    case Op::kDelete: return "client.del";
+    case Op::kMultiPut: return "client.multiput";
+    case Op::kScan: return "client.scan";
+    default: return "client.op";
+  }
+}
 
 }  // namespace
 
@@ -70,6 +93,7 @@ Status Client::Connect(const std::string& host, uint16_t port) {
     ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
   }
   next_id_ = 1;
+  keyed_seq_ = 0;
   sendbuf_.clear();
   outstanding_.clear();
   decoder_ = FrameDecoder(options_.max_frame_bytes);
@@ -93,6 +117,32 @@ Status Client::RequireIdle() const {
         "pipelined requests outstanding; WaitAll() first");
   }
   return Status::OK();
+}
+
+TraceContext Client::NextTrace() {
+  TraceContext tc;
+  const uint64_t seq = keyed_seq_++;
+  if (options_.trace_sample_every == 0 ||
+      seq % options_.trace_sample_every != 0) {
+    return tc;
+  }
+  tc.traced = true;
+  // Mask to 48 bits: trace ids round-trip through JSON doubles (both
+  // in trace dumps and the slow log), so they must stay below 2^53.
+  tc.trace_id = Mix64(options_.trace_seed ^ seq) & ((1ULL << 48) - 1);
+  if (tc.trace_id == 0) tc.trace_id = 1;
+  return tc;
+}
+
+uint64_t Client::NowNs() const {
+  // Span timestamps must live on the tracer's epoch so client spans
+  // align with other events in the same dump; without a tracer only
+  // durations are consumed and any steady epoch works.
+  if (options_.tracer != nullptr) return options_.tracer->NowNs();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
 }
 
 Status Client::SendAll(const char* data, size_t len) {
@@ -168,42 +218,73 @@ Status Client::RoundTrip(Op op, const std::string& request,
 
 // Synchronous API. ----------------------------------------------------
 
+namespace {
+
+/// Emits the client-side span for a sampled synchronous request.
+void EmitClientSpan(obs::Tracer* tracer, Op op, const TraceContext& tc,
+                    uint64_t start_ns, uint64_t end_ns) {
+  if (tracer == nullptr || !tracer->enabled() || !tc.traced) return;
+  tracer->Complete(ClientSpanName(op), start_ns, end_ns - start_ns,
+                   "trace", tc.trace_id);
+}
+
+}  // namespace
+
 Status Client::Put(const Slice& key, const Slice& value) {
+  const TraceContext tc = NextTrace();
   std::string req;
-  EncodePutRequest(&req, next_id_++, key, value);
+  EncodePutRequest(&req, next_id_++, key, value, tc);
   Frame resp;
-  return RoundTrip(Op::kPut, req, &resp, nullptr);
+  const uint64_t start = tc.traced ? NowNs() : 0;
+  Status s = RoundTrip(Op::kPut, req, &resp, nullptr);
+  EmitClientSpan(options_.tracer, Op::kPut, tc, start, NowNs());
+  return s;
 }
 
 Status Client::Get(const Slice& key, std::string* value) {
+  const TraceContext tc = NextTrace();
   std::string req;
-  EncodeGetRequest(&req, next_id_++, key);
+  EncodeGetRequest(&req, next_id_++, key, tc);
   Frame resp;
-  return RoundTrip(Op::kGet, req, &resp, value);
+  const uint64_t start = tc.traced ? NowNs() : 0;
+  Status s = RoundTrip(Op::kGet, req, &resp, value);
+  EmitClientSpan(options_.tracer, Op::kGet, tc, start, NowNs());
+  return s;
 }
 
 Status Client::Delete(const Slice& key) {
+  const TraceContext tc = NextTrace();
   std::string req;
-  EncodeDeleteRequest(&req, next_id_++, key);
+  EncodeDeleteRequest(&req, next_id_++, key, tc);
   Frame resp;
-  return RoundTrip(Op::kDelete, req, &resp, nullptr);
+  const uint64_t start = tc.traced ? NowNs() : 0;
+  Status s = RoundTrip(Op::kDelete, req, &resp, nullptr);
+  EmitClientSpan(options_.tracer, Op::kDelete, tc, start, NowNs());
+  return s;
 }
 
 Status Client::MultiPut(const std::vector<KVStore::BatchOp>& batch) {
+  const TraceContext tc = NextTrace();
   std::string req;
-  EncodeMultiPutRequest(&req, next_id_++, batch);
+  EncodeMultiPutRequest(&req, next_id_++, batch, tc);
   Frame resp;
-  return RoundTrip(Op::kMultiPut, req, &resp, nullptr);
+  const uint64_t start = tc.traced ? NowNs() : 0;
+  Status s = RoundTrip(Op::kMultiPut, req, &resp, nullptr);
+  EmitClientSpan(options_.tracer, Op::kMultiPut, tc, start, NowNs());
+  return s;
 }
 
 Status Client::Scan(
     const Slice& start, uint32_t limit,
     std::vector<std::pair<std::string, std::string>>* out) {
+  const TraceContext tc = NextTrace();
   std::string req;
-  EncodeScanRequest(&req, next_id_++, start, limit);
+  EncodeScanRequest(&req, next_id_++, start, limit, tc);
   Frame resp;
   std::string payload;
+  const uint64_t t0 = tc.traced ? NowNs() : 0;
   Status s = RoundTrip(Op::kScan, req, &resp, &payload);
+  EmitClientSpan(options_.tracer, Op::kScan, tc, t0, NowNs());
   if (!s.ok()) return s;
   return ParseScanPayload(payload, out);
 }
@@ -213,6 +294,20 @@ Status Client::Stats(std::string* json) {
   EncodeStatsRequest(&req, next_id_++);
   Frame resp;
   return RoundTrip(Op::kStats, req, &resp, json);
+}
+
+Status Client::SlowLog(uint32_t limit, std::string* json) {
+  std::string req;
+  EncodeSlowLogRequest(&req, next_id_++, limit);
+  Frame resp;
+  return RoundTrip(Op::kSlowLog, req, &resp, json);
+}
+
+Status Client::MetricsProm(std::string* text) {
+  std::string req;
+  EncodeMetricsPromRequest(&req, next_id_++);
+  Frame resp;
+  return RoundTrip(Op::kMetricsProm, req, &resp, text);
 }
 
 Status Client::Ping() {
@@ -234,42 +329,53 @@ Status Client::FetchShardMap(ShardRouter* out) {
 
 // Pipelined API. ------------------------------------------------------
 
-uint64_t Client::Enqueue(Op op, std::string encoded) {
+uint64_t Client::Enqueue(Op op, std::string encoded,
+                         const TraceContext& tc) {
   sendbuf_.append(encoded);
   const uint64_t id = next_id_ - 1;  // the id the encoder consumed
-  outstanding_.push_back({id, op});
+  PendingOp pending;
+  pending.id = id;
+  pending.op = op;
+  pending.traced = tc.traced;
+  pending.trace_id = tc.trace_id;
+  outstanding_.push_back(pending);
   return id;
 }
 
 uint64_t Client::SubmitGet(const Slice& key) {
+  const TraceContext tc = NextTrace();
   std::string req;
-  EncodeGetRequest(&req, next_id_++, key);
-  return Enqueue(Op::kGet, std::move(req));
+  EncodeGetRequest(&req, next_id_++, key, tc);
+  return Enqueue(Op::kGet, std::move(req), tc);
 }
 
 uint64_t Client::SubmitPut(const Slice& key, const Slice& value) {
+  const TraceContext tc = NextTrace();
   std::string req;
-  EncodePutRequest(&req, next_id_++, key, value);
-  return Enqueue(Op::kPut, std::move(req));
+  EncodePutRequest(&req, next_id_++, key, value, tc);
+  return Enqueue(Op::kPut, std::move(req), tc);
 }
 
 uint64_t Client::SubmitDelete(const Slice& key) {
+  const TraceContext tc = NextTrace();
   std::string req;
-  EncodeDeleteRequest(&req, next_id_++, key);
-  return Enqueue(Op::kDelete, std::move(req));
+  EncodeDeleteRequest(&req, next_id_++, key, tc);
+  return Enqueue(Op::kDelete, std::move(req), tc);
 }
 
 uint64_t Client::SubmitMultiPut(
     const std::vector<KVStore::BatchOp>& batch) {
+  const TraceContext tc = NextTrace();
   std::string req;
-  EncodeMultiPutRequest(&req, next_id_++, batch);
-  return Enqueue(Op::kMultiPut, std::move(req));
+  EncodeMultiPutRequest(&req, next_id_++, batch, tc);
+  return Enqueue(Op::kMultiPut, std::move(req), tc);
 }
 
 uint64_t Client::SubmitScan(const Slice& start, uint32_t limit) {
+  const TraceContext tc = NextTrace();
   std::string req;
-  EncodeScanRequest(&req, next_id_++, start, limit);
-  return Enqueue(Op::kScan, std::move(req));
+  EncodeScanRequest(&req, next_id_++, start, limit, tc);
+  return Enqueue(Op::kScan, std::move(req), tc);
 }
 
 uint64_t Client::SubmitPing() {
@@ -281,6 +387,21 @@ uint64_t Client::SubmitPing() {
 Status Client::Flush() {
   if (fd_ < 0) return NotConnected();
   if (sendbuf_.empty()) return Status::OK();
+  // Stamp the send time of every not-yet-sent traced request: the
+  // client-observed latency window is flush → response, which excludes
+  // local queueing in sendbuf_ (the sampled measurement should cover
+  // network + server only).
+  bool have_now = false;
+  uint64_t now = 0;
+  for (PendingOp& pending : outstanding_) {
+    if (pending.traced && pending.start_ns == 0) {
+      if (!have_now) {
+        now = NowNs();
+        have_now = true;
+      }
+      pending.start_ns = now;
+    }
+  }
   std::string buf;
   buf.swap(sendbuf_);
   return SendAll(buf.data(), buf.size());
@@ -330,6 +451,19 @@ Status Client::WaitAll(std::vector<Result>* results) {
       result.status = ParseScanPayload(frame.payload, &result.entries);
     } else if (result.op == Op::kStats) {
       result.value = frame.payload.ToString();
+    }
+    const PendingOp& pending = outstanding_[idx];
+    if (pending.traced) {
+      const uint64_t end = NowNs();
+      result.traced = true;
+      result.trace_id = pending.trace_id;
+      result.server_ns = frame.traced ? frame.server_ns : 0;
+      if (pending.start_ns != 0 && end > pending.start_ns) {
+        result.client_ns = end - pending.start_ns;
+      }
+      EmitClientSpan(options_.tracer, result.op,
+                     TraceContext{true, pending.trace_id, 0},
+                     pending.start_ns, end);
     }
     outstanding_.erase(outstanding_.begin() + idx);
     results->push_back(std::move(result));
@@ -397,7 +531,15 @@ Status ShardedClient::Connect(const std::string& host, uint16_t port) {
     uint16_t shard_port = 0;
     ResolveEndpoint(shard < endpoints.size() ? endpoints[shard] : "",
                     host, port, &shard_host, &shard_port);
-    auto conn = std::make_unique<Client>(options_);
+    // Each shard connection samples independently; perturb the seed so
+    // two connections never derive the same trace id for the same
+    // request ordinal.
+    ClientOptions conn_options = options_;
+    if (conn_options.trace_sample_every > 0) {
+      conn_options.trace_seed =
+          options_.trace_seed ^ (0x9e3779b97f4a7c15ULL * (shard + 1));
+    }
+    auto conn = std::make_unique<Client>(conn_options);
     Status s = conn->Connect(shard_host, shard_port);
     if (!s.ok()) {
       Close();
@@ -503,6 +645,18 @@ Status ShardedClient::Stats(std::string* json) {
   Status s = RequireConnected();
   if (!s.ok()) return s;
   return conns_[0]->Stats(json);
+}
+
+Status ShardedClient::SlowLog(uint32_t limit, std::string* json) {
+  Status s = RequireConnected();
+  if (!s.ok()) return s;
+  return conns_[0]->SlowLog(limit, json);
+}
+
+Status ShardedClient::MetricsProm(std::string* text) {
+  Status s = RequireConnected();
+  if (!s.ok()) return s;
+  return conns_[0]->MetricsProm(text);
 }
 
 Status ShardedClient::Ping() {

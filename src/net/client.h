@@ -10,6 +10,7 @@
 
 #include "net/protocol.h"
 #include "net/shard_router.h"
+#include "obs/trace.h"
 #include "util/slice.h"
 #include "util/status.h"
 
@@ -21,6 +22,18 @@ struct ClientOptions {
   uint32_t recv_timeout_ms = 60'000;
   uint32_t connect_timeout_ms = 10'000;
   size_t max_frame_bytes = kDefaultMaxFrameBody;
+  /// Trace sampling (docs/OBSERVABILITY.md "Trace-context propagation"):
+  /// when > 0, every Nth keyed request (GET/PUT/DEL/MULTIPUT/SCAN) on
+  /// the connection is sent as a traced frame carrying a deterministic
+  /// 48-bit trace id derived from `trace_seed` and the request ordinal,
+  /// so a run is reproducible end to end. 0 disables sampling.
+  uint32_t trace_sample_every = 0;
+  uint64_t trace_seed = 0;
+  /// Optional tracer receiving one "client.<op>" span per sampled
+  /// request (tagged with the trace id), so the client-side dump merges
+  /// with the server's via tools/trace_merge.py. May be null: traced
+  /// frames are still sent and Result::server_ns still fills in.
+  obs::Tracer* tracer = nullptr;
 };
 
 /// Client speaks the CacheKV wire protocol over one TCP connection
@@ -62,6 +75,11 @@ class Client {
               std::vector<std::pair<std::string, std::string>>* out);
   /// Server-side metrics dump (the registry JSON; see docs/SERVER.md).
   Status Stats(std::string* json);
+  /// Server-side slow-request log as JSON, newest first; `limit` caps
+  /// the entries (0 = all retained).
+  Status SlowLog(uint32_t limit, std::string* json);
+  /// Server metrics in Prometheus text exposition format.
+  Status MetricsProm(std::string* text);
   Status Ping();
   /// Fetches and decodes the server's SHARDMAP (a 1-shard identity map
   /// from unsharded servers). ShardedClient uses this to bootstrap.
@@ -90,6 +108,14 @@ class Client {
     std::string value;
     /// SCAN results (filled only for kScan).
     std::vector<std::pair<std::string, std::string>> entries;
+    /// Trace sampling results: set when the request went out traced.
+    /// client_ns is the client-observed latency (flush → response);
+    /// server_ns the server-reported service time from the response
+    /// frame, so client_ns - server_ns bounds network + queue time.
+    bool traced = false;
+    uint64_t trace_id = 0;
+    uint64_t client_ns = 0;
+    uint64_t server_ns = 0;
   };
 
   /// Flushes, then reads responses until every outstanding request is
@@ -104,9 +130,17 @@ class Client {
   struct PendingOp {
     uint64_t id;
     Op op;
+    bool traced = false;
+    uint64_t trace_id = 0;
+    uint64_t start_ns = 0;  // stamped at Flush (0 until sent)
   };
 
-  uint64_t Enqueue(Op op, std::string encoded);
+  uint64_t Enqueue(Op op, std::string encoded,
+                   const TraceContext& tc = TraceContext());
+  /// Decides whether the next keyed request is sampled and derives its
+  /// trace id.
+  TraceContext NextTrace();
+  uint64_t NowNs() const;
   Status SendAll(const char* data, size_t len);
   /// Reads until one complete frame is decoded into *frame.
   Status ReadFrame(Frame* frame);
@@ -119,6 +153,7 @@ class Client {
   ClientOptions options_;
   int fd_ = -1;
   uint64_t next_id_ = 1;
+  uint64_t keyed_seq_ = 0;  // keyed requests sent; drives sampling
   std::string sendbuf_;
   FrameDecoder decoder_;
   std::deque<PendingOp> outstanding_;
@@ -161,6 +196,10 @@ class ShardedClient {
               std::vector<std::pair<std::string, std::string>>* out);
   /// The server's STATS document (shard-labelled when sharded).
   Status Stats(std::string* json);
+  /// The server's slow-request log (all shards; one server process).
+  Status SlowLog(uint32_t limit, std::string* json);
+  /// The server's Prometheus exposition (per-shard labels).
+  Status MetricsProm(std::string* text);
   /// Pings every shard connection.
   Status Ping();
 

@@ -7,8 +7,6 @@ namespace net {
 
 namespace {
 
-constexpr uint8_t kFlagResponse = 0x01;
-
 /// Bounds-checked cursor primitives over a payload slice.
 bool GetU8(Slice* in, uint8_t* out) {
   if (in->size() < 1) return false;
@@ -36,15 +34,24 @@ Status DecodeError(const char* what) {
 }
 
 void AppendFrame(std::string* out, Op op, bool response, uint16_t code,
-                 uint64_t id, const Slice& payload) {
-  PutFixed32(out, static_cast<uint32_t>(kFrameFixedBody + payload.size()));
+                 uint64_t id, const Slice& payload,
+                 const TraceContext& tc = TraceContext()) {
+  size_t body = kFrameFixedBody + payload.size() +
+                (tc.traced ? kTraceContextBytes : 0);
+  PutFixed32(out, static_cast<uint32_t>(body));
   out->push_back(static_cast<char>(op));
-  out->push_back(response ? static_cast<char>(kFlagResponse) : 0);
+  uint8_t flags = (response ? kFlagResponse : 0) |
+                  (tc.traced ? kFlagTraced : 0);
+  out->push_back(static_cast<char>(flags));
   char code_buf[2];
   code_buf[0] = static_cast<char>(code & 0xff);
   code_buf[1] = static_cast<char>(code >> 8);
   out->append(code_buf, 2);
   PutFixed64(out, id);
+  if (tc.traced) {
+    PutFixed64(out, tc.trace_id);
+    PutFixed64(out, tc.server_ns);
+  }
   out->append(payload.data(), payload.size());
 }
 
@@ -57,7 +64,7 @@ void AppendKey(std::string* out, const Slice& key) {
 
 bool ValidOp(uint8_t raw) {
   return raw >= static_cast<uint8_t>(Op::kGet) &&
-         raw <= static_cast<uint8_t>(Op::kShardMap);
+         raw <= static_cast<uint8_t>(Op::kMetricsProm);
 }
 
 const char* OpName(Op op) {
@@ -70,6 +77,8 @@ const char* OpName(Op op) {
     case Op::kStats: return "stats";
     case Op::kPing: return "ping";
     case Op::kShardMap: return "shardmap";
+    case Op::kSlowLog: return "slowlog";
+    case Op::kMetricsProm: return "metricsprom";
   }
   return "?";
 }
@@ -163,50 +172,71 @@ FrameDecoder::Result FrameDecoder::Next(Frame* out) {
       error_ = "unknown opcode";
       return Result::kError;
     }
-    if ((flags & ~kFlagResponse) != 0) {
+    if ((flags & ~(kFlagResponse | kFlagTraced)) != 0) {
       failed_ = true;
       error_ = "reserved flag bits set";
       return Result::kError;
     }
+    if ((flags & kFlagTraced) != 0 &&
+        body_len < kFrameFixedBody + kTraceContextBytes) {
+      failed_ = true;
+      error_ = "traced frame too short for trace context";
+      return Result::kError;
+    }
   }
   if (avail < 4u + body_len) return Result::kNeedMore;
+  const uint8_t flags = static_cast<uint8_t>(base[5]);
   out->op = static_cast<Op>(static_cast<uint8_t>(base[4]));
-  out->response = (static_cast<uint8_t>(base[5]) & kFlagResponse) != 0;
+  out->response = (flags & kFlagResponse) != 0;
+  out->traced = (flags & kFlagTraced) != 0;
   out->code = static_cast<uint16_t>(
       static_cast<uint8_t>(base[6]) |
       (static_cast<uint16_t>(static_cast<uint8_t>(base[7])) << 8));
   out->request_id = DecodeFixed64(base + 8);
-  out->payload = Slice(base + kFrameHeaderBytes,
-                       body_len - kFrameFixedBody);
+  const char* payload = base + kFrameHeaderBytes;
+  size_t payload_len = body_len - kFrameFixedBody;
+  if (out->traced) {
+    out->trace_id = DecodeFixed64(payload);
+    out->server_ns = DecodeFixed64(payload + 8);
+    payload += kTraceContextBytes;
+    payload_len -= kTraceContextBytes;
+  } else {
+    out->trace_id = 0;
+    out->server_ns = 0;
+  }
+  out->payload = Slice(payload, payload_len);
   pos_ += 4u + body_len;
   return Result::kFrame;
 }
 
 // Request encoders. ---------------------------------------------------
 
-void EncodeGetRequest(std::string* out, uint64_t id, const Slice& key) {
+void EncodeGetRequest(std::string* out, uint64_t id, const Slice& key,
+                      const TraceContext& tc) {
   std::string payload;
   AppendKey(&payload, key);
-  AppendFrame(out, Op::kGet, false, kOk, id, payload);
+  AppendFrame(out, Op::kGet, false, kOk, id, payload, tc);
 }
 
 void EncodePutRequest(std::string* out, uint64_t id, const Slice& key,
-                      const Slice& value) {
+                      const Slice& value, const TraceContext& tc) {
   std::string payload;
   AppendKey(&payload, key);
   PutFixed32(&payload, static_cast<uint32_t>(value.size()));
   payload.append(value.data(), value.size());
-  AppendFrame(out, Op::kPut, false, kOk, id, payload);
+  AppendFrame(out, Op::kPut, false, kOk, id, payload, tc);
 }
 
-void EncodeDeleteRequest(std::string* out, uint64_t id, const Slice& key) {
+void EncodeDeleteRequest(std::string* out, uint64_t id, const Slice& key,
+                         const TraceContext& tc) {
   std::string payload;
   AppendKey(&payload, key);
-  AppendFrame(out, Op::kDelete, false, kOk, id, payload);
+  AppendFrame(out, Op::kDelete, false, kOk, id, payload, tc);
 }
 
 void EncodeMultiPutRequest(std::string* out, uint64_t id,
-                           const std::vector<KVStore::BatchOp>& batch) {
+                           const std::vector<KVStore::BatchOp>& batch,
+                           const TraceContext& tc) {
   std::string payload;
   PutFixed32(&payload, static_cast<uint32_t>(batch.size()));
   for (const KVStore::BatchOp& op : batch) {
@@ -215,15 +245,15 @@ void EncodeMultiPutRequest(std::string* out, uint64_t id,
     PutFixed32(&payload, static_cast<uint32_t>(op.value.size()));
     payload.append(op.value);
   }
-  AppendFrame(out, Op::kMultiPut, false, kOk, id, payload);
+  AppendFrame(out, Op::kMultiPut, false, kOk, id, payload, tc);
 }
 
 void EncodeScanRequest(std::string* out, uint64_t id, const Slice& start,
-                       uint32_t limit) {
+                       uint32_t limit, const TraceContext& tc) {
   std::string payload;
   AppendKey(&payload, start);
   PutFixed32(&payload, limit);
-  AppendFrame(out, Op::kScan, false, kOk, id, payload);
+  AppendFrame(out, Op::kScan, false, kOk, id, payload, tc);
 }
 
 void EncodeStatsRequest(std::string* out, uint64_t id) {
@@ -238,16 +268,27 @@ void EncodeShardMapRequest(std::string* out, uint64_t id) {
   AppendFrame(out, Op::kShardMap, false, kOk, id, Slice());
 }
 
+void EncodeSlowLogRequest(std::string* out, uint64_t id, uint32_t limit) {
+  std::string payload;
+  PutFixed32(&payload, limit);
+  AppendFrame(out, Op::kSlowLog, false, kOk, id, payload);
+}
+
+void EncodeMetricsPromRequest(std::string* out, uint64_t id) {
+  AppendFrame(out, Op::kMetricsProm, false, kOk, id, Slice());
+}
+
 // Response encoders. --------------------------------------------------
 
 void EncodeOkResponse(std::string* out, Op op, uint64_t id,
-                      const Slice& payload) {
-  AppendFrame(out, op, true, kOk, id, payload);
+                      const Slice& payload, const TraceContext& tc) {
+  AppendFrame(out, op, true, kOk, id, payload, tc);
 }
 
 void EncodeErrorResponse(std::string* out, Op op, uint64_t id,
-                         uint16_t code, const Slice& message) {
-  AppendFrame(out, op, true, code, id, message);
+                         uint16_t code, const Slice& message,
+                         const TraceContext& tc) {
+  AppendFrame(out, op, true, code, id, message, tc);
 }
 
 void EncodeScanPayload(
@@ -349,6 +390,14 @@ Status ParseScanRequest(const Slice& payload, ScanRequest* out) {
   Status s = ParseKey(&in, &out->start);
   if (!s.ok()) return s;
   if (!GetU32(&in, &out->limit)) return DecodeError("truncated scan limit");
+  return ExpectEmpty(in);
+}
+
+Status ParseSlowLogRequest(const Slice& payload, SlowLogRequest* out) {
+  Slice in = payload;
+  if (!GetU32(&in, &out->limit)) {
+    return DecodeError("truncated slowlog limit");
+  }
   return ExpectEmpty(in);
 }
 

@@ -19,14 +19,28 @@ namespace net {
 ///   offset  size  field
 ///   0       4     body_len   (u32 LE; bytes after this field, >= 12)
 ///   4       1     opcode     (Op below)
-///   5       1     flags      (bit 0: response)
+///   5       1     flags      (bit 0: response; bit 1: traced)
 ///   6       2     code       (u16 LE; WireCode; 0 in requests)
 ///   8       8     request_id (u64 LE; echoed verbatim in the response)
 ///   16      ...   payload    (body_len - 12 bytes, op-specific)
 ///
 /// All integers are little-endian fixed width. Requests on one
 /// connection may be pipelined: the server replies to every request,
-/// in request order, carrying the request's id. Payload layouts:
+/// in request order, carrying the request's id.
+///
+/// Traced frames (docs/OBSERVABILITY.md "Trace-context propagation"):
+/// when flags bit 1 is set, the payload begins with a 16-byte trace
+/// context — u64 trace_id, then u64 aux — and the op-specific payload
+/// follows. `aux` is 0 in requests; in responses it carries the
+/// server-side service time of the request in nanoseconds, so clients
+/// can split client-observed latency into server time + network/queue
+/// time. FrameDecoder strips the context into Frame::trace_id /
+/// Frame::server_ns, so payload parsers see the same bytes either way
+/// and traced frames pipeline like any other. A traced frame whose
+/// body cannot hold the context is a decode error; flag bits above
+/// bit 1 remain reserved (decode error when set).
+///
+/// Payload layouts (after the optional trace context):
 ///
 ///   GET  req:  u32 klen, key            resp: value bytes
 ///   PUT  req:  u32 klen, key, u32 vlen, value
@@ -39,6 +53,8 @@ namespace net {
 ///   PING req:  empty                    resp: empty
 ///   SHARDMAP req: empty                 resp: ShardRouter::Encode image
 ///        (net/shard_router.h; single-DB servers answer a 1-shard map)
+///   SLOWLOG req: u32 limit (0 = all)    resp: slow-log JSON (UTF-8)
+///   METRICSPROM req: empty              resp: Prometheus text (UTF-8)
 ///
 /// Error responses (code != kOk) carry a human-readable message as the
 /// payload regardless of opcode.
@@ -52,7 +68,13 @@ enum class Op : uint8_t {
   kStats = 6,
   kPing = 7,
   kShardMap = 8,
+  kSlowLog = 9,
+  kMetricsProm = 10,
 };
+
+/// Frame flag bits. Anything else is reserved and rejected.
+constexpr uint8_t kFlagResponse = 0x01;
+constexpr uint8_t kFlagTraced = 0x02;
 
 /// True when `raw` is a defined opcode.
 bool ValidOp(uint8_t raw);
@@ -95,6 +117,8 @@ Status StatusFromWire(uint16_t code, const Slice& message);
 /// Fixed sizes of the frame layout above.
 constexpr size_t kFrameHeaderBytes = 16;  // length field + fixed body
 constexpr size_t kFrameFixedBody = 12;    // opcode..request_id
+/// Bytes of the trace context prefixed to a traced frame's payload.
+constexpr size_t kTraceContextBytes = 16;  // trace_id + aux
 /// Default cap on body_len; a peer announcing more is a decode error
 /// (rejected before any allocation).
 constexpr size_t kDefaultMaxFrameBody = 16u << 20;
@@ -104,13 +128,28 @@ constexpr uint32_t kMaxBatchCount = 1u << 20;
 constexpr uint32_t kMaxScanLimit = 1u << 20;
 
 /// One decoded frame. `payload` points into the decoder's buffer and is
-/// valid until the next Feed call.
+/// valid until the next Feed call. For traced frames the trace context
+/// has already been stripped: `payload` is the op-specific bytes and
+/// trace_id/server_ns hold the context fields.
 struct Frame {
   Op op = Op::kPing;
   bool response = false;
+  bool traced = false;
   uint16_t code = kOk;
   uint64_t request_id = 0;
+  uint64_t trace_id = 0;   // valid when traced
+  uint64_t server_ns = 0;  // aux field; service time in responses
   Slice payload;
+};
+
+/// Trace context attached to an encoded frame. Inert by default so
+/// existing call sites encode untraced frames unchanged.
+struct TraceContext {
+  bool traced = false;
+  uint64_t trace_id = 0;
+  /// Response aux: server-side service time in nanoseconds (0 in
+  /// requests).
+  uint64_t server_ns = 0;
 };
 
 /// Incremental frame decoder: feed bytes in arbitrary chunks (a single
@@ -147,28 +186,41 @@ class FrameDecoder {
   std::string error_;
 };
 
-// Request encoding (client side). ------------------------------------
+// Request encoding (client side). Keyed ops accept an optional trace
+// context (sampled requests). -----------------------------------------
 
-void EncodeGetRequest(std::string* out, uint64_t id, const Slice& key);
+void EncodeGetRequest(std::string* out, uint64_t id, const Slice& key,
+                      const TraceContext& tc = TraceContext());
 void EncodePutRequest(std::string* out, uint64_t id, const Slice& key,
-                      const Slice& value);
-void EncodeDeleteRequest(std::string* out, uint64_t id, const Slice& key);
+                      const Slice& value,
+                      const TraceContext& tc = TraceContext());
+void EncodeDeleteRequest(std::string* out, uint64_t id, const Slice& key,
+                         const TraceContext& tc = TraceContext());
 void EncodeMultiPutRequest(std::string* out, uint64_t id,
-                           const std::vector<KVStore::BatchOp>& batch);
+                           const std::vector<KVStore::BatchOp>& batch,
+                           const TraceContext& tc = TraceContext());
 void EncodeScanRequest(std::string* out, uint64_t id, const Slice& start,
-                       uint32_t limit);
+                       uint32_t limit,
+                       const TraceContext& tc = TraceContext());
 void EncodeStatsRequest(std::string* out, uint64_t id);
 void EncodePingRequest(std::string* out, uint64_t id);
 void EncodeShardMapRequest(std::string* out, uint64_t id);
+/// SLOWLOG request; `limit` caps the returned entries (0 = all).
+void EncodeSlowLogRequest(std::string* out, uint64_t id, uint32_t limit);
+void EncodeMetricsPromRequest(std::string* out, uint64_t id);
 
 // Response encoding (server side). -----------------------------------
 
 /// Success response with an op-specific payload (empty for writes).
+/// Responses to traced requests echo the trace context with the
+/// service time in `tc.server_ns`.
 void EncodeOkResponse(std::string* out, Op op, uint64_t id,
-                      const Slice& payload = Slice());
+                      const Slice& payload = Slice(),
+                      const TraceContext& tc = TraceContext());
 /// Error response; `message` becomes the payload.
 void EncodeErrorResponse(std::string* out, Op op, uint64_t id,
-                         uint16_t code, const Slice& message);
+                         uint16_t code, const Slice& message,
+                         const TraceContext& tc = TraceContext());
 /// Encodes the SCAN success payload.
 void EncodeScanPayload(
     std::string* out,
@@ -194,12 +246,16 @@ struct ScanRequest {
   Slice start;
   uint32_t limit = 0;
 };
+struct SlowLogRequest {
+  uint32_t limit = 0;  // 0 = all retained entries
+};
 
 Status ParseGetRequest(const Slice& payload, GetRequest* out);
 Status ParsePutRequest(const Slice& payload, PutRequest* out);
 Status ParseDeleteRequest(const Slice& payload, DeleteRequest* out);
 Status ParseMultiPutRequest(const Slice& payload, MultiPutRequest* out);
 Status ParseScanRequest(const Slice& payload, ScanRequest* out);
+Status ParseSlowLogRequest(const Slice& payload, SlowLogRequest* out);
 
 /// Parses a SCAN success payload (client side).
 Status ParseScanPayload(

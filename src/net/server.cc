@@ -20,6 +20,7 @@
 
 #include "core/db.h"
 #include "fault/fail_point.h"
+#include "obs/prom.h"
 #include "obs/trace.h"
 #include "util/json.h"
 
@@ -64,6 +65,8 @@ const char* OpHistogramName(Op op) {
     case Op::kStats: return "net.op.stats";
     case Op::kPing: return "net.op.ping";
     case Op::kShardMap: return "net.op.shardmap";
+    case Op::kSlowLog: return "net.op.slowlog";
+    case Op::kMetricsProm: return "net.op.metricsprom";
   }
   return "net.op.other";
 }
@@ -78,11 +81,107 @@ const char* OpTraceName(Op op) {
     case Op::kStats: return "net.stats";
     case Op::kPing: return "net.ping";
     case Op::kShardMap: return "net.shardmap";
+    case Op::kSlowLog: return "net.slowlog";
+    case Op::kMetricsProm: return "net.metricsprom";
   }
   return "net.other";
 }
 
 }  // namespace
+
+/// Per-request stage clock feeding both halves of the telemetry plane:
+/// each Stage() call closes the window since the previous mark, emitting
+/// a tracer span tagged with the trace id (traced requests) and
+/// accumulating the stage into a SlowLogEntry. Finish() — called from
+/// the destructor — records the entry when the request exceeded the
+/// slow threshold. Inert (no clock reads) when the request is neither
+/// traced nor eligible for the slow log.
+class Server::RequestTimeline {
+ public:
+  RequestTimeline(Server* server, const Frame& frame,
+                  uint32_t queue_depth)
+      : server_(server),
+        tracer_(server->primary()->trace()),
+        traced_(frame.traced),
+        trace_id_(frame.trace_id) {
+    slow_ns_ = server_->slow_log_ != nullptr
+                   ? static_cast<uint64_t>(server_->options_.slow_request_us) *
+                         1000
+                   : 0;
+    active_ = traced_ || slow_ns_ > 0;
+    if (!active_) return;
+    start_ns_ = last_ns_ = tracer_->NowNs();
+    entry_.trace_id = traced_ ? trace_id_ : 0;
+    entry_.op = static_cast<uint8_t>(frame.op);
+    entry_.queue_depth = queue_depth;
+  }
+
+  ~RequestTimeline() { Finish(); }
+
+  RequestTimeline(const RequestTimeline&) = delete;
+  RequestTimeline& operator=(const RequestTimeline&) = delete;
+
+  /// Closes the stage window [previous mark, now) under `name` (a
+  /// string literal).
+  void Stage(const char* name) {
+    if (!active_) return;
+    const uint64_t now = tracer_->NowNs();
+    if (traced_) {
+      tracer_->Complete(name, last_ns_, now - last_ns_, "trace",
+                        trace_id_);
+    }
+    entry_.AddStage(name, (now - last_ns_) / 1000);
+    last_ns_ = now;
+  }
+
+  void SetShard(uint32_t shard) { entry_.shard = shard; }
+  void SetKey(const Slice& key) {
+    if (active_) entry_.SetKey(key.data(), key.size());
+  }
+
+  bool traced() const { return traced_; }
+
+  /// The trace context for the response frame: echoes the request's id
+  /// and reports the service time measured so far.
+  TraceContext ResponseContext() const {
+    TraceContext tc;
+    if (traced_) {
+      tc.traced = true;
+      tc.trace_id = trace_id_;
+      tc.server_ns = tracer_->NowNs() - start_ns_;
+    }
+    return tc;
+  }
+
+  void Finish() {
+    if (!active_ || finished_) return;
+    finished_ = true;
+    if (slow_ns_ == 0) return;
+    const uint64_t now = tracer_->NowNs();
+    const uint64_t total = now - start_ns_;
+    if (total < slow_ns_) return;
+    entry_.ts_ns = now;
+    entry_.total_us = total / 1000;
+    obs::SlowLog* log = server_->slow_log_.get();
+    log->Record(entry_);
+    server_->slowlog_captured_->Increment();
+    if (log->Captured() > log->capacity()) {
+      server_->slowlog_dropped_->Increment();
+    }
+  }
+
+ private:
+  Server* server_;
+  obs::Tracer* tracer_;
+  bool traced_;
+  uint64_t trace_id_;
+  uint64_t slow_ns_ = 0;
+  bool active_ = false;
+  bool finished_ = false;
+  uint64_t start_ns_ = 0;
+  uint64_t last_ns_ = 0;
+  obs::SlowLogEntry entry_;
+};
 
 /// One TCP connection; owned by exactly one worker thread.
 struct Server::Conn {
@@ -128,7 +227,15 @@ Server::Server(std::vector<DB*> shards, const ShardRouter& router,
   batched_writes_ = reg->GetCounter("net.batched_writes");
   batched_ops_ = reg->GetCounter("net.batched_ops");
   backpressure_sheds_ = reg->GetCounter("net.backpressure_sheds");
+  slowlog_captured_ = reg->GetCounter("net.slowlog.captured");
+  slowlog_dropped_ = reg->GetCounter("net.slowlog.dropped");
+  slowlog_queries_ = reg->GetCounter("net.slowlog.queries");
+  traced_requests_ = reg->GetCounter("net.traced_requests");
   connections_ = reg->GetGauge("net.connections");
+  if (options_.slow_log_capacity > 0 && options_.slow_request_us > 0) {
+    slow_log_ =
+        std::make_unique<obs::SlowLog>(options_.slow_log_capacity);
+  }
   shard_requests_.reserve(dbs_.size());
   for (DB* db : dbs_) {
     shard_requests_.push_back(
@@ -549,17 +656,34 @@ bool Server::ProcessFrames(Conn* conn) {
   while ((r = conn->decoder.Next(&frame)) == FrameDecoder::Result::kFrame) {
     frames.push_back(frame);
   }
+  obs::Tracer* tracer = primary()->trace();
+  const bool tracing = tracer->enabled();
+  std::vector<uint64_t> traced_ids;
+  if (tracing) {
+    for (const Frame& f : frames) {
+      if (f.traced) {
+        // The receive-side marker of the merged timeline: when the
+        // request became visible to the server.
+        tracer->Instant("net.recv", "trace", f.trace_id);
+        traced_ids.push_back(f.trace_id);
+      }
+    }
+  }
   bool alive = true;
   size_t i = 0;
   while (i < frames.size()) {
+    // Frames decoded behind this one in the same round = the queueing
+    // the request observed on its own connection.
+    const uint32_t depth =
+        static_cast<uint32_t>(frames.size() - 1 - i);
     if (ShedForBackpressure(conn, frames[i].op, frames[i].request_id)) {
       i++;
       continue;
     }
     if (frames[i].op == Op::kPut || frames[i].op == Op::kDelete) {
-      i = HandleWriteRun(conn, frames, i);
+      i = HandleWriteRun(conn, frames, i, depth);
     } else {
-      HandleRequest(conn, frames[i]);
+      HandleRequest(conn, frames[i], depth);
       i++;
     }
   }
@@ -571,7 +695,13 @@ bool Server::ProcessFrames(Conn* conn) {
                         conn->decoder.error());
     alive = false;
   }
-  return FlushOut(conn) && alive;
+  const bool flushed = FlushOut(conn);
+  if (flushed && tracing) {
+    for (uint64_t id : traced_ids) {
+      tracer->Instant("net.send", "trace", id);
+    }
+  }
+  return flushed && alive;
 }
 
 bool Server::ShedForBackpressure(Conn* conn, Op op, uint64_t id) {
@@ -600,34 +730,54 @@ void Server::InvalidateCache(uint32_t shard, const Slice& key) {
   }
 }
 
-bool Server::RejectIfReadOnly(Conn* conn, DB* db, Op op, uint64_t id) {
+bool Server::RejectIfReadOnly(Conn* conn, DB* db, Op op, uint64_t id,
+                              const TraceContext& tc) {
   if (!db->IsReadOnly()) {
     return false;
   }
   EncodeErrorResponse(&conn->out, op, id, kReadOnly,
-                      db->BackgroundError().ToString());
+                      db->BackgroundError().ToString(), tc);
   return true;
 }
 
 void Server::AppendWriteResponse(Conn* conn, DB* db, Op op, uint64_t id,
-                                 const Status& s) {
+                                 const Status& s,
+                                 const TraceContext& tc) {
   if (s.ok()) {
-    EncodeOkResponse(&conn->out, op, id);
+    EncodeOkResponse(&conn->out, op, id, Slice(), tc);
   } else {
     // A write refused because of background degradation surfaces as
     // kReadOnly so clients can tell it from an ordinary IO error.
     const uint16_t code =
         db->IsReadOnly() ? static_cast<uint16_t>(kReadOnly) : WireCodeOf(s);
-    EncodeErrorResponse(&conn->out, op, id, code, s.ToString());
+    EncodeErrorResponse(&conn->out, op, id, code, s.ToString(), tc);
   }
 }
 
 size_t Server::HandleWriteRun(Conn* conn, const std::vector<Frame>& frames,
-                              size_t begin) {
+                              size_t begin, uint32_t queue_depth) {
+  // Stage timing is needed when the slow log is armed or any frame of
+  // the (prospective) run is traced; probing the op/traced flags ahead
+  // of parsing is cheap and may only over-include.
+  bool any_traced = false;
+  for (size_t j = begin; j < frames.size() &&
+                         (frames[j].op == Op::kPut ||
+                          frames[j].op == Op::kDelete);
+       j++) {
+    if (frames[j].traced) {
+      any_traced = true;
+      break;
+    }
+  }
+  obs::Tracer* tracer = primary()->trace();
+  const bool timing = any_traced || slow_log_ != nullptr;
+  const uint64_t t_start = timing ? tracer->NowNs() : 0;
+
   // Gather the maximal batchable run under the caps, routing each op to
   // its shard as it is parsed.
   std::vector<std::vector<KVStore::BatchOp>> shard_batches(dbs_.size());
   std::vector<uint32_t> op_shards;  // shard of frames[begin + i]
+  std::string first_key;            // slow-log key prefix for the run
   size_t end = begin;
   size_t batch_bytes = 0;
   size_t total_ops = 0;
@@ -661,6 +811,7 @@ size_t Server::HandleWriteRun(Conn* conn, const std::vector<Frame>& frames,
     batch_bytes += cost;
     const uint32_t shard =
         dbs_.size() == 1 ? 0 : router_.ShardOf(op.key);
+    if (total_ops == 0) first_key = op.key;
     op_shards.push_back(shard);
     shard_batches[shard].push_back(std::move(op));
     total_ops++;
@@ -669,13 +820,14 @@ size_t Server::HandleWriteRun(Conn* conn, const std::vector<Frame>& frames,
   if (total_ops <= 1) {
     // Nothing to batch (lone write, or the first frame failed to
     // parse); the single-op path owns its histogram and error.
-    HandleRequest(conn, frames[begin]);
+    HandleRequest(conn, frames[begin], queue_depth);
     return begin + 1;
   }
   // The whole run shares one service span; each touched shard gets one
   // commit, and every request is answered with its shard's outcome.
   obs::SpanTimer span(primary()->metrics(), "net.op.put");
   requests_->Increment(total_ops);
+  const uint64_t t_parsed = timing ? tracer->NowNs() : 0;
   std::vector<Status> shard_status(dbs_.size(), Status::OK());
   std::vector<bool> shard_read_only(dbs_.size(), false);
   for (uint32_t shard = 0; shard < dbs_.size(); shard++) {
@@ -714,14 +866,74 @@ size_t Server::HandleWriteRun(Conn* conn, const std::vector<Frame>& frames,
     }
     shard_status[shard] = s;
   }
+  const uint64_t t_committed = timing ? tracer->NowNs() : 0;
   for (size_t i = begin; i < end; i++) {
     const uint32_t shard = op_shards[i - begin];
+    // Every request of the run reports the run's service time so far:
+    // a batched write's latency is the batch's latency.
+    TraceContext tc;
+    if (frames[i].traced) {
+      traced_requests_->Increment();
+      tc.traced = true;
+      tc.trace_id = frames[i].trace_id;
+      tc.server_ns = t_committed - t_start;
+    }
     if (shard_read_only[shard]) {
       EncodeErrorResponse(&conn->out, frames[i].op, frames[i].request_id,
-                          kReadOnly, shard_status[shard].ToString());
+                          kReadOnly, shard_status[shard].ToString(), tc);
     } else {
       AppendWriteResponse(conn, dbs_[shard], frames[i].op,
-                          frames[i].request_id, shard_status[shard]);
+                          frames[i].request_id, shard_status[shard], tc);
+    }
+  }
+  if (timing) {
+    const uint64_t t_done = tracer->NowNs();
+    if (tracer->enabled()) {
+      // Stage spans for every traced member of the run: the stages are
+      // shared (one parse loop, one commit loop, one encode loop), so
+      // each traced id gets the same windows under its own id.
+      for (size_t i = begin; i < end; i++) {
+        if (!frames[i].traced) continue;
+        const uint64_t id = frames[i].trace_id;
+        tracer->Complete("req.decode", t_start, t_parsed - t_start,
+                         "trace", id);
+        tracer->Complete("req.db", t_parsed, t_committed - t_parsed,
+                         "trace", id);
+        tracer->Complete("req.encode", t_committed, t_done - t_committed,
+                         "trace", id);
+        tracer->Complete(OpTraceName(frames[i].op), t_start,
+                         t_done - t_start, "trace", id, "batched",
+                         total_ops);
+      }
+    }
+    const uint64_t slow_ns =
+        slow_log_ != nullptr
+            ? static_cast<uint64_t>(options_.slow_request_us) * 1000
+            : 0;
+    if (slow_ns > 0 && t_done - t_start >= slow_ns) {
+      // One entry for the whole run (op "batch"): the run is the unit
+      // of service here.
+      obs::SlowLogEntry entry;
+      entry.ts_ns = t_done;
+      entry.op = 255;
+      entry.shard = op_shards[0];
+      entry.total_us = (t_done - t_start) / 1000;
+      entry.queue_depth = queue_depth;
+      entry.SetKey(first_key.data(), first_key.size());
+      for (size_t i = begin; i < end; i++) {
+        if (frames[i].traced) {
+          entry.trace_id = frames[i].trace_id;
+          break;
+        }
+      }
+      entry.AddStage("req.decode", (t_parsed - t_start) / 1000);
+      entry.AddStage("req.db", (t_committed - t_parsed) / 1000);
+      entry.AddStage("req.encode", (t_done - t_committed) / 1000);
+      slow_log_->Record(entry);
+      slowlog_captured_->Increment();
+      if (slow_log_->Captured() > slow_log_->capacity()) {
+        slowlog_dropped_->Increment();
+      }
     }
   }
   return end;
@@ -748,26 +960,45 @@ void Server::BuildStatsPayload(std::string* out) {
   out->append(root.ToString());
 }
 
-void Server::HandleRequest(Conn* conn, const Frame& frame) {
+void Server::HandleRequest(Conn* conn, const Frame& frame,
+                           uint32_t queue_depth) {
   requests_->Increment();
   const Op op = frame.op;
   const uint64_t id = frame.request_id;
   obs::SpanTimer span(primary()->metrics(), OpHistogramName(op));
   obs::TraceScope trace(primary()->trace(), OpTraceName(op));
+  RequestTimeline timeline(this, frame, queue_depth);
+  if (frame.traced) {
+    traced_requests_->Increment();
+    trace.AddArg("trace", frame.trace_id);
+  }
+
+  // Every response echoes the trace context of a traced request (with
+  // the service time measured at encode) and closes the encode stage.
+  auto respond_ok = [&](const Slice& payload) {
+    EncodeOkResponse(&conn->out, op, id, payload,
+                     timeline.ResponseContext());
+    timeline.Stage("req.encode");
+  };
+  auto respond_error = [&](uint16_t code, const std::string& message) {
+    EncodeErrorResponse(&conn->out, op, id, code, message,
+                        timeline.ResponseContext());
+    timeline.Stage("req.encode");
+  };
 
   if (frame.response) {
     // A client must never send response frames; treat as decode error.
     decode_errors_->Increment();
-    EncodeErrorResponse(&conn->out, op, id, kDecodeError,
-                        "response frame sent to server");
+    respond_error(kDecodeError, "response frame sent to server");
     return;
   }
   if (fault::AnyActive()) {
+    // An armed delay action here lands inside the req.decode stage
+    // window, so the slow log attributes it to decode.
     Status injected = fault::Inject("net.decode");
     if (!injected.ok()) {
       decode_errors_->Increment();
-      EncodeErrorResponse(&conn->out, op, id, kDecodeError,
-                          injected.ToString());
+      respond_error(kDecodeError, injected.ToString());
       return;
     }
   }
@@ -778,32 +1009,42 @@ void Server::HandleRequest(Conn* conn, const Frame& frame) {
       Status s = ParseGetRequest(frame.payload, &req);
       if (!s.ok()) {
         decode_errors_->Increment();
-        EncodeErrorResponse(&conn->out, op, id, kDecodeError,
-                            s.ToString());
+        respond_error(kDecodeError, s.ToString());
         return;
       }
+      timeline.SetKey(req.key);
+      timeline.Stage("req.decode");
       uint32_t shard = 0;
       DB* db = Route(req.key, &shard);
+      timeline.SetShard(shard);
+      timeline.Stage("req.route");
       std::string value;
       cache::HotKeyCache* hot =
           caches_.empty() ? nullptr : caches_[shard].get();
       cache::HotKeyCache::FillToken token;
       if (hot != nullptr && hot->Lookup(req.key, &value, &token)) {
-        EncodeOkResponse(&conn->out, op, id, value);
+        timeline.Stage("req.cache");
+        respond_ok(value);
         return;
       }
+      if (hot != nullptr) {
+        timeline.Stage("req.cache");
+      }
       s = db->Get(req.key, &value);
+      timeline.Stage("req.db");
       if (s.ok()) {
         if (hot != nullptr) {
           // Read-through fill, guarded by the token: if a write
           // invalidated this key since the Lookup miss, the fill is
           // dropped rather than shadowing the acked overwrite.
           hot->Insert(req.key, value, token);
+          // Separate stage so a poisoned/delayed fill (cache.poison)
+          // shows up under its own name in the slow log.
+          timeline.Stage("req.cache.fill");
         }
-        EncodeOkResponse(&conn->out, op, id, value);
+        respond_ok(value);
       } else {
-        EncodeErrorResponse(&conn->out, op, id, WireCodeOf(s),
-                            s.ToString());
+        respond_error(WireCodeOf(s), s.ToString());
       }
       return;
     }
@@ -812,16 +1053,25 @@ void Server::HandleRequest(Conn* conn, const Frame& frame) {
       Status s = ParsePutRequest(frame.payload, &req);
       if (!s.ok()) {
         decode_errors_->Increment();
-        EncodeErrorResponse(&conn->out, op, id, kDecodeError,
-                            s.ToString());
+        respond_error(kDecodeError, s.ToString());
         return;
       }
+      timeline.SetKey(req.key);
+      timeline.Stage("req.decode");
       uint32_t shard = 0;
       DB* db = Route(req.key, &shard);
-      if (RejectIfReadOnly(conn, db, op, id)) return;
+      timeline.SetShard(shard);
+      timeline.Stage("req.route");
+      if (RejectIfReadOnly(conn, db, op, id,
+                           timeline.ResponseContext())) {
+        return;
+      }
       Status ws = db->Put(req.key, req.value);
       InvalidateCache(shard, req.key);
-      AppendWriteResponse(conn, db, op, id, ws);
+      timeline.Stage("req.db");
+      AppendWriteResponse(conn, db, op, id, ws,
+                          timeline.ResponseContext());
+      timeline.Stage("req.encode");
       return;
     }
     case Op::kDelete: {
@@ -829,16 +1079,25 @@ void Server::HandleRequest(Conn* conn, const Frame& frame) {
       Status s = ParseDeleteRequest(frame.payload, &req);
       if (!s.ok()) {
         decode_errors_->Increment();
-        EncodeErrorResponse(&conn->out, op, id, kDecodeError,
-                            s.ToString());
+        respond_error(kDecodeError, s.ToString());
         return;
       }
+      timeline.SetKey(req.key);
+      timeline.Stage("req.decode");
       uint32_t shard = 0;
       DB* db = Route(req.key, &shard);
-      if (RejectIfReadOnly(conn, db, op, id)) return;
+      timeline.SetShard(shard);
+      timeline.Stage("req.route");
+      if (RejectIfReadOnly(conn, db, op, id,
+                           timeline.ResponseContext())) {
+        return;
+      }
       Status ws = db->Delete(req.key);
       InvalidateCache(shard, req.key);
-      AppendWriteResponse(conn, db, op, id, ws);
+      timeline.Stage("req.db");
+      AppendWriteResponse(conn, db, op, id, ws,
+                          timeline.ResponseContext());
+      timeline.Stage("req.encode");
       return;
     }
     case Op::kMultiPut: {
@@ -846,19 +1105,28 @@ void Server::HandleRequest(Conn* conn, const Frame& frame) {
       Status s = ParseMultiPutRequest(frame.payload, &req);
       if (!s.ok()) {
         decode_errors_->Increment();
-        EncodeErrorResponse(&conn->out, op, id, kDecodeError,
-                            s.ToString());
+        respond_error(kDecodeError, s.ToString());
         return;
       }
       trace.AddArg("keys", req.ops.size());
+      if (!req.ops.empty()) {
+        timeline.SetKey(req.ops[0].key);
+      }
+      timeline.Stage("req.decode");
       if (dbs_.size() == 1) {
         shard_requests_[0]->Increment(req.ops.size());
-        if (RejectIfReadOnly(conn, primary(), op, id)) return;
+        if (RejectIfReadOnly(conn, primary(), op, id,
+                             timeline.ResponseContext())) {
+          return;
+        }
         Status ws = primary()->ApplyBatch(req.ops);
         for (const KVStore::BatchOp& bop : req.ops) {
           InvalidateCache(0, bop.key);
         }
-        AppendWriteResponse(conn, primary(), op, id, ws);
+        timeline.Stage("req.db");
+        AppendWriteResponse(conn, primary(), op, id, ws,
+                            timeline.ResponseContext());
+        timeline.Stage("req.encode");
         return;
       }
       // Split per shard: the batch stays atomic within each shard but
@@ -871,8 +1139,12 @@ void Server::HandleRequest(Conn* conn, const Frame& frame) {
       for (uint32_t shard = 0; shard < dbs_.size(); shard++) {
         if (split[shard].empty()) continue;
         shard_requests_[shard]->Increment(split[shard].size());
-        if (RejectIfReadOnly(conn, dbs_[shard], op, id)) return;
+        if (RejectIfReadOnly(conn, dbs_[shard], op, id,
+                             timeline.ResponseContext())) {
+          return;
+        }
       }
+      timeline.Stage("req.route");
       Status first_error;
       DB* failed_db = nullptr;
       for (uint32_t shard = 0; shard < dbs_.size(); shard++) {
@@ -886,10 +1158,13 @@ void Server::HandleRequest(Conn* conn, const Frame& frame) {
           failed_db = dbs_[shard];
         }
       }
+      timeline.Stage("req.db");
       if (first_error.ok()) {
-        EncodeOkResponse(&conn->out, op, id);
+        respond_ok(Slice());
       } else {
-        AppendWriteResponse(conn, failed_db, op, id, first_error);
+        AppendWriteResponse(conn, failed_db, op, id, first_error,
+                            timeline.ResponseContext());
+        timeline.Stage("req.encode");
       }
       return;
     }
@@ -898,15 +1173,15 @@ void Server::HandleRequest(Conn* conn, const Frame& frame) {
       Status s = ParseScanRequest(frame.payload, &req);
       if (!s.ok()) {
         decode_errors_->Increment();
-        EncodeErrorResponse(&conn->out, op, id, kDecodeError,
-                            s.ToString());
+        respond_error(kDecodeError, s.ToString());
         return;
       }
       if (req.limit > options_.max_scan_limit) {
-        EncodeErrorResponse(&conn->out, op, id, kTooLarge,
-                            "scan limit exceeds server maximum");
+        respond_error(kTooLarge, "scan limit exceeds server maximum");
         return;
       }
+      timeline.SetKey(req.start);
+      timeline.Stage("req.decode");
       std::vector<std::pair<std::string, std::string>> entries;
       if (dbs_.size() == 1) {
         shard_requests_[0]->Increment();
@@ -925,35 +1200,72 @@ void Server::HandleRequest(Conn* conn, const Frame& frame) {
           MergeShardScans(std::move(per_shard), req.limit, &entries);
         }
       }
+      timeline.Stage("req.db");
       if (!s.ok()) {
-        EncodeErrorResponse(&conn->out, op, id, WireCodeOf(s),
-                            s.ToString());
+        respond_error(WireCodeOf(s), s.ToString());
         return;
       }
       trace.AddArg("entries", entries.size());
       std::string payload;
       EncodeScanPayload(&payload, entries);
-      EncodeOkResponse(&conn->out, op, id, payload);
+      respond_ok(payload);
       return;
     }
     case Op::kStats: {
       std::string json;
       BuildStatsPayload(&json);
-      EncodeOkResponse(&conn->out, op, id, json);
+      timeline.Stage("req.db");
+      respond_ok(json);
       return;
     }
     case Op::kPing: {
-      EncodeOkResponse(&conn->out, op, id);
+      respond_ok(Slice());
       return;
     }
     case Op::kShardMap: {
       // The image is immutable after Start(), so serving it is just a
       // copy; single-DB servers answer a 1-shard identity map.
-      EncodeOkResponse(&conn->out, op, id, shard_map_image_);
+      respond_ok(shard_map_image_);
+      return;
+    }
+    case Op::kSlowLog: {
+      SlowLogRequest req;
+      Status s = ParseSlowLogRequest(frame.payload, &req);
+      if (!s.ok()) {
+        decode_errors_->Increment();
+        respond_error(kDecodeError, s.ToString());
+        return;
+      }
+      slowlog_queries_->Increment();
+      JsonValue entries;
+      if (slow_log_ != nullptr) {
+        slow_log_->ToJson(&entries, req.limit);
+      } else {
+        entries = JsonValue::Array();  // capture disabled: empty log
+      }
+      respond_ok(entries.ToString());
+      return;
+    }
+    case Op::kMetricsProm: {
+      std::string text;
+      BuildPromPayload(&text);
+      timeline.Stage("req.db");
+      respond_ok(text);
       return;
     }
   }
-  EncodeErrorResponse(&conn->out, op, id, kUnknownOp, "unknown opcode");
+  respond_error(kUnknownOp, "unknown opcode");
+}
+
+void Server::BuildPromPayload(std::string* out) {
+  // Per-shard labels come from position: snapshot i renders with
+  // shard="i", matching the STATS "shard.<i>" sections.
+  std::vector<obs::MetricsSnapshot> snapshots;
+  snapshots.reserve(dbs_.size());
+  for (DB* db : dbs_) {
+    snapshots.push_back(db->GetMetricsSnapshot());
+  }
+  *out = obs::RenderPrometheus(snapshots);
 }
 
 bool Server::FlushOut(Conn* conn) {

@@ -14,6 +14,7 @@
 #include "net/protocol.h"
 #include "net/shard_router.h"
 #include "obs/metrics.h"
+#include "obs/slow_log.h"
 #include "util/status.h"
 
 namespace cachekv {
@@ -55,6 +56,13 @@ struct ServerOptions {
   /// Count-Min-sketch admission: estimated lookup frequency a key needs
   /// before a read fill is cached (--cache-admit on the daemon).
   uint32_t hot_key_cache_admit = 2;
+  /// Slow-request log (docs/OBSERVABILITY.md): any request whose
+  /// service time exceeds this threshold is captured in the SlowLog
+  /// ring with its stage breakdown (--slow-us on the daemon). 0
+  /// disables capture; SLOWLOG then answers an empty log.
+  uint32_t slow_request_us = 10'000;
+  /// Entries retained in the slow-request ring (--slow-log-cap).
+  size_t slow_log_capacity = 128;
 };
 
 /// Server exposes one DB — or N sharded DB instances — over TCP,
@@ -87,6 +95,16 @@ struct ServerOptions {
 /// (src/fault). When a shard has degraded to read-only, write requests
 /// routed to it are rejected with the kReadOnly wire code carrying that
 /// shard's DB::BackgroundError().
+///
+/// Telemetry plane (docs/OBSERVABILITY.md): requests arriving as traced
+/// frames (flags bit 1; sampled by the client) are tagged stage by
+/// stage — net.recv, req.decode, req.route, req.cache, req.db,
+/// req.encode, net.send — as spans in the primary's Tracer carrying the
+/// request's trace id, and their responses echo the trace context with
+/// the measured service time. Independently, any request slower than
+/// slow_request_us lands in the SlowLog ring with the same stage
+/// breakdown (SLOWLOG op; net.slowlog.* counters), and METRICSPROM
+/// serves every shard's registry in Prometheus text format.
 ///
 /// Hot-key cache: with hot_key_cache_bytes > 0 each shard owns a
 /// read-through HotKeyCache (src/cache/hot_key_cache.h) consulted by
@@ -132,9 +150,16 @@ class Server {
   uint32_t num_shards() const { return router_.num_shards(); }
   const ShardRouter& router() const { return router_; }
 
+  /// The slow-request ring (null when slow_log_capacity == 0). Served
+  /// over the wire via SLOWLOG; exposed for tests.
+  const obs::SlowLog* slow_log() const { return slow_log_.get(); }
+
  private:
   struct Conn;
   struct Worker;
+  /// Per-request stage clock for the slow log + trace propagation;
+  /// defined in server.cc.
+  class RequestTimeline;
 
   DB* primary() const { return dbs_[0]; }
   /// The shard owning `key`; counts the routing decision in the target
@@ -150,16 +175,23 @@ class Server {
   /// Handles frames[begin..end) where [begin, end) is a maximal run of
   /// single-key PUT/DEL requests: one ApplyBatch commit per touched
   /// shard, one response per request. Returns the first unconsumed
-  /// index.
+  /// index. `queue_depth` is the number of frames decoded behind
+  /// frames[begin] in its round.
   size_t HandleWriteRun(Conn* conn, const std::vector<Frame>& frames,
-                        size_t begin);
-  void HandleRequest(Conn* conn, const Frame& frame);
+                        size_t begin, uint32_t queue_depth);
+  void HandleRequest(Conn* conn, const Frame& frame,
+                     uint32_t queue_depth);
   /// Appends the response for a completed write `s` against `db`
   /// (shared by the single-op and batched paths).
   void AppendWriteResponse(Conn* conn, DB* db, Op op, uint64_t id,
-                           const Status& s);
+                           const Status& s,
+                           const TraceContext& tc = TraceContext());
   /// Rejects a write when `db` is read-only; true when rejected.
-  bool RejectIfReadOnly(Conn* conn, DB* db, Op op, uint64_t id);
+  bool RejectIfReadOnly(Conn* conn, DB* db, Op op, uint64_t id,
+                        const TraceContext& tc = TraceContext());
+  /// The METRICSPROM payload: the Prometheus exposition over every
+  /// shard's registry snapshot (per-shard labels).
+  void BuildPromPayload(std::string* out);
   /// Invalidates `key` in `shard`'s hot-key cache (no-op when caching
   /// is disabled). Must run after the DB commit, before the ack.
   void InvalidateCache(uint32_t shard, const Slice& key);
@@ -180,6 +212,8 @@ class Server {
   const ServerOptions options_;
   /// One hot-key cache per shard; empty when caching is disabled.
   std::vector<std::unique_ptr<cache::HotKeyCache>> caches_;
+  /// Slow-request ring, shared by all workers (lock-free writers).
+  std::unique_ptr<obs::SlowLog> slow_log_;
   size_t batch_bytes_cap_ = 0;
   /// SHARDMAP response payload, finalized at Start() (endpoints carry
   /// the bound address).
@@ -202,6 +236,10 @@ class Server {
   obs::Counter* batched_writes_ = nullptr;
   obs::Counter* batched_ops_ = nullptr;
   obs::Counter* backpressure_sheds_ = nullptr;
+  obs::Counter* slowlog_captured_ = nullptr;
+  obs::Counter* slowlog_dropped_ = nullptr;
+  obs::Counter* slowlog_queries_ = nullptr;
+  obs::Counter* traced_requests_ = nullptr;
   obs::Gauge* connections_ = nullptr;
   // Per-shard routing counters, one in each shard's own registry.
   std::vector<obs::Counter*> shard_requests_;

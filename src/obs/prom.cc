@@ -1,0 +1,141 @@
+#include "obs/prom.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cachekv {
+namespace obs {
+
+namespace {
+
+const char* KindString(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "summary";
+  }
+  return "untyped";
+}
+
+/// Formats a double the way Prometheus expects: integral values without
+/// a fractional part, everything else with enough precision to round-
+/// trip.
+std::string FormatValue(double v) {
+  char buf[64];
+  if (v == static_cast<double>(static_cast<int64_t>(v)) &&
+      v >= -9.2e18 && v <= 9.2e18) {
+    std::snprintf(buf, sizeof(buf), "%" PRId64,
+                  static_cast<int64_t>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
+  return buf;
+}
+
+struct Series {
+  std::string labels;  // rendered {…} including shard label
+  std::string value;
+  std::string suffix;  // "", "_sum", "_count"
+};
+
+struct Family {
+  MetricKind kind = MetricKind::kCounter;
+  std::vector<Series> series;
+};
+
+void AppendShardSeries(Family* family, const MetricValue& value,
+                       size_t shard) {
+  std::string shard_label = "shard=\"" + std::to_string(shard) + "\"";
+  switch (value.kind) {
+    case MetricKind::kCounter:
+      family->series.push_back(
+          {"{" + shard_label + "}",
+           FormatValue(static_cast<double>(value.counter)), ""});
+      break;
+    case MetricKind::kGauge:
+      family->series.push_back(
+          {"{" + shard_label + "}", FormatValue(value.gauge), ""});
+      break;
+    case MetricKind::kHistogram: {
+      const Histogram& h = value.histogram;
+      if (h.count() > 0) {
+        // Fixed label strings: FormatValue would render 0.99 with its
+        // full binary-double expansion.
+        static constexpr struct {
+          const char* label;
+          double p;
+        } kQuantiles[] = {{"0.5", 50.0}, {"0.95", 95.0}, {"0.99", 99.0}};
+        for (const auto& q : kQuantiles) {
+          std::string labels = "{" + shard_label + ",quantile=\"" +
+                               q.label + "\"}";
+          family->series.push_back(
+              {labels, FormatValue(h.Percentile(q.p)), ""});
+        }
+      }
+      family->series.push_back(
+          {"{" + shard_label + "}", FormatValue(h.sum()), "_sum"});
+      family->series.push_back(
+          {"{" + shard_label + "}",
+           FormatValue(static_cast<double>(h.count())), "_count"});
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string PrometheusName(const std::string& name) {
+  std::string out = "cachekv_";
+  out.reserve(out.size() + name.size());
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string RenderPrometheus(
+    const std::vector<MetricsSnapshot>& shard_snapshots) {
+  // Families in first-seen order; distinct raw names may sanitize to
+  // the same family name, in which case the first kind wins and later
+  // series just join the family (TYPE lines stay unique either way).
+  std::vector<std::string> order;
+  std::map<std::string, Family> families;
+  for (size_t shard = 0; shard < shard_snapshots.size(); shard++) {
+    for (const auto& [raw_name, value] : shard_snapshots[shard].metrics) {
+      std::string name = PrometheusName(raw_name);
+      auto it = families.find(name);
+      if (it == families.end()) {
+        order.push_back(name);
+        it = families.emplace(name, Family{}).first;
+        it->second.kind = value.kind;
+      }
+      AppendShardSeries(&it->second, value, shard);
+    }
+  }
+
+  std::string out;
+  for (const std::string& name : order) {
+    const Family& family = families[name];
+    out += "# TYPE " + name + " " + KindString(family.kind) + "\n";
+    for (const Series& s : family.series) {
+      out += name + s.suffix + s.labels + " " + s.value + "\n";
+    }
+  }
+  return out;
+}
+
+std::string RenderPrometheus(const MetricsSnapshot& snapshot) {
+  return RenderPrometheus(std::vector<MetricsSnapshot>{snapshot});
+}
+
+}  // namespace obs
+}  // namespace cachekv

@@ -1,0 +1,45 @@
+#ifndef CACHEKV_OBS_PROM_H_
+#define CACHEKV_OBS_PROM_H_
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace cachekv {
+namespace obs {
+
+/// Prometheus text exposition (docs/OBSERVABILITY.md, "Prometheus
+/// exposition") over one MetricsSnapshot per shard.
+///
+/// Mapping:
+///   * metric names are sanitized ('.' and other non-[a-zA-Z0-9_] bytes
+///     become '_') and prefixed "cachekv_";
+///   * every series carries a shard="<index>" label, so a multi-shard
+///     server exports per-shard balance directly (single-shard servers
+///     label shard="0");
+///   * counters export as-is (counter), gauges as gauge;
+///   * histograms export as summaries: {quantile="0.5"|"0.95"|"0.99"}
+///     series plus _sum (in the histogram's native unit — nanoseconds
+///     for span histograms) and _count. Quantile series are omitted
+///     while the histogram is empty (a summary with no observations has
+///     no meaningful quantiles), _sum/_count always export.
+///
+/// `# TYPE` / `# HELP` lines appear exactly once per metric family even
+/// when several shards export the same name; series order is stable
+/// (families in first-seen registration order, shards ascending).
+std::string RenderPrometheus(
+    const std::vector<MetricsSnapshot>& shard_snapshots);
+
+/// One-shard convenience wrapper.
+std::string RenderPrometheus(const MetricsSnapshot& snapshot);
+
+/// "cachekv_" + `name` with every byte outside [a-zA-Z0-9_] replaced by
+/// '_'. Exposed for tests and for tools that need to predict series
+/// names.
+std::string PrometheusName(const std::string& name);
+
+}  // namespace obs
+}  // namespace cachekv
+
+#endif  // CACHEKV_OBS_PROM_H_

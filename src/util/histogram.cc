@@ -167,7 +167,13 @@ double Histogram::StandardDeviation() const {
 }
 
 double Histogram::Percentile(double p) const {
-  if (num_ == 0) return 0;
+  if (num_ == 0) return 0;  // sentinel: an empty histogram has no samples
+  if (p <= 0) return min();
+  if (p >= 100) return max_;
+  // Single-point distributions (every sample equal, so one bucket with
+  // min_ == max_): bucket interpolation would report a point inside the
+  // bucket's range rather than the exact sample; short-circuit to it.
+  if (min_ == max_) return max_;
   double threshold = static_cast<double>(num_) * (p / 100.0);
   double cumulative = 0;
   for (int b = 0; b < kNumBuckets; b++) {

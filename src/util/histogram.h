@@ -59,8 +59,12 @@ class Histogram {
   double Average() const;
   double StandardDeviation() const;
 
-  /// Returns the value at percentile p (0 < p <= 100), interpolated
-  /// within the containing bucket.
+  /// Returns the value at percentile p, interpolated within the
+  /// containing bucket and clamped to [min(), max()]. Edge cases are
+  /// exact rather than interpolated: an empty histogram returns 0 (the
+  /// documented sentinel), p <= 0 returns min(), p >= 100 returns
+  /// max(), and a single-point distribution (min() == max()) returns
+  /// that sample for every p.
   double Percentile(double p) const;
   double Median() const { return Percentile(50.0); }
 

@@ -12,6 +12,7 @@
 
 #include "core/db.h"
 #include "obs/metrics.h"
+#include "obs/prom.h"
 #include "pmem/pmem_env.h"
 #include "report.h"
 #include "util/histogram.h"
@@ -147,6 +148,100 @@ TEST(MetricsRegistryTest, SnapshotWhileWritersRun) {
             reg.GetCounter("writer.ops")->load());
   EXPECT_EQ(final_snap.HistogramCount("writer.span"),
             reg.GetHistogram("writer.span")->TotalCount());
+}
+
+TEST(ShardedHistogramTest, ScrapeStressWhileWritersRun) {
+  // The METRICSPROM path under load: writers hammer a registry's
+  // counter + histogram while a scraper renders Prometheus text in a
+  // tight loop. Rendering must stay crash-free (TSan/ASan jobs run
+  // this) and the scraped count may only grow.
+  MetricsRegistry reg;
+  // Register up front so the very first scrape already sees both
+  // families; the races under test are value updates, not insertion.
+  reg.GetCounter("stress.ops");
+  reg.GetHistogram("stress.lat");
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; t++) {
+    writers.emplace_back([&reg, &stop] {
+      obs::Counter* c = reg.GetCounter("stress.ops");
+      obs::ShardedHistogram* h = reg.GetHistogram("stress.lat");
+      // do-while: each writer lands at least one sample even if the
+      // scraper finishes its 100 rounds before this thread is
+      // scheduled.
+      do {
+        c->Increment();
+        h->Record(42.0);
+      } while (!stop.load(std::memory_order_relaxed));
+    });
+  }
+  uint64_t last = 0;
+  for (int i = 0; i < 100; i++) {
+    MetricsSnapshot snap = reg.Snapshot();
+    const std::string text = obs::RenderPrometheus(snap);
+    EXPECT_NE(std::string::npos, text.find("cachekv_stress_ops"));
+    const uint64_t count = snap.CounterValue("stress.ops");
+    EXPECT_GE(count, last);
+    last = count;
+  }
+  stop.store(true);
+  for (auto& th : writers) {
+    th.join();
+  }
+  // After writers drain, the final scrape must reflect their work.
+  MetricsSnapshot final_snap = reg.Snapshot();
+  EXPECT_GT(final_snap.CounterValue("stress.ops"), 0u);
+  EXPECT_GE(final_snap.CounterValue("stress.ops"), last);
+  const std::string final_text = obs::RenderPrometheus(final_snap);
+  EXPECT_NE(std::string::npos, final_text.find("cachekv_stress_lat_count"));
+}
+
+TEST(PrometheusRenderTest, SanitizesNamesAndLabelsShards) {
+  MetricsRegistry shard0, shard1;
+  shard0.GetCounter("net.requests")->Increment(5);
+  shard1.GetCounter("net.requests")->Increment(7);
+  shard0.GetGauge("net.connections")->Set(2);
+  shard0.GetHistogram("net.op.get")->Record(1000.0);
+  const std::string text = obs::RenderPrometheus(
+      {shard0.Snapshot(), shard1.Snapshot()});
+
+  // Dots become underscores under the cachekv_ prefix; one TYPE line
+  // per family even with two shards; every series shard-labelled.
+  EXPECT_NE(std::string::npos,
+            text.find("# TYPE cachekv_net_requests counter"));
+  EXPECT_EQ(text.find("# TYPE cachekv_net_requests "),
+            text.rfind("# TYPE cachekv_net_requests "));
+  EXPECT_NE(std::string::npos,
+            text.find("cachekv_net_requests{shard=\"0\"} 5"));
+  EXPECT_NE(std::string::npos,
+            text.find("cachekv_net_requests{shard=\"1\"} 7"));
+  EXPECT_NE(std::string::npos,
+            text.find("# TYPE cachekv_net_connections gauge"));
+  EXPECT_NE(std::string::npos,
+            text.find("# TYPE cachekv_net_op_get summary"));
+  EXPECT_NE(std::string::npos,
+            text.find("cachekv_net_op_get{shard=\"0\",quantile=\"0.99\"}"));
+  EXPECT_NE(std::string::npos,
+            text.find("cachekv_net_op_get_sum{shard=\"0\"} 1000"));
+  EXPECT_NE(std::string::npos,
+            text.find("cachekv_net_op_get_count{shard=\"0\"} 1"));
+}
+
+TEST(PrometheusRenderTest, EmptyHistogramSkipsQuantilesNotSeries) {
+  // A registered-but-empty histogram: quantiles would be the 0 sentinel
+  // lie, so only _sum and _count (both 0) are emitted.
+  MetricsRegistry reg;
+  reg.GetHistogram("quiet.span");
+  const std::string text = obs::RenderPrometheus(reg.Snapshot());
+  EXPECT_EQ(std::string::npos, text.find("quantile"));
+  EXPECT_NE(std::string::npos,
+            text.find("cachekv_quiet_span_count{shard=\"0\"} 0"));
+}
+
+TEST(PrometheusRenderTest, NameSanitizer) {
+  EXPECT_EQ("cachekv_net_op_get", obs::PrometheusName("net.op.get"));
+  EXPECT_EQ("cachekv_a_b_c", obs::PrometheusName("a-b c"));
+  EXPECT_EQ("cachekv_x9", obs::PrometheusName("x9"));
 }
 
 TEST(MetricsRegistryTest, SnapshotKindsAndMissingNames) {

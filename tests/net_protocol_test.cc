@@ -464,6 +464,147 @@ TEST(NetProtocolTest, MultiPutDeleteWithValueRejected) {
   EXPECT_TRUE(ParseMultiPutRequest(payload, &req).IsInvalidArgument());
 }
 
+// Traced frames + telemetry ops. ------------------------------------
+
+TEST(NetProtocolTest, TracedRequestRoundTrip) {
+  TraceContext tc;
+  tc.traced = true;
+  tc.trace_id = 0xabcdef123456ull;
+  std::string stream;
+  EncodeGetRequest(&stream, 77, "traced-key", tc);
+  FrameDecoder dec;
+  Frame f = DecodeOne(&dec, stream);
+  EXPECT_EQ(Op::kGet, f.op);
+  EXPECT_TRUE(f.traced);
+  EXPECT_EQ(tc.trace_id, f.trace_id);
+  EXPECT_EQ(0u, f.server_ns);
+  // The context prefix is stripped: payload parsers see the same bytes
+  // as an untraced frame.
+  GetRequest req;
+  ASSERT_TRUE(ParseGetRequest(f.payload, &req).ok());
+  EXPECT_EQ("traced-key", req.key.ToString());
+}
+
+TEST(NetProtocolTest, TracedResponseCarriesServerTime) {
+  TraceContext tc;
+  tc.traced = true;
+  tc.trace_id = 42;
+  tc.server_ns = 123456789;
+  std::string stream;
+  EncodeOkResponse(&stream, Op::kGet, 5, "value", tc);
+  FrameDecoder dec;
+  Frame f = DecodeOne(&dec, stream);
+  EXPECT_TRUE(f.response);
+  EXPECT_TRUE(f.traced);
+  EXPECT_EQ(42u, f.trace_id);
+  EXPECT_EQ(123456789u, f.server_ns);
+  EXPECT_EQ("value", f.payload.ToString());
+}
+
+TEST(NetProtocolTest, UntracedFrameReportsNoTraceContext) {
+  std::string stream;
+  EncodeGetRequest(&stream, 1, "k");
+  FrameDecoder dec;
+  Frame f = DecodeOne(&dec, stream);
+  EXPECT_FALSE(f.traced);
+  EXPECT_EQ(0u, f.trace_id);
+  EXPECT_EQ(0u, f.server_ns);
+}
+
+TEST(NetProtocolTest, TracedFrameTooShortForContextIsError) {
+  // kFlagTraced set but the body lacks the 16-byte trace context.
+  std::string bad = U32Le(kFrameFixedBody + 8);
+  bad.push_back(static_cast<char>(Op::kGet));
+  bad.push_back(static_cast<char>(kFlagTraced));
+  bad.append(kFrameFixedBody - 2 + 8, '\0');
+  FrameDecoder dec;
+  dec.Feed(bad.data(), bad.size());
+  Frame f;
+  EXPECT_EQ(Result::kError, dec.Next(&f));
+  EXPECT_NE(std::string::npos, dec.error().find("traced frame"));
+}
+
+TEST(NetProtocolTest, FlagBitAboveTracedStillRejected) {
+  // 0x02 is now a valid flag; 0x04 and up must stay decode errors so
+  // future flag bits cannot be smuggled past old servers.
+  std::string bad = U32Le(kFrameFixedBody);
+  bad.push_back(static_cast<char>(Op::kPing));
+  bad.push_back(static_cast<char>(0x04));
+  bad.append(kFrameFixedBody - 2, '\0');
+  FrameDecoder dec;
+  dec.Feed(bad.data(), bad.size());
+  Frame f;
+  EXPECT_EQ(Result::kError, dec.Next(&f));
+  EXPECT_NE(std::string::npos, dec.error().find("flag"));
+}
+
+TEST(NetProtocolTest, TracedAndPlainFramesPipelineTogether) {
+  // Alternate traced and plain frames in one stream: ids, trace flags
+  // and payloads must all come out intact, in order.
+  std::string stream;
+  for (uint64_t i = 0; i < 20; i++) {
+    if (i % 2 == 0) {
+      TraceContext tc;
+      tc.traced = true;
+      tc.trace_id = 1000 + i;
+      EncodeGetRequest(&stream, i, "key" + std::to_string(i), tc);
+    } else {
+      EncodePutRequest(&stream, i, "key" + std::to_string(i), "v");
+    }
+  }
+  FrameDecoder dec;
+  dec.Feed(stream.data(), stream.size());
+  Frame f;
+  for (uint64_t i = 0; i < 20; i++) {
+    ASSERT_EQ(Result::kFrame, dec.Next(&f)) << dec.error();
+    EXPECT_EQ(i, f.request_id);
+    EXPECT_EQ(i % 2 == 0, f.traced);
+    if (f.traced) {
+      EXPECT_EQ(1000 + i, f.trace_id);
+      GetRequest req;
+      ASSERT_TRUE(ParseGetRequest(f.payload, &req).ok());
+      EXPECT_EQ("key" + std::to_string(i), req.key.ToString());
+    }
+  }
+  EXPECT_EQ(Result::kNeedMore, dec.Next(&f));
+}
+
+TEST(NetProtocolTest, SlowLogRoundTrip) {
+  std::string stream;
+  EncodeSlowLogRequest(&stream, 31, 25);
+  FrameDecoder dec;
+  Frame f = DecodeOne(&dec, stream);
+  EXPECT_EQ(Op::kSlowLog, f.op);
+  EXPECT_EQ(31u, f.request_id);
+  SlowLogRequest req;
+  ASSERT_TRUE(ParseSlowLogRequest(f.payload, &req).ok());
+  EXPECT_EQ(25u, req.limit);
+  EXPECT_STREQ("slowlog", OpName(Op::kSlowLog));
+}
+
+TEST(NetProtocolTest, MetricsPromRoundTrip) {
+  std::string stream;
+  EncodeMetricsPromRequest(&stream, 32);
+  FrameDecoder dec;
+  Frame f = DecodeOne(&dec, stream);
+  EXPECT_EQ(Op::kMetricsProm, f.op);
+  EXPECT_EQ(32u, f.request_id);
+  EXPECT_TRUE(f.payload.empty());
+  EXPECT_STREQ("metricsprom", OpName(Op::kMetricsProm));
+}
+
+TEST(NetProtocolTest, SlowLogTruncatedPayloadRejected) {
+  std::string stream;
+  EncodeSlowLogRequest(&stream, 1, 7);
+  FrameDecoder dec;
+  Frame f = DecodeOne(&dec, stream);
+  for (size_t cut = 0; cut < f.payload.size(); cut++) {
+    SlowLogRequest req;
+    EXPECT_TRUE(ParseSlowLogRequest(Slice(f.payload.data(), cut), &req)
+                    .IsInvalidArgument());
+  }
+}
+
 TEST(NetProtocolTest, DecoderCompactsConsumedPrefix) {
   // Long-lived connections must not grow the receive buffer without
   // bound: after consuming >64 KiB the decoder drops the dead prefix.

@@ -403,5 +403,44 @@ TEST(HistogramTest, ClearResets) {
   EXPECT_EQ(0, h.Average());
 }
 
+TEST(HistogramTest, PercentileOfEmptyIsZeroSentinel) {
+  // An empty histogram has no samples to rank: every percentile answers
+  // the 0 sentinel instead of garbage from uninitialized min/max.
+  Histogram h;
+  EXPECT_EQ(0, h.Percentile(0));
+  EXPECT_EQ(0, h.Percentile(50));
+  EXPECT_EQ(0, h.Percentile(99));
+  EXPECT_EQ(0, h.Percentile(100));
+}
+
+TEST(HistogramTest, PercentileSingleSampleIsExact) {
+  // One sample: every percentile is that sample, not a bucket-midpoint
+  // interpolation above or below it.
+  Histogram h;
+  h.Add(12345);
+  EXPECT_EQ(12345, h.Percentile(0));
+  EXPECT_EQ(12345, h.Percentile(50));
+  EXPECT_EQ(12345, h.Percentile(99));
+  EXPECT_EQ(12345, h.Percentile(100));
+}
+
+TEST(HistogramTest, PercentileSingleBucketIsExact) {
+  // Many identical samples land in one bucket; min == max pins the
+  // answer exactly (no interpolation drift).
+  Histogram h;
+  for (int i = 0; i < 1000; i++) h.Add(777);
+  EXPECT_EQ(777, h.Percentile(50));
+  EXPECT_EQ(777, h.Percentile(99));
+}
+
+TEST(HistogramTest, PercentileBoundsClampToMinMax) {
+  Histogram h;
+  for (int i = 1; i <= 100; i++) h.Add(i * 10);
+  EXPECT_EQ(10, h.Percentile(0));
+  EXPECT_EQ(10, h.Percentile(-5));
+  EXPECT_EQ(1000, h.Percentile(100));
+  EXPECT_EQ(1000, h.Percentile(250));
+}
+
 }  // namespace
 }  // namespace cachekv

@@ -8,9 +8,10 @@
 //   C++20
 //
 // Commands: put <k> <v> | get <k> | del <k> | multiput <k1> <v1> ...
-//           scan [start] [limit] | stats | ping | pipe <n> |
-//           shardmap | shard <key> | help
+//           scan [start] [limit] | stats [--pretty] | slowlog [limit] |
+//           prom | ping | pipe <n> | shardmap | shard <key> | help
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -20,6 +21,7 @@
 #include <vector>
 
 #include "net/client.h"
+#include "util/json.h"
 
 using namespace cachekv;
 
@@ -33,12 +35,96 @@ void PrintHelp() {
       "  del <key>                  delete\n"
       "  multiput <k> <v> [...]     atomic multi-key transaction\n"
       "  scan [start] [limit]       ordered scan (default limit 10)\n"
-      "  stats                      server metrics dump (JSON)\n"
+      "  stats [--pretty]           server metrics dump (JSON, or a\n"
+      "                             human-readable table)\n"
+      "  slowlog [limit]            slow-request log, newest first\n"
+      "  prom                       metrics in Prometheus text format\n"
       "  ping                       round-trip check\n"
       "  pipe <n>                   pipeline n gets of key0..key<n-1>\n"
       "  shardmap                   fetch the server's shard ring\n"
       "  shard <key>                which shard owns <key>\n"
       "  help                       this text\n");
+}
+
+// One metrics line: counters/gauges print as `name value`, histogram
+// objects as a quantile row. Shard sections recurse with indentation.
+void PrintMetricsPretty(const JsonValue& obj, const std::string& indent) {
+  size_t width = 0;
+  for (const auto& [name, value] : obj.members()) {
+    if (!value.is_object() || value.Get("count") != nullptr) {
+      width = std::max(width, name.size());
+    }
+  }
+  for (const auto& [name, value] : obj.members()) {
+    if (value.is_number()) {
+      const double d = value.number();
+      if (d == static_cast<double>(static_cast<long long>(d))) {
+        std::printf("%s%-*s %lld\n", indent.c_str(),
+                    static_cast<int>(width), name.c_str(),
+                    static_cast<long long>(d));
+      } else {
+        std::printf("%s%-*s %.3f\n", indent.c_str(),
+                    static_cast<int>(width), name.c_str(), d);
+      }
+    } else if (value.is_object() && value.Get("count") != nullptr) {
+      auto field = [&value](const char* key) {
+        const JsonValue* v = value.Get(key);
+        return v != nullptr && v->is_number() ? v->number() : 0.0;
+      };
+      std::printf(
+          "%s%-*s count=%lld p50=%.0f p95=%.0f p99=%.0f max=%.0f\n",
+          indent.c_str(), static_cast<int>(width), name.c_str(),
+          static_cast<long long>(field("count")), field("p50"),
+          field("p95"), field("p99"), field("max"));
+    } else if (value.is_object()) {
+      std::printf("%s[%s]\n", indent.c_str(), name.c_str());
+      PrintMetricsPretty(value, indent + "  ");
+    } else {
+      std::printf("%s%s = %s\n", indent.c_str(), name.c_str(),
+                  value.ToString(-1).c_str());
+    }
+  }
+}
+
+// Renders the SLOWLOG JSON array as one line per captured request.
+void PrintSlowLog(const JsonValue& entries) {
+  if (!entries.is_array() || entries.items().empty()) {
+    std::printf("(slow log empty)\n");
+    return;
+  }
+  for (const JsonValue& e : entries.items()) {
+    auto num = [&e](const char* key) {
+      const JsonValue* v = e.Get(key);
+      return v != nullptr && v->is_number()
+                 ? static_cast<long long>(v->number())
+                 : 0LL;
+    };
+    auto str = [&e](const char* key) {
+      const JsonValue* v = e.Get(key);
+      return v != nullptr && v->is_string() ? v->str() : std::string();
+    };
+    std::printf("%-9s shard=%lld total=%lldus depth=%lld key=%s",
+                str("op").c_str(), num("shard"), num("total_us"),
+                num("queue_depth"), str("key").c_str());
+    const JsonValue* trace = e.Get("trace_id");
+    if (trace != nullptr && trace->is_number() && trace->number() != 0) {
+      std::printf(" trace=%llx",
+                  static_cast<unsigned long long>(trace->number()));
+    }
+    const JsonValue* stages = e.Get("stages");
+    if (stages != nullptr && stages->is_object()) {
+      std::printf(" [");
+      bool first = true;
+      for (const auto& [stage, us] : stages->members()) {
+        std::printf("%s%s=%lldus", first ? "" : " ", stage.c_str(),
+                    us.is_number() ? static_cast<long long>(us.number())
+                                   : 0LL);
+        first = false;
+      }
+      std::printf("]");
+    }
+    std::printf("\n");
+  }
 }
 
 bool SplitHostPort(const std::string& arg, std::string* host,
@@ -146,10 +232,48 @@ int main(int argc, char** argv) {
       std::printf("(%zu entr%s)\n", entries.size(),
                   entries.size() == 1 ? "y" : "ies");
     } else if (cmd == "stats") {
+      std::string mode;
+      in >> mode;
       std::string json;
       Status st = client.Stats(&json);
-      std::printf("%s\n",
-                  st.ok() ? json.c_str() : st.ToString().c_str());
+      if (!st.ok()) {
+        std::printf("%s\n", st.ToString().c_str());
+        continue;
+      }
+      if (mode == "--pretty" || mode == "pretty") {
+        JsonValue doc;
+        Status ps = JsonValue::Parse(json, &doc);
+        if (!ps.ok() || !doc.is_object()) {
+          std::printf("unparseable stats payload: %s\n%s\n",
+                      ps.ToString().c_str(), json.c_str());
+          continue;
+        }
+        PrintMetricsPretty(doc, "");
+      } else {
+        std::printf("%s\n", json.c_str());
+      }
+    } else if (cmd == "slowlog") {
+      uint32_t limit = 0;
+      in >> limit;
+      std::string json;
+      Status st = client.SlowLog(limit, &json);
+      if (!st.ok()) {
+        std::printf("%s\n", st.ToString().c_str());
+        continue;
+      }
+      JsonValue doc;
+      Status ps = JsonValue::Parse(json, &doc);
+      if (!ps.ok()) {
+        std::printf("unparseable slowlog payload: %s\n%s\n",
+                    ps.ToString().c_str(), json.c_str());
+        continue;
+      }
+      PrintSlowLog(doc);
+    } else if (cmd == "prom") {
+      std::string text;
+      Status st = client.MetricsProm(&text);
+      std::printf("%s", st.ok() ? text.c_str()
+                                : (st.ToString() + "\n").c_str());
     } else if (cmd == "ping") {
       auto t0 = std::chrono::steady_clock::now();
       Status st = client.Ping();

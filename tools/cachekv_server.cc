@@ -57,6 +57,9 @@ void Usage(const char* argv0) {
       "                    (default 8)\n"
       "  --cache-admit N   lookups a key needs before a read fill is\n"
       "                    cached (default 2)\n"
+      "  --slow-us N       slow-request log threshold in microseconds,\n"
+      "                    0 disables capture (default 10000)\n"
+      "  --slow-log-cap N  slow-request ring entries (default 128)\n"
       "  --latency-scale X PMem latency model scale (default 1.0)\n"
       "  --trace           enable event tracing (also: CACHEKV_TRACE)\n",
       argv0);
@@ -88,6 +91,8 @@ int main(int argc, char** argv) {
   int cores = 8;
   uint64_t cache_mb = 8;
   uint32_t cache_admit = 2;
+  uint32_t slow_us = 10'000;
+  uint64_t slow_log_cap = 128;
   double latency_scale = 1.0;
   bool trace = false;
 
@@ -117,6 +122,10 @@ int main(int argc, char** argv) {
       cache_mb = std::strtoull(v, nullptr, 10);
     } else if (ParseArg(argc, argv, &i, "--cache-admit", &v)) {
       cache_admit = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (ParseArg(argc, argv, &i, "--slow-us", &v)) {
+      slow_us = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (ParseArg(argc, argv, &i, "--slow-log-cap", &v)) {
+      slow_log_cap = std::strtoull(v, nullptr, 10);
     } else if (ParseArg(argc, argv, &i, "--latency-scale", &v)) {
       latency_scale = std::atof(v);
     } else if (std::strcmp(argv[i], "--trace") == 0) {
@@ -210,6 +219,8 @@ int main(int argc, char** argv) {
   srv_opts.num_workers = workers;
   srv_opts.hot_key_cache_bytes = cache_mb << 20;
   srv_opts.hot_key_cache_admit = cache_admit;
+  srv_opts.slow_request_us = slow_us;
+  srv_opts.slow_log_capacity = slow_log_cap;
   net::Server server(db_ptrs, router, srv_opts);
   s = server.Start();
   if (!s.ok()) {

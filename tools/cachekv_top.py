@@ -1,0 +1,213 @@
+#!/usr/bin/env python3
+"""cachekv_top — live terminal monitor for a running cachekv_server.
+
+Speaks the wire protocol directly (one METRICSPROM request per tick, no
+C++ client needed), parses the Prometheus exposition, and renders a
+refreshing dashboard: request/byte rates, connections, per-op latency
+quantiles, hot-key cache hit ratio and slow-log counters, plus a
+per-shard request-rate breakdown.
+
+    tools/cachekv_top.py --connect 127.0.0.1:7070
+    tools/cachekv_top.py --connect 127.0.0.1:7070 --interval 0.5
+    tools/cachekv_top.py --connect 127.0.0.1:7070 --once      # one frame
+    tools/cachekv_top.py --connect 127.0.0.1:7070 --raw       # exposition
+
+--once/--raw exit after a single poll (what the CI smoke uses); the
+default loops until interrupted.
+"""
+
+import argparse
+import re
+import socket
+import struct
+import sys
+import time
+
+# Wire protocol constants (src/net/protocol.h).
+OP_METRICSPROM = 10
+FLAG_RESPONSE = 0x01
+FRAME_FIXED = 12  # opcode + flags + code + request_id
+
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^\s]+)\s*$")
+
+
+def fetch_prom(sock, request_id):
+    """One METRICSPROM round trip; returns the exposition text."""
+    body = struct.pack("<BBHQ", OP_METRICSPROM, 0, 0, request_id)
+    sock.sendall(struct.pack("<I", len(body)) + body)
+    header = recv_exact(sock, 4)
+    (body_len,) = struct.unpack("<I", header)
+    body = recv_exact(sock, body_len)
+    opcode, flags, code, rid = struct.unpack("<BBHQ", body[:FRAME_FIXED])
+    if not flags & FLAG_RESPONSE or rid != request_id:
+        raise RuntimeError("protocol error: unexpected response frame")
+    if code != 0:
+        raise RuntimeError(f"server error code {code}")
+    if opcode != OP_METRICSPROM:
+        raise RuntimeError(f"unexpected opcode {opcode}")
+    return body[FRAME_FIXED:].decode("utf-8", errors="replace")
+
+
+def recv_exact(sock, n):
+    buf = b""
+    while len(buf) < n:
+        chunk = sock.recv(n - len(buf))
+        if not chunk:
+            raise ConnectionError("server closed the connection")
+        buf += chunk
+    return buf
+
+
+def parse_prom(text):
+    """Exposition -> {(name, (sorted label pairs)): float}."""
+    series = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        m = SAMPLE_RE.match(line)
+        if not m:
+            continue
+        labels = []
+        if m.group("labels"):
+            for pair in m.group("labels").split(","):
+                key, _, val = pair.partition("=")
+                labels.append((key, val.strip('"')))
+        try:
+            series[(m.group("name"), tuple(sorted(labels)))] = float(
+                m.group("value"))
+        except ValueError:
+            continue
+    return series
+
+
+def summed(series, name):
+    """Sum of a metric over all label sets (i.e. across shards)."""
+    return sum(v for (n, _), v in series.items() if n == name)
+
+
+def quantile(series, name, q):
+    """Worst (max) of quantile `q` across shards, or None."""
+    vals = [v for (n, labels), v in series.items()
+            if n == name and ("quantile", q) in labels]
+    return max(vals) if vals else None
+
+
+def shard_values(series, name):
+    """{shard label -> value} for one metric."""
+    out = {}
+    for (n, labels), v in series.items():
+        if n != name:
+            continue
+        for key, val in labels:
+            if key == "shard":
+                out[val] = out.get(val, 0.0) + v
+    return out
+
+
+def fmt_rate(v):
+    if v >= 1e6:
+        return f"{v / 1e6:8.2f}M"
+    if v >= 1e3:
+        return f"{v / 1e3:8.2f}k"
+    return f"{v:8.1f} "
+
+
+def render(series, prev, dt, endpoint):
+    def rate(name):
+        if prev is None or dt <= 0:
+            return 0.0
+        return max(0.0, (summed(series, name) - summed(prev, name)) / dt)
+
+    lines = [f"cachekv_top — {endpoint} — {time.strftime('%H:%M:%S')}"]
+    lines.append("")
+    lines.append(
+        f"  requests {fmt_rate(rate('cachekv_net_requests'))}/s   "
+        f"in {fmt_rate(rate('cachekv_net_bytes_in'))}B/s   "
+        f"out {fmt_rate(rate('cachekv_net_bytes_out'))}B/s   "
+        f"conns {summed(series, 'cachekv_net_connections'):.0f}")
+
+    hits = summed(series, "cachekv_cache_hits")
+    misses = summed(series, "cachekv_cache_misses")
+    lookups = hits + misses
+    ratio = (hits / lookups * 100.0) if lookups else 0.0
+    lines.append(
+        f"  cache hit {ratio:5.1f}%   slowlog captured "
+        f"{summed(series, 'cachekv_net_slowlog_captured'):.0f} "
+        f"(dropped {summed(series, 'cachekv_net_slowlog_dropped'):.0f})   "
+        f"traced {summed(series, 'cachekv_net_traced_requests'):.0f}")
+    lines.append("")
+
+    lines.append(f"  {'op':<10} {'count':>12} {'p50 us':>10} {'p99 us':>10}")
+    for op in ("get", "put", "del", "multiput", "scan"):
+        name = f"cachekv_net_op_{op}"
+        count = summed(series, name + "_count")
+        if count == 0:
+            continue
+        p50 = quantile(series, name, "0.5")
+        p99 = quantile(series, name, "0.99")
+        lines.append(
+            f"  {op:<10} {count:>12.0f} "
+            f"{(p50 or 0) / 1000:>10.1f} {(p99 or 0) / 1000:>10.1f}")
+
+    shard_reqs = shard_values(series, "cachekv_net_shard_requests")
+    if len(shard_reqs) > 1:
+        lines.append("")
+        lines.append("  shard requests: " + "  ".join(
+            f"{s}:{v:.0f}" for s, v in sorted(shard_reqs.items())))
+    return "\n".join(lines)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--connect", default="127.0.0.1:7070",
+                        metavar="HOST:PORT")
+    parser.add_argument("--interval", type=float, default=2.0,
+                        help="seconds between polls (default 2)")
+    parser.add_argument("--once", action="store_true",
+                        help="print one dashboard frame and exit")
+    parser.add_argument("--raw", action="store_true",
+                        help="dump one raw exposition and exit")
+    args = parser.parse_args()
+
+    host, _, port = args.connect.rpartition(":")
+    if not host or not port.isdigit():
+        print("bad --connect, want host:port", file=sys.stderr)
+        return 2
+
+    sock = socket.create_connection((host, int(port)), timeout=10)
+    request_id = 1
+    prev = None
+    prev_t = None
+    try:
+        while True:
+            text = fetch_prom(sock, request_id)
+            request_id += 1
+            if args.raw:
+                sys.stdout.write(text)
+                return 0
+            now = time.monotonic()
+            series = parse_prom(text)
+            frame = render(series, prev,
+                           (now - prev_t) if prev_t else 0.0,
+                           args.connect)
+            if args.once:
+                print(frame)
+                return 0
+            sys.stdout.write("\x1b[2J\x1b[H" + frame + "\n")
+            sys.stdout.flush()
+            prev, prev_t = series, now
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+    except BrokenPipeError:
+        # Downstream pager/head closed our stdout; that is not an error.
+        return 0
+    finally:
+        sock.close()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Validates a Prometheus text-format exposition read from stdin.
+
+Used by the CI telemetry smoke (and handy interactively):
+
+    ./build/tools/cachekv_cli --connect 127.0.0.1:7070 <<< prom | \
+        tools/check_prom.py --require-label shard
+
+Checks, line by line:
+  * every `# TYPE <name> <kind>` declares a kind in
+    {counter, gauge, summary, histogram, untyped} and no family is
+    declared twice;
+  * every sample line parses as  name{label="value",...} number  with a
+    metric name matching [a-zA-Z_:][a-zA-Z0-9_:]*, well-formed label
+    pairs, and a float value;
+  * every sample's family (the name minus a _sum/_count suffix) has a
+    preceding TYPE declaration;
+  * with --require-label L, every sample carries label L.
+
+Exits non-zero with a message naming the first offending line.
+"""
+
+import argparse
+import re
+import sys
+
+NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^\s]+)\s*$")
+LABEL_RE = re.compile(
+    r'^(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<val>(?:[^"\\]|\\.)*)"$')
+KINDS = {"counter", "gauge", "summary", "histogram", "untyped"}
+# Summary/histogram families emit extra per-family series.
+FAMILY_SUFFIXES = ("_sum", "_count", "_bucket")
+
+
+def family_of(name, types):
+    if name in types:
+        return name
+    for suffix in FAMILY_SUFFIXES:
+        if name.endswith(suffix) and name[: -len(suffix)] in types:
+            return name[: -len(suffix)]
+    return None
+
+
+def check(text, require_labels):
+    types = {}
+    samples = 0
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4:
+                return f"line {lineno}: malformed TYPE line: {line!r}"
+            _, _, name, kind = parts
+            if not NAME_RE.fullmatch(name):
+                return f"line {lineno}: bad metric name {name!r}"
+            if kind not in KINDS:
+                return f"line {lineno}: unknown kind {kind!r}"
+            if name in types:
+                return f"line {lineno}: duplicate TYPE for {name!r}"
+            types[name] = kind
+            continue
+        if line.startswith("#"):
+            continue  # HELP or comment
+        m = SAMPLE_RE.match(line)
+        if not m:
+            return f"line {lineno}: unparseable sample: {line!r}"
+        name = m.group("name")
+        if family_of(name, types) is None:
+            return f"line {lineno}: sample {name!r} has no TYPE line"
+        labels = {}
+        raw = m.group("labels")
+        if raw:
+            for pair in raw.split(","):
+                lm = LABEL_RE.match(pair)
+                if not lm:
+                    return f"line {lineno}: bad label pair {pair!r}"
+                labels[lm.group("key")] = lm.group("val")
+        for required in require_labels:
+            if required not in labels:
+                return (f"line {lineno}: sample {name!r} missing "
+                        f"required label {required!r}")
+        try:
+            float(m.group("value"))
+        except ValueError:
+            return (f"line {lineno}: non-numeric value "
+                    f"{m.group('value')!r}")
+        samples += 1
+    if samples == 0:
+        return "no samples in exposition"
+    return None
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--require-label", action="append", default=[],
+                        metavar="L",
+                        help="every sample must carry label L "
+                             "(repeatable)")
+    args = parser.parse_args()
+
+    text = sys.stdin.read()
+    error = check(text, args.require_label)
+    if error:
+        print(f"check_prom: {error}", file=sys.stderr)
+        return 1
+    lines = sum(1 for l in text.splitlines() if l and not l.startswith("#"))
+    print(f"check_prom: OK ({lines} samples)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Merges a client-side and a server-side Chrome trace into one timeline.
+
+Both inputs are Chrome trace-event JSON arrays (the format
+`netbench --trace-out/--trace-server-out` and `DB::DumpTrace` emit).
+The merged file keeps every event, remapped onto two processes —
+pid 1 "client", pid 2 "server" — so chrome://tracing or Perfetto shows
+the sampled requests' client spans stacked above the server's stage
+spans. Events of one sampled request share a "trace" arg (the 48-bit
+trace id the client stamped into the frame), which is what joins the
+two sides.
+
+    tools/trace_merge.py client.json server.json -o merged.json
+    tools/trace_merge.py client.json server.json -o merged.json \
+        --require-join   # fail unless >= 1 trace id appears on BOTH sides
+
+--require-join makes the script a CI assertion: it proves trace-context
+propagation worked end to end (and the output stays Chrome-loadable,
+which the script verifies by re-parsing what it wrote).
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+CLIENT_PID = 1
+SERVER_PID = 2
+
+
+def load_events(path):
+    """Loads a Chrome trace: either a bare event array or the object
+    form {"traceEvents": [...]}."""
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if isinstance(doc, dict):
+        doc = doc.get("traceEvents", [])
+    if not isinstance(doc, list):
+        raise ValueError(f"{path}: not a Chrome trace array")
+    return doc
+
+
+def trace_ids(events):
+    """The set of 'trace' arg values across the events."""
+    ids = set()
+    for ev in events:
+        args = ev.get("args")
+        if isinstance(args, dict) and "trace" in args:
+            ids.add(int(args["trace"]))
+    return ids
+
+
+def remap(events, pid, process_name):
+    """Forces every event onto `pid` and prepends process metadata."""
+    out = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    for ev in events:
+        ev = dict(ev)
+        ev["pid"] = pid
+        out.append(ev)
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("client", help="client-side trace JSON")
+    parser.add_argument("server", help="server-side trace JSON")
+    parser.add_argument("-o", "--output", required=True,
+                        help="merged trace JSON path")
+    parser.add_argument("--require-join", action="store_true",
+                        help="fail unless at least one trace id appears "
+                             "in both inputs")
+    args = parser.parse_args()
+
+    client_events = load_events(args.client)
+    server_events = load_events(args.server)
+    client_ids = trace_ids(client_events)
+    server_ids = trace_ids(server_events)
+    joined = client_ids & server_ids
+
+    merged = remap(client_events, CLIENT_PID, "client")
+    merged += remap(server_events, SERVER_PID, "server")
+
+    out_path = pathlib.Path(args.output)
+    out_path.write_text(json.dumps(merged), encoding="utf-8")
+    # Re-parse what we wrote: a merged trace that does not round-trip
+    # through json.loads would not load in chrome://tracing either.
+    reparsed = json.loads(out_path.read_text(encoding="utf-8"))
+    assert isinstance(reparsed, list) and len(reparsed) == len(merged)
+
+    print(f"merged {len(client_events)} client + {len(server_events)} "
+          f"server events -> {out_path}")
+    print(f"trace ids: {len(client_ids)} client, {len(server_ids)} "
+          f"server, {len(joined)} joined")
+    if args.require_join and not joined:
+        print("error: no trace id appears on both sides "
+              "(trace propagation broken?)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
