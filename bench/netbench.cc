@@ -23,11 +23,29 @@
 // are verified against the deterministic ValueFor() payloads; a
 // mismatched value, transport failure, or unexpected error status all
 // count into "errors" (the CI smoke asserts the count stays zero).
+//
+// Chaos mode (docs/REPLICATION.md): --kill-pid P --kill-at-ms T sends
+// SIGKILL to the server process P at T ms into the load phase while
+// write threads keep going through the ShardedClient failover path.
+// Every acked write's key is remembered (threads own disjoint key
+// stripes with deterministic values); with --verify the run ends with
+// a read-back of every acked key through a fresh client seeded with
+// --fallback (the surviving follower), and exits non-zero if any acked
+// write is lost — the replicated-durability win condition.
+//
+//   $ ./build/bench/netbench --connect 127.0.0.1:7070
+//       --fallback 127.0.0.1:7071 --kill-pid $PRIMARY_PID
+//       --kill-at-ms 500 --verify --ops 4000   (one command line)
 
+#include <csignal>
+#include <sys/types.h>
+
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <functional>
 #include <memory>
 #include <string>
 #include <thread>
@@ -91,6 +109,13 @@ struct Config {
   std::string trace_server_out;
   /// Client-span tracer, owned by main() (null when not sampling).
   obs::Tracer* tracer = nullptr;
+  /// Chaos mode (docs/REPLICATION.md): SIGKILL this pid this long into
+  /// the load phase; --verify reads every acked key back through
+  /// --fallback afterwards and fails the run on any loss.
+  pid_t kill_pid = 0;
+  int kill_at_ms = 500;
+  std::string fallback;
+  bool verify = false;
   /// Resolved from the fields above after flag parsing.
   WorkloadSpec spec;
 };
@@ -491,6 +516,232 @@ JsonValue CacheJson(const HotCacheStats& c) {
   return v;
 }
 
+// ------------------------------------------------------------- chaos
+
+struct ChaosThreadStats {
+  uint64_t attempts = 0;
+  uint64_t acked = 0;
+  uint64_t write_failures = 0;
+  uint64_t failovers = 0;
+  /// Key indices this thread got an OK for (its own disjoint stripe,
+  /// possibly with repeats from keyspace wrap-around).
+  std::vector<uint64_t> acked_keys;
+};
+
+/// Failover-friendly client options: generous internal retry budget so
+/// one Put can ride out a routing refresh on its own.
+net::ClientOptions ChaosClientOptions(const Config& cfg, int tid) {
+  net::ClientOptions opts = BenchClientOptions(cfg, tid);
+  opts.max_retries = 6;
+  opts.retry_backoff_base_ms = 25;
+  opts.retry_backoff_max_ms = 500;
+  opts.recv_timeout_ms = 10'000;
+  return opts;
+}
+
+/// Chaos write thread: synchronous puts over its key stripe through the
+/// ShardedClient failover path, recording which writes were acked. The
+/// outer retry loop rides out the promotion window (primary killed →
+/// follower silence timeout → epoch bump) that exceeds what one call's
+/// internal retries cover. Values are deterministic per key, so a retry
+/// after an ambiguous failure is idempotent.
+void RunThreadChaosWrites(const Config& cfg, int tid, uint64_t ops,
+                          ChaosThreadStats* st) {
+  net::ShardedClient client(ChaosClientOptions(cfg, tid));
+  if (!cfg.fallback.empty()) client.AddSeedEndpoint(cfg.fallback);
+  if (!client.Connect(cfg.connect_host, cfg.connect_port).ok()) {
+    st->write_failures += ops;
+    return;
+  }
+  for (uint64_t i = 0; i < ops; i++) {
+    const uint64_t idx =
+        (static_cast<uint64_t>(tid) +
+         i * static_cast<uint64_t>(cfg.connections)) %
+        cfg.key_space;
+    const std::string key = KeyFor(idx, cfg.key_size);
+    const std::string value = ValueFor(idx, cfg.value_size);
+    st->attempts++;
+    bool ok = false;
+    for (int attempt = 0; attempt < 10 && !ok; attempt++) {
+      ok = client.Put(key, value).ok();
+      if (!ok) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(250));
+        client.RefreshRouting();  // best effort; Put retries internally
+      }
+    }
+    if (ok) {
+      st->acked++;
+      st->acked_keys.push_back(idx);
+    } else {
+      st->write_failures++;
+    }
+  }
+  st->failovers = client.failovers();
+}
+
+/// Chaos mode driver: load + kill + (optionally) verify. Returns the
+/// process exit code — non-zero when verification finds a lost acked
+/// write, the replicated-durability failure this mode exists to catch.
+int RunChaos(const Config& cfg) {
+  if (cfg.connect_host.empty()) {
+    std::fprintf(stderr,
+                 "chaos mode (--kill-pid/--verify/--fallback) needs "
+                 "--connect\n");
+    return 2;
+  }
+  std::printf(
+      "netbench chaos: %d connections, %llu writes, keyspace %llu%s%s\n",
+      cfg.connections, static_cast<unsigned long long>(cfg.total_ops),
+      static_cast<unsigned long long>(cfg.key_space),
+      cfg.kill_pid > 0 ? ", kill armed" : "",
+      cfg.verify ? ", verify" : "");
+  std::fflush(stdout);
+
+  std::vector<ChaosThreadStats> stats(
+      static_cast<size_t>(cfg.connections));
+  std::vector<std::thread> threads;
+  const uint64_t per_thread =
+      cfg.total_ops / static_cast<uint64_t>(cfg.connections);
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::thread killer;
+  std::atomic<bool> killed{false};
+  if (cfg.kill_pid > 0) {
+    killer = std::thread([&cfg, &killed] {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(cfg.kill_at_ms));
+      if (::kill(cfg.kill_pid, SIGKILL) == 0) {
+        killed.store(true);
+        std::printf("chaos: SIGKILL pid %d at +%d ms\n",
+                    static_cast<int>(cfg.kill_pid), cfg.kill_at_ms);
+        std::fflush(stdout);
+      } else {
+        std::fprintf(stderr, "chaos: kill pid %d failed\n",
+                     static_cast<int>(cfg.kill_pid));
+      }
+    });
+  }
+  for (int t = 0; t < cfg.connections; t++) {
+    uint64_t ops = per_thread;
+    if (t == 0) {
+      ops += cfg.total_ops % static_cast<uint64_t>(cfg.connections);
+    }
+    threads.emplace_back(RunThreadChaosWrites, std::cref(cfg), t, ops,
+                         &stats[static_cast<size_t>(t)]);
+  }
+  for (auto& th : threads) th.join();
+  if (killer.joinable()) killer.join();
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+
+  uint64_t attempts = 0, acked = 0, write_failures = 0, failovers = 0;
+  std::vector<uint64_t> acked_union;
+  for (const ChaosThreadStats& s : stats) {
+    attempts += s.attempts;
+    acked += s.acked;
+    write_failures += s.write_failures;
+    failovers += s.failovers;
+    acked_union.insert(acked_union.end(), s.acked_keys.begin(),
+                       s.acked_keys.end());
+  }
+  // Stripes are disjoint across threads but one thread can wrap its
+  // stripe; dedup so each key is read back once.
+  std::sort(acked_union.begin(), acked_union.end());
+  acked_union.erase(
+      std::unique(acked_union.begin(), acked_union.end()),
+      acked_union.end());
+
+  uint64_t lost = 0, read_errors = 0, verified = 0;
+  if (cfg.verify) {
+    // Fresh client seeded with the surviving follower: the bootstrap
+    // primary may be gone, so connect through --fallback when given.
+    net::ShardedClient reader(ChaosClientOptions(cfg, -1));
+    std::string host = cfg.connect_host;
+    uint16_t port = cfg.connect_port;
+    if (!cfg.fallback.empty()) {
+      reader.AddSeedEndpoint(cfg.fallback);
+      SplitHostPort(cfg.fallback, &host, &port);
+    }
+    Status cs = reader.Connect(host, port);
+    if (!cs.ok() && !cfg.fallback.empty()) {
+      cs = reader.Connect(cfg.connect_host, cfg.connect_port);
+    }
+    if (!cs.ok()) {
+      std::fprintf(stderr, "verify connect: %s\n",
+                   cs.ToString().c_str());
+      read_errors = acked_union.size();
+    } else {
+      for (uint64_t idx : acked_union) {
+        std::string value;
+        Status gs = reader.Get(KeyFor(idx, cfg.key_size), &value);
+        if (gs.ok() && value == ValueFor(idx, cfg.value_size)) {
+          verified++;
+        } else if (gs.ok() || gs.IsNotFound()) {
+          lost++;  // missing or wrong payload: an acked write vanished
+        } else {
+          read_errors++;
+        }
+      }
+    }
+  }
+
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "%9llu attempts  %llu acked  %llu failed  %llu "
+                "failovers  %.1f s",
+                static_cast<unsigned long long>(attempts),
+                static_cast<unsigned long long>(acked),
+                static_cast<unsigned long long>(write_failures),
+                static_cast<unsigned long long>(failovers),
+                wall_seconds);
+  PrintRow("net-chaos", buf);
+  if (cfg.verify) {
+    std::snprintf(buf, sizeof(buf),
+                  "%9llu keys  %llu verified  %llu lost  %llu "
+                  "unreadable",
+                  static_cast<unsigned long long>(acked_union.size()),
+                  static_cast<unsigned long long>(verified),
+                  static_cast<unsigned long long>(lost),
+                  static_cast<unsigned long long>(read_errors));
+    PrintRow("net-chaos-verify", buf);
+  }
+
+  BenchReport report("netbench");
+  RunResult chaos_result;
+  chaos_result.ops = attempts;
+  chaos_result.seconds = wall_seconds;
+  JsonValue& run = report.AddRun("net-chaos", chaos_result);
+  run.Set("connections",
+          JsonValue::Number(static_cast<double>(cfg.connections)));
+  run.Set("acked_writes",
+          JsonValue::Number(static_cast<double>(acked)));
+  run.Set("write_failures",
+          JsonValue::Number(static_cast<double>(write_failures)));
+  run.Set("failovers",
+          JsonValue::Number(static_cast<double>(failovers)));
+  run.Set("killed", JsonValue::Number(killed.load() ? 1 : 0));
+  run.Set("verified_keys",
+          JsonValue::Number(static_cast<double>(verified)));
+  run.Set("lost_acked", JsonValue::Number(static_cast<double>(lost)));
+  run.Set("read_errors",
+          JsonValue::Number(static_cast<double>(read_errors)));
+  Status ws = report.Write();
+  if (!ws.ok()) {
+    std::fprintf(stderr, "report: %s\n", ws.ToString().c_str());
+    return 1;
+  }
+  if (cfg.verify && (lost > 0 || read_errors > 0)) {
+    std::fprintf(stderr,
+                 "VERIFY FAILED: %llu acked writes lost, %llu "
+                 "unreadable\n",
+                 static_cast<unsigned long long>(lost),
+                 static_cast<unsigned long long>(read_errors));
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -553,6 +804,14 @@ int main(int argc, char** argv) {
       cfg.trace_out = next("--trace-out");
     } else if (std::strcmp(argv[i], "--trace-server-out") == 0) {
       cfg.trace_server_out = next("--trace-server-out");
+    } else if (std::strcmp(argv[i], "--kill-pid") == 0) {
+      cfg.kill_pid = static_cast<pid_t>(std::atoi(next("--kill-pid")));
+    } else if (std::strcmp(argv[i], "--kill-at-ms") == 0) {
+      cfg.kill_at_ms = std::atoi(next("--kill-at-ms"));
+    } else if (std::strcmp(argv[i], "--fallback") == 0) {
+      cfg.fallback = next("--fallback");
+    } else if (std::strcmp(argv[i], "--verify") == 0) {
+      cfg.verify = true;
     } else {
       std::fprintf(
           stderr,
@@ -564,7 +823,9 @@ int main(int argc, char** argv) {
           "          [--theta X] [--hot-keys F] [--hot-ops F]\n"
           "          [--ycsb A|B|C|D] [--cache-mb N] [--cache-admit N]\n"
           "          [--trace-sample N] [--trace-out PATH]\n"
-          "          [--trace-server-out PATH]\n",
+          "          [--trace-server-out PATH]\n"
+          "          [--kill-pid PID] [--kill-at-ms N]\n"
+          "          [--fallback host:port] [--verify]\n",
           argv[0]);
       return 2;
     }
@@ -576,6 +837,13 @@ int main(int argc, char** argv) {
   if (cfg.pipeline < 1) cfg.pipeline = 1;
   if (cfg.shards < 1) cfg.shards = 1;
   const bool sharded = cfg.shards > 1;
+
+  // Replication chaos mode is a separate drive path: writes-only load
+  // against an external primary/follower pair, optional SIGKILL of the
+  // primary mid-run, acked-write verification through the survivor.
+  if (cfg.kill_pid > 0 || cfg.verify || !cfg.fallback.empty()) {
+    return RunChaos(cfg);
+  }
 
   // Resolve the workload spec. --ycsb overrides --dist and --read-pct
   // with the named YCSB core mix; plain --dist keeps the read mix of

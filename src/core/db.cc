@@ -326,7 +326,15 @@ Status DB::Write(ValueType type, const Slice& key, const Slice& value) {
   const SequenceNumber seq =
       sequence_.fetch_add(1, std::memory_order_acq_rel) + 1;
   std::lock_guard<std::mutex> core_lock(core_mu_[core % kMaxCoreLocks]);
-  return WriteToCore(core, seq, type, key, value);
+  Status s = WriteToCore(core, seq, type, key, value);
+  if (s.ok() && commit_hook_) {
+    std::vector<BatchOp> ops(1);
+    ops[0].is_delete = type == kTypeDeletion;
+    ops[0].key = key.ToString();
+    if (type != kTypeDeletion) ops[0].value = value.ToString();
+    commit_hook_(ops, seq);
+  }
+  return s;
 }
 
 Status DB::Put(const Slice& key, const Slice& value) {
@@ -391,9 +399,14 @@ Status DB::MultiPut(const std::vector<BatchOp>& batch) {
                                  static_cast<uint32_t>(batch.size()));
     }
     if (s.ok()) {
+      const SequenceNumber last_seq = first_seq + batch.size() - 1;
       if (!options_.lazy_index_update) {
         OBS_SPAN(&metrics_, "put.index_sync");
-        return t->index->SyncWithTable(t->table);
+        Status sync = t->index->SyncWithTable(t->table);
+        if (sync.ok() && commit_hook_) {
+          commit_hook_(batch, last_seq);
+        }
+        return sync;
       }
       uint64_t pending = t->writes_since_sync.fetch_add(
                              batch.size(), std::memory_order_relaxed) +
@@ -401,6 +414,9 @@ Status DB::MultiPut(const std::vector<BatchOp>& batch) {
       if (pending >= options_.sync_write_threshold) {
         t->writes_since_sync.store(0, std::memory_order_relaxed);
         ScheduleSync(t);
+      }
+      if (commit_hook_) {
+        commit_hook_(batch, last_seq);
       }
       return s;
     }

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
@@ -125,6 +126,21 @@ class DB : public KVStore {
   /// writes size their batches against this; see src/net/server.cc).
   uint64_t ApproxMultiPutCapacityBytes() const;
 
+  /// Observer of every successful write commit, invoked after the
+  /// batch is durably published and before the call returns, with the
+  /// committed ops and the sequence number of the batch's last record.
+  /// Single writes surface as a one-element batch (a Delete as an
+  /// is_delete op). The replication layer taps this to append to the
+  /// per-shard replication log (src/repl/). The hook runs on the
+  /// writer's thread and must be fast and non-blocking.
+  using CommitHook =
+      std::function<void(const std::vector<BatchOp>& ops,
+                         SequenceNumber last_seq)>;
+
+  /// Installs `hook` (empty disables). Not synchronized against
+  /// in-flight writes: set it before the DB starts serving.
+  void SetCommitHook(CommitHook hook) { commit_hook_ = std::move(hook); }
+
   SubMemTablePool* pool() { return pool_.get(); }
   FlushedZone* zone() { return zone_.get(); }
   LsmEngine* engine() { return engine_.get(); }
@@ -199,6 +215,7 @@ class DB : public KVStore {
   obs::Counter* get_miss_;
 
   std::atomic<uint64_t> sequence_{0};
+  CommitHook commit_hook_;
 
   // Per-core assignments (the global metadata structure of Figure 7;
   // kept in DRAM to avoid PMem write amplification). Each slot is

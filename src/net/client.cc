@@ -8,9 +8,11 @@
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <thread>
 
 namespace cachekv {
 namespace net {
@@ -195,6 +197,7 @@ Status Client::ReadFrame(Frame* frame) {
 
 Status Client::RoundTrip(Op op, const std::string& request,
                          Frame* response, std::string* payload_out) {
+  last_wire_code_ = 0;  // 0 = no response arrived
   if (fd_ < 0) return NotConnected();
   Status s = RequireIdle();
   if (!s.ok()) return s;
@@ -206,6 +209,7 @@ Status Client::RoundTrip(Op op, const std::string& request,
     FailConnection();
     return Status::Corruption("protocol", "unexpected response frame");
   }
+  last_wire_code_ = response->code;
   if (response->code != kOk) {
     return StatusFromWire(response->code,
                           response->payload);
@@ -327,6 +331,58 @@ Status Client::FetchShardMap(ShardRouter* out) {
   return ShardRouter::Decode(payload, out);
 }
 
+// Replication API. ----------------------------------------------------
+
+Status Client::ReplSubscribe(const ReplSubscribeRequest& request,
+                             ReplSubscribeResponse* resp) {
+  std::string req;
+  EncodeReplSubscribeRequest(&req, next_id_++, request);
+  Frame frame;
+  std::string payload;
+  Status s = RoundTrip(Op::kReplSubscribe, req, &frame, &payload);
+  if (!s.ok()) return s;
+  return ParseReplSubscribePayload(payload, resp);
+}
+
+Status Client::ReplFetch(const ReplBatchRequest& request,
+                         ReplBatchResponse* resp) {
+  std::string req;
+  EncodeReplBatchRequest(&req, next_id_++, request);
+  Frame frame;
+  std::string payload;
+  Status s = RoundTrip(Op::kReplBatch, req, &frame, &payload);
+  if (!s.ok()) return s;
+  return ParseReplBatchPayload(payload, resp);
+}
+
+Status Client::ReplAck(const ReplAckRequest& request) {
+  std::string req;
+  EncodeReplAckRequest(&req, next_id_++, request);
+  Frame frame;
+  return RoundTrip(Op::kReplAck, req, &frame, nullptr);
+}
+
+Status Client::ReplSnapshot(const ReplSnapshotRequest& request,
+                            ReplSnapshotResponse* resp) {
+  std::string req;
+  EncodeReplSnapshotRequest(&req, next_id_++, request);
+  Frame frame;
+  std::string payload;
+  Status s = RoundTrip(Op::kReplSnapshot, req, &frame, &payload);
+  if (!s.ok()) return s;
+  return ParseReplSnapshotPayload(payload, resp);
+}
+
+Status Client::Promote(uint32_t shard, uint64_t* new_epoch) {
+  std::string req;
+  EncodePromoteRequest(&req, next_id_++, shard);
+  Frame frame;
+  std::string payload;
+  Status s = RoundTrip(Op::kPromote, req, &frame, &payload);
+  if (!s.ok()) return s;
+  return ParsePromotePayload(payload, new_epoch);
+}
+
 // Pipelined API. ------------------------------------------------------
 
 uint64_t Client::Enqueue(Op op, std::string encoded,
@@ -438,6 +494,7 @@ Status Client::WaitAll(std::vector<Result>* results) {
     }
     Result result;
     result.id = frame.request_id;
+    result.wire_code = frame.code;
     result.op = outstanding_[idx].op;
     if (frame.op != result.op) {
       FailConnection();
@@ -514,8 +571,54 @@ Status ShardedClient::RequireConnected() const {
   return Status::OK();
 }
 
+void ShardedClient::RememberEndpoint(const std::string& endpoint) {
+  if (endpoint.empty()) return;
+  for (const std::string& known : known_endpoints_) {
+    if (known == endpoint) return;
+  }
+  known_endpoints_.push_back(endpoint);
+}
+
+void ShardedClient::AddSeedEndpoint(const std::string& endpoint) {
+  std::string host;
+  uint16_t port = 0;
+  ResolveEndpoint(endpoint, "", 0, &host, &port);
+  if (host.empty() || port == 0) return;
+  RememberEndpoint(host + ":" + std::to_string(port));
+}
+
+void ShardedClient::LearnEndpoints(const ShardMap& map,
+                                   const std::string& source) {
+  std::string src_host;
+  uint16_t src_port = 0;
+  ResolveEndpoint(source, "", 0, &src_host, &src_port);
+  for (const std::string& ep : map.endpoints) {
+    std::string host = src_host;
+    uint16_t port = src_port;
+    ResolveEndpoint(ep, src_host, src_port, &host, &port);
+    if (!host.empty() && port != 0) {
+      RememberEndpoint(host + ":" + std::to_string(port));
+    }
+  }
+  for (const auto& shard_replicas : map.replicas) {
+    for (const std::string& ep : shard_replicas) {
+      std::string host;
+      uint16_t port = 0;
+      ResolveEndpoint(ep, "", 0, &host, &port);
+      if (!host.empty() && port != 0) {
+        RememberEndpoint(host + ":" + std::to_string(port));
+      }
+    }
+  }
+}
+
 Status ShardedClient::Connect(const std::string& host, uint16_t port) {
+  const std::vector<std::string> seeds = known_endpoints_;
   Close();
+  known_endpoints_ = seeds;  // AddSeedEndpoint survives reconnects
+  bootstrap_host_ = host;
+  bootstrap_port_ = port;
+  RememberEndpoint(host + ":" + std::to_string(port));
   // Bootstrap: one throwaway connection fetches the ring.
   {
     Client bootstrap(options_);
@@ -523,8 +626,23 @@ Status ShardedClient::Connect(const std::string& host, uint16_t port) {
     if (!s.ok()) return s;
     s = bootstrap.FetchShardMap(&router_);
     if (!s.ok()) return s;
+    LearnEndpoints(router_.map(),
+                   host + ":" + std::to_string(port));
   }
   const std::vector<std::string>& endpoints = router_.map().endpoints;
+  const std::vector<uint8_t>& primaries = router_.map().primaries;
+  // When the bootstrap server is not primary for some shard (it is a
+  // replication follower), polling the full endpoint set finds the
+  // primaries; otherwise connect straight to the advertised endpoints.
+  bool bootstrap_serves_all = true;
+  for (uint8_t p : primaries) {
+    if (p == 0) bootstrap_serves_all = false;
+  }
+  if (!bootstrap_serves_all) {
+    Status s = RefreshRouting();
+    if (!s.ok()) Close();
+    return s;
+  }
   conns_.reserve(router_.num_shards());
   for (uint32_t shard = 0; shard < router_.num_shards(); shard++) {
     std::string shard_host;
@@ -552,28 +670,153 @@ Status ShardedClient::Connect(const std::string& host, uint16_t port) {
   return Status::OK();
 }
 
+Status ShardedClient::RefreshRouting() {
+  // Poll every known endpoint for its current view; dead ones are
+  // skipped. Endpoints learned from fetched maps extend the poll list
+  // (but are only contacted on the next refresh).
+  struct View {
+    ShardRouter router;
+    std::string endpoint;
+  };
+  std::vector<View> views;
+  const std::vector<std::string> candidates = known_endpoints_;
+  for (const std::string& endpoint : candidates) {
+    std::string host;
+    uint16_t port = 0;
+    ResolveEndpoint(endpoint, "", 0, &host, &port);
+    if (host.empty() || port == 0) continue;
+    Client probe(options_);
+    if (!probe.Connect(host, port).ok()) continue;
+    View view;
+    if (!probe.FetchShardMap(&view.router).ok()) continue;
+    view.endpoint = endpoint;
+    LearnEndpoints(view.router.map(), endpoint);
+    views.push_back(std::move(view));
+  }
+  if (views.empty()) {
+    return Status::IOError("shard map refresh",
+                           "no reachable endpoint");
+  }
+  const uint32_t num_shards = views[0].router.num_shards();
+  // Per shard, the server claiming primary under the highest epoch
+  // wins; with no primary claim, fall back to the highest-epoch view.
+  std::vector<std::string> chosen(num_shards);
+  for (uint32_t shard = 0; shard < num_shards; shard++) {
+    const View* best_primary = nullptr;
+    uint64_t best_primary_epoch = 0;
+    const View* best_any = nullptr;
+    uint64_t best_any_epoch = 0;
+    for (const View& view : views) {
+      if (view.router.num_shards() != num_shards) continue;
+      const ShardMap& map = view.router.map();
+      const uint64_t epoch =
+          shard < map.epochs.size() ? map.epochs[shard] : 0;
+      const bool primary =
+          map.primaries.empty() || map.primaries[shard] != 0;
+      if (primary &&
+          (best_primary == nullptr || epoch > best_primary_epoch)) {
+        best_primary = &view;
+        best_primary_epoch = epoch;
+      }
+      if (best_any == nullptr || epoch > best_any_epoch) {
+        best_any = &view;
+        best_any_epoch = epoch;
+      }
+    }
+    const View* pick = best_primary != nullptr ? best_primary : best_any;
+    if (pick == nullptr) {
+      return Status::IOError("shard map refresh", "no view for shard");
+    }
+    chosen[shard] = pick->endpoint;
+  }
+  // Swap in the refreshed routing only once every shard reconnected.
+  std::vector<std::unique_ptr<Client>> conns;
+  std::vector<std::string> endpoints;
+  conns.reserve(num_shards);
+  for (uint32_t shard = 0; shard < num_shards; shard++) {
+    std::string host;
+    uint16_t port = 0;
+    ResolveEndpoint(chosen[shard], bootstrap_host_, bootstrap_port_,
+                    &host, &port);
+    ClientOptions conn_options = options_;
+    if (conn_options.trace_sample_every > 0) {
+      conn_options.trace_seed =
+          options_.trace_seed ^ (0x9e3779b97f4a7c15ULL * (shard + 1));
+    }
+    auto conn = std::make_unique<Client>(conn_options);
+    Status s = conn->Connect(host, port);
+    if (!s.ok()) return s;
+    conns.push_back(std::move(conn));
+    endpoints.push_back(host + ":" + std::to_string(port));
+  }
+  router_ = std::move(views[0].router);
+  conns_ = std::move(conns);
+  resolved_endpoints_ = std::move(endpoints);
+  return Status::OK();
+}
+
 void ShardedClient::Close() {
   conns_.clear();
   resolved_endpoints_.clear();
+  known_endpoints_.clear();
   router_ = ShardRouter();
+  bootstrap_host_.clear();
+  bootstrap_port_ = 0;
+}
+
+void ShardedClient::Backoff(uint32_t attempt) {
+  uint64_t ms = options_.retry_backoff_base_ms;
+  for (uint32_t i = 0; i < attempt && ms < options_.retry_backoff_max_ms;
+       i++) {
+    ms *= 2;
+  }
+  ms = std::min<uint64_t>(ms, options_.retry_backoff_max_ms);
+  if (ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+  }
+}
+
+bool ShardedClient::ShouldFailover(uint32_t shard,
+                                   const Status& s) const {
+  if (s.ok() || shard >= conns_.size()) return false;
+  // Transport loss (the conn closed itself) — a replica may serve the
+  // shard now; kNotPrimary — the map moved under us. Anything else
+  // (NotFound, Busy backpressure, validation) is the caller's to see.
+  if (!conns_[shard]->connected()) return true;
+  return conns_[shard]->last_wire_code() == kNotPrimary;
+}
+
+Status ShardedClient::RetryShardOp(
+    uint32_t shard, const std::function<Status(Client*)>& op) {
+  Status s = RequireConnected();
+  if (!s.ok()) return s;
+  s = op(conns_[shard].get());
+  for (uint32_t attempt = 0;
+       attempt < options_.max_retries && ShouldFailover(shard, s);
+       attempt++) {
+    Backoff(attempt);
+    if (!RefreshRouting().ok()) continue;  // endpoints may come back
+    failovers_++;
+    s = op(conns_[shard].get());
+  }
+  return s;
 }
 
 Status ShardedClient::Put(const Slice& key, const Slice& value) {
-  Status s = RequireConnected();
-  if (!s.ok()) return s;
-  return conns_[router_.ShardOf(key)]->Put(key, value);
+  return RetryShardOp(
+      router_.ShardOf(key),
+      [&](Client* conn) { return conn->Put(key, value); });
 }
 
 Status ShardedClient::Get(const Slice& key, std::string* value) {
-  Status s = RequireConnected();
-  if (!s.ok()) return s;
-  return conns_[router_.ShardOf(key)]->Get(key, value);
+  return RetryShardOp(
+      router_.ShardOf(key),
+      [&](Client* conn) { return conn->Get(key, value); });
 }
 
 Status ShardedClient::Delete(const Slice& key) {
-  Status s = RequireConnected();
-  if (!s.ok()) return s;
-  return conns_[router_.ShardOf(key)]->Delete(key);
+  return RetryShardOp(router_.ShardOf(key),
+                      [&](Client* conn) { return conn->Delete(key); });
 }
 
 Status ShardedClient::MultiPut(
@@ -581,16 +824,19 @@ Status ShardedClient::MultiPut(
   Status s = RequireConnected();
   if (!s.ok()) return s;
   if (conns_.size() == 1) {
-    return conns_[0]->MultiPut(batch);
+    return RetryShardOp(
+        0, [&](Client* conn) { return conn->MultiPut(batch); });
   }
   std::vector<std::vector<KVStore::BatchOp>> split(conns_.size());
   for (const KVStore::BatchOp& op : batch) {
     split[router_.ShardOf(op.key)].push_back(op);
   }
   Status first_error;
-  for (uint32_t shard = 0; shard < conns_.size(); shard++) {
+  for (uint32_t shard = 0; shard < split.size(); shard++) {
     if (split[shard].empty()) continue;
-    Status st = conns_[shard]->MultiPut(split[shard]);
+    Status st = RetryShardOp(shard, [&](Client* conn) {
+      return conn->MultiPut(split[shard]);
+    });
     if (!st.ok() && first_error.ok()) first_error = st;
   }
   return first_error;
@@ -601,6 +847,24 @@ Status ShardedClient::Scan(
     std::vector<std::pair<std::string, std::string>>* out) {
   Status s = RequireConnected();
   if (!s.ok()) return s;
+  bool retriable = false;
+  s = ScanAttempt(start, limit, out, &retriable);
+  for (uint32_t attempt = 0;
+       attempt < options_.max_retries && !s.ok() && retriable;
+       attempt++) {
+    Backoff(attempt);
+    if (!RefreshRouting().ok()) continue;
+    failovers_++;
+    s = ScanAttempt(start, limit, out, &retriable);
+  }
+  return s;
+}
+
+Status ShardedClient::ScanAttempt(
+    const Slice& start, uint32_t limit,
+    std::vector<std::pair<std::string, std::string>>* out,
+    bool* retriable) {
+  *retriable = false;
   // A server merges across every shard it hosts, so asking two conns
   // that resolve to the same server would duplicate the result. Fan
   // out to one representative connection per distinct endpoint; each
@@ -618,23 +882,34 @@ Status ShardedClient::Scan(
     if (!seen) reps.push_back(shard);
   }
   if (reps.size() == 1) {
-    return conns_[reps[0]]->Scan(start, limit, out);
+    Status s = conns_[reps[0]]->Scan(start, limit, out);
+    if (!s.ok()) *retriable = ShouldFailover(reps[0], s);
+    return s;
   }
   for (uint32_t r : reps) {
     conns_[r]->SubmitScan(start, limit);
     Status st = conns_[r]->Flush();
-    if (!st.ok()) return st;
+    if (!st.ok()) {
+      *retriable = !conns_[r]->connected();
+      return st;
+    }
   }
   std::vector<std::vector<std::pair<std::string, std::string>>>
       per_server(reps.size());
   for (size_t i = 0; i < reps.size(); i++) {
     std::vector<Client::Result> results;
     Status st = conns_[reps[i]]->WaitAll(&results);
-    if (!st.ok()) return st;
+    if (!st.ok()) {
+      *retriable = !conns_[reps[i]]->connected();
+      return st;
+    }
     if (results.size() != 1) {
       return Status::Corruption("protocol", "scan fan-out mismatch");
     }
-    if (!results[0].status.ok()) return results[0].status;
+    if (!results[0].status.ok()) {
+      *retriable = results[0].wire_code == kNotPrimary;
+      return results[0].status;
+    }
     per_server[i] = std::move(results[0].entries);
   }
   MergeShardScans(std::move(per_server), limit, out);

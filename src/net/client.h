@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <string>
 #include <utility>
@@ -34,6 +35,15 @@ struct ClientOptions {
   /// with the server's via tools/trace_merge.py. May be null: traced
   /// frames are still sent and Result::server_ns still fills in.
   obs::Tracer* tracer = nullptr;
+  /// ShardedClient failover (docs/REPLICATION.md "Client failover"):
+  /// keyed operations that fail on a broken connection or a kNotPrimary
+  /// rejection are retried up to this many times, re-fetching the
+  /// SHARDMAP from every known endpoint between attempts, with capped
+  /// exponential backoff. 0 disables (errors surface immediately).
+  /// Plain Client never retries.
+  uint32_t max_retries = 2;
+  uint32_t retry_backoff_base_ms = 10;
+  uint32_t retry_backoff_max_ms = 500;
 };
 
 /// Client speaks the CacheKV wire protocol over one TCP connection
@@ -85,6 +95,25 @@ class Client {
   /// from unsharded servers). ShardedClient uses this to bootstrap.
   Status FetchShardMap(ShardRouter* out);
 
+  // Replication API (docs/REPLICATION.md): follower-side pull calls
+  // used by repl::ReplHub, plus the admin PROMOTE. ------------------
+
+  Status ReplSubscribe(const ReplSubscribeRequest& req,
+                       ReplSubscribeResponse* resp);
+  Status ReplFetch(const ReplBatchRequest& req, ReplBatchResponse* resp);
+  Status ReplAck(const ReplAckRequest& req);
+  Status ReplSnapshot(const ReplSnapshotRequest& req,
+                      ReplSnapshotResponse* resp);
+  /// Bumps the shard's epoch on the receiving server and flips it to
+  /// primary; `*new_epoch` receives the epoch it now reigns under.
+  Status Promote(uint32_t shard, uint64_t* new_epoch);
+
+  /// Wire code of the last synchronous response (kOk on success, 0
+  /// when the call failed before a response arrived). Lets callers
+  /// distinguish kNotPrimary / kReplTimeout / ... without parsing
+  /// Status text; ShardedClient keys its failover on it.
+  uint16_t last_wire_code() const { return last_wire_code_; }
+
   // Pipelined API. --------------------------------------------------
 
   /// Queues a request and returns its id (unique per connection).
@@ -104,6 +133,9 @@ class Client {
     uint64_t id = 0;
     Op op = Op::kPing;
     Status status;
+    /// Wire code of the response frame (kOk on success); failover
+    /// logic keys on kNotPrimary without parsing the Status.
+    uint16_t wire_code = 0;
     /// GET: the value. SCAN: parse with ParseScanPayload via entries.
     std::string value;
     /// SCAN results (filled only for kScan).
@@ -152,6 +184,7 @@ class Client {
 
   ClientOptions options_;
   int fd_ = -1;
+  uint16_t last_wire_code_ = 0;
   uint64_t next_id_ = 1;
   uint64_t keyed_seq_ = 0;  // keyed requests sent; drives sampling
   std::string sendbuf_;
@@ -169,6 +202,15 @@ class Client {
 /// returns the ordered k-way merge. Against an unsharded server this
 /// degenerates to a plain single-connection client.
 ///
+/// Failover (docs/REPLICATION.md): when a keyed operation fails on a
+/// broken connection or a kNotPrimary rejection, the client re-fetches
+/// the SHARDMAP from every endpoint it has ever learned (bootstrap
+/// address, advertised endpoints, replica sets, AddSeedEndpoint), picks
+/// per shard the server claiming primary under the highest epoch,
+/// reconnects, and retries — up to ClientOptions::max_retries times
+/// with capped exponential backoff. Transient errors that are neither
+/// (Busy, NotFound, validation errors) surface immediately.
+///
 /// Like Client, a ShardedClient is NOT thread-safe — one instance per
 /// thread.
 class ShardedClient {
@@ -182,6 +224,21 @@ class ShardedClient {
   Status Connect(const std::string& host, uint16_t port);
   void Close();
   bool connected() const { return !conns_.empty(); }
+
+  /// Adds a failover candidate ("host:port") to the known-endpoint set
+  /// before or after Connect; RefreshRouting also asks it for the map.
+  /// Benchmarks seed the follower here so a dead bootstrap primary
+  /// does not strand them (bench/netbench.cc --fallback).
+  void AddSeedEndpoint(const std::string& endpoint);
+
+  /// Re-fetches the SHARDMAP from every known endpoint and reconnects
+  /// each shard to its best advertised server (primary claim under the
+  /// highest epoch wins). Called automatically by the retry path; also
+  /// public so tests and tools can force a refresh.
+  Status RefreshRouting();
+
+  /// Retry attempts that found a new route (metric for tests/benches).
+  uint64_t failovers() const { return failovers_; }
 
   Status Put(const Slice& key, const Slice& value);
   Status Get(const Slice& key, std::string* value);
@@ -212,6 +269,23 @@ class ShardedClient {
 
  private:
   Status RequireConnected() const;
+  /// Remembers an endpoint (and its failover candidates) learned from
+  /// a fetched map.
+  void LearnEndpoints(const ShardMap& map, const std::string& source);
+  void RememberEndpoint(const std::string& endpoint);
+  /// True when `s` (returned by conns_[shard]) warrants a map refresh
+  /// and retry: the connection died, or the server answered
+  /// kNotPrimary.
+  bool ShouldFailover(uint32_t shard, const Status& s) const;
+  /// Runs `op` against conns_[shard] with the retry/refresh loop.
+  Status RetryShardOp(uint32_t shard,
+                      const std::function<Status(Client*)>& op);
+  void Backoff(uint32_t attempt);
+  /// One scan fan-out over the current routing; sets *retriable when
+  /// the failure warrants a refresh+retry.
+  Status ScanAttempt(const Slice& start, uint32_t limit,
+                     std::vector<std::pair<std::string, std::string>>* out,
+                     bool* retriable);
 
   ClientOptions options_;
   ShardRouter router_;
@@ -219,6 +293,12 @@ class ShardedClient {
   // Resolved "host:port" per connection; shards co-hosted by one
   // server share the string, which SCAN uses to fan out per server.
   std::vector<std::string> resolved_endpoints_;
+  // Every "host:port" ever learned (bootstrap, map endpoints, replica
+  // sets, seeds) — the candidate list RefreshRouting polls.
+  std::vector<std::string> known_endpoints_;
+  std::string bootstrap_host_;
+  uint16_t bootstrap_port_ = 0;
+  uint64_t failovers_ = 0;
 };
 
 }  // namespace net

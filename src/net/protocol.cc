@@ -22,6 +22,13 @@ bool GetU32(Slice* in, uint32_t* out) {
   return true;
 }
 
+bool GetU64(Slice* in, uint64_t* out) {
+  if (in->size() < 8) return false;
+  *out = DecodeFixed64(in->data());
+  in->remove_prefix(8);
+  return true;
+}
+
 bool GetBytes(Slice* in, uint32_t len, Slice* out) {
   if (in->size() < len) return false;
   *out = Slice(in->data(), len);
@@ -64,7 +71,7 @@ void AppendKey(std::string* out, const Slice& key) {
 
 bool ValidOp(uint8_t raw) {
   return raw >= static_cast<uint8_t>(Op::kGet) &&
-         raw <= static_cast<uint8_t>(Op::kMetricsProm);
+         raw <= static_cast<uint8_t>(Op::kPromote);
 }
 
 const char* OpName(Op op) {
@@ -79,6 +86,11 @@ const char* OpName(Op op) {
     case Op::kShardMap: return "shardmap";
     case Op::kSlowLog: return "slowlog";
     case Op::kMetricsProm: return "metricsprom";
+    case Op::kReplSubscribe: return "replsubscribe";
+    case Op::kReplBatch: return "replbatch";
+    case Op::kReplAck: return "replack";
+    case Op::kReplSnapshot: return "replsnapshot";
+    case Op::kPromote: return "promote";
   }
   return "?";
 }
@@ -97,6 +109,10 @@ const char* WireCodeName(uint16_t code) {
     case kDecodeError: return "decode_error";
     case kTooLarge: return "too_large";
     case kUnknownOp: return "unknown_op";
+    case kNotPrimary: return "not_primary";
+    case kStaleEpoch: return "stale_epoch";
+    case kReplLagged: return "repl_lagged";
+    case kReplTimeout: return "repl_timeout";
   }
   return "unknown_code";
 }
@@ -129,6 +145,18 @@ Status StatusFromWire(uint16_t code, const Slice& message) {
     case kTooLarge:
     case kUnknownOp:
       return Status::InvalidArgument(WireCodeName(code), message);
+    case kNotPrimary:
+      // Routed away from the primary; ShardedClient re-fetches the map
+      // and retries. The context string lets callers distinguish it.
+      return Status::IOError("not_primary", message);
+    case kStaleEpoch: return Status::InvalidArgument("stale_epoch", message);
+    case kReplLagged:
+      // from_seq fell behind the truncated log — resync via snapshot.
+      return Status::NotFound(message.empty() ? Slice("repl_lagged")
+                                              : message);
+    case kReplTimeout:
+      // Committed on the primary; the ack policy was not met in time.
+      return Status::Busy(message.empty() ? Slice("repl_timeout") : message);
     default: return Status::IOError(WireCodeName(code), message);
   }
 }
@@ -207,6 +235,19 @@ FrameDecoder::Result FrameDecoder::Next(Frame* out) {
   out->payload = Slice(payload, payload_len);
   pos_ += 4u + body_len;
   return Result::kFrame;
+}
+
+bool FrameDecoder::PeekOp(Op* op) const {
+  if (failed_) return false;
+  const size_t avail = buf_.size() - pos_;
+  if (avail < 6) return false;  // length + opcode + flags not in yet
+  const char* base = buf_.data() + pos_;
+  const uint32_t body_len = DecodeFixed32(base);
+  if (body_len < kFrameFixedBody || body_len > max_frame_body_) return false;
+  const uint8_t raw_op = static_cast<uint8_t>(base[4]);
+  if (!ValidOp(raw_op)) return false;
+  *op = static_cast<Op>(raw_op);
+  return true;
 }
 
 // Request encoders. ---------------------------------------------------
@@ -398,6 +439,231 @@ Status ParseSlowLogRequest(const Slice& payload, SlowLogRequest* out) {
   if (!GetU32(&in, &out->limit)) {
     return DecodeError("truncated slowlog limit");
   }
+  return ExpectEmpty(in);
+}
+
+// Replication ops. ----------------------------------------------------
+
+void EncodeReplOps(std::string* out,
+                   const std::vector<KVStore::BatchOp>& ops) {
+  PutFixed32(out, static_cast<uint32_t>(ops.size()));
+  for (const KVStore::BatchOp& op : ops) {
+    out->push_back(op.is_delete ? 1 : 0);
+    AppendKey(out, op.key);
+    PutFixed32(out, static_cast<uint32_t>(op.value.size()));
+    out->append(op.value);
+  }
+}
+
+Status ParseReplOps(const Slice& blob,
+                    std::vector<KVStore::BatchOp>* out) {
+  // Same body format as MULTIPUT, same validation rules.
+  MultiPutRequest req;
+  Status s = ParseMultiPutRequest(blob, &req);
+  if (!s.ok()) return s;
+  *out = std::move(req.ops);
+  return Status::OK();
+}
+
+void EncodeReplSubscribeRequest(std::string* out, uint64_t id,
+                                const ReplSubscribeRequest& req) {
+  std::string payload;
+  PutFixed32(&payload, req.shard);
+  PutFixed64(&payload, req.epoch);
+  AppendKey(&payload, req.follower_id);
+  AppendFrame(out, Op::kReplSubscribe, false, kOk, id, payload);
+}
+
+void EncodeReplBatchRequest(std::string* out, uint64_t id,
+                            const ReplBatchRequest& req) {
+  std::string payload;
+  PutFixed32(&payload, req.shard);
+  PutFixed64(&payload, req.epoch);
+  PutFixed64(&payload, req.from_seq);
+  PutFixed32(&payload, req.max_batches);
+  AppendFrame(out, Op::kReplBatch, false, kOk, id, payload);
+}
+
+void EncodeReplAckRequest(std::string* out, uint64_t id,
+                          const ReplAckRequest& req) {
+  std::string payload;
+  PutFixed32(&payload, req.shard);
+  PutFixed64(&payload, req.epoch);
+  AppendKey(&payload, req.follower_id);
+  PutFixed64(&payload, req.acked_seq);
+  AppendFrame(out, Op::kReplAck, false, kOk, id, payload);
+}
+
+void EncodeReplSnapshotRequest(std::string* out, uint64_t id,
+                               const ReplSnapshotRequest& req) {
+  std::string payload;
+  PutFixed32(&payload, req.shard);
+  PutFixed64(&payload, req.epoch);
+  AppendKey(&payload, req.cursor);
+  PutFixed32(&payload, req.max_entries);
+  AppendFrame(out, Op::kReplSnapshot, false, kOk, id, payload);
+}
+
+void EncodePromoteRequest(std::string* out, uint64_t id, uint32_t shard) {
+  std::string payload;
+  PutFixed32(&payload, shard);
+  AppendFrame(out, Op::kPromote, false, kOk, id, payload);
+}
+
+void EncodeReplSubscribePayload(std::string* out,
+                                const ReplSubscribeResponse& resp) {
+  PutFixed64(out, resp.epoch);
+  PutFixed64(out, resp.log_start);
+  PutFixed64(out, resp.log_head);
+}
+
+void EncodeReplBatchPayload(std::string* out,
+                            const ReplBatchResponse& resp) {
+  PutFixed64(out, resp.epoch);
+  PutFixed64(out, resp.log_head);
+  PutFixed32(out, static_cast<uint32_t>(resp.records.size()));
+  for (const ReplRecord& rec : resp.records) {
+    PutFixed64(out, rec.log_seq);
+    PutFixed64(out, rec.last_db_seq);
+    PutFixed32(out, static_cast<uint32_t>(rec.ops_blob.size()));
+    out->append(rec.ops_blob);
+  }
+}
+
+void EncodeReplSnapshotPayload(std::string* out,
+                               const ReplSnapshotResponse& resp) {
+  PutFixed64(out, resp.epoch);
+  PutFixed64(out, resp.log_pos);
+  out->push_back(resp.done ? 1 : 0);
+  EncodeScanPayload(out, resp.entries);
+}
+
+void EncodePromotePayload(std::string* out, uint64_t new_epoch) {
+  PutFixed64(out, new_epoch);
+}
+
+Status ParseReplSubscribeRequest(const Slice& payload,
+                                 ReplSubscribeRequest* out) {
+  Slice in = payload;
+  if (!GetU32(&in, &out->shard)) return DecodeError("truncated shard");
+  if (!GetU64(&in, &out->epoch)) return DecodeError("truncated epoch");
+  Status s = ParseKey(&in, &out->follower_id);
+  if (!s.ok()) return s;
+  return ExpectEmpty(in);
+}
+
+Status ParseReplBatchRequest(const Slice& payload, ReplBatchRequest* out) {
+  Slice in = payload;
+  if (!GetU32(&in, &out->shard)) return DecodeError("truncated shard");
+  if (!GetU64(&in, &out->epoch)) return DecodeError("truncated epoch");
+  if (!GetU64(&in, &out->from_seq)) {
+    return DecodeError("truncated from_seq");
+  }
+  if (!GetU32(&in, &out->max_batches)) {
+    return DecodeError("truncated max_batches");
+  }
+  return ExpectEmpty(in);
+}
+
+Status ParseReplAckRequest(const Slice& payload, ReplAckRequest* out) {
+  Slice in = payload;
+  if (!GetU32(&in, &out->shard)) return DecodeError("truncated shard");
+  if (!GetU64(&in, &out->epoch)) return DecodeError("truncated epoch");
+  Status s = ParseKey(&in, &out->follower_id);
+  if (!s.ok()) return s;
+  if (!GetU64(&in, &out->acked_seq)) {
+    return DecodeError("truncated acked_seq");
+  }
+  return ExpectEmpty(in);
+}
+
+Status ParseReplSnapshotRequest(const Slice& payload,
+                                ReplSnapshotRequest* out) {
+  Slice in = payload;
+  if (!GetU32(&in, &out->shard)) return DecodeError("truncated shard");
+  if (!GetU64(&in, &out->epoch)) return DecodeError("truncated epoch");
+  Status s = ParseKey(&in, &out->cursor);
+  if (!s.ok()) return s;
+  if (!GetU32(&in, &out->max_entries)) {
+    return DecodeError("truncated max_entries");
+  }
+  return ExpectEmpty(in);
+}
+
+Status ParsePromoteRequest(const Slice& payload, PromoteRequest* out) {
+  Slice in = payload;
+  if (!GetU32(&in, &out->shard)) return DecodeError("truncated shard");
+  return ExpectEmpty(in);
+}
+
+Status ParseReplSubscribePayload(const Slice& payload,
+                                 ReplSubscribeResponse* out) {
+  Slice in = payload;
+  if (!GetU64(&in, &out->epoch)) return DecodeError("truncated epoch");
+  if (!GetU64(&in, &out->log_start)) {
+    return DecodeError("truncated log_start");
+  }
+  if (!GetU64(&in, &out->log_head)) {
+    return DecodeError("truncated log_head");
+  }
+  return ExpectEmpty(in);
+}
+
+Status ParseReplBatchPayload(const Slice& payload,
+                             ReplBatchResponse* out) {
+  Slice in = payload;
+  if (!GetU64(&in, &out->epoch)) return DecodeError("truncated epoch");
+  if (!GetU64(&in, &out->log_head)) {
+    return DecodeError("truncated log_head");
+  }
+  uint32_t count = 0;
+  if (!GetU32(&in, &count)) return DecodeError("truncated record count");
+  // Each record costs at least 20 bytes on the wire.
+  if (static_cast<uint64_t>(count) * 20 > in.size()) {
+    return DecodeError("record count exceeds payload");
+  }
+  out->records.clear();
+  out->records.reserve(count);
+  for (uint32_t i = 0; i < count; i++) {
+    ReplRecord rec;
+    if (!GetU64(&in, &rec.log_seq)) {
+      return DecodeError("truncated log_seq");
+    }
+    if (!GetU64(&in, &rec.last_db_seq)) {
+      return DecodeError("truncated last_db_seq");
+    }
+    uint32_t blob_len = 0;
+    if (!GetU32(&in, &blob_len)) return DecodeError("truncated blob length");
+    Slice blob;
+    if (!GetBytes(&in, blob_len, &blob)) {
+      return DecodeError("truncated ops blob");
+    }
+    // Validate the blob eagerly so a garbage record fails at the wire
+    // boundary, not during apply.
+    std::vector<KVStore::BatchOp> ops;
+    Status s = ParseReplOps(blob, &ops);
+    if (!s.ok()) return s;
+    rec.ops_blob = blob.ToString();
+    out->records.push_back(std::move(rec));
+  }
+  return ExpectEmpty(in);
+}
+
+Status ParseReplSnapshotPayload(const Slice& payload,
+                                ReplSnapshotResponse* out) {
+  Slice in = payload;
+  if (!GetU64(&in, &out->epoch)) return DecodeError("truncated epoch");
+  if (!GetU64(&in, &out->log_pos)) return DecodeError("truncated log_pos");
+  uint8_t done = 0;
+  if (!GetU8(&in, &done)) return DecodeError("truncated done flag");
+  if (done > 1) return DecodeError("bad done flag");
+  out->done = done != 0;
+  return ParseScanPayload(in, &out->entries);
+}
+
+Status ParsePromotePayload(const Slice& payload, uint64_t* new_epoch) {
+  Slice in = payload;
+  if (!GetU64(&in, new_epoch)) return DecodeError("truncated epoch");
   return ExpectEmpty(in);
 }
 

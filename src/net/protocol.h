@@ -56,6 +56,27 @@ namespace net {
 ///   SLOWLOG req: u32 limit (0 = all)    resp: slow-log JSON (UTF-8)
 ///   METRICSPROM req: empty              resp: Prometheus text (UTF-8)
 ///
+/// Replication ops (docs/REPLICATION.md). All repl requests flow from
+/// the follower (or an admin client, for PROMOTE) to the server; the
+/// stream is follower-initiated pull, so the pipelined request/response
+/// discipline above is preserved. Every repl request carries the
+/// sender's (shard, epoch) pair for fencing:
+///
+///   REPLSUBSCRIBE req: u32 shard, u64 epoch, u32 idlen, follower id
+///        resp: u64 epoch, u64 log_start, u64 log_head
+///   REPLBATCH req:  u32 shard, u64 epoch, u64 from_seq, u32 max_batches
+///        resp: u64 epoch, u64 log_head, u32 count, count * {
+///              u64 log_seq, u64 last_db_seq, u32 blob_len,
+///              blob = { u32 op_count, op_count * { u8 is_delete,
+///                       u32 klen, key, u32 vlen, value } } }
+///   REPLACK req:  u32 shard, u64 epoch, u32 idlen, follower id,
+///                 u64 acked_seq           resp: empty
+///   REPLSNAPSHOT req: u32 shard, u64 epoch, u32 cursor_klen, cursor,
+///                     u32 max_entries
+///        resp: u64 epoch, u64 log_pos, u8 done, u32 count,
+///              count * { u32 klen, key, u32 vlen, value }
+///   PROMOTE req:  u32 shard              resp: u64 new_epoch
+///
 /// Error responses (code != kOk) carry a human-readable message as the
 /// payload regardless of opcode.
 
@@ -70,6 +91,11 @@ enum class Op : uint8_t {
   kShardMap = 8,
   kSlowLog = 9,
   kMetricsProm = 10,
+  kReplSubscribe = 11,
+  kReplBatch = 12,
+  kReplAck = 13,
+  kReplSnapshot = 14,
+  kPromote = 15,
 };
 
 /// Frame flag bits. Anything else is reserved and rejected.
@@ -102,6 +128,20 @@ enum WireCode : uint16_t {
   kTooLarge = 102,
   /// Valid frame, unknown opcode (client newer than server).
   kUnknownOp = 103,
+  /// The shard this keyed request routed to is served by a follower
+  /// (docs/REPLICATION.md); clients re-fetch the SHARDMAP and retry
+  /// against the shard's current primary.
+  kNotPrimary = 104,
+  /// A replication request carried an epoch older than the receiver's:
+  /// the sender was deposed by a promotion it has not observed yet.
+  kStaleEpoch = 105,
+  /// The follower's requested log position fell behind the primary's
+  /// truncated replication log; it must bootstrap via REPLSNAPSHOT.
+  kReplLagged = 106,
+  /// The write committed locally but the acknowledgement policy
+  /// (--repl-ack) was not satisfied within the timeout; the client must
+  /// treat the write's durability as unknown and may retry.
+  kReplTimeout = 107,
 };
 
 const char* WireCodeName(uint16_t code);
@@ -175,6 +215,14 @@ class FrameDecoder {
   /// every later call returns kError too.
   Result Next(Frame* out);
 
+  /// Non-consuming look at the next frame's opcode: true once the
+  /// frame header (length + opcode + flags) is buffered and
+  /// well-formed, even if the body is still in flight. Malformed input
+  /// returns false and is left for Next to latch. Lets the server
+  /// decide which worker should own a connection before any frame is
+  /// consumed (docs/REPLICATION.md "Threading").
+  bool PeekOp(Op* op) const;
+
   const std::string& error() const { return error_; }
   size_t buffered() const { return buf_.size() - pos_; }
 
@@ -208,6 +256,110 @@ void EncodeShardMapRequest(std::string* out, uint64_t id);
 /// SLOWLOG request; `limit` caps the returned entries (0 = all).
 void EncodeSlowLogRequest(std::string* out, uint64_t id, uint32_t limit);
 void EncodeMetricsPromRequest(std::string* out, uint64_t id);
+
+// Replication wire structures (docs/REPLICATION.md). -----------------
+
+/// One replication-log record as it travels on the wire (and as the
+/// ReplLog stores it): the log position, the DB sequence number of the
+/// last op in the batch, and the batch itself as an EncodeReplOps blob.
+struct ReplRecord {
+  uint64_t log_seq = 0;
+  uint64_t last_db_seq = 0;
+  std::string ops_blob;
+};
+
+/// Encodes a committed batch as a replication blob (u32 op_count, then
+/// per op: u8 is_delete, u32 klen, key, u32 vlen, value — the MULTIPUT
+/// body format).
+void EncodeReplOps(std::string* out,
+                   const std::vector<KVStore::BatchOp>& ops);
+/// Decodes an EncodeReplOps blob; rejects truncation, trailing bytes,
+/// oversized counts, and deletes carrying values.
+Status ParseReplOps(const Slice& blob,
+                    std::vector<KVStore::BatchOp>* out);
+
+struct ReplSubscribeRequest {
+  uint32_t shard = 0;
+  uint64_t epoch = 0;
+  Slice follower_id;
+};
+struct ReplSubscribeResponse {
+  uint64_t epoch = 0;
+  uint64_t log_start = 0;
+  uint64_t log_head = 0;
+};
+struct ReplBatchRequest {
+  uint32_t shard = 0;
+  uint64_t epoch = 0;
+  /// First log_seq wanted (exclusive fetches use last_applied + 1).
+  uint64_t from_seq = 0;
+  uint32_t max_batches = 0;
+};
+struct ReplBatchResponse {
+  uint64_t epoch = 0;
+  uint64_t log_head = 0;
+  std::vector<ReplRecord> records;
+};
+struct ReplAckRequest {
+  uint32_t shard = 0;
+  uint64_t epoch = 0;
+  Slice follower_id;
+  uint64_t acked_seq = 0;
+};
+struct ReplSnapshotRequest {
+  uint32_t shard = 0;
+  uint64_t epoch = 0;
+  /// Resume strictly after this key; empty starts the snapshot.
+  Slice cursor;
+  uint32_t max_entries = 0;
+};
+struct ReplSnapshotResponse {
+  uint64_t epoch = 0;
+  /// Replication-log position captured before this page's scan began;
+  /// the follower replays the log from the FIRST page's log_pos + 1.
+  uint64_t log_pos = 0;
+  bool done = false;
+  std::vector<std::pair<std::string, std::string>> entries;
+};
+struct PromoteRequest {
+  uint32_t shard = 0;
+};
+
+void EncodeReplSubscribeRequest(std::string* out, uint64_t id,
+                                const ReplSubscribeRequest& req);
+void EncodeReplBatchRequest(std::string* out, uint64_t id,
+                            const ReplBatchRequest& req);
+void EncodeReplAckRequest(std::string* out, uint64_t id,
+                          const ReplAckRequest& req);
+void EncodeReplSnapshotRequest(std::string* out, uint64_t id,
+                               const ReplSnapshotRequest& req);
+void EncodePromoteRequest(std::string* out, uint64_t id, uint32_t shard);
+
+/// Success-response payload builders (server side).
+void EncodeReplSubscribePayload(std::string* out,
+                                const ReplSubscribeResponse& resp);
+void EncodeReplBatchPayload(std::string* out,
+                            const ReplBatchResponse& resp);
+void EncodeReplSnapshotPayload(std::string* out,
+                               const ReplSnapshotResponse& resp);
+void EncodePromotePayload(std::string* out, uint64_t new_epoch);
+
+Status ParseReplSubscribeRequest(const Slice& payload,
+                                 ReplSubscribeRequest* out);
+Status ParseReplBatchRequest(const Slice& payload, ReplBatchRequest* out);
+Status ParseReplAckRequest(const Slice& payload, ReplAckRequest* out);
+Status ParseReplSnapshotRequest(const Slice& payload,
+                                ReplSnapshotRequest* out);
+Status ParsePromoteRequest(const Slice& payload, PromoteRequest* out);
+
+/// Success-response payload parsers (follower / admin side).
+Status ParseReplSubscribePayload(const Slice& payload,
+                                 ReplSubscribeResponse* out);
+Status ParseReplBatchPayload(const Slice& payload,
+                             ReplBatchResponse* out);
+Status ParseReplSnapshotPayload(const Slice& payload,
+                                ReplSnapshotResponse* out);
+Status ParsePromotePayload(const Slice& payload, uint64_t* new_epoch);
 
 // Response encoding (server side). -----------------------------------
 

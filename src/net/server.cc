@@ -15,6 +15,7 @@
 
 #include <cassert>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <deque>
 
@@ -22,6 +23,7 @@
 #include "fault/fail_point.h"
 #include "obs/prom.h"
 #include "obs/trace.h"
+#include "repl/replication.h"
 #include "util/json.h"
 
 namespace cachekv {
@@ -31,6 +33,18 @@ namespace {
 
 Status Errno(const char* what) {
   return Status::IOError(what, std::strerror(errno));
+}
+
+bool NetTrace() {
+  static const bool on = ::getenv("CACHEKV_NET_TRACE") != nullptr;
+  return on;
+}
+
+long TraceMs() {
+  return (long)(std::chrono::duration_cast<std::chrono::milliseconds>(
+                    std::chrono::steady_clock::now().time_since_epoch())
+                    .count() %
+                1000000);
 }
 
 Status SetNonBlocking(int fd) {
@@ -67,6 +81,11 @@ const char* OpHistogramName(Op op) {
     case Op::kShardMap: return "net.op.shardmap";
     case Op::kSlowLog: return "net.op.slowlog";
     case Op::kMetricsProm: return "net.op.metricsprom";
+    case Op::kReplSubscribe: return "net.op.replsubscribe";
+    case Op::kReplBatch: return "net.op.replbatch";
+    case Op::kReplAck: return "net.op.replack";
+    case Op::kReplSnapshot: return "net.op.replsnapshot";
+    case Op::kPromote: return "net.op.promote";
   }
   return "net.op.other";
 }
@@ -83,6 +102,11 @@ const char* OpTraceName(Op op) {
     case Op::kShardMap: return "net.shardmap";
     case Op::kSlowLog: return "net.slowlog";
     case Op::kMetricsProm: return "net.metricsprom";
+    case Op::kReplSubscribe: return "net.replsubscribe";
+    case Op::kReplBatch: return "net.replbatch";
+    case Op::kReplAck: return "net.replack";
+    case Op::kReplSnapshot: return "net.replsnapshot";
+    case Op::kPromote: return "net.promote";
   }
   return "net.other";
 }
@@ -194,6 +218,18 @@ struct Server::Conn {
   size_t out_pos = 0;
   /// The poller currently watches for writability (out backlog).
   bool want_write = false;
+  /// With replication on, every fresh connection starts on the repl
+  /// worker and is classified by its first frame's opcode before any
+  /// frame is handled: repl streams stay, everything else migrates to
+  /// a client worker. The repl worker never blocks in WaitCommitAcked,
+  /// so a follower's subscribe is answered promptly even when every
+  /// client worker is wedged waiting for that follower's acks
+  /// (docs/REPLICATION.md "Threading").
+  bool classified = false;
+  /// The connection speaks the repl stream ops and belongs on the repl
+  /// worker. Also flipped mid-stream when a classified client
+  /// connection later sends a repl op.
+  bool is_repl = false;
 };
 
 struct Server::Worker {
@@ -205,6 +241,9 @@ struct Server::Worker {
   int wake_wr = -1;
   std::mutex mu;
   std::deque<int> pending_fds;  // accepted, not yet adopted
+  /// Live connections migrated here from another worker (replication
+  /// connections moving to the repl worker), decoder/out state intact.
+  std::deque<std::unique_ptr<Conn>> pending_conns;
   std::unordered_map<int, std::unique_ptr<Conn>> conns;
   std::thread thread;
 };
@@ -214,9 +253,13 @@ Server::Server(DB* db, const ServerOptions& options)
 
 Server::Server(std::vector<DB*> shards, const ShardRouter& router,
                const ServerOptions& options)
-    : dbs_(std::move(shards)), router_(router), options_(options) {
+    : dbs_(std::move(shards)),
+      router_(router),
+      options_(options),
+      repl_(options.repl) {
   assert(!dbs_.empty());
   assert(dbs_.size() == router_.num_shards());
+  assert(repl_ == nullptr || repl_->num_shards() == dbs_.size());
 
   obs::MetricsRegistry* reg = primary()->metrics();
   accepts_ = reg->GetCounter("net.accepts");
@@ -277,6 +320,34 @@ DB* Server::Route(const Slice& key, uint32_t* shard_out) {
     *shard_out = shard;
   }
   return dbs_[shard];
+}
+
+Server::Worker* Server::repl_worker() const {
+  if (repl_ == nullptr || workers_.empty()) return nullptr;
+  return workers_.back().get();
+}
+
+bool Server::ShardNotPrimary(uint32_t shard) const {
+  return repl_ != nullptr && !repl_->IsPrimary(shard);
+}
+
+void Server::BuildShardMapImage(std::string* out) {
+  // Epochs and roles move at runtime (promotion, fencing), so a
+  // replicated server encodes the map fresh per request instead of
+  // serving the Start()-time image.
+  std::vector<uint64_t> epochs;
+  std::vector<uint8_t> primaries;
+  std::vector<std::vector<std::string>> replicas;
+  repl_->FillShardMapState(&epochs, &primaries, &replicas);
+  ShardRouter router = router_;
+  Status s = router.SetReplication(std::move(epochs), std::move(primaries),
+                                   std::move(replicas));
+  out->clear();
+  if (s.ok()) {
+    router.Encode(out);
+  } else {
+    *out = shard_map_image_;  // unreachable unless the hub misbehaves
+  }
 }
 
 Status Server::Start() {
@@ -346,7 +417,12 @@ Status Server::Start() {
   }
   SetNonBlocking(accept_wake_[0]);
 
-  const int num_workers = options_.num_workers > 0 ? options_.num_workers : 1;
+  int num_workers = options_.num_workers > 0 ? options_.num_workers : 1;
+  // With replication the last worker is reserved for repl connections,
+  // so at least one other worker must exist to serve clients.
+  if (repl_ != nullptr && num_workers < 2) {
+    num_workers = 2;
+  }
   workers_.clear();
   for (int i = 0; i < num_workers; i++) {
     auto w = std::make_unique<Worker>();
@@ -427,6 +503,11 @@ void Server::Stop() {
         ::close(fd);
       }
       w->pending_fds.clear();
+      for (auto& conn : w->pending_conns) {
+        ::close(conn->fd);
+        connections_->Add(-1);
+      }
+      w->pending_conns.clear();
     }
 #if CACHEKV_NET_EPOLL
     if (w->epfd >= 0) ::close(w->epfd);
@@ -481,10 +562,21 @@ void Server::AcceptLoop() {
       accepts_->Increment();
       connections_->Add(1);
       primary()->trace()->Instant("net.accept");
-      Worker* w = workers_[next_worker_.fetch_add(
-                               1, std::memory_order_relaxed) %
-                           workers_.size()]
-                      .get();
+      // With replication on, every fresh connection starts on the repl
+      // worker (last), which classifies it by its first frame and
+      // migrates client connections out (see Conn::classified). Client
+      // workers can block seconds at a time in WaitCommitAcked, so a
+      // follower (re)subscribing must never depend on one of them
+      // noticing the bytes.
+      Worker* w;
+      if (repl_ != nullptr) {
+        w = workers_.back().get();
+      } else {
+        w = workers_[next_worker_.fetch_add(1,
+                                            std::memory_order_relaxed) %
+                     workers_.size()]
+                .get();
+      }
       {
         std::lock_guard<std::mutex> lock(w->mu);
         w->pending_fds.push_back(fd);
@@ -498,6 +590,9 @@ void Server::CloseConn(Worker* worker, int fd) {
 #if CACHEKV_NET_EPOLL
   ::epoll_ctl(worker->epfd, EPOLL_CTL_DEL, fd, nullptr);
 #endif
+  if (NetTrace())
+    fprintf(stderr, "[%ld srv %d w%d] close fd=%d\n", TraceMs(), (int)port_,
+            worker->index, fd);
   worker->conns.erase(fd);
   ::close(fd);
   connections_->Add(-1);
@@ -578,6 +673,41 @@ void Server::WorkerLoop(Worker* worker) {
         ::epoll_ctl(worker->epfd, EPOLL_CTL_ADD, fd, &ev);
 #endif
       }
+      // Adopt live connections migrated from another worker (repl
+      // conns moving here); their decoder/out state came along.
+      std::deque<std::unique_ptr<Conn>> migrated;
+      {
+        std::lock_guard<std::mutex> lock(worker->mu);
+        migrated.swap(worker->pending_conns);
+      }
+      for (auto& conn : migrated) {
+        const int fd = conn->fd;
+        Conn* c = conn.get();
+        auto ins = worker->conns.emplace(fd, std::move(conn));
+        if (NetTrace())
+          fprintf(stderr, "[%ld srv %d w%d] adopt fd=%d inserted=%d buffered=%zu\n",
+                  TraceMs(), (int)port_, worker->index, fd, (int)ins.second,
+                  c->decoder.buffered());
+        // The frame that triggered the migration crossed over unread
+        // inside the decoder; no epoll event will ever fire for bytes
+        // that are already buffered, so drain them now.
+        if (!ProcessFrames(worker, c)) {
+          CloseConn(worker, fd);
+          continue;
+        }
+        const bool backlog = c->out_pos < c->out.size();
+        c->want_write = backlog;
+#if CACHEKV_NET_EPOLL
+        epoll_event ev;
+        std::memset(&ev, 0, sizeof(ev));
+        ev.events =
+            EPOLLIN | (backlog ? static_cast<uint32_t>(EPOLLOUT) : 0u);
+        ev.data.fd = fd;
+        ::epoll_ctl(worker->epfd, EPOLL_CTL_ADD, fd, &ev);
+#else
+        (void)backlog;  // the poll() path rebuilds interest per round
+#endif
+      }
     }
 
     for (const auto& [fd, mask] : ready) {
@@ -597,7 +727,10 @@ void Server::WorkerLoop(Worker* worker) {
           if (got > 0) {
             bytes_in_->Increment(static_cast<uint64_t>(got));
             conn->decoder.Feed(rbuf, static_cast<size_t>(got));
-            alive = ProcessFrames(conn);
+            alive = ProcessFrames(worker, conn);
+            if (Misplaced(worker, conn)) {
+              break;  // migrate first; the owner-to-be reads the rest
+            }
             if (got < static_cast<ssize_t>(sizeof(rbuf))) {
               break;  // drained the socket
             }
@@ -618,6 +751,38 @@ void Server::WorkerLoop(Worker* worker) {
       }
       if (!alive) {
         CloseConn(worker, fd);
+        continue;
+      }
+      // A connection classified for the other side of the house moves
+      // there before its next frame is handled (whole Conn, mid-stream
+      // state intact, undecoded frames still parked in the decoder):
+      // repl streams to the dedicated repl worker so subscribes and
+      // acks keep flowing even when every client worker blocks in
+      // WaitCommitAcked; client connections off the repl worker so
+      // client writes can never block it.
+      if (Misplaced(worker, conn)) {
+        Worker* rw = repl_worker();
+        Worker* target =
+            conn->is_repl
+                ? rw
+                : workers_[next_worker_.fetch_add(
+                               1, std::memory_order_relaxed) %
+                           (workers_.size() - 1)]
+                      .get();
+#if CACHEKV_NET_EPOLL
+        ::epoll_ctl(worker->epfd, EPOLL_CTL_DEL, fd, nullptr);
+#endif
+        auto node = std::move(it->second);
+        worker->conns.erase(it);
+        {
+          std::lock_guard<std::mutex> lock(target->mu);
+          target->pending_conns.push_back(std::move(node));
+        }
+        if (NetTrace())
+          fprintf(stderr, "[%ld srv %d w%d] migrate fd=%d -> w%d\n",
+                  TraceMs(), (int)port_, worker->index, fd,
+                  target->index);
+        WakeByte(target->wake_wr);
         continue;
       }
       // (Re-)arm write interest to match the backlog.
@@ -647,13 +812,75 @@ void Server::WorkerLoop(Worker* worker) {
   worker->conns.clear();
 }
 
-bool Server::ProcessFrames(Conn* conn) {
+namespace {
+// Repl stream ops are served only by the dedicated repl worker; a
+// client worker that sees one parks the frame and migrates the whole
+// connection instead of handling it in place. PROMOTE is excluded: it
+// is a one-shot admin request, and with --repl-ack it must not queue
+// behind the repl worker's ack traffic.
+bool IsReplStreamOp(Op op) {
+  return op == Op::kReplSubscribe || op == Op::kReplBatch ||
+         op == Op::kReplAck || op == Op::kReplSnapshot;
+}
+}  // namespace
+
+bool Server::Misplaced(Worker* worker, Conn* conn) const {
+  Worker* rw = repl_worker();
+  if (rw == nullptr || !conn->classified) return false;
+  return conn->is_repl ? worker != rw : worker == rw;
+}
+
+bool Server::ProcessFrames(Worker* worker, Conn* conn) {
+  Worker* rw = repl_worker();
+  if (rw != nullptr && !conn->classified) {
+    // Classify by the first frame's opcode before handling anything,
+    // so the connection reaches the right worker first (see
+    // Conn::classified).
+    Op first;
+    if (conn->decoder.PeekOp(&first)) {
+      conn->classified = true;
+      conn->is_repl = IsReplStreamOp(first);
+    } else if (conn->decoder.buffered() >= 6) {
+      // Header bytes present but malformed: treat as a client conn so
+      // Next latches the decode error on a client worker.
+      conn->classified = true;
+      conn->is_repl = false;
+    } else {
+      return FlushOut(conn);  // length + opcode not buffered yet
+    }
+  }
+  if (Misplaced(worker, conn)) {
+    // Park the bytes in the decoder; WorkerLoop migrates the whole
+    // Conn and the destination worker drains them on adoption.
+    return FlushOut(conn);
+  }
   // Pull every complete frame first: the span between "bytes arrived"
   // and "responses written" is where pipelined writes batch.
+  //
+  // Exception: a repl stream frame on a client worker is left inside
+  // the decoder, and the connection is flagged for migration to the
+  // repl worker, which drains it on adoption. Handling it here would
+  // deadlock under --repl-ack: the client worker can be blocked in
+  // WaitCommitAcked waiting on acks from the very follower whose
+  // subscribe just landed on it.
+  // The reverse also holds: the repl worker only ever executes repl
+  // stream frames. Anything else (a PING, a PROMOTE, a stray write) is
+  // parked and the connection re-classified, so WaitCommitAcked can
+  // never run on — and wedge — the repl worker.
   std::vector<Frame> frames;
   Frame frame;
-  FrameDecoder::Result r;
-  while ((r = conn->decoder.Next(&frame)) == FrameDecoder::Result::kFrame) {
+  FrameDecoder::Result r = FrameDecoder::Result::kNeedMore;
+  Op next_op;
+  while (true) {
+    if (rw != nullptr && conn->decoder.PeekOp(&next_op)) {
+      const bool repl_op = IsReplStreamOp(next_op);
+      if (repl_op != (worker == rw)) {
+        conn->is_repl = repl_op;
+        break;
+      }
+    }
+    r = conn->decoder.Next(&frame);
+    if (r != FrameDecoder::Result::kFrame) break;
     frames.push_back(frame);
   }
   obs::Tracer* tracer = primary()->trace();
@@ -680,6 +907,9 @@ bool Server::ProcessFrames(Conn* conn) {
       i++;
       continue;
     }
+    if (NetTrace() && frames[i].op >= Op::kReplSubscribe)
+      fprintf(stderr, "[%ld srv %d w%d] handle op=%d fd=%d\n", TraceMs(),
+              (int)port_, worker->index, (int)frames[i].op, conn->fd);
     if (frames[i].op == Op::kPut || frames[i].op == Op::kDelete) {
       i = HandleWriteRun(conn, frames, i, depth);
     } else {
@@ -830,6 +1060,8 @@ size_t Server::HandleWriteRun(Conn* conn, const std::vector<Frame>& frames,
   const uint64_t t_parsed = timing ? tracer->NowNs() : 0;
   std::vector<Status> shard_status(dbs_.size(), Status::OK());
   std::vector<bool> shard_read_only(dbs_.size(), false);
+  std::vector<bool> shard_not_primary(dbs_.size(), false);
+  std::vector<bool> shard_repl_timeout(dbs_.size(), false);
   for (uint32_t shard = 0; shard < dbs_.size(); shard++) {
     std::vector<KVStore::BatchOp>& batch = shard_batches[shard];
     if (batch.empty()) {
@@ -837,6 +1069,12 @@ size_t Server::HandleWriteRun(Conn* conn, const std::vector<Frame>& frames,
     }
     shard_requests_[shard]->Increment(batch.size());
     DB* db = dbs_[shard];
+    if (ShardNotPrimary(shard)) {
+      shard_not_primary[shard] = true;
+      shard_status[shard] =
+          Status::IOError("not_primary", "shard is a replication follower");
+      continue;
+    }
     if (db->IsReadOnly()) {
       shard_read_only[shard] = true;
       shard_status[shard] = db->BackgroundError();
@@ -864,6 +1102,13 @@ size_t Server::HandleWriteRun(Conn* conn, const std::vector<Frame>& frames,
     for (const KVStore::BatchOp& bop : batch) {
       InvalidateCache(shard, bop.key);
     }
+    if (s.ok() && repl_ != nullptr) {
+      Status acked = repl_->WaitCommitAcked(shard);
+      if (!acked.ok()) {
+        shard_repl_timeout[shard] = true;
+        s = acked;
+      }
+    }
     shard_status[shard] = s;
   }
   const uint64_t t_committed = timing ? tracer->NowNs() : 0;
@@ -878,7 +1123,14 @@ size_t Server::HandleWriteRun(Conn* conn, const std::vector<Frame>& frames,
       tc.trace_id = frames[i].trace_id;
       tc.server_ns = t_committed - t_start;
     }
-    if (shard_read_only[shard]) {
+    if (shard_not_primary[shard]) {
+      EncodeErrorResponse(&conn->out, frames[i].op, frames[i].request_id,
+                          kNotPrimary, shard_status[shard].ToString(), tc);
+    } else if (shard_repl_timeout[shard]) {
+      EncodeErrorResponse(&conn->out, frames[i].op, frames[i].request_id,
+                          kReplTimeout, shard_status[shard].ToString(),
+                          tc);
+    } else if (shard_read_only[shard]) {
       EncodeErrorResponse(&conn->out, frames[i].op, frames[i].request_id,
                           kReadOnly, shard_status[shard].ToString(), tc);
     } else {
@@ -1018,6 +1270,13 @@ void Server::HandleRequest(Conn* conn, const Frame& frame,
       DB* db = Route(req.key, &shard);
       timeline.SetShard(shard);
       timeline.Stage("req.route");
+      if (ShardNotPrimary(shard)) {
+        // Followers reject reads too: an acked write may not have
+        // streamed here yet, and serving it stale would break
+        // read-your-writes for clients that failed over.
+        respond_error(kNotPrimary, "shard is a replication follower");
+        return;
+      }
       std::string value;
       cache::HotKeyCache* hot =
           caches_.empty() ? nullptr : caches_[shard].get();
@@ -1062,12 +1321,26 @@ void Server::HandleRequest(Conn* conn, const Frame& frame,
       DB* db = Route(req.key, &shard);
       timeline.SetShard(shard);
       timeline.Stage("req.route");
+      if (ShardNotPrimary(shard)) {
+        respond_error(kNotPrimary, "shard is a replication follower");
+        return;
+      }
       if (RejectIfReadOnly(conn, db, op, id,
                            timeline.ResponseContext())) {
         return;
       }
       Status ws = db->Put(req.key, req.value);
       InvalidateCache(shard, req.key);
+      if (ws.ok() && repl_ != nullptr) {
+        Status acked = repl_->WaitCommitAcked(shard);
+        if (!acked.ok()) {
+          // Committed locally but under-replicated within the ack
+          // window; the client must treat the write as unacked.
+          timeline.Stage("req.db");
+          respond_error(kReplTimeout, acked.ToString());
+          return;
+        }
+      }
       timeline.Stage("req.db");
       AppendWriteResponse(conn, db, op, id, ws,
                           timeline.ResponseContext());
@@ -1088,12 +1361,24 @@ void Server::HandleRequest(Conn* conn, const Frame& frame,
       DB* db = Route(req.key, &shard);
       timeline.SetShard(shard);
       timeline.Stage("req.route");
+      if (ShardNotPrimary(shard)) {
+        respond_error(kNotPrimary, "shard is a replication follower");
+        return;
+      }
       if (RejectIfReadOnly(conn, db, op, id,
                            timeline.ResponseContext())) {
         return;
       }
       Status ws = db->Delete(req.key);
       InvalidateCache(shard, req.key);
+      if (ws.ok() && repl_ != nullptr) {
+        Status acked = repl_->WaitCommitAcked(shard);
+        if (!acked.ok()) {
+          timeline.Stage("req.db");
+          respond_error(kReplTimeout, acked.ToString());
+          return;
+        }
+      }
       timeline.Stage("req.db");
       AppendWriteResponse(conn, db, op, id, ws,
                           timeline.ResponseContext());
@@ -1115,6 +1400,10 @@ void Server::HandleRequest(Conn* conn, const Frame& frame,
       timeline.Stage("req.decode");
       if (dbs_.size() == 1) {
         shard_requests_[0]->Increment(req.ops.size());
+        if (ShardNotPrimary(0)) {
+          respond_error(kNotPrimary, "shard is a replication follower");
+          return;
+        }
         if (RejectIfReadOnly(conn, primary(), op, id,
                              timeline.ResponseContext())) {
           return;
@@ -1122,6 +1411,14 @@ void Server::HandleRequest(Conn* conn, const Frame& frame,
         Status ws = primary()->ApplyBatch(req.ops);
         for (const KVStore::BatchOp& bop : req.ops) {
           InvalidateCache(0, bop.key);
+        }
+        if (ws.ok() && repl_ != nullptr) {
+          Status acked = repl_->WaitCommitAcked(0);
+          if (!acked.ok()) {
+            timeline.Stage("req.db");
+            respond_error(kReplTimeout, acked.ToString());
+            return;
+          }
         }
         timeline.Stage("req.db");
         AppendWriteResponse(conn, primary(), op, id, ws,
@@ -1139,6 +1436,10 @@ void Server::HandleRequest(Conn* conn, const Frame& frame,
       for (uint32_t shard = 0; shard < dbs_.size(); shard++) {
         if (split[shard].empty()) continue;
         shard_requests_[shard]->Increment(split[shard].size());
+        if (ShardNotPrimary(shard)) {
+          respond_error(kNotPrimary, "shard is a replication follower");
+          return;
+        }
         if (RejectIfReadOnly(conn, dbs_[shard], op, id,
                              timeline.ResponseContext())) {
           return;
@@ -1152,6 +1453,14 @@ void Server::HandleRequest(Conn* conn, const Frame& frame,
         Status st = dbs_[shard]->ApplyBatch(split[shard]);
         for (const KVStore::BatchOp& bop : split[shard]) {
           InvalidateCache(shard, bop.key);
+        }
+        if (st.ok() && repl_ != nullptr) {
+          Status acked = repl_->WaitCommitAcked(shard);
+          if (!acked.ok()) {
+            timeline.Stage("req.db");
+            respond_error(kReplTimeout, acked.ToString());
+            return;
+          }
         }
         if (!st.ok() && first_error.ok()) {
           first_error = st;
@@ -1182,6 +1491,14 @@ void Server::HandleRequest(Conn* conn, const Frame& frame,
       }
       timeline.SetKey(req.start);
       timeline.Stage("req.decode");
+      // A scan touches every shard; one follower shard poisons the
+      // whole merge with potentially-stale entries, so reject.
+      for (uint32_t shard = 0; shard < dbs_.size(); shard++) {
+        if (ShardNotPrimary(shard)) {
+          respond_error(kNotPrimary, "shard is a replication follower");
+          return;
+        }
+      }
       std::vector<std::pair<std::string, std::string>> entries;
       if (dbs_.size() == 1) {
         shard_requests_[0]->Increment();
@@ -1223,8 +1540,15 @@ void Server::HandleRequest(Conn* conn, const Frame& frame,
       return;
     }
     case Op::kShardMap: {
-      // The image is immutable after Start(), so serving it is just a
-      // copy; single-DB servers answer a 1-shard identity map.
+      // The image is immutable after Start() — unless replication is
+      // on, where epochs/roles move and the image is rebuilt per
+      // request; single-DB servers answer a 1-shard identity map.
+      if (repl_ != nullptr) {
+        std::string image;
+        BuildShardMapImage(&image);
+        respond_ok(image);
+        return;
+      }
       respond_ok(shard_map_image_);
       return;
     }
@@ -1251,6 +1575,147 @@ void Server::HandleRequest(Conn* conn, const Frame& frame,
       BuildPromPayload(&text);
       timeline.Stage("req.db");
       respond_ok(text);
+      return;
+    }
+    case Op::kReplSubscribe: {
+      ReplSubscribeRequest req;
+      Status s = ParseReplSubscribeRequest(frame.payload, &req);
+      if (!s.ok()) {
+        decode_errors_->Increment();
+        respond_error(kDecodeError, s.ToString());
+        return;
+      }
+      if (repl_ == nullptr) {
+        respond_error(kInvalidArgument, "replication not enabled");
+        return;
+      }
+      if (req.shard >= num_shards()) {
+        respond_error(kInvalidArgument, "shard out of range");
+        return;
+      }
+      conn->is_repl = true;
+      std::string payload;
+      std::string error;
+      const uint16_t code = repl_->HandleSubscribe(req, &payload, &error);
+      timeline.Stage("req.db");
+      if (code == kOk) {
+        respond_ok(payload);
+      } else {
+        respond_error(code, error);
+      }
+      return;
+    }
+    case Op::kReplBatch: {
+      ReplBatchRequest req;
+      Status s = ParseReplBatchRequest(frame.payload, &req);
+      if (!s.ok()) {
+        decode_errors_->Increment();
+        respond_error(kDecodeError, s.ToString());
+        return;
+      }
+      if (repl_ == nullptr) {
+        respond_error(kInvalidArgument, "replication not enabled");
+        return;
+      }
+      if (req.shard >= num_shards()) {
+        respond_error(kInvalidArgument, "shard out of range");
+        return;
+      }
+      conn->is_repl = true;
+      std::string payload;
+      std::string error;
+      const uint16_t code = repl_->HandleBatch(req, &payload, &error);
+      timeline.Stage("req.db");
+      if (code == kOk) {
+        respond_ok(payload);
+      } else {
+        respond_error(code, error);
+      }
+      return;
+    }
+    case Op::kReplAck: {
+      ReplAckRequest req;
+      Status s = ParseReplAckRequest(frame.payload, &req);
+      if (!s.ok()) {
+        decode_errors_->Increment();
+        respond_error(kDecodeError, s.ToString());
+        return;
+      }
+      if (repl_ == nullptr) {
+        respond_error(kInvalidArgument, "replication not enabled");
+        return;
+      }
+      if (req.shard >= num_shards()) {
+        respond_error(kInvalidArgument, "shard out of range");
+        return;
+      }
+      conn->is_repl = true;
+      std::string payload;
+      std::string error;
+      const uint16_t code = repl_->HandleAck(req, &payload, &error);
+      timeline.Stage("req.db");
+      if (code == kOk) {
+        respond_ok(payload);
+      } else {
+        respond_error(code, error);
+      }
+      return;
+    }
+    case Op::kReplSnapshot: {
+      ReplSnapshotRequest req;
+      Status s = ParseReplSnapshotRequest(frame.payload, &req);
+      if (!s.ok()) {
+        decode_errors_->Increment();
+        respond_error(kDecodeError, s.ToString());
+        return;
+      }
+      if (repl_ == nullptr) {
+        respond_error(kInvalidArgument, "replication not enabled");
+        return;
+      }
+      if (req.shard >= num_shards()) {
+        respond_error(kInvalidArgument, "shard out of range");
+        return;
+      }
+      conn->is_repl = true;
+      std::string payload;
+      std::string error;
+      const uint16_t code = repl_->HandleSnapshot(req, &payload, &error);
+      timeline.Stage("req.db");
+      if (code == kOk) {
+        respond_ok(payload);
+      } else {
+        respond_error(code, error);
+      }
+      return;
+    }
+    case Op::kPromote: {
+      PromoteRequest req;
+      Status s = ParsePromoteRequest(frame.payload, &req);
+      if (!s.ok()) {
+        decode_errors_->Increment();
+        respond_error(kDecodeError, s.ToString());
+        return;
+      }
+      if (repl_ == nullptr) {
+        respond_error(kInvalidArgument, "replication not enabled");
+        return;
+      }
+      if (req.shard >= num_shards()) {
+        respond_error(kInvalidArgument, "shard out of range");
+        return;
+      }
+      // An admin op, not a stream op: the connection stays on its
+      // worker.
+      std::string payload;
+      std::string error;
+      const uint16_t code = repl_->HandlePromote(req, &payload, &error);
+      timeline.Stage("req.db");
+      if (code == kOk) {
+        respond_ok(payload);
+      } else {
+        respond_error(code, error);
+      }
       return;
     }
   }

@@ -21,6 +21,10 @@ namespace cachekv {
 
 class DB;
 
+namespace repl {
+class ReplHub;
+}  // namespace repl
+
 namespace net {
 
 /// Tuning knobs of one Server instance (docs/SERVER.md).
@@ -63,6 +67,16 @@ struct ServerOptions {
   uint32_t slow_request_us = 10'000;
   /// Entries retained in the slow-request ring (--slow-log-cap).
   size_t slow_log_capacity = 128;
+  /// Replication hub (docs/REPLICATION.md); borrowed, may be null.
+  /// When set the server rejects keyed ops on follower shards with
+  /// kNotPrimary, waits for follower acks after every commit (per the
+  /// hub's ack policy; kReplTimeout on expiry), serves the REPL*
+  /// wire ops by delegating to the hub, rebuilds the SHARDMAP image
+  /// per request (epochs move), and reserves its LAST worker thread
+  /// for replication connections so an ack-waiting client worker can
+  /// never starve the very acks it waits on (num_workers is raised to
+  /// 2 if needed).
+  repl::ReplHub* repl = nullptr;
 };
 
 /// Server exposes one DB — or N sharded DB instances — over TCP,
@@ -171,7 +185,10 @@ class Server {
   /// Pulls every complete frame out of the connection's decoder and
   /// writes the responses. Returns false when the connection must
   /// close (decode error, write failure).
-  bool ProcessFrames(Conn* conn);
+  bool ProcessFrames(Worker* worker, Conn* conn);
+  /// True when a classified connection sits on the wrong worker (repl
+  /// conn off the repl worker, client conn on it) and must migrate.
+  bool Misplaced(Worker* worker, Conn* conn) const;
   /// Handles frames[begin..end) where [begin, end) is a maximal run of
   /// single-key PUT/DEL requests: one ApplyBatch commit per touched
   /// shard, one response per request. Returns the first unconsumed
@@ -202,6 +219,15 @@ class Server {
   /// The STATS payload: the primary's DumpMetrics verbatim for a
   /// single store, or the shard-labelled combined document.
   void BuildStatsPayload(std::string* out);
+  /// The SHARDMAP payload with the hub's live epoch/primary/replica
+  /// state folded in (v2 image; see net/shard_router.h).
+  void BuildShardMapImage(std::string* out);
+  /// The worker reserved for replication connections (the last one;
+  /// null when no hub is attached).
+  Worker* repl_worker() const;
+  /// True when the hub says `shard` must not serve keyed requests
+  /// (this server follows another primary for it).
+  bool ShardNotPrimary(uint32_t shard) const;
   /// Flushes the connection's write buffer as far as the socket
   /// accepts; false on a fatal socket error.
   bool FlushOut(Conn* conn);
@@ -210,6 +236,7 @@ class Server {
   std::vector<DB*> dbs_;
   ShardRouter router_;
   const ServerOptions options_;
+  repl::ReplHub* repl_ = nullptr;  // borrowed; null = no replication
   /// One hot-key cache per shard; empty when caching is disabled.
   std::vector<std::unique_ptr<cache::HotKeyCache>> caches_;
   /// Slow-request ring, shared by all workers (lock-free writers).

@@ -13,7 +13,12 @@ namespace net {
 namespace {
 
 constexpr uint32_t kShardMapMagic = 0x50414d53;  // "SMAP" LE
-constexpr uint32_t kShardMapVersion = 1;
+/// v1: seed/shards/vnodes/endpoints/ring. v2 appends per-shard
+/// replication state (epoch, primary flag, replica endpoints). Encode
+/// always emits v2; Decode accepts both.
+constexpr uint32_t kShardMapVersion = 2;
+constexpr uint32_t kShardMapMinVersion = 1;
+constexpr uint32_t kMaxReplicas = 64;
 /// Safety bound on decoded maps: 4096 shards * 1024 vnodes is far past
 /// anything this repo deploys, and keeps hostile images from reserving
 /// gigabytes.
@@ -69,6 +74,13 @@ Status ShardRouter::Build(const ShardMap& map, ShardRouter* out) {
     return Status::InvalidArgument("shard map",
                                    "endpoints must match num_shards");
   }
+  if ((!map.epochs.empty() && map.epochs.size() != map.num_shards) ||
+      (!map.primaries.empty() &&
+       map.primaries.size() != map.num_shards) ||
+      (!map.replicas.empty() && map.replicas.size() != map.num_shards)) {
+    return Status::InvalidArgument(
+        "shard map", "replication vectors must match num_shards");
+  }
   out->map_ = map;
   out->ring_.clear();
   out->ring_.reserve(static_cast<size_t>(map.num_shards) *
@@ -103,6 +115,21 @@ Status ShardRouter::SetEndpoints(std::vector<std::string> endpoints) {
   return Status::OK();
 }
 
+Status ShardRouter::SetReplication(
+    std::vector<uint64_t> epochs, std::vector<uint8_t> primaries,
+    std::vector<std::vector<std::string>> replicas) {
+  if ((!epochs.empty() && epochs.size() != map_.num_shards) ||
+      (!primaries.empty() && primaries.size() != map_.num_shards) ||
+      (!replicas.empty() && replicas.size() != map_.num_shards)) {
+    return Status::InvalidArgument(
+        "shard map", "replication vectors must match num_shards");
+  }
+  map_.epochs = std::move(epochs);
+  map_.primaries = std::move(primaries);
+  map_.replicas = std::move(replicas);
+  return Status::OK();
+}
+
 uint32_t ShardRouter::ShardOf(const Slice& key) const {
   if (ring_.size() == 1) return ring_[0].shard;
   const uint64_t h =
@@ -131,6 +158,23 @@ void ShardRouter::Encode(std::string* out) const {
     PutFixed64(out, p.hash);
     PutFixed32(out, p.shard);
   }
+  // v2 replication section: one row per shard, with v1-equivalent
+  // defaults (epoch 0, primary here, no replicas) when the vectors are
+  // empty.
+  for (uint32_t s = 0; s < map_.num_shards; s++) {
+    PutFixed64(out, s < map_.epochs.size() ? map_.epochs[s] : 0);
+    out->push_back(map_.primaries.empty()
+                       ? 1
+                       : static_cast<char>(map_.primaries[s] ? 1 : 0));
+    const size_t nrep =
+        s < map_.replicas.size() ? map_.replicas[s].size() : 0;
+    PutFixed32(out, static_cast<uint32_t>(nrep));
+    for (size_t r = 0; r < nrep; r++) {
+      const std::string& ep = map_.replicas[s][r];
+      PutFixed32(out, static_cast<uint32_t>(ep.size()));
+      out->append(ep);
+    }
+  }
 }
 
 Status ShardRouter::Decode(const Slice& in, ShardRouter* out) {
@@ -139,7 +183,8 @@ Status ShardRouter::Decode(const Slice& in, ShardRouter* out) {
   if (!GetU32(&cursor, &magic) || magic != kShardMapMagic) {
     return DecodeError("bad magic");
   }
-  if (!GetU32(&cursor, &version) || version != kShardMapVersion) {
+  if (!GetU32(&cursor, &version) || version < kShardMapMinVersion ||
+      version > kShardMapVersion) {
     return DecodeError("unsupported version");
   }
   ShardMap map;
@@ -193,6 +238,39 @@ Status ShardRouter::Decode(const Slice& in, ShardRouter* out) {
     prev = p.hash;
     per_shard[p.shard]++;
     ring.push_back(p);
+  }
+  if (version >= 2) {
+    map.epochs.reserve(map.num_shards);
+    map.primaries.reserve(map.num_shards);
+    map.replicas.reserve(map.num_shards);
+    for (uint32_t s = 0; s < map.num_shards; s++) {
+      uint64_t epoch = 0;
+      if (!GetU64(&cursor, &epoch)) {
+        return DecodeError("truncated repl epoch");
+      }
+      if (cursor.empty()) return DecodeError("truncated primary flag");
+      const uint8_t primary = static_cast<uint8_t>(cursor.data()[0]);
+      cursor.remove_prefix(1);
+      if (primary > 1) return DecodeError("bad primary flag");
+      uint32_t nrep = 0;
+      if (!GetU32(&cursor, &nrep) || nrep > kMaxReplicas) {
+        return DecodeError("bad replica count");
+      }
+      std::vector<std::string> reps;
+      reps.reserve(nrep);
+      for (uint32_t r = 0; r < nrep; r++) {
+        uint32_t len = 0;
+        if (!GetU32(&cursor, &len) || len > kMaxEndpointBytes ||
+            cursor.size() < len) {
+          return DecodeError("truncated replica endpoint");
+        }
+        reps.emplace_back(cursor.data(), len);
+        cursor.remove_prefix(len);
+      }
+      map.epochs.push_back(epoch);
+      map.primaries.push_back(primary);
+      map.replicas.push_back(std::move(reps));
+    }
   }
   if (!cursor.empty()) return DecodeError("trailing bytes");
   for (uint32_t s = 0; s < map.num_shards; s++) {

@@ -31,6 +31,17 @@ struct ShardMap {
   /// entries match the serving socket; a future proxy/placement tier
   /// fills in distinct addresses and clients route without changes.
   std::vector<std::string> endpoints;
+  /// Replication state per shard (docs/REPLICATION.md), carried by v2
+  /// map images. Each vector is either empty (v1 image, or a server
+  /// without replication: epoch 0, the advertising server is primary,
+  /// no replicas) or sized num_shards.
+  std::vector<uint64_t> epochs;
+  /// 1 when the server advertising this map is the shard's primary.
+  std::vector<uint8_t> primaries;
+  /// Replica endpoints ("host:port") per shard, excluding the
+  /// advertising server itself. Clients use these as failover
+  /// candidates when the mapped endpoint stops answering.
+  std::vector<std::vector<std::string>> replicas;
 };
 
 /// ShardRouter owns the consistent-hash ring for one ShardMap and
@@ -63,6 +74,13 @@ class ShardRouter {
   /// touching the ring; the server calls this once it knows its bound
   /// address. InvalidArgument on a size mismatch.
   Status SetEndpoints(std::vector<std::string> endpoints);
+  /// Replaces the per-shard replication state (each vector empty or
+  /// sized num_shards) without touching the ring. The server refreshes
+  /// this before encoding a SHARDMAP response so clients always see
+  /// current epochs/roles. InvalidArgument on a size mismatch.
+  Status SetReplication(std::vector<uint64_t> epochs,
+                        std::vector<uint8_t> primaries,
+                        std::vector<std::vector<std::string>> replicas);
   /// Ring size (num_shards * vnodes_per_shard). Test hook.
   size_t ring_points() const { return ring_.size(); }
 

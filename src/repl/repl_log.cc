@@ -1,0 +1,118 @@
+#include "repl/repl_log.h"
+
+#include <chrono>
+
+namespace cachekv {
+namespace repl {
+
+ReplLog::ReplLog(size_t max_bytes) : max_bytes_(max_bytes) {}
+
+uint64_t ReplLog::Append(std::string ops_blob, uint64_t last_db_seq) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Record rec;
+  rec.log_seq = ++head_;
+  rec.last_db_seq = last_db_seq;
+  bytes_ += ops_blob.size();
+  rec.ops_blob = std::move(ops_blob);
+  records_.push_back(std::move(rec));
+  TruncateLocked();
+  return head_;
+}
+
+void ReplLog::TruncateLocked() {
+  // Keep at least the newest record resident even if it alone exceeds
+  // the budget — a log that evicts its own head can never be fetched.
+  while (records_.size() > 1 && bytes_ > max_bytes_) {
+    bytes_ -= records_.front().ops_blob.size();
+    records_.pop_front();
+  }
+}
+
+Status ReplLog::Fetch(uint64_t from, uint32_t max,
+                      std::vector<Record>* out, uint64_t* head_out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (head_out != nullptr) *head_out = head_;
+  out->clear();
+  if (from == 0) from = 1;
+  if (from > head_) return Status::OK();  // Caught up; nothing new.
+  if (!records_.empty() && from < records_.front().log_seq) {
+    return Status::NotFound("repl log truncated before cursor");
+  }
+  if (records_.empty()) {
+    // head_ > 0 but nothing resident: fully truncated.
+    return Status::NotFound("repl log truncated before cursor");
+  }
+  // Records are dense: index of `from` is from - front.log_seq.
+  size_t idx = static_cast<size_t>(from - records_.front().log_seq);
+  for (; idx < records_.size() && out->size() < max; idx++) {
+    out->push_back(records_[idx]);
+  }
+  return Status::OK();
+}
+
+uint64_t ReplLog::start_seq() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_.empty() ? 0 : records_.front().log_seq;
+}
+
+uint64_t ReplLog::head_seq() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return head_;
+}
+
+uint64_t ReplLog::resident_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+void ReplLog::Ack(const std::string& id, uint64_t seq) {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t& pos = acked_[id];
+  if (seq <= pos) return;  // Stale or duplicate ack.
+  pos = seq;
+  ack_cv_.notify_all();
+}
+
+uint64_t ReplLog::AckedSeq(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = acked_.find(id);
+  return it == acked_.end() ? 0 : it->second;
+}
+
+uint32_t ReplLog::AckedCount(uint64_t seq) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint32_t n = 0;
+  for (const auto& [id, pos] : acked_) {
+    if (pos >= seq) n++;
+  }
+  return n;
+}
+
+Status ReplLog::WaitAcked(uint64_t seq, uint32_t needed, int timeout_ms) {
+  if (needed == 0) return Status::OK();
+  std::unique_lock<std::mutex> lock(mu_);
+  auto satisfied = [&] {
+    uint32_t n = 0;
+    for (const auto& [id, pos] : acked_) {
+      if (pos >= seq) n++;
+    }
+    return n >= needed;
+  };
+  if (ack_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                       satisfied)) {
+    return Status::OK();
+  }
+  return Status::Busy("replication ack timeout");
+}
+
+void ReplLog::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.clear();
+  acked_.clear();
+  head_ = 0;
+  bytes_ = 0;
+  ack_cv_.notify_all();
+}
+
+}  // namespace repl
+}  // namespace cachekv

@@ -1,0 +1,97 @@
+#ifndef CACHEKV_REPL_REPL_LOG_H_
+#define CACHEKV_REPL_REPL_LOG_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace cachekv {
+namespace repl {
+
+/// In-memory replication log for one shard (docs/REPLICATION.md).
+///
+/// The primary appends one record per committed write batch; followers
+/// pull records by log sequence number (REPLBATCH) and report applied
+/// progress (REPLACK). Records carry their own dense `log_seq`
+/// numbering (1, 2, 3, ...) independent of DB sequence numbers — DB
+/// seqnos can interleave across shards and are allocated before the
+/// commit outcome is known, so they are recorded per batch
+/// (`last_db_seq`) but never used for addressing.
+///
+/// The log is bounded by a byte budget: when an append would exceed it,
+/// the oldest records are evicted and `start_seq` advances. A follower
+/// whose cursor falls behind `start_seq` gets kNotFound from Fetch and
+/// must bootstrap from a shard snapshot (REPLSNAPSHOT) instead.
+///
+/// Thread safety: all methods are safe to call concurrently.
+class ReplLog {
+ public:
+  struct Record {
+    uint64_t log_seq = 0;
+    uint64_t last_db_seq = 0;
+    std::string ops_blob;  // EncodeReplOps format (net/protocol.h).
+  };
+
+  explicit ReplLog(size_t max_bytes);
+
+  ReplLog(const ReplLog&) = delete;
+  ReplLog& operator=(const ReplLog&) = delete;
+
+  /// Appends a committed batch; assigns and returns its log_seq.
+  uint64_t Append(std::string ops_blob, uint64_t last_db_seq);
+
+  /// Copies up to `max` records with log_seq >= `from` into `out`.
+  /// `*head_out` receives the current head on both success and failure.
+  /// Returns NotFound when `from` precedes the truncated start (the
+  /// caller must snapshot-bootstrap); OK with an empty `out` when
+  /// `from` is past the head (caller waits and re-polls).
+  Status Fetch(uint64_t from, uint32_t max, std::vector<Record>* out,
+               uint64_t* head_out) const;
+
+  /// First log_seq still resident (0 when the log has never appended;
+  /// after truncation the oldest surviving record's seq).
+  uint64_t start_seq() const;
+  /// Highest log_seq ever assigned (0 = empty).
+  uint64_t head_seq() const;
+  /// Total bytes of resident ops blobs.
+  uint64_t resident_bytes() const;
+
+  /// Records that follower `id` has applied through `seq` (monotonic;
+  /// stale acks are ignored). Wakes WaitAcked waiters.
+  void Ack(const std::string& id, uint64_t seq);
+  /// Last acked position for `id` (0 if unknown).
+  uint64_t AckedSeq(const std::string& id) const;
+  /// Number of distinct followers whose acked position is >= `seq`.
+  uint32_t AckedCount(uint64_t seq) const;
+
+  /// Blocks until at least `needed` followers have acked `seq`, or
+  /// `timeout_ms` elapses. Returns OK on success, Busy on timeout.
+  /// `needed` == 0 returns OK immediately.
+  Status WaitAcked(uint64_t seq, uint32_t needed, int timeout_ms);
+
+  /// Drops all records and follower state (promotion of a follower
+  /// resets its outbound log; its DB state is the source of truth).
+  void Reset();
+
+ private:
+  void TruncateLocked();
+
+  const size_t max_bytes_;
+  mutable std::mutex mu_;
+  std::condition_variable ack_cv_;
+  std::deque<Record> records_;
+  uint64_t head_ = 0;               // Highest assigned log_seq.
+  uint64_t bytes_ = 0;              // Sum of resident ops_blob sizes.
+  std::map<std::string, uint64_t> acked_;  // follower id -> log_seq.
+};
+
+}  // namespace repl
+}  // namespace cachekv
+
+#endif  // CACHEKV_REPL_REPL_LOG_H_

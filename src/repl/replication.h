@@ -1,0 +1,187 @@
+#ifndef CACHEKV_REPL_REPLICATION_H_
+#define CACHEKV_REPL_REPLICATION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/db.h"
+#include "net/protocol.h"
+#include "repl/repl_log.h"
+#include "util/status.h"
+
+namespace cachekv {
+namespace net {
+class Client;  // net/client.h; only the follower thread dials out.
+}  // namespace net
+
+namespace repl {
+
+/// How many followers must acknowledge a committed write before the
+/// primary acks the client (docs/REPLICATION.md "Ack policies").
+enum class AckPolicy {
+  kNone,    // ack as soon as the primary committed (async replication)
+  kQuorum,  // floor((replicas + 1) / 2) follower acks
+  kAll,     // every configured replica must have applied the write
+};
+
+const char* AckPolicyName(AckPolicy policy);
+bool ParseAckPolicy(const std::string& name, AckPolicy* out);
+
+struct ReplOptions {
+  AckPolicy ack = AckPolicy::kNone;
+  /// How long a committed write may wait for follower acks before the
+  /// server answers kReplTimeout (the write IS committed locally).
+  int ack_timeout_ms = 2'000;
+  /// Byte budget of each shard's in-memory replication log; beyond it
+  /// the oldest records are evicted and lagging followers fall back to
+  /// a snapshot bootstrap.
+  size_t log_bytes_per_shard = 64u << 20;
+  /// Follower pull sizing.
+  uint32_t pull_batch_max = 256;
+  uint32_t snapshot_page = 512;
+  /// Sleep between pulls while fully caught up.
+  int pull_idle_ms = 2;
+  /// Backoff after a failed connect/pull against the primary.
+  int reconnect_backoff_ms = 50;
+  /// Follower self-promotion after this long without a successful
+  /// exchange with the primary. 0 disables (PROMOTE op only).
+  int auto_promote_ms = 0;
+  /// Replica endpoints ("host:port") this server streams to, identical
+  /// for every shard (process-level replication: one follower process
+  /// mirrors all shards). Empty = unreplicated.
+  std::vector<std::string> replicas;
+  /// When non-empty this server starts as a follower of that primary
+  /// for every shard.
+  std::string primary_endpoint;
+};
+
+/// ReplHub owns the replication state of one server process: per-shard
+/// role (primary/follower) and epoch, the per-shard replication logs,
+/// the wire-op handlers the server delegates to, and — on a follower —
+/// the background pull thread that subscribes to the primary, applies
+/// batches in log order, and acks progress.
+///
+/// Epoch fencing rule, applied uniformly to every repl request: a
+/// request carrying a NEWER epoch makes the receiver adopt it (and
+/// step down if it believed itself primary — this is how a promoted
+/// follower fences its deposed predecessor); a request carrying an
+/// OLDER epoch is rejected with kStaleEpoch.
+///
+/// Thread safety: handlers and the commit path are safe to call from
+/// any server worker; Start/Stop are main-thread lifecycle calls.
+class ReplHub {
+ public:
+  /// `dbs` are the server's per-shard stores (borrowed, not owned);
+  /// repl.* metrics register into each shard's registry. The hub
+  /// starts as primary for every shard unless `options.primary_endpoint`
+  /// is set, in which case it starts as a follower for every shard.
+  ReplHub(const ReplOptions& options, std::vector<DB*> dbs);
+  ~ReplHub();
+
+  ReplHub(const ReplHub&) = delete;
+  ReplHub& operator=(const ReplHub&) = delete;
+
+  /// This server's own advertised "host:port"; used as the follower id
+  /// in the pull protocol and filtered out of advertised replica sets.
+  void SetSelfEndpoint(const std::string& endpoint);
+
+  /// Installs the commit hook on every shard DB (call before serving)
+  /// so committed batches land in the shard's replication log.
+  void AttachCommitHooks();
+
+  /// Starts the follower pull thread (no-op unless primary_endpoint is
+  /// configured). Stop() joins it; the destructor also stops.
+  void Start();
+  void Stop();
+
+  uint32_t num_shards() const {
+    return static_cast<uint32_t>(shards_.size());
+  }
+  const ReplOptions& options() const { return options_; }
+  bool IsPrimary(uint32_t shard) const;
+  uint64_t Epoch(uint32_t shard) const;
+
+  /// Commit-path tap (runs on the writer thread via DB::CommitHook).
+  void OnCommit(uint32_t shard, const std::vector<KVStore::BatchOp>& ops,
+                uint64_t last_db_seq);
+
+  /// Blocks until the shard's current log head satisfies the ack
+  /// policy. OK when satisfied (immediately under kNone or with no
+  /// replicas); Busy after ack_timeout_ms (the server answers
+  /// kReplTimeout: the write is committed locally but under-replicated).
+  Status WaitCommitAcked(uint32_t shard);
+
+  // Wire-op handlers (see src/net/server.cc). Each returns the wire
+  // code; on net::kOk `*payload` holds the response payload, otherwise
+  // `*error` holds the error message.
+  uint16_t HandleSubscribe(const net::ReplSubscribeRequest& req,
+                           std::string* payload, std::string* error);
+  uint16_t HandleBatch(const net::ReplBatchRequest& req,
+                       std::string* payload, std::string* error);
+  uint16_t HandleAck(const net::ReplAckRequest& req, std::string* payload,
+                     std::string* error);
+  uint16_t HandleSnapshot(const net::ReplSnapshotRequest& req,
+                          std::string* payload, std::string* error);
+  uint16_t HandlePromote(const net::PromoteRequest& req,
+                         std::string* payload, std::string* error);
+
+  /// Snapshot of the per-shard replication state for the SHARDMAP v2
+  /// image (net/shard_router.h).
+  void FillShardMapState(
+      std::vector<uint64_t>* epochs, std::vector<uint8_t>* primaries,
+      std::vector<std::vector<std::string>>* replicas) const;
+
+  /// Test hook: the shard's log.
+  ReplLog* log(uint32_t shard) { return shards_[shard]->log.get(); }
+
+ private:
+  struct Shard {
+    std::atomic<uint64_t> epoch{0};
+    std::atomic<bool> is_primary{true};
+    std::unique_ptr<ReplLog> log;
+    /// Follower side: highest log_seq applied to the local DB.
+    std::atomic<uint64_t> applied_seq{0};
+    /// Follower side: the primary's log head as of the last pull.
+    std::atomic<uint64_t> primary_head{0};
+    /// Snapshot bootstrap in progress (keys may still be missing), so
+    /// self-promotion must not make this shard serve reads.
+    std::atomic<bool> bootstrapping{false};
+  };
+
+  /// Uniform fencing: adopts req_epoch when newer (stepping down if
+  /// primary), rejects when older. Returns false -> respond kStaleEpoch.
+  bool FenceEpoch(uint32_t shard, uint64_t req_epoch);
+  /// Bumps the shard's epoch past `min_epoch`, flips it to primary, and
+  /// resets its outbound log. Returns the new epoch.
+  uint64_t PromoteShard(uint32_t shard, uint64_t min_epoch);
+  void UpdateLagGauge(uint32_t shard);
+  void PublishShardGauges(uint32_t shard);
+
+  void FollowerLoop();
+  /// One pull round for one shard; false on any transport error (the
+  /// caller reconnects). Applies records and acks progress.
+  bool PullShard(net::Client* client, uint32_t shard, bool* made_progress);
+  /// Cursor-paged snapshot bootstrap after falling behind the log.
+  bool BootstrapShard(net::Client* client, uint32_t shard);
+  /// Best-effort fence of the deposed primary after self-promotion.
+  void FenceOldPrimary();
+
+  ReplOptions options_;
+  std::vector<DB*> dbs_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::string self_endpoint_;
+
+  std::thread follower_thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> started_{false};
+};
+
+}  // namespace repl
+}  // namespace cachekv
+
+#endif  // CACHEKV_REPL_REPLICATION_H_

@@ -274,6 +274,55 @@ std::string U32Le(uint32_t v) {
   return s;
 }
 
+TEST(NetProtocolTest, PeekOpSeesHeaderWithoutConsuming) {
+  // The server classifies a connection by its first frame's opcode
+  // before handling anything (docs/REPLICATION.md "Threading"): the
+  // peek must succeed as soon as the header is in — body still in
+  // flight — and must not consume the frame.
+  std::string wire;
+  EncodeReplSubscribeRequest(&wire, 7, ReplSubscribeRequest{});
+  FrameDecoder dec;
+  Op op = Op::kPing;
+  EXPECT_FALSE(dec.PeekOp(&op));  // empty
+  dec.Feed(wire.data(), 5);       // length + opcode, flags missing
+  EXPECT_FALSE(dec.PeekOp(&op));
+  dec.Feed(wire.data() + 5, 1);  // header complete, body missing
+  EXPECT_TRUE(dec.PeekOp(&op));
+  EXPECT_EQ(Op::kReplSubscribe, op);
+  Frame f;
+  EXPECT_EQ(Result::kNeedMore, dec.Next(&f));
+  dec.Feed(wire.data() + 6, wire.size() - 6);
+  EXPECT_TRUE(dec.PeekOp(&op));  // still there: peek consumed nothing
+  ASSERT_EQ(Result::kFrame, dec.Next(&f));
+  EXPECT_EQ(Op::kReplSubscribe, f.op);
+  EXPECT_EQ(7u, f.request_id);
+  EXPECT_FALSE(dec.PeekOp(&op));  // consumed by Next
+}
+
+TEST(NetProtocolTest, PeekOpRejectsMalformedHeader) {
+  {
+    FrameDecoder dec;
+    std::string bad = U32Le(3);  // undersized body_len
+    bad.push_back(static_cast<char>(Op::kPing));
+    bad.push_back(0);
+    dec.Feed(bad.data(), bad.size());
+    Op op;
+    EXPECT_FALSE(dec.PeekOp(&op));  // left for Next to latch
+    Frame f;
+    EXPECT_EQ(Result::kError, dec.Next(&f));
+    EXPECT_FALSE(dec.PeekOp(&op));  // failed stream stays failed
+  }
+  {
+    FrameDecoder dec;
+    std::string bad = U32Le(kFrameFixedBody);
+    bad.push_back(static_cast<char>(0x7f));  // unknown opcode
+    bad.push_back(0);
+    dec.Feed(bad.data(), bad.size());
+    Op op;
+    EXPECT_FALSE(dec.PeekOp(&op));
+  }
+}
+
 TEST(NetProtocolTest, UndersizedBodyLenIsError) {
   FrameDecoder dec;
   const std::string bad = U32Le(3);  // < kFrameFixedBody
@@ -603,6 +652,248 @@ TEST(NetProtocolTest, SlowLogTruncatedPayloadRejected) {
     EXPECT_TRUE(ParseSlowLogRequest(Slice(f.payload.data(), cut), &req)
                     .IsInvalidArgument());
   }
+}
+
+// Replication ops (docs/REPLICATION.md). ----------------------------
+
+TEST(NetProtocolTest, ReplSubscribeRoundTrip) {
+  ReplSubscribeRequest req;
+  req.shard = 3;
+  req.epoch = 42;
+  req.follower_id = "127.0.0.1:7071";
+  std::string stream;
+  EncodeReplSubscribeRequest(&stream, 21, req);
+  FrameDecoder dec;
+  Frame f = DecodeOne(&dec, stream);
+  EXPECT_EQ(Op::kReplSubscribe, f.op);
+  EXPECT_EQ(21u, f.request_id);
+  ReplSubscribeRequest got;
+  ASSERT_TRUE(ParseReplSubscribeRequest(f.payload, &got).ok());
+  EXPECT_EQ(3u, got.shard);
+  EXPECT_EQ(42u, got.epoch);
+  EXPECT_EQ("127.0.0.1:7071", got.follower_id.ToString());
+
+  ReplSubscribeResponse resp;
+  resp.epoch = 42;
+  resp.log_start = 7;
+  resp.log_head = 99;
+  std::string payload;
+  EncodeReplSubscribePayload(&payload, resp);
+  ReplSubscribeResponse rgot;
+  ASSERT_TRUE(ParseReplSubscribePayload(payload, &rgot).ok());
+  EXPECT_EQ(42u, rgot.epoch);
+  EXPECT_EQ(7u, rgot.log_start);
+  EXPECT_EQ(99u, rgot.log_head);
+}
+
+TEST(NetProtocolTest, ReplBatchRoundTrip) {
+  ReplBatchRequest req;
+  req.shard = 1;
+  req.epoch = 5;
+  req.from_seq = 100;
+  req.max_batches = 64;
+  std::string stream;
+  EncodeReplBatchRequest(&stream, 22, req);
+  FrameDecoder dec;
+  Frame f = DecodeOne(&dec, stream);
+  EXPECT_EQ(Op::kReplBatch, f.op);
+  ReplBatchRequest got;
+  ASSERT_TRUE(ParseReplBatchRequest(f.payload, &got).ok());
+  EXPECT_EQ(1u, got.shard);
+  EXPECT_EQ(5u, got.epoch);
+  EXPECT_EQ(100u, got.from_seq);
+  EXPECT_EQ(64u, got.max_batches);
+
+  ReplBatchResponse resp;
+  resp.epoch = 5;
+  resp.log_head = 102;
+  ReplRecord rec;
+  rec.log_seq = 101;
+  rec.last_db_seq = 555;
+  EncodeReplOps(&rec.ops_blob,
+                {{false, "k1", "v1"}, {true, "k2", ""}});
+  resp.records.push_back(rec);
+  std::string payload;
+  EncodeReplBatchPayload(&payload, resp);
+  ReplBatchResponse rgot;
+  ASSERT_TRUE(ParseReplBatchPayload(payload, &rgot).ok());
+  EXPECT_EQ(5u, rgot.epoch);
+  EXPECT_EQ(102u, rgot.log_head);
+  ASSERT_EQ(1u, rgot.records.size());
+  EXPECT_EQ(101u, rgot.records[0].log_seq);
+  EXPECT_EQ(555u, rgot.records[0].last_db_seq);
+  std::vector<KVStore::BatchOp> ops;
+  ASSERT_TRUE(ParseReplOps(rgot.records[0].ops_blob, &ops).ok());
+  ASSERT_EQ(2u, ops.size());
+  EXPECT_FALSE(ops[0].is_delete);
+  EXPECT_EQ("k1", ops[0].key);
+  EXPECT_EQ("v1", ops[0].value);
+  EXPECT_TRUE(ops[1].is_delete);
+  EXPECT_EQ("k2", ops[1].key);
+}
+
+TEST(NetProtocolTest, ReplAckRoundTrip) {
+  ReplAckRequest req;
+  req.shard = 2;
+  req.epoch = 9;
+  req.follower_id = "f1";
+  req.acked_seq = 1234;
+  std::string stream;
+  EncodeReplAckRequest(&stream, 23, req);
+  FrameDecoder dec;
+  Frame f = DecodeOne(&dec, stream);
+  EXPECT_EQ(Op::kReplAck, f.op);
+  ReplAckRequest got;
+  ASSERT_TRUE(ParseReplAckRequest(f.payload, &got).ok());
+  EXPECT_EQ(2u, got.shard);
+  EXPECT_EQ(9u, got.epoch);
+  EXPECT_EQ("f1", got.follower_id.ToString());
+  EXPECT_EQ(1234u, got.acked_seq);
+}
+
+TEST(NetProtocolTest, ReplSnapshotRoundTrip) {
+  ReplSnapshotRequest req;
+  req.shard = 0;
+  req.epoch = 3;
+  req.cursor = "resume-after-me";
+  req.max_entries = 512;
+  std::string stream;
+  EncodeReplSnapshotRequest(&stream, 24, req);
+  FrameDecoder dec;
+  Frame f = DecodeOne(&dec, stream);
+  EXPECT_EQ(Op::kReplSnapshot, f.op);
+  ReplSnapshotRequest got;
+  ASSERT_TRUE(ParseReplSnapshotRequest(f.payload, &got).ok());
+  EXPECT_EQ(3u, got.epoch);
+  EXPECT_EQ("resume-after-me", got.cursor.ToString());
+  EXPECT_EQ(512u, got.max_entries);
+
+  ReplSnapshotResponse resp;
+  resp.epoch = 3;
+  resp.log_pos = 88;
+  resp.done = true;
+  resp.entries = {{"a", "1"}, {"b", std::string(2000, 'x')}};
+  std::string payload;
+  EncodeReplSnapshotPayload(&payload, resp);
+  ReplSnapshotResponse rgot;
+  ASSERT_TRUE(ParseReplSnapshotPayload(payload, &rgot).ok());
+  EXPECT_EQ(3u, rgot.epoch);
+  EXPECT_EQ(88u, rgot.log_pos);
+  EXPECT_TRUE(rgot.done);
+  ASSERT_EQ(2u, rgot.entries.size());
+  EXPECT_EQ("a", rgot.entries[0].first);
+  EXPECT_EQ(std::string(2000, 'x'), rgot.entries[1].second);
+}
+
+TEST(NetProtocolTest, PromoteRoundTrip) {
+  std::string stream;
+  EncodePromoteRequest(&stream, 25, 4);
+  FrameDecoder dec;
+  Frame f = DecodeOne(&dec, stream);
+  EXPECT_EQ(Op::kPromote, f.op);
+  PromoteRequest got;
+  ASSERT_TRUE(ParsePromoteRequest(f.payload, &got).ok());
+  EXPECT_EQ(4u, got.shard);
+
+  std::string payload;
+  EncodePromotePayload(&payload, 17);
+  uint64_t new_epoch = 0;
+  ASSERT_TRUE(ParsePromotePayload(payload, &new_epoch).ok());
+  EXPECT_EQ(17u, new_epoch);
+}
+
+TEST(NetProtocolTest, ReplOpsBlobRejectsCorruption) {
+  std::string blob;
+  EncodeReplOps(&blob, {{false, "key", "value"}, {true, "dead", ""}});
+  std::vector<KVStore::BatchOp> ops;
+  // Every truncation point must fail cleanly.
+  for (size_t cut = 0; cut < blob.size(); cut++) {
+    ops.clear();
+    EXPECT_TRUE(
+        ParseReplOps(Slice(blob.data(), cut), &ops).IsInvalidArgument())
+        << "cut at " << cut;
+  }
+  // Trailing bytes are rejected too.
+  ops.clear();
+  EXPECT_TRUE(ParseReplOps(blob + "x", &ops).IsInvalidArgument());
+  // A delete carrying a value is rejected.
+  std::string bad = U32Le(1);
+  bad.push_back(1);  // is_delete
+  bad += U32Le(1);
+  bad += "k";
+  bad += U32Le(1);
+  bad += "v";
+  ops.clear();
+  EXPECT_TRUE(ParseReplOps(bad, &ops).IsInvalidArgument());
+}
+
+TEST(NetProtocolTest, ReplRequestTruncationsFailCleanly) {
+  ReplSubscribeRequest sub;
+  sub.shard = 1;
+  sub.epoch = 2;
+  sub.follower_id = "fid";
+  ReplBatchRequest batch;
+  batch.shard = 1;
+  ReplAckRequest ack;
+  ack.follower_id = "fid";
+  ReplSnapshotRequest snap;
+  snap.cursor = "cur";
+  std::string subs, batchs, acks, snaps, promotes;
+  EncodeReplSubscribeRequest(&subs, 1, sub);
+  EncodeReplBatchRequest(&batchs, 2, batch);
+  EncodeReplAckRequest(&acks, 3, ack);
+  EncodeReplSnapshotRequest(&snaps, 4, snap);
+  EncodePromoteRequest(&promotes, 5, 0);
+  const struct {
+    const std::string* stream;
+    Op op;
+  } cases[] = {{&subs, Op::kReplSubscribe},
+               {&batchs, Op::kReplBatch},
+               {&acks, Op::kReplAck},
+               {&snaps, Op::kReplSnapshot},
+               {&promotes, Op::kPromote}};
+  for (const auto& c : cases) {
+    FrameDecoder dec;
+    Frame f = DecodeOne(&dec, *c.stream);
+    ASSERT_EQ(c.op, f.op);
+    for (size_t cut = 0; cut < f.payload.size(); cut++) {
+      const Slice truncated(f.payload.data(), cut);
+      Status s;
+      ReplSubscribeRequest a;
+      ReplBatchRequest b;
+      ReplAckRequest d;
+      ReplSnapshotRequest e;
+      PromoteRequest p;
+      switch (c.op) {
+        case Op::kReplSubscribe:
+          s = ParseReplSubscribeRequest(truncated, &a);
+          break;
+        case Op::kReplBatch:
+          s = ParseReplBatchRequest(truncated, &b);
+          break;
+        case Op::kReplAck:
+          s = ParseReplAckRequest(truncated, &d);
+          break;
+        case Op::kReplSnapshot:
+          s = ParseReplSnapshotRequest(truncated, &e);
+          break;
+        case Op::kPromote:
+          s = ParsePromoteRequest(truncated, &p);
+          break;
+        default:
+          FAIL();
+      }
+      EXPECT_TRUE(s.IsInvalidArgument())
+          << OpName(c.op) << " cut at " << cut << ": " << s.ToString();
+    }
+  }
+}
+
+TEST(NetProtocolTest, ReplWireCodesMapToStatuses) {
+  EXPECT_TRUE(StatusFromWire(kNotPrimary, "m").IsIOError());
+  EXPECT_TRUE(StatusFromWire(kStaleEpoch, "m").IsInvalidArgument());
+  EXPECT_TRUE(StatusFromWire(kReplLagged, "m").IsNotFound());
+  EXPECT_TRUE(StatusFromWire(kReplTimeout, "m").IsBusy());
 }
 
 TEST(NetProtocolTest, DecoderCompactsConsumedPrefix) {

@@ -1,0 +1,536 @@
+// Replication tests (docs/REPLICATION.md): ReplLog bounded-log
+// semantics, epoch fencing at the ReplHub handler level, and full
+// two-process-shaped integration — a primary and a follower server in
+// one process, connected over real TCP. Covers follower catch-up under
+// ack=all, manual PROMOTE fencing the deposed primary, snapshot
+// bootstrap after log truncation, armed repl.* fail points, and the
+// acceptance case: the primary dies mid-load and a ShardedClient fails
+// over to the auto-promoted follower with zero acked writes lost.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/db.h"
+#include "fault/fail_point.h"
+#include "net/client.h"
+#include "net/protocol.h"
+#include "net/server.h"
+#include "pmem/pmem_env.h"
+#include "repl/repl_log.h"
+#include "repl/replication.h"
+
+namespace cachekv {
+namespace {
+
+EnvOptions TestEnv(uint64_t pool_bytes) {
+  EnvOptions o;
+  o.pmem_capacity = 256ull << 20;
+  o.llc_capacity = 16ull << 20;
+  o.cat_locked_bytes = pool_bytes;
+  o.latency.scale = 0;
+  return o;
+}
+
+CacheKVOptions TestDb() {
+  CacheKVOptions o;
+  o.pool_bytes = 2ull << 20;
+  o.sub_memtable_bytes = 128ull << 10;
+  o.min_sub_memtable_bytes = 64ull << 10;
+  o.num_cores = 2;
+  o.bg_backoff_base_ms = 1;
+  o.bg_backoff_max_ms = 4;
+  o.write_stall_timeout_ms = 2000;
+  o.lsm.background_compaction = false;
+  return o;
+}
+
+/// Reserves a loopback port by binding an ephemeral socket and closing
+/// it. Needed because the primary must know the follower's endpoint
+/// (its configured replica set) before the follower can exist.
+uint16_t PickPort() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  EXPECT_EQ(0, ::bind(fd, reinterpret_cast<sockaddr*>(&addr),
+                      sizeof(addr)));
+  socklen_t len = sizeof(addr);
+  EXPECT_EQ(0, ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr),
+                             &len));
+  ::close(fd);
+  return ntohs(addr.sin_port);
+}
+
+std::string Key(int i) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "repl-key-%06d", i);
+  return buf;
+}
+
+std::string Value(int i) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "value-%06d-%06d", i, i * 7);
+  return buf;
+}
+
+/// Writes under --repl-ack=all can answer Busy (REPL_TIMEOUT) when the
+/// follower thread is starved past the ack timeout (single-core CI
+/// running the whole suite in parallel): the write is durable on the
+/// primary but under-replicated, and retrying is the documented,
+/// idempotent client response (docs/REPLICATION.md, "Ack policies").
+Status PutAcked(net::Client* c, const std::string& k,
+                const std::string& v) {
+  Status s;
+  for (int attempt = 0; attempt < 8; attempt++) {
+    s = c->Put(k, v);
+    if (!s.IsBusy()) return s;
+  }
+  return s;
+}
+
+Status DeleteAcked(net::Client* c, const std::string& k) {
+  Status s;
+  for (int attempt = 0; attempt < 8; attempt++) {
+    s = c->Delete(k);
+    if (!s.IsBusy()) return s;
+  }
+  return s;
+}
+
+/// One replicated server node: env + DB + hub + server, wired the way
+/// tools/cachekv_server.cc wires them (hooks attached before serving,
+/// hub started after the port is known).
+struct Node {
+  std::unique_ptr<PmemEnv> env;
+  std::unique_ptr<DB> db;
+  std::unique_ptr<repl::ReplHub> hub;
+  std::unique_ptr<net::Server> server;
+  std::string endpoint;
+
+  void Start(const repl::ReplOptions& ropts, uint16_t port) {
+    CacheKVOptions dbopts = TestDb();
+    env = std::make_unique<PmemEnv>(TestEnv(dbopts.pool_bytes));
+    ASSERT_TRUE(DB::Open(env.get(), dbopts, false, &db).ok());
+    hub = std::make_unique<repl::ReplHub>(ropts,
+                                          std::vector<DB*>{db.get()});
+    hub->AttachCommitHooks();
+    net::ServerOptions sopts;
+    sopts.port = port;
+    sopts.repl = hub.get();
+    server = std::make_unique<net::Server>(db.get(), sopts);
+    ASSERT_TRUE(server->Start().ok());
+    endpoint = "127.0.0.1:" + std::to_string(server->port());
+    hub->SetSelfEndpoint(endpoint);
+    hub->Start();
+  }
+
+  void Kill() {
+    if (server) server->Stop();
+    if (hub) hub->Stop();
+  }
+
+  ~Node() {
+    Kill();
+    if (db) db->WaitIdle();
+  }
+};
+
+class ReplicationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fault::FailPointRegistry::Global()->DisableAll();
+  }
+  void TearDown() override {
+    fault::FailPointRegistry::Global()->DisableAll();
+  }
+};
+
+// ReplLog unit tests. -------------------------------------------------
+
+TEST_F(ReplicationTest, ReplLogAppendFetchAck) {
+  repl::ReplLog log(1 << 20);
+  EXPECT_EQ(0u, log.head_seq());
+  EXPECT_EQ(0u, log.start_seq());
+  EXPECT_EQ(1u, log.Append("one", 10));
+  EXPECT_EQ(2u, log.Append("two", 20));
+  EXPECT_EQ(3u, log.Append("three", 30));
+  EXPECT_EQ(3u, log.head_seq());
+  EXPECT_EQ(1u, log.start_seq());
+
+  std::vector<repl::ReplLog::Record> records;
+  uint64_t head = 0;
+  ASSERT_TRUE(log.Fetch(2, 100, &records, &head).ok());
+  EXPECT_EQ(3u, head);
+  ASSERT_EQ(2u, records.size());
+  EXPECT_EQ(2u, records[0].log_seq);
+  EXPECT_EQ(20u, records[0].last_db_seq);
+  EXPECT_EQ("two", records[0].ops_blob);
+  EXPECT_EQ("three", records[1].ops_blob);
+
+  // Past the head: OK with nothing (the follower re-polls).
+  records.clear();
+  ASSERT_TRUE(log.Fetch(4, 100, &records, &head).ok());
+  EXPECT_TRUE(records.empty());
+
+  log.Ack("f1", 2);
+  log.Ack("f2", 3);
+  EXPECT_EQ(2u, log.AckedSeq("f1"));
+  EXPECT_EQ(2u, log.AckedCount(2));
+  EXPECT_EQ(1u, log.AckedCount(3));
+  // Stale acks never move a follower backwards.
+  log.Ack("f2", 1);
+  EXPECT_EQ(3u, log.AckedSeq("f2"));
+}
+
+TEST_F(ReplicationTest, ReplLogTruncationForcesSnapshot) {
+  repl::ReplLog log(256);  // tiny byte budget
+  const std::string blob(64, 'x');
+  for (int i = 0; i < 32; i++) log.Append(blob, i);
+  EXPECT_EQ(32u, log.head_seq());
+  EXPECT_GT(log.start_seq(), 1u);
+  EXPECT_LE(log.resident_bytes(), 256u);
+
+  // A cursor behind the truncated start means snapshot-bootstrap.
+  std::vector<repl::ReplLog::Record> records;
+  uint64_t head = 0;
+  EXPECT_TRUE(log.Fetch(1, 100, &records, &head).IsNotFound());
+  EXPECT_EQ(32u, head);
+  // The surviving suffix still serves.
+  ASSERT_TRUE(log.Fetch(log.start_seq(), 100, &records, &head).ok());
+  EXPECT_FALSE(records.empty());
+  EXPECT_EQ(32u, records.back().log_seq);
+}
+
+TEST_F(ReplicationTest, ReplLogWaitAcked) {
+  repl::ReplLog log(1 << 20);
+  log.Append("a", 1);
+  // needed == 0: immediate OK (AckPolicy::kNone / no replicas).
+  EXPECT_TRUE(log.WaitAcked(1, 0, 0).ok());
+  // Nobody acks: Busy after the timeout.
+  EXPECT_TRUE(log.WaitAcked(1, 1, 50).IsBusy());
+  // A concurrent ack wakes the waiter.
+  std::thread acker([&log] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    log.Ack("f1", 1);
+  });
+  EXPECT_TRUE(log.WaitAcked(1, 1, 2000).ok());
+  acker.join();
+}
+
+TEST_F(ReplicationTest, AckPolicyParsing) {
+  repl::AckPolicy p;
+  ASSERT_TRUE(repl::ParseAckPolicy("none", &p));
+  EXPECT_EQ(repl::AckPolicy::kNone, p);
+  ASSERT_TRUE(repl::ParseAckPolicy("quorum", &p));
+  EXPECT_EQ(repl::AckPolicy::kQuorum, p);
+  ASSERT_TRUE(repl::ParseAckPolicy("all", &p));
+  EXPECT_EQ(repl::AckPolicy::kAll, p);
+  EXPECT_FALSE(repl::ParseAckPolicy("most", &p));
+  EXPECT_STREQ("quorum", repl::AckPolicyName(repl::AckPolicy::kQuorum));
+}
+
+// Hub-level epoch fencing. --------------------------------------------
+
+TEST_F(ReplicationTest, StaleEpochFencedAndNewerEpochDemotes) {
+  CacheKVOptions dbopts = TestDb();
+  auto env = std::make_unique<PmemEnv>(TestEnv(dbopts.pool_bytes));
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(env.get(), dbopts, false, &db).ok());
+  repl::ReplHub hub(repl::ReplOptions(), {db.get()});
+
+  EXPECT_TRUE(hub.IsPrimary(0));
+  EXPECT_EQ(0u, hub.Epoch(0));
+
+  // A subscribe carrying a newer epoch demotes this primary: somewhere
+  // a successor reigns, so it must stop acking client writes.
+  net::ReplSubscribeRequest sub;
+  sub.shard = 0;
+  sub.epoch = 5;
+  sub.follower_id = "new-primary";
+  std::string payload, error;
+  EXPECT_EQ(net::kOk, hub.HandleSubscribe(sub, &payload, &error));
+  EXPECT_FALSE(hub.IsPrimary(0));
+  EXPECT_EQ(5u, hub.Epoch(0));
+
+  // Requests under an older epoch are rejected with kStaleEpoch.
+  net::ReplBatchRequest batch;
+  batch.shard = 0;
+  batch.epoch = 3;
+  batch.from_seq = 1;
+  payload.clear();
+  error.clear();
+  EXPECT_EQ(net::kStaleEpoch, hub.HandleBatch(batch, &payload, &error));
+  net::ReplAckRequest ack;
+  ack.shard = 0;
+  ack.epoch = 4;
+  ack.follower_id = "f";
+  ack.acked_seq = 1;
+  EXPECT_EQ(net::kStaleEpoch, hub.HandleAck(ack, &payload, &error));
+
+  // PROMOTE bumps past the adopted epoch and flips back to primary.
+  net::PromoteRequest promote;
+  promote.shard = 0;
+  payload.clear();
+  EXPECT_EQ(net::kOk, hub.HandlePromote(promote, &payload, &error));
+  uint64_t new_epoch = 0;
+  ASSERT_TRUE(net::ParsePromotePayload(payload, &new_epoch).ok());
+  EXPECT_EQ(6u, new_epoch);
+  EXPECT_TRUE(hub.IsPrimary(0));
+
+  // Out-of-range shards are invalid, not a crash.
+  sub.shard = 9;
+  EXPECT_EQ(net::kInvalidArgument,
+            hub.HandleSubscribe(sub, &payload, &error));
+  db->WaitIdle();
+}
+
+TEST_F(ReplicationTest, ReplFailPointsSurfaceAsErrors) {
+  CacheKVOptions dbopts = TestDb();
+  auto env = std::make_unique<PmemEnv>(TestEnv(dbopts.pool_bytes));
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(env.get(), dbopts, false, &db).ok());
+  repl::ReplHub hub(repl::ReplOptions(), {db.get()});
+
+  auto* reg = fault::FailPointRegistry::Global();
+  ASSERT_TRUE(reg->Enable("repl.stream.drop", "always,error:io").ok());
+  std::string payload, error;
+  net::ReplBatchRequest batch;
+  batch.shard = 0;
+  batch.from_seq = 1;
+  EXPECT_EQ(net::kIOError, hub.HandleBatch(batch, &payload, &error));
+  reg->DisableAll();
+  EXPECT_EQ(net::kOk, hub.HandleBatch(batch, &payload, &error));
+
+  ASSERT_TRUE(reg->Enable("repl.snapshot.torn", "always,error:io").ok());
+  net::ReplSnapshotRequest snap;
+  snap.shard = 0;
+  payload.clear();
+  EXPECT_EQ(net::kIOError, hub.HandleSnapshot(snap, &payload, &error));
+  reg->DisableAll();
+  db->WaitIdle();
+}
+
+// Two-node integration over real TCP. ---------------------------------
+
+TEST_F(ReplicationTest, FollowerCatchesUpAndPromoteFencesOldPrimary) {
+  const uint16_t follower_port = PickPort();
+  Node primary;
+  repl::ReplOptions popts;
+  popts.ack = repl::AckPolicy::kAll;
+  popts.ack_timeout_ms = 5000;
+  popts.replicas = {"127.0.0.1:" + std::to_string(follower_port)};
+  primary.Start(popts, 0);
+
+  Node follower;
+  repl::ReplOptions fopts;
+  fopts.primary_endpoint = primary.endpoint;
+  follower.Start(fopts, follower_port);
+
+  // Replication state rendered into assertion messages: when an
+  // ack=all write stays Busy through every retry, this says which link
+  // of the chain (subscribe, stream, apply, ack) made no progress.
+  auto diag = [&] {
+    auto* pm = primary.db->metrics();
+    auto* fm = follower.db->metrics();
+    std::string s = " [primary head=";
+    s += std::to_string(primary.hub->log(0)->head_seq());
+    s += " subs=" + std::to_string(pm->GetCounter("repl.subscribes")->value());
+    s += " acks=" + std::to_string(pm->GetCounter("repl.acks")->value());
+    s += " timeouts=" +
+         std::to_string(pm->GetCounter("repl.ack_timeouts")->value());
+    s += " | follower applied=" +
+         std::to_string(fm->GetCounter("repl.applied_batches")->value());
+    s += " bootstraps=" +
+         std::to_string(fm->GetCounter("repl.bootstraps")->value());
+    s += " epoch=" + std::to_string(follower.hub->Epoch(0));
+    s += " is_primary=" + std::to_string(follower.hub->IsPrimary(0));
+    s += "]";
+    return s;
+  };
+
+  // ack=all: once a Put returns OK the follower has applied it.
+  net::Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", primary.server->port()).ok());
+  const int kKeys = 100;
+  for (int i = 0; i < kKeys; i++) {
+    ASSERT_TRUE(PutAcked(&client, Key(i), Value(i)).ok()) << i << diag();
+  }
+  ASSERT_TRUE(DeleteAcked(&client, Key(0)).ok()) << diag();
+
+  // Writes to the follower are rejected: it is not the primary.
+  net::Client fclient;
+  ASSERT_TRUE(
+      fclient.Connect("127.0.0.1", follower.server->port()).ok());
+  EXPECT_FALSE(fclient.Put("nope", "x").ok());
+  EXPECT_EQ(net::kNotPrimary, fclient.last_wire_code());
+
+  // Manual PROMOTE: the follower takes over under a higher epoch and
+  // synchronously fences the old primary.
+  uint64_t new_epoch = 0;
+  ASSERT_TRUE(fclient.Promote(0, &new_epoch).ok());
+  EXPECT_GE(new_epoch, 1u);
+  EXPECT_TRUE(follower.hub->IsPrimary(0));
+
+  // The fence carrying the new epoch to the deposed primary is
+  // delivered over TCP (synchronously from PROMOTE, retried from the
+  // follower loop) — poll briefly for it to land before asserting.
+  const auto fence_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while ((primary.hub->IsPrimary(0) ||
+          primary.hub->Epoch(0) < new_epoch) &&
+         std::chrono::steady_clock::now() < fence_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  }
+
+  // The deposed primary now rejects client writes (stale-primary
+  // fencing): it cannot commit after promotion.
+  Status stale = client.Put("lost-update", "x");
+  EXPECT_FALSE(stale.ok());
+  EXPECT_EQ(net::kNotPrimary, client.last_wire_code());
+  EXPECT_FALSE(primary.hub->IsPrimary(0));
+  EXPECT_GE(primary.hub->Epoch(0), new_epoch);
+
+  // Everything acked pre-promotion serves from the new primary.
+  for (int i = 1; i < kKeys; i++) {
+    std::string value;
+    ASSERT_TRUE(fclient.Get(Key(i), &value).ok()) << i;
+    EXPECT_EQ(Value(i), value);
+  }
+  std::string gone;
+  EXPECT_TRUE(fclient.Get(Key(0), &gone).IsNotFound());
+  // And it accepts writes under its new reign.
+  EXPECT_TRUE(fclient.Put("post-promotion", "y").ok());
+}
+
+TEST_F(ReplicationTest, SnapshotBootstrapAfterLogTruncation) {
+  const uint16_t follower_port = PickPort();
+  Node primary;
+  repl::ReplOptions popts;  // ack=none: load runs ahead of the follower
+  popts.log_bytes_per_shard = 2048;  // force truncation
+  popts.replicas = {"127.0.0.1:" + std::to_string(follower_port)};
+  primary.Start(popts, 0);
+
+  // Load BEFORE the follower exists: by the time it subscribes the log
+  // has evicted the oldest records, so Fetch(1) answers kReplLagged and
+  // the follower must bootstrap from a paged snapshot.
+  net::Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", primary.server->port()).ok());
+  const int kKeys = 300;
+  for (int i = 0; i < kKeys; i++) {
+    ASSERT_TRUE(client.Put(Key(i), Value(i)).ok()) << i;
+  }
+  ASSERT_GT(primary.hub->log(0)->start_seq(), 1u);
+
+  Node follower;
+  repl::ReplOptions fopts;
+  fopts.primary_endpoint = primary.endpoint;
+  fopts.snapshot_page = 64;  // exercise several snapshot pages
+  follower.Start(fopts, follower_port);
+
+  // Keep writing during the bootstrap: the log replay after the
+  // snapshot must cover writes racing the scan.
+  for (int i = kKeys; i < kKeys + 50; i++) {
+    ASSERT_TRUE(client.Put(Key(i), Value(i)).ok()) << i;
+  }
+
+  // Poll until the follower has converged on the full key range.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  bool converged = false;
+  while (!converged && std::chrono::steady_clock::now() < deadline) {
+    converged = true;
+    for (int i : {0, kKeys / 2, kKeys - 1, kKeys + 49}) {
+      std::string value;
+      if (!follower.db->Get(Key(i), &value).ok() ||
+          value != Value(i)) {
+        converged = false;
+        break;
+      }
+    }
+    if (!converged) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+  ASSERT_TRUE(converged) << "follower never caught up via snapshot";
+  // Spot-check the whole range, not just the probes.
+  for (int i = 0; i < kKeys + 50; i += 7) {
+    std::string value;
+    ASSERT_TRUE(follower.db->Get(Key(i), &value).ok()) << i;
+    EXPECT_EQ(Value(i), value);
+  }
+}
+
+TEST_F(ReplicationTest, KillPrimaryMidLoadLosesNoAckedWrite) {
+  const uint16_t follower_port = PickPort();
+  Node primary;
+  repl::ReplOptions popts;
+  popts.ack = repl::AckPolicy::kAll;  // acked => follower has applied it
+  popts.ack_timeout_ms = 5000;
+  popts.replicas = {"127.0.0.1:" + std::to_string(follower_port)};
+  primary.Start(popts, 0);
+
+  Node follower;
+  repl::ReplOptions fopts;
+  fopts.primary_endpoint = primary.endpoint;
+  fopts.auto_promote_ms = 300;  // self-promote after primary silence
+  follower.Start(fopts, follower_port);
+
+  net::ClientOptions copts;
+  copts.max_retries = 6;
+  copts.retry_backoff_base_ms = 25;
+  copts.recv_timeout_ms = 5000;
+  net::ShardedClient client(copts);
+  client.AddSeedEndpoint(follower.endpoint);
+  ASSERT_TRUE(
+      client.Connect("127.0.0.1", primary.server->port()).ok());
+
+  const int kKeys = 200;
+  std::vector<int> acked;
+  for (int i = 0; i < kKeys; i++) {
+    if (i == kKeys / 2) primary.Kill();  // mid-load primary death
+    bool ok = false;
+    for (int attempt = 0; attempt < 40 && !ok; attempt++) {
+      ok = client.Put(Key(i), Value(i)).ok();
+      if (!ok) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        client.RefreshRouting();  // best effort; retried next attempt
+      }
+    }
+    if (ok) acked.push_back(i);
+  }
+  // The failover window may swallow un-acked attempts, but the client
+  // must come out the other side writing again.
+  EXPECT_GT(client.failovers(), 0u);
+  ASSERT_GT(acked.size(), static_cast<size_t>(kKeys / 2));
+  EXPECT_TRUE(follower.hub->IsPrimary(0));
+  EXPECT_GE(follower.hub->Epoch(0), 1u);
+
+  // Shadow verification: every acked write must be readable through a
+  // fresh client bootstrapped off the survivor. Zero lost.
+  net::ShardedClient reader(copts);
+  reader.AddSeedEndpoint(follower.endpoint);
+  ASSERT_TRUE(
+      reader.Connect("127.0.0.1", follower.server->port()).ok());
+  int lost = 0;
+  for (int i : acked) {
+    std::string value;
+    Status s = reader.Get(Key(i), &value);
+    if (!s.ok() || value != Value(i)) lost++;
+  }
+  EXPECT_EQ(0, lost) << "acked writes lost after failover";
+}
+
+}  // namespace
+}  // namespace cachekv

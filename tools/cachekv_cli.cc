@@ -9,7 +9,8 @@
 //
 // Commands: put <k> <v> | get <k> | del <k> | multiput <k1> <v1> ...
 //           scan [start] [limit] | stats [--pretty] | slowlog [limit] |
-//           prom | ping | pipe <n> | shardmap | shard <key> | help
+//           prom | ping | pipe <n> | shardmap | shard <key> |
+//           repl status | promote <shard> | help
 
 #include <algorithm>
 #include <chrono>
@@ -43,6 +44,10 @@ void PrintHelp() {
       "  pipe <n>                   pipeline n gets of key0..key<n-1>\n"
       "  shardmap                   fetch the server's shard ring\n"
       "  shard <key>                which shard owns <key>\n"
+      "  repl status                per-shard role/epoch/replication\n"
+      "                             metrics (docs/REPLICATION.md)\n"
+      "  promote <shard>            promote this server to primary for\n"
+      "                             <shard> under a new epoch\n"
       "  help                       this text\n");
 }
 
@@ -321,6 +326,87 @@ int main(int argc, char** argv) {
           router.ring_points());
       for (size_t i = 0; i < map.endpoints.size(); i++) {
         std::printf("  shard %zu @ %s\n", i, map.endpoints[i].c_str());
+      }
+    } else if (cmd == "repl") {
+      std::string sub;
+      in >> sub;
+      if (sub != "status") {
+        std::printf("usage: repl status\n");
+        continue;
+      }
+      net::ShardRouter router;
+      Status st = client.FetchShardMap(&router);
+      if (!st.ok()) {
+        std::printf("%s\n", st.ToString().c_str());
+        continue;
+      }
+      const net::ShardMap& map = router.map();
+      if (map.epochs.empty() && map.replicas.empty()) {
+        std::printf("replication not enabled on this server\n");
+        continue;
+      }
+      std::string json;
+      JsonValue stats;
+      if (client.Stats(&json).ok()) {
+        JsonValue doc;
+        if (JsonValue::Parse(json, &doc).ok()) stats = std::move(doc);
+      }
+      // Per-shard repl.* metrics live in that shard's registry: at the
+      // top level for a 1-shard server, under "shard.<i>" otherwise.
+      auto metric = [&stats, &map](uint32_t shard,
+                                   const char* name) -> long long {
+        const JsonValue* section = &stats;
+        if (map.num_shards > 1 && stats.is_object()) {
+          section = stats.Get("shard." + std::to_string(shard));
+        }
+        if (section == nullptr || !section->is_object()) return 0;
+        const JsonValue* v = section->Get(name);
+        return v != nullptr && v->is_number()
+                   ? static_cast<long long>(v->number())
+                   : 0LL;
+      };
+      for (uint32_t i = 0; i < map.num_shards; i++) {
+        const uint64_t epoch = i < map.epochs.size() ? map.epochs[i] : 0;
+        const bool primary =
+            map.primaries.empty() || map.primaries[i] != 0;
+        std::printf("shard %u: role=%s epoch=%llu", i,
+                    primary ? "primary" : "follower",
+                    static_cast<unsigned long long>(epoch));
+        if (primary) {
+          std::printf(
+              " log_head=%lld acks=%lld streamed=%lldB timeouts=%lld",
+              metric(i, "repl.log_head"), metric(i, "repl.acks"),
+              metric(i, "repl.bytes_streamed"),
+              metric(i, "repl.ack_timeouts"));
+        } else {
+          std::printf(" applied=%lld lag=%lld bootstraps=%lld",
+                      metric(i, "repl.applied_batches"),
+                      metric(i, "repl.lag_batches"),
+                      metric(i, "repl.bootstraps"));
+        }
+        if (i < map.replicas.size() && !map.replicas[i].empty()) {
+          std::printf(" replicas=[");
+          for (size_t r = 0; r < map.replicas[i].size(); r++) {
+            std::printf("%s%s", r == 0 ? "" : ",",
+                        map.replicas[i][r].c_str());
+          }
+          std::printf("]");
+        }
+        std::printf("\n");
+      }
+    } else if (cmd == "promote") {
+      uint32_t shard = 0;
+      if (!(in >> shard)) {
+        std::printf("usage: promote <shard>\n");
+        continue;
+      }
+      uint64_t new_epoch = 0;
+      Status st = client.Promote(shard, &new_epoch);
+      if (st.ok()) {
+        std::printf("shard %u promoted; epoch=%llu\n", shard,
+                    static_cast<unsigned long long>(new_epoch));
+      } else {
+        std::printf("%s\n", st.ToString().c_str());
       }
     } else if (cmd == "shard") {
       std::string k;

@@ -26,6 +26,7 @@
 #include "net/server.h"
 #include "net/shard_router.h"
 #include "pmem/pmem_env.h"
+#include "repl/replication.h"
 
 using namespace cachekv;
 
@@ -61,12 +62,32 @@ void Usage(const char* argv0) {
       "                    0 disables capture (default 10000)\n"
       "  --slow-log-cap N  slow-request ring entries (default 128)\n"
       "  --latency-scale X PMem latency model scale (default 1.0)\n"
-      "  --trace           enable event tracing (also: CACHEKV_TRACE)\n",
+      "  --trace           enable event tracing (also: CACHEKV_TRACE)\n"
+      "replication (docs/REPLICATION.md):\n"
+      "  --replicas LIST   comma-separated follower endpoints this\n"
+      "                    primary counts acks from (host:port,...)\n"
+      "  --repl-ack MODE   none|quorum|all follower acks before a\n"
+      "                    write is acked (default none)\n"
+      "  --follow ADDR     start as a follower of that primary for\n"
+      "                    every shard (host:port)\n"
+      "  --auto-promote-ms N  follower self-promotes after N ms of\n"
+      "                    primary silence, 0 = manual PROMOTE only\n"
+      "                    (default 0)\n"
+      "  --repl-log-mb N   per-shard replication log budget MB\n"
+      "                    (default 64)\n"
+      "  --repl-ack-timeout-ms N  wait for follower acks this long\n"
+      "                    before answering repl_timeout (default 2000)\n",
       argv0);
 }
 
 bool ParseArg(int argc, char** argv, int* i, const char* name,
               const char** value) {
+  // Both "--flag value" and "--flag=value" spellings are accepted.
+  const size_t len = std::strlen(name);
+  if (std::strncmp(argv[*i], name, len) == 0 && argv[*i][len] == '=') {
+    *value = argv[*i] + len + 1;
+    return true;
+  }
   if (std::strcmp(argv[*i], name) != 0) return false;
   if (*i + 1 >= argc) {
     std::fprintf(stderr, "%s needs a value\n", name);
@@ -95,6 +116,12 @@ int main(int argc, char** argv) {
   uint64_t slow_log_cap = 128;
   double latency_scale = 1.0;
   bool trace = false;
+  std::string replicas_arg;
+  std::string repl_ack_arg = "none";
+  std::string follow;
+  int auto_promote_ms = 0;
+  uint64_t repl_log_mb = 64;
+  int repl_ack_timeout_ms = 2'000;
 
   for (int i = 1; i < argc; i++) {
     const char* v = nullptr;
@@ -128,6 +155,18 @@ int main(int argc, char** argv) {
       slow_log_cap = std::strtoull(v, nullptr, 10);
     } else if (ParseArg(argc, argv, &i, "--latency-scale", &v)) {
       latency_scale = std::atof(v);
+    } else if (ParseArg(argc, argv, &i, "--replicas", &v)) {
+      replicas_arg = v;
+    } else if (ParseArg(argc, argv, &i, "--repl-ack", &v)) {
+      repl_ack_arg = v;
+    } else if (ParseArg(argc, argv, &i, "--follow", &v)) {
+      follow = v;
+    } else if (ParseArg(argc, argv, &i, "--auto-promote-ms", &v)) {
+      auto_promote_ms = std::atoi(v);
+    } else if (ParseArg(argc, argv, &i, "--repl-log-mb", &v)) {
+      repl_log_mb = std::strtoull(v, nullptr, 10);
+    } else if (ParseArg(argc, argv, &i, "--repl-ack-timeout-ms", &v)) {
+      repl_ack_timeout_ms = std::atoi(v);
     } else if (std::strcmp(argv[i], "--trace") == 0) {
       trace = true;
     } else if (std::strcmp(argv[i], "--help") == 0) {
@@ -213,6 +252,32 @@ int main(int argc, char** argv) {
     dbs.push_back(std::move(db));
   }
 
+  // Replication hub (docs/REPLICATION.md): built before the server so
+  // commit hooks are installed before any request can commit.
+  std::unique_ptr<repl::ReplHub> hub;
+  if (!replicas_arg.empty() || !follow.empty()) {
+    repl::ReplOptions repl_opts;
+    if (!repl::ParseAckPolicy(repl_ack_arg, &repl_opts.ack)) {
+      std::fprintf(stderr, "--repl-ack must be none|quorum|all\n");
+      return 2;
+    }
+    repl_opts.ack_timeout_ms = repl_ack_timeout_ms;
+    repl_opts.log_bytes_per_shard = repl_log_mb << 20;
+    repl_opts.auto_promote_ms = auto_promote_ms;
+    repl_opts.primary_endpoint = follow;
+    for (size_t pos = 0; pos < replicas_arg.size();) {
+      size_t comma = replicas_arg.find(',', pos);
+      if (comma == std::string::npos) comma = replicas_arg.size();
+      if (comma > pos) {
+        repl_opts.replicas.push_back(
+            replicas_arg.substr(pos, comma - pos));
+      }
+      pos = comma + 1;
+    }
+    hub = std::make_unique<repl::ReplHub>(repl_opts, db_ptrs);
+    hub->AttachCommitHooks();
+  }
+
   net::ServerOptions srv_opts;
   srv_opts.host = host;
   srv_opts.port = static_cast<uint16_t>(port);
@@ -221,11 +286,17 @@ int main(int argc, char** argv) {
   srv_opts.hot_key_cache_admit = cache_admit;
   srv_opts.slow_request_us = slow_us;
   srv_opts.slow_log_capacity = slow_log_cap;
+  srv_opts.repl = hub.get();
   net::Server server(db_ptrs, router, srv_opts);
   s = server.Start();
   if (!s.ok()) {
     std::fprintf(stderr, "start: %s\n", s.ToString().c_str());
     return 1;
+  }
+  if (hub != nullptr) {
+    // The bound port is only known now (0 = ephemeral).
+    hub->SetSelfEndpoint(host + ":" + std::to_string(server.port()));
+    hub->Start();
   }
   if (shards == 1) {
     std::printf("cachekv_server listening on %s:%u (workers=%d)\n",
@@ -234,6 +305,14 @@ int main(int argc, char** argv) {
     std::printf(
         "cachekv_server listening on %s:%u (workers=%d, shards=%d)\n",
         host.c_str(), server.port(), workers, shards);
+  }
+  if (hub != nullptr) {
+    std::printf(
+        "replication: role=%s ack=%s replicas=%zu%s%s\n",
+        follow.empty() ? "primary" : "follower",
+        repl::AckPolicyName(hub->options().ack),
+        hub->options().replicas.size(),
+        follow.empty() ? "" : " following ", follow.c_str());
   }
   std::fflush(stdout);
 
@@ -247,8 +326,10 @@ int main(int argc, char** argv) {
 
   std::printf("shutting down...\n");
   std::fflush(stdout);
-  // Ordering contract (docs/SERVER.md): quiesce the network layer
-  // before the stores so no request thread can race DB teardown.
+  // Ordering contract (docs/SERVER.md): quiesce the network layer —
+  // and the replication pull thread, which also touches the stores —
+  // before the stores so no thread can race DB teardown.
+  if (hub != nullptr) hub->Stop();
   server.Stop();
   for (int i = 0; i < shards; i++) {
     Status idle = dbs[i]->WaitIdle();
