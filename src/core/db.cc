@@ -11,6 +11,18 @@
 
 namespace cachekv {
 
+namespace {
+
+/// Sequence of the last batch this thread committed on any DB, for
+/// DB::ThreadLastCommitSeq(). One static suffices: a caller waiting on
+/// a write's replication does so immediately after performing it, so
+/// the value can only describe that write.
+thread_local SequenceNumber tls_last_commit_seq = 0;
+
+}  // namespace
+
+SequenceNumber DB::ThreadLastCommitSeq() { return tls_last_commit_seq; }
+
 DB::DB(PmemEnv* env, const CacheKVOptions& options)
     : env_(env),
       options_(options),
@@ -308,6 +320,44 @@ Status DB::WriteToCore(int core, SequenceNumber seq, ValueType type,
       "record does not fit any available sub-memtable");
 }
 
+SequenceNumber DB::AllocSeqBlock(size_t n) {
+  if (!commit_hook_) {
+    return sequence_.fetch_add(n, std::memory_order_acq_rel) + 1;
+  }
+  // Reservation and in-flight registration must be atomic: a later
+  // block registered before an earlier one would let the dispatcher
+  // release the later block's hook first.
+  std::lock_guard<std::mutex> lock(hook_mu_);
+  const SequenceNumber first =
+      sequence_.fetch_add(n, std::memory_order_acq_rel) + 1;
+  hook_inflight_.insert(first);
+  return first;
+}
+
+void DB::DispatchCommitHook(SequenceNumber first_seq,
+                            SequenceNumber last_seq,
+                            const std::vector<BatchOp>* ops) {
+  std::lock_guard<std::mutex> lock(hook_mu_);
+  hook_inflight_.erase(first_seq);
+  if (ops != nullptr) {
+    if (hook_pending_.empty() &&
+        (hook_inflight_.empty() || first_seq < *hook_inflight_.begin())) {
+      // Every earlier block has settled: fire in place, no copy.
+      commit_hook_(*ops, last_seq);
+    } else {
+      hook_pending_.emplace(first_seq, PendingHook{*ops, last_seq});
+    }
+  }
+  // Settle buffered successors this block (or this failure) unblocked.
+  while (!hook_pending_.empty() &&
+         (hook_inflight_.empty() ||
+          hook_pending_.begin()->first < *hook_inflight_.begin())) {
+    PendingHook pending = std::move(hook_pending_.begin()->second);
+    hook_pending_.erase(hook_pending_.begin());
+    commit_hook_(pending.ops, pending.last_seq);
+  }
+}
+
 Status DB::Write(ValueType type, const Slice& key, const Slice& value) {
   OBS_SPAN(&metrics_, "put");
   // Background-error propagation: once a flush/index/compaction stage
@@ -323,16 +373,20 @@ Status DB::Write(ValueType type, const Slice& key, const Slice& value) {
   }
   puts_->Increment();
   const int core = CoreOf();
-  const SequenceNumber seq =
-      sequence_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  const SequenceNumber seq = AllocSeqBlock(1);
   std::lock_guard<std::mutex> core_lock(core_mu_[core % kMaxCoreLocks]);
   Status s = WriteToCore(core, seq, type, key, value);
-  if (s.ok() && commit_hook_) {
-    std::vector<BatchOp> ops(1);
-    ops[0].is_delete = type == kTypeDeletion;
-    ops[0].key = key.ToString();
-    if (type != kTypeDeletion) ops[0].value = value.ToString();
-    commit_hook_(ops, seq);
+  if (s.ok()) tls_last_commit_seq = seq;
+  if (commit_hook_) {
+    if (s.ok()) {
+      std::vector<BatchOp> ops(1);
+      ops[0].is_delete = type == kTypeDeletion;
+      ops[0].key = key.ToString();
+      if (type != kTypeDeletion) ops[0].value = value.ToString();
+      DispatchCommitHook(seq, seq, &ops);
+    } else {
+      DispatchCommitHook(seq, seq, nullptr);
+    }
   }
   return s;
 }
@@ -372,8 +426,20 @@ Status DB::MultiPut(const std::vector<BatchOp>& batch) {
   const int core = CoreOf();
   std::lock_guard<std::mutex> core_lock(core_mu_[core % kMaxCoreLocks]);
   // Reserve a contiguous sequence block for the transaction.
-  const SequenceNumber first_seq =
-      sequence_.fetch_add(batch.size(), std::memory_order_acq_rel) + 1;
+  const SequenceNumber first_seq = AllocSeqBlock(batch.size());
+  const SequenceNumber last_seq = first_seq + batch.size() - 1;
+  // Every exit below must settle the reserved block with the hook
+  // dispatcher — a block that never settles would stall the hooks of
+  // all later writes. `ops` stays null on the failure paths.
+  struct SettleBlock {
+    DB* db;
+    SequenceNumber first, last;
+    const std::vector<BatchOp>* ops = nullptr;
+    bool armed;
+    ~SettleBlock() {
+      if (armed) db->DispatchCommitHook(first, last, ops);
+    }
+  } settle{this, first_seq, last_seq, nullptr, commit_hook_ != nullptr};
   std::string records;
   records.reserve(encoded_bound);
   SequenceNumber seq = first_seq;
@@ -399,12 +465,12 @@ Status DB::MultiPut(const std::vector<BatchOp>& batch) {
                                  static_cast<uint32_t>(batch.size()));
     }
     if (s.ok()) {
-      const SequenceNumber last_seq = first_seq + batch.size() - 1;
       if (!options_.lazy_index_update) {
         OBS_SPAN(&metrics_, "put.index_sync");
         Status sync = t->index->SyncWithTable(t->table);
-        if (sync.ok() && commit_hook_) {
-          commit_hook_(batch, last_seq);
+        if (sync.ok()) {
+          settle.ops = &batch;
+          tls_last_commit_seq = last_seq;
         }
         return sync;
       }
@@ -415,9 +481,8 @@ Status DB::MultiPut(const std::vector<BatchOp>& batch) {
         t->writes_since_sync.store(0, std::memory_order_relaxed);
         ScheduleSync(t);
       }
-      if (commit_hook_) {
-        commit_hook_(batch, last_seq);
-      }
+      settle.ops = &batch;
+      tls_last_commit_seq = last_seq;
       return s;
     }
     if (s.IsOutOfSpace()) {

@@ -6,8 +6,10 @@
 #include <condition_variable>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <shared_mutex>
 #include <string>
 #include <thread>
@@ -127,12 +129,20 @@ class DB : public KVStore {
   uint64_t ApproxMultiPutCapacityBytes() const;
 
   /// Observer of every successful write commit, invoked after the
-  /// batch is durably published and before the call returns, with the
-  /// committed ops and the sequence number of the batch's last record.
-  /// Single writes surface as a one-element batch (a Delete as an
-  /// is_delete op). The replication layer taps this to append to the
-  /// per-shard replication log (src/repl/). The hook runs on the
-  /// writer's thread and must be fast and non-blocking.
+  /// batch is durably published, with the committed ops and the
+  /// sequence number of the batch's last record. Single writes surface
+  /// as a one-element batch (a Delete as an is_delete op). The
+  /// replication layer taps this to append to the per-shard
+  /// replication log (src/repl/).
+  ///
+  /// Invocations are totally ordered by sequence number: when two
+  /// concurrent writes race (even to the same key), their hooks fire
+  /// in the order their sequence blocks were allocated, so a log built
+  /// from the hook replays to the same state the DB converged to. To
+  /// keep that order, a hook may run on a *different* writer's thread
+  /// than the one that committed the batch (the later-sequenced writer
+  /// that published first drains it). Hooks must be fast and
+  /// non-blocking.
   using CommitHook =
       std::function<void(const std::vector<BatchOp>& ops,
                          SequenceNumber last_seq)>;
@@ -140,6 +150,13 @@ class DB : public KVStore {
   /// Installs `hook` (empty disables). Not synchronized against
   /// in-flight writes: set it before the DB starts serving.
   void SetCommitHook(CommitHook hook) { commit_hook_ = std::move(hook); }
+
+  /// The last sequence number this thread committed through Put /
+  /// Delete / MultiPut on any DB, or 0 if it never wrote. Lets a
+  /// server worker wait for the replication of exactly the write it
+  /// just performed instead of whatever the log head happens to be
+  /// (repl::ReplHub::WaitCommitAcked).
+  static SequenceNumber ThreadLastCommitSeq();
 
   SubMemTablePool* pool() { return pool_.get(); }
   FlushedZone* zone() { return zone_.get(); }
@@ -169,6 +186,19 @@ class DB : public KVStore {
   Status Write(ValueType type, const Slice& key, const Slice& value);
   Status WriteToCore(int core, SequenceNumber seq, ValueType type,
                      const Slice& key, const Slice& value);
+  /// Reserves a block of `n` sequence numbers, returning the first.
+  /// With a commit hook installed the block is also registered as
+  /// in-flight (atomically with the reservation) so DispatchCommitHook
+  /// can order hook invocations across racing writers.
+  SequenceNumber AllocSeqBlock(size_t n);
+  /// Retires the in-flight block starting at `first_seq` and fires the
+  /// commit hook for it — in sequence order: a block that outran an
+  /// earlier writer is buffered until that writer publishes or fails.
+  /// `ops` == nullptr means the write failed after reserving its block
+  /// (the hook is skipped but successors it was blocking are drained).
+  void DispatchCommitHook(SequenceNumber first_seq,
+                          SequenceNumber last_seq,
+                          const std::vector<BatchOp>* ops);
   // Seals `current`, hands it to the flushers, and acquires a
   // replacement for `core` (waiting on the flushers when the pool is
   // exhausted). Returns the new table via metadata_[core].
@@ -216,6 +246,18 @@ class DB : public KVStore {
 
   std::atomic<uint64_t> sequence_{0};
   CommitHook commit_hook_;
+
+  // Commit-hook ordering (engaged only while commit_hook_ is set).
+  // hook_inflight_ holds the first_seq of every reserved-but-unsettled
+  // sequence block; hook_pending_ buffers committed batches whose hook
+  // cannot fire yet because an earlier block is still in flight.
+  struct PendingHook {
+    std::vector<BatchOp> ops;
+    SequenceNumber last_seq;
+  };
+  std::mutex hook_mu_;
+  std::set<SequenceNumber> hook_inflight_;
+  std::map<SequenceNumber, PendingHook> hook_pending_;
 
   // Per-core assignments (the global metadata structure of Figure 7;
   // kept in DRAM to avoid PMem write amplification). Each slot is

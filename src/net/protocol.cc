@@ -515,12 +515,14 @@ void EncodeReplSubscribePayload(std::string* out,
   PutFixed64(out, resp.epoch);
   PutFixed64(out, resp.log_start);
   PutFixed64(out, resp.log_head);
+  PutFixed64(out, resp.log_run_id);
 }
 
 void EncodeReplBatchPayload(std::string* out,
                             const ReplBatchResponse& resp) {
   PutFixed64(out, resp.epoch);
   PutFixed64(out, resp.log_head);
+  PutFixed64(out, resp.log_run_id);
   PutFixed32(out, static_cast<uint32_t>(resp.records.size()));
   for (const ReplRecord& rec : resp.records) {
     PutFixed64(out, rec.log_seq);
@@ -534,6 +536,7 @@ void EncodeReplSnapshotPayload(std::string* out,
                                const ReplSnapshotResponse& resp) {
   PutFixed64(out, resp.epoch);
   PutFixed64(out, resp.log_pos);
+  PutFixed64(out, resp.log_run_id);
   out->push_back(resp.done ? 1 : 0);
   EncodeScanPayload(out, resp.entries);
 }
@@ -606,6 +609,9 @@ Status ParseReplSubscribePayload(const Slice& payload,
   if (!GetU64(&in, &out->log_head)) {
     return DecodeError("truncated log_head");
   }
+  if (!GetU64(&in, &out->log_run_id)) {
+    return DecodeError("truncated log_run_id");
+  }
   return ExpectEmpty(in);
 }
 
@@ -615,6 +621,9 @@ Status ParseReplBatchPayload(const Slice& payload,
   if (!GetU64(&in, &out->epoch)) return DecodeError("truncated epoch");
   if (!GetU64(&in, &out->log_head)) {
     return DecodeError("truncated log_head");
+  }
+  if (!GetU64(&in, &out->log_run_id)) {
+    return DecodeError("truncated log_run_id");
   }
   uint32_t count = 0;
   if (!GetU32(&in, &count)) return DecodeError("truncated record count");
@@ -654,6 +663,9 @@ Status ParseReplSnapshotPayload(const Slice& payload,
   Slice in = payload;
   if (!GetU64(&in, &out->epoch)) return DecodeError("truncated epoch");
   if (!GetU64(&in, &out->log_pos)) return DecodeError("truncated log_pos");
+  if (!GetU64(&in, &out->log_run_id)) {
+    return DecodeError("truncated log_run_id");
+  }
   uint8_t done = 0;
   if (!GetU8(&in, &done)) return DecodeError("truncated done flag");
   if (done > 1) return DecodeError("bad done flag");

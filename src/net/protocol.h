@@ -63,9 +63,10 @@ namespace net {
 /// sender's (shard, epoch) pair for fencing:
 ///
 ///   REPLSUBSCRIBE req: u32 shard, u64 epoch, u32 idlen, follower id
-///        resp: u64 epoch, u64 log_start, u64 log_head
+///        resp: u64 epoch, u64 log_start, u64 log_head, u64 log_run_id
 ///   REPLBATCH req:  u32 shard, u64 epoch, u64 from_seq, u32 max_batches
-///        resp: u64 epoch, u64 log_head, u32 count, count * {
+///        resp: u64 epoch, u64 log_head, u64 log_run_id, u32 count,
+///              count * {
 ///              u64 log_seq, u64 last_db_seq, u32 blob_len,
 ///              blob = { u32 op_count, op_count * { u8 is_delete,
 ///                       u32 klen, key, u32 vlen, value } } }
@@ -73,9 +74,14 @@ namespace net {
 ///                 u64 acked_seq           resp: empty
 ///   REPLSNAPSHOT req: u32 shard, u64 epoch, u32 cursor_klen, cursor,
 ///                     u32 max_entries
-///        resp: u64 epoch, u64 log_pos, u8 done, u32 count,
-///              count * { u32 klen, key, u32 vlen, value }
+///        resp: u64 epoch, u64 log_pos, u64 log_run_id, u8 done,
+///              u32 count, count * { u32 klen, key, u32 vlen, value }
 ///   PROMOTE req:  u32 shard              resp: u64 new_epoch
+///
+/// `log_run_id` identifies one lifetime of the serving log's numbering
+/// (redrawn on restart and on promotion): a follower holding a cursor
+/// from a different run id must snapshot-bootstrap, because the seqs it
+/// remembers address records that no longer exist.
 ///
 /// Error responses (code != kOk) carry a human-readable message as the
 /// payload regardless of opcode.
@@ -287,6 +293,8 @@ struct ReplSubscribeResponse {
   uint64_t epoch = 0;
   uint64_t log_start = 0;
   uint64_t log_head = 0;
+  /// Lifetime token of the serving log (ReplLog::run_id).
+  uint64_t log_run_id = 0;
 };
 struct ReplBatchRequest {
   uint32_t shard = 0;
@@ -298,6 +306,10 @@ struct ReplBatchRequest {
 struct ReplBatchResponse {
   uint64_t epoch = 0;
   uint64_t log_head = 0;
+  /// Lifetime token of the serving log: a change since the last fetch
+  /// (or log_head behind the follower's cursor) means the numbering
+  /// restarted and the follower must snapshot-bootstrap.
+  uint64_t log_run_id = 0;
   std::vector<ReplRecord> records;
 };
 struct ReplAckRequest {
@@ -318,6 +330,10 @@ struct ReplSnapshotResponse {
   /// Replication-log position captured before this page's scan began;
   /// the follower replays the log from the FIRST page's log_pos + 1.
   uint64_t log_pos = 0;
+  /// Lifetime token of the log `log_pos` addresses: a bootstrap whose
+  /// pages span a run-id change must restart (its captured log_pos is
+  /// meaningless in the new numbering).
+  uint64_t log_run_id = 0;
   bool done = false;
   std::vector<std::pair<std::string, std::string>> entries;
 };

@@ -1,11 +1,28 @@
 #include "repl/repl_log.h"
 
+#include <algorithm>
 #include <chrono>
+#include <random>
 
 namespace cachekv {
 namespace repl {
 
-ReplLog::ReplLog(size_t max_bytes) : max_bytes_(max_bytes) {}
+namespace {
+
+/// A nonzero token that no two log lifetimes share (process restarts
+/// included): followers use inequality, never ordering, so collision
+/// resistance is all that matters.
+uint64_t DrawRunId() {
+  std::random_device rd;
+  const uint64_t id =
+      (static_cast<uint64_t>(rd()) << 32) ^ static_cast<uint64_t>(rd());
+  return id == 0 ? 1 : id;
+}
+
+}  // namespace
+
+ReplLog::ReplLog(size_t max_bytes)
+    : max_bytes_(max_bytes), run_id_(DrawRunId()) {}
 
 uint64_t ReplLog::Append(std::string ops_blob, uint64_t last_db_seq) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -15,7 +32,11 @@ uint64_t ReplLog::Append(std::string ops_blob, uint64_t last_db_seq) {
   bytes_ += ops_blob.size();
   rec.ops_blob = std::move(ops_blob);
   records_.push_back(std::move(rec));
+  last_db_seq_ = std::max(last_db_seq_, last_db_seq);
   TruncateLocked();
+  // WaitCommit callers may be parked waiting for their own record to
+  // land (hook dispatch runs behind the writer's publish).
+  ack_cv_.notify_all();
   return head_;
 }
 
@@ -65,6 +86,11 @@ uint64_t ReplLog::resident_bytes() const {
   return bytes_;
 }
 
+uint64_t ReplLog::run_id() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return run_id_;
+}
+
 void ReplLog::Ack(const std::string& id, uint64_t seq) {
   std::lock_guard<std::mutex> lock(mu_);
   uint64_t& pos = acked_[id];
@@ -79,8 +105,7 @@ uint64_t ReplLog::AckedSeq(const std::string& id) const {
   return it == acked_.end() ? 0 : it->second;
 }
 
-uint32_t ReplLog::AckedCount(uint64_t seq) const {
-  std::lock_guard<std::mutex> lock(mu_);
+uint32_t ReplLog::AckedCountLocked(uint64_t seq) const {
   uint32_t n = 0;
   for (const auto& [id, pos] : acked_) {
     if (pos >= seq) n++;
@@ -88,18 +113,54 @@ uint32_t ReplLog::AckedCount(uint64_t seq) const {
   return n;
 }
 
+uint32_t ReplLog::AckedCount(uint64_t seq) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return AckedCountLocked(seq);
+}
+
 Status ReplLog::WaitAcked(uint64_t seq, uint32_t needed, int timeout_ms) {
   if (needed == 0) return Status::OK();
   std::unique_lock<std::mutex> lock(mu_);
+  const uint64_t gen = reset_gen_;
   auto satisfied = [&] {
-    uint32_t n = 0;
-    for (const auto& [id, pos] : acked_) {
-      if (pos >= seq) n++;
-    }
-    return n >= needed;
+    return reset_gen_ != gen || AckedCountLocked(seq) >= needed;
   };
   if (ack_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
                        satisfied)) {
+    if (reset_gen_ != gen) {
+      return Status::IOError("replication log reset during ack wait");
+    }
+    return Status::OK();
+  }
+  return Status::Busy("replication ack timeout");
+}
+
+Status ReplLog::WaitCommit(uint64_t db_seq, uint32_t needed,
+                           int timeout_ms) {
+  if (needed == 0) return Status::OK();
+  std::unique_lock<std::mutex> lock(mu_);
+  const uint64_t gen = reset_gen_;
+  auto satisfied = [&] {
+    if (reset_gen_ != gen) return true;
+    if (last_db_seq_ < db_seq) return false;  // record not appended yet
+    // The caller's record: first one with last_db_seq >= db_seq
+    // (appends are db-seq ordered, so records_ is sorted by
+    // last_db_seq). If truncation evicted it, any later record still
+    // covers it: a follower acking past the eviction either applied
+    // the record or bootstrapped from a snapshot that contained the
+    // committed write.
+    uint64_t target = head_;
+    auto it = std::lower_bound(
+        records_.begin(), records_.end(), db_seq,
+        [](const Record& r, uint64_t v) { return r.last_db_seq < v; });
+    if (it != records_.end()) target = it->log_seq;
+    return AckedCountLocked(target) >= needed;
+  };
+  if (ack_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                       satisfied)) {
+    if (reset_gen_ != gen) {
+      return Status::IOError("replication log reset during ack wait");
+    }
     return Status::OK();
   }
   return Status::Busy("replication ack timeout");
@@ -111,6 +172,9 @@ void ReplLog::Reset() {
   acked_.clear();
   head_ = 0;
   bytes_ = 0;
+  last_db_seq_ = 0;
+  run_id_ = DrawRunId();
+  reset_gen_++;
   ack_cv_.notify_all();
 }
 

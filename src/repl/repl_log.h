@@ -29,6 +29,13 @@ namespace repl {
 /// whose cursor falls behind `start_seq` gets kNotFound from Fetch and
 /// must bootstrap from a shard snapshot (REPLSNAPSHOT) instead.
 ///
+/// Every log carries a `run_id`: a random nonzero token drawn at
+/// construction and redrawn by Reset(). Two logs (or two lifetimes of
+/// the same log — a primary restart, a promotion) never share a run id,
+/// so a follower comparing run ids across fetches detects that its
+/// cursor addresses a numbering that no longer exists and must
+/// snapshot-bootstrap instead of applying aliased records.
+///
 /// Thread safety: all methods are safe to call concurrently.
 class ReplLog {
  public:
@@ -61,6 +68,8 @@ class ReplLog {
   uint64_t head_seq() const;
   /// Total bytes of resident ops blobs.
   uint64_t resident_bytes() const;
+  /// This log lifetime's identity token (nonzero; new after Reset()).
+  uint64_t run_id() const;
 
   /// Records that follower `id` has applied through `seq` (monotonic;
   /// stale acks are ignored). Wakes WaitAcked waiters.
@@ -71,16 +80,31 @@ class ReplLog {
   uint32_t AckedCount(uint64_t seq) const;
 
   /// Blocks until at least `needed` followers have acked `seq`, or
-  /// `timeout_ms` elapses. Returns OK on success, Busy on timeout.
+  /// `timeout_ms` elapses. Returns OK on success, Busy on timeout, and
+  /// IOError when Reset() tore the log down mid-wait (the caller's
+  /// record no longer exists; its replication fate is unknowable).
   /// `needed` == 0 returns OK immediately.
   Status WaitAcked(uint64_t seq, uint32_t needed, int timeout_ms);
 
-  /// Drops all records and follower state (promotion of a follower
-  /// resets its outbound log; its DB state is the source of truth).
+  /// Like WaitAcked, but targets the record carrying the caller's own
+  /// write: the record whose `last_db_seq` >= `db_seq` with the
+  /// smallest log_seq. Appends arrive in DB-sequence order (the DB's
+  /// commit-hook dispatcher guarantees it), so that record covers the
+  /// write exactly — later concurrent writes never extend the wait.
+  /// Blocks first for the record to be appended (hook dispatch can lag
+  /// the caller's publish), then for `needed` follower acks. Same
+  /// returns as WaitAcked.
+  Status WaitCommit(uint64_t db_seq, uint32_t needed, int timeout_ms);
+
+  /// Drops all records and follower state and redraws the run id
+  /// (promotion of a follower resets its outbound log; its DB state is
+  /// the source of truth). In-flight WaitAcked/WaitCommit callers wake
+  /// with IOError, distinct from an ack timeout.
   void Reset();
 
  private:
   void TruncateLocked();
+  uint32_t AckedCountLocked(uint64_t seq) const;
 
   const size_t max_bytes_;
   mutable std::mutex mu_;
@@ -88,6 +112,9 @@ class ReplLog {
   std::deque<Record> records_;
   uint64_t head_ = 0;               // Highest assigned log_seq.
   uint64_t bytes_ = 0;              // Sum of resident ops_blob sizes.
+  uint64_t run_id_;                 // Nonzero; redrawn by Reset().
+  uint64_t reset_gen_ = 0;          // Bumped by Reset(); wakes waiters.
+  uint64_t last_db_seq_ = 0;        // db seq of the newest append.
   std::map<std::string, uint64_t> acked_;  // follower id -> log_seq.
 };
 

@@ -179,10 +179,22 @@ Status ReplHub::WaitCommitAcked(uint32_t shard) {
   }
   if (needed == 0) return Status::OK();
   Shard* st = shards_[shard].get();
-  const uint64_t head = st->log->head_seq();
-  Status s = st->log->WaitAcked(head, needed, options_.ack_timeout_ms);
+  // Wait on the caller's own write, not the log head: the server worker
+  // calls this right after its commit, so the thread-local commit seq
+  // names the exact record whose replication the client is owed.
+  // Waiting on the head would let concurrent later writes extend the
+  // wait past the timeout.
+  const uint64_t db_seq = DB::ThreadLastCommitSeq();
+  Status s = db_seq != 0
+                 ? st->log->WaitCommit(db_seq, needed,
+                                       options_.ack_timeout_ms)
+                 : st->log->WaitAcked(st->log->head_seq(), needed,
+                                      options_.ack_timeout_ms);
   if (!s.ok()) {
-    dbs_[shard]->metrics()->GetCounter("repl.ack_timeouts")->Increment();
+    dbs_[shard]->metrics()
+        ->GetCounter(s.IsIOError() ? "repl.ack_resets"
+                                   : "repl.ack_timeouts")
+        ->Increment();
   }
   return s;
 }
@@ -221,6 +233,7 @@ uint64_t ReplHub::PromoteShard(uint32_t shard, uint64_t min_epoch) {
   st->log->Reset();
   st->applied_seq.store(0, std::memory_order_release);
   st->primary_head.store(0, std::memory_order_release);
+  st->primary_run_id.store(0, std::memory_order_release);
   st->is_primary.store(true, std::memory_order_release);
   dbs_[shard]->metrics()->GetCounter("repl.failovers")->Increment();
   PublishShardGauges(shard);
@@ -253,6 +266,7 @@ uint16_t ReplHub::HandleSubscribe(const net::ReplSubscribeRequest& req,
   resp.epoch = st->epoch.load(std::memory_order_acquire);
   resp.log_start = st->log->start_seq();
   resp.log_head = st->log->head_seq();
+  resp.log_run_id = st->log->run_id();
   net::EncodeReplSubscribePayload(payload, resp);
   dbs_[req.shard]->metrics()->GetCounter("repl.subscribes")->Increment();
   return net::kOk;
@@ -286,6 +300,11 @@ uint16_t ReplHub::HandleBatch(const net::ReplBatchRequest& req,
     *error = "cursor behind truncated log; snapshot required";
     return net::kReplLagged;
   }
+  // Read the run id AFTER Fetch: if a Reset races in between, the
+  // response pairs old-run records with the NEW run id, which the
+  // follower rejects (spurious bootstrap — safe). The opposite pairing
+  // would let it apply new-run records against a stale cursor.
+  resp.log_run_id = st->log->run_id();
   resp.epoch = st->epoch.load(std::memory_order_acquire);
   uint64_t bytes = 0;
   resp.records.reserve(records.size());
@@ -348,6 +367,12 @@ uint16_t ReplHub::HandleSnapshot(const net::ReplSnapshotRequest& req,
   }
   Shard* st = shards_[req.shard].get();
   net::ReplSnapshotResponse resp;
+  // Read the run id BEFORE the log position: the follower adopts this
+  // (run, pos) pair, and if a Reset races in between the pairing is
+  // old-run/new-pos — the next fetch sees a different run id and
+  // re-bootstraps (safe). Reading pos first could pair the new run id
+  // with a stale (large) position, silently skipping records.
+  resp.log_run_id = st->log->run_id();
   // Capture the log position BEFORE scanning: any write the scan then
   // misses commits after this point, so its record lands at a log_seq
   // > log_pos and the follower's log replay (from the first page's
@@ -439,8 +464,10 @@ bool ReplHub::BootstrapShard(net::Client* client, uint32_t shard) {
   st->bootstrapping.store(true, std::memory_order_release);
   dbs_[shard]->metrics()->GetCounter("repl.bootstraps")->Increment();
   uint64_t log_pos = 0;
+  uint64_t run_id = 0;
   bool first = true;
   std::string cursor;
+  std::string swept_upto;  // local keys <= this are reconciled
   bool ok = false;
   while (!stop_.load(std::memory_order_relaxed)) {
     net::ReplSnapshotRequest req;
@@ -456,28 +483,93 @@ bool ReplHub::BootstrapShard(net::Client* client, uint32_t shard) {
       // Later pages capture later log positions; replay must start at
       // the FIRST page's position to cover writes racing the scan.
       log_pos = resp.log_pos;
+      run_id = resp.log_run_id;
       first = false;
+    } else if (resp.log_run_id != run_id) {
+      // The primary's log restarted mid-bootstrap (process restart or
+      // promotion): the captured log_pos addresses nothing in the new
+      // numbering. Abandon and restart from scratch.
+      break;
     }
     if (!resp.entries.empty()) {
       std::vector<KVStore::BatchOp> ops;
+      std::vector<std::string> page_keys;
       ops.reserve(resp.entries.size());
+      page_keys.reserve(resp.entries.size());
       for (auto& [key, value] : resp.entries) {
+        page_keys.push_back(key);
         KVStore::BatchOp op;
         op.key = std::move(key);
         op.value = std::move(value);
         ops.push_back(std::move(op));
       }
-      cursor = ops.back().key;
+      const std::string page_last = ops.back().key;
       if (!dbs_[shard]->ApplyBatch(ops).ok()) break;
+      // Anti-entropy: the snapshot is the whole truth of the primary's
+      // key space up to page_last, so any local key in that range the
+      // page did NOT carry was deleted on the primary — or is a
+      // divergent unacked suffix of a deposed primary rejoining as a
+      // follower — and must go, or it resurrects after failover.
+      if (!SweepLocalGap(shard, swept_upto, page_last, &page_keys)) break;
+      swept_upto = page_last;
+      cursor = page_last;
     }
     if (resp.done) {
+      // Local keys past the last snapshot key are equally dead.
+      if (!SweepLocalGap(shard, swept_upto, std::string(), nullptr)) break;
       st->applied_seq.store(log_pos, std::memory_order_release);
+      st->primary_run_id.store(run_id, std::memory_order_release);
+      // Report the adopted position: until the first streamed record
+      // this follower would otherwise sit at acked 0, stalling ack=all
+      // writes on the primary for the full ack timeout.
+      net::ReplAckRequest ack;
+      ack.shard = shard;
+      ack.epoch = Epoch(shard);
+      ack.follower_id = self_endpoint_;
+      ack.acked_seq = log_pos;
+      client->ReplAck(ack);  // best effort; the next pull re-acks
       ok = true;
       break;
     }
   }
   st->bootstrapping.store(false, std::memory_order_release);
   return ok;
+}
+
+bool ReplHub::SweepLocalGap(uint32_t shard, const std::string& after,
+                            const std::string& upto,
+                            const std::vector<std::string>* keep) {
+  constexpr size_t kSweepPage = 512;
+  std::string start = after;
+  if (!start.empty()) start.push_back('\0');  // resume strictly after
+  uint64_t deleted = 0;
+  for (;;) {
+    if (stop_.load(std::memory_order_relaxed)) return false;
+    std::vector<std::pair<std::string, std::string>> local;
+    if (!dbs_[shard]->Scan(start, kSweepPage, &local).ok()) return false;
+    bool past_end = local.size() < kSweepPage;
+    for (const auto& [key, value] : local) {
+      (void)value;
+      if (!upto.empty() && key > upto) {
+        past_end = true;
+        break;
+      }
+      if (keep != nullptr &&
+          std::binary_search(keep->begin(), keep->end(), key)) {
+        continue;
+      }
+      if (!dbs_[shard]->Delete(key).ok()) return false;
+      deleted++;
+    }
+    if (past_end) break;
+    start = local.back().first;
+    start.push_back('\0');
+  }
+  if (deleted > 0) {
+    dbs_[shard]->metrics()->GetCounter("repl.sweep_deletes")
+        ->Increment(deleted);
+  }
+  return true;
 }
 
 bool ReplHub::PullShard(net::Client* client, uint32_t shard,
@@ -501,6 +593,20 @@ bool ReplHub::PullShard(net::Client* client, uint32_t shard,
     return true;
   }
   if (s.IsInvalidArgument()) {
+    if (client->last_wire_code() != net::kStaleEpoch) {
+      // Not an epoch race: the peer rejected the request itself
+      // (replication disabled there, shard out of range — a
+      // misconfiguration). Surface it and take the reconnect backoff
+      // instead of spinning subscribe attempts forever.
+      dbs_[shard]->metrics()->GetCounter("repl.config_errors")
+          ->Increment();
+      fprintf(stderr,
+              "cachekv: replication fetch for shard %u rejected by %s: "
+              "%s\n",
+              shard, options_.primary_endpoint.c_str(),
+              s.ToString().c_str());
+      return false;
+    }
     // kStaleEpoch: re-learn the primary's epoch via a subscribe.
     net::ReplSubscribeRequest sub;
     sub.shard = shard;
@@ -517,6 +623,26 @@ bool ReplHub::PullShard(net::Client* client, uint32_t shard,
   if (resp.epoch > Epoch(shard)) FenceEpoch(shard, resp.epoch);
   st->primary_head.store(resp.log_head, std::memory_order_release);
   uint64_t applied = st->applied_seq.load(std::memory_order_acquire);
+  const uint64_t known_run =
+      st->primary_run_id.load(std::memory_order_acquire);
+  if (resp.log_run_id != known_run || resp.log_head < applied) {
+    // The primary's log is not the one our cursor indexes: a different
+    // run id means its numbering restarted (process restart, epoch
+    // promotion) and the same log_seqs now name unrelated records; a
+    // head behind our cursor is the same restart seen before any new
+    // writes. Either way the cursor is meaningless — a fetch would
+    // report "caught up" until the head passes it and then silently
+    // apply aliased records. Re-sync from a snapshot. This also covers
+    // first contact (stored run id 0), closing the recovered-DB/fresh-
+    // log gap: an empty fetch window proves nothing about DB equality.
+    if (known_run != 0) {
+      dbs_[shard]->metrics()->GetCounter("repl.log_reset_bootstraps")
+          ->Increment();
+    }
+    if (!BootstrapShard(client, shard)) return client->connected();
+    *made_progress = true;
+    return true;
+  }
   for (const net::ReplRecord& rec : resp.records) {
     if (rec.log_seq <= applied) continue;  // duplicate delivery
     if (rec.log_seq != applied + 1) {

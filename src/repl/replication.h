@@ -110,10 +110,13 @@ class ReplHub {
   void OnCommit(uint32_t shard, const std::vector<KVStore::BatchOp>& ops,
                 uint64_t last_db_seq);
 
-  /// Blocks until the shard's current log head satisfies the ack
-  /// policy. OK when satisfied (immediately under kNone or with no
-  /// replicas); Busy after ack_timeout_ms (the server answers
-  /// kReplTimeout: the write is committed locally but under-replicated).
+  /// Blocks until the calling thread's own just-committed write (its
+  /// DB::ThreadLastCommitSeq record) satisfies the ack policy — NOT
+  /// the log head, so concurrent later writes never extend the wait.
+  /// OK when satisfied (immediately under kNone or with no replicas);
+  /// Busy after ack_timeout_ms (the server answers kReplTimeout: the
+  /// write is committed locally but under-replicated); IOError when a
+  /// concurrent promotion reset the log mid-wait.
   Status WaitCommitAcked(uint32_t shard);
 
   // Wire-op handlers (see src/net/server.cc). Each returns the wire
@@ -148,6 +151,12 @@ class ReplHub {
     std::atomic<uint64_t> applied_seq{0};
     /// Follower side: the primary's log head as of the last pull.
     std::atomic<uint64_t> primary_head{0};
+    /// Follower side: run id of the primary log that `applied_seq`
+    /// addresses; 0 until the first snapshot bootstrap completes. A
+    /// fetch response carrying a different run id means the primary's
+    /// log numbering restarted (process restart, promotion) and the
+    /// cursor would alias unrelated records — forces a re-bootstrap.
+    std::atomic<uint64_t> primary_run_id{0};
     /// Snapshot bootstrap in progress (keys may still be missing), so
     /// self-promotion must not make this shard serve reads.
     std::atomic<bool> bootstrapping{false};
@@ -166,8 +175,20 @@ class ReplHub {
   /// One pull round for one shard; false on any transport error (the
   /// caller reconnects). Applies records and acks progress.
   bool PullShard(net::Client* client, uint32_t shard, bool* made_progress);
-  /// Cursor-paged snapshot bootstrap after falling behind the log.
+  /// Cursor-paged snapshot bootstrap: converges the local store to
+  /// exactly the primary's state (puts every snapshot entry AND sweeps
+  /// local keys the snapshot does not carry — deletions and divergent
+  /// suffixes do not survive it), then adopts the snapshot's log
+  /// position and run id and acks them to the primary.
   bool BootstrapShard(net::Client* client, uint32_t shard);
+  /// Deletes every live local key in (after, upto] — `upto` empty
+  /// means to the end of the key space — that the sorted `keep` set
+  /// (nullptr = keep nothing) does not contain. DB::Scan elides
+  /// tombstones, so snapshot pages alone can never convey a deletion;
+  /// this is the bootstrap's anti-entropy half.
+  bool SweepLocalGap(uint32_t shard, const std::string& after,
+                     const std::string& upto,
+                     const std::vector<std::string>* keep);
   /// Best-effort fence of the deposed primary after self-promotion.
   void FenceOldPrimary();
 

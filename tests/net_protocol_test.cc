@@ -677,6 +677,7 @@ TEST(NetProtocolTest, ReplSubscribeRoundTrip) {
   resp.epoch = 42;
   resp.log_start = 7;
   resp.log_head = 99;
+  resp.log_run_id = 0xfeedfacecafebeefull;
   std::string payload;
   EncodeReplSubscribePayload(&payload, resp);
   ReplSubscribeResponse rgot;
@@ -684,6 +685,7 @@ TEST(NetProtocolTest, ReplSubscribeRoundTrip) {
   EXPECT_EQ(42u, rgot.epoch);
   EXPECT_EQ(7u, rgot.log_start);
   EXPECT_EQ(99u, rgot.log_head);
+  EXPECT_EQ(0xfeedfacecafebeefull, rgot.log_run_id);
 }
 
 TEST(NetProtocolTest, ReplBatchRoundTrip) {
@@ -707,6 +709,7 @@ TEST(NetProtocolTest, ReplBatchRoundTrip) {
   ReplBatchResponse resp;
   resp.epoch = 5;
   resp.log_head = 102;
+  resp.log_run_id = 0x1234567890abcdefull;
   ReplRecord rec;
   rec.log_seq = 101;
   rec.last_db_seq = 555;
@@ -719,6 +722,7 @@ TEST(NetProtocolTest, ReplBatchRoundTrip) {
   ASSERT_TRUE(ParseReplBatchPayload(payload, &rgot).ok());
   EXPECT_EQ(5u, rgot.epoch);
   EXPECT_EQ(102u, rgot.log_head);
+  EXPECT_EQ(0x1234567890abcdefull, rgot.log_run_id);
   ASSERT_EQ(1u, rgot.records.size());
   EXPECT_EQ(101u, rgot.records[0].log_seq);
   EXPECT_EQ(555u, rgot.records[0].last_db_seq);
@@ -771,6 +775,7 @@ TEST(NetProtocolTest, ReplSnapshotRoundTrip) {
   ReplSnapshotResponse resp;
   resp.epoch = 3;
   resp.log_pos = 88;
+  resp.log_run_id = 0x9999000011112222ull;
   resp.done = true;
   resp.entries = {{"a", "1"}, {"b", std::string(2000, 'x')}};
   std::string payload;
@@ -779,6 +784,7 @@ TEST(NetProtocolTest, ReplSnapshotRoundTrip) {
   ASSERT_TRUE(ParseReplSnapshotPayload(payload, &rgot).ok());
   EXPECT_EQ(3u, rgot.epoch);
   EXPECT_EQ(88u, rgot.log_pos);
+  EXPECT_EQ(0x9999000011112222ull, rgot.log_run_id);
   EXPECT_TRUE(rgot.done);
   ASSERT_EQ(2u, rgot.entries.size());
   EXPECT_EQ("a", rgot.entries[0].first);

@@ -229,6 +229,59 @@ TEST_F(ReplicationTest, ReplLogWaitAcked) {
   acker.join();
 }
 
+TEST_F(ReplicationTest, ReplLogRunIdSurvivesAppendsAndChangesOnReset) {
+  repl::ReplLog log(1 << 20);
+  const uint64_t run = log.run_id();
+  EXPECT_NE(0u, run);
+  log.Append("a", 1);
+  log.Append("b", 2);
+  EXPECT_EQ(run, log.run_id());  // stable across the log's lifetime
+  log.Reset();
+  // A reset starts a new numbering run: the id must change so a
+  // follower holding a cursor into the old run re-syncs instead of
+  // applying aliased records.
+  EXPECT_NE(run, log.run_id());
+  EXPECT_NE(0u, log.run_id());
+}
+
+TEST_F(ReplicationTest, ReplLogWaitCommitTargetsOwnWrite) {
+  repl::ReplLog log(1 << 20);
+  log.Append("a", 10);  // log_seq 1
+  log.Append("b", 20);  // log_seq 2
+  // Acking record 1 satisfies a waiter on db_seq 10 even though the
+  // head (record 2) is unacked: the wait is pinned to the caller's own
+  // write, not the log head.
+  log.Ack("f1", 1);
+  EXPECT_TRUE(log.WaitCommit(10, 1, 50).ok());
+  // db_seq 20 lives in record 2, which nobody acked: Busy.
+  EXPECT_TRUE(log.WaitCommit(20, 1, 50).IsBusy());
+  // A concurrent ack of the covering record wakes the waiter.
+  std::thread acker([&log] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    log.Ack("f1", 2);
+  });
+  EXPECT_TRUE(log.WaitCommit(20, 1, 2000).ok());
+  acker.join();
+}
+
+TEST_F(ReplicationTest, ReplLogResetWakesWaitersDistinctly) {
+  repl::ReplLog log(1 << 20);
+  log.Append("a", 10);
+  // Reset during an ack wait (promotion racing an in-flight write)
+  // answers IOError, not the Busy a plain ack timeout produces: the
+  // caller can tell "log is gone" from "replicas are slow".
+  std::thread resetter([&log] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    log.Reset();
+  });
+  Status s = log.WaitCommit(10, 1, 5000);
+  resetter.join();
+  EXPECT_TRUE(s.IsIOError()) << s.ToString();
+  EXPECT_FALSE(s.IsBusy());
+  Status s2 = log.WaitAcked(1, 1, 50);
+  EXPECT_TRUE(s2.IsBusy());  // post-reset waits time out normally
+}
+
 TEST_F(ReplicationTest, AckPolicyParsing) {
   repl::AckPolicy p;
   ASSERT_TRUE(repl::ParseAckPolicy("none", &p));
@@ -239,6 +292,61 @@ TEST_F(ReplicationTest, AckPolicyParsing) {
   EXPECT_EQ(repl::AckPolicy::kAll, p);
   EXPECT_FALSE(repl::ParseAckPolicy("most", &p));
   EXPECT_STREQ("quorum", repl::AckPolicyName(repl::AckPolicy::kQuorum));
+}
+
+// Commit-hook ordering under concurrent writers. ----------------------
+
+TEST_F(ReplicationTest, CommitHooksFireInSequenceOrderAcrossWriters) {
+  CacheKVOptions dbopts = TestDb();
+  dbopts.num_cores = 4;
+  auto env = std::make_unique<PmemEnv>(TestEnv(dbopts.pool_bytes));
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(env.get(), dbopts, false, &db).ok());
+
+  // The replication log replays records in hook-invocation order, so a
+  // hook that observes decreasing sequence numbers means concurrent
+  // same-key writes could reach followers in reverse commit order.
+  std::mutex mu;
+  std::vector<SequenceNumber> seen;
+  db->SetCommitHook([&](const std::vector<KVStore::BatchOp>& ops,
+                        SequenceNumber last_seq) {
+    (void)ops;
+    std::lock_guard<std::mutex> lock(mu);
+    seen.push_back(last_seq);
+  });
+
+  constexpr int kThreads = 8;
+  constexpr int kWritesPerThread = 200;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; t++) {
+    writers.emplace_back([&db, t] {
+      for (int i = 0; i < kWritesPerThread; i++) {
+        const std::string key =
+            "hk-" + std::to_string(t) + "-" + std::to_string(i);
+        if (i % 5 == 0) {
+          std::vector<KVStore::BatchOp> batch;
+          batch.push_back({false, key + "-a", "v"});
+          batch.push_back({false, key + "-b", "v"});
+          ASSERT_TRUE(db->MultiPut(batch).ok());
+        } else {
+          ASSERT_TRUE(db->Put(key, "v").ok());
+        }
+        // The caller's own commit seq is visible to this thread and
+        // never behind what its write was assigned.
+        ASSERT_GE(DB::ThreadLastCommitSeq(), 1u);
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+
+  std::lock_guard<std::mutex> lock(mu);
+  constexpr size_t kExpected = kThreads * kWritesPerThread;
+  ASSERT_EQ(kExpected, seen.size());
+  for (size_t i = 1; i < seen.size(); i++) {
+    ASSERT_LT(seen[i - 1], seen[i])
+        << "commit hooks fired out of sequence order at call " << i;
+  }
+  db->WaitIdle();
 }
 
 // Hub-level epoch fencing. --------------------------------------------
@@ -530,6 +638,193 @@ TEST_F(ReplicationTest, KillPrimaryMidLoadLosesNoAckedWrite) {
     if (!s.ok() || value != Value(i)) lost++;
   }
   EXPECT_EQ(0, lost) << "acked writes lost after failover";
+}
+
+TEST_F(ReplicationTest, BootstrapSweepsKeysTheSnapshotDoesNotCarry) {
+  Node primary;
+  repl::ReplOptions popts;  // ack=none
+  const uint16_t follower_port = PickPort();
+  popts.replicas = {"127.0.0.1:" + std::to_string(follower_port)};
+  primary.Start(popts, 0);
+
+  // Primary state: keys 0..99 live, every third one deleted again. The
+  // snapshot a follower bootstraps from carries only the live set —
+  // Scan elides tombstones — so deletions can only reach the follower
+  // through the anti-entropy sweep.
+  net::Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", primary.server->port()).ok());
+  const int kKeys = 100;
+  for (int i = 0; i < kKeys; i++) {
+    ASSERT_TRUE(client.Put(Key(i), Value(i)).ok()) << i;
+  }
+  for (int i = 0; i < kKeys; i += 3) {
+    ASSERT_TRUE(client.Delete(Key(i)).ok()) << i;
+  }
+
+  // Hand-wire the follower so zombie keys exist BEFORE the pull thread
+  // starts: they model a divergent unacked suffix on a deposed primary
+  // rejoining as a follower. Keys chosen to land before, between, and
+  // after the primary's key range.
+  Node follower;
+  {
+    CacheKVOptions dbopts = TestDb();
+    follower.env = std::make_unique<PmemEnv>(TestEnv(dbopts.pool_bytes));
+    ASSERT_TRUE(
+        DB::Open(follower.env.get(), dbopts, false, &follower.db).ok());
+    ASSERT_TRUE(follower.db->Put("aaa-zombie", "stale").ok());
+    ASSERT_TRUE(follower.db->Put(Key(1) + "-zombie", "stale").ok());
+    ASSERT_TRUE(follower.db->Put("zzz-zombie", "stale").ok());
+    // A key the primary also has, but with a divergent value.
+    ASSERT_TRUE(follower.db->Put(Key(7), "divergent").ok());
+    repl::ReplOptions fopts;
+    fopts.primary_endpoint = primary.endpoint;
+    fopts.snapshot_page = 16;  // sweep across several page boundaries
+    follower.hub = std::make_unique<repl::ReplHub>(
+        fopts, std::vector<DB*>{follower.db.get()});
+    follower.hub->AttachCommitHooks();
+    net::ServerOptions sopts;
+    sopts.port = follower_port;
+    sopts.repl = follower.hub.get();
+    follower.server =
+        std::make_unique<net::Server>(follower.db.get(), sopts);
+    ASSERT_TRUE(follower.server->Start().ok());
+    follower.endpoint =
+        "127.0.0.1:" + std::to_string(follower.server->port());
+    follower.hub->SetSelfEndpoint(follower.endpoint);
+    follower.hub->Start();
+  }
+
+  // Converged = live keys present AND zombies/deletions gone.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  bool converged = false;
+  while (!converged && std::chrono::steady_clock::now() < deadline) {
+    converged = true;
+    std::string value;
+    for (int i : {1, 50, kKeys - 1}) {
+      if (i % 3 == 0) continue;
+      if (!follower.db->Get(Key(i), &value).ok() || value != Value(i)) {
+        converged = false;
+      }
+    }
+    for (const std::string& zombie :
+         {std::string("aaa-zombie"), Key(1) + "-zombie",
+          std::string("zzz-zombie")}) {
+      if (!follower.db->Get(zombie, &value).IsNotFound()) {
+        converged = false;
+      }
+    }
+    if (!follower.db->Get(Key(0), &value).IsNotFound()) converged = false;
+    if (!converged) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+  ASSERT_TRUE(converged) << "bootstrap never swept stale follower keys";
+
+  // Full sweep audit: the follower's live key set must be EXACTLY the
+  // primary's — no resurrection candidates left anywhere.
+  for (int i = 0; i < kKeys; i++) {
+    std::string value;
+    Status s = follower.db->Get(Key(i), &value);
+    if (i % 3 == 0) {
+      EXPECT_TRUE(s.IsNotFound()) << "deleted key survived: " << i;
+    } else {
+      ASSERT_TRUE(s.ok()) << i;
+      EXPECT_EQ(Value(i), value) << "divergent value survived: " << i;
+    }
+  }
+}
+
+TEST_F(ReplicationTest, PrimaryRestartWithFreshLogForcesBootstrap) {
+  const uint16_t primary_port = PickPort();
+  const uint16_t follower_port = PickPort();
+  repl::ReplOptions popts;  // ack=none
+  popts.replicas = {"127.0.0.1:" + std::to_string(follower_port)};
+
+  Node follower;
+  auto start_follower = [&](Node* node, const std::string& endpoint) {
+    repl::ReplOptions fopts;
+    fopts.primary_endpoint = endpoint;
+    node->Start(fopts, follower_port);
+  };
+
+  std::string old_endpoint;
+  {
+    // First life of the primary: keys 0..49 replicate normally.
+    Node primary;
+    primary.Start(popts, primary_port);
+    old_endpoint = primary.endpoint;
+    start_follower(&follower, primary.endpoint);
+    net::Client client;
+    ASSERT_TRUE(
+        client.Connect("127.0.0.1", primary.server->port()).ok());
+    for (int i = 0; i < 50; i++) {
+      ASSERT_TRUE(client.Put(Key(i), Value(i)).ok()) << i;
+    }
+    // 60 s, not 20: this test restarts a whole node and re-bootstraps
+    // the follower twice over, which crawls under TSan.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(60);
+    bool caught_up = false;
+    while (!caught_up && std::chrono::steady_clock::now() < deadline) {
+      std::string value;
+      caught_up = follower.db->Get(Key(49), &value).ok();
+      if (!caught_up) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      }
+    }
+    ASSERT_TRUE(caught_up);
+    // Node destructor = abrupt primary death; its in-memory log dies
+    // with it while the follower keeps its cursor (applied_seq ~50).
+  }
+
+  // Second life: same endpoint, empty DB, FRESH log (head 0, new run
+  // id). It writes fewer records than the follower's stale cursor, so
+  // without run-id detection every fetch would answer "caught up" —
+  // and later, aliased records. The follower must instead notice the
+  // run change, bootstrap, and converge to exactly the new state.
+  Node reborn;
+  reborn.Start(popts, primary_port);
+  ASSERT_EQ(old_endpoint, reborn.endpoint);
+  net::Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", reborn.server->port()).ok());
+  for (int i = 1000; i < 1010; i++) {
+    ASSERT_TRUE(client.Put(Key(i), Value(i)).ok()) << i;
+  }
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  bool converged = false;
+  while (!converged && std::chrono::steady_clock::now() < deadline) {
+    converged = true;
+    std::string value;
+    for (int i = 1000; i < 1010; i++) {
+      if (!follower.db->Get(Key(i), &value).ok() || value != Value(i)) {
+        converged = false;
+        break;
+      }
+    }
+    // The first life's keys are not in the reborn primary: the
+    // bootstrap sweep must remove them from the follower.
+    if (converged &&
+        !follower.db->Get(Key(0), &value).IsNotFound()) {
+      converged = false;
+    }
+    if (!converged) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+  ASSERT_TRUE(converged)
+      << "follower never detected the primary's log reset";
+  EXPECT_GE(follower.db->metrics()
+                ->GetCounter("repl.log_reset_bootstraps")
+                ->value(),
+            1u);
+  for (int i = 0; i < 50; i++) {
+    std::string value;
+    EXPECT_TRUE(follower.db->Get(Key(i), &value).IsNotFound())
+        << "stale pre-restart key survived: " << i;
+  }
 }
 
 }  // namespace
