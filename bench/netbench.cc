@@ -78,6 +78,11 @@ struct Config {
   int pipeline = 8;
   size_t key_size = 16;
   size_t value_size = 100;
+  /// Value-size distribution: "fixed" (every value exactly --value-size
+  /// bytes) or "uniform" (deterministic per key in [1, --value-size]).
+  /// Part of the run identity — a 16 KiB sweep only compares against
+  /// other 16 KiB runs in bench_diff.
+  std::string value_dist = "fixed";
   uint64_t key_space = 20'000;
   bool preload = true;
   double latency_scale = 1.0;
@@ -97,6 +102,16 @@ struct Config {
   /// In-process server's per-shard hot-key cache (0 disables).
   uint64_t cache_mb = 8;
   uint32_t cache_admit = 2;
+  /// In-process store tuning (0 keeps the CacheKVOptions default).
+  /// Small sub-MemTables + small vlog segments make seal → flush →
+  /// compaction → vlog GC observable within a short smoke run.
+  uint64_t sub_memtable_kb = 0;
+  uint64_t zone_flush_kb = 0;
+  uint64_t vlog_segment_kb = 0;
+  double vlog_gc_ratio = 0;
+  /// Separation threshold override in bytes; -1 keeps the default,
+  /// 0 disables separation (the inline baseline for write-amp sweeps).
+  int64_t sep_threshold = -1;
   /// Trace sampling (docs/OBSERVABILITY.md): every Nth request per
   /// connection goes out as a traced frame; 0 disables. Sampled results
   /// carry both the client-observed and the server-reported latency,
@@ -134,6 +149,20 @@ struct ThreadStats {
   Histogram queue_ns;
   double seconds = 0;
 };
+
+/// Per-key value size. "fixed" returns --value-size exactly; "uniform"
+/// hashes the key index into [1, --value-size], so a read-back can
+/// recompute the expected payload from the key index alone.
+size_t ValueSizeFor(const Config& cfg, uint64_t key_index) {
+  if (cfg.value_dist != "uniform") return cfg.value_size;
+  uint64_t h = (key_index + 1) * 0x9e3779b97f4a7c15ULL;
+  h ^= h >> 29;
+  return 1 + static_cast<size_t>(h % cfg.value_size);
+}
+
+std::string BenchValue(const Config& cfg, uint64_t key_index) {
+  return ValueFor(key_index, ValueSizeFor(cfg, key_index));
+}
 
 /// Client options for one bench connection: thread-distinct trace seeds
 /// keep sampled ids unique across connections while staying
@@ -179,8 +208,7 @@ bool PreloadStripe(net::Client* client, const Config& cfg, int tid) {
   uint64_t submitted = 0;
   for (uint64_t i = tid; i < cfg.key_space;
        i += static_cast<uint64_t>(cfg.connections)) {
-    client->SubmitPut(KeyFor(i, cfg.key_size),
-                      ValueFor(i, cfg.value_size));
+    client->SubmitPut(KeyFor(i, cfg.key_size), BenchValue(cfg, i));
     if (++submitted % 256 == 0) {
       std::vector<net::Client::Result> results;
       if (!client->WaitAll(&results).ok()) return false;
@@ -220,7 +248,7 @@ bool PreloadStripeSharded(net::ShardedClient* client, const Config& cfg,
        i += static_cast<uint64_t>(cfg.connections)) {
     const std::string key = KeyFor(i, cfg.key_size);
     client->shard_client(client->ShardOf(key))
-        ->SubmitPut(key, ValueFor(i, cfg.value_size));
+        ->SubmitPut(key, BenchValue(cfg, i));
     if (++submitted % 256 == 0 && !DrainAllShards(client)) {
       return false;
     }
@@ -261,7 +289,7 @@ void RunThread(const Config& cfg, int tid, uint64_t ops,
       if (is_get) {
         client.SubmitGet(key);
       } else {
-        client.SubmitPut(key, ValueFor(key_index, cfg.value_size));
+        client.SubmitPut(key, BenchValue(cfg, key_index));
       }
     }
     const uint64_t t0 = NowNs();
@@ -286,8 +314,7 @@ void RunThread(const Config& cfg, int tid, uint64_t ops,
         stats->get_ns.Add(flight_ns);
         if (r.status.ok()) {
           if (r.value !=
-              ValueFor(flight_keys[static_cast<size_t>(i)],
-                       cfg.value_size)) {
+              BenchValue(cfg, flight_keys[static_cast<size_t>(i)])) {
             stats->errors++;  // wrong payload: a correctness failure
           } else {
             stats->found++;
@@ -349,8 +376,7 @@ void RunThreadSharded(const Config& cfg, int tid, uint64_t ops,
       net::Client* conn = client.shard_client(shard);
       const uint64_t id =
           is_get ? conn->SubmitGet(key)
-                 : conn->SubmitPut(key, ValueFor(key_index,
-                                                 cfg.value_size));
+                 : conn->SubmitPut(key, BenchValue(cfg, key_index));
       pending[shard].emplace(id, FlightOp{key_index, is_get});
       stats->shard_ops[shard]++;
     }
@@ -390,7 +416,7 @@ void RunThreadSharded(const Config& cfg, int tid, uint64_t ops,
           stats->gets++;
           stats->get_ns.Add(flight_ns);
           if (r.status.ok()) {
-            if (r.value != ValueFor(op.key_index, cfg.value_size)) {
+            if (r.value != BenchValue(cfg, op.key_index)) {
               stats->errors++;  // wrong payload: a correctness failure
             } else {
               stats->found++;
@@ -425,6 +451,7 @@ JsonValue& AttachRunFields(JsonValue& run, const Config& cfg,
           JsonValue::Number(static_cast<double>(cfg.pipeline)));
   run.Set("value_size",
           JsonValue::Number(static_cast<double>(cfg.value_size)));
+  run.Set("value_dist", JsonValue::Str(cfg.value_dist));
   run.Set("read_pct",
           JsonValue::Number(static_cast<double>(cfg.read_pct)));
   run.Set("shards", JsonValue::Number(static_cast<double>(shards)));
@@ -502,6 +529,89 @@ bool ScrapeCacheStats(const Config& cfg, HotCacheStats* out) {
   return true;
 }
 
+/// Persistence-path byte counters, summed across shards, for the
+/// write-amplification section. With key-value separation on, large
+/// values flow through the log exactly once and the flush/compaction
+/// byte counts stay flat as --value-size grows.
+struct WriteAmpStats {
+  double ingest = 0;       // db.ingest_bytes: acked user key+value bytes
+  double separated = 0;    // db.separated_puts
+  double flush_copy = 0;   // flush.copy_bytes: memtable -> zone copies
+  double l0 = 0;           // lsm.l0_bytes_written
+  double compact = 0;      // lsm.compact_bytes_written
+  double vlog_append = 0;  // vlog.append_bytes (user writes + GC)
+  double vlog_appends = 0;
+  double vlog_gc_passes = 0;
+  double vlog_gc_unlinked = 0;
+  double vlog_gc_rewrite = 0;  // vlog.gc_rewrite_bytes
+
+  bool active() const { return ingest > 0; }
+  /// The headline figure: LSM bytes written per ingested byte.
+  double CompactionAmp() const { return (l0 + compact) / ingest; }
+  /// Everything the persistence paths wrote per ingested byte.
+  double TotalAmp() const {
+    return (flush_copy + l0 + compact + vlog_append) / ingest;
+  }
+};
+
+bool ScrapeWriteAmp(const Config& cfg, WriteAmpStats* out) {
+  net::Client client;
+  if (!client.Connect(cfg.connect_host, cfg.connect_port).ok()) {
+    return false;
+  }
+  std::string json;
+  if (!client.Stats(&json).ok()) {
+    return false;
+  }
+  JsonValue doc;
+  if (!JsonValue::Parse(json, &doc).ok() || !doc.is_object()) {
+    return false;
+  }
+  auto add_from = [out](const JsonValue& reg) {
+    auto num = [&reg](const char* name) -> double {
+      const JsonValue* v = reg.Get(name);
+      return (v != nullptr && v->is_number()) ? v->number() : 0;
+    };
+    out->ingest += num("db.ingest_bytes");
+    out->separated += num("db.separated_puts");
+    out->flush_copy += num("flush.copy_bytes");
+    out->l0 += num("lsm.l0_bytes_written");
+    out->compact += num("lsm.compact_bytes_written");
+    out->vlog_append += num("vlog.append_bytes");
+    out->vlog_appends += num("vlog.appends");
+    out->vlog_gc_passes += num("vlog.gc_passes");
+    out->vlog_gc_unlinked += num("vlog.gc_unlinked");
+    out->vlog_gc_rewrite += num("vlog.gc_rewrite_bytes");
+  };
+  if (doc.Get("shard.0") != nullptr) {
+    for (size_t i = 0;; i++) {
+      const JsonValue* shard = doc.Get("shard." + std::to_string(i));
+      if (shard == nullptr || !shard->is_object()) break;
+      add_from(*shard);
+    }
+  } else {
+    add_from(doc);
+  }
+  return true;
+}
+
+JsonValue WriteAmpJson(const WriteAmpStats& w) {
+  JsonValue v = JsonValue::Object();
+  v.Set("ingest_bytes", JsonValue::Number(w.ingest));
+  v.Set("separated_puts", JsonValue::Number(w.separated));
+  v.Set("flush_copy_bytes", JsonValue::Number(w.flush_copy));
+  v.Set("l0_bytes", JsonValue::Number(w.l0));
+  v.Set("compact_bytes", JsonValue::Number(w.compact));
+  v.Set("vlog_append_bytes", JsonValue::Number(w.vlog_append));
+  v.Set("vlog_appends", JsonValue::Number(w.vlog_appends));
+  v.Set("vlog_gc_passes", JsonValue::Number(w.vlog_gc_passes));
+  v.Set("vlog_gc_unlinked", JsonValue::Number(w.vlog_gc_unlinked));
+  v.Set("vlog_gc_rewrite_bytes", JsonValue::Number(w.vlog_gc_rewrite));
+  v.Set("compaction_write_amp", JsonValue::Number(w.CompactionAmp()));
+  v.Set("total_write_amp", JsonValue::Number(w.TotalAmp()));
+  return v;
+}
+
 JsonValue CacheJson(const HotCacheStats& c) {
   JsonValue v = JsonValue::Object();
   v.Set("hits", JsonValue::Number(static_cast<double>(c.hits)));
@@ -559,7 +669,7 @@ void RunThreadChaosWrites(const Config& cfg, int tid, uint64_t ops,
          i * static_cast<uint64_t>(cfg.connections)) %
         cfg.key_space;
     const std::string key = KeyFor(idx, cfg.key_size);
-    const std::string value = ValueFor(idx, cfg.value_size);
+    const std::string value = BenchValue(cfg, idx);
     st->attempts++;
     bool ok = false;
     for (int attempt = 0; attempt < 10 && !ok; attempt++) {
@@ -675,7 +785,7 @@ int RunChaos(const Config& cfg) {
       for (uint64_t idx : acked_union) {
         std::string value;
         Status gs = reader.Get(KeyFor(idx, cfg.key_size), &value);
-        if (gs.ok() && value == ValueFor(idx, cfg.value_size)) {
+        if (gs.ok() && value == BenchValue(cfg, idx)) {
           verified++;
         } else if (gs.ok() || gs.IsNotFound()) {
           lost++;  // missing or wrong payload: an acked write vanished
@@ -770,6 +880,8 @@ int main(int argc, char** argv) {
       cfg.pipeline = std::atoi(next("--pipeline"));
     } else if (std::strcmp(argv[i], "--value-size") == 0) {
       cfg.value_size = std::strtoull(next("--value-size"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--value-dist") == 0) {
+      cfg.value_dist = next("--value-dist");
     } else if (std::strcmp(argv[i], "--key-space") == 0) {
       cfg.key_space = std::strtoull(next("--key-space"), nullptr, 10);
     } else if (std::strcmp(argv[i], "--no-preload") == 0) {
@@ -797,6 +909,19 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--cache-admit") == 0) {
       cfg.cache_admit = static_cast<uint32_t>(
           std::strtoul(next("--cache-admit"), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--sub-memtable-kb") == 0) {
+      cfg.sub_memtable_kb =
+          std::strtoull(next("--sub-memtable-kb"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--zone-flush-kb") == 0) {
+      cfg.zone_flush_kb =
+          std::strtoull(next("--zone-flush-kb"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--vlog-segment-kb") == 0) {
+      cfg.vlog_segment_kb =
+          std::strtoull(next("--vlog-segment-kb"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--vlog-gc-ratio") == 0) {
+      cfg.vlog_gc_ratio = std::atof(next("--vlog-gc-ratio"));
+    } else if (std::strcmp(argv[i], "--sep-threshold") == 0) {
+      cfg.sep_threshold = std::strtoll(next("--sep-threshold"), nullptr, 10);
     } else if (std::strcmp(argv[i], "--trace-sample") == 0) {
       cfg.trace_sample = static_cast<uint32_t>(
           std::strtoul(next("--trace-sample"), nullptr, 10));
@@ -817,11 +942,15 @@ int main(int argc, char** argv) {
           stderr,
           "usage: %s [--connect host:port] [--connections N] [--ops N]\n"
           "          [--read-pct P] [--pipeline D] [--value-size B]\n"
+          "          [--value-dist fixed|uniform]\n"
           "          [--key-space N] [--no-preload] [--latency-scale X]\n"
           "          [--workers N] [--shards N] [--seed S]\n"
           "          [--dist uniform|zipfian|hotspot|latest]\n"
           "          [--theta X] [--hot-keys F] [--hot-ops F]\n"
           "          [--ycsb A|B|C|D] [--cache-mb N] [--cache-admit N]\n"
+          "          [--sub-memtable-kb N] [--zone-flush-kb N]\n"
+          "          [--vlog-segment-kb N] [--vlog-gc-ratio F]\n"
+          "          [--sep-threshold B]\n"
           "          [--trace-sample N] [--trace-out PATH]\n"
           "          [--trace-server-out PATH]\n"
           "          [--kill-pid PID] [--kill-at-ms N]\n"
@@ -836,6 +965,12 @@ int main(int argc, char** argv) {
   if (cfg.connections < 1) cfg.connections = 1;
   if (cfg.pipeline < 1) cfg.pipeline = 1;
   if (cfg.shards < 1) cfg.shards = 1;
+  if (cfg.value_size < 1) cfg.value_size = 1;
+  if (cfg.value_dist != "fixed" && cfg.value_dist != "uniform") {
+    std::fprintf(stderr, "bad --value-dist %s, want fixed|uniform\n",
+                 cfg.value_dist.c_str());
+    return 2;
+  }
   const bool sharded = cfg.shards > 1;
 
   // Replication chaos mode is a separate drive path: writes-only load
@@ -918,6 +1053,24 @@ int main(int argc, char** argv) {
     CacheKVOptions db_opts;
     db_opts.pool_bytes = 12ull << 20;
     db_opts.num_cores = 8;
+    if (cfg.sub_memtable_kb > 0) {
+      db_opts.sub_memtable_bytes = cfg.sub_memtable_kb << 10;
+      db_opts.min_sub_memtable_bytes = std::min(
+          db_opts.min_sub_memtable_bytes, db_opts.sub_memtable_bytes);
+    }
+    if (cfg.zone_flush_kb > 0) {
+      db_opts.imm_zone_flush_threshold = cfg.zone_flush_kb << 10;
+    }
+    if (cfg.vlog_segment_kb > 0) {
+      db_opts.vlog_segment_bytes = cfg.vlog_segment_kb << 10;
+    }
+    if (cfg.vlog_gc_ratio > 0) {
+      db_opts.vlog_gc_dead_ratio = cfg.vlog_gc_ratio;
+    }
+    if (cfg.sep_threshold >= 0) {
+      db_opts.value_separation_threshold =
+          static_cast<uint64_t>(cfg.sep_threshold);
+    }
     // The in-process server's spans land in the primary DB's tracer;
     // turn it on when a server-side dump was requested.
     db_opts.trace_enabled = !cfg.trace_server_out.empty();
@@ -1075,6 +1228,8 @@ int main(int argc, char** argv) {
   HotCacheStats cache_stats;
   const bool have_cache_stats =
       ScrapeCacheStats(cfg, &cache_stats) && cache_stats.active();
+  WriteAmpStats wamp;
+  const bool have_wamp = ScrapeWriteAmp(cfg, &wamp) && wamp.active();
 
   char buf[160];
   std::snprintf(buf, sizeof(buf),
@@ -1091,6 +1246,15 @@ int main(int argc, char** argv) {
                   queue_ns.Percentile(50) / 1000.0,
                   queue_ns.Percentile(99) / 1000.0);
     PrintRow("net-queueing", buf);
+  }
+  if (have_wamp) {
+    std::snprintf(buf, sizeof(buf),
+                  "compaction %5.2fx  total %5.2fx  (%.0f MB ingested, "
+                  "%.0f vlog appends, %.0f GC reclaims)",
+                  wamp.CompactionAmp(), wamp.TotalAmp(),
+                  wamp.ingest / (1 << 20), wamp.vlog_appends,
+                  wamp.vlog_gc_unlinked);
+    PrintRow("net-write-amp", buf);
   }
   if (have_cache_stats) {
     std::snprintf(
@@ -1120,6 +1284,11 @@ int main(int argc, char** argv) {
                         actual_shards);
     if (have_cache_stats) {
       mixed.Set("cache", CacheJson(cache_stats));
+    }
+    if (have_wamp) {
+      // Informational (dict-valued fields are ignored by bench_diff
+      // matching): server-side persistence bytes per ingested byte.
+      mixed.Set("write_amp", WriteAmpJson(wamp));
     }
     if (traced_total > 0) {
       // Informational (dict-valued fields are ignored by bench_diff

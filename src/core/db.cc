@@ -1,6 +1,7 @@
 #include "core/db.h"
 
 #include <algorithm>
+#include <array>
 #include <thread>
 
 #include "core/record_format.h"
@@ -39,6 +40,9 @@ DB::DB(PmemEnv* env, const CacheKVOptions& options)
       engine_(std::make_unique<LsmEngine>(env, options.lsm,
                                           MetaLayout::ManifestBase(env),
                                           &metrics_, &trace_)),
+      vlog_(std::make_unique<ValueLog>(
+          env, &metrics_, MetaLayout::VlogRegistryBase(env),
+          MetaLayout::kVlogRegistrySlotSize, options.vlog_segment_bytes)),
       puts_(metrics_.GetCounter("db.puts")),
       gets_(metrics_.GetCounter("db.gets")),
       seals_(metrics_.GetCounter("db.seals")),
@@ -51,10 +55,29 @@ DB::DB(PmemEnv* env, const CacheKVOptions& options)
           metrics_.GetCounter("db.get_hit_submemtable")),
       get_hit_zone_(metrics_.GetCounter("db.get_hit_zone")),
       get_hit_lsm_(metrics_.GetCounter("db.get_hit_lsm")),
-      get_miss_(metrics_.GetCounter("db.get_miss")) {
+      get_miss_(metrics_.GetCounter("db.get_miss")),
+      ingest_bytes_(metrics_.GetCounter("db.ingest_bytes")),
+      separated_puts_(metrics_.GetCounter("db.separated_puts")) {
   trace_.set_enabled(options_.trace_enabled ||
                      obs::TraceEnabledFromEnv());
   metadata_.resize(options_.num_cores);
+  // Flush and compaction report every superseded pointer entry they drop
+  // back to the value log as dead bytes (the GC's liveness signal). Each
+  // internal-key version is dropped exactly once across the two sites.
+  DroppedEntryFn on_drop = [this](const Slice& internal_key,
+                                  const Slice& value) {
+    ParsedInternalKey parsed;
+    if (!ParseInternalKey(internal_key, &parsed) ||
+        parsed.type != kTypeValuePointer) {
+      return;
+    }
+    ValuePointer ptr;
+    if (DecodeValuePointer(value, &ptr)) {
+      vlog_->AddDeadBytes(ptr, parsed.user_key.size());
+    }
+  };
+  zone_->SetDroppedEntryObserver(on_drop);
+  engine_->SetDroppedEntryObserver(on_drop);
 }
 
 Status DB::Open(PmemEnv* env, const CacheKVOptions& options, bool recover,
@@ -86,8 +109,18 @@ Status DB::Open(PmemEnv* env, const CacheKVOptions& options, bool recover,
     if (!s.ok()) {
       return s;
     }
+    // Re-adopt the value-log segments (reserving their regions) before
+    // the pool scan so every persistent region is accounted for.
+    s = d->vlog_->Recover();
+    if (!s.ok()) {
+      return s;
+    }
     uint64_t max_seq = std::max<uint64_t>(d->engine_->LastSequence(),
                                           d->zone_->MaxSequence());
+    // Cross-check against the vlog heads: torn-off appends may have
+    // consumed sequence numbers whose pointers never committed; starting
+    // below them would let a future write collide with an orphan record.
+    max_seq = std::max<uint64_t>(max_seq, d->vlog_->MaxSequence());
     s = d->pool_->RecoverScan([&](const SubMemTable& table) -> Status {
       SubMemTable::Header h = table.ReadHeader();
       auto index =
@@ -138,6 +171,10 @@ Status DB::Open(PmemEnv* env, const CacheKVOptions& options, bool recover,
                      std::memory_order_release);
   } else {
     d->pool_->Format();
+    s = d->vlog_->Format();
+    if (!s.ok()) {
+      return s;
+    }
   }
 
   for (int i = 0; i < options.num_flush_threads; i++) {
@@ -146,11 +183,25 @@ Status DB::Open(PmemEnv* env, const CacheKVOptions& options, bool recover,
   for (int i = 0; i < options.num_index_threads; i++) {
     d->index_threads_.emplace_back(&DB::IndexThread, d.get());
   }
+  DB* raw = d.get();
+  d->vlog_gc_ = std::make_unique<VlogGc>(
+      d->vlog_.get(), &d->metrics_,
+      [raw](const Slice& key, const ValuePointer& old_ptr,
+            const Slice& value, bool* relocated) {
+        return raw->RelocateForGc(key, old_ptr, value, relocated);
+      },
+      options.vlog_gc_dead_ratio, options.vlog_gc_interval_ms);
+  d->vlog_gc_->Start();
   *db = std::move(d);
   return Status::OK();
 }
 
 DB::~DB() {
+  // Stop the GC first: its relocation writes go through the normal write
+  // path and must not race the teardown of the background threads.
+  if (vlog_gc_ != nullptr) {
+    vlog_gc_->Stop();
+  }
   shutting_down_.store(true, std::memory_order_release);
   {
     std::lock_guard<std::mutex> lock(flush_mu_);
@@ -358,6 +409,12 @@ void DB::DispatchCommitHook(SequenceNumber first_seq,
   }
 }
 
+bool DB::ShouldSeparate(const Slice& key, const Slice& value) const {
+  return options_.value_separation_threshold > 0 &&
+         value.size() >= options_.value_separation_threshold &&
+         vlog_->Fits(key.size(), value.size());
+}
+
 Status DB::Write(ValueType type, const Slice& key, const Slice& value) {
   OBS_SPAN(&metrics_, "put");
   // Background-error propagation: once a flush/index/compaction stage
@@ -366,17 +423,51 @@ Status DB::Write(ValueType type, const Slice& key, const Slice& value) {
   if (!gate.ok()) {
     return gate;
   }
-  if (MaxRecordSize(key.size(), value.size()) >
+  // Key–value separation: a large value goes to the value log and the
+  // memory component carries a 16-byte pointer (values too large for a
+  // vlog segment fall back to the inline path and the check below).
+  const bool separate = type == kTypeValue && ShouldSeparate(key, value);
+  if (MaxRecordSize(key.size(),
+                    separate ? kValuePointerSize : value.size()) >
       options_.sub_memtable_bytes - SubMemTable::kDataOffset) {
     return Status::InvalidArgument(
         "record larger than a full-size sub-memtable");
   }
   puts_->Increment();
   const int core = CoreOf();
-  const SequenceNumber seq = AllocSeqBlock(1);
   std::lock_guard<std::mutex> core_lock(core_mu_[core % kMaxCoreLocks]);
-  Status s = WriteToCore(core, seq, type, key, value);
-  if (s.ok()) tls_last_commit_seq = seq;
+  // The sequence is allocated while the core lock is held so the vlog
+  // GC's write fence (all core locks) can rely on: any writer not
+  // currently holding a core lock will sequence AFTER a fenced GC
+  // relocation, and any writer inside the fence has published.
+  const SequenceNumber seq = AllocSeqBlock(1);
+  Status s;
+  if (separate) {
+    // The value must be durable in the log before the pointer can
+    // commit: recovery replays the pointer only if the record frame
+    // checks out, so an acked key never dangles.
+    ValuePointer ptr;
+    s = vlog_->Append(seq, key, value, &ptr);
+    if (s.ok()) {
+      std::string encoded_ptr;
+      EncodeValuePointer(&encoded_ptr, ptr);
+      s = WriteToCore(core, seq, kTypeValuePointer, key,
+                      Slice(encoded_ptr));
+      if (s.ok()) {
+        separated_puts_->Increment();
+      } else {
+        // Orphaned log record (pointer never committed): it is dead
+        // weight until GC reclaims the segment.
+        vlog_->AddDeadBytes(ptr, key.size());
+      }
+    }
+  } else {
+    s = WriteToCore(core, seq, type, key, value);
+  }
+  if (s.ok()) {
+    tls_last_commit_seq = seq;
+    ingest_bytes_->fetch_add(key.size() + value.size());
+  }
   if (commit_hook_) {
     if (s.ok()) {
       std::vector<BatchOp> ops(1);
@@ -409,11 +500,16 @@ Status DB::MultiPut(const std::vector<BatchOp>& batch) {
     return Status::OK();
   }
   size_t encoded_bound = 0;
-  for (const BatchOp& op : batch) {
-    encoded_bound += MaxRecordSize(op.key.size(), op.value.size());
+  std::vector<uint8_t> separate(batch.size(), 0);
+  for (size_t i = 0; i < batch.size(); i++) {
+    const BatchOp& op = batch[i];
     if (op.key.empty()) {
       return Status::InvalidArgument("empty key in batch");
     }
+    separate[i] = !op.is_delete &&
+                  ShouldSeparate(Slice(op.key), Slice(op.value));
+    encoded_bound += MaxRecordSize(
+        op.key.size(), separate[i] ? kValuePointerSize : op.value.size());
   }
   if (encoded_bound >
       options_.sub_memtable_bytes - SubMemTable::kDataOffset) {
@@ -425,29 +521,71 @@ Status DB::MultiPut(const std::vector<BatchOp>& batch) {
   trace.AddArg("keys", batch.size());
   const int core = CoreOf();
   std::lock_guard<std::mutex> core_lock(core_mu_[core % kMaxCoreLocks]);
-  // Reserve a contiguous sequence block for the transaction.
+  // Reserve a contiguous sequence block for the transaction (under the
+  // core lock — see the GC write-fence comment in Write()).
   const SequenceNumber first_seq = AllocSeqBlock(batch.size());
   const SequenceNumber last_seq = first_seq + batch.size() - 1;
   // Every exit below must settle the reserved block with the hook
   // dispatcher — a block that never settles would stall the hooks of
-  // all later writes. `ops` stays null on the failure paths.
+  // all later writes. `ops` stays null on the failure paths. Vlog
+  // records appended for a batch that then fails to commit are orphans:
+  // credit them back as dead bytes so GC reclaims them.
   struct SettleBlock {
     DB* db;
     SequenceNumber first, last;
     const std::vector<BatchOp>* ops = nullptr;
     bool armed;
+    std::vector<std::pair<ValuePointer, size_t>> appended;  // + key size
+    bool committed = false;
     ~SettleBlock() {
+      if (!committed) {
+        for (const auto& [ptr, key_len] : appended) {
+          db->vlog_->AddDeadBytes(ptr, key_len);
+        }
+      }
       if (armed) db->DispatchCommitHook(first, last, ops);
     }
-  } settle{this, first_seq, last_seq, nullptr, commit_hook_ != nullptr};
+  } settle{this, first_seq, last_seq, nullptr,
+           commit_hook_ != nullptr};
   std::string records;
   records.reserve(encoded_bound);
   SequenceNumber seq = first_seq;
-  for (const BatchOp& op : batch) {
-    EncodeRecord(&records, seq++,
-                 op.is_delete ? kTypeDeletion : kTypeValue,
-                 Slice(op.key), Slice(op.value));
+  for (size_t i = 0; i < batch.size(); i++) {
+    const BatchOp& op = batch[i];
+    if (separate[i]) {
+      // Durable in the log before the batch's single-CAS publish.
+      ValuePointer ptr;
+      Status vs = vlog_->Append(seq, Slice(op.key), Slice(op.value), &ptr);
+      if (!vs.ok()) {
+        return vs;
+      }
+      settle.appended.emplace_back(ptr, op.key.size());
+      std::string encoded_ptr;
+      EncodeValuePointer(&encoded_ptr, ptr);
+      EncodeRecord(&records, seq++, kTypeValuePointer, Slice(op.key),
+                   Slice(encoded_ptr));
+    } else {
+      EncodeRecord(&records, seq++,
+                   op.is_delete ? kTypeDeletion : kTypeValue,
+                   Slice(op.key), Slice(op.value));
+    }
   }
+
+  auto mark_committed = [&] {
+    settle.committed = true;
+    settle.ops = &batch;
+    tls_last_commit_seq = last_seq;
+    uint64_t bytes = 0;
+    uint64_t separations = 0;
+    for (size_t i = 0; i < batch.size(); i++) {
+      bytes += batch[i].key.size() + batch[i].value.size();
+      separations += separate[i];
+    }
+    ingest_bytes_->fetch_add(bytes);
+    if (separations > 0) {
+      separated_puts_->Increment(separations);
+    }
+  };
 
   for (int attempt = 0; attempt < 16; attempt++) {
     std::shared_ptr<ActiveTable> t = metadata_[core];
@@ -469,8 +607,7 @@ Status DB::MultiPut(const std::vector<BatchOp>& batch) {
         OBS_SPAN(&metrics_, "put.index_sync");
         Status sync = t->index->SyncWithTable(t->table);
         if (sync.ok()) {
-          settle.ops = &batch;
-          tls_last_commit_seq = last_seq;
+          mark_committed();
         }
         return sync;
       }
@@ -481,8 +618,7 @@ Status DB::MultiPut(const std::vector<BatchOp>& batch) {
         t->writes_since_sync.store(0, std::memory_order_relaxed);
         ScheduleSync(t);
       }
-      settle.ops = &batch;
-      tls_last_commit_seq = last_seq;
+      mark_committed();
       return s;
     }
     if (s.IsOutOfSpace()) {
@@ -515,7 +651,9 @@ Iterator* DB::NewScanIterator() {
   class ScanIterator : public Iterator {
    public:
     ScanIterator(DB* db)
-        : tables_lock_(db->tables_mu_), zone_lock_(db->zone_->LockShared()) {
+        : tables_lock_(db->tables_mu_),
+          zone_lock_(db->zone_->LockShared()),
+          vlog_pin_(db->vlog_->PinSegments()) {
       std::vector<Iterator*> children;
       for (const auto& t : db->live_tables_) {
         // Read trigger: scans need the same strict consistency as Gets.
@@ -531,8 +669,26 @@ Iterator* DB::NewScanIterator() {
         children.push_back(zt.index->NewIterator());
       }
       children.push_back(db->engine_->NewIterator());
-      impl_.reset(NewUserKeyIterator(NewDedupingIterator(
-          NewMergingIterator(&db->scan_icmp_, std::move(children)))));
+      // The pin blocks vlog GC from unlinking segments for the scan's
+      // lifetime, so pointer resolution below can never hit a recycled
+      // segment.
+      ValueLog* vlog = db->vlog_.get();
+      impl_.reset(NewUserKeyIterator(
+          NewDedupingIterator(
+              NewMergingIterator(&db->scan_icmp_, std::move(children))),
+          [vlog](const Slice& internal_key, const Slice& raw_value,
+                 std::string* value) -> Status {
+            ParsedInternalKey parsed;
+            if (!ParseInternalKey(internal_key, &parsed) ||
+                parsed.type != kTypeValuePointer) {
+              return Status::Corruption("resolver on a non-pointer entry");
+            }
+            ValuePointer ptr;
+            if (!DecodeValuePointer(raw_value, &ptr)) {
+              return Status::Corruption("bad value pointer");
+            }
+            return vlog->Read(ptr, value);
+          }));
     }
 
     bool Valid() const override { return impl_->Valid(); }
@@ -548,6 +704,7 @@ Iterator* DB::NewScanIterator() {
    private:
     std::shared_lock<std::shared_mutex> tables_lock_;
     std::shared_lock<std::shared_mutex> zone_lock_;
+    std::shared_lock<std::shared_mutex> vlog_pin_;
     std::vector<std::shared_ptr<ActiveTable>> pinned_;
     std::vector<FlushedTable> zone_tables_;
     std::unique_ptr<Iterator> impl_;
@@ -579,41 +736,12 @@ Status DB::Delete(const Slice& key) {
   return Write(kTypeDeletion, key, Slice());
 }
 
-Status DB::Get(const Slice& key, std::string* value) {
-  OBS_SPAN(&metrics_, "get");
-  obs::TraceScope trace(&trace_, "get");
-  gets_->Increment();
-
-  bool found = false;
-  SequenceNumber best_seq = 0;
-  ValueType best_type = kTypeValue;
-  // Which component holds the freshest entry (the one that answers the
-  // Get, whether with a value or a tombstone). Error returns bypass the
-  // accounting, so on clean runs the four db.get_hit_*/db.get_miss
-  // counters sum to db.gets.
-  enum class Where { kNone, kSubMemTable, kZone, kLsm };
-  Where where = Where::kNone;
-  auto resolve = [&]() -> Status {
-    switch (where) {
-      case Where::kNone:
-        get_miss_->Increment();
-        break;
-      case Where::kSubMemTable:
-        get_hit_submemtable_->Increment();
-        break;
-      case Where::kZone:
-        get_hit_zone_->Increment();
-        break;
-      case Where::kLsm:
-        get_hit_lsm_->Increment();
-        break;
-    }
-    if (!found || best_type == kTypeDeletion) {
-      return Status::NotFound(where == Where::kNone ? "no visible entry"
-                                                    : "deleted");
-    }
-    return Status::OK();
-  };
+Status DB::SearchRaw(const Slice& key, RawResult* out) {
+  out->found = false;
+  out->sequence = 0;
+  out->type = kTypeValue;
+  out->value.clear();
+  out->where = RawResult::Where::kNone;
 
   // 1) Memory component: every live sub-MemTable (read trigger: sync
   //    the sub-skiplist before searching; §III-B strict consistency).
@@ -629,26 +757,27 @@ Status DB::Get(const Slice& key, std::string* value) {
       }
       index_syncs_->Increment();
       SubSkiplist::Candidate c;
-      if (t->index->Get(key, &c) && (!found || c.sequence > best_seq)) {
-        found = true;
-        best_seq = c.sequence;
-        best_type = c.type;
+      if (t->index->Get(key, &c) &&
+          (!out->found || c.sequence > out->sequence)) {
+        out->found = true;
+        out->sequence = c.sequence;
+        out->type = c.type;
         best_index = t->index.get();
         best_candidate = c;
       }
     }
-    if (found && best_type == kTypeValue) {
-      Status s = best_index->ReadValue(best_candidate, value);
+    if (out->found && out->type != kTypeDeletion) {
+      Status s = best_index->ReadValue(best_candidate, &out->value);
       if (!s.ok()) {
         return s;
       }
     }
   }
-  if (found) {
-    where = Where::kSubMemTable;
-    if (best_seq > flushed_hwm_.load(std::memory_order_acquire)) {
+  if (out->found) {
+    out->where = RawResult::Where::kSubMemTable;
+    if (out->sequence > flushed_hwm_.load(std::memory_order_acquire)) {
       // Nothing outside the live tables can be fresher.
-      return resolve();
+      return Status::OK();
     }
   }
 
@@ -661,18 +790,18 @@ Status DB::Get(const Slice& key, std::string* value) {
     if (!s.ok()) {
       return s;
     }
-    if (zr.found && (!found || zr.sequence > best_seq)) {
-      found = true;
-      best_seq = zr.sequence;
-      best_type = zr.type;
-      where = Where::kZone;
-      if (zr.type == kTypeValue) {
-        *value = std::move(zr.value);
+    if (zr.found && (!out->found || zr.sequence > out->sequence)) {
+      out->found = true;
+      out->sequence = zr.sequence;
+      out->type = zr.type;
+      out->where = RawResult::Where::kZone;
+      if (zr.type != kTypeDeletion) {
+        out->value = std::move(zr.value);
       }
     }
   }
-  if (found && best_seq > l0_hwm_.load(std::memory_order_acquire)) {
-    return resolve();
+  if (out->found && out->sequence > l0_hwm_.load(std::memory_order_acquire)) {
+    return Status::OK();
   }
 
   // 3) LSM storage component.
@@ -681,24 +810,144 @@ Status DB::Get(const Slice& key, std::string* value) {
     std::string lsm_value;
     bool lsm_deleted = false;
     SequenceNumber lsm_seq = 0;
+    ValueType lsm_type = kTypeValue;
     Status s = engine_->Get(key, kMaxSequenceNumber, &lsm_value,
-                            &lsm_deleted, &lsm_seq);
+                            &lsm_deleted, &lsm_seq, &lsm_type);
     if (s.ok() || (s.IsNotFound() && lsm_deleted)) {
-      if (!found || lsm_seq > best_seq) {
-        found = true;
-        best_seq = lsm_seq;
-        best_type = lsm_deleted ? kTypeDeletion : kTypeValue;
-        where = Where::kLsm;
+      if (!out->found || lsm_seq > out->sequence) {
+        out->found = true;
+        out->sequence = lsm_seq;
+        out->type = lsm_deleted ? kTypeDeletion : lsm_type;
+        out->where = RawResult::Where::kLsm;
         if (!lsm_deleted) {
-          *value = std::move(lsm_value);
+          out->value = std::move(lsm_value);
         }
       }
     } else if (!s.IsNotFound()) {
       return s;
     }
   }
+  return Status::OK();
+}
 
-  return resolve();
+Status DB::Get(const Slice& key, std::string* value) {
+  OBS_SPAN(&metrics_, "get");
+  obs::TraceScope trace(&trace_, "get");
+  gets_->Increment();
+
+  // A pointer read can lose a race with GC: the victim segment is
+  // unlinked after the relocated pointer committed, so a stale pointer
+  // resolved from a pre-relocation search turns into a retryable
+  // NotFound("vlog segment recycled"). The relocated pointer is
+  // committed before Unlink, so one re-search converges; the bound only
+  // guards against pathological churn.
+  Status s;
+  RawResult r;
+  for (int attempt = 0; attempt < 16; attempt++) {
+    s = SearchRaw(key, &r);
+    if (!s.ok()) {
+      return s;  // component error: bypass hit/miss accounting
+    }
+    if (r.found && r.type == kTypeValuePointer) {
+      ValuePointer ptr;
+      if (!DecodeValuePointer(Slice(r.value), &ptr)) {
+        return Status::Corruption("bad value pointer");
+      }
+      s = vlog_->Read(ptr, value);
+      if (s.IsNotFound()) {
+        continue;  // segment recycled mid-read: retry the search
+      }
+      if (!s.ok()) {
+        return s;
+      }
+    } else if (r.found && r.type != kTypeDeletion) {
+      *value = std::move(r.value);
+    }
+    break;
+  }
+  if (s.IsNotFound()) {
+    return Status::Corruption("value pointer kept racing GC");
+  }
+
+  // Which component held the freshest entry (the one that answered the
+  // Get, whether with a value or a tombstone). Error returns bypass the
+  // accounting, so on clean runs the four db.get_hit_*/db.get_miss
+  // counters sum to db.gets.
+  switch (r.where) {
+    case RawResult::Where::kNone:
+      get_miss_->Increment();
+      break;
+    case RawResult::Where::kSubMemTable:
+      get_hit_submemtable_->Increment();
+      break;
+    case RawResult::Where::kZone:
+      get_hit_zone_->Increment();
+      break;
+    case RawResult::Where::kLsm:
+      get_hit_lsm_->Increment();
+      break;
+  }
+  if (!r.found || r.type == kTypeDeletion) {
+    return Status::NotFound(r.where == RawResult::Where::kNone
+                                ? "no visible entry"
+                                : "deleted");
+  }
+  return Status::OK();
+}
+
+Status DB::RelocateForGc(const Slice& key, const ValuePointer& old_ptr,
+                         const Slice& value, bool* relocated) {
+  *relocated = false;
+  Status gate = bg_errors_.CheckWritable();
+  if (!gate.ok()) {
+    return gate;
+  }
+  // Global write fence: with every core lock held, no write is between
+  // its AllocSeqBlock and its sub-memtable publish, so the SearchRaw
+  // probe below sees the latest committed version of `key` and no
+  // concurrent writer can commit an older-seq entry after we probe.
+  std::array<std::unique_lock<std::mutex>, kMaxCoreLocks> fence;
+  for (int i = 0; i < kMaxCoreLocks; i++) {
+    fence[i] = std::unique_lock<std::mutex>(core_mu_[i]);
+  }
+  RawResult r;
+  Status s = SearchRaw(key, &r);
+  if (!s.ok()) {
+    return s;
+  }
+  if (!r.found || r.type != kTypeValuePointer) {
+    return Status::OK();  // superseded or deleted: record is dead
+  }
+  ValuePointer current;
+  if (!DecodeValuePointer(Slice(r.value), &current) || current != old_ptr) {
+    return Status::OK();  // points elsewhere: this copy is dead
+  }
+  const SequenceNumber seq = AllocSeqBlock(1);
+  ValuePointer new_ptr;
+  s = vlog_->Append(seq, key, value, &new_ptr);
+  if (s.ok()) {
+    std::string encoded_ptr;
+    EncodeValuePointer(&encoded_ptr, new_ptr);
+    s = WriteToCore(0, seq, kTypeValuePointer, key, Slice(encoded_ptr));
+    if (!s.ok()) {
+      vlog_->AddDeadBytes(new_ptr, key.size());  // orphaned copy
+    }
+  }
+  std::vector<BatchOp> ops;
+  if (s.ok()) {
+    *relocated = true;
+    tls_last_commit_seq = seq;
+    // Followers replay user-visible ops, so the hook carries the value
+    // itself — on the far side this is a benign same-bytes overwrite.
+    BatchOp op;
+    op.key = key.ToString();
+    op.value = value.ToString();
+    ops.push_back(std::move(op));
+  }
+  if (commit_hook_) {
+    DispatchCommitHook(seq, seq, s.ok() ? &ops : nullptr);
+  }
+  return s;
 }
 
 void DB::ScheduleSync(const std::shared_ptr<ActiveTable>& table) {
@@ -744,6 +993,7 @@ Status DB::CopyFlushOne(std::shared_ptr<ActiveTable> sealed) {
   }
   env_->Sfence();
   copy_flushes_->Increment();
+  metrics_.GetCounter("flush.copy_bytes")->fetch_add(copy_len);
   trace.AddArg("bytes", copy_len);
   trace.AddArg("keys", h.counter);
 

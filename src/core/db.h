@@ -26,6 +26,9 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "pmem/pmem_env.h"
+#include "vlog/value_log.h"
+#include "vlog/value_pointer.h"
+#include "vlog/vlog_gc.h"
 
 namespace cachekv {
 
@@ -161,6 +164,8 @@ class DB : public KVStore {
   SubMemTablePool* pool() { return pool_.get(); }
   FlushedZone* zone() { return zone_.get(); }
   LsmEngine* engine() { return engine_.get(); }
+  ValueLog* vlog() { return vlog_.get(); }
+  VlogGc* vlog_gc() { return vlog_gc_.get(); }
   SequenceNumber LastSequence() const {
     return sequence_.load(std::memory_order_acquire);
   }
@@ -182,6 +187,33 @@ class DB : public KVStore {
   };
 
   DB(PmemEnv* env, const CacheKVOptions& options);
+
+  /// Freshest committed version of `key` across all three components,
+  /// with the raw stored bytes (a pointer entry's encoded ValuePointer is
+  /// NOT resolved). `count_hit` routes the per-component hit counters;
+  /// the GC liveness probe passes false.
+  struct RawResult {
+    bool found = false;
+    SequenceNumber sequence = 0;
+    ValueType type = kTypeValue;
+    std::string value;  // raw bytes unless type == kTypeDeletion
+    /// Which component answered, for the db.get_hit_* attribution.
+    enum class Where { kNone, kSubMemTable, kZone, kLsm } where =
+        Where::kNone;
+  };
+  Status SearchRaw(const Slice& key, RawResult* out);
+
+  /// True when a Put of (key, value) goes through the value log.
+  bool ShouldSeparate(const Slice& key, const Slice& value) const;
+
+  /// GC relocation of one vlog record, under the global write fence (all
+  /// core locks, so no writer sits between sequence allocation and
+  /// publication). Re-appends `value` under a fresh sequence and commits
+  /// the new pointer iff the freshest committed version of `key` is
+  /// exactly `old_ptr`; otherwise the record is dead and *relocated
+  /// stays false.
+  Status RelocateForGc(const Slice& key, const ValuePointer& old_ptr,
+                       const Slice& value, bool* relocated);
 
   Status Write(ValueType type, const Slice& key, const Slice& value);
   Status WriteToCore(int core, SequenceNumber seq, ValueType type,
@@ -228,6 +260,10 @@ class DB : public KVStore {
   std::unique_ptr<SubMemTablePool> pool_;
   std::unique_ptr<FlushedZone> zone_;
   std::unique_ptr<LsmEngine> engine_;
+  // Key–value separation (src/vlog/): the log outlives the GC thread,
+  // which is stopped first in ~DB.
+  std::unique_ptr<ValueLog> vlog_;
+  std::unique_ptr<VlogGc> vlog_gc_;
 
   // Hot-path counters, cached once from the registry (which owns them;
   // DumpMetrics() is the single source of truth for their values).
@@ -243,6 +279,8 @@ class DB : public KVStore {
   obs::Counter* get_hit_zone_;
   obs::Counter* get_hit_lsm_;
   obs::Counter* get_miss_;
+  obs::Counter* ingest_bytes_;
+  obs::Counter* separated_puts_;
 
   std::atomic<uint64_t> sequence_{0};
   CommitHook commit_hook_;

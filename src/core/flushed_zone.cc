@@ -373,7 +373,7 @@ Iterator* FlushedZone::NewL0Stream(
     children.push_back(t.index->NewIterator());
   }
   return NewDedupingIterator(
-      NewMergingIterator(&icmp_, std::move(children)));
+      NewMergingIterator(&icmp_, std::move(children)), on_drop_);
 }
 
 Status FlushedZone::DropTables(const std::vector<FlushedTable>& snapshot) {

@@ -13,6 +13,7 @@
 #include "index/skiplist.h"
 #include "lsm/dbformat.h"
 #include "lsm/iterator.h"
+#include "lsm/merger.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "pmem/pmem_env.h"
@@ -151,8 +152,16 @@ class FlushedZone {
   /// removed (freshest per user key survives, tombstones included): the
   /// deferred space reclamation of §III-D. Feed this to the LSM's L0
   /// builder. The snapshot's tables must stay in the zone until the
-  /// returned iterator is destroyed.
+  /// returned iterator is destroyed. Superseded entries it drops are
+  /// reported to the dead-entry observer (SetDroppedEntryObserver).
   Iterator* NewL0Stream(const std::vector<FlushedTable>& snapshot);
+
+  /// Observer for entries NewL0Stream discards as superseded; DB wires
+  /// this to the vlog's dead-byte accounting. Set once at Open, before
+  /// any flush runs.
+  void SetDroppedEntryObserver(DroppedEntryFn observer) {
+    on_drop_ = std::move(observer);
+  }
 
   /// Removes and frees exactly the snapshot's tables (after they were
   /// written to L0) and persists the registry. Takes the exclusive lock
@@ -178,6 +187,8 @@ class FlushedZone {
   obs::MetricsRegistry* metrics_;  // may be null
   obs::Tracer* trace_;             // may be null
   InternalKeyComparator icmp_;
+
+  DroppedEntryFn on_drop_;  // may be empty
 
   mutable std::shared_mutex mu_;
   std::vector<FlushedTable> tables_;

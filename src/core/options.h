@@ -76,6 +76,25 @@ struct CacheKVOptions {
   /// counter records every such failure).
   uint32_t write_stall_timeout_ms = 5000;
 
+  /// Key–value separation (src/vlog/, WiscKey-style): values at or above
+  /// this many bytes are appended to the value log and the LSM carries a
+  /// 16-byte pointer instead, keeping flush and compaction write
+  /// amplification flat in the value size. 0 disables separation (every
+  /// value stays inline). Values too large for a vlog segment fall back
+  /// to the inline path.
+  uint64_t value_separation_threshold = 4096;
+
+  /// Size of each append-only value-log segment (the GC reclamation
+  /// unit).
+  uint64_t vlog_segment_bytes = 4ull << 20;
+
+  /// A sealed segment becomes a GC victim once compaction has reported
+  /// at least this fraction of its bytes dead.
+  double vlog_gc_dead_ratio = 0.5;
+
+  /// Period of the background vlog GC thread's victim scan.
+  uint64_t vlog_gc_interval_ms = 200;
+
   /// The LSM storage component underneath.
   LsmOptions lsm;
 };

@@ -39,7 +39,7 @@ bool DecodeRecordHeaderAt(PmemEnv* env, uint64_t offset,
   uint64_t packed = DecodeFixed64(p);
   p += 8;
   uint8_t type_byte = packed & 0xff;
-  if (type_byte > kTypeValue) {
+  if (type_byte > kMaxValueType) {
     return false;
   }
   header->key_len = key_len;

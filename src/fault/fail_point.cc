@@ -35,6 +35,9 @@ const char* const kBuiltinPoints[] = {
     "lsm.write_l0",       // LsmEngine::WriteL0Tables entry
     "lsm.compact",        // LsmEngine::CompactLevel entry
     "lsm.manifest",       // ManifestWriter A/B slot write (torn-able)
+    "vlog.append.torn",   // ValueLog::Append record write (torn-able)
+    "vlog.gc.drop",       // VlogGc pass / segment unlink
+    "vlog.read.bitrot",   // ValueLog::Read — bit-rot on resolved value
 };
 
 bool ParseUint(const std::string& s, uint64_t* out) {

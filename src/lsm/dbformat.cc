@@ -18,7 +18,7 @@ bool ParseInternalKey(const Slice& internal_key,
   result->sequence = packed >> 8;
   result->type = static_cast<ValueType>(c);
   result->user_key = ExtractUserKey(internal_key);
-  return c <= kTypeValue;
+  return c <= kMaxValueType;
 }
 
 int InternalKeyComparator::Compare(const Slice& a, const Slice& b) const {

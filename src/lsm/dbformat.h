@@ -14,19 +14,28 @@ namespace cachekv {
 typedef uint64_t SequenceNumber;
 
 /// Value types encoded as the low byte of the internal key trailer.
-/// kTypeDeletion sorts after kTypeValue for equal (user_key, seq)... the
-/// trailer packs (seq << 8 | type), and internal keys with equal user keys
-/// order by decreasing trailer, so for the same sequence a kTypeValue
-/// (type 1) is seen before kTypeDeletion (type 0); sequences are unique
-/// per store so this tie never occurs in practice.
+/// The trailer packs (seq << 8 | type), and internal keys with equal user
+/// keys order by decreasing trailer, so for the same sequence higher type
+/// values are seen first; sequences are unique per store so this tie
+/// never occurs in practice.
+///
+/// kTypeValuePointer marks a key–value-separated record: the record's
+/// value slot holds an encoded ValuePointer (src/vlog/value_pointer.h)
+/// into the append-only value log instead of the user value. Pointer
+/// entries behave like values for visibility (they are "not a deletion");
+/// only the final read path resolves them.
 enum ValueType : uint8_t {
   kTypeDeletion = 0x0,
   kTypeValue = 0x1,
+  kTypeValuePointer = 0x2,
 };
+
+/// Highest valid ValueType; parsers reject anything above it.
+static constexpr ValueType kMaxValueType = kTypeValuePointer;
 
 /// kValueTypeForSeek is the highest type value, used when constructing
 /// seek targets so that all entries of the target sequence are visible.
-static constexpr ValueType kValueTypeForSeek = kTypeValue;
+static constexpr ValueType kValueTypeForSeek = kMaxValueType;
 
 /// We leave eight bits free for the type tag.
 static constexpr SequenceNumber kMaxSequenceNumber =

@@ -185,6 +185,9 @@ Status LsmEngine::BuildTables(Iterator* iter, std::vector<TableRef>* outputs,
       // user keys newest-first, so only the first occurrence survives.
       if (has_last_user_key &&
           Slice(last_user_key) == parsed.user_key) {
+        if (on_drop_ != nullptr) {
+          on_drop_(iter->key(), iter->value());
+        }
         continue;
       }
       last_user_key.assign(parsed.user_key.data(),
@@ -263,6 +266,9 @@ Status LsmEngine::WriteL0Tables(Iterator* iter) {
   uint64_t output_bytes = 0;
   for (const TableRef& t : outputs) {
     output_bytes += t->meta.file_size;
+  }
+  if (metrics_ != nullptr) {
+    metrics_->GetCounter("lsm.l0_bytes_written")->fetch_add(output_bytes);
   }
   trace.AddArg("tables", outputs.size());
   trace.AddArg("bytes", output_bytes);
@@ -483,6 +489,14 @@ Status LsmEngine::CompactLevel(int level) {
   if (!s.ok()) {
     return s;
   }
+  if (metrics_ != nullptr) {
+    uint64_t compact_bytes = 0;
+    for (const TableRef& t : outputs) {
+      compact_bytes += t->meta.file_size;
+    }
+    metrics_->GetCounter("lsm.compact_bytes_written")
+        ->fetch_add(compact_bytes);
+  }
 
   // Phase 3 (under lock): splice the tree. The current version may have
   // gained new L0 files meanwhile; remove exactly the inputs by number.
@@ -519,7 +533,7 @@ Status LsmEngine::CompactLevel(int level) {
 
 Status LsmEngine::Get(const Slice& user_key, SequenceNumber snapshot,
                       std::string* value, bool* deleted,
-                      SequenceNumber* seq_out) {
+                      SequenceNumber* seq_out, ValueType* type_out) {
   *deleted = false;
   VersionRef v = CurrentVersion();
   std::string target;
@@ -553,6 +567,9 @@ Status LsmEngine::Get(const Slice& user_key, SequenceNumber snapshot,
       if (parsed.type == kTypeDeletion) {
         *deleted = true;
         return Status::NotFound("tombstone");
+      }
+      if (type_out != nullptr) {
+        *type_out = parsed.type;
       }
       return Status::OK();
     }

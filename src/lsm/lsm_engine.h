@@ -12,6 +12,7 @@
 
 #include "lsm/dbformat.h"
 #include "lsm/iterator.h"
+#include "lsm/merger.h"
 #include "lsm/version.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -79,10 +80,21 @@ class LsmEngine {
   /// tombstone or no entry: NotFound (with *deleted distinguishing the
   /// two so upper layers can stop searching). When seq_out is non-null it
   /// receives the sequence of the entry that answered (value or
-  /// tombstone), letting callers order answers across components.
+  /// tombstone), letting callers order answers across components. When
+  /// type_out is non-null it receives the answering entry's type, so
+  /// callers can tell an inline value from a value-log pointer (whose
+  /// raw bytes land in *value).
   Status Get(const Slice& user_key, SequenceNumber snapshot,
              std::string* value, bool* deleted,
-             SequenceNumber* seq_out = nullptr);
+             SequenceNumber* seq_out = nullptr,
+             ValueType* type_out = nullptr);
+
+  /// Observer for entries compaction discards as superseded; the
+  /// value-separation layer credits dropped pointers back to vlog
+  /// segments as dead bytes. Set once before any compaction runs.
+  void SetDroppedEntryObserver(DroppedEntryFn observer) {
+    on_drop_ = std::move(observer);
+  }
 
   /// Iterator over all tables (internal-key order, duplicates possible
   /// across levels; fresher levels yield first for equal user keys).
@@ -139,6 +151,7 @@ class LsmEngine {
   obs::Counter* bloom_false_positives_ = nullptr;
   InternalKeyComparator icmp_;
   ManifestWriter manifest_;
+  DroppedEntryFn on_drop_;  // may be empty
 
   mutable std::mutex mu_;
   std::shared_ptr<const Version> current_;

@@ -50,7 +50,7 @@ bool DecodeWalRecord(const Slice& record, ValueType* type,
   Slice in = record;
   if (in.size() < 9) return false;
   uint8_t t = static_cast<uint8_t>(in[0]);
-  if (t > kTypeValue) return false;
+  if (t > kMaxValueType) return false;
   *type = static_cast<ValueType>(t);
   in.remove_prefix(1);
   *seq = DecodeFixed64(in.data());

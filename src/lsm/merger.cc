@@ -70,7 +70,8 @@ class MergingIterator : public Iterator {
 
 class DedupingIterator : public Iterator {
  public:
-  explicit DedupingIterator(Iterator* base) : base_(base) {}
+  DedupingIterator(Iterator* base, DroppedEntryFn on_drop)
+      : base_(base), on_drop_(std::move(on_drop)) {}
 
   bool Valid() const override { return base_->Valid(); }
 
@@ -97,6 +98,9 @@ class DedupingIterator : public Iterator {
         RememberCurrent();
         return;
       }
+      if (on_drop_ != nullptr) {
+        on_drop_(base_->key(), base_->value());
+      }
     }
   }
 
@@ -114,15 +118,19 @@ class DedupingIterator : public Iterator {
   }
 
   std::unique_ptr<Iterator> base_;
+  DroppedEntryFn on_drop_;
   std::string last_user_key_;
   bool has_last_ = false;
 };
 
 class UserKeyIterator : public Iterator {
  public:
-  explicit UserKeyIterator(Iterator* base) : base_(base) {}
+  UserKeyIterator(Iterator* base, ValueResolverFn resolver)
+      : base_(base), resolver_(std::move(resolver)) {}
 
-  bool Valid() const override { return base_->Valid(); }
+  bool Valid() const override {
+    return resolve_status_.ok() && base_->Valid();
+  }
 
   void SeekToFirst() override {
     base_->SeekToFirst();
@@ -143,15 +151,25 @@ class UserKeyIterator : public Iterator {
   }
 
   Slice key() const override { return ExtractUserKey(base_->key()); }
-  Slice value() const override { return base_->value(); }
-  Status status() const override { return base_->status(); }
+  Slice value() const override {
+    return resolved_ ? Slice(resolved_value_) : base_->value();
+  }
+  Status status() const override {
+    return resolve_status_.ok() ? base_->status() : resolve_status_;
+  }
 
  private:
   void SkipTombstones() {
+    resolved_ = false;
     while (base_->Valid()) {
       ParsedInternalKey parsed;
       if (ParseInternalKey(base_->key(), &parsed) &&
           parsed.type != kTypeDeletion) {
+        if (parsed.type == kTypeValuePointer && resolver_ != nullptr) {
+          resolve_status_ = resolver_(base_->key(), base_->value(),
+                                      &resolved_value_);
+          resolved_ = resolve_status_.ok();
+        }
         return;
       }
       base_->Next();
@@ -159,16 +177,20 @@ class UserKeyIterator : public Iterator {
   }
 
   std::unique_ptr<Iterator> base_;
+  ValueResolverFn resolver_;
+  std::string resolved_value_;
+  bool resolved_ = false;
+  Status resolve_status_;
 };
 
 }  // namespace
 
-Iterator* NewDedupingIterator(Iterator* base) {
-  return new DedupingIterator(base);
+Iterator* NewDedupingIterator(Iterator* base, DroppedEntryFn on_drop) {
+  return new DedupingIterator(base, std::move(on_drop));
 }
 
-Iterator* NewUserKeyIterator(Iterator* base) {
-  return new UserKeyIterator(base);
+Iterator* NewUserKeyIterator(Iterator* base, ValueResolverFn resolver) {
+  return new UserKeyIterator(base, std::move(resolver));
 }
 
 Iterator* NewMergingIterator(const InternalKeyComparator* comparator,

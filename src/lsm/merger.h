@@ -1,13 +1,26 @@
 #ifndef CACHEKV_LSM_MERGER_H_
 #define CACHEKV_LSM_MERGER_H_
 
+#include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "lsm/dbformat.h"
 #include "lsm/iterator.h"
 
 namespace cachekv {
+
+/// Notified with the internal key and raw stored bytes of every entry a
+/// deduping stream discards as superseded. The value-separation layer
+/// uses this to credit dead bytes back to vlog segments.
+using DroppedEntryFn =
+    std::function<void(const Slice& internal_key, const Slice& value)>;
+
+/// Resolves the raw stored bytes of a kTypeValuePointer entry into the
+/// user value (DB wires this to ValueLog::Read for scans).
+using ValueResolverFn = std::function<Status(
+    const Slice& internal_key, const Slice& raw_value, std::string* value)>;
 
 /// Returns an iterator yielding the union of the children's entries in
 /// internal-key order. Ties (identical internal keys cannot occur; equal
@@ -18,13 +31,19 @@ Iterator* NewMergingIterator(const InternalKeyComparator* comparator,
                              std::vector<Iterator*> children);
 
 /// Wraps a sorted internal-key stream, dropping all but the first
-/// (freshest) entry of every user key. Takes ownership of base.
-Iterator* NewDedupingIterator(Iterator* base);
+/// (freshest) entry of every user key. `on_drop` (optional) observes
+/// each discarded entry. Takes ownership of base.
+Iterator* NewDedupingIterator(Iterator* base,
+                              DroppedEntryFn on_drop = nullptr);
 
 /// Wraps a deduped internal-key stream as a user-facing iterator:
-/// tombstoned keys are skipped, key() yields the user key. Takes
-/// ownership of base.
-Iterator* NewUserKeyIterator(Iterator* base);
+/// tombstoned keys are skipped, key() yields the user key, and pointer
+/// entries are resolved through `resolver` (without one their raw
+/// pointer bytes pass through, which internal flush/compaction streams
+/// rely on). A failed resolution invalidates the iterator and surfaces
+/// through status(). Takes ownership of base.
+Iterator* NewUserKeyIterator(Iterator* base,
+                             ValueResolverFn resolver = nullptr);
 
 }  // namespace cachekv
 

@@ -26,8 +26,13 @@ struct MetaLayout {
   static constexpr uint64_t kBaselineRootOffset =
       kZoneRegistryOffset + 2 * kZoneRegistrySlotSize;
 
-  static constexpr uint64_t kTotalBytes =
+  /// Value-log segment registry (two slots, A/B alternation; src/vlog/).
+  static constexpr uint64_t kVlogRegistrySlotSize = 64ull << 10;
+  static constexpr uint64_t kVlogRegistryOffset =
       kBaselineRootOffset + kBaselineRootSize;
+
+  static constexpr uint64_t kTotalBytes =
+      kVlogRegistryOffset + 2 * kVlogRegistrySlotSize;
 
   static uint64_t ManifestBase(PmemEnv* env) {
     return env->meta_base() + kManifestOffset;
@@ -37,6 +42,9 @@ struct MetaLayout {
   }
   static uint64_t BaselineRootBase(PmemEnv* env) {
     return env->meta_base() + kBaselineRootOffset;
+  }
+  static uint64_t VlogRegistryBase(PmemEnv* env) {
+    return env->meta_base() + kVlogRegistryOffset;
   }
 };
 

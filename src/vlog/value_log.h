@@ -1,0 +1,180 @@
+#ifndef CACHEKV_VLOG_VALUE_LOG_H_
+#define CACHEKV_VLOG_VALUE_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+
+#include "lsm/dbformat.h"
+#include "obs/metrics.h"
+#include "pmem/pmem_env.h"
+#include "util/slice.h"
+#include "util/status.h"
+#include "vlog/value_pointer.h"
+
+namespace cachekv {
+
+/// Append-only persistent value log (WiscKey-style key–value separation).
+///
+/// Large values are written here once, durably, and the LSM carries only a
+/// 16-byte ValuePointer under type kTypeValuePointer. The log is a chain
+/// of fixed-size PMem segments; each record is CRC-framed and self-
+/// describing (sequence + user key + value), so a segment can be garbage-
+/// collected by probing the index for each record's liveness and
+/// re-inserting the survivors through the normal write path.
+///
+/// Record framing inside a segment:
+///   fixed32 crc        -- WalCrc over the payload
+///   fixed32 payload_len  (0 => end-of-segment terminator)
+///   payload:
+///     fixed64 packed   -- (sequence << 8) | kTypeValue
+///     varint32 key_len
+///     key bytes
+///     value bytes
+/// Every append non-temporally stores the frame plus a zeroed terminator
+/// header behind it and fences before the caller may commit the pointer,
+/// so recovery replay (scan frames until terminator or CRC mismatch)
+/// never resurrects a value whose pointer could have been acked.
+///
+/// Segment metadata lives in an A/B epoch+CRC registry slot pair in the
+/// PMem meta area (MetaLayout::VlogRegistryBase), persisted on segment
+/// create/seal/unlink. The registry stores a committed scan hint per
+/// segment; the true head is recovered by replaying frames past it.
+///
+/// Concurrency: appends serialize on an internal mutex. Reads are
+/// lock-free against appends — they pin the segment via shared_ptr and
+/// detect a concurrently recycled segment by its `unlinked` flag plus the
+/// frame CRC, returning NotFound("vlog segment recycled") so the caller
+/// re-probes the index (GC commits the relocated pointer before it
+/// unlinks, so the retry always converges). Long-lived scans call
+/// PinSegments() to block Unlink for the iterator's lifetime.
+class ValueLog {
+ public:
+  ValueLog(PmemEnv* env, obs::MetricsRegistry* metrics,
+           uint64_t registry_base, uint64_t registry_slot_size,
+           uint64_t segment_bytes);
+  ~ValueLog();
+
+  ValueLog(const ValueLog&) = delete;
+  ValueLog& operator=(const ValueLog&) = delete;
+
+  /// Fresh store: writes an empty registry (epoch advances past whatever
+  /// a previous incarnation left in the slots).
+  Status Format();
+
+  /// Crash recovery: adopts the newer valid registry slot, re-reserves
+  /// every segment region from the allocator, and replays the tail of
+  /// the active segment (torn frames are truncated by rewriting the
+  /// terminator at the last valid head).
+  Status Recover();
+
+  /// Durably appends one record and fills *ptr. The record is persistent
+  /// (NtStore + Sfence) before this returns OK; callers must only then
+  /// commit the pointer, so an acked key can never dangle. Thread-safe.
+  Status Append(SequenceNumber seq, const Slice& key, const Slice& value,
+                ValuePointer* ptr);
+
+  /// Resolves a pointer previously returned by Append. Returns
+  /// NotFound("vlog segment recycled") when GC unlinked the segment (the
+  /// caller re-probes the index for the relocated pointer) and
+  /// Corruption on a CRC/framing mismatch of a still-linked segment.
+  Status Read(const ValuePointer& ptr, std::string* value) const;
+
+  /// True when one record of this shape fits a segment.
+  bool Fits(size_t key_len, size_t value_len) const;
+
+  /// Bytes one record occupies in its segment (framing included).
+  static uint64_t RecordFootprint(size_t key_len, size_t value_len);
+
+  /// Liveness feedback from flush/compaction: the pointed-to record was
+  /// superseded or deleted, so its footprint is reclaimable. Idempotent
+  /// per dropped version (each internal-key version is dropped exactly
+  /// once by the LSM); unknown segments are ignored.
+  void AddDeadBytes(const ValuePointer& ptr, size_t key_len);
+
+  /// Sealed segment with the highest dead ratio at or above `threshold`,
+  /// or 0 when none qualifies.
+  uint32_t PickGcVictim(double threshold) const;
+
+  using RecordFn = std::function<Status(
+      SequenceNumber seq, const Slice& key, const Slice& value,
+      const ValuePointer& ptr)>;
+
+  /// Replays every record of a (sealed) segment in append order.
+  Status ForEachRecord(uint32_t file_id, const RecordFn& fn) const;
+
+  /// Frees a fully-relocated segment and persists the registry. Blocks
+  /// on PinSegments() holders.
+  Status Unlink(uint32_t file_id);
+
+  /// Blocks Unlink while held; used by scan iterators whose merged view
+  /// may still reference pointers into any segment.
+  std::shared_lock<std::shared_mutex> PinSegments() const {
+    return std::shared_lock<std::shared_mutex>(unlink_mu_);
+  }
+
+  /// Highest sequence number ever appended (recovered from the registry
+  /// plus tail replay). DB::Open folds this into its sequence floor so
+  /// orphaned vlog records can never collide with future writes.
+  SequenceNumber MaxSequence() const {
+    return max_sequence_.load(std::memory_order_acquire);
+  }
+
+  size_t NumSegments() const;
+  uint64_t PayloadBytes() const;  // appended record footprint still on log
+  uint64_t DeadBytes() const;
+
+  /// Refreshes vlog.segments / vlog.space_amp gauges.
+  void UpdateGauges() const;
+
+ private:
+  struct Segment {
+    uint32_t file_id = 0;
+    uint64_t base = 0;   // PMem region offset
+    uint64_t size = 0;   // region size
+    std::atomic<uint64_t> head{0};           // next append offset
+    std::atomic<uint64_t> payload_bytes{0};  // record footprint appended
+    std::atomic<uint64_t> dead_bytes{0};
+    std::atomic<uint64_t> max_sequence{0};
+    std::atomic<bool> sealed{false};
+    std::atomic<bool> unlinked{false};
+  };
+
+  using SegmentPtr = std::shared_ptr<Segment>;
+
+  SegmentPtr FindSegment(uint32_t file_id) const;
+  Status NewSegmentLocked();   // append_mu_ held
+  Status PersistRegistry();    // snapshots segments, writes A/B slot
+  Status DecodeFrame(const Segment& seg, uint64_t offset, uint64_t limit,
+                     SequenceNumber* seq, std::string* key,
+                     std::string* value, uint64_t* frame_len,
+                     bool apply_bitrot) const;
+  void WriteTerminator(const Segment& seg, uint64_t offset);
+
+  PmemEnv* const env_;
+  obs::MetricsRegistry* const metrics_;
+  const uint64_t registry_base_;
+  const uint64_t registry_slot_size_;
+  const uint64_t segment_bytes_;
+
+  mutable std::mutex map_mu_;  // segments_, next_file_id_, registry epoch
+  std::map<uint32_t, SegmentPtr> segments_;
+  uint32_t next_file_id_ = 1;
+  uint64_t registry_epoch_ = 0;
+
+  std::mutex append_mu_;       // serializes Append / rollover
+  SegmentPtr active_;          // written only under append_mu_
+
+  mutable std::shared_mutex unlink_mu_;  // scans shared, Unlink exclusive
+
+  std::atomic<uint64_t> max_sequence_{0};
+};
+
+}  // namespace cachekv
+
+#endif  // CACHEKV_VLOG_VALUE_LOG_H_

@@ -1,0 +1,50 @@
+#ifndef CACHEKV_VLOG_VALUE_POINTER_H_
+#define CACHEKV_VLOG_VALUE_POINTER_H_
+
+#include <cstdint>
+
+#include "util/coding.h"
+#include "util/slice.h"
+
+namespace cachekv {
+
+/// Fixed-size locator for a value stored out-of-line in the value log.
+/// Entries of type kTypeValuePointer carry an encoded ValuePointer where
+/// inline entries carry the user value; the LSM never inspects it, only
+/// the final read path (DB::Get / scans) resolves it against the vlog.
+struct ValuePointer {
+  uint32_t file_id = 0;  // vlog segment id (monotonic, never reused)
+  uint64_t offset = 0;   // record start, relative to the segment base
+  uint32_t len = 0;      // user-value bytes (excludes framing + key)
+
+  bool operator==(const ValuePointer& other) const {
+    return file_id == other.file_id && offset == other.offset &&
+           len == other.len;
+  }
+  bool operator!=(const ValuePointer& other) const {
+    return !(*this == other);
+  }
+};
+
+/// Encoded wire size of a ValuePointer (fixed32 + fixed64 + fixed32).
+constexpr size_t kValuePointerSize = 16;
+
+inline void EncodeValuePointer(std::string* dst, const ValuePointer& ptr) {
+  PutFixed32(dst, ptr.file_id);
+  PutFixed64(dst, ptr.offset);
+  PutFixed32(dst, ptr.len);
+}
+
+inline bool DecodeValuePointer(const Slice& src, ValuePointer* ptr) {
+  if (src.size() != kValuePointerSize) {
+    return false;
+  }
+  ptr->file_id = DecodeFixed32(src.data());
+  ptr->offset = DecodeFixed64(src.data() + 4);
+  ptr->len = DecodeFixed32(src.data() + 12);
+  return true;
+}
+
+}  // namespace cachekv
+
+#endif  // CACHEKV_VLOG_VALUE_POINTER_H_

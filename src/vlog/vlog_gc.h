@@ -1,0 +1,72 @@
+#ifndef CACHEKV_VLOG_VLOG_GC_H_
+#define CACHEKV_VLOG_VLOG_GC_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "util/slice.h"
+#include "util/status.h"
+#include "vlog/value_log.h"
+#include "vlog/value_pointer.h"
+
+namespace cachekv {
+
+/// Liveness-driven garbage collector for the value log.
+///
+/// Flush and compaction report dead pointer bytes per segment as they
+/// drop superseded versions (ValueLog::AddDeadBytes); once a sealed
+/// segment's dead ratio crosses `dead_ratio`, a background pass replays
+/// it and re-inserts every still-live value through the store's normal
+/// write path (the relocate callback, which re-appends the value under a
+/// fresh sequence number and commits a new pointer). Only after every
+/// live record has been relocated is the segment unlinked — a pass that
+/// fails anywhere simply keeps the segment and retries later, so crash
+/// or error can never lose an acked value.
+class VlogGc {
+ public:
+  /// Probes the index for `key`: when the freshest committed version is
+  /// exactly `old_ptr`, re-appends `value` under a new sequence and
+  /// commits the relocated pointer, setting *relocated = true. Any other
+  /// freshest version means the record is dead (*relocated = false).
+  using RelocateFn = std::function<Status(
+      const Slice& key, const ValuePointer& old_ptr, const Slice& value,
+      bool* relocated)>;
+
+  VlogGc(ValueLog* vlog, obs::MetricsRegistry* metrics,
+         RelocateFn relocate, double dead_ratio, uint64_t interval_ms);
+  ~VlogGc();
+
+  VlogGc(const VlogGc&) = delete;
+  VlogGc& operator=(const VlogGc&) = delete;
+
+  void Start();
+  void Stop();
+
+  /// One synchronous pass: pick a victim, relocate, unlink. Returns OK
+  /// when there was no victim. Exposed for tests and drains.
+  Status CollectOnce();
+
+ private:
+  void ThreadLoop();
+
+  ValueLog* const vlog_;
+  obs::MetricsRegistry* const metrics_;
+  const RelocateFn relocate_;
+  const double dead_ratio_;
+  const uint64_t interval_ms_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool started_ = false;
+  std::thread thread_;
+};
+
+}  // namespace cachekv
+
+#endif  // CACHEKV_VLOG_VLOG_GC_H_

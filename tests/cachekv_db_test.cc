@@ -98,9 +98,26 @@ TEST_F(CacheKVDbTest, RequiresEadrAndMatchingPool) {
 }
 
 TEST_F(CacheKVDbTest, OversizedRecordRejected) {
-  OpenDb(SmallDb());
+  CacheKVOptions opts = SmallDb();
+  opts.value_separation_threshold = 0;  // force the inline path
+  OpenDb(opts);
   std::string huge(1ull << 20, 'x');  // > 512K sub-memtable
   EXPECT_TRUE(db_->Put("k", huge).IsInvalidArgument());
+}
+
+TEST_F(CacheKVDbTest, OversizedValueSeparatedIntoVlog) {
+  // With key-value separation on (the default), a value far larger than
+  // a sub-memtable is fine: only a 16-byte pointer enters the memory
+  // component.
+  OpenDb(SmallDb());
+  std::string huge(1ull << 20, 'x');
+  ASSERT_TRUE(db_->Put("k", huge).ok());
+  std::string got;
+  ASSERT_TRUE(db_->Get("k", &got).ok());
+  EXPECT_EQ(huge, got);
+  obs::MetricsSnapshot snap = db_->metrics()->Snapshot();
+  EXPECT_GE(snap.CounterValue("vlog.appends"), 1u);
+  EXPECT_GE(snap.CounterValue("db.separated_puts"), 1u);
 }
 
 TEST_F(CacheKVDbTest, ModelCheckThroughSealsAndZoneFlushes) {

@@ -46,6 +46,13 @@ CacheKVOptions SweepDb() {
   o.lsm.base_level_bytes = 256ull << 10;
   o.lsm.target_file_size = 64ull << 10;
   o.lsm.background_compaction = false;
+  // Separation threshold between the two ValueOf sizes + small segments
+  // + eager GC, so the sweep workload exercises the full value-log
+  // path: appends, rollover, liveness accounting, and concurrent GC.
+  o.value_separation_threshold = 512;
+  o.vlog_segment_bytes = 64ull << 10;
+  o.vlog_gc_dead_ratio = 0.3;
+  o.vlog_gc_interval_ms = 5;
   return o;
 }
 
@@ -56,8 +63,12 @@ std::string KeyOf(int i) {
 }
 
 std::string ValueOf(int i, int round) {
+  // Every 5th value crosses the separation threshold (512) and lands in
+  // the value log; the rest stay inline so the memory component still
+  // fills, seals, and compacts at the same pace as before separation.
+  const int fill = (i % 5 == 0) ? 800 : 200;
   return "value-" + std::to_string(round) + "-" + std::to_string(i) +
-         std::string(200, 'v');
+         std::string(fill, 'v');
 }
 
 // How the sweep verifies recovery for a given point.
@@ -94,6 +105,15 @@ const SweepCase kSweep[] = {
     {"lsm.write_l0", "once,error:io", Verify::kStrict},
     {"lsm.compact", "once,error:io", Verify::kStrict},
     {"lsm.manifest", "always,torn", Verify::kStrict},
+    // A torn vlog append fails the Put (never acked) and leaves a
+    // partial frame the next append overwrites; recovery truncates at
+    // the damage, so every acknowledged pointer still resolves.
+    {"vlog.append.torn", "every:16,torn", Verify::kStrict},
+    // An aborted GC pass keeps the victim segment; nothing is lost.
+    {"vlog.gc.drop", "once,error:busy", Verify::kStrict},
+    // Flipped payload bits must surface as a detected CRC error on
+    // read, never as silently wrong bytes.
+    {"vlog.read.bitrot", "every:8,bitrot", Verify::kLenient},
 };
 
 class FaultCrashSweepTest : public ::testing::Test {
@@ -125,6 +145,19 @@ class FaultCrashSweepTest : public ::testing::Test {
       // writes enter the shadow map; errors (including read-only and
       // write-stall degradation) are tolerated.
       WritePhase(db.get(), &shadow, 400, 1400, 1);
+      // Read pass with the fault still armed: exercises value-pointer
+      // resolution (and the vlog read fail point). Errors from damaged
+      // media are tolerated; silent wrong bytes are not.
+      for (int i = 0; i < 256; i++) {
+        const std::string key = KeyOf(i);
+        std::string got;
+        Status rs = db->Get(key, &got);
+        auto it = shadow.find(key);
+        if (rs.ok() && it != shadow.end() &&
+            c.verify == Verify::kStrict) {
+          ASSERT_EQ(it->second, got) << "wrong live value for " << key;
+        }
+      }
       db->WaitIdle();  // drain or degrade; either outcome is fine
       if (c.verify != Verify::kRecovery) {
         EXPECT_GE(reg()->FireCount(c.point), 1u)

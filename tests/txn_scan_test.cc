@@ -69,12 +69,26 @@ TEST_F(TxnScanTest, MultiPutWithDeletes) {
 TEST_F(TxnScanTest, MultiPutValidation) {
   EXPECT_TRUE(db_->MultiPut({}).ok());
   EXPECT_TRUE(db_->MultiPut({{false, "", "v"}}).IsInvalidArgument());
+  // Large values no longer overflow the batch bound: key-value
+  // separation stores them in the value log and only 16-byte pointers
+  // enter the sub-memtable.
   std::vector<DB::BatchOp> huge;
   for (int i = 0; i < 10; i++) {
     huge.push_back({false, "k" + std::to_string(i),
                     std::string(100 << 10, 'x')});
   }
-  EXPECT_TRUE(db_->MultiPut(huge).IsInvalidArgument());
+  ASSERT_TRUE(db_->MultiPut(huge).ok());
+  std::string value;
+  ASSERT_TRUE(db_->Get("k7", &value).ok());
+  EXPECT_EQ(std::string(100 << 10, 'x'), value);
+
+  // With separation disabled the old sub-memtable bound still rejects.
+  CacheKVOptions inline_opts = SmallDb();
+  inline_opts.value_separation_threshold = 0;
+  auto inline_env = std::make_unique<PmemEnv>(DbEnv());
+  std::unique_ptr<DB> inline_db;
+  ASSERT_TRUE(DB::Open(inline_env.get(), inline_opts, false, &inline_db).ok());
+  EXPECT_TRUE(inline_db->MultiPut(huge).IsInvalidArgument());
 }
 
 TEST_F(TxnScanTest, MultiPutSurvivesCrashAtomically) {

@@ -24,6 +24,13 @@ MEASUREMENTS = {
     "read_only",
 }
 
+# Fields that are always run identity, never measurements or
+# informational bundles. A 16 KiB-value run changes every downstream
+# number (write-amp, vlog traffic, throughput), so it must never
+# silently compare against a 100-byte run even if a future report makes
+# these fields look like metrics.
+IDENTITY = {"value_size", "value_dist"}
+
 
 def informational(key, value):
     """New report sections the diff doesn't know about yet.
@@ -34,7 +41,8 @@ def informational(key, value):
     threshold. Scalar unknown fields stay identity dimensions, so runs
     with different workload settings never silently compare.
     """
-    return key not in MEASUREMENTS and isinstance(value, dict)
+    return (key not in MEASUREMENTS and key not in IDENTITY
+            and isinstance(value, dict))
 
 
 def run_key(run):

@@ -90,6 +90,52 @@ class BenchDiffTest(unittest.TestCase):
         self.assertIn("only in base", proc.stdout)
         self.assertIn("only in cand", proc.stdout)
 
+    def test_value_size_is_run_identity(self):
+        # A 16 KiB-value run must never compare against a small-value
+        # run: every downstream number (write-amp, vlog traffic, kops)
+        # depends on the value size.
+        base = report([run_entry("net-mixed", 100.0, value_size=100)])
+        cand = report([run_entry("net-mixed", 40.0, value_size=16384)])
+        proc = self.diff(base, cand, "--threshold", "5")
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("only in base", proc.stdout)
+        self.assertIn("only in cand", proc.stdout)
+
+    def test_value_dist_is_run_identity(self):
+        base = report([run_entry("net-mixed", 100.0, value_size=4096,
+                                 value_dist="fixed")])
+        cand = report([run_entry("net-mixed", 100.0, value_size=4096,
+                                 value_dist="uniform")])
+        proc = self.diff(base, cand)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("only in base", proc.stdout)
+        self.assertIn("only in cand", proc.stdout)
+
+    def test_write_amp_bundle_is_informational_not_identity(self):
+        # The write_amp object is a metric bundle: a cand that grew it
+        # must still match its base, and its scalars print info-only.
+        base = report([run_entry("net-mixed", 100.0, value_size=16384,
+                                 value_dist="fixed")])
+        cand = report([run_entry(
+            "net-mixed", 99.0, value_size=16384, value_dist="fixed",
+            write_amp={"compaction_write_amp": 0.02,
+                       "total_write_amp": 1.05,
+                       "vlog_appends": 9000})])
+        proc = self.diff(base, cand, "--threshold", "5")
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertNotIn("only in", proc.stdout)
+        self.assertIn("->", proc.stdout)
+
+    def test_matched_value_size_runs_still_hit_threshold(self):
+        base = report([run_entry("net-mixed", 100.0, value_size=16384,
+                                 write_amp={"total_write_amp": 1.0})])
+        cand = report([run_entry("net-mixed", 50.0, value_size=16384,
+                                 write_amp={"total_write_amp": 3.2})])
+        proc = self.diff(base, cand, "--threshold", "5")
+        self.assertEqual(proc.returncode, 1, proc.stdout)
+        self.assertIn("FAIL", proc.stderr)
+        self.assertIn("write_amp.total_write_amp", proc.stdout)
+
     def test_read_only_runs_stay_out_of_threshold(self):
         base = report([run_entry("net-mixed", 100.0)])
         cand = report([run_entry("net-mixed", 10.0, read_only=True)])
