@@ -63,9 +63,11 @@ DB::DB(PmemEnv* env, const CacheKVOptions& options)
   metadata_.resize(options_.num_cores);
   // Flush and compaction report every superseded pointer entry they drop
   // back to the value log as dead bytes (the GC's liveness signal). Each
-  // internal-key version is dropped exactly once across the two sites.
-  DroppedEntryFn on_drop = [this](const Slice& internal_key,
-                                  const Slice& value) {
+  // internal-key version is dropped exactly once across the two sites:
+  // both buffer their drops and deliver them only after the pass
+  // commits, so the background-error retry machinery cannot replay the
+  // same drops and inflate dead ratios.
+  drop_observer_ = [this](const Slice& internal_key, const Slice& value) {
     ParsedInternalKey parsed;
     if (!ParseInternalKey(internal_key, &parsed) ||
         parsed.type != kTypeValuePointer) {
@@ -76,8 +78,7 @@ DB::DB(PmemEnv* env, const CacheKVOptions& options)
       vlog_->AddDeadBytes(ptr, parsed.user_key.size());
     }
   };
-  zone_->SetDroppedEntryObserver(on_drop);
-  engine_->SetDroppedEntryObserver(on_drop);
+  engine_->SetDroppedEntryObserver(drop_observer_);
 }
 
 Status DB::Open(PmemEnv* env, const CacheKVOptions& options, bool recover,
@@ -687,7 +688,7 @@ Iterator* DB::NewScanIterator() {
             if (!DecodeValuePointer(raw_value, &ptr)) {
               return Status::Corruption("bad value pointer");
             }
-            return vlog->Read(ptr, value);
+            return vlog->Read(ptr, parsed.user_key, value);
           }));
     }
 
@@ -853,7 +854,7 @@ Status DB::Get(const Slice& key, std::string* value) {
       if (!DecodeValuePointer(Slice(r.value), &ptr)) {
         return Status::Corruption("bad value pointer");
       }
-      s = vlog_->Read(ptr, value);
+      s = vlog_->Read(ptr, key, value);
       if (s.IsNotFound()) {
         continue;  // segment recycled mid-read: retry the search
       }
@@ -1113,7 +1114,8 @@ Status DB::FlushZoneToL0() {
   for (const FlushedTable& t : snapshot) {
     snapshot_max_seq = std::max(snapshot_max_seq, t.max_sequence);
   }
-  std::unique_ptr<Iterator> stream(zone_->NewL0Stream(snapshot));
+  DroppedEntryLog dropped;
+  std::unique_ptr<Iterator> stream(zone_->NewL0Stream(snapshot, &dropped));
   // Publish the high-water mark before the data becomes invisible in the
   // zone, so readers never skip the LSM for entries that moved there.
   uint64_t seen = l0_hwm_.load(std::memory_order_relaxed);
@@ -1122,11 +1124,20 @@ Status DB::FlushZoneToL0() {
   }
   Status s = engine_->WriteL0Tables(stream.get());
   if (!s.ok()) {
-    return s;
+    return s;  // buffered drops discarded: the retry re-collects them
   }
   stream.reset();
   zone_flushes_->Increment();
-  return zone_->DropTables(snapshot);
+  s = zone_->DropTables(snapshot);
+  if (!s.ok()) {
+    return s;
+  }
+  // The flush committed end to end: only now do the dedup drops become
+  // dead vlog bytes, so a retried flush never double-credits them.
+  for (const auto& [internal_key, value] : dropped) {
+    drop_observer_(Slice(internal_key), Slice(value));
+  }
+  return Status::OK();
 }
 
 void DB::IndexThread() {

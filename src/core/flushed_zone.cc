@@ -366,14 +366,20 @@ std::vector<FlushedTable> FlushedZone::SnapshotTables() const {
 }
 
 Iterator* FlushedZone::NewL0Stream(
-    const std::vector<FlushedTable>& snapshot) {
+    const std::vector<FlushedTable>& snapshot, DroppedEntryLog* dropped) {
   std::vector<Iterator*> children;
   children.reserve(snapshot.size());
   for (const FlushedTable& t : snapshot) {
     children.push_back(t.index->NewIterator());
   }
+  DroppedEntryFn on_drop;
+  if (dropped != nullptr) {
+    on_drop = [dropped](const Slice& internal_key, const Slice& value) {
+      dropped->emplace_back(internal_key.ToString(), value.ToString());
+    };
+  }
   return NewDedupingIterator(
-      NewMergingIterator(&icmp_, std::move(children)), on_drop_);
+      NewMergingIterator(&icmp_, std::move(children)), std::move(on_drop));
 }
 
 Status FlushedZone::DropTables(const std::vector<FlushedTable>& snapshot) {

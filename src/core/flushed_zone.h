@@ -152,16 +152,13 @@ class FlushedZone {
   /// removed (freshest per user key survives, tombstones included): the
   /// deferred space reclamation of §III-D. Feed this to the LSM's L0
   /// builder. The snapshot's tables must stay in the zone until the
-  /// returned iterator is destroyed. Superseded entries it drops are
-  /// reported to the dead-entry observer (SetDroppedEntryObserver).
-  Iterator* NewL0Stream(const std::vector<FlushedTable>& snapshot);
-
-  /// Observer for entries NewL0Stream discards as superseded; DB wires
-  /// this to the vlog's dead-byte accounting. Set once at Open, before
-  /// any flush runs.
-  void SetDroppedEntryObserver(DroppedEntryFn observer) {
-    on_drop_ = std::move(observer);
-  }
+  /// returned iterator is destroyed. When `dropped` is non-null it
+  /// collects a copy of every superseded entry the stream discards;
+  /// `dropped` must outlive the iterator. The caller delivers the buffer
+  /// to its dead-entry observer only after the flush commits, so a
+  /// retried flush cannot double-count the same drops.
+  Iterator* NewL0Stream(const std::vector<FlushedTable>& snapshot,
+                        DroppedEntryLog* dropped = nullptr);
 
   /// Removes and frees exactly the snapshot's tables (after they were
   /// written to L0) and persists the registry. Takes the exclusive lock
@@ -187,8 +184,6 @@ class FlushedZone {
   obs::MetricsRegistry* metrics_;  // may be null
   obs::Tracer* trace_;             // may be null
   InternalKeyComparator icmp_;
-
-  DroppedEntryFn on_drop_;  // may be empty
 
   mutable std::shared_mutex mu_;
   std::vector<FlushedTable> tables_;

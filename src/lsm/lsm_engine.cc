@@ -125,7 +125,8 @@ Status LsmEngine::OpenTable(const FileMeta& meta, TableRef* out) {
 
 Status LsmEngine::BuildTables(Iterator* iter, std::vector<TableRef>* outputs,
                               bool is_compaction, int output_level,
-                              const Version* base_version) {
+                              const Version* base_version,
+                              DroppedEntryLog* dropped) {
   std::unique_ptr<SSTableBuilder> builder;
   std::string last_user_key;
   bool has_last_user_key = false;
@@ -185,8 +186,12 @@ Status LsmEngine::BuildTables(Iterator* iter, std::vector<TableRef>* outputs,
       // user keys newest-first, so only the first occurrence survives.
       if (has_last_user_key &&
           Slice(last_user_key) == parsed.user_key) {
-        if (on_drop_ != nullptr) {
-          on_drop_(iter->key(), iter->value());
+        // Buffered, not reported: the caller delivers the drops to the
+        // observer only once this pass's outputs commit, so a retried
+        // pass cannot credit the same dead bytes twice.
+        if (dropped != nullptr) {
+          dropped->emplace_back(iter->key().ToString(),
+                                iter->value().ToString());
         }
         continue;
       }
@@ -484,10 +489,12 @@ Status LsmEngine::CompactLevel(int level) {
   std::unique_ptr<Iterator> merged(
       NewMergingIterator(&icmp_, std::move(children)));
   std::vector<TableRef> outputs;
+  DroppedEntryLog dropped;
   Status s = BuildTables(merged.get(), &outputs, /*is_compaction=*/true,
-                         output_level, base.get());
+                         output_level, base.get(),
+                         on_drop_ != nullptr ? &dropped : nullptr);
   if (!s.ok()) {
-    return s;
+    return s;  // buffered drops discarded: the retry re-collects them
   }
   if (metrics_ != nullptr) {
     uint64_t compact_bytes = 0;
@@ -527,6 +534,13 @@ Status LsmEngine::CompactLevel(int level) {
                                      Slice(b->meta.smallest)) < 0;
               });
     s = InstallVersion(std::move(next), &lock);
+  }
+  if (s.ok() && on_drop_ != nullptr) {
+    // The new version is installed and durable in the manifest: only now
+    // do the deduped entries become dead vlog bytes.
+    for (const auto& [internal_key, value] : dropped) {
+      on_drop_(Slice(internal_key), Slice(value));
+    }
   }
   return s;
 }

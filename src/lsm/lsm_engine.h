@@ -92,6 +92,9 @@ class LsmEngine {
   /// Observer for entries compaction discards as superseded; the
   /// value-separation layer credits dropped pointers back to vlog
   /// segments as dead bytes. Set once before any compaction runs.
+  /// Drops are buffered per compaction pass and delivered only after the
+  /// pass's version installs, so the background retry of a failed pass
+  /// cannot report the same drops twice.
   void SetDroppedEntryObserver(DroppedEntryFn observer) {
     on_drop_ = std::move(observer);
   }
@@ -127,7 +130,8 @@ class LsmEngine {
                         std::unique_lock<std::mutex>* lock);
   Status BuildTables(Iterator* iter, std::vector<TableRef>* outputs,
                      bool is_compaction, int output_level,
-                     const Version* base_version);
+                     const Version* base_version,
+                     DroppedEntryLog* dropped = nullptr);
   Status OpenTable(const FileMeta& meta, TableRef* out);
 
   // Compaction machinery.

@@ -4,6 +4,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "lsm/dbformat.h"
@@ -16,6 +17,12 @@ namespace cachekv {
 /// uses this to credit dead bytes back to vlog segments.
 using DroppedEntryFn =
     std::function<void(const Slice& internal_key, const Slice& value)>;
+
+/// Buffered (internal key, raw stored bytes) copies of dropped entries.
+/// Flush/compaction passes collect drops here and deliver them to the
+/// observer only once the pass commits, so a retried pass cannot credit
+/// the same dead bytes twice.
+using DroppedEntryLog = std::vector<std::pair<std::string, std::string>>;
 
 /// Resolves the raw stored bytes of a kTypeValuePointer entry into the
 /// user value (DB wires this to ValueLog::Read for scans).

@@ -27,7 +27,10 @@ struct MetaLayout {
       kZoneRegistryOffset + 2 * kZoneRegistrySlotSize;
 
   /// Value-log segment registry (two slots, A/B alternation; src/vlog/).
-  static constexpr uint64_t kVlogRegistrySlotSize = 64ull << 10;
+  /// Sized for ~9800 segments (53 bytes each): ~38 GiB of value log at
+  /// the default 4 MiB segment size. Filling the slot permanently fails
+  /// separated writes, so it is deliberately generous.
+  static constexpr uint64_t kVlogRegistrySlotSize = 512ull << 10;
   static constexpr uint64_t kVlogRegistryOffset =
       kBaselineRootOffset + kBaselineRootSize;
 

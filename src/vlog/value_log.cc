@@ -123,16 +123,31 @@ Status ValueLog::NewSegmentLocked() {
   auto seg = std::make_shared<Segment>();
   seg->base = base;
   seg->size = segment_bytes_;
+  // The region may be recycled PMem: plant the terminator before the
+  // registry can name this segment, so recovery replay stops at once.
+  WriteTerminator(*seg, 0);
   {
     std::lock_guard<std::mutex> lock(map_mu_);
     seg->file_id = next_file_id_++;
     segments_[seg->file_id] = seg;
   }
-  // The region may be recycled PMem: plant the terminator before the
-  // registry can name this segment, so recovery replay stops at once.
-  WriteTerminator(*seg, 0);
+  s = PersistRegistry();
+  if (!s.ok()) {
+    // The segment must not become active until the registry durably
+    // names it: appends into an unregistered segment would ack records
+    // that Recover() can never re-adopt. Unpublish and free the region;
+    // active_ stays as it was (nullptr or the sealed predecessor, which
+    // the rollover check refuses to append into).
+    {
+      std::lock_guard<std::mutex> lock(map_mu_);
+      segments_.erase(seg->file_id);
+      next_file_id_--;  // safe: only mutated under append_mu_
+    }
+    env_->allocator()->Free(base, segment_bytes_);
+    return s;
+  }
   active_ = seg;
-  return PersistRegistry();
+  return Status::OK();
 }
 
 Status ValueLog::Append(SequenceNumber seq, const Slice& key,
@@ -156,7 +171,11 @@ Status ValueLog::Append(SequenceNumber seq, const Slice& key,
   if (frame.size() > segment_bytes_) {
     return Status::InvalidArgument("value exceeds vlog segment size");
   }
-  if (active_ == nullptr ||
+  // A sealed segment never accepts another append, even when a smaller
+  // record would still fit: sealing makes it GC-eligible, and a failed
+  // rollover (allocator pressure) must not let later appends race GC
+  // into a segment that may be relocated and freed underneath them.
+  if (active_ == nullptr || active_->sealed.load(std::memory_order_acquire) ||
       active_->head.load(std::memory_order_relaxed) + frame.size() >
           active_->size) {
     if (active_ != nullptr) {
@@ -260,7 +279,8 @@ Status ValueLog::DecodeFrame(const Segment& seg, uint64_t offset,
   return Status::OK();
 }
 
-Status ValueLog::Read(const ValuePointer& ptr, std::string* value) const {
+Status ValueLog::Read(const ValuePointer& ptr, const Slice& user_key,
+                      std::string* value) const {
   SegmentPtr seg = FindSegment(ptr.file_id);
   if (seg == nullptr) {
     return Status::NotFound("vlog segment recycled");
@@ -276,7 +296,16 @@ Status ValueLog::Read(const ValuePointer& ptr, std::string* value) const {
   if (s.ok() && value->size() != ptr.len) {
     s = Status::Corruption("vlog pointer length mismatch");
   }
-  if (!s.ok() && seg->unlinked.load(std::memory_order_acquire)) {
+  if (s.ok() && Slice(key) != user_key) {
+    // A recycled region can hold a different-but-valid frame (e.g. a new
+    // segment reused it); CRC alone cannot tell. The record is self-
+    // describing, so the key must match the pointer's owner.
+    s = Status::Corruption("vlog pointer key mismatch");
+  }
+  // Re-check AFTER the loads: Unlink sets `unlinked` before the region
+  // can be freed and reused, so any read that raced the recycling — even
+  // one that decoded a plausible frame — observes the flag here.
+  if (seg->unlinked.load(std::memory_order_acquire)) {
     // GC recycled the segment mid-read; the relocated pointer is already
     // committed, so the caller re-probes the index.
     if (metrics_ != nullptr) {
@@ -373,6 +402,16 @@ Status ValueLog::Unlink(uint32_t file_id) {
   // else, a crash must not lead recovery to re-reserve (and replay) it.
   Status s = PersistRegistry();
   if (!s.ok()) {
+    // The old registry — which still names this segment — remains
+    // authoritative, so reinstate the in-memory state to match: the next
+    // GC pass retries the unlink cleanly instead of leaking the region
+    // (and a crash meanwhile recovers the segment as all-dead, not as
+    // replayed garbage over a freed region).
+    {
+      std::lock_guard<std::mutex> lock(map_mu_);
+      segments_[file_id] = seg;
+    }
+    seg->unlinked.store(false, std::memory_order_release);
     return s;
   }
   env_->allocator()->Free(seg->base, seg->size);

@@ -79,11 +79,15 @@ class ValueLog {
   Status Append(SequenceNumber seq, const Slice& key, const Slice& value,
                 ValuePointer* ptr);
 
-  /// Resolves a pointer previously returned by Append. Returns
-  /// NotFound("vlog segment recycled") when GC unlinked the segment (the
-  /// caller re-probes the index for the relocated pointer) and
-  /// Corruption on a CRC/framing mismatch of a still-linked segment.
-  Status Read(const ValuePointer& ptr, std::string* value) const;
+  /// Resolves a pointer previously returned by Append. `user_key` is the
+  /// key the pointer was committed under; the decoded record must carry
+  /// the same key, which catches a recycled region that happens to hold
+  /// a different valid frame. Returns NotFound("vlog segment recycled")
+  /// when GC unlinked the segment (the caller re-probes the index for
+  /// the relocated pointer) and Corruption on a CRC/framing/key mismatch
+  /// of a still-linked segment.
+  Status Read(const ValuePointer& ptr, const Slice& user_key,
+              std::string* value) const;
 
   /// True when one record of this shape fits a segment.
   bool Fits(size_t key_len, size_t value_len) const;

@@ -66,14 +66,19 @@ TEST(ValueLogTest, AppendReadRoundTrip) {
   EXPECT_EQ(199u, vlog->MaxSequence());
   for (int i = 0; i < 100; i++) {
     std::string got;
-    ASSERT_TRUE(vlog->Read(ptrs[i], &got).ok());
+    ASSERT_TRUE(
+        vlog->Read(ptrs[i], Slice("key" + std::to_string(i)), &got).ok());
     EXPECT_EQ("value-" + std::to_string(i) + std::string(300, 'v'), got);
   }
   // A pointer with a wrong length must fail loudly, not return bytes.
   ValuePointer bad = ptrs[0];
   bad.len += 1;
   std::string got;
-  EXPECT_TRUE(vlog->Read(bad, &got).IsCorruption());
+  EXPECT_TRUE(vlog->Read(bad, Slice("key0"), &got).IsCorruption());
+  // A valid frame under the wrong key must fail too: on a still-linked
+  // segment this is a dangling pointer, and on a recycled region it is
+  // another record's frame that happens to decode.
+  EXPECT_TRUE(vlog->Read(ptrs[0], Slice("key1"), &got).IsCorruption());
 }
 
 TEST(ValueLogTest, RollsOverSegmentsAndReplaysRecords) {
@@ -145,14 +150,16 @@ TEST(ValueLogTest, RecoveryReplaysTailAndTruncatesTornAppend) {
   EXPECT_EQ(40u, recovered->MaxSequence());
   for (int i = 0; i < 40; i++) {
     std::string got;
-    ASSERT_TRUE(recovered->Read(ptrs[i], &got).ok()) << "lost record " << i;
+    ASSERT_TRUE(
+        recovered->Read(ptrs[i], Slice("k" + std::to_string(i)), &got).ok())
+        << "lost record " << i;
     EXPECT_EQ(value, got);
   }
   // The log stays appendable after truncation, reusing the torn tail.
   ValuePointer ptr;
   ASSERT_TRUE(recovered->Append(100, Slice("after"), Slice(value), &ptr).ok());
   std::string got;
-  ASSERT_TRUE(recovered->Read(ptr, &got).ok());
+  ASSERT_TRUE(recovered->Read(ptr, Slice("after"), &got).ok());
   EXPECT_EQ(value, got);
 }
 
@@ -189,7 +196,7 @@ TEST(ValueLogTest, GcLivenessAccountingPicksTheDeadestSegment) {
   // "recycled" NotFound, and the victim is gone from the candidate set.
   ASSERT_TRUE(vlog->Unlink(first).ok());
   std::string got;
-  Status s = vlog->Read(ptrs[0], &got);
+  Status s = vlog->Read(ptrs[0], Slice("k0"), &got);
   EXPECT_TRUE(s.IsNotFound()) << s.ToString();
   EXPECT_NE(vlog->PickGcVictim(0.5), first);
   // AddDeadBytes on an unlinked segment is a harmless no-op.
