@@ -131,6 +131,9 @@ struct Config {
   int kill_at_ms = 500;
   std::string fallback;
   bool verify = false;
+  /// Snapshot-consistency mode (docs/SNAPSHOTS.md): pin one snapshot,
+  /// scan at it under concurrent overwrites, fail on any leak.
+  bool snapshot_scan = false;
   /// Resolved from the fields above after flag parsing.
   WorkloadSpec spec;
 };
@@ -852,6 +855,207 @@ int RunChaos(const Config& cfg) {
   return 0;
 }
 
+// --------------------------------------------------- snapshot scan
+
+/// One generation of a key's value: a self-describing header padded to
+/// --value-size, so a scan row verifies from the key index alone.
+std::string SnapGenValue(const Config& cfg, uint64_t idx, int gen) {
+  std::string v =
+      "g" + std::to_string(gen) + "|" + std::to_string(idx) + "|";
+  if (v.size() < cfg.value_size) v.append(cfg.value_size - v.size(), 's');
+  return v;
+}
+
+/// Sums one snap./vlog. counter over every shard document in STATS.
+uint64_t ScrapeSnapshotCounter(const Config& cfg, const char* name) {
+  net::Client client;
+  std::string json;
+  if (!client.Connect(cfg.connect_host, cfg.connect_port).ok() ||
+      !client.Stats(&json).ok()) {
+    return 0;
+  }
+  JsonValue doc;
+  if (!JsonValue::Parse(json, &doc).ok() || !doc.is_object()) return 0;
+  auto num = [name](const JsonValue& reg) -> uint64_t {
+    const JsonValue* v = reg.Get(name);
+    return (v != nullptr && v->is_number())
+               ? static_cast<uint64_t>(v->number())
+               : 0;
+  };
+  if (doc.Get("shard.0") == nullptr) return num(doc);
+  uint64_t sum = 0;
+  for (size_t i = 0;; i++) {
+    const JsonValue* shard = doc.Get("shard." + std::to_string(i));
+    if (shard == nullptr || !shard->is_object()) break;
+    sum += num(*shard);
+  }
+  return sum;
+}
+
+/// Snapshot-consistency driver (--snapshot-scan, docs/SNAPSHOTS.md):
+/// writes a generation-0 baseline, pins one snapshot across every
+/// shard, then scans at the pin while writer threads churn the same
+/// keys to later generations. Every pinned scan must return exactly
+/// the baseline — one consistent cut — and the run reports what the
+/// pin cost in retained bytes. Exits non-zero when any post-snapshot
+/// write leaks into the cut.
+int RunSnapshotScan(const Config& cfg) {
+  const uint64_t keys = std::min<uint64_t>(cfg.key_space, 4096);
+  const int rounds = 20;
+  net::ShardedClient client(BenchClientOptions(cfg, 0));
+  Status s = client.Connect(cfg.connect_host, cfg.connect_port);
+  if (!s.ok()) {
+    std::fprintf(stderr, "connect: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("snapshot-scan: %llu keys, %d shards, %d writers\n",
+              static_cast<unsigned long long>(keys),
+              client.num_shards(), cfg.connections);
+
+  // Generation-0 baseline.
+  for (uint64_t i = 0; i < keys; i++) {
+    if (!client.Put(KeyFor(i, cfg.key_size), SnapGenValue(cfg, i, 0))
+             .ok()) {
+      std::fprintf(stderr, "baseline put %llu failed\n",
+                   static_cast<unsigned long long>(i));
+      return 1;
+    }
+  }
+  const uint64_t retained_before =
+      ScrapeSnapshotCounter(cfg, "snap.retained_bytes");
+
+  net::ShardedClient::ShardedSnapshot snap;
+  s = client.CreateSnapshot(0, &snap);
+  if (!s.ok()) {
+    std::fprintf(stderr, "snapshot: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("pinned snapshot: %zu server id%s, per-shard seqs [",
+              snap.server_ids.size(),
+              snap.server_ids.size() == 1 ? "" : "s");
+  for (size_t i = 0; i < snap.shard_seqs.size(); i++) {
+    std::printf("%s%llu", i == 0 ? "" : " ",
+                static_cast<unsigned long long>(snap.shard_seqs[i]));
+  }
+  std::printf("]\n");
+
+  // Writers churn every key to later generations while we read the cut.
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> churn_writes{0}, write_failures{0};
+  std::vector<std::thread> writers;
+  const int nwriters = std::max(1, cfg.connections);
+  for (int t = 0; t < nwriters; t++) {
+    writers.emplace_back([&, t] {
+      net::ShardedClient w(BenchClientOptions(cfg, t + 1));
+      if (!w.Connect(cfg.connect_host, cfg.connect_port).ok()) {
+        write_failures.fetch_add(1);
+        return;
+      }
+      int gen = 1;
+      while (!stop.load(std::memory_order_relaxed)) {
+        for (uint64_t i = static_cast<uint64_t>(t); i < keys;
+             i += static_cast<uint64_t>(nwriters)) {
+          if (w.Put(KeyFor(i, cfg.key_size), SnapGenValue(cfg, i, gen))
+                  .ok()) {
+            churn_writes.fetch_add(1);
+          } else {
+            write_failures.fetch_add(1);
+          }
+        }
+        gen++;
+      }
+    });
+  }
+
+  // The acceptance loop: every pinned scan is exactly the baseline.
+  // Runs at least `rounds` scans AND until the writers have pushed
+  // several generations past the pin, so flush/compaction actually
+  // fire and the retained-bytes cost below measures something real.
+  const uint64_t churn_target = keys * 6;
+  uint64_t scan_errors = 0, leaked_rows = 0, rows_checked = 0;
+  int round = 0;
+  for (; round < rounds ||
+         (round < 400 && churn_writes.load() < churn_target);
+       round++) {
+    std::vector<std::pair<std::string, std::string>> entries;
+    Status ss = client.ScanAt("", static_cast<uint32_t>(keys + 16),
+                              snap, &entries);
+    if (!ss.ok()) {
+      std::fprintf(stderr, "scan-at round %d: %s\n", round,
+                   ss.ToString().c_str());
+      scan_errors++;
+      continue;
+    }
+    if (entries.size() != keys) {
+      std::fprintf(stderr,
+                   "scan-at round %d: %zu rows, want %llu — the cut "
+                   "gained or lost keys\n",
+                   round, entries.size(),
+                   static_cast<unsigned long long>(keys));
+      leaked_rows++;
+    }
+    for (uint64_t i = 0; i < entries.size() && i < keys; i++) {
+      rows_checked++;
+      if (entries[i].second != SnapGenValue(cfg, i, 0)) {
+        leaked_rows++;
+        if (leaked_rows <= 5) {
+          std::fprintf(stderr,
+                       "round %d key %s: post-snapshot write leaked "
+                       "into the cut\n",
+                       round, entries[i].first.c_str());
+        }
+      }
+    }
+  }
+  stop.store(true);
+  for (auto& th : writers) th.join();
+
+  // The live view must have moved on past the pin.
+  std::vector<std::pair<std::string, std::string>> live;
+  uint64_t moved = 0;
+  if (client.Scan("", static_cast<uint32_t>(keys + 16), &live).ok()) {
+    for (uint64_t i = 0; i < live.size() && i < keys; i++) {
+      if (live[i].second != SnapGenValue(cfg, i, 0)) moved++;
+    }
+  }
+
+  const uint64_t retained =
+      ScrapeSnapshotCounter(cfg, "snap.retained_bytes") -
+      retained_before;
+  const uint64_t gc_deferrals =
+      ScrapeSnapshotCounter(cfg, "vlog.gc_deferrals");
+  s = client.ReleaseSnapshot(snap);
+
+  std::printf(
+      "snapshot-scan: %d rounds, %llu rows checked, %llu leaked, "
+      "%llu scan errors\n",
+      round, static_cast<unsigned long long>(rows_checked),
+      static_cast<unsigned long long>(leaked_rows),
+      static_cast<unsigned long long>(scan_errors));
+  std::printf(
+      "churn: %llu concurrent writes (%llu failed), %llu/%llu live "
+      "rows past the pin\n",
+      static_cast<unsigned long long>(churn_writes.load()),
+      static_cast<unsigned long long>(write_failures.load()),
+      static_cast<unsigned long long>(moved),
+      static_cast<unsigned long long>(keys));
+  std::printf(
+      "space-amp of the pin: snap.retained_bytes +%llu B, "
+      "vlog.gc_deferrals %llu, release %s\n",
+      static_cast<unsigned long long>(retained),
+      static_cast<unsigned long long>(gc_deferrals),
+      s.ToString().c_str());
+
+  const bool failed = leaked_rows > 0 || scan_errors > 0 ||
+                      write_failures.load() > 0 || !s.ok();
+  if (failed) {
+    std::fprintf(stderr, "SNAPSHOT-SCAN FAILED\n");
+    return 1;
+  }
+  std::printf("snapshot-scan: consistent cut held\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -937,6 +1141,8 @@ int main(int argc, char** argv) {
       cfg.fallback = next("--fallback");
     } else if (std::strcmp(argv[i], "--verify") == 0) {
       cfg.verify = true;
+    } else if (std::strcmp(argv[i], "--snapshot-scan") == 0) {
+      cfg.snapshot_scan = true;
     } else {
       std::fprintf(
           stderr,
@@ -954,7 +1160,8 @@ int main(int argc, char** argv) {
           "          [--trace-sample N] [--trace-out PATH]\n"
           "          [--trace-server-out PATH]\n"
           "          [--kill-pid PID] [--kill-at-ms N]\n"
-          "          [--fallback host:port] [--verify]\n",
+          "          [--fallback host:port] [--verify]\n"
+          "          [--snapshot-scan]\n",
           argv[0]);
       return 2;
     }
@@ -1116,6 +1323,12 @@ int main(int argc, char** argv) {
     } else {
       std::printf("in-process server on 127.0.0.1:%u\n", server->port());
     }
+  }
+
+  // Snapshot-consistency mode runs its own drive loop against the
+  // (in-process or remote) server and exits with its verdict.
+  if (cfg.snapshot_scan) {
+    return RunSnapshotScan(cfg);
   }
 
   // Sharded mode against a remote server: the real shard count is

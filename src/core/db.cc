@@ -57,7 +57,10 @@ DB::DB(PmemEnv* env, const CacheKVOptions& options)
       get_hit_lsm_(metrics_.GetCounter("db.get_hit_lsm")),
       get_miss_(metrics_.GetCounter("db.get_miss")),
       ingest_bytes_(metrics_.GetCounter("db.ingest_bytes")),
-      separated_puts_(metrics_.GetCounter("db.separated_puts")) {
+      separated_puts_(metrics_.GetCounter("db.separated_puts")),
+      snap_pins_(metrics_.GetCounter("snap.pins")),
+      snap_releases_(metrics_.GetCounter("snap.releases")),
+      snap_retained_bytes_(metrics_.GetCounter("snap.retained_bytes")) {
   trace_.set_enabled(options_.trace_enabled ||
                      obs::TraceEnabledFromEnv());
   metadata_.resize(options_.num_cores);
@@ -79,6 +82,9 @@ DB::DB(PmemEnv* env, const CacheKVOptions& options)
     }
   };
   engine_->SetDroppedEntryObserver(drop_observer_);
+  // Compaction passes capture the pinned snapshots at pass start and
+  // retain every version a pin still resolves (docs/SNAPSHOTS.md).
+  engine_->SetSnapshotProvider([this] { return PinnedSnapshots(); });
 }
 
 Status DB::Open(PmemEnv* env, const CacheKVOptions& options, bool recover,
@@ -187,9 +193,11 @@ Status DB::Open(PmemEnv* env, const CacheKVOptions& options, bool recover,
   DB* raw = d.get();
   d->vlog_gc_ = std::make_unique<VlogGc>(
       d->vlog_.get(), &d->metrics_,
-      [raw](const Slice& key, const ValuePointer& old_ptr,
-            const Slice& value, bool* relocated) {
-        return raw->RelocateForGc(key, old_ptr, value, relocated);
+      [raw](SequenceNumber seq, const Slice& key,
+            const ValuePointer& old_ptr, const Slice& value,
+            bool* relocated, bool* snapshot_pinned) {
+        return raw->RelocateForGc(seq, key, old_ptr, value, relocated,
+                                  snapshot_pinned);
       },
       options.vlog_gc_dead_ratio, options.vlog_gc_interval_ms);
   d->vlog_gc_->Start();
@@ -646,12 +654,58 @@ uint64_t DB::ApproxMultiPutCapacityBytes() const {
   return (slot - SubMemTable::kDataOffset) / 2;
 }
 
+const DB::Snapshot* DB::GetSnapshot() {
+  // Global write fence (all core locks): no writer sits between its
+  // sequence allocation and its sub-memtable publish, so every sequence
+  // <= the pin is committed and the snapshot view is stable from the
+  // first read on.
+  std::array<std::unique_lock<std::mutex>, kMaxCoreLocks> fence;
+  for (int i = 0; i < kMaxCoreLocks; i++) {
+    fence[i] = std::unique_lock<std::mutex>(core_mu_[i]);
+  }
+  std::lock_guard<std::mutex> lock(snapshots_mu_);
+  if (pinned_snapshots_.size() >= options_.max_pinned_snapshots) {
+    return nullptr;
+  }
+  const SequenceNumber seq = LastSequence();
+  pinned_snapshots_.insert(seq);
+  snap_pins_->Increment();
+  trace_.Instant("snapshot.pin", "seq", seq);
+  return new Snapshot(seq);
+}
+
+void DB::ReleaseSnapshot(const Snapshot* snapshot) {
+  if (snapshot == nullptr) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(snapshots_mu_);
+    auto it = pinned_snapshots_.find(snapshot->sequence());
+    if (it != pinned_snapshots_.end()) {
+      pinned_snapshots_.erase(it);
+    }
+  }
+  snap_releases_->Increment();
+  trace_.Instant("snapshot.release", "seq", snapshot->sequence());
+  delete snapshot;
+}
+
+std::vector<SequenceNumber> DB::PinnedSnapshots() const {
+  std::lock_guard<std::mutex> lock(snapshots_mu_);
+  return std::vector<SequenceNumber>(pinned_snapshots_.begin(),
+                                     pinned_snapshots_.end());
+}
+
 Iterator* DB::NewScanIterator() {
+  return NewScanIteratorAt(kMaxSequenceNumber);
+}
+
+Iterator* DB::NewScanIteratorAt(SequenceNumber snapshot) {
   // The scan pins the memory component for its lifetime: the locks are
   // owned by the returned iterator.
   class ScanIterator : public Iterator {
    public:
-    ScanIterator(DB* db)
+    ScanIterator(DB* db, SequenceNumber snapshot)
         : tables_lock_(db->tables_mu_),
           zone_lock_(db->zone_->LockShared()),
           vlog_pin_(db->vlog_->PinSegments()) {
@@ -674,9 +728,16 @@ Iterator* DB::NewScanIterator() {
       // lifetime, so pointer resolution below can never hit a recycled
       // segment.
       ValueLog* vlog = db->vlog_.get();
+      // A bounded scan filters out versions newer than the snapshot
+      // BEFORE the dedup, so the freshest *visible* version per key
+      // wins (a fresher invisible one must not shadow it).
+      Iterator* merged =
+          NewMergingIterator(&db->scan_icmp_, std::move(children));
+      if (snapshot != kMaxSequenceNumber) {
+        merged = NewSnapshotFilterIterator(merged, snapshot);
+      }
       impl_.reset(NewUserKeyIterator(
-          NewDedupingIterator(
-              NewMergingIterator(&db->scan_icmp_, std::move(children))),
+          NewDedupingIterator(merged),
           [vlog](const Slice& internal_key, const Slice& raw_value,
                  std::string* value) -> Status {
             ParsedInternalKey parsed;
@@ -711,15 +772,21 @@ Iterator* DB::NewScanIterator() {
     std::unique_ptr<Iterator> impl_;
     Status status_;
   };
-  return new ScanIterator(this);
+  return new ScanIterator(this, snapshot);
 }
 
 Status DB::Scan(const Slice& start, size_t limit,
                 std::vector<std::pair<std::string, std::string>>* out) {
+  return ScanAt(start, limit, kMaxSequenceNumber, out);
+}
+
+Status DB::ScanAt(const Slice& start, size_t limit,
+                  SequenceNumber snapshot,
+                  std::vector<std::pair<std::string, std::string>>* out) {
   OBS_SPAN(&metrics_, "scan");
   obs::TraceScope trace(&trace_, "scan");
   out->clear();
-  std::unique_ptr<Iterator> it(NewScanIterator());
+  std::unique_ptr<Iterator> it(NewScanIteratorAt(snapshot));
   if (start.empty()) {
     it->SeekToFirst();
   } else {
@@ -737,7 +804,8 @@ Status DB::Delete(const Slice& key) {
   return Write(kTypeDeletion, key, Slice());
 }
 
-Status DB::SearchRaw(const Slice& key, RawResult* out) {
+Status DB::SearchRaw(const Slice& key, RawResult* out,
+                     SequenceNumber max_sequence) {
   out->found = false;
   out->sequence = 0;
   out->type = kTypeValue;
@@ -758,7 +826,7 @@ Status DB::SearchRaw(const Slice& key, RawResult* out) {
       }
       index_syncs_->Increment();
       SubSkiplist::Candidate c;
-      if (t->index->Get(key, &c) &&
+      if (t->index->Get(key, &c, max_sequence) &&
           (!out->found || c.sequence > out->sequence)) {
         out->found = true;
         out->sequence = c.sequence;
@@ -777,7 +845,9 @@ Status DB::SearchRaw(const Slice& key, RawResult* out) {
   if (out->found) {
     out->where = RawResult::Where::kSubMemTable;
     if (out->sequence > flushed_hwm_.load(std::memory_order_acquire)) {
-      // Nothing outside the live tables can be fresher.
+      // Nothing outside the live tables can be fresher. Valid for
+      // bounded reads too: the zone and LSM hold only sequences below
+      // this answer's, so none can beat it under the same bound.
       return Status::OK();
     }
   }
@@ -787,7 +857,7 @@ Status DB::SearchRaw(const Slice& key, RawResult* out) {
     OBS_SPAN(&metrics_, "get.zone");
     auto zone_lock = zone_->LockShared();
     FlushedZone::LookupResult zr;
-    Status s = zone_->Get(key, &zr);
+    Status s = zone_->Get(key, &zr, max_sequence);
     if (!s.ok()) {
       return s;
     }
@@ -812,7 +882,7 @@ Status DB::SearchRaw(const Slice& key, RawResult* out) {
     bool lsm_deleted = false;
     SequenceNumber lsm_seq = 0;
     ValueType lsm_type = kTypeValue;
-    Status s = engine_->Get(key, kMaxSequenceNumber, &lsm_value,
+    Status s = engine_->Get(key, max_sequence, &lsm_value,
                             &lsm_deleted, &lsm_seq, &lsm_type);
     if (s.ok() || (s.IsNotFound() && lsm_deleted)) {
       if (!out->found || lsm_seq > out->sequence) {
@@ -832,6 +902,16 @@ Status DB::SearchRaw(const Slice& key, RawResult* out) {
 }
 
 Status DB::Get(const Slice& key, std::string* value) {
+  return GetImpl(key, kMaxSequenceNumber, value);
+}
+
+Status DB::GetAt(const Slice& key, SequenceNumber snapshot,
+                 std::string* value) {
+  return GetImpl(key, snapshot, value);
+}
+
+Status DB::GetImpl(const Slice& key, SequenceNumber max_sequence,
+                   std::string* value) {
   OBS_SPAN(&metrics_, "get");
   obs::TraceScope trace(&trace_, "get");
   gets_->Increment();
@@ -841,11 +921,13 @@ Status DB::Get(const Slice& key, std::string* value) {
   // resolved from a pre-relocation search turns into a retryable
   // NotFound("vlog segment recycled"). The relocated pointer is
   // committed before Unlink, so one re-search converges; the bound only
-  // guards against pathological churn.
+  // guards against pathological churn. (A snapshot read under a live pin
+  // cannot lose its pointer at all: GC defers the unlink while any pin
+  // resolves a record in the victim segment.)
   Status s;
   RawResult r;
   for (int attempt = 0; attempt < 16; attempt++) {
-    s = SearchRaw(key, &r);
+    s = SearchRaw(key, &r, max_sequence);
     if (!s.ok()) {
       return s;  // component error: bypass hit/miss accounting
     }
@@ -896,9 +978,11 @@ Status DB::Get(const Slice& key, std::string* value) {
   return Status::OK();
 }
 
-Status DB::RelocateForGc(const Slice& key, const ValuePointer& old_ptr,
-                         const Slice& value, bool* relocated) {
+Status DB::RelocateForGc(SequenceNumber record_seq, const Slice& key,
+                         const ValuePointer& old_ptr, const Slice& value,
+                         bool* relocated, bool* snapshot_pinned) {
   *relocated = false;
+  *snapshot_pinned = false;
   Status gate = bg_errors_.CheckWritable();
   if (!gate.ok()) {
     return gate;
@@ -916,12 +1000,33 @@ Status DB::RelocateForGc(const Slice& key, const ValuePointer& old_ptr,
   if (!s.ok()) {
     return s;
   }
-  if (!r.found || r.type != kTypeValuePointer) {
-    return Status::OK();  // superseded or deleted: record is dead
-  }
   ValuePointer current;
-  if (!DecodeValuePointer(Slice(r.value), &current) || current != old_ptr) {
-    return Status::OK();  // points elsewhere: this copy is dead
+  const bool live_at_latest =
+      r.found && r.type == kTypeValuePointer &&
+      DecodeValuePointer(Slice(r.value), &current) && current == old_ptr;
+  if (!live_at_latest) {
+    // Dead at latest (superseded, deleted, or relocated already) — but a
+    // pinned snapshot may still resolve this exact pointer. Probe each
+    // pin at or above the record's sequence with a bounded search; a
+    // pointer-equal answer means the segment cannot be unlinked yet.
+    for (SequenceNumber pin : PinnedSnapshots()) {
+      if (pin < record_seq) {
+        continue;
+      }
+      RawResult pr;
+      Status ps = SearchRaw(key, &pr, pin);
+      if (!ps.ok()) {
+        return ps;
+      }
+      ValuePointer pinned_ptr;
+      if (pr.found && pr.type == kTypeValuePointer &&
+          DecodeValuePointer(Slice(pr.value), &pinned_ptr) &&
+          pinned_ptr == old_ptr) {
+        *snapshot_pinned = true;
+        break;
+      }
+    }
+    return Status::OK();
   }
   const SequenceNumber seq = AllocSeqBlock(1);
   ValuePointer new_ptr;
@@ -937,6 +1042,18 @@ Status DB::RelocateForGc(const Slice& key, const ValuePointer& old_ptr,
   std::vector<BatchOp> ops;
   if (s.ok()) {
     *relocated = true;
+    // Pins in [record_seq, seq) still resolve the OLD pointer (the
+    // record was the freshest version of the key until this relocation
+    // committed at `seq`): the victim segment must survive until they
+    // release. Pins created later sequence at or above `seq` — the
+    // write fence blocks GetSnapshot() — and see the new pointer.
+    {
+      std::lock_guard<std::mutex> snap_lock(snapshots_mu_);
+      auto it = pinned_snapshots_.lower_bound(record_seq);
+      if (it != pinned_snapshots_.end() && *it < seq) {
+        *snapshot_pinned = true;
+      }
+    }
     tls_last_commit_seq = seq;
     // Followers replay user-visible ops, so the hook carries the value
     // itself — on the far side this is a benign same-bytes overwrite.
@@ -1115,7 +1232,18 @@ Status DB::FlushZoneToL0() {
     snapshot_max_seq = std::max(snapshot_max_seq, t.max_sequence);
   }
   DroppedEntryLog dropped;
-  std::unique_ptr<Iterator> stream(zone_->NewL0Stream(snapshot, &dropped));
+  // Pinned snapshots, captured at pass start (a pin created later
+  // sequences above every entry in this stable table set, so it sees the
+  // freshest versions — which the dedup keeps unconditionally).
+  std::vector<SequenceNumber> pins = PinnedSnapshots();
+  DroppedEntryFn on_retain;
+  if (!pins.empty()) {
+    on_retain = [this](const Slice& internal_key, const Slice& value) {
+      snap_retained_bytes_->fetch_add(internal_key.size() + value.size());
+    };
+  }
+  std::unique_ptr<Iterator> stream(zone_->NewL0Stream(
+      snapshot, &dropped, std::move(pins), std::move(on_retain)));
   // Publish the high-water mark before the data becomes invisible in the
   // zone, so readers never skip the LSM for entries that moved there.
   uint64_t seen = l0_hwm_.load(std::memory_order_relaxed);

@@ -85,6 +85,52 @@ class DB : public KVStore {
   /// keep scans short-lived.
   Iterator* NewScanIterator();
 
+  /// A pinned read view (docs/SNAPSHOTS.md): every read at the snapshot
+  /// sees exactly the versions with sequence <= sequence() and nothing
+  /// newer, for as long as the pin is held. Obtained from GetSnapshot()
+  /// and returned through ReleaseSnapshot(); the DB owns the object.
+  class Snapshot {
+   public:
+    SequenceNumber sequence() const { return sequence_; }
+
+   private:
+    friend class DB;
+    explicit Snapshot(SequenceNumber seq) : sequence_(seq) {}
+    const SequenceNumber sequence_;
+  };
+
+  /// Pins the current last-committed sequence number: flush, compaction,
+  /// and vlog GC retain every version the pin can still resolve until it
+  /// is released. Returns null when max_pinned_snapshots pins are
+  /// already live (the caller should back off or release one).
+  const Snapshot* GetSnapshot();
+
+  /// Unpins and destroys `snapshot` (null is a no-op). Versions retained
+  /// only for this pin become reclaimable on the next flush/compaction/
+  /// GC pass.
+  void ReleaseSnapshot(const Snapshot* snapshot);
+
+  /// The live pinned sequence numbers, sorted ascending (compaction and
+  /// GC capture this at pass start).
+  std::vector<SequenceNumber> PinnedSnapshots() const;
+
+  /// Point read at a pinned snapshot: the freshest version with
+  /// sequence <= `snapshot` answers. The caller must hold a pin at (or
+  /// below) `snapshot` for the duration, or dropped versions may leak
+  /// into view.
+  Status GetAt(const Slice& key, SequenceNumber snapshot,
+               std::string* value);
+
+  /// Ordered forward scan at a pinned snapshot (same pin requirement as
+  /// GetAt).
+  Status ScanAt(const Slice& start, size_t limit, SequenceNumber snapshot,
+                std::vector<std::pair<std::string, std::string>>* out);
+
+  /// NewScanIterator() bounded at a pinned snapshot: versions newer than
+  /// `snapshot` are invisible; the freshest visible version per key
+  /// wins, tombstones elided (same pin requirement as GetAt).
+  Iterator* NewScanIteratorAt(SequenceNumber snapshot);
+
   /// The store's metrics registry: "db.*" counters, stage-span
   /// histograms (nanoseconds), and — after a snapshot refresh —
   /// "pmem.*" / "cache.*" device gauges. Components may register more.
@@ -201,7 +247,15 @@ class DB : public KVStore {
     enum class Where { kNone, kSubMemTable, kZone, kLsm } where =
         Where::kNone;
   };
-  Status SearchRaw(const Slice& key, RawResult* out);
+  /// `max_sequence` bounds the search to versions with sequence <=
+  /// max_sequence (kMaxSequenceNumber = unbounded latest read).
+  Status SearchRaw(const Slice& key, RawResult* out,
+                   SequenceNumber max_sequence = kMaxSequenceNumber);
+
+  /// Shared body of Get / GetAt: bounded search plus value-pointer
+  /// resolution and hit/miss accounting.
+  Status GetImpl(const Slice& key, SequenceNumber max_sequence,
+                 std::string* value);
 
   /// True when a Put of (key, value) goes through the value log.
   bool ShouldSeparate(const Slice& key, const Slice& value) const;
@@ -211,9 +265,13 @@ class DB : public KVStore {
   /// publication). Re-appends `value` under a fresh sequence and commits
   /// the new pointer iff the freshest committed version of `key` is
   /// exactly `old_ptr`; otherwise the record is dead and *relocated
-  /// stays false.
-  Status RelocateForGc(const Slice& key, const ValuePointer& old_ptr,
-                       const Slice& value, bool* relocated);
+  /// stays false. `record_seq` is the record's original sequence;
+  /// *snapshot_pinned reports whether a pinned snapshot still resolves
+  /// the old pointer (relocated or not), which blocks the segment's
+  /// unlink (docs/SNAPSHOTS.md).
+  Status RelocateForGc(SequenceNumber record_seq, const Slice& key,
+                       const ValuePointer& old_ptr, const Slice& value,
+                       bool* relocated, bool* snapshot_pinned);
 
   Status Write(ValueType type, const Slice& key, const Slice& value);
   Status WriteToCore(int core, SequenceNumber seq, ValueType type,
@@ -285,8 +343,16 @@ class DB : public KVStore {
   obs::Counter* get_miss_;
   obs::Counter* ingest_bytes_;
   obs::Counter* separated_puts_;
+  obs::Counter* snap_pins_;
+  obs::Counter* snap_releases_;
+  obs::Counter* snap_retained_bytes_;
 
   std::atomic<uint64_t> sequence_{0};
+
+  // Pinned snapshot sequence numbers (a multiset: concurrent pins can
+  // land on the same sequence). Guarded by snapshots_mu_.
+  mutable std::mutex snapshots_mu_;
+  std::multiset<SequenceNumber> pinned_snapshots_;
   CommitHook commit_hook_;
 
   // Commit-hook ordering (engaged only while commit_hook_ is set).

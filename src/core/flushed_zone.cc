@@ -304,10 +304,12 @@ void FlushedZone::Compact() {
   global_ = rebuilt;
 }
 
-Status FlushedZone::Get(const Slice& user_key, LookupResult* out) {
+Status FlushedZone::Get(const Slice& user_key, LookupResult* out,
+                        SequenceNumber max_sequence) {
   out->found = false;
   // The caller holds the shared lock; take a consistent view.
   std::shared_ptr<const GlobalSkiplist> global = global_;
+  const bool bounded = max_sequence != kMaxSequenceNumber;
 
   SequenceNumber best_seq = 0;
   ValueType best_type = kTypeValue;
@@ -315,7 +317,7 @@ Status FlushedZone::Get(const Slice& user_key, LookupResult* out) {
   const SubSkiplist* best_table_index = nullptr;
   SubSkiplist::Candidate best_table_candidate;
 
-  if (compaction_enabled_) {
+  if (compaction_enabled_ && !bounded) {
     GlobalSkiplist::Candidate c;
     if (global->Get(user_key, &c)) {
       out->found = true;
@@ -325,13 +327,14 @@ Status FlushedZone::Get(const Slice& user_key, LookupResult* out) {
     }
   }
   // Probe tables not yet covered by the global skiplist (or all tables
-  // when compaction is off).
+  // when compaction is off). A bounded read probes every table: the
+  // global skiplist dropped the superseded versions a snapshot may need.
   for (const FlushedTable& t : tables_) {
-    if (compaction_enabled_ && t.in_global) {
+    if (compaction_enabled_ && !bounded && t.in_global) {
       continue;
     }
     SubSkiplist::Candidate c;
-    if (t.index->Get(user_key, &c) &&
+    if (t.index->Get(user_key, &c, max_sequence) &&
         (!out->found || c.sequence > best_seq)) {
       out->found = true;
       best_seq = c.sequence;
@@ -366,7 +369,8 @@ std::vector<FlushedTable> FlushedZone::SnapshotTables() const {
 }
 
 Iterator* FlushedZone::NewL0Stream(
-    const std::vector<FlushedTable>& snapshot, DroppedEntryLog* dropped) {
+    const std::vector<FlushedTable>& snapshot, DroppedEntryLog* dropped,
+    std::vector<SequenceNumber> snapshots, DroppedEntryFn on_retain) {
   std::vector<Iterator*> children;
   children.reserve(snapshot.size());
   for (const FlushedTable& t : snapshot) {
@@ -379,7 +383,8 @@ Iterator* FlushedZone::NewL0Stream(
     };
   }
   return NewDedupingIterator(
-      NewMergingIterator(&icmp_, std::move(children)), std::move(on_drop));
+      NewMergingIterator(&icmp_, std::move(children)), std::move(on_drop),
+      std::move(snapshots), std::move(on_retain));
 }
 
 Status FlushedZone::DropTables(const std::vector<FlushedTable>& snapshot) {

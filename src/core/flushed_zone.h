@@ -130,9 +130,13 @@ class FlushedZone {
     std::string value;  // filled when type == kTypeValue
   };
 
-  /// Looks up the freshest zone entry for user_key; reads the value
-  /// bytes from PMem. Caller holds LockShared().
-  Status Get(const Slice& user_key, LookupResult* out);
+  /// Looks up the freshest zone entry for user_key with sequence <=
+  /// max_sequence; reads the value bytes from PMem. Caller holds
+  /// LockShared(). Bounded lookups (snapshot reads) bypass the global
+  /// skiplist — it indexes only the freshest version per key — and
+  /// probe every table's sub-skiplist, which indexes all versions.
+  Status Get(const Slice& user_key, LookupResult* out,
+             SequenceNumber max_sequence = kMaxSequenceNumber);
 
   /// Total staged bytes (drives the flush-to-L0 trigger).
   uint64_t TotalBytes() const {
@@ -157,8 +161,15 @@ class FlushedZone {
   /// `dropped` must outlive the iterator. The caller delivers the buffer
   /// to its dead-entry observer only after the flush commits, so a
   /// retried flush cannot double-count the same drops.
+  ///
+  /// `snapshots` (sorted ascending) lists the pinned snapshot sequence
+  /// numbers at pass start; superseded versions a pinned snapshot still
+  /// resolves survive the dedup (docs/SNAPSHOTS.md), and `on_retain`
+  /// observes each such extra version kept.
   Iterator* NewL0Stream(const std::vector<FlushedTable>& snapshot,
-                        DroppedEntryLog* dropped = nullptr);
+                        DroppedEntryLog* dropped = nullptr,
+                        std::vector<SequenceNumber> snapshots = {},
+                        DroppedEntryFn on_retain = nullptr);
 
   /// Removes and frees exactly the snapshot's tables (after they were
   /// written to L0) and persists the registry. Takes the exclusive lock

@@ -95,6 +95,11 @@ struct CacheKVOptions {
   /// Period of the background vlog GC thread's victim scan.
   uint64_t vlog_gc_interval_ms = 200;
 
+  /// Cap on concurrently pinned snapshots (docs/SNAPSHOTS.md). Each pin
+  /// forces flush, compaction, and vlog GC to retain superseded versions
+  /// it can still see; GetSnapshot() returns null at the cap.
+  uint32_t max_pinned_snapshots = 64;
+
   /// The LSM storage component underneath.
   LsmOptions lsm;
 };

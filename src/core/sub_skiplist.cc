@@ -110,9 +110,13 @@ Status SubSkiplist::SyncTo(uint64_t target_counter, uint32_t target_tail) {
   return Status::OK();
 }
 
-bool SubSkiplist::Get(const Slice& user_key, Candidate* out) const {
+bool SubSkiplist::Get(const Slice& user_key, Candidate* out,
+                      SequenceNumber max_sequence) const {
+  // Internal keys order by sequence descending within a user key, so
+  // seeking at max_sequence lands on the freshest version visible at
+  // that bound (kMaxSequenceNumber = the unbounded latest read).
   std::string target_ikey;
-  AppendInternalKey(&target_ikey, user_key, kMaxSequenceNumber,
+  AppendInternalKey(&target_ikey, user_key, max_sequence,
                     kValueTypeForSeek);
   std::string scratch;
   Index::Iterator iter(&index_);

@@ -59,7 +59,11 @@ class SubSkiplist {
   };
 
   /// Returns true and fills *out when an entry for user_key exists.
-  bool Get(const Slice& user_key, Candidate* out) const;
+  /// `max_sequence` bounds the read: the freshest version with
+  /// sequence <= max_sequence answers (snapshot reads pass their
+  /// pinned sequence; the default is the unbounded latest read).
+  bool Get(const Slice& user_key, Candidate* out,
+           SequenceNumber max_sequence = kMaxSequenceNumber) const;
 
   /// Loads the value of a candidate from the table data.
   Status ReadValue(const Candidate& candidate, std::string* value) const;

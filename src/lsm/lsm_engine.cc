@@ -24,6 +24,7 @@ LsmEngine::LsmEngine(PmemEnv* env, const LsmOptions& options,
     bloom_negatives_ = metrics_->GetCounter("lsm.bloom_negatives");
     bloom_false_positives_ =
         metrics_->GetCounter("lsm.bloom_false_positives");
+    snap_retained_bytes_ = metrics_->GetCounter("snap.retained_bytes");
   }
   auto v = std::make_shared<Version>();
   v->levels.resize(options_.num_levels);
@@ -126,10 +127,19 @@ Status LsmEngine::OpenTable(const FileMeta& meta, TableRef* out) {
 Status LsmEngine::BuildTables(Iterator* iter, std::vector<TableRef>* outputs,
                               bool is_compaction, int output_level,
                               const Version* base_version,
-                              DroppedEntryLog* dropped) {
+                              DroppedEntryLog* dropped,
+                              const std::vector<SequenceNumber>& snapshots) {
   std::unique_ptr<SSTableBuilder> builder;
   std::string last_user_key;
   bool has_last_user_key = false;
+  // Sequence of the immediately-newer version of the current user key,
+  // kept or dropped (the stratum bound of SnapshotInStratum).
+  SequenceNumber prev_seq = kMaxSequenceNumber;
+  // A base-level tombstone may only be dropped when every pinned
+  // snapshot postdates it; otherwise a snapshot-retained older version
+  // below would resurface for latest reads.
+  const SequenceNumber oldest_snapshot =
+      snapshots.empty() ? kMaxSequenceNumber : snapshots.front();
 
   auto finish_current = [&]() -> Status {
     if (builder == nullptr || builder->NumEntries() == 0) {
@@ -181,28 +191,44 @@ Status LsmEngine::BuildTables(Iterator* iter, std::vector<TableRef>* outputs,
     EnsureLastSequenceAtLeast(parsed.sequence);
 
     if (is_compaction) {
-      // Without long-lived external snapshots the freshest version of a
-      // user key shadows everything older; the merge stream yields equal
-      // user keys newest-first, so only the first occurrence survives.
+      // The freshest version of a user key shadows everything older; the
+      // merge stream yields equal user keys newest-first, so only the
+      // first occurrence survives — unless a pinned snapshot falls
+      // between an older version and its immediately-newer one, in which
+      // case that snapshot still resolves the older version and it must
+      // ride along (docs/SNAPSHOTS.md).
       if (has_last_user_key &&
           Slice(last_user_key) == parsed.user_key) {
-        // Buffered, not reported: the caller delivers the drops to the
-        // observer only once this pass's outputs commit, so a retried
-        // pass cannot credit the same dead bytes twice.
-        if (dropped != nullptr) {
-          dropped->emplace_back(iter->key().ToString(),
-                                iter->value().ToString());
+        const bool retain =
+            SnapshotInStratum(snapshots, parsed.sequence, prev_seq);
+        prev_seq = parsed.sequence;
+        if (!retain) {
+          // Buffered, not reported: the caller delivers the drops to the
+          // observer only once this pass's outputs commit, so a retried
+          // pass cannot credit the same dead bytes twice.
+          if (dropped != nullptr) {
+            dropped->emplace_back(iter->key().ToString(),
+                                  iter->value().ToString());
+          }
+          continue;
         }
-        continue;
-      }
-      last_user_key.assign(parsed.user_key.data(),
-                           parsed.user_key.size());
-      has_last_user_key = true;
-      if (parsed.type == kTypeDeletion &&
-          IsBaseLevelForKey(*base_version, output_level,
-                            parsed.user_key)) {
-        // The tombstone shadows nothing below the output level: drop it.
-        continue;
+        if (snap_retained_bytes_ != nullptr) {
+          snap_retained_bytes_->fetch_add(iter->key().size() +
+                                          iter->value().size());
+        }
+      } else {
+        last_user_key.assign(parsed.user_key.data(),
+                             parsed.user_key.size());
+        has_last_user_key = true;
+        prev_seq = parsed.sequence;
+        if (parsed.type == kTypeDeletion &&
+            parsed.sequence <= oldest_snapshot &&
+            IsBaseLevelForKey(*base_version, output_level,
+                              parsed.user_key)) {
+          // The tombstone shadows nothing below the output level and no
+          // pinned snapshot predates it: drop it.
+          continue;
+        }
       }
     }
 
@@ -435,6 +461,15 @@ Status LsmEngine::CompactLevel(int level) {
   if (metrics_ != nullptr) {
     metrics_->GetCounter("lsm.compactions")->Increment();
   }
+  // Pinned snapshots, captured once at pass start. Safe against racing
+  // pins: a snapshot taken after this point has a sequence >= the
+  // engine's LastSequence(), which is >= every entry in the inputs, so
+  // it sees the freshest version of each key — which the dedup keeps
+  // unconditionally.
+  std::vector<SequenceNumber> snapshots;
+  if (snapshot_provider_) {
+    snapshots = snapshot_provider_();
+  }
   // Phase 1 (under lock): pick inputs from the current version.
   std::vector<TableRef> inputs_this, inputs_next;
   VersionRef base;
@@ -492,7 +527,8 @@ Status LsmEngine::CompactLevel(int level) {
   DroppedEntryLog dropped;
   Status s = BuildTables(merged.get(), &outputs, /*is_compaction=*/true,
                          output_level, base.get(),
-                         on_drop_ != nullptr ? &dropped : nullptr);
+                         on_drop_ != nullptr ? &dropped : nullptr,
+                         snapshots);
   if (!s.ok()) {
     return s;  // buffered drops discarded: the retry re-collects them
   }

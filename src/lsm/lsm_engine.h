@@ -99,6 +99,17 @@ class LsmEngine {
     on_drop_ = std::move(observer);
   }
 
+  /// Supplier of the pinned snapshot sequence numbers, sorted ascending
+  /// (DB wires this to its snapshot registry). Each compaction pass
+  /// captures the list once at pass start; versions a pinned snapshot
+  /// still resolves survive the merge dedup (docs/SNAPSHOTS.md), and a
+  /// base-level tombstone is only dropped when it predates the oldest
+  /// pin. Set once before any compaction runs.
+  using SnapshotProviderFn = std::function<std::vector<SequenceNumber>()>;
+  void SetSnapshotProvider(SnapshotProviderFn provider) {
+    snapshot_provider_ = std::move(provider);
+  }
+
   /// Iterator over all tables (internal-key order, duplicates possible
   /// across levels; fresher levels yield first for equal user keys).
   Iterator* NewIterator();
@@ -131,7 +142,8 @@ class LsmEngine {
   Status BuildTables(Iterator* iter, std::vector<TableRef>* outputs,
                      bool is_compaction, int output_level,
                      const Version* base_version,
-                     DroppedEntryLog* dropped = nullptr);
+                     DroppedEntryLog* dropped = nullptr,
+                     const std::vector<SequenceNumber>& snapshots = {});
   Status OpenTable(const FileMeta& meta, TableRef* out);
 
   // Compaction machinery.
@@ -156,6 +168,10 @@ class LsmEngine {
   InternalKeyComparator icmp_;
   ManifestWriter manifest_;
   DroppedEntryFn on_drop_;  // may be empty
+  SnapshotProviderFn snapshot_provider_;  // may be empty
+  // Cumulative bytes of superseded versions carried through compaction
+  // for pinned snapshots (null when metrics_ is null).
+  obs::Counter* snap_retained_bytes_ = nullptr;
 
   mutable std::mutex mu_;
   std::shared_ptr<const Version> current_;

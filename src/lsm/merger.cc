@@ -1,5 +1,7 @@
 #include "lsm/merger.h"
 
+#include <algorithm>
+
 namespace cachekv {
 
 namespace {
@@ -70,8 +72,13 @@ class MergingIterator : public Iterator {
 
 class DedupingIterator : public Iterator {
  public:
-  DedupingIterator(Iterator* base, DroppedEntryFn on_drop)
-      : base_(base), on_drop_(std::move(on_drop)) {}
+  DedupingIterator(Iterator* base, DroppedEntryFn on_drop,
+                   std::vector<SequenceNumber> snapshots,
+                   DroppedEntryFn on_retain)
+      : base_(base),
+        on_drop_(std::move(on_drop)),
+        snapshots_(std::move(snapshots)),
+        on_retain_(std::move(on_retain)) {}
 
   bool Valid() const override { return base_->Valid(); }
 
@@ -98,6 +105,20 @@ class DedupingIterator : public Iterator {
         RememberCurrent();
         return;
       }
+      // A superseded version survives when a pinned snapshot falls
+      // between it and the immediately-newer version: that snapshot
+      // still resolves this entry. prev_seq_ tracks the newer version
+      // whether or not it was retained (dropping it proved no snapshot
+      // lies in its stratum, so the visibility windows stay exact).
+      SequenceNumber seq = ExtractTrailer(base_->key()) >> 8;
+      bool retain = SnapshotInStratum(snapshots_, seq, prev_seq_);
+      prev_seq_ = seq;
+      if (retain) {
+        if (on_retain_ != nullptr) {
+          on_retain_(base_->key(), base_->value());
+        }
+        return;
+      }
       if (on_drop_ != nullptr) {
         on_drop_(base_->key(), base_->value());
       }
@@ -113,14 +134,56 @@ class DedupingIterator : public Iterator {
     if (base_->Valid()) {
       Slice user_key = ExtractUserKey(base_->key());
       last_user_key_.assign(user_key.data(), user_key.size());
+      prev_seq_ = ExtractTrailer(base_->key()) >> 8;
       has_last_ = true;
     }
   }
 
   std::unique_ptr<Iterator> base_;
   DroppedEntryFn on_drop_;
+  std::vector<SequenceNumber> snapshots_;  // sorted ascending
+  DroppedEntryFn on_retain_;
   std::string last_user_key_;
+  SequenceNumber prev_seq_ = kMaxSequenceNumber;
   bool has_last_ = false;
+};
+
+class SnapshotFilterIterator : public Iterator {
+ public:
+  SnapshotFilterIterator(Iterator* base, SequenceNumber snapshot)
+      : base_(base), snapshot_(snapshot) {}
+
+  bool Valid() const override { return base_->Valid(); }
+
+  void SeekToFirst() override {
+    base_->SeekToFirst();
+    SkipInvisible();
+  }
+
+  void Seek(const Slice& target) override {
+    base_->Seek(target);
+    SkipInvisible();
+  }
+
+  void Next() override {
+    base_->Next();
+    SkipInvisible();
+  }
+
+  Slice key() const override { return base_->key(); }
+  Slice value() const override { return base_->value(); }
+  Status status() const override { return base_->status(); }
+
+ private:
+  void SkipInvisible() {
+    while (base_->Valid() &&
+           (ExtractTrailer(base_->key()) >> 8) > snapshot_) {
+      base_->Next();
+    }
+  }
+
+  std::unique_ptr<Iterator> base_;
+  const SequenceNumber snapshot_;
 };
 
 class UserKeyIterator : public Iterator {
@@ -185,8 +248,24 @@ class UserKeyIterator : public Iterator {
 
 }  // namespace
 
-Iterator* NewDedupingIterator(Iterator* base, DroppedEntryFn on_drop) {
-  return new DedupingIterator(base, std::move(on_drop));
+bool SnapshotInStratum(const std::vector<SequenceNumber>& snapshots,
+                       SequenceNumber seq, SequenceNumber prev_seq) {
+  // First pinned snapshot at or above this version's sequence; it pins
+  // the version iff it also predates the immediately-newer version.
+  auto it = std::lower_bound(snapshots.begin(), snapshots.end(), seq);
+  return it != snapshots.end() && *it < prev_seq;
+}
+
+Iterator* NewDedupingIterator(Iterator* base, DroppedEntryFn on_drop,
+                              std::vector<SequenceNumber> snapshots,
+                              DroppedEntryFn on_retain) {
+  return new DedupingIterator(base, std::move(on_drop),
+                              std::move(snapshots), std::move(on_retain));
+}
+
+Iterator* NewSnapshotFilterIterator(Iterator* base,
+                                    SequenceNumber snapshot) {
+  return new SnapshotFilterIterator(base, snapshot);
 }
 
 Iterator* NewUserKeyIterator(Iterator* base, ValueResolverFn resolver) {

@@ -40,8 +40,37 @@ Iterator* NewMergingIterator(const InternalKeyComparator* comparator,
 /// Wraps a sorted internal-key stream, dropping all but the first
 /// (freshest) entry of every user key. `on_drop` (optional) observes
 /// each discarded entry. Takes ownership of base.
+///
+/// `snapshots` (sorted ascending) is the list of pinned snapshot
+/// sequence numbers (docs/SNAPSHOTS.md): besides the freshest version,
+/// an older version with sequence s survives iff some pinned snapshot p
+/// satisfies s <= p < prev_s, where prev_s is the sequence of the
+/// immediately-newer version of the same user key — that snapshot still
+/// resolves s, so dropping it would change a pinned read. `on_retain`
+/// (optional) observes every such extra retained version (the
+/// snapshot-induced space amplification, credited to
+/// snap.retained_bytes).
 Iterator* NewDedupingIterator(Iterator* base,
-                              DroppedEntryFn on_drop = nullptr);
+                              DroppedEntryFn on_drop = nullptr,
+                              std::vector<SequenceNumber> snapshots = {},
+                              DroppedEntryFn on_retain = nullptr);
+
+/// True when some pinned snapshot in `snapshots` (sorted ascending)
+/// lies in [seq, prev_seq): the version with sequence `seq` is still
+/// the visible answer at that snapshot and must be retained. `prev_seq`
+/// is the sequence of the immediately-newer version of the same user
+/// key (kMaxSequenceNumber for the first). Shared by the deduping
+/// iterator and the LSM compaction's inline dedup loop.
+bool SnapshotInStratum(const std::vector<SequenceNumber>& snapshots,
+                       SequenceNumber seq, SequenceNumber prev_seq);
+
+/// Wraps a sorted internal-key stream, dropping every entry whose
+/// sequence exceeds `snapshot` — the bounded-read prefilter of a
+/// scan-at-snapshot (versions committed after the pin are invisible).
+/// Feed its output to NewDedupingIterator to keep the freshest visible
+/// version per user key. Takes ownership of base.
+Iterator* NewSnapshotFilterIterator(Iterator* base,
+                                    SequenceNumber snapshot);
 
 /// Wraps a deduped internal-key stream as a user-facing iterator:
 /// tombstoned keys are skipped, key() yields the user key, and pointer

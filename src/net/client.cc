@@ -331,6 +331,51 @@ Status Client::FetchShardMap(ShardRouter* out) {
   return ShardRouter::Decode(payload, out);
 }
 
+// Snapshot API. -------------------------------------------------------
+
+Status Client::CreateSnapshot(uint32_t ttl_ms, SnapshotResponse* resp) {
+  std::string req;
+  EncodeSnapshotRequest(&req, next_id_++, ttl_ms);
+  Frame frame;
+  std::string payload;
+  Status s = RoundTrip(Op::kSnapshot, req, &frame, &payload);
+  if (!s.ok()) return s;
+  return ParseSnapshotPayload(payload, resp);
+}
+
+Status Client::ReleaseSnapshot(uint64_t snapshot_id) {
+  std::string req;
+  EncodeSnapshotReleaseRequest(&req, next_id_++, snapshot_id);
+  Frame frame;
+  return RoundTrip(Op::kSnapshotRelease, req, &frame, nullptr);
+}
+
+Status Client::GetAt(const Slice& key, uint64_t snapshot_id,
+                     std::string* value) {
+  SnapshotRef snap;
+  snap.at_snapshot = true;
+  snap.id = snapshot_id;
+  std::string req;
+  EncodeGetRequest(&req, next_id_++, key, TraceContext(), snap);
+  Frame resp;
+  return RoundTrip(Op::kGet, req, &resp, value);
+}
+
+Status Client::ScanAt(
+    const Slice& start, uint32_t limit, uint64_t snapshot_id,
+    std::vector<std::pair<std::string, std::string>>* out) {
+  SnapshotRef snap;
+  snap.at_snapshot = true;
+  snap.id = snapshot_id;
+  std::string req;
+  EncodeScanRequest(&req, next_id_++, start, limit, TraceContext(), snap);
+  Frame resp;
+  std::string payload;
+  Status s = RoundTrip(Op::kScan, req, &resp, &payload);
+  if (!s.ok()) return s;
+  return ParseScanPayload(payload, out);
+}
+
 // Replication API. ----------------------------------------------------
 
 Status Client::ReplSubscribe(const ReplSubscribeRequest& request,
@@ -432,6 +477,16 @@ uint64_t Client::SubmitScan(const Slice& start, uint32_t limit) {
   std::string req;
   EncodeScanRequest(&req, next_id_++, start, limit, tc);
   return Enqueue(Op::kScan, std::move(req), tc);
+}
+
+uint64_t Client::SubmitScanAt(const Slice& start, uint32_t limit,
+                              uint64_t snapshot_id) {
+  SnapshotRef snap;
+  snap.at_snapshot = true;
+  snap.id = snapshot_id;
+  std::string req;
+  EncodeScanRequest(&req, next_id_++, start, limit, TraceContext(), snap);
+  return Enqueue(Op::kScan, std::move(req));
 }
 
 uint64_t Client::SubmitPing() {
@@ -910,6 +965,144 @@ Status ShardedClient::ScanAttempt(
       *retriable = results[0].wire_code == kNotPrimary;
       return results[0].status;
     }
+    per_server[i] = std::move(results[0].entries);
+  }
+  MergeShardScans(std::move(per_server), limit, out);
+  return Status::OK();
+}
+
+// Snapshot API. -------------------------------------------------------
+
+bool ShardedClient::SnapshotIdFor(const ShardedSnapshot& snap,
+                                  const std::string& endpoint,
+                                  uint64_t* id) {
+  for (const auto& [ep, server_id] : snap.server_ids) {
+    if (ep == endpoint) {
+      *id = server_id;
+      return true;
+    }
+  }
+  return false;
+}
+
+Status ShardedClient::CreateSnapshot(uint32_t ttl_ms,
+                                     ShardedSnapshot* out) {
+  Status s = RequireConnected();
+  if (!s.ok()) return s;
+  out->server_ids.clear();
+  out->shard_seqs.assign(conns_.size(), 0);
+  // One SNAPSHOT per distinct server endpoint: a server pins every
+  // shard it hosts under one id and reports their sequences.
+  for (uint32_t shard = 0; shard < conns_.size(); shard++) {
+    uint64_t ignored;
+    if (SnapshotIdFor(*out, resolved_endpoints_[shard], &ignored)) {
+      continue;  // this server is already pinned
+    }
+    SnapshotResponse resp;
+    s = conns_[shard]->CreateSnapshot(ttl_ms, &resp);
+    if (!s.ok()) {
+      ReleaseSnapshot(*out);  // best-effort unwind of partial pins
+      out->server_ids.clear();
+      return s;
+    }
+    out->server_ids.emplace_back(resolved_endpoints_[shard],
+                                 resp.snapshot_id);
+    // Adopt the pinned sequence for every shard this server serves.
+    for (uint32_t other = 0; other < conns_.size(); other++) {
+      if (resolved_endpoints_[other] == resolved_endpoints_[shard] &&
+          other < resp.shard_seqs.size()) {
+        out->shard_seqs[other] = resp.shard_seqs[other];
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status ShardedClient::ReleaseSnapshot(const ShardedSnapshot& snap) {
+  Status s = RequireConnected();
+  if (!s.ok()) return s;
+  Status first_error;
+  for (const auto& [endpoint, id] : snap.server_ids) {
+    // Any connection resolved to that server can carry the release.
+    Client* conn = nullptr;
+    for (uint32_t shard = 0; shard < conns_.size(); shard++) {
+      if (resolved_endpoints_[shard] == endpoint) {
+        conn = conns_[shard].get();
+        break;
+      }
+    }
+    if (conn == nullptr) {
+      if (first_error.ok()) {
+        first_error = Status::NotFound("snapshot endpoint unroutable",
+                                       endpoint);
+      }
+      continue;
+    }
+    Status st = conn->ReleaseSnapshot(id);
+    if (!st.ok() && first_error.ok()) first_error = st;
+  }
+  return first_error;
+}
+
+Status ShardedClient::GetAt(const Slice& key, const ShardedSnapshot& snap,
+                            std::string* value) {
+  Status s = RequireConnected();
+  if (!s.ok()) return s;
+  const uint32_t shard = router_.ShardOf(key);
+  uint64_t id = 0;
+  if (!SnapshotIdFor(snap, resolved_endpoints_[shard], &id)) {
+    // Routing moved since the pin (failover reconnected the shard to a
+    // server that holds no pin for this snapshot); the caller re-pins.
+    return Status::NotFound("snapshot_unknown",
+                            "shard routed away from its pinned server");
+  }
+  return conns_[shard]->GetAt(key, id, value);
+}
+
+Status ShardedClient::ScanAt(
+    const Slice& start, uint32_t limit, const ShardedSnapshot& snap,
+    std::vector<std::pair<std::string, std::string>>* out) {
+  Status s = RequireConnected();
+  if (!s.ok()) return s;
+  // Same per-distinct-endpoint fan-out as ScanAttempt, each with the
+  // server's own pin id — no retry: a refresh could route a shard to a
+  // server without the pin, silently breaking the cut.
+  std::vector<uint32_t> reps;
+  for (uint32_t shard = 0; shard < conns_.size(); shard++) {
+    bool seen = false;
+    for (uint32_t r : reps) {
+      if (resolved_endpoints_[r] == resolved_endpoints_[shard]) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) reps.push_back(shard);
+  }
+  std::vector<uint64_t> rep_ids(reps.size(), 0);
+  for (size_t i = 0; i < reps.size(); i++) {
+    if (!SnapshotIdFor(snap, resolved_endpoints_[reps[i]], &rep_ids[i])) {
+      return Status::NotFound("snapshot_unknown",
+                              "shard routed away from its pinned server");
+    }
+  }
+  if (reps.size() == 1) {
+    return conns_[reps[0]]->ScanAt(start, limit, rep_ids[0], out);
+  }
+  for (size_t i = 0; i < reps.size(); i++) {
+    conns_[reps[i]]->SubmitScanAt(start, limit, rep_ids[i]);
+    Status st = conns_[reps[i]]->Flush();
+    if (!st.ok()) return st;
+  }
+  std::vector<std::vector<std::pair<std::string, std::string>>>
+      per_server(reps.size());
+  for (size_t i = 0; i < reps.size(); i++) {
+    std::vector<Client::Result> results;
+    Status st = conns_[reps[i]]->WaitAll(&results);
+    if (!st.ok()) return st;
+    if (results.size() != 1) {
+      return Status::Corruption("protocol", "scan fan-out mismatch");
+    }
+    if (!results[0].status.ok()) return results[0].status;
     per_server[i] = std::move(results[0].entries);
   }
   MergeShardScans(std::move(per_server), limit, out);

@@ -95,6 +95,25 @@ class Client {
   /// from unsharded servers). ShardedClient uses this to bootstrap.
   Status FetchShardMap(ShardRouter* out);
 
+  // Snapshot API (docs/SNAPSHOTS.md). -------------------------------
+
+  /// Pins a snapshot on the server: *resp receives the server-issued
+  /// id and the sequence pinned on each shard the server hosts.
+  /// `ttl_ms` bounds the pin's lifetime (0 = server default); the
+  /// server may shorten but never extend the requested TTL.
+  Status CreateSnapshot(uint32_t ttl_ms, SnapshotResponse* resp);
+  /// Unpins `snapshot_id` on the server. NotFound("snapshot_unknown")
+  /// when the id was never pinned, already released, or TTL-expired.
+  Status ReleaseSnapshot(uint64_t snapshot_id);
+  /// GET at a pinned snapshot: sees exactly the versions the pin
+  /// froze, bypassing the server's hot-key cache.
+  Status GetAt(const Slice& key, uint64_t snapshot_id,
+               std::string* value);
+  /// SCAN at a pinned snapshot (one consistent cut across the server's
+  /// shards).
+  Status ScanAt(const Slice& start, uint32_t limit, uint64_t snapshot_id,
+                std::vector<std::pair<std::string, std::string>>* out);
+
   // Replication API (docs/REPLICATION.md): follower-side pull calls
   // used by repl::ReplHub, plus the admin PROMOTE. ------------------
 
@@ -123,6 +142,8 @@ class Client {
   uint64_t SubmitDelete(const Slice& key);
   uint64_t SubmitMultiPut(const std::vector<KVStore::BatchOp>& batch);
   uint64_t SubmitScan(const Slice& start, uint32_t limit);
+  uint64_t SubmitScanAt(const Slice& start, uint32_t limit,
+                        uint64_t snapshot_id);
   uint64_t SubmitPing();
 
   /// Writes every queued request to the socket.
@@ -251,6 +272,38 @@ class ShardedClient {
   /// ordered per-server results down to `limit` entries (0 = no limit).
   Status Scan(const Slice& start, uint32_t limit,
               std::vector<std::pair<std::string, std::string>>* out);
+  // Snapshot API (docs/SNAPSHOTS.md). -------------------------------
+
+  /// One cross-shard pinned snapshot: a server-issued id per distinct
+  /// endpoint plus the per-shard sequence vector — the consistent cut
+  /// every ScanAt/GetAt against it observes. Shards are independent
+  /// key spaces, so the cut carries no cross-shard write atomicity
+  /// (a multi-shard MULTIPUT may be split by it).
+  struct ShardedSnapshot {
+    /// (endpoint, server snapshot id) per distinct server.
+    std::vector<std::pair<std::string, uint64_t>> server_ids;
+    /// Pinned sequence per shard (indexed by shard number).
+    std::vector<uint64_t> shard_seqs;
+  };
+
+  /// Pins every shard: one SNAPSHOT per distinct server endpoint. On
+  /// any failure the shards already pinned are released (best effort)
+  /// and the error surfaces. Snapshot operations never fail over — a
+  /// pin lives on the specific server that took it.
+  Status CreateSnapshot(uint32_t ttl_ms, ShardedSnapshot* out);
+  /// Releases every per-server pin; the first error surfaces but every
+  /// server is attempted.
+  Status ReleaseSnapshot(const ShardedSnapshot& snap);
+  /// GET at the snapshot, routed to the owning shard.
+  Status GetAt(const Slice& key, const ShardedSnapshot& snap,
+               std::string* value);
+  /// SCAN at the snapshot: fans out per distinct endpoint with that
+  /// server's pin and k-way merges — one consistent cut even while
+  /// writers race.
+  Status ScanAt(const Slice& start, uint32_t limit,
+                const ShardedSnapshot& snap,
+                std::vector<std::pair<std::string, std::string>>* out);
+
   /// The server's STATS document (shard-labelled when sharded).
   Status Stats(std::string* json);
   /// The server's slow-request log (all shards; one server process).
@@ -286,6 +339,10 @@ class ShardedClient {
   Status ScanAttempt(const Slice& start, uint32_t limit,
                      std::vector<std::pair<std::string, std::string>>* out,
                      bool* retriable);
+  /// The per-server snapshot id pinned for `endpoint` (false when the
+  /// snapshot holds no pin there — routing moved since the pin).
+  static bool SnapshotIdFor(const ShardedSnapshot& snap,
+                            const std::string& endpoint, uint64_t* id);
 
   ClientOptions options_;
   ShardRouter router_;

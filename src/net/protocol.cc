@@ -42,13 +42,16 @@ Status DecodeError(const char* what) {
 
 void AppendFrame(std::string* out, Op op, bool response, uint16_t code,
                  uint64_t id, const Slice& payload,
-                 const TraceContext& tc = TraceContext()) {
+                 const TraceContext& tc = TraceContext(),
+                 const SnapshotRef& snap = SnapshotRef()) {
   size_t body = kFrameFixedBody + payload.size() +
-                (tc.traced ? kTraceContextBytes : 0);
+                (tc.traced ? kTraceContextBytes : 0) +
+                (snap.at_snapshot ? kSnapshotIdBytes : 0);
   PutFixed32(out, static_cast<uint32_t>(body));
   out->push_back(static_cast<char>(op));
   uint8_t flags = (response ? kFlagResponse : 0) |
-                  (tc.traced ? kFlagTraced : 0);
+                  (tc.traced ? kFlagTraced : 0) |
+                  (snap.at_snapshot ? kFlagAtSnapshot : 0);
   out->push_back(static_cast<char>(flags));
   char code_buf[2];
   code_buf[0] = static_cast<char>(code & 0xff);
@@ -58,6 +61,9 @@ void AppendFrame(std::string* out, Op op, bool response, uint16_t code,
   if (tc.traced) {
     PutFixed64(out, tc.trace_id);
     PutFixed64(out, tc.server_ns);
+  }
+  if (snap.at_snapshot) {
+    PutFixed64(out, snap.id);
   }
   out->append(payload.data(), payload.size());
 }
@@ -71,7 +77,7 @@ void AppendKey(std::string* out, const Slice& key) {
 
 bool ValidOp(uint8_t raw) {
   return raw >= static_cast<uint8_t>(Op::kGet) &&
-         raw <= static_cast<uint8_t>(Op::kPromote);
+         raw <= static_cast<uint8_t>(Op::kSnapshotRelease);
 }
 
 const char* OpName(Op op) {
@@ -91,6 +97,8 @@ const char* OpName(Op op) {
     case Op::kReplAck: return "replack";
     case Op::kReplSnapshot: return "replsnapshot";
     case Op::kPromote: return "promote";
+    case Op::kSnapshot: return "snapshot";
+    case Op::kSnapshotRelease: return "snapshotrelease";
   }
   return "?";
 }
@@ -113,6 +121,7 @@ const char* WireCodeName(uint16_t code) {
     case kStaleEpoch: return "stale_epoch";
     case kReplLagged: return "repl_lagged";
     case kReplTimeout: return "repl_timeout";
+    case kSnapshotUnknown: return "snapshot_unknown";
   }
   return "unknown_code";
 }
@@ -157,6 +166,11 @@ Status StatusFromWire(uint16_t code, const Slice& message) {
     case kReplTimeout:
       // Committed on the primary; the ack policy was not met in time.
       return Status::Busy(message.empty() ? Slice("repl_timeout") : message);
+    case kSnapshotUnknown:
+      // The pin was never taken, was released, or expired past its TTL;
+      // the caller re-pins and retries.
+      return Status::NotFound(message.empty() ? Slice("snapshot_unknown")
+                                              : message);
     default: return Status::IOError(WireCodeName(code), message);
   }
 }
@@ -200,15 +214,22 @@ FrameDecoder::Result FrameDecoder::Next(Frame* out) {
       error_ = "unknown opcode";
       return Result::kError;
     }
-    if ((flags & ~(kFlagResponse | kFlagTraced)) != 0) {
+    if ((flags & ~(kFlagResponse | kFlagTraced | kFlagAtSnapshot)) != 0) {
       failed_ = true;
       error_ = "reserved flag bits set";
       return Result::kError;
     }
-    if ((flags & kFlagTraced) != 0 &&
-        body_len < kFrameFixedBody + kTraceContextBytes) {
+    if ((flags & kFlagAtSnapshot) != 0 && (flags & kFlagResponse) != 0) {
       failed_ = true;
-      error_ = "traced frame too short for trace context";
+      error_ = "at-snapshot flag set on a response";
+      return Result::kError;
+    }
+    const size_t prefix_bytes =
+        ((flags & kFlagTraced) != 0 ? kTraceContextBytes : 0) +
+        ((flags & kFlagAtSnapshot) != 0 ? kSnapshotIdBytes : 0);
+    if (body_len < kFrameFixedBody + prefix_bytes) {
+      failed_ = true;
+      error_ = "frame too short for its payload prefixes";
       return Result::kError;
     }
   }
@@ -217,6 +238,7 @@ FrameDecoder::Result FrameDecoder::Next(Frame* out) {
   out->op = static_cast<Op>(static_cast<uint8_t>(base[4]));
   out->response = (flags & kFlagResponse) != 0;
   out->traced = (flags & kFlagTraced) != 0;
+  out->at_snapshot = (flags & kFlagAtSnapshot) != 0;
   out->code = static_cast<uint16_t>(
       static_cast<uint8_t>(base[6]) |
       (static_cast<uint16_t>(static_cast<uint8_t>(base[7])) << 8));
@@ -231,6 +253,13 @@ FrameDecoder::Result FrameDecoder::Next(Frame* out) {
   } else {
     out->trace_id = 0;
     out->server_ns = 0;
+  }
+  if (out->at_snapshot) {
+    out->snapshot_id = DecodeFixed64(payload);
+    payload += kSnapshotIdBytes;
+    payload_len -= kSnapshotIdBytes;
+  } else {
+    out->snapshot_id = 0;
   }
   out->payload = Slice(payload, payload_len);
   pos_ += 4u + body_len;
@@ -253,10 +282,10 @@ bool FrameDecoder::PeekOp(Op* op) const {
 // Request encoders. ---------------------------------------------------
 
 void EncodeGetRequest(std::string* out, uint64_t id, const Slice& key,
-                      const TraceContext& tc) {
+                      const TraceContext& tc, const SnapshotRef& snap) {
   std::string payload;
   AppendKey(&payload, key);
-  AppendFrame(out, Op::kGet, false, kOk, id, payload, tc);
+  AppendFrame(out, Op::kGet, false, kOk, id, payload, tc, snap);
 }
 
 void EncodePutRequest(std::string* out, uint64_t id, const Slice& key,
@@ -290,11 +319,12 @@ void EncodeMultiPutRequest(std::string* out, uint64_t id,
 }
 
 void EncodeScanRequest(std::string* out, uint64_t id, const Slice& start,
-                       uint32_t limit, const TraceContext& tc) {
+                       uint32_t limit, const TraceContext& tc,
+                       const SnapshotRef& snap) {
   std::string payload;
   AppendKey(&payload, start);
   PutFixed32(&payload, limit);
-  AppendFrame(out, Op::kScan, false, kOk, id, payload, tc);
+  AppendFrame(out, Op::kScan, false, kOk, id, payload, tc, snap);
 }
 
 void EncodeStatsRequest(std::string* out, uint64_t id) {
@@ -317,6 +347,19 @@ void EncodeSlowLogRequest(std::string* out, uint64_t id, uint32_t limit) {
 
 void EncodeMetricsPromRequest(std::string* out, uint64_t id) {
   AppendFrame(out, Op::kMetricsProm, false, kOk, id, Slice());
+}
+
+void EncodeSnapshotRequest(std::string* out, uint64_t id, uint32_t ttl_ms) {
+  std::string payload;
+  PutFixed32(&payload, ttl_ms);
+  AppendFrame(out, Op::kSnapshot, false, kOk, id, payload);
+}
+
+void EncodeSnapshotReleaseRequest(std::string* out, uint64_t id,
+                                  uint64_t snapshot_id) {
+  std::string payload;
+  PutFixed64(&payload, snapshot_id);
+  AppendFrame(out, Op::kSnapshotRelease, false, kOk, id, payload);
 }
 
 // Response encoders. --------------------------------------------------
@@ -438,6 +481,51 @@ Status ParseSlowLogRequest(const Slice& payload, SlowLogRequest* out) {
   Slice in = payload;
   if (!GetU32(&in, &out->limit)) {
     return DecodeError("truncated slowlog limit");
+  }
+  return ExpectEmpty(in);
+}
+
+Status ParseSnapshotRequest(const Slice& payload, SnapshotRequest* out) {
+  Slice in = payload;
+  if (!GetU32(&in, &out->ttl_ms)) {
+    return DecodeError("truncated snapshot ttl");
+  }
+  return ExpectEmpty(in);
+}
+
+Status ParseSnapshotReleaseRequest(const Slice& payload,
+                                   SnapshotReleaseRequest* out) {
+  Slice in = payload;
+  if (!GetU64(&in, &out->snapshot_id)) {
+    return DecodeError("truncated snapshot id");
+  }
+  return ExpectEmpty(in);
+}
+
+void EncodeSnapshotPayload(std::string* out, const SnapshotResponse& resp) {
+  PutFixed64(out, resp.snapshot_id);
+  PutFixed32(out, static_cast<uint32_t>(resp.shard_seqs.size()));
+  for (uint64_t seq : resp.shard_seqs) {
+    PutFixed64(out, seq);
+  }
+}
+
+Status ParseSnapshotPayload(const Slice& payload, SnapshotResponse* out) {
+  Slice in = payload;
+  if (!GetU64(&in, &out->snapshot_id)) {
+    return DecodeError("truncated snapshot id");
+  }
+  uint32_t count = 0;
+  if (!GetU32(&in, &count)) return DecodeError("truncated shard count");
+  if (static_cast<uint64_t>(count) * 8 > in.size()) {
+    return DecodeError("shard count exceeds payload");
+  }
+  out->shard_seqs.clear();
+  out->shard_seqs.reserve(count);
+  for (uint32_t i = 0; i < count; i++) {
+    uint64_t seq = 0;
+    if (!GetU64(&in, &seq)) return DecodeError("truncated shard sequence");
+    out->shard_seqs.push_back(seq);
   }
   return ExpectEmpty(in);
 }

@@ -19,7 +19,8 @@ namespace net {
 ///   offset  size  field
 ///   0       4     body_len   (u32 LE; bytes after this field, >= 12)
 ///   4       1     opcode     (Op below)
-///   5       1     flags      (bit 0: response; bit 1: traced)
+///   5       1     flags      (bit 0: response; bit 1: traced;
+///                             bit 2: at-snapshot, requests only)
 ///   6       2     code       (u16 LE; WireCode; 0 in requests)
 ///   8       8     request_id (u64 LE; echoed verbatim in the response)
 ///   16      ...   payload    (body_len - 12 bytes, op-specific)
@@ -37,10 +38,22 @@ namespace net {
 /// time. FrameDecoder strips the context into Frame::trace_id /
 /// Frame::server_ns, so payload parsers see the same bytes either way
 /// and traced frames pipeline like any other. A traced frame whose
-/// body cannot hold the context is a decode error; flag bits above
-/// bit 1 remain reserved (decode error when set).
+/// body cannot hold the context is a decode error.
 ///
 /// Payload layouts (after the optional trace context):
+///
+/// At-snapshot frames (docs/SNAPSHOTS.md): when flags bit 2 is set on a
+/// request, the payload begins with a u64 snapshot id — AFTER the trace
+/// context when bit 1 is also set — and the op-specific payload
+/// follows. The id names a server-side pinned snapshot (SNAPSHOT op
+/// below); GET and SCAN then read at the pinned sequence numbers
+/// instead of the latest committed state. FrameDecoder strips the id
+/// into Frame::snapshot_id, so payload parsers see the same bytes
+/// either way. Bit 2 on a response is a decode error (responses never
+/// carry the prefix), as is a body too short to hold it; flag bits
+/// above bit 2 remain reserved (decode error when set).
+///
+/// Payload layouts (after the optional trace context / snapshot id):
 ///
 ///   GET  req:  u32 klen, key            resp: value bytes
 ///   PUT  req:  u32 klen, key, u32 vlen, value
@@ -55,6 +68,10 @@ namespace net {
 ///        (net/shard_router.h; single-DB servers answer a 1-shard map)
 ///   SLOWLOG req: u32 limit (0 = all)    resp: slow-log JSON (UTF-8)
 ///   METRICSPROM req: empty              resp: Prometheus text (UTF-8)
+///   SNAPSHOT req: u32 ttl_ms (0 = server default)
+///        resp: u64 snapshot_id, u32 shard_count,
+///              shard_count * u64 pinned sequence (by shard index)
+///   SNAPSHOTRELEASE req: u64 snapshot_id   resp: empty
 ///
 /// Replication ops (docs/REPLICATION.md). All repl requests flow from
 /// the follower (or an admin client, for PROMOTE) to the server; the
@@ -102,11 +119,17 @@ enum class Op : uint8_t {
   kReplAck = 13,
   kReplSnapshot = 14,
   kPromote = 15,
+  kSnapshot = 16,
+  kSnapshotRelease = 17,
 };
 
 /// Frame flag bits. Anything else is reserved and rejected.
 constexpr uint8_t kFlagResponse = 0x01;
 constexpr uint8_t kFlagTraced = 0x02;
+/// Request-only: the payload carries a u64 snapshot-id prefix (after
+/// the trace context, when both flags are set) and the read executes
+/// at that pinned snapshot (docs/SNAPSHOTS.md).
+constexpr uint8_t kFlagAtSnapshot = 0x04;
 
 /// True when `raw` is a defined opcode.
 bool ValidOp(uint8_t raw);
@@ -148,6 +171,10 @@ enum WireCode : uint16_t {
   /// (--repl-ack) was not satisfied within the timeout; the client must
   /// treat the write's durability as unknown and may retry.
   kReplTimeout = 107,
+  /// An at-snapshot read (or a SNAPSHOTRELEASE) named a snapshot id the
+  /// server does not hold — never pinned, already released, or expired
+  /// past its TTL. Clients re-pin and retry (docs/SNAPSHOTS.md).
+  kSnapshotUnknown = 108,
 };
 
 const char* WireCodeName(uint16_t code);
@@ -165,6 +192,8 @@ constexpr size_t kFrameHeaderBytes = 16;  // length field + fixed body
 constexpr size_t kFrameFixedBody = 12;    // opcode..request_id
 /// Bytes of the trace context prefixed to a traced frame's payload.
 constexpr size_t kTraceContextBytes = 16;  // trace_id + aux
+/// Bytes of the snapshot-id prefix on an at-snapshot request.
+constexpr size_t kSnapshotIdBytes = 8;
 /// Default cap on body_len; a peer announcing more is a decode error
 /// (rejected before any allocation).
 constexpr size_t kDefaultMaxFrameBody = 16u << 20;
@@ -176,15 +205,18 @@ constexpr uint32_t kMaxScanLimit = 1u << 20;
 /// One decoded frame. `payload` points into the decoder's buffer and is
 /// valid until the next Feed call. For traced frames the trace context
 /// has already been stripped: `payload` is the op-specific bytes and
-/// trace_id/server_ns hold the context fields.
+/// trace_id/server_ns hold the context fields. Likewise for at-snapshot
+/// requests the u64 snapshot id has been stripped into snapshot_id.
 struct Frame {
   Op op = Op::kPing;
   bool response = false;
   bool traced = false;
+  bool at_snapshot = false;
   uint16_t code = kOk;
   uint64_t request_id = 0;
-  uint64_t trace_id = 0;   // valid when traced
-  uint64_t server_ns = 0;  // aux field; service time in responses
+  uint64_t trace_id = 0;     // valid when traced
+  uint64_t server_ns = 0;    // aux field; service time in responses
+  uint64_t snapshot_id = 0;  // valid when at_snapshot
   Slice payload;
 };
 
@@ -196,6 +228,15 @@ struct TraceContext {
   /// Response aux: server-side service time in nanoseconds (0 in
   /// requests).
   uint64_t server_ns = 0;
+};
+
+/// Snapshot reference attached to an encoded GET/SCAN request
+/// (docs/SNAPSHOTS.md). Inert by default so existing call sites encode
+/// latest-reads unchanged.
+struct SnapshotRef {
+  bool at_snapshot = false;
+  /// Server-issued snapshot id (SNAPSHOT response).
+  uint64_t id = 0;
 };
 
 /// Incremental frame decoder: feed bytes in arbitrary chunks (a single
@@ -244,7 +285,8 @@ class FrameDecoder {
 // context (sampled requests). -----------------------------------------
 
 void EncodeGetRequest(std::string* out, uint64_t id, const Slice& key,
-                      const TraceContext& tc = TraceContext());
+                      const TraceContext& tc = TraceContext(),
+                      const SnapshotRef& snap = SnapshotRef());
 void EncodePutRequest(std::string* out, uint64_t id, const Slice& key,
                       const Slice& value,
                       const TraceContext& tc = TraceContext());
@@ -255,13 +297,19 @@ void EncodeMultiPutRequest(std::string* out, uint64_t id,
                            const TraceContext& tc = TraceContext());
 void EncodeScanRequest(std::string* out, uint64_t id, const Slice& start,
                        uint32_t limit,
-                       const TraceContext& tc = TraceContext());
+                       const TraceContext& tc = TraceContext(),
+                       const SnapshotRef& snap = SnapshotRef());
 void EncodeStatsRequest(std::string* out, uint64_t id);
 void EncodePingRequest(std::string* out, uint64_t id);
 void EncodeShardMapRequest(std::string* out, uint64_t id);
 /// SLOWLOG request; `limit` caps the returned entries (0 = all).
 void EncodeSlowLogRequest(std::string* out, uint64_t id, uint32_t limit);
 void EncodeMetricsPromRequest(std::string* out, uint64_t id);
+/// SNAPSHOT request; `ttl_ms` bounds the pin's lifetime on the server
+/// (0 = server default).
+void EncodeSnapshotRequest(std::string* out, uint64_t id, uint32_t ttl_ms);
+void EncodeSnapshotReleaseRequest(std::string* out, uint64_t id,
+                                  uint64_t snapshot_id);
 
 // Replication wire structures (docs/REPLICATION.md). -----------------
 
@@ -417,6 +465,18 @@ struct ScanRequest {
 struct SlowLogRequest {
   uint32_t limit = 0;  // 0 = all retained entries
 };
+struct SnapshotRequest {
+  uint32_t ttl_ms = 0;  // 0 = server default TTL
+};
+struct SnapshotReleaseRequest {
+  uint64_t snapshot_id = 0;
+};
+/// SNAPSHOT success response: the server-issued id plus the sequence
+/// number pinned on each shard (indexed by shard number).
+struct SnapshotResponse {
+  uint64_t snapshot_id = 0;
+  std::vector<uint64_t> shard_seqs;
+};
 
 Status ParseGetRequest(const Slice& payload, GetRequest* out);
 Status ParsePutRequest(const Slice& payload, PutRequest* out);
@@ -424,6 +484,13 @@ Status ParseDeleteRequest(const Slice& payload, DeleteRequest* out);
 Status ParseMultiPutRequest(const Slice& payload, MultiPutRequest* out);
 Status ParseScanRequest(const Slice& payload, ScanRequest* out);
 Status ParseSlowLogRequest(const Slice& payload, SlowLogRequest* out);
+Status ParseSnapshotRequest(const Slice& payload, SnapshotRequest* out);
+Status ParseSnapshotReleaseRequest(const Slice& payload,
+                                   SnapshotReleaseRequest* out);
+
+/// Encodes / parses the SNAPSHOT success payload.
+void EncodeSnapshotPayload(std::string* out, const SnapshotResponse& resp);
+Status ParseSnapshotPayload(const Slice& payload, SnapshotResponse* out);
 
 /// Parses a SCAN success payload (client side).
 Status ParseScanPayload(

@@ -86,6 +86,8 @@ const char* OpHistogramName(Op op) {
     case Op::kReplAck: return "net.op.replack";
     case Op::kReplSnapshot: return "net.op.replsnapshot";
     case Op::kPromote: return "net.op.promote";
+    case Op::kSnapshot: return "net.op.snapshot";
+    case Op::kSnapshotRelease: return "net.op.snapshotrelease";
   }
   return "net.op.other";
 }
@@ -107,6 +109,8 @@ const char* OpTraceName(Op op) {
     case Op::kReplAck: return "net.replack";
     case Op::kReplSnapshot: return "net.replsnapshot";
     case Op::kPromote: return "net.promote";
+    case Op::kSnapshot: return "net.snapshot";
+    case Op::kSnapshotRelease: return "net.snapshotrelease";
   }
   return "net.other";
 }
@@ -207,6 +211,27 @@ class Server::RequestTimeline {
   obs::SlowLogEntry entry_;
 };
 
+/// One wire-pinned snapshot: the DB::GetSnapshot handle pinned on each
+/// shard, the pinned sequences (the wire-visible cut), and the TTL
+/// deadline. Destruction — last shared_ptr dropped, after the registry
+/// entry is erased and any in-flight at-snapshot read finished —
+/// releases every pin.
+struct Server::SnapshotEntry {
+  SnapshotEntry(std::vector<DB*>* dbs) : dbs(dbs) {}
+  ~SnapshotEntry() {
+    for (size_t i = 0; i < handles.size(); i++) {
+      (*dbs)[i]->ReleaseSnapshot(handles[i]);
+    }
+  }
+  SnapshotEntry(const SnapshotEntry&) = delete;
+  SnapshotEntry& operator=(const SnapshotEntry&) = delete;
+
+  std::vector<DB*>* dbs;
+  std::vector<const DB::Snapshot*> handles;  // one per shard
+  std::vector<uint64_t> seqs;                // handles[i]->sequence()
+  std::chrono::steady_clock::time_point deadline;
+};
+
 /// One TCP connection; owned by exactly one worker thread.
 struct Server::Conn {
   explicit Conn(int fd_in, size_t max_frame)
@@ -274,7 +299,9 @@ Server::Server(std::vector<DB*> shards, const ShardRouter& router,
   slowlog_dropped_ = reg->GetCounter("net.slowlog.dropped");
   slowlog_queries_ = reg->GetCounter("net.slowlog.queries");
   traced_requests_ = reg->GetCounter("net.traced_requests");
+  snap_expired_ = reg->GetCounter("snap.expired");
   connections_ = reg->GetGauge("net.connections");
+  snap_active_ = reg->GetGauge("snap.active");
   if (options_.slow_log_capacity > 0 && options_.slow_request_us > 0) {
     slow_log_ =
         std::make_unique<obs::SlowLog>(options_.slow_log_capacity);
@@ -472,12 +499,17 @@ Status Server::Start() {
     w->thread = std::thread(&Server::WorkerLoop, this, w.get());
   }
   accept_thread_ = std::thread(&Server::AcceptLoop, this);
+  snapshot_sweeper_ = std::thread(&Server::SnapshotSweeperLoop, this);
   return Status::OK();
 }
 
 void Server::Stop() {
   if (!running_.exchange(false, std::memory_order_acq_rel)) {
     return;
+  }
+  snapshot_sweeper_cv_.notify_all();
+  if (snapshot_sweeper_.joinable()) {
+    snapshot_sweeper_.join();
   }
   WakeByte(accept_wake_[1]);
   if (accept_thread_.joinable()) {
@@ -522,6 +554,57 @@ void Server::Stop() {
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
+  }
+  // Every worker is joined, so no at-snapshot read holds an entry;
+  // drop the remaining wire pins before the caller destroys the DBs.
+  {
+    std::lock_guard<std::mutex> lock(snapshots_mu_);
+    for (const auto& [id, entry] : snapshots_) {
+      (void)id;
+      (void)entry;
+      snap_active_->Add(-1);
+    }
+    snapshots_.clear();
+  }
+}
+
+std::shared_ptr<Server::SnapshotEntry> Server::FindSnapshot(uint64_t id) {
+  std::lock_guard<std::mutex> lock(snapshots_mu_);
+  auto it = snapshots_.find(id);
+  return it == snapshots_.end() ? nullptr : it->second;
+}
+
+void Server::SweepSnapshots() {
+  const auto now = std::chrono::steady_clock::now();
+  // Erase under the lock, destroy (release the DB pins) outside it:
+  // ReleaseSnapshot takes the store's write fence and must not run
+  // under the registry mutex a request handler is about to take.
+  std::vector<std::shared_ptr<SnapshotEntry>> expired;
+  {
+    std::lock_guard<std::mutex> lock(snapshots_mu_);
+    for (auto it = snapshots_.begin(); it != snapshots_.end();) {
+      if (it->second->deadline <= now) {
+        expired.push_back(std::move(it->second));
+        it = snapshots_.erase(it);
+        snap_expired_->Increment();
+        snap_active_->Add(-1);
+      } else {
+        ++it;
+      }
+    }
+  }
+  expired.clear();
+}
+
+void Server::SnapshotSweeperLoop() {
+  primary()->trace()->SetThreadName("net-snap-sweeper");
+  std::unique_lock<std::mutex> lock(snapshots_mu_);
+  while (running_.load(std::memory_order_acquire)) {
+    snapshot_sweeper_cv_.wait_for(lock, std::chrono::milliseconds(50));
+    if (!running_.load(std::memory_order_acquire)) break;
+    lock.unlock();
+    SweepSnapshots();
+    lock.lock();
   }
 }
 
@@ -1013,8 +1096,8 @@ size_t Server::HandleWriteRun(Conn* conn, const std::vector<Frame>& frames,
   size_t total_ops = 0;
   while (end < frames.size() && total_ops < options_.max_batch_ops) {
     const Frame& f = frames[end];
-    if (f.op != Op::kPut && f.op != Op::kDelete) {
-      break;
+    if ((f.op != Op::kPut && f.op != Op::kDelete) || f.at_snapshot) {
+      break;  // at-snapshot writes fall to HandleRequest and reject
     }
     KVStore::BatchOp op;
     if (f.op == Op::kPut) {
@@ -1244,6 +1327,11 @@ void Server::HandleRequest(Conn* conn, const Frame& frame,
     respond_error(kDecodeError, "response frame sent to server");
     return;
   }
+  if (frame.at_snapshot && op != Op::kGet && op != Op::kScan) {
+    respond_error(kInvalidArgument,
+                  "at-snapshot flag on a non-read request");
+    return;
+  }
   if (fault::AnyActive()) {
     // An armed delay action here lands inside the req.decode stage
     // window, so the slow log attributes it to decode.
@@ -1275,6 +1363,26 @@ void Server::HandleRequest(Conn* conn, const Frame& frame,
         // streamed here yet, and serving it stale would break
         // read-your-writes for clients that failed over.
         respond_error(kNotPrimary, "shard is a replication follower");
+        return;
+      }
+      if (frame.at_snapshot) {
+        // Snapshot reads bypass the hot-key cache entirely: the cache
+        // holds latest-state values, which may be newer than the pin.
+        std::shared_ptr<SnapshotEntry> snap =
+            FindSnapshot(frame.snapshot_id);
+        if (snap == nullptr) {
+          respond_error(kSnapshotUnknown,
+                        "snapshot id not held (released or expired)");
+          return;
+        }
+        std::string value;
+        s = db->GetAt(req.key, snap->seqs[shard], &value);
+        timeline.Stage("req.db");
+        if (s.ok()) {
+          respond_ok(value);
+        } else {
+          respond_error(WireCodeOf(s), s.ToString());
+        }
         return;
       }
       std::string value;
@@ -1499,19 +1607,38 @@ void Server::HandleRequest(Conn* conn, const Frame& frame,
           return;
         }
       }
+      std::shared_ptr<SnapshotEntry> snap;
+      if (frame.at_snapshot) {
+        snap = FindSnapshot(frame.snapshot_id);
+        if (snap == nullptr) {
+          respond_error(kSnapshotUnknown,
+                        "snapshot id not held (released or expired)");
+          return;
+        }
+      }
       std::vector<std::pair<std::string, std::string>> entries;
       if (dbs_.size() == 1) {
         shard_requests_[0]->Increment();
-        s = primary()->Scan(req.start, req.limit, &entries);
+        s = snap != nullptr
+                ? primary()->ScanAt(req.start, req.limit, snap->seqs[0],
+                                    &entries)
+                : primary()->Scan(req.start, req.limit, &entries);
       } else {
         // Each shard holds an arbitrary slice of the range, so every
         // shard scans up to the full limit and the ordered k-way merge
-        // trims the union back down.
+        // trims the union back down. At a snapshot, each shard scans at
+        // its own pinned sequence — together the per-shard cut the
+        // SNAPSHOT op froze.
         std::vector<std::vector<std::pair<std::string, std::string>>>
             per_shard(dbs_.size());
         for (uint32_t shard = 0; s.ok() && shard < dbs_.size(); shard++) {
           shard_requests_[shard]->Increment();
-          s = dbs_[shard]->Scan(req.start, req.limit, &per_shard[shard]);
+          s = snap != nullptr
+                  ? dbs_[shard]->ScanAt(req.start, req.limit,
+                                        snap->seqs[shard],
+                                        &per_shard[shard])
+                  : dbs_[shard]->Scan(req.start, req.limit,
+                                      &per_shard[shard]);
         }
         if (s.ok()) {
           MergeShardScans(std::move(per_shard), req.limit, &entries);
@@ -1716,6 +1843,81 @@ void Server::HandleRequest(Conn* conn, const Frame& frame,
       } else {
         respond_error(code, error);
       }
+      return;
+    }
+    case Op::kSnapshot: {
+      SnapshotRequest req;
+      Status s = ParseSnapshotRequest(frame.payload, &req);
+      if (!s.ok()) {
+        decode_errors_->Increment();
+        respond_error(kDecodeError, s.ToString());
+        return;
+      }
+      timeline.Stage("req.decode");
+      // A request may shorten the pin's life but never outlive the
+      // server's bound.
+      uint32_t ttl_ms = options_.snapshot_ttl_ms;
+      if (req.ttl_ms != 0 && req.ttl_ms < ttl_ms) {
+        ttl_ms = req.ttl_ms;
+      }
+      auto entry = std::make_shared<SnapshotEntry>(&dbs_);
+      entry->handles.reserve(dbs_.size());
+      entry->seqs.reserve(dbs_.size());
+      for (DB* db : dbs_) {
+        const DB::Snapshot* handle = db->GetSnapshot();
+        if (handle == nullptr) {
+          // One shard is at its pin cap: the entry's destructor
+          // releases the shards pinned so far.
+          timeline.Stage("req.db");
+          respond_error(kBusy, "snapshot pin cap reached");
+          return;
+        }
+        entry->handles.push_back(handle);
+        entry->seqs.push_back(handle->sequence());
+      }
+      entry->deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(ttl_ms);
+      SnapshotResponse resp;
+      resp.shard_seqs = entry->seqs;
+      {
+        std::lock_guard<std::mutex> lock(snapshots_mu_);
+        resp.snapshot_id = next_snapshot_id_++;
+        snapshots_.emplace(resp.snapshot_id, std::move(entry));
+      }
+      snap_active_->Add(1);
+      timeline.Stage("req.db");
+      std::string payload;
+      EncodeSnapshotPayload(&payload, resp);
+      respond_ok(payload);
+      return;
+    }
+    case Op::kSnapshotRelease: {
+      SnapshotReleaseRequest req;
+      Status s = ParseSnapshotReleaseRequest(frame.payload, &req);
+      if (!s.ok()) {
+        decode_errors_->Increment();
+        respond_error(kDecodeError, s.ToString());
+        return;
+      }
+      timeline.Stage("req.decode");
+      std::shared_ptr<SnapshotEntry> released;
+      {
+        std::lock_guard<std::mutex> lock(snapshots_mu_);
+        auto it = snapshots_.find(req.snapshot_id);
+        if (it != snapshots_.end()) {
+          released = std::move(it->second);
+          snapshots_.erase(it);
+        }
+      }
+      if (released == nullptr) {
+        respond_error(kSnapshotUnknown,
+                      "snapshot id not held (released or expired)");
+        return;
+      }
+      snap_active_->Add(-1);
+      released.reset();  // unpin outside snapshots_mu_
+      timeline.Stage("req.db");
+      respond_ok(Slice());
       return;
     }
   }

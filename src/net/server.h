@@ -2,6 +2,7 @@
 #define CACHEKV_NET_SERVER_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -67,6 +68,11 @@ struct ServerOptions {
   uint32_t slow_request_us = 10'000;
   /// Entries retained in the slow-request ring (--slow-log-cap).
   size_t slow_log_capacity = 128;
+  /// Default lifetime of a wire-pinned snapshot (docs/SNAPSHOTS.md);
+  /// a SNAPSHOT request may ask for a shorter TTL but never a longer
+  /// one. A sweeper releases expired pins so an abandoned client can
+  /// only hold back compaction/GC reclamation for this long.
+  uint32_t snapshot_ttl_ms = 60'000;
   /// Replication hub (docs/REPLICATION.md); borrowed, may be null.
   /// When set the server rejects keyed ops on follower shards with
   /// kNotPrimary, waits for follower acks after every commit (per the
@@ -128,6 +134,15 @@ struct ServerOptions {
 /// the touched keys after the DB commit and before the response is
 /// appended — the ordering the cache's coherence protocol requires.
 ///
+/// Snapshot plane (docs/SNAPSHOTS.md): SNAPSHOT pins every shard with
+/// DB::GetSnapshot and registers the handle vector under a server-issued
+/// id with a TTL deadline; GET/SCAN requests carrying the at-snapshot
+/// flag resolve the id and read at each shard's own pinned sequence
+/// (bypassing the hot-key cache, which only reflects latest state), so
+/// a sharded SCAN merges one consistent per-shard cut. RELEASE — or the
+/// TTL sweeper, counting snap.expired — unpins; an unknown or expired
+/// id answers kSnapshotUnknown.
+///
 /// Shutdown ordering: Stop() (or the destructor) quiesces the network
 /// layer — stops accepting, closes every connection, joins all threads
 /// — and must complete before any DB is destroyed; the DBs never learn
@@ -174,6 +189,12 @@ class Server {
   /// Per-request stage clock for the slow log + trace propagation;
   /// defined in server.cc.
   class RequestTimeline;
+  /// One wire-pinned snapshot (docs/SNAPSHOTS.md): a DB::GetSnapshot
+  /// handle per shard plus its expiry deadline. Held by shared_ptr so
+  /// a release or TTL sweep concurrent with an in-flight at-snapshot
+  /// read only drops the registry entry; the DB pins stay live until
+  /// the last reader finishes. Defined in server.cc.
+  struct SnapshotEntry;
 
   DB* primary() const { return dbs_[0]; }
   /// The shard owning `key`; counts the routing decision in the target
@@ -222,6 +243,12 @@ class Server {
   /// The SHARDMAP payload with the hub's live epoch/primary/replica
   /// state folded in (v2 image; see net/shard_router.h).
   void BuildShardMapImage(std::string* out);
+  /// Resolves a wire snapshot id to its live entry (null when never
+  /// pinned, released, or expired — the kSnapshotUnknown cases).
+  std::shared_ptr<SnapshotEntry> FindSnapshot(uint64_t id);
+  /// Releases every TTL-expired snapshot; runs on the sweeper thread.
+  void SweepSnapshots();
+  void SnapshotSweeperLoop();
   /// The worker reserved for replication connections (the last one;
   /// null when no hub is attached).
   Worker* repl_worker() const;
@@ -241,6 +268,12 @@ class Server {
   std::vector<std::unique_ptr<cache::HotKeyCache>> caches_;
   /// Slow-request ring, shared by all workers (lock-free writers).
   std::unique_ptr<obs::SlowLog> slow_log_;
+  /// Wire-pinned snapshot registry (docs/SNAPSHOTS.md) + TTL sweeper.
+  std::mutex snapshots_mu_;
+  std::unordered_map<uint64_t, std::shared_ptr<SnapshotEntry>> snapshots_;
+  uint64_t next_snapshot_id_ = 1;
+  std::condition_variable snapshot_sweeper_cv_;
+  std::thread snapshot_sweeper_;
   size_t batch_bytes_cap_ = 0;
   /// SHARDMAP response payload, finalized at Start() (endpoints carry
   /// the bound address).
@@ -267,7 +300,9 @@ class Server {
   obs::Counter* slowlog_dropped_ = nullptr;
   obs::Counter* slowlog_queries_ = nullptr;
   obs::Counter* traced_requests_ = nullptr;
+  obs::Counter* snap_expired_ = nullptr;
   obs::Gauge* connections_ = nullptr;
+  obs::Gauge* snap_active_ = nullptr;
   // Per-shard routing counters, one in each shard's own registry.
   std::vector<obs::Counter*> shard_requests_;
 };

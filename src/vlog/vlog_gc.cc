@@ -71,15 +71,18 @@ Status VlogGc::CollectOnce() {
   }
   uint64_t rewrites = 0;
   uint64_t rewrite_bytes = 0;
+  bool any_pinned = false;
   Status s = vlog_->ForEachRecord(
       victim, [&](SequenceNumber seq, const Slice& key, const Slice& value,
                   const ValuePointer& ptr) {
-        (void)seq;
         bool relocated = false;
-        Status rs = relocate_(key, ptr, value, &relocated);
+        bool snapshot_pinned = false;
+        Status rs =
+            relocate_(seq, key, ptr, value, &relocated, &snapshot_pinned);
         if (!rs.ok()) {
           return rs;
         }
+        any_pinned = any_pinned || snapshot_pinned;
         if (relocated) {
           rewrites++;
           rewrite_bytes += ValueLog::RecordFootprint(key.size(), value.size());
@@ -92,6 +95,17 @@ Status VlogGc::CollectOnce() {
   if (metrics_ != nullptr) {
     metrics_->GetCounter("vlog.gc_rewrites")->fetch_add(rewrites);
     metrics_->GetCounter("vlog.gc_rewrite_bytes")->fetch_add(rewrite_bytes);
+  }
+  if (any_pinned) {
+    // A pinned snapshot still resolves at least one record in this
+    // segment: unlinking would dangle that snapshot's ValuePointer.
+    // Keep the segment (relocations already committed are not repeated:
+    // the next pass sees the new pointers and finds those records dead)
+    // and retry once the pin is released.
+    if (metrics_ != nullptr) {
+      metrics_->GetCounter("vlog.gc_deferrals")->Increment();
+    }
+    return Status::OK();
   }
   return vlog_->Unlink(victim);
 }

@@ -33,9 +33,13 @@ class VlogGc {
   /// exactly `old_ptr`, re-appends `value` under a new sequence and
   /// commits the relocated pointer, setting *relocated = true. Any other
   /// freshest version means the record is dead (*relocated = false).
+  /// `seq` is the record's original sequence number. *snapshot_pinned is
+  /// set when a pinned snapshot (docs/SNAPSHOTS.md) still resolves the
+  /// OLD pointer — whether the record was relocated or is dead at
+  /// latest — in which case the segment must not be unlinked yet.
   using RelocateFn = std::function<Status(
-      const Slice& key, const ValuePointer& old_ptr, const Slice& value,
-      bool* relocated)>;
+      SequenceNumber seq, const Slice& key, const ValuePointer& old_ptr,
+      const Slice& value, bool* relocated, bool* snapshot_pinned)>;
 
   VlogGc(ValueLog* vlog, obs::MetricsRegistry* metrics,
          RelocateFn relocate, double dead_ratio, uint64_t interval_ms);

@@ -570,15 +570,16 @@ TEST(NetProtocolTest, TracedFrameTooShortForContextIsError) {
   dec.Feed(bad.data(), bad.size());
   Frame f;
   EXPECT_EQ(Result::kError, dec.Next(&f));
-  EXPECT_NE(std::string::npos, dec.error().find("traced frame"));
+  EXPECT_NE(std::string::npos, dec.error().find("too short"));
 }
 
-TEST(NetProtocolTest, FlagBitAboveTracedStillRejected) {
-  // 0x02 is now a valid flag; 0x04 and up must stay decode errors so
-  // future flag bits cannot be smuggled past old servers.
+TEST(NetProtocolTest, FlagBitAboveAtSnapshotStillRejected) {
+  // 0x02 (traced) and 0x04 (at-snapshot) are valid flags; 0x08 and up
+  // must stay decode errors so future flag bits cannot be smuggled
+  // past old servers.
   std::string bad = U32Le(kFrameFixedBody);
   bad.push_back(static_cast<char>(Op::kPing));
-  bad.push_back(static_cast<char>(0x04));
+  bad.push_back(static_cast<char>(0x08));
   bad.append(kFrameFixedBody - 2, '\0');
   FrameDecoder dec;
   dec.Feed(bad.data(), bad.size());

@@ -7,14 +7,17 @@
 //   > get language
 //   C++20
 //
-// Commands: put <k> <v> | get <k> | del <k> | multiput <k1> <v1> ...
-//           scan [start] [limit] | stats [--pretty] | slowlog [limit] |
+// Commands: put <k> <v> | get <k> [--at <snap>] | del <k> |
+//           multiput <k1> <v1> ... |
+//           scan [start] [limit] [--at <snap>] | snapshot [ttl_ms] |
+//           release <snap> | stats [--pretty] | slowlog [limit] |
 //           prom | ping | pipe <n> | shardmap | shard <key> |
 //           repl status | promote <shard> | help
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <sstream>
@@ -32,10 +35,17 @@ void PrintHelp() {
   std::printf(
       "commands:\n"
       "  put <key> <value>          insert or update\n"
-      "  get <key>                  point lookup\n"
+      "  get <key> [--at <snap>]    point lookup; --at reads at a\n"
+      "                             pinned snapshot id\n"
       "  del <key>                  delete\n"
       "  multiput <k> <v> [...]     atomic multi-key transaction\n"
-      "  scan [start] [limit]       ordered scan (default limit 10)\n"
+      "  scan [start] [limit] [--at <snap>]\n"
+      "                             ordered scan (default limit 10);\n"
+      "                             --at scans at a pinned snapshot\n"
+      "  snapshot [ttl_ms]          pin a server-side snapshot; prints\n"
+      "                             its id and per-shard sequences\n"
+      "                             (docs/SNAPSHOTS.md)\n"
+      "  release <snap>             release a pinned snapshot id\n"
       "  stats [--pretty]           server metrics dump (JSON, or a\n"
       "                             human-readable table)\n"
       "  slowlog [limit]            slow-request log, newest first\n"
@@ -192,13 +202,16 @@ int main(int argc, char** argv) {
       }
       std::printf("%s\n", client.Put(k, v).ToString().c_str());
     } else if (cmd == "get") {
-      std::string k;
-      if (!(in >> k)) {
-        std::printf("usage: get <key>\n");
+      std::string k, flag;
+      uint64_t snap_id = 0;
+      if (!(in >> k) || ((in >> flag) && (flag != "--at" ||
+                                          !(in >> snap_id)))) {
+        std::printf("usage: get <key> [--at <snapshot_id>]\n");
         continue;
       }
       std::string value;
-      Status st = client.Get(k, &value);
+      Status st = flag.empty() ? client.Get(k, &value)
+                               : client.GetAt(k, snap_id, &value);
       std::printf("%s\n",
                   st.ok() ? value.c_str() : st.ToString().c_str());
     } else if (cmd == "del") {
@@ -222,11 +235,44 @@ int main(int argc, char** argv) {
       std::printf("%s (%zu keys, atomic per shard)\n",
                   st.ToString().c_str(), batch.size());
     } else if (cmd == "scan") {
+      // Positional [start] [limit] with an optional trailing
+      // `--at <snapshot_id>` anywhere after them.
       std::string start;
       uint32_t limit = 10;
-      in >> start >> limit;
+      bool at_snapshot = false;
+      uint64_t snap_id = 0;
+      std::vector<std::string> words;
+      for (std::string w; in >> w;) words.push_back(w);
+      bool usage_error = false;
+      size_t positional = 0;
+      for (size_t i = 0; i < words.size(); i++) {
+        if (words[i] == "--at") {
+          if (i + 1 >= words.size()) {
+            usage_error = true;
+            break;
+          }
+          at_snapshot = true;
+          snap_id = std::strtoull(words[++i].c_str(), nullptr, 10);
+        } else if (positional == 0) {
+          start = words[i];
+          positional++;
+        } else if (positional == 1) {
+          limit = static_cast<uint32_t>(
+              std::strtoul(words[i].c_str(), nullptr, 10));
+          positional++;
+        } else {
+          usage_error = true;
+          break;
+        }
+      }
+      if (usage_error) {
+        std::printf("usage: scan [start] [limit] [--at <snapshot_id>]\n");
+        continue;
+      }
       std::vector<std::pair<std::string, std::string>> entries;
-      Status st = client.Scan(start, limit, &entries);
+      Status st = at_snapshot
+                      ? client.ScanAt(start, limit, snap_id, &entries)
+                      : client.Scan(start, limit, &entries);
       if (!st.ok()) {
         std::printf("%s\n", st.ToString().c_str());
         continue;
@@ -236,6 +282,31 @@ int main(int argc, char** argv) {
       }
       std::printf("(%zu entr%s)\n", entries.size(),
                   entries.size() == 1 ? "y" : "ies");
+    } else if (cmd == "snapshot") {
+      uint32_t ttl_ms = 0;  // 0 = server default TTL
+      in >> ttl_ms;
+      net::SnapshotResponse snap;
+      Status st = client.CreateSnapshot(ttl_ms, &snap);
+      if (!st.ok()) {
+        std::printf("%s\n", st.ToString().c_str());
+        continue;
+      }
+      std::printf("snapshot %llu pinned (%zu shard%s)\n",
+                  static_cast<unsigned long long>(snap.snapshot_id),
+                  snap.shard_seqs.size(),
+                  snap.shard_seqs.size() == 1 ? "" : "s");
+      for (size_t i = 0; i < snap.shard_seqs.size(); i++) {
+        std::printf("  shard %zu @ seq %llu\n", i,
+                    static_cast<unsigned long long>(snap.shard_seqs[i]));
+      }
+    } else if (cmd == "release") {
+      uint64_t snap_id = 0;
+      if (!(in >> snap_id)) {
+        std::printf("usage: release <snapshot_id>\n");
+        continue;
+      }
+      std::printf("%s\n",
+                  client.ReleaseSnapshot(snap_id).ToString().c_str());
     } else if (cmd == "stats") {
       std::string mode;
       in >> mode;

@@ -61,6 +61,9 @@ void Usage(const char* argv0) {
       "  --slow-us N       slow-request log threshold in microseconds,\n"
       "                    0 disables capture (default 10000)\n"
       "  --slow-log-cap N  slow-request ring entries (default 128)\n"
+      "  --snapshot-ttl-ms N  server bound on pinned-snapshot TTL;\n"
+      "                    requests may shorten it, never lengthen\n"
+      "                    (docs/SNAPSHOTS.md; default 60000)\n"
       "  --latency-scale X PMem latency model scale (default 1.0)\n"
       "  --trace           enable event tracing (also: CACHEKV_TRACE)\n"
       "replication (docs/REPLICATION.md):\n"
@@ -114,6 +117,7 @@ int main(int argc, char** argv) {
   uint32_t cache_admit = 2;
   uint32_t slow_us = 10'000;
   uint64_t slow_log_cap = 128;
+  uint32_t snapshot_ttl_ms = 60'000;
   double latency_scale = 1.0;
   bool trace = false;
   std::string replicas_arg;
@@ -153,6 +157,8 @@ int main(int argc, char** argv) {
       slow_us = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
     } else if (ParseArg(argc, argv, &i, "--slow-log-cap", &v)) {
       slow_log_cap = std::strtoull(v, nullptr, 10);
+    } else if (ParseArg(argc, argv, &i, "--snapshot-ttl-ms", &v)) {
+      snapshot_ttl_ms = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
     } else if (ParseArg(argc, argv, &i, "--latency-scale", &v)) {
       latency_scale = std::atof(v);
     } else if (ParseArg(argc, argv, &i, "--replicas", &v)) {
@@ -286,6 +292,7 @@ int main(int argc, char** argv) {
   srv_opts.hot_key_cache_admit = cache_admit;
   srv_opts.slow_request_us = slow_us;
   srv_opts.slow_log_capacity = slow_log_cap;
+  srv_opts.snapshot_ttl_ms = snapshot_ttl_ms;
   srv_opts.repl = hub.get();
   net::Server server(db_ptrs, router, srv_opts);
   s = server.Start();
